@@ -1,0 +1,89 @@
+"""ABL-COMB — the §5.4 future-work combination, measured.
+
+The paper suggests combining the two classification strategies (duration
+first, then departure).  This ablation measures the combined algorithm
+against each single strategy on three workload shapes:
+
+* the retention adversary (duration classification's home turf),
+* a "synchronised cohorts" pattern where items in the same duration class
+  depart far apart — the weakness departure classification fixes,
+* benign bounded-μ random loads (where finer classes cost more bins).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import (
+    ClassifyByDepartureFirstFit,
+    ClassifyByDurationFirstFit,
+    CombinedClassifyFirstFit,
+    FirstFitPacker,
+)
+from repro.analysis import measured_ratio, render_table
+from repro.bounds import retention_instance
+from repro.core import Interval, Item, ItemList
+from repro.workloads import bounded_mu
+
+MU, DELTA = 36.0, 1.0
+
+
+def cohort_instance(cohorts: int = 12, per_cohort: int = 4) -> ItemList:
+    """Items with identical durations but staggered, far-apart departures.
+
+    Same duration class for everyone, so classify-by-duration degenerates to
+    plain First Fit; classify-by-departure (and the combined strategy) keep
+    the cohorts apart.  Duration 3Δ; cohorts spaced 2Δ apart; sizes chosen
+    so a bin holds one cohort but mixing cohorts strands capacity.
+    """
+    items = []
+    nid = 0
+    for c in range(cohorts):
+        t = 2.0 * c
+        for _ in range(per_cohort):
+            items.append(Item(nid, 0.9 / per_cohort, Interval(t, t + 3.0)))
+            nid += 1
+    return ItemList(items)
+
+
+def packers():
+    return {
+        "first-fit": FirstFitPacker(),
+        "classify-departure": ClassifyByDepartureFirstFit.with_known_durations(DELTA, MU),
+        "classify-duration": ClassifyByDurationFirstFit.with_known_durations(DELTA, MU),
+        "classify-combined": CombinedClassifyFirstFit.with_known_durations(DELTA, MU),
+    }
+
+
+def run_experiment():
+    workloads = {
+        "retention (mu=36)": retention_instance(mu=MU, phases=24),
+        "cohorts": cohort_instance(),
+        "bounded-mu random": bounded_mu(70, seed=1, mu=MU, min_duration=DELTA),
+    }
+    rows = []
+    for wname, items in workloads.items():
+        row: dict[str, object] = {"workload": wname}
+        for pname, packer in packers().items():
+            row[pname] = measured_ratio(packer, items, exact_opt_max_items=100).ratio
+        rows.append(row)
+    return rows
+
+
+def test_ablation_combined(benchmark, report):
+    rows = run_experiment()
+    items = bounded_mu(70, seed=1, mu=MU, min_duration=DELTA)
+    packer = CombinedClassifyFirstFit.with_known_durations(DELTA, MU)
+    benchmark(lambda: packer.pack(items))
+    report(
+        render_table(
+            rows,
+            title="[ABL-COMB] combined vs single classification strategies (measured ratios)",
+        )
+    )
+    by_workload = {r["workload"]: r for r in rows}
+    retention = by_workload["retention (mu=36)"]
+    # Combined inherits duration classification's win on the retention trap.
+    assert retention["classify-combined"] < 0.5 * retention["first-fit"]  # type: ignore[operator]
+    # And it must never be much worse than the best single strategy anywhere.
+    for row in rows:
+        best_single = min(row["classify-departure"], row["classify-duration"])  # type: ignore[type-var]
+        assert row["classify-combined"] <= 2.0 * best_single  # type: ignore[operator]

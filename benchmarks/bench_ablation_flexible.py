@@ -1,0 +1,92 @@
+"""ABL-FLEX — flexible jobs with release/deadline windows (§6 future work).
+
+The paper's interval jobs must start at arrival; Khandekar et al. [14] (and
+the paper's §6) consider jobs with slack.  This ablation measures how much
+usage time scheduling slack buys: for a fixed job population, the
+release-to-deadline window is widened from zero slack (= the paper's model)
+to 4× the job length, and the slack-aware greedy is compared against
+starting every job at its release (the zero-slack behaviour).
+
+Expected shape: usage falls monotonically (weakly) with slack — more room to
+align jobs into busy servers — with diminishing returns once most jobs can
+dodge every overlap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.bounds import best_lower_bound
+from repro.core import Interval, Item, ItemList
+from repro.extensions import FlexibleJob, SlackAwareScheduler
+
+
+def make_jobs(n: int, seed: int, slack_factor: float) -> list[FlexibleJob]:
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(n):
+        release = float(rng.uniform(0, 30))
+        length = float(rng.uniform(1.0, 4.0))
+        size = float(rng.uniform(0.2, 0.6))
+        jobs.append(
+            FlexibleJob(
+                i,
+                size=size,
+                release=release,
+                deadline=release + length * (1.0 + slack_factor),
+                length=length,
+            )
+        )
+    return jobs
+
+
+def zero_slack_usage(jobs: list[FlexibleJob]) -> float:
+    """Start every job at its release: the paper's rigid interval model."""
+    from repro.algorithms import FirstFitPacker
+
+    items = ItemList(
+        Item(j.job_id, j.size, Interval(j.release, j.release + j.length))
+        for j in jobs
+    )
+    return FirstFitPacker().pack(items).total_usage()
+
+
+def run_experiment():
+    rows = []
+    for slack_factor in (0.0, 0.5, 1.0, 2.0, 4.0):
+        usages, rigid, lbs = [], [], []
+        for seed in (0, 1, 2):
+            jobs = make_jobs(40, seed, slack_factor)
+            schedule = SlackAwareScheduler().schedule(jobs)
+            schedule.packing.validate()
+            usages.append(schedule.total_usage())
+            rigid.append(zero_slack_usage(jobs))
+            lbs.append(best_lower_bound(schedule.packing.items))
+        rows.append(
+            {
+                "slack (x length)": slack_factor,
+                "slack-aware usage": float(np.mean(usages)),
+                "start-at-release usage": float(np.mean(rigid)),
+                "saving %": 100.0 * (1.0 - np.mean(usages) / np.mean(rigid)),
+            }
+        )
+    return rows
+
+
+def test_ablation_flexible(benchmark, report):
+    rows = run_experiment()
+    jobs = make_jobs(40, 0, 1.0)
+    benchmark(lambda: SlackAwareScheduler().schedule(jobs))
+    report(
+        render_table(
+            rows, title="[ABL-FLEX] value of scheduling slack (release/deadline windows)"
+        )
+    )
+    savings = [row["saving %"] for row in rows]
+    # At zero slack the (small) saving comes purely from the min-extension
+    # placement rule vs plain First Fit, not from moving start times.
+    assert abs(savings[0]) < 5.0
+    # Slack adds real savings beyond the placement-rule effect.
+    assert max(savings) > savings[0] + 3.0
+    assert savings[-1] > savings[0]

@@ -1,0 +1,68 @@
+"""ABL-GREEDY — is classification just one clairvoyant heuristic among many?
+
+Compares the paper's classification strategies against *usage-aware fit*, a
+natural greedy use of the same clairvoyant information (minimise each
+placement's usage extension, optionally opening a new bin for large
+extensions).
+
+Expected shape — the bench's point: greedy clairvoyance edges out First Fit
+on benign loads, but on the retention trap it is exactly as bad as First
+Fit (the trap presents a zero-extension placement that is nevertheless
+fatal), while classification stays near 1.  Clairvoyance helps only when
+spent on *separating categories*, which is the paper's design insight.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import (
+    ClassifyByDurationFirstFit,
+    FirstFitPacker,
+    UsageAwareFitPacker,
+)
+from repro.analysis import measured_ratio, render_table
+from repro.bounds import retention_instance
+from repro.workloads import bounded_mu, uniform_random
+
+MU, DELTA = 36.0, 1.0
+
+
+def packers():
+    return {
+        "first-fit": FirstFitPacker(),
+        "usage-aware": UsageAwareFitPacker(),
+        "usage-aware(thr=1)": UsageAwareFitPacker(open_threshold=1.0),
+        "classify-duration": ClassifyByDurationFirstFit.with_known_durations(DELTA, MU),
+    }
+
+
+def run_experiment():
+    workloads = {
+        "uniform random": uniform_random(80, seed=2, size_range=(0.05, 0.6)),
+        "bounded-mu random": bounded_mu(70, seed=2, mu=MU, min_duration=DELTA),
+        "retention (mu=36)": retention_instance(mu=MU, phases=24),
+    }
+    rows = []
+    for wname, items in workloads.items():
+        row: dict[str, object] = {"workload": wname}
+        for pname, packer in packers().items():
+            row[pname] = measured_ratio(packer, items, exact_opt_max_items=100).ratio
+        rows.append(row)
+    return rows
+
+
+def test_ablation_usage_aware(benchmark, report):
+    rows = run_experiment()
+    items = uniform_random(80, seed=2, size_range=(0.05, 0.6))
+    benchmark(lambda: UsageAwareFitPacker().pack(items))
+    report(
+        render_table(
+            rows,
+            title="[ABL-GREEDY] greedy clairvoyance vs classification (measured ratios)",
+        )
+    )
+    by_workload = {r["workload"]: r for r in rows}
+    trap = by_workload["retention (mu=36)"]
+    # Greedy clairvoyance stays trapped (within 10% of First Fit)...
+    assert trap["usage-aware"] > 0.9 * trap["first-fit"]  # type: ignore[operator]
+    # ...while classification escapes by a wide margin.
+    assert trap["classify-duration"] < 0.25 * trap["first-fit"]  # type: ignore[operator]

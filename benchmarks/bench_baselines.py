@@ -1,0 +1,99 @@
+"""BASE — the non-clairvoyant baseline landscape (paper §1/§2 prior work).
+
+Reproduces the qualitative claims the paper inherits from [13, 17, 19, 24]:
+
+* First Fit ≤ μ+4; Next Fit ≤ 2μ+1; every Any Fit ≥ μ+1 in the worst case;
+* Best Fit can be made arbitrarily worse than First Fit (its ratio is
+  unbounded): the bestfit-trap family separates them by ≈2x;
+* the retention family drives every Any Fit algorithm's ratio toward μ.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import (
+    BestFitPacker,
+    FirstFitPacker,
+    HybridFirstFitPacker,
+    LastFitPacker,
+    NextFitPacker,
+    WorstFitPacker,
+)
+from repro.analysis import measured_ratio, render_table
+from repro.bounds import (
+    bestfit_trap_instance,
+    first_fit_ratio,
+    next_fit_ratio,
+    retention_instance,
+)
+from repro.workloads import uniform_random
+
+PACKERS = [
+    FirstFitPacker,
+    BestFitPacker,
+    WorstFitPacker,
+    LastFitPacker,
+    NextFitPacker,
+    HybridFirstFitPacker,
+]
+
+
+def random_rows():
+    rows = []
+    for cls in PACKERS:
+        ratios = []
+        for seed in range(3):
+            items = uniform_random(80, seed=seed, size_range=(0.05, 1.0))
+            ratios.append(
+                measured_ratio(cls(), items, exact_opt_max_items=100).ratio
+            )
+        rows.append(
+            {"algorithm": cls().describe(), "ratio (uniform random)": sum(ratios) / 3}
+        )
+    return rows
+
+
+def adversarial_rows():
+    retention = retention_instance(mu=25.0, phases=25)
+    trap = bestfit_trap_instance(mu=20.0, phases=6)
+    rows = []
+    for cls in PACKERS:
+        rows.append(
+            {
+                "algorithm": cls().describe(),
+                "ratio (retention mu=25)": measured_ratio(cls(), retention).ratio,
+                "ratio (bestfit-trap)": measured_ratio(cls(), trap).ratio,
+            }
+        )
+    return rows
+
+
+def test_baselines(benchmark, report):
+    rand = random_rows()
+    adv = adversarial_rows()
+    items = uniform_random(80, seed=0, size_range=(0.05, 1.0))
+    benchmark(lambda: FirstFitPacker().pack(items))
+    text = render_table(rand, title="[BASE] non-clairvoyant baselines, random workloads")
+    text += "\n\n" + render_table(
+        adv, title="[BASE] same baselines on adversarial families"
+    )
+    mu = 25.0
+    text += (
+        f"\nbounds at mu={mu}: first-fit <= {first_fit_ratio(mu):.0f}, "
+        f"next-fit <= {next_fit_ratio(mu):.0f}, any-fit >= {mu + 1:.0f} (worst case)"
+    )
+    report(text)
+
+    by_name_adv = {r["algorithm"]: r for r in adv}
+    # The retention family hurts every Any Fit algorithm badly...
+    assert by_name_adv["first-fit"]["ratio (retention mu=25)"] > 5.0
+    # ...within the proved ceilings.
+    assert by_name_adv["first-fit"]["ratio (retention mu=25)"] <= first_fit_ratio(25.0)
+    assert by_name_adv["next-fit"]["ratio (retention mu=25)"] <= next_fit_ratio(25.0)
+    # Best Fit pays ~2x First Fit on the trap family (unboundedness mechanism).
+    assert (
+        by_name_adv["best-fit"]["ratio (bestfit-trap)"]
+        > 1.5 * by_name_adv["first-fit"]["ratio (bestfit-trap)"]
+    )
+    # On random loads everything is comfortably small.
+    for row in rand:
+        assert row["ratio (uniform random)"] < 3.0

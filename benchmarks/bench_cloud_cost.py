@@ -1,0 +1,102 @@
+"""CLOUD — end-to-end rental cost on the motivating workloads (paper §1).
+
+Prices every policy on the cloud-gaming and recurring-analytics workloads
+under exact and hourly billing.  Expected shape: all policies sit within a
+small factor of the lower bound on these benign loads; the classification
+policies trade a modest average-case premium for the worst-case protection
+shown in the THM4/THM5 benches; hourly billing compresses the differences.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import (
+    BestFitPacker,
+    ClassifyByDepartureFirstFit,
+    ClassifyByDurationFirstFit,
+    DurationDescendingFirstFit,
+    FirstFitPacker,
+    NextFitPacker,
+)
+from repro.analysis import render_table
+from repro.cloud import compare_policies_on_items
+from repro.simulation import PER_HOUR
+from repro.workloads import gaming_sessions, random_templates, recurring_jobs
+
+
+def policies(mu: float, delta: float):
+    return [
+        FirstFitPacker(),
+        BestFitPacker(),
+        NextFitPacker(),
+        ClassifyByDepartureFirstFit.with_known_durations(delta, mu),
+        ClassifyByDurationFirstFit.with_known_durations(delta, mu),
+        DurationDescendingFirstFit(),  # offline reference
+    ]
+
+
+def run(items, label):
+    mu, delta = items.mu(), items.min_duration()
+    reports = compare_policies_on_items(
+        items, policies(mu, delta), billings=[PER_HOUR]
+    )
+    rows = [r.as_dict() for r in reports]
+    for row in rows:
+        row["workload"] = label
+    return reports, rows
+
+
+def reservation_rows(items, label):
+    """Reserved-vs-on-demand split of each policy's rented capacity."""
+    from repro.cloud import ReservedPricing, optimize_reservation
+
+    pricing = ReservedPricing(ondemand_rate=1.0, reserved_rate=0.6)
+    rows = []
+    mu, delta = items.mu(), items.min_duration()
+    for packer in policies(mu, delta)[:4]:
+        packing = packer.pack(items)
+        plan = optimize_reservation(packing, pricing)
+        rows.append(
+            {
+                "workload": label,
+                "policy": packer.describe(),
+                "reserved servers": plan.num_reserved,
+                "total cost": plan.total_cost,
+                "vs all-on-demand": plan.savings_fraction,
+            }
+        )
+    return rows
+
+
+def test_cloud_cost(benchmark, report):
+    gaming = gaming_sessions(800, seed=2016, horizon_hours=72.0)
+    analytics = recurring_jobs(
+        random_templates(10, seed=3), horizon=96.0, seed=3
+    )
+    g_reports, g_rows = run(gaming, "gaming")
+    a_reports, a_rows = run(analytics, "analytics")
+    reserved = reservation_rows(gaming, "gaming")
+    benchmark(lambda: FirstFitPacker().pack(gaming))
+    text = render_table(
+        g_rows,
+        columns=["workload", "policy", "num_leases", "usage_time", "ratio_lb", "cost[per-hour]"],
+        title="[CLOUD] policy bake-off: cloud gaming (800 sessions / 72h)",
+        precision=1,
+    )
+    text += "\n\n" + render_table(
+        a_rows,
+        columns=["workload", "policy", "num_leases", "usage_time", "ratio_lb", "cost[per-hour]"],
+        title="[CLOUD] policy bake-off: recurring analytics (96h)",
+        precision=1,
+    )
+    text += "\n\n" + render_table(
+        reserved,
+        title="[CLOUD] optimal reserved/on-demand split (reserved at 0.6x rate)",
+    )
+    report(text)
+    for row in reserved:
+        assert 0.0 <= row["vs all-on-demand"] <= 1.0  # type: ignore[operator]
+    for reports in (g_reports, a_reports):
+        for r in reports:
+            assert r.ratio_lb >= 1.0 - 1e-9
+            assert r.ratio_lb < 2.5  # benign loads: everyone is near the bound
+            assert r.costs["per-hour"] >= r.usage_time - 1e-6

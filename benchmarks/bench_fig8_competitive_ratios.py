@@ -1,0 +1,66 @@
+"""FIG8 — regenerate Figure 8: best competitive ratios vs μ.
+
+The paper's only quantitative exhibit plots, for μ ∈ [1, 100] with known
+min/max durations:
+
+* original First Fit (non-clairvoyant): μ + 4,
+* classify-by-departure-time First Fit: 2√μ + 3 (optimal ρ = √μ·Δ),
+* classify-by-duration First Fit: min_{n≥1} μ^{1/n} + n + 3 (optimal n).
+
+Expected shape (paper §5.4): both classification curves grow much slower
+than First Fit; classify-by-departure wins for μ < 4, classify-by-duration
+for μ > 4, and the curves cross at μ = 4 where both equal 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_series
+from repro.bounds import (
+    classify_departure_ratio_known,
+    classify_duration_ratio_known,
+    first_fit_ratio,
+    optimal_num_duration_classes,
+)
+
+MUS = [1.0, 2.0, 3.0, 4.0, 5.0, 8.0, 10.0, 16.0, 25.0, 40.0, 64.0, 100.0]
+
+
+def compute_series() -> dict[str, list[float]]:
+    return {
+        "first-fit (mu+4)": [first_fit_ratio(mu) for mu in MUS],
+        "classify-by-departure (2*sqrt(mu)+3)": [
+            classify_departure_ratio_known(mu) for mu in MUS
+        ],
+        "classify-by-duration (min_n mu^(1/n)+n+3)": [
+            classify_duration_ratio_known(mu) for mu in MUS
+        ],
+    }
+
+
+def test_fig8_series(benchmark, report):
+    series = benchmark(compute_series)
+    ns = [optimal_num_duration_classes(mu) for mu in MUS]
+    table = render_series(
+        "mu",
+        MUS,
+        series,
+        title="[FIG8] Best achievable competitive ratios vs mu (paper Figure 8)",
+    )
+    table += f"\noptimal n per mu (classify-by-duration): {dict(zip(MUS, ns))}"
+    report(table)
+
+    ff = np.array(series["first-fit (mu+4)"])
+    dep = np.array(series["classify-by-departure (2*sqrt(mu)+3)"])
+    dur = np.array(series["classify-by-duration (min_n mu^(1/n)+n+3)"])
+    # Shape checks quoted by the paper's §5.4 discussion:
+    assert np.all(dep[MUS.index(5.0) :] < ff[MUS.index(5.0) :])
+    assert np.all(dur[MUS.index(5.0) :] < ff[MUS.index(5.0) :])
+    for i, mu in enumerate(MUS):
+        if 1.0 < mu < 4.0:
+            assert dep[i] < dur[i], f"departure should win below mu=4 (mu={mu})"
+        if mu > 4.0:
+            assert dur[i] < dep[i], f"duration should win above mu=4 (mu={mu})"
+    i4 = MUS.index(4.0)
+    assert dep[i4] == dur[i4] == 7.0

@@ -1,0 +1,105 @@
+"""LEMMAS — the paper's deferred-proof lemmas, measured.
+
+The proofs of Lemma 1 (§4.1), Lemma 6 and the third-stage structure (§5.2)
+live in the paper's extended version; this bench reconstructs their
+quantities from real runs and reports how much slack each inequality has in
+practice:
+
+* Lemma 1: ``d_k* ≤ 3·d(R_{k−1})`` per DDFF bin — report max d_k*/d(R_{k−1});
+* inequality (2): ``d_k + d_k* > span(R_k)`` — report min (d_k+d_k*)/span;
+* Lemma 6: average open-bin level > 1/2 throughout stage 2 — report the
+  minimum average observed;
+* third stage: right bin usage ≤ ρ + Δ per category — report the max.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import DurationDescendingFirstFit
+from repro.analysis import (
+    render_table,
+    theorem1_decomposition,
+    theorem4_stage_decomposition,
+    theorem4_third_stage,
+)
+from repro.workloads import bounded_mu, uniform_random
+
+SEEDS = [0, 1, 2, 3]
+
+
+def lemma1_rows():
+    rows = []
+    for seed in SEEDS:
+        items = uniform_random(70, seed=seed, size_range=(0.2, 0.9))
+        result = DurationDescendingFirstFit().pack(items)
+        analyses = theorem1_decomposition(result)
+        if not analyses:
+            continue
+        for a in analyses:
+            a.check()
+        rows.append(
+            {
+                "workload": f"uniform(seed={seed})",
+                "bins analysed": len(analyses),
+                "max d_k*/3d(R_k-1) (<=1)": max(
+                    a.d_k_star / (3 * a.demand_prev) for a in analyses
+                ),
+                "min (d_k+d_k*)/span_k (>1)": min(
+                    (a.d_k + a.d_k_star) / a.span_k for a in analyses if a.span_k > 0
+                ),
+            }
+        )
+    return rows
+
+
+def lemma6_rows():
+    rows = []
+    for mu in (4.0, 16.0, 64.0):
+        items = bounded_mu(100, seed=5, mu=mu, min_duration=1.0)
+        rho = mu**0.5
+        staged = theorem4_stage_decomposition(items, rho=rho)
+        third = theorem4_third_stage(items, rho=rho)
+        for a in staged:
+            a.check()
+        for a in third:
+            a.check()
+        finite_avgs = [
+            a.min_avg_level_stage2
+            for a in staged
+            if a.min_avg_level_stage2 != float("inf")
+        ]
+        rows.append(
+            {
+                "mu": mu,
+                "categories": len(staged),
+                "min stage-2 avg level (>0.5)": (
+                    min(finite_avgs) if finite_avgs else None
+                ),
+                "max right usage / (rho+delta) (<=1)": max(
+                    (a.right_usage / a.stage_length for a in third), default=None
+                ),
+            }
+        )
+    return rows
+
+
+def test_lemmas(benchmark, report):
+    l1 = lemma1_rows()
+    l6 = lemma6_rows()
+    items = uniform_random(70, seed=0, size_range=(0.2, 0.9))
+    result = DurationDescendingFirstFit().pack(items)
+    benchmark(lambda: theorem1_decomposition(result))
+    text = render_table(
+        l1, title="[LEMMAS] Lemma 1 + inequality (2) reconstructed from DDFF runs"
+    )
+    text += "\n\n" + render_table(
+        l6, title="[LEMMAS] Lemma 6 + third-stage structure (classify-by-departure)"
+    )
+    report(text)
+    for row in l1:
+        assert row["max d_k*/3d(R_k-1) (<=1)"] <= 1.0 + 1e-9  # type: ignore[operator]
+        assert row["min (d_k+d_k*)/span_k (>1)"] > 1.0 - 1e-9  # type: ignore[operator]
+    for row in l6:
+        if row["min stage-2 avg level (>0.5)"] is not None:
+            assert row["min stage-2 avg level (>0.5)"] > 0.5 - 1e-9  # type: ignore[operator]
+        if row["max right usage / (rho+delta) (<=1)"] is not None:
+            assert row["max right usage / (rho+delta) (<=1)"] <= 1.0 + 1e-9  # type: ignore[operator]

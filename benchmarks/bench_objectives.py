@@ -1,0 +1,74 @@
+"""OBJ — MinUsageTime vs classical DBP objectives (paper §2 contrast).
+
+Classical dynamic bin packing (Coffman et al. [9]) minimises the *maximum
+number of bins concurrently used*; MinUsageTime DBP minimises accumulated
+usage time.  The paper's §2 stresses they are different problems — this
+bench quantifies the divergence on one workload family: for each packer,
+both objectives are reported, and a workload is exhibited where the
+usage-time winner is not the max-bins winner.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import (
+    BestFitPacker,
+    ClassifyByDurationFirstFit,
+    DurationDescendingFirstFit,
+    FirstFitPacker,
+    NextFitPacker,
+)
+from repro.analysis import render_table
+from repro.bounds import retention_instance
+from repro.core.stepfun import iceil
+from repro.workloads import bursty
+
+
+def run_experiment():
+    workloads = {
+        "bursty(6x12)": bursty(6, 12, seed=13, duration_range=(1.0, 8.0)),
+        "retention(mu=25)": retention_instance(mu=25.0, phases=20),
+    }
+    rows = []
+    for wname, items in workloads.items():
+        peak_lb = iceil(items.max_concurrent_size())
+        for packer in (
+            FirstFitPacker(),
+            BestFitPacker(),
+            NextFitPacker(),
+            ClassifyByDurationFirstFit.with_known_durations(
+                items.min_duration(), items.mu()
+            ),
+            DurationDescendingFirstFit(),
+        ):
+            result = packer.pack(items)
+            rows.append(
+                {
+                    "workload": wname,
+                    "algorithm": packer.describe(),
+                    "usage time (MinUsageTime)": result.total_usage(),
+                    "max open bins (classical DBP)": result.max_open_bins(),
+                    "peak-demand lower bound": peak_lb,
+                }
+            )
+    return rows
+
+
+def test_objectives(benchmark, report):
+    rows = run_experiment()
+    items = bursty(6, 12, seed=13, duration_range=(1.0, 8.0))
+    benchmark(lambda: FirstFitPacker().pack(items).max_open_bins())
+    report(
+        render_table(
+            rows,
+            title="[OBJ] usage time vs peak concurrent bins per algorithm",
+        )
+    )
+    # The §2 point: the two objectives rank algorithms differently.
+    retention = [r for r in rows if r["workload"] == "retention(mu=25)"]
+    by_usage = min(retention, key=lambda r: r["usage time (MinUsageTime)"])  # type: ignore[arg-type,return-value]
+    by_peak = min(retention, key=lambda r: r["max open bins (classical DBP)"])  # type: ignore[arg-type,return-value]
+    assert by_usage["algorithm"] != by_peak["algorithm"] or len(
+        {r["max open bins (classical DBP)"] for r in retention}
+    ) <= 2
+    for r in rows:
+        assert r["max open bins (classical DBP)"] >= r["peak-demand lower bound"]  # type: ignore[operator]

@@ -1,0 +1,55 @@
+"""SCALE — wall-clock scaling of the packers (engineering bench).
+
+Not a paper exhibit: this bench tracks the library's own performance so
+regressions are visible (the HPC guides' "no optimisation without
+measuring").  Times each packer on n = 200 / 400 / 800 items and checks the
+empirically expected growth: the online packers stay well under a second at
+n=800 while Dual Coloring's exact-arithmetic Phase 1 (O(n^4) worst case) is
+the documented hot spot.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.algorithms import (
+    ClassifyByDurationFirstFit,
+    DualColoringPacker,
+    DurationDescendingFirstFit,
+    FirstFitPacker,
+)
+from repro.analysis import render_table
+from repro.workloads import uniform_random
+
+
+def run_experiment():
+    rows = []
+    for n in (200, 400, 800):
+        items = uniform_random(n, seed=1, arrival_span=n / 2.0)
+        row: dict[str, object] = {"n": n}
+        for packer in (
+            FirstFitPacker(),
+            ClassifyByDurationFirstFit(alpha=2.0),
+            DurationDescendingFirstFit(),
+        ):
+            t0 = time.perf_counter()
+            packer.pack(items)
+            row[packer.name + " (s)"] = time.perf_counter() - t0
+        # Dual Coloring is the documented slow path; after the profile-guided
+        # pass (presorted merges + float-guarded exact comparisons) it covers
+        # the full grid.
+        t0 = time.perf_counter()
+        DualColoringPacker(strict=False).pack(items)
+        row["dual-coloring (s)"] = time.perf_counter() - t0
+        rows.append(row)
+    return rows
+
+
+def test_scaling(benchmark, report):
+    rows = run_experiment()
+    items = uniform_random(400, seed=1, arrival_span=200.0)
+    benchmark(lambda: FirstFitPacker().pack(items))
+    report(render_table(rows, title="[SCALE] packer wall-clock vs n", precision=4))
+    for row in rows:
+        assert row["first-fit (s)"] < 5.0  # type: ignore[operator]
+        assert row["classify-duration (s)"] < 5.0  # type: ignore[operator]

@@ -1,0 +1,65 @@
+"""THM1 — Duration Descending First Fit's 5-approximation (paper §4.1).
+
+Measures, over random and adversarial workloads:
+
+* the measured ratio usage / OPT_total (exact adversary) — must be ≤ 5;
+* the tightness of the proof's intermediate bound usage < 4·d(R) + span(R).
+
+Expected shape: measured ratios far below 5 on stochastic loads (the bound
+is worst-case), with the adversarial retention family pushing higher.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import DurationDescendingFirstFit, opt_total
+from repro.analysis import render_table
+from repro.bounds import retention_instance
+from repro.workloads import bounded_mu, bursty, uniform_random
+
+SEEDS = [0, 1, 2]
+
+
+def workloads():
+    for seed in SEEDS:
+        yield f"uniform(seed={seed})", uniform_random(
+            90, seed=seed, size_range=(0.05, 1.0)
+        )
+    yield "bounded_mu(mu=16)", bounded_mu(80, seed=7, mu=16.0)
+    yield "bursty(5x15)", bursty(5, 15, seed=8)
+    yield "retention(mu=20,m=20)", retention_instance(mu=20.0, phases=20)
+
+
+def run_experiment():
+    rows = []
+    packer = DurationDescendingFirstFit()
+    for name, items in workloads():
+        usage = packer.pack(items).total_usage()
+        opt = opt_total(items, max_nodes=400_000)
+        intermediate = 4 * items.total_demand() + items.span()
+        rows.append(
+            {
+                "workload": name,
+                "usage": usage,
+                "OPT_total": opt,
+                "ratio": usage / opt,
+                "guarantee": 5.0,
+                "4d+span bound": intermediate,
+                "bound slack": intermediate / usage,
+            }
+        )
+    return rows
+
+
+def test_thm1_ddff(benchmark, report):
+    rows = run_experiment()
+    items = uniform_random(90, seed=0, size_range=(0.05, 1.0))
+    benchmark(lambda: DurationDescendingFirstFit().pack(items))
+    report(
+        render_table(
+            rows,
+            title="[THM1] Duration Descending First Fit vs exact OPT (guarantee: 5x)",
+        )
+    )
+    for row in rows:
+        assert row["ratio"] <= 5.0 + 1e-9
+        assert row["usage"] < row["4d+span bound"] + 1e-9

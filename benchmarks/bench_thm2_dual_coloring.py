@@ -1,0 +1,76 @@
+"""THM2 — Dual Coloring's 4-approximation (paper §4.2).
+
+Measures, over random workloads (mixed small/large items):
+
+* measured ratio usage / OPT_total — must be ≤ 4;
+* the per-time open-bin bound: max_t open_bins(t) / ⌈S(t)⌉ — must be ≤ 4;
+* comparison with the 5-approx DDFF (the paper's point: a better guarantee,
+  though the constructive stripe packing can cost more on average).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import DualColoringPacker, DurationDescendingFirstFit, opt_total
+from repro.analysis import render_table
+from repro.core.stepfun import iceil
+from repro.workloads import bursty, uniform_random
+
+SEEDS = [0, 1, 2, 3]
+
+
+def max_bin_to_ceil_ratio(result, items) -> float:
+    profile = result.open_bins_profile()
+    size_profile = items.size_profile()
+    worst = 0.0
+    for left, _right, count in profile.segments():
+        ceil_s = iceil(size_profile.value_at(left))
+        if ceil_s > 0:
+            worst = max(worst, count / ceil_s)
+    return worst
+
+
+def run_experiment():
+    rows = []
+    for seed in SEEDS:
+        items = uniform_random(70, seed=seed, size_range=(0.05, 1.0))
+        dc = DualColoringPacker().pack(items)
+        ddff = DurationDescendingFirstFit().pack(items)
+        opt = opt_total(items, max_nodes=400_000)
+        rows.append(
+            {
+                "workload": f"uniform(seed={seed})",
+                "dual-coloring usage": dc.total_usage(),
+                "ratio": dc.total_usage() / opt,
+                "guarantee": 4.0,
+                "max bins/ceil(S)": max_bin_to_ceil_ratio(dc, items),
+                "ddff usage": ddff.total_usage(),
+            }
+        )
+    items = bursty(4, 12, seed=11)
+    dc = DualColoringPacker().pack(items)
+    rows.append(
+        {
+            "workload": "bursty(4x12)",
+            "dual-coloring usage": dc.total_usage(),
+            "ratio": dc.total_usage() / opt_total(items),
+            "guarantee": 4.0,
+            "max bins/ceil(S)": max_bin_to_ceil_ratio(dc, items),
+            "ddff usage": DurationDescendingFirstFit().pack(items).total_usage(),
+        }
+    )
+    return rows
+
+
+def test_thm2_dual_coloring(benchmark, report):
+    rows = run_experiment()
+    items = uniform_random(70, seed=0, size_range=(0.05, 1.0))
+    benchmark(lambda: DualColoringPacker().pack(items))
+    report(
+        render_table(
+            rows,
+            title="[THM2] Dual Coloring vs exact OPT (guarantee: 4x; bins <= 4*ceil(S(t)))",
+        )
+    )
+    for row in rows:
+        assert row["ratio"] <= 4.0 + 1e-9
+        assert row["max bins/ceil(S)"] <= 4.0 + 1e-9

@@ -1,0 +1,78 @@
+"""THM3 / FIG5 — the golden-ratio online lower bound, executed.
+
+Replays the Theorem 3 adversary (Figure 5's cases A and B) against every
+online packer in the library and reports the ratio the adversary extracts.
+Expected shape: every algorithm suffers ≥ (1+√5)/2 ≈ 1.618 (up to the τ→0
+limit), with equality exactly when x is the golden ratio; the bench also
+sweeps x to show the adversary's payoff peaks at x = φ.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import (
+    BestFitPacker,
+    ClassifyByDepartureFirstFit,
+    ClassifyByDurationFirstFit,
+    FirstFitPacker,
+    NextFitPacker,
+    WorstFitPacker,
+)
+from repro.analysis import render_series, render_table
+from repro.bounds import GOLDEN_RATIO, theorem3_instance
+
+TAU = 1e-9
+
+
+def adversary_ratio_against(packer) -> float:
+    inst = theorem3_instance(tau=TAU)
+    res_a = packer.pack(inst.case_a)
+    if res_a.assignment[0] == res_a.assignment[1]:
+        return packer.pack(inst.case_b).total_usage() / inst.opt_b
+    return res_a.total_usage() / inst.opt_a
+
+
+def run_experiment():
+    packers = [
+        FirstFitPacker(),
+        BestFitPacker(),
+        WorstFitPacker(),
+        NextFitPacker(),
+        ClassifyByDepartureFirstFit(rho=1.0),
+        ClassifyByDurationFirstFit(alpha=1.5),
+    ]
+    rows = [
+        {
+            "algorithm": p.describe(),
+            "adversary ratio": adversary_ratio_against(p),
+            "floor (1+sqrt5)/2": GOLDEN_RATIO,
+        }
+        for p in packers
+    ]
+    xs = [1.2, 1.4, GOLDEN_RATIO, 1.8, 2.0, 2.5]
+    payoff = []
+    for x in xs:
+        inst = theorem3_instance(x=x, tau=TAU)
+        payoff.append(min(inst.adversary_ratio(True), inst.adversary_ratio(False)))
+    return rows, xs, payoff
+
+
+def test_thm3_lower_bound(benchmark, report):
+    rows, xs, payoff = run_experiment()
+    benchmark(lambda: adversary_ratio_against(FirstFitPacker()))
+    text = render_table(
+        rows,
+        title="[THM3/FIG5] Theorem 3 adversary vs online packers",
+        precision=6,
+    )
+    text += "\n\n" + render_series(
+        "x",
+        xs,
+        {"adversary guaranteed payoff min{(x+1)/x,(2x+1)/(x+1)}": payoff},
+        precision=6,
+        title="[THM3] payoff peaks at x = golden ratio",
+    )
+    report(text)
+    for row in rows:
+        assert row["adversary ratio"] >= GOLDEN_RATIO - 1e-6
+    best = max(payoff)
+    assert payoff[xs.index(GOLDEN_RATIO)] == best

@@ -1,0 +1,103 @@
+"""THM4 — classify-by-departure-time First Fit (paper §5.2).
+
+Two measurements on bounded-μ workloads:
+
+* a ρ-sweep at fixed μ showing the measured ratio stays below the bound
+  ρ/Δ + μΔ/ρ + 3 for every ρ (and that the bound's minimum sits at √μ·Δ);
+* a μ-sweep at the optimal ρ, comparing measured ratios against both the
+  2√μ+3 clairvoyant bound and plain First Fit's μ+4, plus both algorithms'
+  measured ratios on the retention adversary where the gap materialises.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import ClassifyByDepartureFirstFit, FirstFitPacker
+from repro.analysis import measured_ratio, render_table
+from repro.bounds import (
+    classify_departure_ratio,
+    classify_departure_ratio_known,
+    first_fit_ratio,
+    optimal_rho,
+    retention_instance,
+)
+from repro.workloads import bounded_mu
+
+MU = 16.0
+DELTA = 1.0
+SEEDS = [0, 1, 2]
+
+
+def rho_sweep_rows():
+    rho_star = optimal_rho(MU, DELTA)
+    rows = []
+    for factor in (0.25, 0.5, 1.0, 2.0, 4.0):
+        rho = factor * rho_star
+        ratios = []
+        for seed in SEEDS:
+            items = bounded_mu(60, seed=seed, mu=MU, min_duration=DELTA)
+            m = measured_ratio(
+                ClassifyByDepartureFirstFit(rho=rho), items, exact_opt_max_items=80
+            )
+            ratios.append(m.ratio)
+        rows.append(
+            {
+                "rho/rho*": factor,
+                "rho": rho,
+                "measured ratio (mean)": sum(ratios) / len(ratios),
+                "theorem 4 bound": classify_departure_ratio(MU, DELTA, rho),
+            }
+        )
+    return rows
+
+
+def mu_sweep_rows():
+    rows = []
+    for mu in (2.0, 4.0, 16.0, 64.0):
+        cd_ratios, ff_ratios = [], []
+        for seed in SEEDS:
+            items = bounded_mu(60, seed=seed, mu=mu, min_duration=DELTA)
+            cd = ClassifyByDepartureFirstFit.with_known_durations(DELTA, mu)
+            cd_ratios.append(measured_ratio(cd, items, exact_opt_max_items=80).ratio)
+            ff_ratios.append(
+                measured_ratio(FirstFitPacker(), items, exact_opt_max_items=80).ratio
+            )
+        adv = retention_instance(mu=mu, phases=20)
+        adv_cd = measured_ratio(
+            ClassifyByDepartureFirstFit.with_known_durations(DELTA, mu), adv
+        ).ratio
+        adv_ff = measured_ratio(FirstFitPacker(), adv).ratio
+        rows.append(
+            {
+                "mu": mu,
+                "classify-dep ratio (rand)": sum(cd_ratios) / len(cd_ratios),
+                "bound 2sqrt(mu)+3": classify_departure_ratio_known(mu),
+                "first-fit ratio (rand)": sum(ff_ratios) / len(ff_ratios),
+                "ff bound mu+4": first_fit_ratio(mu),
+                "classify-dep ratio (adv)": adv_cd,
+                "first-fit ratio (adv)": adv_ff,
+            }
+        )
+    return rows
+
+
+def test_thm4_classify_departure(benchmark, report):
+    rho_rows = rho_sweep_rows()
+    mu_rows = mu_sweep_rows()
+    items = bounded_mu(60, seed=0, mu=MU, min_duration=DELTA)
+    packer = ClassifyByDepartureFirstFit.with_known_durations(DELTA, MU)
+    benchmark(lambda: packer.pack(items))
+    text = render_table(
+        rho_rows, title=f"[THM4] rho sweep at mu={MU} (bound minimised at rho*=sqrt(mu)*delta)"
+    )
+    text += "\n\n" + render_table(
+        mu_rows, title="[THM4] mu sweep at optimal rho; (adv) = retention adversary"
+    )
+    report(text)
+    for row in rho_rows:
+        assert row["measured ratio (mean)"] <= row["theorem 4 bound"] + 1e-9
+    for row in mu_rows:
+        assert row["classify-dep ratio (rand)"] <= row["bound 2sqrt(mu)+3"] + 1e-9
+        assert row["classify-dep ratio (adv)"] <= row["bound 2sqrt(mu)+3"] + 1e-9
+        if row["mu"] >= 16.0:
+            # On the adversary, classification beats First Fit decisively.
+            assert row["classify-dep ratio (adv)"] < row["first-fit ratio (adv)"]

@@ -1,0 +1,123 @@
+"""THM5 — classify-by-duration First Fit (paper §5.3).
+
+Measurements on bounded-μ workloads:
+
+* an n-sweep at fixed μ (α = μ^{1/n}) showing measured ratios under the
+  bound μ^{1/n} + n + 3 for every n, with the bound's optimal n matching
+  :func:`optimal_num_duration_classes`;
+* a μ-sweep at the optimal n against plain First Fit, random and adversarial;
+* the §5.3 remark: our bound α+⌈log_α μ⌉+4 vs BucketFirstFit's
+  (2α+2)·⌈log_α μ⌉ from Shalom et al. [23].
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import ClassifyByDurationFirstFit, FirstFitPacker
+from repro.analysis import measured_ratio, render_table
+from repro.bounds import (
+    bucket_first_fit_ratio,
+    classify_duration_ratio,
+    classify_duration_ratio_known,
+    first_fit_ratio,
+    optimal_num_duration_classes,
+    retention_instance,
+)
+from repro.workloads import bounded_mu
+
+MU = 16.0
+DELTA = 1.0
+SEEDS = [0, 1, 2]
+
+
+def n_sweep_rows():
+    rows = []
+    for n in (1, 2, 3, 4, 6):
+        ratios = []
+        for seed in SEEDS:
+            items = bounded_mu(60, seed=seed, mu=MU, min_duration=DELTA)
+            packer = ClassifyByDurationFirstFit.with_known_durations(DELTA, MU, n=n)
+            ratios.append(
+                measured_ratio(packer, items, exact_opt_max_items=80).ratio
+            )
+        rows.append(
+            {
+                "n": n,
+                "alpha": MU ** (1.0 / n),
+                "measured ratio (mean)": sum(ratios) / len(ratios),
+                "bound mu^(1/n)+n+3": classify_duration_ratio_known(MU, n=n),
+            }
+        )
+    return rows
+
+
+def mu_sweep_rows():
+    rows = []
+    for mu in (2.0, 4.0, 16.0, 64.0):
+        cd_ratios, ff_ratios = [], []
+        for seed in SEEDS:
+            items = bounded_mu(60, seed=seed, mu=mu, min_duration=DELTA)
+            cd = ClassifyByDurationFirstFit.with_known_durations(DELTA, mu)
+            cd_ratios.append(measured_ratio(cd, items, exact_opt_max_items=80).ratio)
+            ff_ratios.append(
+                measured_ratio(FirstFitPacker(), items, exact_opt_max_items=80).ratio
+            )
+        adv = retention_instance(mu=mu, phases=20)
+        adv_cd = measured_ratio(
+            ClassifyByDurationFirstFit.with_known_durations(DELTA, mu), adv
+        ).ratio
+        adv_ff = measured_ratio(FirstFitPacker(), adv).ratio
+        rows.append(
+            {
+                "mu": mu,
+                "n*": optimal_num_duration_classes(mu),
+                "classify-dur ratio (rand)": sum(cd_ratios) / len(cd_ratios),
+                "bound min_n": classify_duration_ratio_known(mu),
+                "first-fit ratio (rand)": sum(ff_ratios) / len(ff_ratios),
+                "ff bound mu+4": first_fit_ratio(mu),
+                "classify-dur ratio (adv)": adv_cd,
+                "first-fit ratio (adv)": adv_ff,
+            }
+        )
+    return rows
+
+
+def bucket_comparison_rows():
+    rows = []
+    for mu in (4.0, 16.0, 64.0, 256.0):
+        for alpha in (2.0, 4.0):
+            rows.append(
+                {
+                    "mu": mu,
+                    "alpha": alpha,
+                    "ours: alpha+ceil(log)+4": classify_duration_ratio(mu, alpha),
+                    "BucketFirstFit: (2a+2)ceil(log)": bucket_first_fit_ratio(mu, alpha),
+                }
+            )
+    return rows
+
+
+def test_thm5_classify_duration(benchmark, report):
+    n_rows = n_sweep_rows()
+    mu_rows = mu_sweep_rows()
+    bucket_rows = bucket_comparison_rows()
+    items = bounded_mu(60, seed=0, mu=MU, min_duration=DELTA)
+    packer = ClassifyByDurationFirstFit.with_known_durations(DELTA, MU)
+    benchmark(lambda: packer.pack(items))
+    text = render_table(n_rows, title=f"[THM5] n sweep at mu={MU}")
+    text += "\n\n" + render_table(
+        mu_rows, title="[THM5] mu sweep at optimal n; (adv) = retention adversary"
+    )
+    text += "\n\n" + render_table(
+        bucket_rows,
+        title="[THM5/§5.3 remark] our bound vs BucketFirstFit (Shalom et al.)",
+    )
+    report(text)
+    for row in n_rows:
+        assert row["measured ratio (mean)"] <= row["bound mu^(1/n)+n+3"] + 1e-9
+    for row in mu_rows:
+        assert row["classify-dur ratio (rand)"] <= row["bound min_n"] + 1e-9
+        assert row["classify-dur ratio (adv)"] <= row["bound min_n"] + 1e-9
+        if row["mu"] >= 16.0:
+            assert row["classify-dur ratio (adv)"] < row["first-fit ratio (adv)"]
+    for row in bucket_rows:
+        assert row["ours: alpha+ceil(log)+4"] < row["BucketFirstFit: (2a+2)ceil(log)"]

@@ -1,0 +1,38 @@
+"""Shared infrastructure for the experiment benches.
+
+Each bench regenerates one exhibit of the paper (a figure, a theorem's bound,
+or a motivating comparison).  Benches do two things:
+
+* time a representative operation through the ``benchmark`` fixture (so
+  ``pytest benchmarks/ --benchmark-only`` gives a performance table), and
+* emit the experiment's data table through the ``report`` fixture, which
+  prints it live (bypassing pytest capture) and appends it to
+  ``benchmarks/results.txt`` so EXPERIMENTS.md can quote one canonical file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_FILE = Path(__file__).parent / "results.txt"
+
+
+def pytest_sessionstart(session):
+    # Fresh results file per bench session.
+    if RESULTS_FILE.exists():
+        RESULTS_FILE.unlink()
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment output live and append it to the results file."""
+
+    def emit(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+        with RESULTS_FILE.open("a") as fh:
+            fh.write(text + "\n\n")
+
+    return emit

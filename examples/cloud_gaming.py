@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Cloud gaming scenario — the paper's first motivating application (§1).
+
+Run:
+    python examples/cloud_gaming.py
+
+Game sessions arrive following a diurnal pattern; session lengths are
+predictable, so the dispatcher is *clairvoyant*.  This example compares
+server rental costs (exact and hourly-billed) of the non-clairvoyant First
+Fit dispatcher against the paper's two classification strategies, over a
+three-day horizon.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import (
+    ClassifyByDepartureFirstFit,
+    ClassifyByDurationFirstFit,
+    FirstFitPacker,
+)
+from repro.analysis import render_table
+from repro.bounds import best_lower_bound
+from repro.cloud import compare_policies_on_items
+from repro.simulation import PER_HOUR, PER_MINUTE
+from repro.workloads import gaming_sessions
+
+
+def main() -> None:
+    sessions = gaming_sessions(
+        1500,
+        seed=2016,
+        horizon_hours=72.0,
+        mean_session_hours=1.0,
+        session_clip_hours=(0.25, 6.0),
+        peak_to_trough=4.0,
+    )
+    mu = sessions.mu()
+    delta = sessions.min_duration()
+    print(
+        f"{len(sessions)} game sessions over 72h; session lengths "
+        f"{delta:.2f}h - {sessions.max_duration():.2f}h (mu = {mu:.1f})"
+    )
+    print(f"lower bound on any schedule: {best_lower_bound(sessions):.1f} server-hours\n")
+
+    policies = [
+        FirstFitPacker(),  # non-clairvoyant baseline
+        ClassifyByDepartureFirstFit.with_known_durations(delta, mu),
+        ClassifyByDurationFirstFit.with_known_durations(delta, mu),
+    ]
+    reports = compare_policies_on_items(
+        sessions, policies, billings=[PER_MINUTE, PER_HOUR]
+    )
+    print(
+        render_table(
+            [r.as_dict() for r in reports],
+            title="Dispatcher policies on the benign diurnal workload",
+            precision=1,
+        )
+    )
+    base = reports[0].usage_time
+    print("\ncost relative to non-clairvoyant First Fit (negative = cheaper):")
+    for r in reports[1:]:
+        print(f"  {r.policy:40s} {100 * (r.usage_time / base - 1):+5.1f}%")
+    print(
+        "\nOn a steadily loaded workload plain First Fit is hard to beat —\n"
+        "classification guards the WORST case, which is what comes next."
+    )
+
+    # ------------------------------------------------------------------
+    # Part 2: the pathological pattern the theory protects against.
+    # A handful of marathon sessions arrive during launch spikes; First Fit
+    # parks each one on a busy server, which must then stay rented for hours
+    # after the spike drains (the "retention" trap behind the mu+1 Any Fit
+    # lower bound).  Clairvoyant classification isolates them.
+    # ------------------------------------------------------------------
+    from repro.bounds import retention_instance
+
+    spikes = retention_instance(mu=48.0, phases=24, base_duration=0.5)
+    mu2, delta2 = spikes.mu(), spikes.min_duration()
+    reports2 = compare_policies_on_items(
+        spikes,
+        [
+            FirstFitPacker(),
+            ClassifyByDepartureFirstFit.with_known_durations(delta2, mu2),
+            ClassifyByDurationFirstFit.with_known_durations(delta2, mu2),
+        ],
+        billings=[PER_HOUR],
+    )
+    print()
+    print(
+        render_table(
+            [r.as_dict() for r in reports2],
+            title="Same policies on launch-spike + marathon-session pattern",
+            precision=1,
+        )
+    )
+    base2 = reports2[0].usage_time
+    for r in reports2[1:]:
+        print(f"  {r.policy:40s} {100 * (r.usage_time / base2 - 1):+5.1f}% vs First Fit")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Recurring data-analytics jobs — the paper's second motivating app (§1).
+
+Run:
+    python examples/data_analytics.py
+
+Recurring jobs (ETL pipelines, report builders) have predictable runtimes,
+which is exactly the clairvoyance the paper exploits.  This example builds a
+recurring-job workload from templates, schedules it through the
+:class:`repro.cloud.CloudScheduler` with imperfect runtime predictions, and
+shows how prediction error affects the clairvoyant policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import ClassifyByDurationFirstFit, FirstFitPacker
+from repro.analysis import render_table
+from repro.cloud import CloudScheduler, Job, items_to_jobs
+from repro.workloads import random_templates, recurring_jobs
+
+
+def with_noisy_predictions(jobs: list[Job], sigma: float, seed: int) -> list[Job]:
+    """Jobs whose predicted duration errs by a log-normal factor."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for job in jobs:
+        factor = float(np.exp(rng.normal(0.0, sigma)))
+        out.append(
+            Job(
+                job.job_id,
+                job.demand,
+                job.arrival,
+                job.duration,
+                predicted_duration=job.duration * factor,
+                tags=dict(job.tags),
+            )
+        )
+    return out
+
+
+def main() -> None:
+    templates = random_templates(
+        12, seed=7, period_range=(4.0, 24.0), runtime_range=(0.5, 4.0)
+    )
+    items = recurring_jobs(templates, horizon=7 * 24.0, seed=7)
+    jobs = items_to_jobs(items, server_capacity=1.0)
+    print(f"{len(jobs)} recurring-job runs from {len(templates)} templates over one week\n")
+
+    rows = []
+    for sigma in (0.0, 0.2, 0.5, 1.0):
+        noisy = with_noisy_predictions(jobs, sigma, seed=11)
+        ff = CloudScheduler(FirstFitPacker()).schedule(noisy)
+        cd = CloudScheduler(ClassifyByDurationFirstFit(alpha=2.0)).schedule(noisy)
+        rows.append(
+            {
+                "prediction noise sigma": sigma,
+                "first-fit usage": ff.usage_time,
+                "classify-duration usage": cd.usage_time,
+                "clairvoyant saving %": 100.0 * (1 - cd.usage_time / ff.usage_time),
+            }
+        )
+    print(
+        render_table(
+            rows,
+            title="Effect of runtime-prediction error (non-clairvoyant FF is noise-immune)",
+            precision=1,
+        )
+    )
+    print(
+        "\nNote: First Fit ignores predictions entirely, so its cost is flat;\n"
+        "classification's advantage erodes as predictions degrade (paper §6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

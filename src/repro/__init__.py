@@ -1,0 +1,100 @@
+"""repro — Clairvoyant MinUsageTime Dynamic Bin Packing.
+
+A production-quality reproduction of Ren & Tang, *"Clairvoyant Dynamic Bin
+Packing for Job Scheduling with Minimum Server Usage Time"*, SPAA 2016.
+
+Quickstart::
+
+    from repro import uniform_random, get_packer, opt_total
+
+    items = uniform_random(100, seed=7)
+    result = get_packer("classify-duration", alpha=2.0).pack(items)
+    result.validate()
+    print(result.total_usage(), opt_total(items))
+
+Subpackages:
+
+* :mod:`repro.core` — items, bins, intervals, step functions, packings;
+* :mod:`repro.algorithms` — the paper's algorithms and all baselines;
+* :mod:`repro.bounds` — OPT lower bounds, ratio formulas, adversaries;
+* :mod:`repro.workloads` — synthetic workload generators and traces;
+* :mod:`repro.simulation` — event-driven execution and billing;
+* :mod:`repro.cloud` — the job/server scheduling application layer;
+* :mod:`repro.analysis` — ratio sweeps, tables and the noise study;
+* :mod:`repro.extensions` — multi-resource and flexible-job extensions.
+"""
+
+from .algorithms import (
+    BestFitPacker,
+    ClassifyByDepartureFirstFit,
+    ClassifyByDurationFirstFit,
+    CombinedClassifyFirstFit,
+    DualColoringPacker,
+    DurationDescendingFirstFit,
+    FirstFitPacker,
+    HybridFirstFitPacker,
+    NextFitPacker,
+    available_packers,
+    bin_packing_min_bins,
+    get_packer,
+    opt_total,
+    optimal_packing,
+)
+from .bounds import (
+    GOLDEN_RATIO,
+    OptBounds,
+    best_lower_bound,
+    theorem3_instance,
+)
+from .core import (
+    Bin,
+    Interval,
+    Item,
+    ItemList,
+    PackingResult,
+    StepFunction,
+)
+from .workloads import (
+    bounded_mu,
+    bursty,
+    gaming_sessions,
+    poisson_exponential,
+    recurring_jobs,
+    uniform_random,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BestFitPacker",
+    "ClassifyByDepartureFirstFit",
+    "ClassifyByDurationFirstFit",
+    "CombinedClassifyFirstFit",
+    "DualColoringPacker",
+    "DurationDescendingFirstFit",
+    "FirstFitPacker",
+    "HybridFirstFitPacker",
+    "NextFitPacker",
+    "available_packers",
+    "bin_packing_min_bins",
+    "get_packer",
+    "opt_total",
+    "optimal_packing",
+    "GOLDEN_RATIO",
+    "OptBounds",
+    "best_lower_bound",
+    "theorem3_instance",
+    "Bin",
+    "Interval",
+    "Item",
+    "ItemList",
+    "PackingResult",
+    "StepFunction",
+    "bounded_mu",
+    "bursty",
+    "gaming_sessions",
+    "poisson_exponential",
+    "recurring_jobs",
+    "uniform_random",
+    "__version__",
+]

@@ -1,0 +1,89 @@
+"""Packing algorithms: the paper's contribution plus all baselines.
+
+Offline (Clairvoyant MinUsageTime DBP, §4):
+
+* :class:`DurationDescendingFirstFit` — 5-approximation (Theorem 1).
+* :class:`DualColoringPacker` — 4-approximation (Theorem 2).
+
+Online clairvoyant (§5):
+
+* :class:`ClassifyByDepartureFirstFit` — ratio ρ/Δ + μΔ/ρ + 3 (Theorem 4).
+* :class:`ClassifyByDurationFirstFit` — ratio α + ⌈log_α μ⌉ + 4 (Theorem 5).
+* :class:`CombinedClassifyFirstFit` — the §5.4 future-work combination.
+
+Non-clairvoyant baselines:
+
+* :class:`FirstFitPacker` (μ+4 [24]), :class:`BestFitPacker` (unbounded),
+  :class:`NextFitPacker` (2μ+1 [13]), :class:`WorstFitPacker`,
+  :class:`LastFitPacker`, :class:`RandomFitPacker`,
+  :class:`HybridFirstFitPacker` (Li et al. [17]).
+
+Exact solvers: :func:`bin_packing_min_bins`, :func:`opt_total` (the repacking
+adversary), :func:`optimal_packing` (tiny-instance true optimum).
+"""
+
+from .anyfit import (
+    AnyFitPacker,
+    BestFitPacker,
+    FirstFitPacker,
+    LastFitPacker,
+    NextFitPacker,
+    RandomFitPacker,
+    WorstFitPacker,
+)
+from .base import (
+    OfflinePacker,
+    OnlinePacker,
+    Packer,
+    available_packers,
+    get_packer,
+    register_packer,
+)
+from .classified import ClassifiedFirstFit
+from .classify_departure import ClassifyByDepartureFirstFit
+from .classify_duration import ClassifyByDurationFirstFit, duration_category
+from .combined import CombinedClassifyFirstFit
+from .dual_coloring import DemandChart, DualColoringPacker, Placement
+from .duration_descending import DurationDescendingFirstFit
+from .hybrid_first_fit import HybridFirstFitPacker
+from .postopt import DualColoringMergedPacker, merge_bins
+from .usage_aware import UsageAwareFitPacker
+from .optimal import (
+    bin_packing_min_bins,
+    brute_force_min_usage,
+    opt_total,
+    optimal_packing,
+)
+
+__all__ = [
+    "AnyFitPacker",
+    "BestFitPacker",
+    "FirstFitPacker",
+    "LastFitPacker",
+    "NextFitPacker",
+    "RandomFitPacker",
+    "WorstFitPacker",
+    "OfflinePacker",
+    "OnlinePacker",
+    "Packer",
+    "available_packers",
+    "get_packer",
+    "register_packer",
+    "ClassifiedFirstFit",
+    "ClassifyByDepartureFirstFit",
+    "ClassifyByDurationFirstFit",
+    "duration_category",
+    "CombinedClassifyFirstFit",
+    "DemandChart",
+    "DualColoringPacker",
+    "Placement",
+    "DurationDescendingFirstFit",
+    "HybridFirstFitPacker",
+    "UsageAwareFitPacker",
+    "DualColoringMergedPacker",
+    "merge_bins",
+    "bin_packing_min_bins",
+    "brute_force_min_usage",
+    "opt_total",
+    "optimal_packing",
+]

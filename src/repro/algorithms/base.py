@@ -1,0 +1,167 @@
+"""Packer base classes and the algorithm registry.
+
+Two families of packers exist, mirroring the paper's offline/online split:
+
+* :class:`OfflinePacker` sees the whole :class:`~repro.core.ItemList` at once
+  and may process items in any order (e.g. Duration Descending First Fit,
+  Dual Coloring).
+* :class:`OnlinePacker` must place items irrevocably in arrival order.  In the
+  *clairvoyant* setting the packer may read each item's departure time when
+  placing it; non-clairvoyant baselines simply never look at it.
+
+Every packer produces a :class:`~repro.core.PackingResult`.  The registry maps
+stable string names to packer factories so benches and the cloud scheduler can
+be configured by name.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable
+
+from ..core.bins import Bin
+from ..core.items import Item, ItemList
+from ..core.packing import PackingResult
+
+__all__ = [
+    "Packer",
+    "OfflinePacker",
+    "OnlinePacker",
+    "register_packer",
+    "get_packer",
+    "available_packers",
+]
+
+
+class Packer(abc.ABC):
+    """Common interface of all packing algorithms."""
+
+    #: Stable machine-readable algorithm name (set by subclasses).
+    name: str = "packer"
+
+    @abc.abstractmethod
+    def pack(self, items: ItemList) -> PackingResult:
+        """Pack all items, returning the resulting assignment."""
+
+    def describe(self) -> str:
+        """Human-readable one-line description (name + parameters)."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class OfflinePacker(Packer):
+    """A packer allowed to inspect the whole item list before placing."""
+
+    def pack(self, items: ItemList) -> PackingResult:
+        assignment = self._assign(items)
+        return PackingResult(items, assignment, algorithm=self.describe())
+
+    @abc.abstractmethod
+    def _assign(self, items: ItemList) -> dict[int, int]:
+        """Compute the item-id → bin-index assignment."""
+
+
+class OnlinePacker(Packer):
+    """A packer that places items one at a time, in arrival order.
+
+    Subclasses implement :meth:`place`, which must decide irrevocably where
+    the presented item goes.  The base class manages the shared pool of bins
+    (``self._bins``) and the opening counter; :meth:`open_bin` creates a new
+    bin with the next index.
+
+    The driver presents items in arrival order (ties broken by item id,
+    matching :func:`repro.core.event_stream`).  A fresh :meth:`reset` happens
+    at the start of each :meth:`pack`, so a packer instance is reusable.
+    """
+
+    def __init__(self) -> None:
+        self._bins: list[Bin] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear all state before packing a new item list."""
+        self._bins = []
+
+    def pack(self, items: ItemList) -> PackingResult:
+        self.reset()
+        assignment: dict[int, int] = {}
+        for item in items:  # ItemList iterates in arrival order
+            assignment[item.id] = self.place(item)
+        return PackingResult(items, assignment, algorithm=self.describe())
+
+    def pack_stream(self, items: Iterable[Item]) -> dict[int, int]:
+        """Pack an already-ordered stream without building a result object.
+
+        Used by the event-driven simulator, which interleaves its own
+        bookkeeping between placements.  The caller is responsible for
+        calling :meth:`reset` first and for arrival ordering.
+        """
+        return {item.id: self.place(item) for item in items}
+
+    # -- bin pool ----------------------------------------------------------------
+
+    @property
+    def bins(self) -> list[Bin]:
+        """All bins ever opened, in opening order."""
+        return self._bins
+
+    def open_bin(self) -> Bin:
+        """Open a fresh bin with the next index and return it."""
+        b = Bin(len(self._bins))
+        self._bins.append(b)
+        return b
+
+    def open_bins_at(self, t: float) -> list[Bin]:
+        """Bins with at least one item active at ``t``, in opening order.
+
+        A bin whose items have all departed is *closed* (paper §5) and is
+        never considered for new placements — re-using it would cost the same
+        as a new bin and would muddle the analysis.
+        """
+        return [b for b in self._bins if b.is_open_at(t)]
+
+    # -- the decision ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def place(self, item: Item) -> int:
+        """Choose a bin for ``item`` and commit it; return the bin index."""
+
+
+# -- registry ------------------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[..., Packer]] = {}
+
+
+def register_packer(name: str) -> Callable[[Callable[..., Packer]], Callable[..., Packer]]:
+    """Class decorator registering a packer factory under ``name``."""
+
+    def deco(factory: Callable[..., Packer]) -> Callable[..., Packer]:
+        if name in _REGISTRY:
+            raise ValueError(f"packer name already registered: {name}")
+        _REGISTRY[name] = factory
+        return factory
+
+    return deco
+
+
+def get_packer(name: str, **kwargs: object) -> Packer:
+    """Instantiate a registered packer by name.
+
+    Raises:
+        KeyError: for unknown names; the message lists what is available.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown packer {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_packers() -> list[str]:
+    """Sorted names of all registered packers."""
+    return sorted(_REGISTRY)

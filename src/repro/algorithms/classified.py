@@ -1,0 +1,67 @@
+"""Shared machinery for classification-based online First Fit packers.
+
+The paper's two online strategies (§5.2, §5.3) both classify items into
+categories at arrival time and run First Fit *within each category* —
+bins are never shared across categories.  :class:`ClassifiedFirstFit`
+implements that skeleton; subclasses supply :meth:`category_of`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..core.bins import Bin
+from ..core.items import Item
+from .base import OnlinePacker
+
+__all__ = ["ClassifiedFirstFit"]
+
+
+class ClassifiedFirstFit(OnlinePacker):
+    """Online First Fit applied separately within item categories.
+
+    Bin indices stay globally unique (the packing's opening order across all
+    categories), while each category only considers its own bins — exactly
+    the model under which Theorems 4 and 5 are proved.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._category_bins: dict[object, list[Bin]] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._category_bins = {}
+
+    @abc.abstractmethod
+    def category_of(self, item: Item) -> object:
+        """The (hashable) category key of ``item``, decided at its arrival.
+
+        May use the item's departure time/duration — that is precisely the
+        clairvoyant information this paper exploits.
+        """
+
+    def place(self, item: Item) -> int:
+        key = self.category_of(item)
+        bins = self._category_bins.setdefault(key, [])
+        t = item.arrival
+        for b in bins:  # opening order within the category = First Fit
+            if b.is_open_at(t) and b.fits_at_arrival(item):
+                b.place(item, check=False)
+                return b.index
+        b = self.open_bin()
+        bins.append(b)
+        b.place(item, check=False)
+        return b.index
+
+    def categories_used(self) -> list[object]:
+        """Category keys that received at least one item (after a pack)."""
+        return sorted(self._category_bins, key=repr)
+
+    def category_bins(self) -> dict[object, list[Bin]]:
+        """Bins per category, in opening order (after a pack).
+
+        Exposed for the proof-instrumentation analyses (e.g. the Theorem 4
+        stage decomposition needs each category's own bin sequence).
+        """
+        return {k: list(v) for k, v in self._category_bins.items()}

@@ -1,0 +1,518 @@
+"""Dual Coloring — offline 4-approximation (paper §4.2, Theorem 2).
+
+The algorithm splits items into a *large* group (size > 1/2) and a *small*
+group (size ≤ 1/2).  Large items are packed by plain (arrival-order) First
+Fit — any feasible packing works for the analysis, since no two concurrent
+large items can share a bin.  Small items go through two phases:
+
+* **Phase 1 — item placement in the demand chart.**  The demand chart's
+  height at time ``t`` is the total size ``S_S(t)`` of active small items.
+  Altitudes are examined from high to low; at each altitude the horizontal
+  line decomposes into red / blue / uncolored maximal intervals, and items
+  are placed (colored red) into uncolored intervals under the paper's
+  eligibility rule, or the area below is colored blue.  The paper proves
+  (Lemmas 2–5) that afterwards every small item is placed inside the chart
+  and no three placed items overlap.
+
+* **Phase 2 — stripe packing.**  The chart is cut into horizontal stripes of
+  height 1/2.  Items lying within stripe ``k`` share one bin; items crossing
+  the boundary ``k/2`` share another.  Lemma 5 plus size ≤ 1/2 makes both
+  kinds of bins feasible.
+
+The altitude bookkeeping of Phase 1 relies on *exact* equality of sums and
+differences of item sizes, so this module converts all sizes and times to
+:class:`fractions.Fraction` (exact for every float) and computes exactly,
+converting back only when emitting the assignment.
+
+Guarantee (Theorem 2): at any time the number of open bins is at most
+``4·⌈S(t)⌉``, hence total usage ≤ 4·OPT_total(R).  Both facts are asserted by
+the property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from heapq import heappop, heappush
+from typing import Iterable, Sequence
+
+from ..core.exceptions import ReproError
+from ..core.items import Item, ItemList
+from .base import OfflinePacker, register_packer
+
+__all__ = ["DualColoringPacker", "DemandChart", "Placement"]
+
+FPair = tuple[Fraction, Fraction]  # half-open interval [left, right)
+
+
+def _fceil(x: Fraction) -> int:
+    """Exact ceiling of a Fraction."""
+    return -((-x.numerator) // x.denominator)
+
+
+# ---------------------------------------------------------------------------
+# Exact interval-list helpers (sorted, disjoint, half-open Fraction intervals)
+# ---------------------------------------------------------------------------
+
+
+def _normalize(intervals: Iterable[FPair], presorted: bool = False) -> list[FPair]:
+    """Sort and merge touching/overlapping intervals.
+
+    ``presorted=True`` skips the sort — Fraction comparisons dominate the
+    algorithm's profile, and most callers already hold sorted lists.
+    """
+    if presorted:
+        ivs = [iv for iv in intervals if iv[1] > iv[0]]
+    else:
+        ivs = sorted(iv for iv in intervals if iv[1] > iv[0])
+    out: list[FPair] = []
+    for left, right in ivs:
+        if out and left <= out[-1][1]:
+            if right > out[-1][1]:
+                out[-1] = (out[-1][0], right)
+        else:
+            out.append((left, right))
+    return out
+
+
+def _merge_sorted(a: Sequence[FPair], b: Sequence[FPair]) -> list[FPair]:
+    """Union of two *sorted, disjoint* interval lists (linear merge)."""
+    out: list[FPair] = []
+    i = j = 0
+    while i < len(a) or j < len(b):
+        if j >= len(b) or (i < len(a) and a[i][0] <= b[j][0]):
+            nxt = a[i]
+            i += 1
+        else:
+            nxt = b[j]
+            j += 1
+        if out and nxt[0] <= out[-1][1]:
+            if nxt[1] > out[-1][1]:
+                out[-1] = (out[-1][0], nxt[1])
+        else:
+            out.append(nxt)
+    return out
+
+
+def _subtract(base: Sequence[FPair], holes: Sequence[FPair]) -> list[FPair]:
+    """Set difference ``base \\ holes``; both lists must be normalized."""
+    out: list[FPair] = []
+    for left, right in base:
+        cur = left
+        for h_left, h_right in holes:
+            if h_right <= cur:
+                continue
+            if h_left >= right:
+                break
+            if h_left > cur:
+                out.append((cur, h_left))
+            cur = max(cur, h_right)
+            if cur >= right:
+                break
+        if cur < right:
+            out.append((cur, right))
+    return out
+
+
+def _intersects(a: FPair, b: FPair) -> bool:
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def _intersection(a: FPair, b: FPair) -> FPair | None:
+    left = max(a[0], b[0])
+    right = min(a[1], b[1])
+    return (left, right) if right > left else None
+
+
+# ---------------------------------------------------------------------------
+# Demand chart
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class _FracItem:
+    """A small item with exact coordinates."""
+
+    id: int
+    size: Fraction
+    left: Fraction
+    right: Fraction
+
+    @property
+    def interval(self) -> FPair:
+        return (self.left, self.right)
+
+
+#: Guard band for float-first comparisons of exact quantities.  All compared
+#: values are sums of at most a few thousand unit-bounded sizes, so their
+#: float images err by ≪ 1e-10; differences beyond the band are decided by
+#: the floats, ties fall back to exact Fraction comparison.
+_FLOAT_GUARD = 1e-9
+
+
+class DemandChart:
+    """Exact piecewise-constant height profile ``S_S(t)`` of the small items."""
+
+    def __init__(self, items: Sequence[_FracItem]) -> None:
+        deltas: dict[Fraction, Fraction] = {}
+        for it in items:
+            deltas[it.left] = deltas.get(it.left, Fraction(0)) + it.size
+            deltas[it.right] = deltas.get(it.right, Fraction(0)) - it.size
+        times = sorted(deltas)
+        #: (left, right, height) segments, heights exact; zero-height segments kept.
+        self.segments: list[tuple[Fraction, Fraction, Fraction]] = []
+        level = Fraction(0)
+        for i, t in enumerate(times[:-1]):
+            level += deltas[t]
+            self.segments.append((t, times[i + 1], level))
+        #: Float images of segment heights for the comparison fast path.
+        self._heights_float: list[float] = [float(h) for _, _, h in self.segments]
+
+    def heights(self) -> set[Fraction]:
+        """All distinct positive heights (the initial altitude set ``M``)."""
+        return {h for _, _, h in self.segments if h > 0}
+
+    def max_height(self) -> Fraction:
+        """``max_t S_S(t)``."""
+        if not self.segments:
+            return Fraction(0)
+        return max(h for _, _, h in self.segments)
+
+    def line_at(self, altitude: Fraction) -> list[FPair]:
+        """Maximal time intervals where the chart reaches ``altitude``.
+
+        A point ``(t, altitude)`` lies in the chart iff ``S_S(t) >= altitude``
+        (the chart occupies altitudes ``(0, S_S(t)]``).
+        """
+        alt_f = float(altitude)
+        selected = []
+        for (left, right, h), h_f in zip(self.segments, self._heights_float):
+            if h_f >= alt_f + _FLOAT_GUARD:
+                selected.append((left, right))
+            elif h_f > alt_f - _FLOAT_GUARD and h >= altitude:  # exact tie-break
+                selected.append((left, right))
+        return _normalize(selected, presorted=True)  # segments are in time order
+
+    def height_covers(self, interval: FPair, altitude: Fraction) -> bool:
+        """True iff ``S_S(t) >= altitude`` for all ``t`` in ``interval``."""
+        remaining = _subtract([interval], self.line_at(altitude))
+        return not remaining
+
+
+# ---------------------------------------------------------------------------
+# Phase 1
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Placement:
+    """Where Phase 1 placed an item: rectangle ``interval × (altitude-size, altitude]``."""
+
+    item_id: int
+    altitude: Fraction
+    size: Fraction
+    interval: FPair
+
+    @property
+    def alt_low(self) -> Fraction:
+        return self.altitude - self.size
+
+    @property
+    def alt_high(self) -> Fraction:
+        return self.altitude
+
+
+class _Rect:
+    """A colored rectangle: time × altitude range ``(alt_low, alt_high]``."""
+
+    __slots__ = ("t_left", "t_right", "alt_low", "alt_high", "_low_f", "_high_f")
+
+    def __init__(
+        self, t_left: Fraction, t_right: Fraction, alt_low: Fraction, alt_high: Fraction
+    ) -> None:
+        self.t_left = t_left
+        self.t_right = t_right
+        self.alt_low = alt_low
+        self.alt_high = alt_high
+        self._low_f = float(alt_low)
+        self._high_f = float(alt_high)
+
+    def covers_altitude(self, h: Fraction, h_f: float) -> bool:
+        """``alt_low < h <= alt_high`` with a float fast path."""
+        if h_f <= self._low_f - _FLOAT_GUARD or h_f > self._high_f + _FLOAT_GUARD:
+            return False
+        if self._low_f + _FLOAT_GUARD < h_f <= self._high_f - _FLOAT_GUARD:
+            return True
+        return self.alt_low < h <= self.alt_high
+
+
+class _Phase1:
+    """Runs the demand-chart coloring and records item placements."""
+
+    def __init__(self, items: Sequence[_FracItem], chart: DemandChart) -> None:
+        self.chart = chart
+        self.unplaced: dict[int, _FracItem] = {it.id: it for it in items}
+        self.placements: dict[int, Placement] = {}
+        # Kept sorted by (t_left, t_right) so per-altitude coverage queries
+        # need a linear merge instead of a Fraction-comparison sort.
+        self.red: list[_Rect] = []
+        self.blue: list[_Rect] = []
+
+    def run(self) -> None:
+        # Max-heap of altitudes via negation; dedupe with a companion set.
+        heap: list[Fraction] = []
+        seen: set[Fraction] = set()
+        for h in self.chart.heights():
+            heappush(heap, -h)
+            seen.add(h)
+        while heap:
+            h = -heappop(heap)
+            for new_alt in self._examine(h):
+                if new_alt > 0 and new_alt not in seen:
+                    seen.add(new_alt)
+                    heappush(heap, -new_alt)
+        if self.unplaced:  # Lemma 4 says this cannot happen
+            raise ReproError(
+                f"Dual Coloring Phase 1 left {len(self.unplaced)} small items "
+                f"unplaced: {sorted(self.unplaced)[:5]} — invariant violation"
+            )
+
+    def _colored_at(self, rects: Sequence[_Rect], h: Fraction) -> list[FPair]:
+        # ``rects`` is kept sorted by t_left, so filtering preserves order.
+        h_f = float(h)
+        return _normalize(
+            ((r.t_left, r.t_right) for r in rects if r.covers_altitude(h, h_f)),
+            presorted=True,
+        )
+
+    @staticmethod
+    def _insert_sorted(rects: list[_Rect], rect: _Rect) -> None:
+        lo, hi = 0, len(rects)
+        key = (rect.t_left, rect.t_right)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if (rects[mid].t_left, rects[mid].t_right) < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        rects.insert(lo, rect)
+
+    def _examine(self, h: Fraction) -> list[Fraction]:
+        """Process altitude ``h``; return new altitudes to enqueue."""
+        line = self.chart.line_at(h)
+        red_ints = self._colored_at(self.red, h)
+        blue_ints = self._colored_at(self.blue, h)
+        uncolored = _subtract(line, _merge_sorted(red_ints, blue_ints))
+        new_altitudes: list[Fraction] = []
+        while uncolored:
+            i_u = uncolored[0]  # leftmost — "pick an uncolored interval"
+            item = self._find_eligible(i_u, uncolored, red_ints, line)
+            if item is not None:
+                del self.unplaced[item.id]
+                seg = _intersection(item.interval, i_u)
+                assert seg is not None
+                self.placements[item.id] = Placement(item.id, h, item.size, item.interval)
+                rect = _Rect(seg[0], seg[1], h - item.size, h)
+                self._insert_sorted(self.red, rect)
+                red_ints = _merge_sorted(red_ints, [seg])
+                uncolored.pop(0)
+                # Left/right remainders of I_u stay uncolored at this altitude;
+                # both lie left of every other uncolored interval, in order.
+                pieces: list[FPair] = []
+                if i_u[0] < item.left:
+                    pieces.append((i_u[0], min(item.left, i_u[1])))
+                if i_u[1] > item.right:
+                    pieces.append((max(item.right, i_u[0]), i_u[1]))
+                uncolored = pieces + uncolored
+                new_altitudes.append(h - item.size)
+            else:
+                self._insert_sorted(
+                    self.blue, _Rect(i_u[0], i_u[1], Fraction(0), h)
+                )
+                uncolored.pop(0)
+        return new_altitudes
+
+    def _find_eligible(
+        self,
+        i_u: FPair,
+        uncolored: Sequence[FPair],
+        red_ints: Sequence[FPair],
+        line: Sequence[FPair],
+    ) -> _FracItem | None:
+        """Paper step 7: an unplaced item intersecting ``i_u`` but nothing else.
+
+        The item's active interval must (a) intersect ``i_u``, (b) be
+        disjoint from every *other* uncolored interval and every red interval
+        at this altitude, and (c) lie entirely on the chart line at this
+        altitude, i.e. ``S_S(t) ≥ h`` throughout ``I(r)``.  Condition (c) is
+        implicit in the paper's statement but required by its Lemma 3 proof
+        sketch ("it is obvious that r's upper boundary is within the demand
+        chart" only holds when the line covers the whole interval); without
+        it, placements can stick out of the chart and break the Theorem 2
+        open-bin bound.  Candidates are scanned in id order for determinism.
+        """
+        others = [iv for iv in uncolored if iv != i_u]
+        for item_id in sorted(self.unplaced):
+            it = self.unplaced[item_id]
+            if not _intersects(it.interval, i_u):
+                continue
+            if any(_intersects(it.interval, iv) for iv in others):
+                continue
+            if any(_intersects(it.interval, iv) for iv in red_ints):
+                continue
+            if _subtract([it.interval], list(line)):
+                continue  # part of I(r) is off the chart line at this altitude
+            return it
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Phase 2 + the packer
+# ---------------------------------------------------------------------------
+
+HALF = Fraction(1, 2)
+
+
+def _stripe_assignment(placement: Placement, num_stripes: int) -> tuple[str, int]:
+    """Map a placement to its Phase 2 bin: ``("stripe", k)`` or ``("cross", k)``.
+
+    Stripe ``k`` (1-based) covers altitudes ``((k-1)/2, k/2]``; an item lies
+    within stripe ``k`` iff ``(k-1)/2 <= alt_low < alt_high <= k/2``, and
+    otherwise (only possible when ``2·alt_high`` is not an integer, since
+    sizes are ≤ 1/2) it crosses exactly the boundary ``k/2`` with
+    ``k = ⌊2·alt_high⌋``.
+    """
+    two_h = 2 * placement.alt_high
+    k = _fceil(two_h)
+    if k < 1:
+        k = 1
+    if Fraction(k - 1, 2) <= placement.alt_low:
+        return ("stripe", k)
+    k_cross = two_h.numerator // two_h.denominator  # exact floor
+    if not (placement.alt_low < Fraction(k_cross, 2) < placement.alt_high):
+        raise ReproError(
+            f"placement of item {placement.item_id} at altitude "
+            f"{placement.altitude} fits no stripe and no boundary — "
+            f"invariant violation"
+        )
+    if not 1 <= k_cross <= num_stripes - 1:
+        raise ReproError(
+            f"crossing index {k_cross} out of range 1..{num_stripes - 1} "
+            f"for item {placement.item_id}"
+        )
+    return ("cross", k_cross)
+
+
+@register_packer("dual-coloring")
+class DualColoringPacker(OfflinePacker):
+    """The Dual Coloring 4-approximation algorithm.
+
+    Args:
+        strict: When True (default), verify the paper's structural lemmas on
+            the Phase 1 output (placements inside the chart, overlap depth
+            ≤ 2) and raise :class:`ReproError` on any violation.  The checks
+            are exact and cost ``O(n²)`` — negligible next to Phase 1 itself.
+    """
+
+    name = "dual-coloring"
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+
+    def describe(self) -> str:
+        return "dual-coloring"
+
+    # -- small-group machinery, exposed for tests ------------------------------
+
+    @staticmethod
+    def _to_frac_items(items: Iterable[Item]) -> list[_FracItem]:
+        return [
+            _FracItem(r.id, Fraction(r.size), Fraction(r.arrival), Fraction(r.departure))
+            for r in items
+        ]
+
+    def place_small_items(
+        self, small: Sequence[Item]
+    ) -> tuple[dict[int, Placement], DemandChart]:
+        """Run Phase 1 on the small group; returns placements and the chart."""
+        fr_items = self._to_frac_items(small)
+        chart = DemandChart(fr_items)
+        phase1 = _Phase1(fr_items, chart)
+        phase1.run()
+        if self.strict:
+            self._check_lemmas(fr_items, phase1.placements, chart)
+        return phase1.placements, chart
+
+    def _check_lemmas(
+        self,
+        fr_items: Sequence[_FracItem],
+        placements: dict[int, Placement],
+        chart: DemandChart,
+    ) -> None:
+        # Lemma 3: every placed rectangle lies within the demand chart.
+        for p in placements.values():
+            if p.alt_low < 0 or not chart.height_covers(p.interval, p.alt_high):
+                raise ReproError(
+                    f"item {p.item_id} placed at altitude {p.altitude} sticks "
+                    f"out of the demand chart — Lemma 3 violated"
+                )
+        # Lemma 5: no three placements overlap (depth ≤ 2 at every point).
+        # Sweep over chart time segments; within one, check altitude overlap.
+        for left, right, _h in chart.segments:
+            active = [
+                p
+                for p in placements.values()
+                if p.interval[0] < right and left < p.interval[1]
+            ]
+            events: list[tuple[Fraction, int]] = []
+            for p in active:
+                # Altitude range (alt_low, alt_high]: open at the bottom, so
+                # a rectangle ending where another starts does not overlap.
+                events.append((p.alt_low, +1))
+                events.append((p.alt_high, -1))
+            events.sort(key=lambda e: (e[0], e[1]))
+            depth = 0
+            for _alt, delta in events:
+                # Process the close (-1) before the open (+1) at equal
+                # altitudes: (a, b] and (b, c] are disjoint.
+                depth += delta
+                if depth > 2:
+                    raise ReproError(
+                        f"three item placements overlap in [{left}, {right}) — "
+                        f"Lemma 5 violated"
+                    )
+
+    # -- the full algorithm --------------------------------------------------------
+
+    def _assign(self, items: ItemList) -> dict[int, int]:
+        small = [r for r in items if r.size <= 0.5]
+        large = [r for r in items if r.size > 0.5]
+        assignment: dict[int, int] = {}
+        next_bin = 0
+
+        # Large group: plain First Fit (any feasible packing satisfies the
+        # ⌊2·S_L(t)⌋ open-bin bound because concurrent large items cannot share).
+        if large:
+            from .anyfit import FirstFitPacker
+
+            ff = FirstFitPacker()
+            ff.reset()
+            large_assignment = ff.pack_stream(sorted(large, key=lambda r: (r.arrival, r.id)))
+            used = sorted(set(large_assignment.values()))
+            remap = {old: i for i, old in enumerate(used)}
+            for item_id, old in large_assignment.items():
+                assignment[item_id] = remap[old]
+            next_bin = len(used)
+
+        if small:
+            placements, chart = self.place_small_items(small)
+            num_stripes = max(_fceil(2 * chart.max_height()), 1)
+            bin_keys: dict[tuple[str, int], int] = {}
+            for r in small:
+                key = _stripe_assignment(placements[r.id], num_stripes)
+                if key not in bin_keys:
+                    bin_keys[key] = next_bin
+                    next_bin += 1
+                assignment[r.id] = bin_keys[key]
+
+        return assignment

@@ -1,0 +1,296 @@
+"""Exact solvers: classical bin packing, the repacking adversary, and tiny-OPT.
+
+The paper measures all ratios against the *optimal offline adversary that can
+repack everything at any time* (§3.2):
+
+    ``OPT_total(R) = ∫ OPT(R, t) dt``
+
+where ``OPT(R, t)`` is the minimum number of unit bins into which the items
+active at time ``t`` can be packed — a classical (static) bin packing
+instance.  :func:`opt_total` computes this exactly by solving one classical
+instance per elementary interval between consecutive event times, using a
+branch-and-bound solver with first-fit-decreasing upper bounds and the L2
+lower bound of Martello & Toth for pruning.
+
+For very small instances, :func:`optimal_packing` additionally finds the best
+*non-repacking* assignment (the true optimum of the DBP problem itself) by
+exhaustive branch-and-bound over assignments; it is used in tests to sanity
+check that ``opt_total <= optimal_packing`` and that the approximation
+algorithms sit between the two.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..core.bins import Bin
+from ..core.exceptions import SolverLimitError, ValidationError
+from ..core.items import ItemList
+from ..core.packing import PackingResult
+from ..core.stepfun import DEFAULT_TOL
+
+__all__ = ["bin_packing_min_bins", "opt_total", "optimal_packing"]
+
+
+# ---------------------------------------------------------------------------
+# Classical bin packing (sizes only), exact
+# ---------------------------------------------------------------------------
+
+
+def _ffd_bins(sizes: Sequence[float], tol: float) -> int:
+    """First-Fit-Decreasing upper bound on the optimal bin count."""
+    levels: list[float] = []
+    for s in sorted(sizes, reverse=True):
+        for i, lvl in enumerate(levels):
+            if lvl + s <= 1.0 + tol:
+                levels[i] = lvl + s
+                break
+        else:
+            levels.append(s)
+    return len(levels)
+
+
+def _l2_lower_bound(sizes: Sequence[float], tol: float) -> int:
+    """Martello–Toth L2 lower bound on the optimal bin count.
+
+    For each threshold ``k`` in the item sizes, items larger than ``1-k``
+    cannot share a bin with each other or with items of size ≥ k beyond
+    capacity; the bound maximises over thresholds.  Always ≥ ⌈Σ sizes⌉ - free
+    (we take the max with the continuous bound explicitly).
+    """
+    if not sizes:
+        return 0
+    ssorted = sorted(sizes, reverse=True)
+    total = sum(ssorted)
+    best = max(1, -int(-(total - tol) // 1))  # ceil with tolerance
+    for k in {s for s in ssorted if s <= 0.5 + tol}:
+        big = [s for s in ssorted if s > 1.0 - k + tol]
+        mid = [s for s in ssorted if k - tol <= s <= 1.0 - k + tol]
+        if not big and not mid:
+            continue
+        # Items > 1-k each need their own bin; mid items only fit into the
+        # big bins' leftover capacity, the rest need ⌈·⌉ additional bins.
+        overflow = sum(mid) - sum(1.0 - s for s in big)
+        cand = len(big) + max(0, -int(-(overflow - tol) // 1))
+        best = max(best, cand)
+    return best
+
+
+def bin_packing_min_bins(
+    sizes: Sequence[float], *, tol: float = DEFAULT_TOL, max_nodes: int = 2_000_000
+) -> int:
+    """Exact minimum number of unit bins for the given sizes.
+
+    Branch and bound: items in decreasing size order; each item goes into an
+    existing bin (distinct levels only, to break symmetry) or one new bin.
+
+    Args:
+        sizes: Item sizes, each in (0, 1].
+        tol: Capacity tolerance.
+        max_nodes: Search-node budget.
+
+    Raises:
+        ValidationError: if any size is outside (0, 1].
+        SolverLimitError: if the node budget is exhausted before proving
+            optimality (carries the best feasible value found).
+    """
+    for s in sizes:
+        if not (0.0 < s <= 1.0 + tol):
+            raise ValidationError(f"size out of range (0, 1]: {s}")
+    if not sizes:
+        return 0
+    order = sorted(sizes, reverse=True)
+    n = len(order)
+    best = _ffd_bins(order, tol)
+    lb = _l2_lower_bound(order, tol)
+    if lb >= best:
+        return best
+    suffix = [0.0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + order[i]
+    nodes = 0
+    best_found = best
+
+    def search(i: int, levels: list[float]) -> None:
+        nonlocal best_found, nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise SolverLimitError(
+                f"bin packing B&B exceeded {max_nodes} nodes", best_known=best_found
+            )
+        if i == n:
+            best_found = min(best_found, len(levels))
+            return
+        # Continuous lower bound on the completed solution.
+        waste = sum(1.0 - lvl for lvl in levels)
+        lower = len(levels) + max(0, -int(-((suffix[i] - waste) - tol) // 1))
+        if lower >= best_found:
+            return
+        s = order[i]
+        tried: set[float] = set()
+        for j, lvl in enumerate(levels):
+            if lvl + s <= 1.0 + tol and lvl not in tried:
+                tried.add(lvl)
+                levels[j] = lvl + s
+                search(i + 1, levels)
+                levels[j] = lvl
+        if len(levels) + 1 < best_found:
+            levels.append(s)
+            search(i + 1, levels)
+            levels.pop()
+
+    search(0, [])
+    return best_found
+
+
+# ---------------------------------------------------------------------------
+# The repacking adversary OPT_total
+# ---------------------------------------------------------------------------
+
+
+def opt_total(
+    items: ItemList, *, tol: float = DEFAULT_TOL, max_nodes: int = 2_000_000
+) -> float:
+    """Exact ``OPT_total(R) = ∫ OPT(R, t) dt`` (paper §3.2).
+
+    One classical bin packing instance is solved per elementary interval
+    between consecutive event times; results are cached on the multiset of
+    active sizes, which repeats often in structured workloads.
+
+    Raises:
+        SolverLimitError: propagated from :func:`bin_packing_min_bins` if an
+            instance exceeds the node budget.
+    """
+    if not items:
+        return 0.0
+    times = items.event_times()
+    cache: dict[tuple[float, ...], int] = {}
+    total = 0.0
+    for left, right in zip(times[:-1], times[1:]):
+        active = [r.size for r in items if r.arrival <= left and r.departure > left]
+        if not active:
+            continue
+        key = tuple(sorted(active))
+        if key not in cache:
+            cache[key] = bin_packing_min_bins(key, tol=tol, max_nodes=max_nodes)
+        total += cache[key] * (right - left)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Exact non-repacking optimum (tiny instances)
+# ---------------------------------------------------------------------------
+
+
+def _pop_last(b: Bin) -> None:
+    """Undo the most recent ``place`` on a bin (search-internal helper)."""
+    item = b._items.pop()  # noqa: SLF001 - solver-internal undo
+    b._profile.add_range(  # noqa: SLF001
+        item.interval.left, item.interval.right, -item.size
+    )
+
+
+def optimal_packing(
+    items: ItemList, *, max_items: int = 14, max_nodes: int = 5_000_000
+) -> PackingResult:
+    """The best non-migratory packing of ``items`` by exhaustive B&B.
+
+    Items are assigned in arrival order; each goes to a feasible existing bin
+    or to one fresh bin (symmetry-broken).  Pruning uses the current usage
+    plus a span lower bound for unassigned items.  Exponential — refuse
+    instances above ``max_items``.
+
+    Raises:
+        ValidationError: if the instance exceeds ``max_items``.
+        SolverLimitError: if the node budget is exhausted.
+    """
+    if len(items) > max_items:
+        raise ValidationError(
+            f"optimal_packing is exhaustive; {len(items)} items exceeds the "
+            f"limit of {max_items}"
+        )
+    order = list(items)
+    n = len(order)
+    if n == 0:
+        return PackingResult(items, {}, algorithm="optimal")
+
+    best_usage = float("inf")
+    best_assignment: dict[int, int] | None = None
+    nodes = 0
+
+    # Precompute a lower bound on the extra usage the remaining items force:
+    # the part of their span not coverable by any current bin is at least the
+    # span of the remaining items minus total span — we keep it simple and use
+    # zero (correct, weaker); current-usage pruning already cuts most of it.
+
+    def usage_of(bins: list[Bin]) -> float:
+        return sum(b.usage_time() for b in bins)
+
+    def search(i: int, bins: list[Bin], assignment: dict[int, int]) -> None:
+        nonlocal best_usage, best_assignment, nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise SolverLimitError(
+                f"optimal_packing exceeded {max_nodes} nodes",
+                best_known=None if best_assignment is None else int(best_usage),
+            )
+        current = usage_of(bins)
+        if current >= best_usage:
+            return
+        if i == n:
+            best_usage = current
+            best_assignment = dict(assignment)
+            return
+        item = order[i]
+        for b in bins:
+            if b.fits(item):
+                b.place(item, check=False)
+                assignment[item.id] = b.index
+                search(i + 1, bins, assignment)
+                del assignment[item.id]
+                _pop_last(b)
+        fresh = Bin(len(bins))
+        fresh.place(item, check=False)
+        bins.append(fresh)
+        assignment[item.id] = fresh.index
+        search(i + 1, bins, assignment)
+        del assignment[item.id]
+        bins.pop()
+
+    search(0, [], {})
+    assert best_assignment is not None
+    return PackingResult(items, best_assignment, algorithm="optimal")
+
+
+def brute_force_min_usage(items: ItemList, max_items: int = 8) -> float:
+    """Reference optimum by trying *every* assignment (tests only).
+
+    Enumerates all partitions of items into ordered bins via assignment
+    vectors with the restricted-growth property; infeasible assignments are
+    skipped.  Factorially slow — keep ``max_items`` tiny.
+    """
+    if len(items) > max_items:
+        raise ValidationError(f"brute force limited to {max_items} items")
+    order = list(items)
+    n = len(order)
+    if n == 0:
+        return 0.0
+    best = float("inf")
+    for assignment_vec in itertools.product(range(n), repeat=n):
+        # Restricted growth: bin k may appear only if bin k-1 appears earlier.
+        maxseen = -1
+        ok = True
+        for a in assignment_vec:
+            if a > maxseen + 1:
+                ok = False
+                break
+            maxseen = max(maxseen, a)
+        if not ok:
+            continue
+        result = PackingResult(
+            ItemList(order), {r.id: a for r, a in zip(order, assignment_vec)}
+        )
+        if result.is_feasible():
+            best = min(best, result.total_usage())
+    return best

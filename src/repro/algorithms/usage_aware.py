@@ -1,0 +1,74 @@
+"""Usage-aware fit — a greedy clairvoyant heuristic (ablation baseline).
+
+The paper's strategies exploit clairvoyance through *classification*.  A
+natural engineering alternative is to exploit it *greedily*: place each item
+in the open bin whose usage time grows the least, i.e. minimise the
+extension ``max(0, departure − bin close time)``.  Optionally, refuse to
+extend a bin by more than ``open_threshold ×`` the item's duration and open
+a fresh bin instead (a non-Any-Fit move that trades bins for alignment).
+
+This packer exists for the ablation benches: it beats plain First Fit on
+benign workloads, but it does **not** escape the retention trap — the
+filler's departure lies inside the retainer bin's usage window, so its
+extension is zero and the greedy rule happily co-locates them.  The paper's
+classification is not just one clairvoyant heuristic among many; it is what
+the worst case actually requires (see ``bench_ablation_usage_aware``).
+
+No competitive guarantee is claimed (none exists in the paper).
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import ValidationError
+from ..core.items import Item
+from .base import OnlinePacker, register_packer
+
+__all__ = ["UsageAwareFitPacker"]
+
+
+@register_packer("usage-aware-fit")
+class UsageAwareFitPacker(OnlinePacker):
+    """Place items where they extend bin usage the least.
+
+    Args:
+        open_threshold: When set, an item whose best extension exceeds
+            ``open_threshold × duration`` opens a new bin even though a fit
+            exists (set to 0 to isolate long items aggressively; ``None``
+            keeps the Any Fit property).
+    """
+
+    name = "usage-aware-fit"
+
+    def __init__(self, open_threshold: float | None = None) -> None:
+        super().__init__()
+        if open_threshold is not None and open_threshold < 0:
+            raise ValidationError(
+                f"open_threshold must be >= 0 or None, got {open_threshold}"
+            )
+        self.open_threshold = open_threshold
+
+    def describe(self) -> str:
+        if self.open_threshold is None:
+            return "usage-aware-fit"
+        return f"usage-aware-fit(threshold={self.open_threshold:g})"
+
+    def place(self, item: Item) -> int:
+        t = item.arrival
+        best: tuple[float, float, int] | None = None  # (extension, -level, index)
+        target = None
+        for b in self.open_bins_at(t):
+            if not b.fits_at_arrival(item):
+                continue
+            extension = max(0.0, item.departure - b.close_time())
+            key = (extension, -b.level_at(t), b.index)
+            if best is None or key < best:
+                best = key
+                target = b
+        if target is not None and self.open_threshold is not None:
+            assert best is not None
+            if best[0] > self.open_threshold * item.duration:
+                target = None
+        if target is None:
+            target = self.open_bin()
+        target.place(item, check=False)
+        return target.index

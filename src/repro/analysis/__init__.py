@@ -1,0 +1,45 @@
+"""Experiment machinery: ratio sweeps, tables, the noise study."""
+
+from .instrumentation import (
+    CategoryStageAnalysis,
+    DurationCategoryAnalysis,
+    Theorem1BinAnalysis,
+    ThirdStageAnalysis,
+    XPeriod,
+    theorem1_decomposition,
+    theorem4_stage_decomposition,
+    theorem4_third_stage,
+    theorem5_category_decomposition,
+)
+from .noise import NoisePoint, noise_sweep, noisy_estimator
+from .parallel import SweepOutcome, SweepTask, run_sweep
+from .report import build_report, guarantee_for
+from .ratios import RatioMeasurement, SweepPoint, measured_ratio, sweep_mu
+from .tables import format_cell, render_series, render_table
+
+__all__ = [
+    "CategoryStageAnalysis",
+    "DurationCategoryAnalysis",
+    "Theorem1BinAnalysis",
+    "ThirdStageAnalysis",
+    "XPeriod",
+    "theorem1_decomposition",
+    "theorem4_stage_decomposition",
+    "theorem4_third_stage",
+    "theorem5_category_decomposition",
+    "NoisePoint",
+    "noise_sweep",
+    "noisy_estimator",
+    "SweepOutcome",
+    "SweepTask",
+    "run_sweep",
+    "build_report",
+    "guarantee_for",
+    "RatioMeasurement",
+    "SweepPoint",
+    "measured_ratio",
+    "sweep_mu",
+    "format_cell",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,550 @@
+"""Executable proof machinery: the paper's inner lemmas as measurements.
+
+The approximation proofs of Theorems 1 and 4 are built from intermediate
+quantities defined on a *concrete run* of the algorithm — X-periods, the
+witness moments where an item failed to fit the previous bin, the three
+stages of a departure category, supplier bins.  This module reconstructs
+those quantities from finished packings, so the paper's unpublished-lemma
+inequalities (proofs deferred to the extended version) become empirically
+checkable on any instance:
+
+* Theorem 1 (§4.1): per bin ``b_k`` the reduction ``R_k → R'_k``, the
+  X-period decomposition, ``d_k``, the witness times ``t_i`` and ``d_k*``;
+  the checks ``Σ l(X(r_i)) = span(R_k)``, inequality (2)
+  ``d_k + d_k* > span(R_k)`` and **Lemma 1** ``d_k* ≤ 3·d(R_{k-1})``.
+* Theorem 4 (§5.2): per departure category the stage boundaries
+  ``t1 = t−μΔ, t2, t3 = t−Δ``, the per-stage usage split
+  ``usage_A/B/C``, **Lemma 6** (average open-bin level > 1/2 throughout
+  stage 2) and inequalities (3) and (4).
+
+These power the deepest property tests in the suite: hypothesis feeds random
+instances and every reconstructed inequality must hold, exactly as proved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..algorithms.classify_departure import ClassifyByDepartureFirstFit
+from ..core.bins import Bin
+from ..core.exceptions import ReproError
+from ..core.intervals import Interval
+from ..core.items import Item, ItemList
+from ..core.packing import PackingResult
+from ..core.stepfun import DEFAULT_TOL, StepFunction
+
+__all__ = [
+    "XPeriod",
+    "Theorem1BinAnalysis",
+    "theorem1_decomposition",
+    "CategoryStageAnalysis",
+    "theorem4_stage_decomposition",
+    "ThirdStageAnalysis",
+    "theorem4_third_stage",
+    "DurationCategoryAnalysis",
+    "theorem5_category_decomposition",
+]
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1: X-periods, witnesses, d_k and d_k*
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class XPeriod:
+    """One item of the reduced set ``R'_k`` with its X-period and witness.
+
+    Attributes:
+        item: The item ``r_i``.
+        period: ``X(r_i)`` — from ``r_i``'s arrival to the next reduced
+            item's arrival (or its own departure, whichever is first).
+        witness_time: A moment ``t_i ∈ I(r_i)`` at which the previous bin's
+            level plus ``s(r_i)`` exceeds the capacity (must exist by the
+            first-fit rule).
+        witness_level: The previous bin's level at ``witness_time`` — the
+            total size of ``W(r_i)``.
+    """
+
+    item: Item
+    period: Interval
+    witness_time: float
+    witness_level: float
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem1BinAnalysis:
+    """The §4.1 quantities for one bin ``b_k`` (k ≥ 2 has witnesses)."""
+
+    bin_index: int
+    span_k: float  # span(R_k) == span(R'_k)
+    d_k: float  # Σ s(r_i)·l(X(r_i)) over R'_k
+    d_k_star: float  # Σ level(t_i)·l(X(r_i))
+    demand_k: float  # d(R_k)
+    demand_prev: float  # d(R_{k-1})
+    x_periods: tuple[XPeriod, ...]
+
+    def check(self, tol: float = 1e-9) -> None:
+        """Assert the §4.1 inequalities for this bin.
+
+        Raises:
+            ReproError: if inequality (1), (2) or Lemma 1 fails.
+        """
+        if self.d_k > self.demand_k + tol:
+            raise ReproError(
+                f"bin {self.bin_index}: d_k={self.d_k} exceeds d(R_k)={self.demand_k}"
+            )
+        if not self.d_k + self.d_k_star > self.span_k - tol:
+            raise ReproError(
+                f"bin {self.bin_index}: inequality (2) fails: "
+                f"{self.d_k} + {self.d_k_star} <= {self.span_k}"
+            )
+        if self.d_k_star > 3.0 * self.demand_prev + tol:
+            raise ReproError(
+                f"bin {self.bin_index}: Lemma 1 fails: d_k*={self.d_k_star} > "
+                f"3*d(R_(k-1))={3 * self.demand_prev}"
+            )
+
+
+def _reduce_to_uncontained(items: Sequence[Item]) -> list[Item]:
+    """The paper's ``R_k → R'_k``: drop items contained in another's interval.
+
+    Sorting by (arrival asc, departure desc) and keeping strict departure
+    records leaves items with strictly increasing arrivals *and* departures.
+    """
+    ordered = sorted(items, key=lambda r: (r.arrival, -r.departure, r.id))
+    kept: list[Item] = []
+    max_right = float("-inf")
+    for r in ordered:
+        if r.departure > max_right:
+            kept.append(r)
+            max_right = r.departure
+    return kept
+
+
+def _x_periods(reduced: Sequence[Item]) -> list[Interval]:
+    periods = []
+    for i, r in enumerate(reduced):
+        if i + 1 < len(reduced):
+            right = min(reduced[i + 1].arrival, r.departure)
+        else:
+            right = r.departure
+        periods.append(Interval(r.arrival, right))
+    return periods
+
+
+def _find_witness(
+    prev_profile: StepFunction, item: Item, tol: float
+) -> tuple[float, float]:
+    """Earliest ``t ∈ I(item)`` with ``level(t) + s > 1`` on ``prev_profile``.
+
+    The profile must reflect the previous bin's committed items *at the
+    moment the item was placed* — the paper's ``W(r_i)`` is defined on that
+    state, and Lemma 1's upper bound on ``d_k*`` relies on it (the final
+    profile would over-count items committed later).
+    """
+    candidates = [item.arrival]
+    candidates.extend(
+        t for t in prev_profile.breakpoints if item.arrival < t < item.departure
+    )
+    for t in candidates:
+        level = prev_profile.value_at(t)
+        if level + item.size > 1.0 + tol:
+            return t, level
+    raise ReproError(
+        f"no witness moment for item {item.id} against the previous bin — "
+        f"the packing was not produced by a duration-descending first-fit rule"
+    )
+
+
+def _placement_rank(result: PackingResult) -> dict[int, int]:
+    """Item id → insertion rank under the DDFF ordering (ties: arrival, id)."""
+    order = sorted(result.items, key=lambda r: (-r.duration, r.arrival, r.id))
+    return {r.id: i for i, r in enumerate(order)}
+
+
+def theorem1_decomposition(
+    result: PackingResult, tol: float = DEFAULT_TOL
+) -> list[Theorem1BinAnalysis]:
+    """Reconstruct the §4.1 proof quantities from a DDFF packing.
+
+    Args:
+        result: A packing produced by
+            :class:`~repro.algorithms.DurationDescendingFirstFit` (bins in
+            opening order).  Any first-fit-by-descending-duration packing
+            works; other packings raise when no witness exists.
+        tol: Capacity tolerance used in witness detection.
+
+    Returns:
+        One analysis per bin ``b_k`` with ``k ≥ 2`` (the first bin has no
+        previous bin; Theorem 1 handles it via the span bound).
+    """
+    bins = list(result.bins())
+    rank = _placement_rank(result)
+    analyses = []
+    for k in range(1, len(bins)):
+        b_k = bins[k]
+        b_prev = bins[k - 1]
+        reduced = _reduce_to_uncontained(b_k.items)
+        periods = _x_periods(reduced)
+        d_k = 0.0
+        d_k_star = 0.0
+        xps = []
+        for r, period in zip(reduced, periods):
+            # Previous bin's state at the moment r was placed.
+            prev_profile = StepFunction()
+            for q in b_prev.items:
+                if rank[q.id] < rank[r.id]:
+                    prev_profile.add(q.interval, q.size)
+            witness_t, witness_level = _find_witness(prev_profile, r, tol)
+            d_k += r.size * period.length
+            d_k_star += witness_level * period.length
+            xps.append(XPeriod(r, period, witness_t, witness_level))
+        span_k = b_k.usage_time()
+        x_total = sum(p.length for p in periods)
+        if abs(x_total - span_k) > 1e-6 * max(1.0, span_k):
+            raise ReproError(
+                f"bin {b_k.index}: X-periods sum to {x_total}, span is {span_k}"
+            )
+        analyses.append(
+            Theorem1BinAnalysis(
+                bin_index=b_k.index,
+                span_k=span_k,
+                d_k=d_k,
+                d_k_star=d_k_star,
+                demand_k=sum(r.demand for r in b_k.items),
+                demand_prev=sum(r.demand for r in b_prev.items),
+                x_periods=tuple(xps),
+            )
+        )
+    return analyses
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4: stage decomposition and Lemma 6
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CategoryStageAnalysis:
+    """The §5.2 three-stage split of one departure category.
+
+    Attributes:
+        category: The category index ``k`` (departures in
+            ``(origin+(k−1)ρ, origin+kρ]``).
+        t1: ``t − μΔ`` — earliest possible arrival of the category.
+        t2: Opening time of the category's second bin, clamped to
+            ``[t1, t3]`` (``t3`` when no second bin opens by then).
+        t3: ``t − Δ``.
+        t_end: ``t + ρ`` — end of the departure window.
+        usage_a: Category bin usage within ``[t1, t2)`` (stage 1).
+        usage_b: Within ``[t2, t3)`` (stage 2).
+        usage_c: Within ``[t3, t+ρ)`` (stage 3).
+        demand_b: Category time-space demand within stage 2.
+        min_avg_level_stage2: Minimum over stage-2 moments (with an open
+            bin) of the average open-bin level — Lemma 6 says > 1/2.
+        num_bins: Bins the category opened.
+    """
+
+    category: int
+    t1: float
+    t2: float
+    t3: float
+    t_end: float
+    usage_a: float
+    usage_b: float
+    usage_c: float
+    demand_b: float
+    min_avg_level_stage2: float
+    num_bins: int
+
+    def check(self, tol: float = 1e-9) -> None:
+        """Assert stage-1 single-bin usage, Lemma 6 and inequality (4).
+
+        Raises:
+            ReproError: on any violation.
+        """
+        if self.usage_a > (self.t2 - self.t1) + tol:
+            raise ReproError(
+                f"category {self.category}: stage-1 usage {self.usage_a} exceeds "
+                f"stage length {self.t2 - self.t1} (more than one bin open?)"
+            )
+        if self.min_avg_level_stage2 < 0.5 - 1e-9:
+            raise ReproError(
+                f"category {self.category}: Lemma 6 fails — average open-bin "
+                f"level {self.min_avg_level_stage2} <= 1/2 in stage 2"
+            )
+        if not self.usage_b < 2.0 * self.demand_b + tol:
+            raise ReproError(
+                f"category {self.category}: inequality (4) fails: "
+                f"usage_B={self.usage_b} >= 2*d_B={2 * self.demand_b}"
+            )
+
+
+def _usage_within(bins: Sequence[Bin], window: Interval | None) -> float:
+    if window is None:
+        return 0.0
+    total = 0.0
+    for b in bins:
+        for iv in b.usage_intervals():
+            clipped = iv.intersection(window)
+            if clipped is not None:
+                total += clipped.length
+    return total
+
+
+def theorem4_stage_decomposition(
+    items: ItemList, rho: float, origin: float | None = None
+) -> list[CategoryStageAnalysis]:
+    """Run classify-by-departure FF and split each category into §5.2 stages.
+
+    Args:
+        items: The workload (non-empty).
+        rho: The classification width ρ.
+        origin: Classification origin (``None`` ⇒ first arrival, matching
+            the packer's online choice).
+
+    Returns:
+        One :class:`CategoryStageAnalysis` per non-empty category.
+    """
+    if not items:
+        return []
+    packer = ClassifyByDepartureFirstFit(rho=rho, origin=origin)
+    packer.pack(items)
+    actual_origin = origin if origin is not None else items[0].arrival
+    delta = items.min_duration()
+    mu_delta = items.max_duration()
+    analyses = []
+    for key, bins in sorted(packer.category_bins().items()):
+        k = int(key)  # departure categories are integers
+        t = actual_origin + (k - 1) * rho
+        t1 = t - mu_delta
+        t3 = t - delta
+        opening_times = sorted(b.open_time() for b in bins)
+        if len(opening_times) >= 2 and opening_times[1] < t3:
+            t2 = max(opening_times[1], t1)
+        else:
+            t2 = t3
+        t_end = t + rho
+        cat_items = [r for b in bins for r in b.items]
+        demand_profile = StepFunction()
+        for r in cat_items:
+            demand_profile.add(r.interval, r.size)
+        stage2 = Interval.maybe(t2, t3)
+        # Lemma 6 scan: probe every event moment inside stage 2.
+        min_avg = float("inf")
+        if stage2 is not None:
+            probe_times = {t2}
+            for b in bins:
+                for r in b.items:
+                    if t2 <= r.arrival < t3:
+                        probe_times.add(r.arrival)
+            for probe in sorted(probe_times):
+                open_bins = [b for b in bins if b.is_open_at(probe)]
+                if open_bins:
+                    avg = sum(b.level_at(probe) for b in open_bins) / len(open_bins)
+                    min_avg = min(min_avg, avg)
+        analyses.append(
+            CategoryStageAnalysis(
+                category=k,
+                t1=t1,
+                t2=t2,
+                t3=t3,
+                t_end=t_end,
+                usage_a=_usage_within(bins, Interval.maybe(t1, t2)),
+                usage_b=_usage_within(bins, stage2),
+                usage_c=_usage_within(bins, Interval.maybe(t3, t_end)),
+                demand_b=(
+                    demand_profile.integral_over(stage2) if stage2 is not None else 0.0
+                ),
+                min_avg_level_stage2=min_avg,
+                num_bins=len(bins),
+            )
+        )
+    return analyses
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4, third stage: left/right bin-usage split (paper §5.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ThirdStageAnalysis:
+    """The §5.2 third-stage decomposition of one departure category.
+
+    For each category bin ``b_i`` (opening order), ``I_i`` is its usage from
+    ``t3`` (or its opening, if later) to its closing.  With ``E_i`` the
+    latest closing time among earlier bins, ``I_i`` splits into
+    ``I_i^L = [I_i^-, min(I_i^+, E_i))`` and the remainder ``I_i^R``.  The
+    ``I_i^R`` are pairwise disjoint by construction, so the *right* usage is
+    bounded by the stage length ``ρ + Δ`` — the part of the proof that is
+    purely structural and checked here.
+
+    Attributes:
+        category: Category index ``k``.
+        stage_length: ``ρ + Δ`` (the third stage's duration).
+        left_usage: ``Σ l(I_i^L)``.
+        right_usage: ``Σ l(I_i^R)``.
+        periods: Per bin: ``(bin index, I_i, l(I_i^L), l(I_i^R))``.
+    """
+
+    category: int
+    stage_length: float
+    left_usage: float
+    right_usage: float
+    periods: tuple[tuple[int, Interval, float, float], ...]
+
+    def check(self, tol: float = 1e-9) -> None:
+        """Assert the structural third-stage facts.
+
+        Raises:
+            ReproError: if the right usage exceeds the stage length or the
+                left/right split does not cover the stage usage.
+        """
+        if self.right_usage > self.stage_length + tol:
+            raise ReproError(
+                f"category {self.category}: right bin usage {self.right_usage} "
+                f"exceeds stage length {self.stage_length}"
+            )
+        for index, period, l_left, l_right in self.periods:
+            if abs((l_left + l_right) - period.length) > tol:
+                raise ReproError(
+                    f"category {self.category}, bin {index}: L/R split "
+                    f"{l_left}+{l_right} != l(I_i)={period.length}"
+                )
+
+
+def theorem4_third_stage(
+    items: ItemList, rho: float, origin: float | None = None
+) -> list[ThirdStageAnalysis]:
+    """Reconstruct the §5.2 third-stage left/right usage decomposition.
+
+    Args:
+        items: The workload (non-empty lists yield one analysis per
+            non-empty category).
+        rho: Classification width ρ.
+        origin: Classification origin (``None`` ⇒ first arrival).
+    """
+    if not items:
+        return []
+    packer = ClassifyByDepartureFirstFit(rho=rho, origin=origin)
+    packer.pack(items)
+    actual_origin = origin if origin is not None else items[0].arrival
+    delta = items.min_duration()
+    analyses = []
+    for key, bins in sorted(packer.category_bins().items()):
+        k = int(key)
+        t = actual_origin + (k - 1) * rho
+        t3 = t - delta
+        # Online bins have contiguous usage: one (open, close) period each.
+        periods: list[tuple[int, Interval, float, float]] = []
+        left_usage = 0.0
+        right_usage = 0.0
+        prev_max_close = float("-inf")
+        for b in bins:  # opening order within the category
+            open_t, close_t = b.open_time(), b.close_time()
+            start = max(open_t, t3)
+            if close_t <= start:
+                prev_max_close = max(prev_max_close, close_t)
+                continue
+            period = Interval(start, close_t)
+            e_i = prev_max_close if prev_max_close > float("-inf") else period.left
+            split = min(max(e_i, period.left), period.right)
+            l_left = split - period.left
+            l_right = period.right - split
+            left_usage += l_left
+            right_usage += l_right
+            periods.append((b.index, period, l_left, l_right))
+            prev_max_close = max(prev_max_close, close_t)
+        analyses.append(
+            ThirdStageAnalysis(
+                category=k,
+                stage_length=rho + delta,
+                left_usage=left_usage,
+                right_usage=right_usage,
+                periods=tuple(periods),
+            )
+        )
+    return analyses
+
+
+# ---------------------------------------------------------------------------
+# Theorem 5: per-category First Fit bound (paper §5.3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class DurationCategoryAnalysis:
+    """One duration category's §5.3 quantities.
+
+    Theorem 5 sums, over categories ``R_i`` with per-category duration ratio
+    at most α, the Tang-et-al. First Fit bound
+    ``usage(R_i) ≤ (α+3)·d(R_i) + span(R_i)``.
+
+    Attributes:
+        category: Category index ``i``.
+        usage: First Fit usage of the category's own bins.
+        demand: ``d(R_i)``.
+        span: ``span(R_i)``.
+        realised_alpha: The category's actual max/min duration ratio
+            (≤ α by construction).
+    """
+
+    category: int
+    usage: float
+    demand: float
+    span: float
+    realised_alpha: float
+
+    def check(self, alpha: float, tol: float = 1e-9) -> None:
+        """Assert the per-category inequality at the given α.
+
+        Raises:
+            ReproError: if the category bound or the ratio discipline fails.
+        """
+        if self.realised_alpha > alpha * (1 + 1e-9):
+            raise ReproError(
+                f"category {self.category}: realised duration ratio "
+                f"{self.realised_alpha} exceeds alpha={alpha}"
+            )
+        bound = (alpha + 3.0) * self.demand + self.span
+        if self.usage > bound + tol:
+            raise ReproError(
+                f"category {self.category}: usage {self.usage} exceeds "
+                f"per-category bound {bound}"
+            )
+
+
+def theorem5_category_decomposition(
+    items: ItemList, alpha: float, base: float | None = None
+) -> list[DurationCategoryAnalysis]:
+    """Run classify-by-duration FF and split its usage per §5.3 category.
+
+    Args:
+        items: The workload.
+        alpha: Per-category duration ratio.
+        base: Base duration (``None`` ⇒ first item's, the online choice).
+    """
+    from ..algorithms.classify_duration import ClassifyByDurationFirstFit
+    from ..core.intervals import span as _span
+
+    if not items:
+        return []
+    packer = ClassifyByDurationFirstFit(alpha=alpha, base=base)
+    packer.pack(items)
+    analyses = []
+    for key, bins in sorted(packer.category_bins().items()):
+        cat_items = [r for b in bins for r in b.items]
+        durations = [r.duration for r in cat_items]
+        analyses.append(
+            DurationCategoryAnalysis(
+                category=int(key),
+                usage=sum(b.usage_time() for b in bins),
+                demand=sum(r.demand for r in cat_items),
+                span=_span(r.interval for r in cat_items),
+                realised_alpha=max(durations) / min(durations),
+            )
+        )
+    return analyses

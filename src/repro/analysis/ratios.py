@@ -1,0 +1,127 @@
+"""Empirical ratio measurement: algorithm cost vs. the (bounded) optimum.
+
+The benches need two measurements, both against the paper's adversary:
+
+* :func:`measured_ratio` — one algorithm, one instance; denominator is the
+  exact ``OPT_total`` (solved) when the instance is small enough, otherwise
+  the Proposition 1–3 lower bound (making the reported ratio an *upper
+  bound* on the true one, which is the conservative direction for checking
+  the paper's guarantees).
+* :func:`sweep_mu` — aggregate measured ratios over seeds for a μ-sweep,
+  the shape of every Theorem 4/5 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..algorithms.base import Packer
+from ..algorithms.optimal import opt_total
+from ..bounds.opt_bounds import best_lower_bound
+from ..core.exceptions import SolverLimitError
+from ..core.items import ItemList
+
+__all__ = ["RatioMeasurement", "measured_ratio", "SweepPoint", "sweep_mu"]
+
+
+@dataclass(frozen=True, slots=True)
+class RatioMeasurement:
+    """One ratio measurement.
+
+    Attributes:
+        usage: Algorithm's total usage time.
+        denominator: ``OPT_total`` (exact) or the best lower bound.
+        exact: True when the denominator is the solved ``OPT_total``.
+        ratio: ``usage / denominator``.
+    """
+
+    usage: float
+    denominator: float
+    exact: bool
+
+    @property
+    def ratio(self) -> float:
+        return self.usage / self.denominator if self.denominator > 0 else 1.0
+
+
+def measured_ratio(
+    packer: Packer,
+    items: ItemList,
+    *,
+    exact_opt_max_items: int = 200,
+    solver_nodes: int = 500_000,
+) -> RatioMeasurement:
+    """Pack ``items`` and measure the ratio against the adversary.
+
+    Tries the exact repacking adversary first for instances up to
+    ``exact_opt_max_items`` items; on size or solver-budget overflow it
+    falls back to the Proposition 1–3 lower bound.
+    """
+    result = packer.pack(items)
+    usage = result.total_usage()
+    if len(items) <= exact_opt_max_items:
+        try:
+            denom = opt_total(items, max_nodes=solver_nodes)
+            return RatioMeasurement(usage=usage, denominator=denom, exact=True)
+        except SolverLimitError:
+            pass
+    return RatioMeasurement(
+        usage=usage, denominator=best_lower_bound(items), exact=False
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """Aggregated ratios of one algorithm at one μ value."""
+
+    mu: float
+    algorithm: str
+    mean_ratio: float
+    max_ratio: float
+    std_ratio: float
+    n_seeds: int
+    all_exact: bool
+
+
+def sweep_mu(
+    make_packer: Callable[[float], Packer],
+    make_items: Callable[[float, int], ItemList],
+    mus: Sequence[float],
+    seeds: Sequence[int],
+    **ratio_kwargs: object,
+) -> list[SweepPoint]:
+    """Measure an algorithm's ratio over a μ grid, aggregated over seeds.
+
+    Args:
+        make_packer: ``mu -> packer`` (so parameters like ρ can track μ).
+        make_items: ``(mu, seed) -> workload``.
+        mus: The μ grid.
+        seeds: Seeds aggregated per grid point.
+    """
+    points = []
+    for mu in mus:
+        ratios = []
+        exact = True
+        algo = ""
+        for seed in seeds:
+            packer = make_packer(mu)
+            algo = packer.describe()
+            m = measured_ratio(packer, make_items(mu, seed), **ratio_kwargs)  # type: ignore[arg-type]
+            ratios.append(m.ratio)
+            exact &= m.exact
+        arr = np.asarray(ratios)
+        points.append(
+            SweepPoint(
+                mu=mu,
+                algorithm=algo,
+                mean_ratio=float(arr.mean()),
+                max_ratio=float(arr.max()),
+                std_ratio=float(arr.std()),
+                n_seeds=len(seeds),
+                all_exact=exact,
+            )
+        )
+    return points

@@ -1,0 +1,149 @@
+"""One-shot experiment reports: workload → bounds → algorithms → verdict.
+
+:func:`build_report` turns an :class:`~repro.core.ItemList` into a complete
+plain-text report: workload statistics, the Proposition 1–3 lower bounds
+(and the exact adversary when affordable), a ranked comparison of the
+requested algorithms with theorem guarantees where applicable, the demand
+profile and the winner's Gantt chart.  The CLI exposes it as
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algorithms.base import Packer, get_packer
+from ..algorithms.optimal import opt_total
+from ..bounds.competitive import (
+    classify_departure_ratio,
+    classify_duration_ratio,
+    ddff_approximation_ratio,
+    dual_coloring_approximation_ratio,
+    first_fit_ratio,
+    next_fit_ratio,
+)
+from ..core.exceptions import SolverLimitError
+from ..core.items import ItemList
+from ..viz.gantt import render_gantt, render_profile
+from .tables import render_table
+
+__all__ = ["build_report", "guarantee_for"]
+
+DEFAULT_ALGORITHMS = (
+    "first-fit",
+    "best-fit",
+    "next-fit",
+    "usage-aware-fit",
+    "duration-descending-first-fit",
+    "dual-coloring-merged",
+)
+
+
+def guarantee_for(packer: Packer, items: ItemList) -> float | None:
+    """The proved worst-case ratio of ``packer`` at this workload's μ.
+
+    Returns ``None`` for algorithms without a guarantee (Best Fit and the
+    heuristics) or when μ is undefined (empty list).
+    """
+    if not items:
+        return None
+    mu = items.mu()
+    name = packer.name
+    if name == "first-fit":
+        return first_fit_ratio(mu)
+    if name == "next-fit":
+        return next_fit_ratio(mu)
+    if name == "duration-descending-first-fit":
+        return ddff_approximation_ratio()
+    if name in ("dual-coloring", "dual-coloring-merged"):
+        return dual_coloring_approximation_ratio()
+    if name == "classify-departure":
+        rho = getattr(packer, "rho", None)
+        if rho:
+            return classify_departure_ratio(mu, items.min_duration(), rho)
+    if name == "classify-duration":
+        alpha = getattr(packer, "alpha", None)
+        if alpha:
+            return classify_duration_ratio(mu, alpha)
+    return None
+
+
+def build_report(
+    items: ItemList,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    *,
+    title: str = "workload report",
+    exact_opt_max_items: int = 150,
+    width: int = 72,
+    include_gantt: bool = True,
+    packer_kwargs: dict[str, dict[str, object]] | None = None,
+) -> str:
+    """Build the full plain-text report for one workload.
+
+    Args:
+        items: The workload.
+        algorithms: Registered packer names to compare.
+        title: Report heading.
+        exact_opt_max_items: Size cap for solving the exact adversary.
+        width: Chart width in characters.
+        include_gantt: Append the best algorithm's Gantt chart.
+        packer_kwargs: Optional per-name constructor arguments.
+    """
+    packer_kwargs = packer_kwargs or {}
+    lines = [f"=== {title} ===", ""]
+    if not items:
+        lines.append("(empty workload)")
+        return "\n".join(lines)
+
+    lines.append(
+        f"{len(items)} items | span {items.span():.2f} | demand "
+        f"{items.total_demand():.2f} | mu {items.mu():.2f} | peak demand "
+        f"{items.max_concurrent_size():.2f}"
+    )
+    from ..bounds.opt_bounds import OptBounds
+
+    bounds = OptBounds.of(items)
+    opt: float | None = None
+    if len(items) <= exact_opt_max_items:
+        try:
+            opt = opt_total(items, max_nodes=300_000)
+        except SolverLimitError:
+            opt = None
+    denom = opt if opt is not None else bounds.best
+    denom_label = "OPT_total (exact)" if opt is not None else "Prop-3 lower bound"
+    lines.append(
+        f"bounds: d(R)={bounds.demand:.2f}  span={bounds.span:.2f}  "
+        f"ceil-integral={bounds.ceil_size:.2f}"
+        + (f"  OPT_total={opt:.2f}" if opt is not None else "")
+    )
+    lines.append("")
+
+    rows = []
+    results = {}
+    for name in algorithms:
+        packer = get_packer(name, **packer_kwargs.get(name, {}))
+        result = packer.pack(items)
+        result.validate()
+        results[name] = result
+        rows.append(
+            {
+                "algorithm": packer.describe(),
+                "bins": result.num_bins,
+                "usage": result.total_usage(),
+                f"ratio vs {denom_label}": result.total_usage() / denom
+                if denom > 0
+                else 1.0,
+                "guarantee": guarantee_for(packer, items),
+            }
+        )
+    rows.sort(key=lambda r: r["usage"])  # type: ignore[arg-type,return-value]
+    lines.append(render_table(rows, title="algorithms (best first)"))
+    lines.append("")
+    lines.append("demand profile S(t):")
+    lines.append(render_profile(items.size_profile(), width=width, height=8))
+    if include_gantt:
+        best_name = min(results, key=lambda n: results[n].total_usage())
+        lines.append("")
+        lines.append(f"packing by the winner ({results[best_name].algorithm}):")
+        lines.append(render_gantt(results[best_name], width=width))
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Plain-text tables and series rendering for bench output.
+
+Every bench prints its rows through :func:`render_table` so the output that
+lands in ``bench_output.txt`` (and EXPERIMENTS.md) has one consistent,
+diff-friendly format.  No third-party tabulation dependency is used.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_cell", "render_table", "render_series"]
+
+
+def format_cell(value: object, precision: int = 3) -> str:
+    """Render one table cell: floats to fixed precision, None as '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    *,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Args:
+        rows: Mapping rows; missing keys render as '-'.
+        columns: Column order; defaults to the first row's key order.
+        precision: Decimal places for floats.
+        title: Optional heading line.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[format_cell(row.get(c), precision) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(cols)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render aligned x/y series (e.g. Figure 8's curves) as a table.
+
+    Args:
+        x_label: Name of the x column.
+        x_values: Shared x grid.
+        series: Mapping from series name to y values (same length as x).
+        precision: Decimal places.
+        title: Optional heading.
+    """
+    rows = []
+    for i, x in enumerate(x_values):
+        row: dict[str, object] = {x_label: x}
+        for name, ys in series.items():
+            row[name] = ys[i]
+        rows.append(row)
+    return render_table(rows, [x_label, *series.keys()], precision=precision, title=title)

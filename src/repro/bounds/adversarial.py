@@ -1,0 +1,205 @@
+"""Executable worst-case instance families.
+
+* :func:`theorem3_instance` — the paper's Theorem 3 construction (Figure 5)
+  establishing the golden-ratio lower bound for online clairvoyant packing.
+* :func:`retention_instance` — the classic "bin held open by a tiny long
+  item" trap behind the Any Fit lower bound of μ+1 [17, 19]: every Any Fit
+  algorithm's ratio tends to μ on this family, while the paper's
+  classification strategies stay O(√μ) — the phenomenon motivating §5.
+* :func:`bestfit_trap_instance` — a family separating Best Fit from First
+  Fit: Best Fit's fullest-bin preference pairs a long rider with a short
+  item, paying ≈ 2× optimal, while First Fit aligns durations.
+* :func:`staircase_instance` — a stress family forcing any Any Fit algorithm
+  to open ``n`` bins that each stay open for the long horizon.
+
+Every generator returns an :class:`~repro.core.ItemList` plus (where the
+paper states one) the optimal cost in a small results dataclass, so benches
+can report exact ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.exceptions import ValidationError
+from ..core.intervals import Interval
+from ..core.items import Item, ItemList
+from .competitive import GOLDEN_RATIO
+
+__all__ = [
+    "Theorem3Instance",
+    "theorem3_instance",
+    "theorem3_optimal_x",
+    "retention_instance",
+    "bestfit_trap_instance",
+    "staircase_instance",
+]
+
+
+def theorem3_optimal_x() -> float:
+    """The ``x`` maximising ``min{(x+1)/x, (2x+1)/(x+1)}`` — the golden ratio."""
+    return GOLDEN_RATIO
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem3Instance:
+    """The two cases of the Theorem 3 adversary with their optimal costs."""
+
+    case_a: ItemList
+    case_b: ItemList
+    opt_a: float
+    opt_b: float
+    x: float
+    eps: float
+    tau: float
+
+    def adversary_ratio(self, packs_first_two_together: bool) -> float:
+        """The ratio the adversary extracts from an online algorithm.
+
+        A deterministic online algorithm either packs the first two items in
+        one bin (then case B costs it ``2x+1``) or in two bins (then case A
+        costs it ``x+1`` against ``x``) — the adversary picks the bad case.
+        """
+        if packs_first_two_together:
+            return (2.0 * self.x + 1.0) / self.opt_b
+        return (self.x + 1.0) / self.opt_a
+
+
+def theorem3_instance(
+    x: float | None = None, eps: float = 0.01, tau: float = 1e-4
+) -> Theorem3Instance:
+    """Build the Theorem 3 adversarial pair (paper Figure 5).
+
+    At time 0 two items of size ``1/2 − ε`` arrive with durations ``x`` and 1
+    (``x > 1``).  Case A stops there (OPT packs both in one bin: cost ``x``).
+    Case B adds two items of size ``1/2 + ε`` at time ``τ`` with durations
+    ``x`` and 1 (OPT: first with third, second with fourth — cost
+    ``x + 1 + 2τ``).
+
+    Args:
+        x: Duration of the long first/third items; defaults to the golden
+            ratio, the adversary's optimal choice.
+        eps: Size offset, in (0, 1/2).
+        tau: Arrival delay of case B's extra items, small and positive.
+    """
+    if x is None:
+        x = theorem3_optimal_x()
+    if not x > 1:
+        raise ValidationError(f"Theorem 3 requires x > 1, got {x}")
+    if not 0 < eps < 0.5:
+        raise ValidationError(f"eps must be in (0, 1/2), got {eps}")
+    if tau <= 0:
+        raise ValidationError(f"tau must be positive, got {tau}")
+    small = 0.5 - eps
+    big = 0.5 + eps
+    first = Item(0, small, Interval(0.0, x))
+    second = Item(1, small, Interval(0.0, 1.0))
+    third = Item(2, big, Interval(tau, tau + x))
+    fourth = Item(3, big, Interval(tau, tau + 1.0))
+    return Theorem3Instance(
+        case_a=ItemList([first, second]),
+        case_b=ItemList([first, second, third, fourth]),
+        opt_a=x,
+        opt_b=x + 1.0 + 2.0 * tau,
+        x=x,
+        eps=eps,
+        tau=tau,
+    )
+
+
+def retention_instance(
+    mu: float, phases: int, eps: float = 0.01, base_duration: float = 1.0
+) -> ItemList:
+    """The Any Fit retention trap: ratio → μ for every Any Fit algorithm.
+
+    Phase ``j`` (spaced ``Δ/(2·phases)`` apart, so all previous fillers are
+    still active) releases a tiny *retainer* of size ε and duration μΔ,
+    immediately followed by a *filler* of size 1−ε and duration Δ.  Any Fit
+    must open a fresh bin for each phase (all earlier bins sit at level 1),
+    and after the filler departs the retainer pins the bin open for the
+    remaining ≈ μΔ.
+
+    Cost ≈ phases·μΔ for Any Fit versus OPT ≈ phases·Δ + μΔ (fillers cannot
+    share bins; all retainers fit in one), so the ratio tends to μ as
+    ``phases → ∞``.  Classify-by-duration instead isolates the retainers,
+    paying ≈ OPT.
+
+    Args:
+        mu: Duration ratio μ ≥ 1 of the family.
+        phases: Number of phases (``m`` in the analysis above).
+        eps: Retainer size; ``phases·eps`` must stay ≤ 1 so OPT can group all
+            retainers into one bin.
+        base_duration: The short duration Δ.
+    """
+    if mu < 1:
+        raise ValidationError(f"mu must be >= 1, got {mu}")
+    if phases < 1:
+        raise ValidationError(f"phases must be >= 1, got {phases}")
+    if eps * phases > 1.0:
+        raise ValidationError(
+            f"phases*eps = {phases * eps} > 1 breaks the OPT argument; "
+            f"lower eps or phases"
+        )
+    delta = base_duration
+    gap = delta / (2.0 * phases)
+    items: list[Item] = []
+    for j in range(phases):
+        t = j * gap
+        items.append(Item(2 * j, eps, Interval(t, t + mu * delta)))
+        items.append(Item(2 * j + 1, 1.0 - eps, Interval(t, t + delta)))
+    return ItemList(items)
+
+
+def bestfit_trap_instance(
+    mu: float, phases: int, *, spacing_factor: float = 3.0
+) -> ItemList:
+    """Phases on which Best Fit pays ≈ 2× while First Fit pays ≈ 1× optimal.
+
+    Each phase has three items: a *long anchor* L (size 0.48, duration μΔ),
+    a *short decoy* S (size 0.53, duration Δ) and a *long rider* R (size
+    0.45, duration μΔ) arriving just after.  ``L+S > 1`` forces them into
+    different bins; the rider fits both.  First Fit picks L's bin (opened
+    first), aligning the two long items; Best Fit picks the *fuller* decoy
+    bin, pinning it open for the rider's whole long duration.
+
+    Phases are spaced ``spacing_factor·μΔ`` apart so they do not interact.
+    """
+    if mu <= 1:
+        raise ValidationError(f"mu must exceed 1, got {mu}")
+    if phases < 1:
+        raise ValidationError(f"phases must be >= 1, got {phases}")
+    delta = 1.0
+    long_d = mu * delta
+    stride = spacing_factor * long_d
+    items: list[Item] = []
+    for j in range(phases):
+        t = j * stride
+        items.append(Item(3 * j, 0.48, Interval(t, t + long_d)))  # anchor L
+        items.append(Item(3 * j + 1, 0.53, Interval(t, t + delta)))  # decoy S
+        delay = delta / 4.0
+        items.append(Item(3 * j + 2, 0.45, Interval(t + delay, t + delay + long_d)))
+    return ItemList(items)
+
+
+def staircase_instance(levels: int, horizon: float, eps: float = 0.01) -> ItemList:
+    """A staircase forcing ``levels`` concurrently open bins until ``horizon``.
+
+    Step ``j`` releases a *stuffer* of size 1−ε and unit duration that fills
+    the newest bin, then a tiny long item that no open bin can take.  Online
+    algorithms end with ``levels`` bins open until ``horizon`` while the
+    repacking adversary consolidates the tiny items as stuffers depart.
+    """
+    if levels < 1:
+        raise ValidationError(f"levels must be >= 1, got {levels}")
+    if horizon <= levels + 1:
+        raise ValidationError(f"horizon must exceed levels+1, got {horizon}")
+    items: list[Item] = []
+    next_id = 0
+    for j in range(levels):
+        t = float(j)
+        for _ in range(j):  # stuff all j currently-open tiny bins
+            items.append(Item(next_id, 1.0 - eps, Interval(t, t + 0.5)))
+            next_id += 1
+        items.append(Item(next_id, eps, Interval(t + 0.25, horizon)))
+        next_id += 1
+    return ItemList(items)

@@ -1,0 +1,174 @@
+"""Every approximation/competitive-ratio formula appearing in the paper.
+
+These closed forms are what Figure 8 plots and what the benches compare
+measured ratios against.  Conventions follow the paper:
+
+* ``mu`` (μ ≥ 1) — max/min item-duration ratio of the whole list;
+* ``delta`` (Δ > 0) — minimum item duration;
+* ``rho`` (ρ > 0) — departure-interval width of classify-by-departure-time;
+* ``alpha`` (α > 1) — per-category duration ratio of classify-by-duration;
+* ``n`` (n ≥ 1) — number of duration categories when μ is known.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.exceptions import ValidationError
+
+__all__ = [
+    "GOLDEN_RATIO",
+    "online_clairvoyant_lower_bound",
+    "ddff_approximation_ratio",
+    "dual_coloring_approximation_ratio",
+    "first_fit_ratio",
+    "next_fit_ratio",
+    "any_fit_lower_bound",
+    "hybrid_first_fit_ratio_known_mu",
+    "hybrid_first_fit_ratio_unknown_mu",
+    "classify_departure_ratio",
+    "classify_departure_ratio_known",
+    "classify_duration_ratio",
+    "classify_duration_ratio_known",
+    "bucket_first_fit_ratio",
+    "optimal_rho",
+    "optimal_num_duration_classes",
+]
+
+#: ``(1+√5)/2`` — Theorem 3's lower bound on any deterministic online
+#: algorithm for Clairvoyant MinUsageTime DBP.
+GOLDEN_RATIO: float = (1.0 + math.sqrt(5.0)) / 2.0
+
+
+def _check_mu(mu: float) -> None:
+    if mu < 1:
+        raise ValidationError(f"mu must be >= 1, got {mu}")
+
+
+def online_clairvoyant_lower_bound() -> float:
+    """Theorem 3: no deterministic online algorithm beats ``(1+√5)/2``."""
+    return GOLDEN_RATIO
+
+
+def ddff_approximation_ratio() -> float:
+    """Theorem 1: Duration Descending First Fit is a 5-approximation."""
+    return 5.0
+
+
+def dual_coloring_approximation_ratio() -> float:
+    """Theorem 2: Dual Coloring is a 4-approximation."""
+    return 4.0
+
+
+def first_fit_ratio(mu: float) -> float:
+    """Tang et al. [24]: First Fit is (μ+4)-competitive (non-clairvoyant).
+
+    This is the "original First Fit" curve of Figure 8.
+    """
+    _check_mu(mu)
+    return mu + 4.0
+
+
+def next_fit_ratio(mu: float) -> float:
+    """Kamali & López-Ortiz [13]: Next Fit is (2μ+1)-competitive."""
+    _check_mu(mu)
+    return 2.0 * mu + 1.0
+
+
+def any_fit_lower_bound(mu: float) -> float:
+    """Li et al. [17, 19]: no Any Fit algorithm beats μ+1."""
+    _check_mu(mu)
+    return mu + 1.0
+
+
+def hybrid_first_fit_ratio_known_mu(mu: float) -> float:
+    """Li et al. [17]: Hybrid First Fit is (μ+5)-competitive when μ is known."""
+    _check_mu(mu)
+    return mu + 5.0
+
+
+def hybrid_first_fit_ratio_unknown_mu(mu: float) -> float:
+    """Li et al. [17]: Hybrid First Fit is ((8/7)μ + 55/7)-competitive."""
+    _check_mu(mu)
+    return 8.0 * mu / 7.0 + 55.0 / 7.0
+
+
+def classify_departure_ratio(mu: float, delta: float, rho: float) -> float:
+    """Theorem 4 (general): ``ρ/Δ + μΔ/ρ + 3``."""
+    _check_mu(mu)
+    if delta <= 0 or rho <= 0:
+        raise ValidationError(f"delta and rho must be positive, got {delta}, {rho}")
+    return rho / delta + mu * delta / rho + 3.0
+
+
+def classify_departure_ratio_known(mu: float) -> float:
+    """Theorem 4 (μ, Δ known): ``2√μ + 3`` at the optimal ρ = √μ·Δ."""
+    _check_mu(mu)
+    return 2.0 * math.sqrt(mu) + 3.0
+
+
+def optimal_rho(mu: float, delta: float) -> float:
+    """The ρ minimising Theorem 4's bound: ``ρ* = √μ·Δ``."""
+    _check_mu(mu)
+    if delta <= 0:
+        raise ValidationError(f"delta must be positive, got {delta}")
+    return math.sqrt(mu) * delta
+
+
+def classify_duration_ratio(mu: float, alpha: float) -> float:
+    """Theorem 5 (general): ``α + ⌈log_α μ⌉ + 4``."""
+    _check_mu(mu)
+    if alpha <= 1:
+        raise ValidationError(f"alpha must exceed 1, got {alpha}")
+    return alpha + math.ceil(_log_ceil_arg(mu, alpha)) + 4.0
+
+
+def _log_ceil_arg(mu: float, alpha: float) -> float:
+    """``log_α μ`` with exact-power snapping so ⌈·⌉ is float-robust."""
+    if mu <= 1.0:
+        return 0.0
+    value = math.log(mu) / math.log(alpha)
+    nearest = round(value)
+    if nearest >= 0 and math.isclose(alpha**nearest, mu, rel_tol=1e-12):
+        return float(nearest)
+    return value
+
+
+def classify_duration_ratio_known(mu: float, n: int | None = None) -> float:
+    """Theorem 5 (μ, Δ known): ``min_{n≥1} μ^{1/n} + n + 3``.
+
+    With ``n`` given, evaluates that specific choice; otherwise minimises
+    numerically (the optimal n is O(ln μ), so a small scan suffices).
+    """
+    _check_mu(mu)
+    if n is not None:
+        if n < 1:
+            raise ValidationError(f"n must be >= 1, got {n}")
+        return mu ** (1.0 / n) + n + 3.0
+    return classify_duration_ratio_known(mu, optimal_num_duration_classes(mu))
+
+
+def optimal_num_duration_classes(mu: float) -> int:
+    """The ``n ≥ 1`` minimising ``μ^{1/n} + n + 3`` (ties → smaller n)."""
+    _check_mu(mu)
+    if mu == 1.0:
+        return 1
+    limit = max(2, int(math.log(mu) + 4))
+    best_n, best_val = 1, mu + 4.0
+    for n in range(2, limit + 1):
+        val = mu ** (1.0 / n) + n + 3.0
+        if val < best_val - 1e-15:
+            best_n, best_val = n, val
+    return best_n
+
+
+def bucket_first_fit_ratio(mu: float, alpha: float) -> float:
+    """Shalom et al. [23]: BucketFirstFit is ``(2α+2)·⌈log_α μ⌉``-competitive.
+
+    The paper's §5.3 remark: Theorem 5 improves this to ``α + ⌈log_α μ⌉ + 4``
+    (and generalises it to arbitrary sizes).
+    """
+    _check_mu(mu)
+    if alpha <= 1:
+        raise ValidationError(f"alpha must exceed 1, got {alpha}")
+    return (2.0 * alpha + 2.0) * math.ceil(max(_log_ceil_arg(mu, alpha), 1.0))

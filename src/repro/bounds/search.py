@@ -1,0 +1,163 @@
+"""Automated worst-case search: hill-climb toward bad instances.
+
+The paper's lower bounds come from hand-crafted constructions; this module
+*searches* for bad instances automatically — a standard tool for probing how
+tight a competitive analysis is.  A seeded hill-climb mutates a small
+instance (perturb an item's arrival/duration/size, or resample one item) and
+keeps mutations that increase the measured ratio of a target algorithm
+against the exact repacking adversary.
+
+Instances are kept small so ``opt_total`` stays exact; the result therefore
+reports true ratios, directly comparable to the theorems' bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..algorithms.base import Packer
+from ..algorithms.optimal import opt_total
+from ..core.exceptions import SolverLimitError, ValidationError
+from ..core.intervals import Interval
+from ..core.items import Item, ItemList
+
+__all__ = ["SearchResult", "find_bad_instance"]
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """Outcome of a worst-case search.
+
+    Attributes:
+        items: The worst instance found.
+        ratio: Its exact algorithm/OPT_total ratio.
+        iterations: Mutation steps performed.
+        accepted: Mutations that improved the ratio.
+    """
+
+    items: ItemList
+    ratio: float
+    iterations: int
+    accepted: int
+
+
+def _ratio(packer: Packer, items: ItemList, max_nodes: int) -> float:
+    usage = packer.pack(items).total_usage()
+    denom = opt_total(items, max_nodes=max_nodes)
+    return usage / denom if denom > 0 else 1.0
+
+
+def _random_instance(
+    rng: np.random.Generator, n: int, span: float, min_dur: float, max_dur: float
+) -> ItemList:
+    items = []
+    for i in range(n):
+        a = float(rng.uniform(0, span))
+        d = float(rng.uniform(min_dur, max_dur))
+        s = float(rng.uniform(0.05, 1.0))
+        items.append(Item(i, s, Interval(a, a + d)))
+    return ItemList(items)
+
+
+def _mutate(
+    rng: np.random.Generator,
+    items: ItemList,
+    span: float,
+    min_dur: float,
+    max_dur: float,
+) -> ItemList:
+    records = items.to_records()
+    idx = int(rng.integers(len(records)))
+    rec = dict(records[idx])
+    move = rng.random()
+    arrival = float(rec["arrival"])  # type: ignore[arg-type]
+    duration = float(rec["departure"]) - arrival  # type: ignore[arg-type]
+    size = float(rec["size"])  # type: ignore[arg-type]
+    if move < 0.3:  # nudge arrival
+        arrival = float(np.clip(arrival + rng.normal(0, 0.15 * span), 0, span))
+    elif move < 0.6:  # nudge duration
+        duration = float(
+            np.clip(duration * np.exp(rng.normal(0, 0.4)), min_dur, max_dur)
+        )
+    elif move < 0.85:  # nudge size
+        size = float(np.clip(size * np.exp(rng.normal(0, 0.4)), 0.02, 1.0))
+    else:  # resample the item entirely
+        arrival = float(rng.uniform(0, span))
+        duration = float(rng.uniform(min_dur, max_dur))
+        size = float(rng.uniform(0.05, 1.0))
+    rec["arrival"] = arrival
+    rec["departure"] = arrival + duration
+    rec["size"] = size
+    records[idx] = rec
+    return ItemList.from_records(records)
+
+
+def find_bad_instance(
+    make_packer: Callable[[], Packer],
+    *,
+    n_items: int = 10,
+    iterations: int = 200,
+    seed: int = 0,
+    span: float = 10.0,
+    min_duration: float = 0.5,
+    max_duration: float = 8.0,
+    restarts: int = 3,
+    solver_nodes: int = 200_000,
+) -> SearchResult:
+    """Hill-climb toward a high-ratio instance for the given algorithm.
+
+    Args:
+        make_packer: Factory producing a fresh packer (reused across
+            evaluations via its own ``pack`` reset).
+        n_items: Instance size — keep ≤ ~14 so the exact adversary is fast.
+        iterations: Mutation budget *per restart*.
+        seed: Seed for the whole search (restarts derive sub-seeds).
+        span: Arrival window width.
+        min_duration / max_duration: Duration band (bounds μ).
+        restarts: Independent random restarts; the best result wins.
+        solver_nodes: Budget for each exact ``opt_total`` evaluation;
+            mutations whose evaluation exceeds it are rejected.
+
+    Raises:
+        ValidationError: on non-positive sizes of the search space.
+    """
+    if n_items < 2 or iterations < 1 or restarts < 1:
+        raise ValidationError("need n_items >= 2, iterations >= 1, restarts >= 1")
+    if not 0 < min_duration <= max_duration:
+        raise ValidationError("need 0 < min_duration <= max_duration")
+    packer = make_packer()
+    best: SearchResult | None = None
+    for r in range(restarts):
+        rng = np.random.default_rng((seed, r))
+        current = _random_instance(rng, n_items, span, min_duration, max_duration)
+        try:
+            current_ratio = _ratio(packer, current, solver_nodes)
+        except SolverLimitError:
+            continue
+        accepted = 0
+        for _ in range(iterations):
+            candidate = _mutate(rng, current, span, min_duration, max_duration)
+            try:
+                cand_ratio = _ratio(packer, candidate, solver_nodes)
+            except SolverLimitError:
+                continue
+            if cand_ratio > current_ratio:
+                current, current_ratio = candidate, cand_ratio
+                accepted += 1
+        result = SearchResult(
+            items=current,
+            ratio=current_ratio,
+            iterations=iterations,
+            accepted=accepted,
+        )
+        if best is None or result.ratio > best.ratio:
+            best = result
+    if best is None:
+        raise SolverLimitError(
+            "every restart exceeded the exact-adversary node budget; "
+            "reduce n_items or raise solver_nodes"
+        )
+    return best

@@ -1,0 +1,350 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — synthesise a workload and write it to a trace file;
+* ``pack`` — pack a trace with one algorithm, report metrics, optionally
+  draw the Gantt chart;
+* ``compare`` — run several algorithms on one trace side by side;
+* ``bounds`` — print the Proposition 1–3 lower bounds (and the exact
+  repacking adversary for small traces);
+* ``fig8`` — print the paper's Figure 8 as a table and ASCII chart.
+
+Every command is pure stdlib-argparse on top of the public API, so the CLI
+doubles as executable documentation of the library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .algorithms import available_packers, get_packer, opt_total
+from .analysis import render_series, render_table
+from .bounds import (
+    OptBounds,
+    classify_departure_ratio_known,
+    classify_duration_ratio_known,
+    first_fit_ratio,
+)
+from .core import ItemList, ReproError
+from .simulation import evaluate
+from .viz import render_chart, render_gantt, render_profile
+from .workloads import (
+    bounded_mu,
+    bursty,
+    gaming_sessions,
+    load_trace,
+    poisson_exponential,
+    random_templates,
+    recurring_jobs,
+    save_trace,
+    uniform_random,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------------
+# generate
+# ---------------------------------------------------------------------------
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    kind = args.kind
+    if kind == "uniform":
+        items = uniform_random(args.n, seed=args.seed)
+    elif kind == "poisson":
+        items = poisson_exponential(args.n, seed=args.seed)
+    elif kind == "bounded-mu":
+        items = bounded_mu(args.n, seed=args.seed, mu=args.mu)
+    elif kind == "bursty":
+        per_burst = max(args.n // 5, 1)
+        items = bursty(5, per_burst, seed=args.seed)
+    elif kind == "gaming":
+        items = gaming_sessions(args.n, seed=args.seed)
+    elif kind == "analytics":
+        templates = random_templates(max(args.n // 20, 1), seed=args.seed)
+        items = recurring_jobs(templates, horizon=float(args.n), seed=args.seed)
+    else:  # pragma: no cover - argparse choices guard this
+        raise ReproError(f"unknown workload kind {kind}")
+    save_trace(items, args.out)
+    print(
+        f"wrote {len(items)} items to {args.out} "
+        f"(span={items.span():.2f}, mu={items.mu():.2f})"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pack / compare helpers
+# ---------------------------------------------------------------------------
+
+
+def _make_packer(name: str, args: argparse.Namespace):
+    kwargs: dict[str, object] = {}
+    if name == "classify-departure":
+        kwargs["rho"] = args.rho
+    elif name in ("classify-duration", "classify-combined"):
+        kwargs["alpha"] = args.alpha
+    elif name == "hybrid-first-fit" and args.num_classes:
+        kwargs["num_classes"] = args.num_classes
+    return get_packer(name, **kwargs)
+
+
+def _load(args: argparse.Namespace) -> ItemList:
+    return load_trace(args.trace)
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    items = _load(args)
+    packer = _make_packer(args.algorithm, args)
+    if args.noise_sigma > 0:
+        from .analysis import noisy_estimator
+        from .algorithms.base import OnlinePacker
+        from .simulation import Simulator
+
+        if not isinstance(packer, OnlinePacker):
+            print("error: --noise-sigma requires an online algorithm", file=sys.stderr)
+            return 2
+        result = Simulator(packer).run(
+            items, noisy_estimator(args.noise_sigma, args.noise_seed)
+        ).packing
+    else:
+        result = packer.pack(items)
+    result.validate()
+    opt = opt_total(items) if args.exact_opt else None
+    metrics = evaluate(result, opt=opt)
+    print(render_table([metrics.as_dict()], title=f"pack: {packer.describe()}"))
+    if args.gantt:
+        print()
+        print(render_gantt(result, width=args.width))
+    if args.profile:
+        print()
+        print("demand profile S(t):")
+        print(render_profile(items.size_profile(), width=args.width))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    items = _load(args)
+    names = args.algorithms.split(",") if args.algorithms else available_packers()
+    opt = opt_total(items) if args.exact_opt else None
+    rows = []
+    for name in names:
+        packer = _make_packer(name.strip(), args)
+        metrics = evaluate(packer.pack(items), opt=opt)
+        rows.append(metrics.as_dict())
+    rows.sort(key=lambda r: r["total_usage"])  # type: ignore[arg-type,return-value]
+    print(render_table(rows, title=f"compare on {args.trace} (best first)"))
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    items = _load(args)
+    bounds = OptBounds.of(items)
+    rows = [
+        {"bound": "Prop 1: d(R) total demand", "value": bounds.demand},
+        {"bound": "Prop 2: span(R)", "value": bounds.span},
+        {"bound": "Prop 3: integral ceil(S(t))", "value": bounds.ceil_size},
+    ]
+    if args.exact_opt:
+        rows.append({"bound": "exact OPT_total (repacking adversary)", "value": opt_total(items)})
+    print(render_table(rows, title=f"lower bounds for {args.trace}"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import build_report
+
+    items = _load(args)
+    names = args.algorithms.split(",") if args.algorithms else None
+    kwargs = {
+        "classify-departure": {"rho": args.rho},
+        "classify-duration": {"alpha": args.alpha},
+        "classify-combined": {"alpha": args.alpha},
+    }
+    text = build_report(
+        items,
+        algorithms=[n.strip() for n in names] if names else __import__(
+            "repro.analysis.report", fromlist=["DEFAULT_ALGORITHMS"]
+        ).DEFAULT_ALGORITHMS,
+        title=f"report: {args.trace}",
+        width=args.width,
+        include_gantt=not args.no_gantt,
+        packer_kwargs=kwargs,
+    )
+    print(text)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .algorithms.base import OnlinePacker
+    from .simulation import first_divergence, record_decisions
+
+    items = _load(args)
+    packer = _make_packer(args.algorithm, args)
+    if not isinstance(packer, OnlinePacker):
+        print("error: replay requires an online algorithm", file=sys.stderr)
+        return 2
+    if args.versus:
+        other = _make_packer(args.versus, args)
+        if not isinstance(other, OnlinePacker):
+            print("error: --versus requires an online algorithm", file=sys.stderr)
+            return 2
+        div = first_divergence(packer, other, items)
+        if div is None:
+            print(
+                f"{packer.describe()} and {other.describe()} induce identical "
+                f"groupings on {args.trace}"
+            )
+            return 0
+        da, db = div
+        print(f"first divergence at item {da.item_id} (t={da.time:g}):")
+        print(
+            f"  {packer.describe():30s} -> bin {da.chosen_bin} "
+            f"(open={list(da.open_bins)}, levels={[round(l, 3) for l in da.levels]})"
+        )
+        print(
+            f"  {other.describe():30s} -> bin {db.chosen_bin} "
+            f"(open={list(db.open_bins)}, levels={[round(l, 3) for l in db.levels]})"
+        )
+        return 0
+    log = record_decisions(packer, items)
+    rows = [
+        {
+            "item": d.item_id,
+            "t": d.time,
+            "open bins": len(d.open_bins),
+            "feasible": len(d.feasible_bins),
+            "chosen": d.chosen_bin,
+            "new bin": d.opened_new,
+        }
+        for d in log.decisions[: args.limit]
+    ]
+    print(render_table(rows, title=f"replay: {log.algorithm} on {args.trace}"))
+    print(
+        f"\n{len(log.new_bin_openings())} bin openings over {len(log)} placements"
+    )
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    mus = [float(m) for m in args.mus.split(",")]
+    series = {
+        "first-fit (mu+4)": [first_fit_ratio(mu) for mu in mus],
+        "classify-departure (2sqrt(mu)+3)": [
+            classify_departure_ratio_known(mu) for mu in mus
+        ],
+        "classify-duration (min_n)": [classify_duration_ratio_known(mu) for mu in mus],
+    }
+    print(render_series("mu", mus, series, title="Figure 8: competitive ratios vs mu"))
+    print()
+    print(render_chart(mus, series, width=args.width, height=18))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clairvoyant MinUsageTime Dynamic Bin Packing (Ren & Tang, SPAA'16)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesise a workload trace")
+    gen.add_argument(
+        "--kind",
+        choices=["uniform", "poisson", "bounded-mu", "bursty", "gaming", "analytics"],
+        default="uniform",
+    )
+    gen.add_argument("--n", type=int, default=100, help="number of items")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--mu", type=float, default=10.0, help="duration ratio (bounded-mu)")
+    gen.add_argument("--out", required=True, help="output trace (.jsonl or .csv)")
+    gen.set_defaults(func=_cmd_generate)
+
+    def add_packer_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--rho", type=float, default=2.0, help="classify-departure width")
+        p.add_argument("--alpha", type=float, default=2.0, help="duration class ratio")
+        p.add_argument("--num-classes", type=int, default=0, help="hybrid-first-fit K")
+        p.add_argument("--exact-opt", action="store_true", help="solve OPT_total exactly")
+        p.add_argument("--width", type=int, default=78, help="chart width")
+
+    pack = sub.add_parser("pack", help="pack a trace with one algorithm")
+    pack.add_argument("--trace", required=True)
+    pack.add_argument("--algorithm", required=True, choices=available_packers())
+    pack.add_argument("--gantt", action="store_true", help="draw the packing")
+    pack.add_argument("--profile", action="store_true", help="draw the demand profile")
+    pack.add_argument(
+        "--noise-sigma",
+        type=float,
+        default=0.0,
+        help="simulate log-normal duration-prediction noise of this sigma",
+    )
+    pack.add_argument("--noise-seed", type=int, default=0)
+    add_packer_opts(pack)
+    pack.set_defaults(func=_cmd_pack)
+
+    cmp_ = sub.add_parser("compare", help="compare algorithms on a trace")
+    cmp_.add_argument("--trace", required=True)
+    cmp_.add_argument(
+        "--algorithms", default="", help="comma-separated names (default: all)"
+    )
+    add_packer_opts(cmp_)
+    cmp_.set_defaults(func=_cmd_compare)
+
+    bnd = sub.add_parser("bounds", help="print OPT lower bounds for a trace")
+    bnd.add_argument("--trace", required=True)
+    bnd.add_argument("--exact-opt", action="store_true")
+    bnd.set_defaults(func=_cmd_bounds)
+
+    rpt = sub.add_parser("report", help="full workload report (bounds + comparison)")
+    rpt.add_argument("--trace", required=True)
+    rpt.add_argument("--algorithms", default="", help="comma-separated (default: a representative set)")
+    rpt.add_argument("--no-gantt", action="store_true")
+    add_packer_opts(rpt)
+    rpt.set_defaults(func=_cmd_report)
+
+    rep = sub.add_parser("replay", help="show an online packer's decisions")
+    rep.add_argument("--trace", required=True)
+    rep.add_argument("--algorithm", required=True, choices=available_packers())
+    rep.add_argument(
+        "--versus",
+        default="",
+        choices=["", *available_packers()],
+        help="second algorithm: report the first structural divergence",
+    )
+    rep.add_argument("--limit", type=int, default=30, help="decisions to print")
+    add_packer_opts(rep)
+    rep.set_defaults(func=_cmd_replay)
+
+    fig = sub.add_parser("fig8", help="print the paper's Figure 8")
+    fig.add_argument(
+        "--mus", default="1,2,4,8,16,32,64,100", help="comma-separated mu grid"
+    )
+    fig.add_argument("--width", type=int, default=70)
+    fig.set_defaults(func=_cmd_fig8)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Application layer: cloud jobs, servers, scheduler and policy bake-offs."""
+
+from .autoscaler import PolicyReport, compare_policies, compare_policies_on_items
+from .jobs import Job, items_to_jobs, jobs_to_items
+from .reserved import ReservedPlan, ReservedPricing, optimize_reservation
+from .scheduler import CloudScheduler, SchedulePlan
+from .servers import ServerLease, leases_from_packing
+
+__all__ = [
+    "PolicyReport",
+    "compare_policies",
+    "compare_policies_on_items",
+    "Job",
+    "items_to_jobs",
+    "jobs_to_items",
+    "ReservedPlan",
+    "ReservedPricing",
+    "optimize_reservation",
+    "CloudScheduler",
+    "SchedulePlan",
+    "ServerLease",
+    "leases_from_packing",
+]

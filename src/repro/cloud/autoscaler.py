@@ -1,0 +1,88 @@
+"""Policy comparison harness — the "autoscaler bake-off".
+
+Given one workload and several packing policies, run each through the
+:class:`~repro.cloud.CloudScheduler` and tabulate rental costs under one or
+more billing schemes, plus the efficiency ratio against the Proposition 1–3
+lower bound.  This is the end-to-end experiment behind
+``benchmarks/bench_cloud_cost.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..algorithms.base import Packer
+from ..bounds.opt_bounds import best_lower_bound
+from ..core.items import ItemList
+from ..simulation.billing import BillingPolicy
+from .jobs import Job, items_to_jobs
+from .scheduler import CloudScheduler
+
+__all__ = ["PolicyReport", "compare_policies", "compare_policies_on_items"]
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyReport:
+    """One policy's cost report on one workload."""
+
+    policy: str
+    num_leases: int
+    usage_time: float
+    ratio_lb: float
+    costs: dict[str, float]  # billing-policy name -> billed cost
+
+    def as_dict(self) -> dict[str, object]:
+        """Flatten the report (costs become ``cost[<name>]`` columns)."""
+        out: dict[str, object] = {
+            "policy": self.policy,
+            "num_leases": self.num_leases,
+            "usage_time": self.usage_time,
+            "ratio_lb": self.ratio_lb,
+        }
+        out.update({f"cost[{k}]": v for k, v in self.costs.items()})
+        return out
+
+
+def compare_policies(
+    jobs: Sequence[Job],
+    policies: Iterable[Packer | str],
+    *,
+    server_capacity: float = 1.0,
+    billings: Sequence[BillingPolicy] = (),
+) -> list[PolicyReport]:
+    """Schedule the same jobs under each policy and report costs.
+
+    Args:
+        jobs: The workload.
+        policies: Packer instances or registered names.
+        server_capacity: Capacity of one server in job-demand units.
+        billings: Billing schemes to price each plan under (exact usage is
+            always reported via ``usage_time``).
+    """
+    reports = []
+    for policy in policies:
+        scheduler = CloudScheduler(policy, server_capacity=server_capacity)
+        plan = scheduler.schedule(jobs)
+        lb = best_lower_bound(plan.packing.items)
+        reports.append(
+            PolicyReport(
+                policy=plan.policy,
+                num_leases=plan.num_leases,
+                usage_time=plan.usage_time,
+                ratio_lb=plan.usage_time / lb if lb > 0 else 1.0,
+                costs={b.name: b.cost(plan.packing) for b in billings},
+            )
+        )
+    return reports
+
+
+def compare_policies_on_items(
+    items: ItemList,
+    policies: Iterable[Packer | str],
+    *,
+    billings: Sequence[BillingPolicy] = (),
+) -> list[PolicyReport]:
+    """Like :func:`compare_policies` but starting from an item list."""
+    jobs = items_to_jobs(items, 1.0)
+    return compare_policies(jobs, policies, server_capacity=1.0, billings=billings)

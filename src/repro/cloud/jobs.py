@@ -1,0 +1,116 @@
+"""Cloud jobs and their mapping to DBP items.
+
+The paper's introduction maps the server-acquisition problem onto DBP: jobs
+are items, servers are bins, and a job's resource demand relative to the
+server capacity is the item size.  :class:`Job` carries the application-level
+fields (absolute resource demand, predicted vs actual duration); the
+:func:`jobs_to_items` mapping normalises demands by a server capacity and is
+where the clairvoyant assumption becomes explicit — the *predicted* end time
+is what the packer will see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..core.exceptions import ValidationError
+from ..core.intervals import Interval
+from ..core.items import Item, ItemList
+
+__all__ = ["Job", "jobs_to_items", "items_to_jobs"]
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """A cloud job.
+
+    Attributes:
+        job_id: Unique identifier.
+        demand: Absolute resource demand (e.g. vCPUs), in the same unit as
+            the server capacity it will be normalised by.
+        arrival: Submission time (the job starts immediately — the paper's
+            interval-job model).
+        duration: Actual run time.
+        predicted_duration: What the predictor says at submission; defaults
+            to the actual duration (perfect clairvoyance).
+        tags: Free-form metadata.
+    """
+
+    job_id: int
+    demand: float
+    arrival: float
+    duration: float
+    predicted_duration: float | None = None
+    tags: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.demand <= 0:
+            raise ValidationError(f"job {self.job_id}: demand must be positive")
+        if self.duration <= 0:
+            raise ValidationError(f"job {self.job_id}: duration must be positive")
+        if self.predicted_duration is not None and self.predicted_duration <= 0:
+            raise ValidationError(
+                f"job {self.job_id}: predicted_duration must be positive"
+            )
+
+    @property
+    def departure(self) -> float:
+        return self.arrival + self.duration
+
+    @property
+    def predicted_departure(self) -> float:
+        pred = self.predicted_duration if self.predicted_duration is not None else self.duration
+        return self.arrival + pred
+
+
+def jobs_to_items(jobs: Iterable[Job], server_capacity: float) -> ItemList:
+    """Normalise jobs into unit-capacity DBP items.
+
+    Args:
+        jobs: The jobs to convert.
+        server_capacity: Capacity of one server in demand units; every job's
+            demand must fit a single server.
+
+    Items use the jobs' *actual* intervals; the predicted departure is kept
+    in the tag ``"predicted_departure"`` for the simulator's estimator.
+
+    Raises:
+        ValidationError: if a job demands more than one server's capacity.
+    """
+    if server_capacity <= 0:
+        raise ValidationError(f"server_capacity must be positive, got {server_capacity}")
+    items = []
+    for job in jobs:
+        size = job.demand / server_capacity
+        if size > 1.0:
+            raise ValidationError(
+                f"job {job.job_id} demand {job.demand} exceeds server capacity "
+                f"{server_capacity}"
+            )
+        tags = dict(job.tags)
+        tags["predicted_departure"] = job.predicted_departure
+        items.append(
+            Item(job.job_id, size, Interval(job.arrival, job.departure), tags)
+        )
+    return ItemList(items)
+
+
+def items_to_jobs(items: ItemList, server_capacity: float) -> list[Job]:
+    """Inverse of :func:`jobs_to_items` (predictions restored from tags)."""
+    jobs = []
+    for r in items:
+        pred_dep = r.tags.get("predicted_departure")
+        pred = float(pred_dep) - r.arrival if pred_dep is not None else None  # type: ignore[arg-type]
+        tags = {k: v for k, v in r.tags.items() if k != "predicted_departure"}
+        jobs.append(
+            Job(
+                job_id=r.id,
+                demand=r.size * server_capacity,
+                arrival=r.arrival,
+                duration=r.duration,
+                predicted_duration=pred,
+                tags=tags,
+            )
+        )
+    return jobs

@@ -1,0 +1,124 @@
+"""Reserved-capacity planning on top of a packing.
+
+Cloud providers sell discounted *reserved* servers (paid for the whole
+horizon whether used or not) alongside pay-as-you-go on-demand servers.
+Given a packing's open-bins profile ``B(t)``, holding ``R`` reserved servers
+costs
+
+    ``R · reserved_rate · horizon  +  ondemand_rate · ∫ max(0, B(t) − R) dt``
+
+which is piecewise-linear and convex in ``R``, so the optimal reservation
+level is found exactly by scanning ``R = 0 .. max B(t)``.  This quantifies
+how much of a policy's rented time is *base load* (worth reserving) versus
+*burst* — a practical lens on the MinUsageTime objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.exceptions import ValidationError
+from ..core.packing import PackingResult
+
+__all__ = ["ReservedPricing", "ReservedPlan", "optimize_reservation"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReservedPricing:
+    """Rates for the two procurement modes.
+
+    Attributes:
+        ondemand_rate: Price per server-hour of on-demand usage.
+        reserved_rate: Price per server-hour of a reservation (charged for
+            the whole horizon); must not exceed ``ondemand_rate`` for
+            reservations to ever pay off.
+    """
+
+    ondemand_rate: float = 1.0
+    reserved_rate: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.ondemand_rate <= 0 or self.reserved_rate <= 0:
+            raise ValidationError("rates must be positive")
+        if self.reserved_rate > self.ondemand_rate:
+            raise ValidationError(
+                "reserved_rate must not exceed ondemand_rate "
+                f"({self.reserved_rate} > {self.ondemand_rate})"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ReservedPlan:
+    """An optimised reservation decision.
+
+    Attributes:
+        num_reserved: Servers reserved for the whole horizon.
+        horizon: Length of the planning window (span of the packing).
+        reserved_cost: ``num_reserved · reserved_rate · horizon``.
+        ondemand_cost: On-demand charge for demand above the reservation.
+        total_cost: Sum of the two.
+        all_ondemand_cost: Baseline cost with zero reservations.
+    """
+
+    num_reserved: int
+    horizon: float
+    reserved_cost: float
+    ondemand_cost: float
+    total_cost: float
+    all_ondemand_cost: float
+
+    @property
+    def savings(self) -> float:
+        """Absolute saving versus the all-on-demand baseline."""
+        return self.all_ondemand_cost - self.total_cost
+
+    @property
+    def savings_fraction(self) -> float:
+        """Relative saving versus all-on-demand (0 when the baseline is 0)."""
+        if self.all_ondemand_cost == 0:
+            return 0.0
+        return self.savings / self.all_ondemand_cost
+
+
+def optimize_reservation(
+    packing: PackingResult, pricing: ReservedPricing | None = None
+) -> ReservedPlan:
+    """Choose the cost-minimising number of reserved servers for a packing.
+
+    The horizon is the packing's span (first arrival to last departure);
+    the open-bins profile is evaluated exactly on its constant pieces.
+
+    Args:
+        packing: Any feasible packing.
+        pricing: Rates; defaults to on-demand 1.0 / reserved 0.6.
+    """
+    pricing = pricing or ReservedPricing()
+    profile = packing.open_bins_profile()
+    segments = list(profile.segments())
+    if not segments:
+        return ReservedPlan(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    horizon = segments[-1][1] - segments[0][0]
+    max_bins = int(round(profile.max_value()))
+
+    def cost_at(reserved: int) -> tuple[float, float]:
+        reserved_cost = reserved * pricing.reserved_rate * horizon
+        overflow = sum(
+            (right - left) * max(0.0, value - reserved)
+            for left, right, value in segments
+        )
+        return reserved_cost, pricing.ondemand_rate * overflow
+
+    best_r, best_costs = 0, cost_at(0)
+    for r in range(1, max_bins + 1):
+        costs = cost_at(r)
+        if sum(costs) < sum(best_costs) - 1e-12:
+            best_r, best_costs = r, costs
+    all_ondemand = cost_at(0)[1]
+    return ReservedPlan(
+        num_reserved=best_r,
+        horizon=horizon,
+        reserved_cost=best_costs[0],
+        ondemand_cost=best_costs[1],
+        total_cost=sum(best_costs),
+        all_ondemand_cost=all_ondemand,
+    )

@@ -1,0 +1,58 @@
+"""Servers: the application-level view of bins.
+
+A :class:`ServerLease` is one rental of one server — an acquisition time, a
+release time, and the jobs it hosted.  A packing's bins translate into
+leases one-to-one per maximal usage interval (online policies produce one
+lease per bin; offline packings may reuse a bin index across disjoint
+periods, which are separate rentals in cost terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.packing import PackingResult
+
+__all__ = ["ServerLease", "leases_from_packing"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServerLease:
+    """One server rental.
+
+    Attributes:
+        server_id: Sequential lease identifier.
+        acquired: Rental start (first hosted job's arrival).
+        released: Rental end (last hosted job's departure in this period).
+        job_ids: Jobs hosted during this lease, in arrival order.
+    """
+
+    server_id: int
+    acquired: float
+    released: float
+    job_ids: tuple[int, ...]
+
+    @property
+    def duration(self) -> float:
+        return self.released - self.acquired
+
+
+def leases_from_packing(packing: PackingResult) -> list[ServerLease]:
+    """Expand a packing into server leases (one per maximal usage interval)."""
+    leases: list[ServerLease] = []
+    for b in packing.bins():
+        for iv in b.usage_intervals():
+            hosted = tuple(
+                r.id
+                for r in sorted(b.items, key=lambda r: (r.arrival, r.id))
+                if r.interval.overlaps(iv)
+            )
+            leases.append(
+                ServerLease(
+                    server_id=len(leases),
+                    acquired=iv.left,
+                    released=iv.right,
+                    job_ids=hosted,
+                )
+            )
+    return leases

@@ -1,0 +1,40 @@
+"""Core substrate: intervals, step functions, items, bins and packings."""
+
+from .bins import Bin, bins_from_assignment
+from .events import Event, EventKind, event_stream
+from .exceptions import (
+    CapacityError,
+    InfeasibleError,
+    ReproError,
+    SolverLimitError,
+    ValidationError,
+)
+from .intervals import Interval, intersect_many, merge_intervals, span, total_length
+from .items import Item, ItemList
+from .packing import PackingResult, PackingStats
+from .stepfun import DEFAULT_TOL, StepFunction, iceil
+
+__all__ = [
+    "Bin",
+    "bins_from_assignment",
+    "Event",
+    "EventKind",
+    "event_stream",
+    "CapacityError",
+    "InfeasibleError",
+    "ReproError",
+    "SolverLimitError",
+    "ValidationError",
+    "Interval",
+    "intersect_many",
+    "merge_intervals",
+    "span",
+    "total_length",
+    "Item",
+    "ItemList",
+    "PackingResult",
+    "PackingStats",
+    "DEFAULT_TOL",
+    "StepFunction",
+    "iceil",
+]

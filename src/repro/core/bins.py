@@ -1,0 +1,187 @@
+"""Bins (servers) with time-varying level profiles.
+
+A :class:`Bin` accumulates committed items.  Its *level* at time ``t`` is the
+total size of items active at ``t`` (paper §3.1); the level may never exceed
+the capacity.  The clairvoyant fit check asks whether an item fits **for its
+whole active interval**, which matters for offline packers (e.g. Duration
+Descending First Fit) that insert items out of arrival order: the bin may
+already hold commitments that lie in the new item's future.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .exceptions import CapacityError, ValidationError
+from .intervals import Interval, merge_intervals
+from .items import Item
+from .stepfun import DEFAULT_TOL, StepFunction
+
+__all__ = ["Bin"]
+
+
+class Bin:
+    """A unit-capacity bin holding committed items.
+
+    Args:
+        index: The bin's index in its packing (opening order).
+        capacity: Bin capacity; the library's algorithms assume 1.0 (WLOG per
+            paper §3.2) but the data structure supports any positive value.
+        tol: Absolute tolerance used in capacity comparisons, absorbing float
+            summation noise (e.g. ten items of size 0.1).
+    """
+
+    __slots__ = ("index", "capacity", "tol", "_items", "_profile")
+
+    def __init__(self, index: int, capacity: float = 1.0, tol: float = DEFAULT_TOL) -> None:
+        if capacity <= 0:
+            raise ValidationError(f"bin capacity must be positive, got {capacity}")
+        self.index = index
+        self.capacity = capacity
+        self.tol = tol
+        self._items: list[Item] = []
+        self._profile = StepFunction()
+
+    # -- contents ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items)
+
+    @property
+    def items(self) -> tuple[Item, ...]:
+        """Items committed to this bin, in placement order."""
+        return tuple(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    # -- levels -------------------------------------------------------------------
+
+    def level_at(self, t: float) -> float:
+        """Total size of committed items active at time ``t``."""
+        return self._profile.value_at(t)
+
+    def max_level_over(self, interval: Interval) -> float:
+        """Maximum committed level over ``interval``."""
+        return self._profile.max_over(interval)
+
+    def level_profile(self) -> StepFunction:
+        """A copy of the full level profile."""
+        return self._profile.copy()
+
+    def residual_at(self, t: float) -> float:
+        """Free capacity at time ``t``."""
+        return self.capacity - self.level_at(t)
+
+    # -- fit checks ------------------------------------------------------------------
+
+    def fits(self, item: Item) -> bool:
+        """Clairvoyant fit check: does ``item`` fit *throughout its interval*?
+
+        True iff for every ``t ∈ I(item)``, ``level(t) + s(item) <= capacity``
+        (within tolerance).  This is the check every packer in the paper uses.
+        """
+        return (
+            self.max_level_over(item.interval) + item.size <= self.capacity + self.tol
+        )
+
+    def fits_at_arrival(self, item: Item) -> bool:
+        """Arrival-instant fit check: ``level(arrival) + s(item) <= capacity``.
+
+        For *online arrival-order* packing the two checks coincide: a bin's
+        committed level can only decrease after the current arrival because
+        no future arrival has been committed yet.  Offline packers must use
+        :meth:`fits`.  Both are exposed so tests can cross-validate them.
+        """
+        return self.level_at(item.arrival) + item.size <= self.capacity + self.tol
+
+    # -- mutation ------------------------------------------------------------------------
+
+    def place(self, item: Item, *, check: bool = True) -> None:
+        """Commit ``item`` to this bin.
+
+        Args:
+            item: The item to place.
+            check: When True (default), verify the clairvoyant fit first.
+
+        Raises:
+            CapacityError: if ``check`` and the item does not fit at some time.
+        """
+        if check and not self.fits(item):
+            raise CapacityError(
+                f"item {item.id} (size {item.size}) overflows bin {self.index} "
+                f"during {item.interval}",
+                time=self._first_overflow_time(item),
+            )
+        self._items.append(item)
+        self._profile.add(item.interval, item.size)
+
+    def _first_overflow_time(self, item: Item) -> float | None:
+        for left, _right, value in self._profile.segments():
+            if item.interval.left <= left < item.interval.right:
+                if value + item.size > self.capacity + self.tol:
+                    return left
+        if self.level_at(item.arrival) + item.size > self.capacity + self.tol:
+            return item.arrival
+        return None
+
+    # -- usage (the objective) ---------------------------------------------------------------
+
+    def usage_intervals(self) -> list[Interval]:
+        """Maximal disjoint intervals during which the bin is in use."""
+        return merge_intervals(r.interval for r in self._items)
+
+    def usage_time(self) -> float:
+        """``span`` of the committed items — this bin's usage-time cost."""
+        return sum(iv.length for iv in self.usage_intervals())
+
+    def open_time(self) -> float:
+        """Time this bin first receives an item (its *opening*, paper §5).
+
+        Raises:
+            ValidationError: if the bin is empty.
+        """
+        if not self._items:
+            raise ValidationError(f"bin {self.index} is empty")
+        return min(r.arrival for r in self._items)
+
+    def close_time(self) -> float:
+        """Time the last committed item departs (the bin *closes*)."""
+        if not self._items:
+            raise ValidationError(f"bin {self.index} is empty")
+        return max(r.departure for r in self._items)
+
+    def is_open_at(self, t: float) -> bool:
+        """True iff at least one committed item is active at ``t``."""
+        return any(r.active_at(t) for r in self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Bin(index={self.index}, items={len(self._items)})"
+
+
+def bins_from_assignment(
+    items: Iterable[Item],
+    assignment: dict[int, int],
+    *,
+    capacity: float = 1.0,
+    tol: float = DEFAULT_TOL,
+    check: bool = False,
+) -> list[Bin]:
+    """Materialise :class:`Bin` objects from an item→bin-index assignment.
+
+    Bin indices need not be contiguous; the result is ordered by index.
+    """
+    by_bin: dict[int, list[Item]] = {}
+    for item in items:
+        by_bin.setdefault(assignment[item.id], []).append(item)
+    bins = []
+    for index in sorted(by_bin):
+        b = Bin(index, capacity=capacity, tol=tol)
+        for item in sorted(by_bin[index], key=lambda r: (r.arrival, r.id)):
+            b.place(item, check=check)
+        bins.append(b)
+    return bins

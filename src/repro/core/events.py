@@ -1,0 +1,57 @@
+"""Arrival/departure event streams.
+
+Online packers and the event-driven simulator consume items as a time-ordered
+stream of events.  This module builds that stream from an :class:`ItemList`
+with deterministic tie-breaking: at equal times, departures precede arrivals
+(half-open intervals mean a departing item frees capacity *at* its departure
+instant), and ties within a kind break by item id.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from .items import Item, ItemList
+
+__all__ = ["EventKind", "Event", "event_stream"]
+
+
+class EventKind(enum.IntEnum):
+    """Event types, ordered so departures sort before arrivals at equal times."""
+
+    DEPARTURE = 0
+    ARRIVAL = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A single arrival or departure.
+
+    Attributes:
+        time: When the event occurs.
+        kind: Arrival or departure.
+        item: The item arriving or departing.
+    """
+
+    time: float
+    kind: EventKind
+    item: Item
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, int(self.kind), self.item.id)
+
+
+def event_stream(items: ItemList) -> Iterator[Event]:
+    """Yield all arrival and departure events of ``items`` in time order.
+
+    The ordering contract (departures first at equal times) is what makes
+    back-to-back reuse of bin capacity work with half-open intervals: an item
+    departing at ``t`` and another arriving at ``t`` may share capacity.
+    """
+    events = [Event(r.arrival, EventKind.ARRIVAL, r) for r in items]
+    events.extend(Event(r.departure, EventKind.DEPARTURE, r) for r in items)
+    events.sort(key=lambda e: e.sort_key)
+    return iter(events)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to distinguish the failure classes that matter for
+packing workloads:
+
+* :class:`ValidationError` — malformed inputs (bad sizes, inverted intervals,
+  duplicate item ids, …).
+* :class:`CapacityError` — an operation would overflow a bin's capacity.
+* :class:`InfeasibleError` — no feasible packing exists under the requested
+  constraints (e.g. an item larger than the bin capacity).
+* :class:`SolverLimitError` — an exact solver exceeded its configured search
+  budget.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "CapacityError",
+    "InfeasibleError",
+    "SolverLimitError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input object violates the library's invariants.
+
+    Raised for inverted or empty intervals, non-positive sizes, items larger
+    than the unit capacity, duplicate item identifiers, and packing results
+    that fail feasibility checks.
+    """
+
+
+class CapacityError(ReproError):
+    """Placing an item would exceed a bin's capacity at some point in time."""
+
+    def __init__(self, message: str, *, time: float | None = None) -> None:
+        super().__init__(message)
+        #: The earliest time at which the overflow occurs, if known.
+        self.time = time
+
+
+class InfeasibleError(ReproError):
+    """The requested packing problem admits no feasible solution."""
+
+
+class SolverLimitError(ReproError):
+    """An exact solver hit its node/time budget before proving optimality."""
+
+    def __init__(self, message: str, *, best_known: int | None = None) -> None:
+        super().__init__(message)
+        #: Best feasible objective value found before the budget ran out.
+        self.best_known = best_known

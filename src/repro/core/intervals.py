@@ -1,0 +1,163 @@
+"""Half-open time intervals and interval-set utilities.
+
+The paper views every active interval as half-open, ``I = [I^-, I^+)``
+(§3.1).  This module provides the :class:`Interval` value type used for item
+active intervals, bin usage periods and demand-chart bookkeeping, plus the
+set-level helpers the analysis needs: span (length of a union of intervals),
+union decomposition into disjoint pieces, and intersection.
+
+Numbers are whatever supports ``+``/``-``/comparison — floats everywhere in
+the general library, :class:`fractions.Fraction` inside the Dual Coloring
+algorithm which needs exact arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .exceptions import ValidationError
+
+__all__ = ["Interval", "span", "merge_intervals", "total_length", "intersect_many"]
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A half-open time interval ``[left, right)``.
+
+    Instances are immutable, ordered lexicographically by ``(left, right)``,
+    and hashable, so they can be used as dict keys and in sets.
+
+    Raises:
+        ValidationError: if ``right <= left`` (empty and inverted intervals
+            are rejected; use :meth:`Interval.maybe` when a possibly-empty
+            result is acceptable).
+    """
+
+    left: float
+    right: float
+
+    def __post_init__(self) -> None:
+        if not self.right > self.left:  # also rejects NaN endpoints
+            raise ValidationError(
+                f"interval must satisfy left < right, got [{self.left}, {self.right})"
+            )
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def maybe(cls, left: float, right: float) -> "Interval | None":
+        """Return ``Interval(left, right)`` or ``None`` if it would be empty."""
+        return cls(left, right) if right > left else None
+
+    @classmethod
+    def of_length(cls, left: float, length: float) -> "Interval":
+        """Interval starting at ``left`` with the given positive ``length``."""
+        return cls(left, left + length)
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def length(self) -> float:
+        """``right - left`` — the duration ``l(I)`` of the paper."""
+        return self.right - self.left
+
+    def __contains__(self, t: object) -> bool:
+        """Membership of a time point: ``t in I`` iff ``left <= t < right``."""
+        try:
+            return self.left <= t < self.right  # type: ignore[operator]
+        except TypeError:
+            return NotImplemented  # type: ignore[return-value]
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.left
+        yield self.right
+
+    # -- relations ----------------------------------------------------------
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True iff the two half-open intervals share at least one point."""
+        return self.left < other.right and other.left < self.right
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True iff ``other ⊆ self``."""
+        return self.left <= other.left and other.right <= self.right
+
+    def properly_contains(self, other: "Interval") -> bool:
+        """True iff ``other ⊆ self`` and ``other != self``.
+
+        "Properly contained" is the relation used when reducing a bin's item
+        set ``R_k`` to ``R'_k`` in the Theorem 1 analysis.
+        """
+        return self.contains_interval(other) and self != other
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The overlap of two intervals, or ``None`` if they are disjoint."""
+        left = max(self.left, other.left)
+        right = min(self.right, other.right)
+        return Interval.maybe(left, right)
+
+    def shift(self, delta: float) -> "Interval":
+        """This interval translated by ``delta``."""
+        return Interval(self.left + delta, self.right + delta)
+
+    def clamp(self, window: "Interval") -> "Interval | None":
+        """Alias of :meth:`intersection` that reads better for windowing."""
+        return self.intersection(window)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.left}, {self.right})"
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Decompose a union of intervals into sorted, disjoint, maximal pieces.
+
+    Touching intervals (``a.right == b.left``) are merged, matching half-open
+    semantics: ``[0,1) ∪ [1,2) = [0,2)``.
+
+    Returns:
+        Sorted list of pairwise-disjoint intervals whose union equals the
+        union of the inputs.  Empty input yields an empty list.
+    """
+    items = sorted(intervals, key=lambda iv: (iv.left, iv.right))
+    if not items:
+        return []
+    merged: list[Interval] = []
+    cur_left, cur_right = items[0].left, items[0].right
+    for iv in items[1:]:
+        if iv.left <= cur_right:
+            if iv.right > cur_right:
+                cur_right = iv.right
+        else:
+            merged.append(Interval(cur_left, cur_right))
+            cur_left, cur_right = iv.left, iv.right
+    merged.append(Interval(cur_left, cur_right))
+    return merged
+
+
+def total_length(intervals: Sequence[Interval]) -> float:
+    """Sum of lengths of a *disjoint* interval list (no overlap checking)."""
+    return sum(iv.length for iv in intervals)
+
+
+def span(intervals: Iterable[Interval]) -> float:
+    """Length of the union of the intervals — ``span(R)`` of the paper (§3.1).
+
+    This is the "usage time" contribution of one bin: the measure of times at
+    which at least one of the given intervals is active.
+    """
+    return total_length(merge_intervals(intervals))
+
+
+def intersect_many(intervals: Sequence[Interval]) -> Interval | None:
+    """Common intersection of all given intervals (``None`` if empty).
+
+    Raises:
+        ValidationError: on an empty input sequence, for which the
+            intersection is ill-defined.
+    """
+    if not intervals:
+        raise ValidationError("intersect_many() requires at least one interval")
+    left = max(iv.left for iv in intervals)
+    right = min(iv.right for iv in intervals)
+    return Interval.maybe(left, right)

@@ -1,0 +1,284 @@
+"""Items (jobs) and item lists for MinUsageTime Dynamic Bin Packing.
+
+An :class:`Item` is the paper's ``r``: a size ``s(r) ∈ (0, 1]`` and a
+half-open active interval ``I(r)``.  An :class:`ItemList` is the paper's
+``R`` with the derived quantities the analysis uses everywhere:
+
+* ``d(R)`` — total time-space demand ``Σ s(r)·l(I(r))`` (Proposition 1),
+* ``span(R)`` — measure of times with at least one active item (Prop. 2),
+* ``mu`` — max/min item-duration ratio ``μ``,
+* the total-active-size profile ``S(t)`` (Proposition 3).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .exceptions import ValidationError
+from .intervals import Interval, merge_intervals, span as _span
+from .stepfun import StepFunction
+
+__all__ = ["Item", "ItemList"]
+
+
+@dataclass(frozen=True, slots=True)
+class Item:
+    """A job to pack: identifier, resource size and active interval.
+
+    Attributes:
+        id: Unique identifier within an :class:`ItemList`.
+        size: Resource demand, must lie in ``(0, capacity]`` where the bin
+            capacity is 1 throughout the library (paper §3.2 WLOG).
+        interval: Half-open active interval ``[arrival, departure)``.
+        tags: Optional free-form metadata (e.g. the job template that
+            generated the item); ignored by all algorithms.
+    """
+
+    id: int
+    size: float
+    interval: Interval
+    tags: Mapping[str, object] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.size <= 1.0):
+            raise ValidationError(f"item {self.id}: size must be in (0, 1], got {self.size}")
+
+    # Convenience accessors mirroring the paper's notation -------------------
+
+    @property
+    def arrival(self) -> float:
+        """``I(r)^-``."""
+        return self.interval.left
+
+    @property
+    def departure(self) -> float:
+        """``I(r)^+``."""
+        return self.interval.right
+
+    @property
+    def duration(self) -> float:
+        """``l(I(r))``."""
+        return self.interval.length
+
+    @property
+    def demand(self) -> float:
+        """Time-space demand ``s(r) · l(I(r))``."""
+        return self.size * self.duration
+
+    def active_at(self, t: float) -> bool:
+        """True iff the item is active at time ``t`` (half-open semantics)."""
+        return t in self.interval
+
+    def shift(self, delta: float) -> "Item":
+        """A copy of this item translated in time by ``delta``."""
+        return Item(self.id, self.size, self.interval.shift(delta), dict(self.tags))
+
+    def with_departure(self, departure: float) -> "Item":
+        """A copy with a different departure time (same id/size/arrival)."""
+        return Item(self.id, self.size, Interval(self.arrival, departure), dict(self.tags))
+
+
+class ItemList:
+    """An immutable, validated list of items with cached aggregate statistics.
+
+    Items are stored in arrival order (ties broken by id) — the order in which
+    an online algorithm sees them.  The constructor checks id uniqueness.
+    """
+
+    __slots__ = ("_items", "_by_id", "_size_profile_cache")
+
+    def __init__(self, items: Iterable[Item]):
+        ordered = sorted(items, key=lambda r: (r.arrival, r.id))
+        by_id: dict[int, Item] = {}
+        for item in ordered:
+            if item.id in by_id:
+                raise ValidationError(f"duplicate item id {item.id}")
+            by_id[item.id] = item
+        self._items: tuple[Item, ...] = tuple(ordered)
+        self._by_id = by_id
+        self._size_profile_cache: StepFunction | None = None
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> Item:
+        return self._items[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ItemList):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def by_id(self, item_id: int) -> Item:
+        """Look up an item by id.
+
+        Raises:
+            KeyError: if no item has the given id.
+        """
+        return self._by_id[item_id]
+
+    @property
+    def items(self) -> tuple[Item, ...]:
+        """All items in arrival order."""
+        return self._items
+
+    # -- aggregate statistics (paper §3.1) -------------------------------------
+
+    def total_demand(self) -> float:
+        """``d(R) = Σ_r s(r)·l(I(r))`` — Proposition 1's lower bound."""
+        return float(sum(r.demand for r in self._items))
+
+    def span(self) -> float:
+        """``span(R)`` — Proposition 2's lower bound."""
+        return _span(r.interval for r in self._items)
+
+    def span_intervals(self) -> list[Interval]:
+        """The maximal disjoint intervals making up the span."""
+        return merge_intervals(r.interval for r in self._items)
+
+    def min_duration(self) -> float:
+        """Minimum item duration ``Δ``.
+
+        Raises:
+            ValidationError: on an empty list.
+        """
+        if not self._items:
+            raise ValidationError("min_duration() of empty item list")
+        return min(r.duration for r in self._items)
+
+    def max_duration(self) -> float:
+        """Maximum item duration ``μΔ``."""
+        if not self._items:
+            raise ValidationError("max_duration() of empty item list")
+        return max(r.duration for r in self._items)
+
+    def mu(self) -> float:
+        """Max/min duration ratio ``μ ≥ 1``."""
+        return self.max_duration() / self.min_duration()
+
+    def size_profile(self) -> StepFunction:
+        """The total-active-size profile ``S(t)`` (cached; do not mutate)."""
+        if self._size_profile_cache is None:
+            profile = StepFunction()
+            for r in self._items:
+                profile.add(r.interval, r.size)
+            self._size_profile_cache = profile
+        return self._size_profile_cache
+
+    def max_concurrent_size(self) -> float:
+        """``max_t S(t)`` — peak aggregate demand."""
+        return self.size_profile().max_value()
+
+    def active_at(self, t: float) -> list[Item]:
+        """All items active at time ``t``."""
+        return [r for r in self._items if r.active_at(t)]
+
+    def event_times(self) -> list[float]:
+        """Sorted distinct arrival/departure times."""
+        times = {r.arrival for r in self._items} | {r.departure for r in self._items}
+        return sorted(times)
+
+    # -- restructuring ----------------------------------------------------------
+
+    def filter(self, predicate: Callable[[Item], bool]) -> "ItemList":
+        """A new list with the items satisfying ``predicate``."""
+        return ItemList(r for r in self._items if predicate(r))
+
+    def partition(self, key: Callable[[Item], int]) -> dict[int, "ItemList"]:
+        """Group items by an integer key (used by the classification packers)."""
+        buckets: dict[int, list[Item]] = {}
+        for r in self._items:
+            buckets.setdefault(key(r), []).append(r)
+        return {k: ItemList(v) for k, v in sorted(buckets.items())}
+
+    def split_by_span_components(self) -> list["ItemList"]:
+        """Split into sublists with pairwise-disjoint spans (paper §5.2 WLOG).
+
+        Items whose active intervals fall in the same maximal span component
+        end up in the same sublist; the analysis of the classification
+        strategies applies to each sublist independently.
+        """
+        components = self.span_intervals()
+        out: list[list[Item]] = [[] for _ in components]
+        lefts = [c.left for c in components]
+        for r in self._items:
+            # Each item interval is fully inside exactly one component.
+            idx = int(np.searchsorted(lefts, r.arrival, side="right")) - 1
+            out[idx].append(r)
+        return [ItemList(group) for group in out if group]
+
+    def shift(self, delta: float) -> "ItemList":
+        """All items translated by ``delta``."""
+        return ItemList(r.shift(delta) for r in self._items)
+
+    def renumbered(self, start: int = 0) -> "ItemList":
+        """Items re-identified ``start, start+1, ...`` in arrival order."""
+        return ItemList(
+            Item(start + i, r.size, r.interval, dict(r.tags))
+            for i, r in enumerate(self._items)
+        )
+
+    @classmethod
+    def concat(cls, lists: Sequence["ItemList"]) -> "ItemList":
+        """Concatenate item lists (ids must remain globally unique)."""
+        items: list[Item] = []
+        for sub in lists:
+            items.extend(sub.items)
+        return cls(items)
+
+    # -- serialisation -----------------------------------------------------------
+
+    def to_records(self) -> list[dict[str, object]]:
+        """Plain-dict records (JSON-ready) for each item."""
+        return [
+            {
+                "id": r.id,
+                "size": r.size,
+                "arrival": r.arrival,
+                "departure": r.departure,
+                "tags": dict(r.tags),
+            }
+            for r in self._items
+        ]
+
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping[str, object]]) -> "ItemList":
+        """Inverse of :meth:`to_records`."""
+        items = []
+        for rec in records:
+            items.append(
+                Item(
+                    int(rec["id"]),  # type: ignore[arg-type]
+                    float(rec["size"]),  # type: ignore[arg-type]
+                    Interval(float(rec["arrival"]), float(rec["departure"])),  # type: ignore[arg-type]
+                    dict(rec.get("tags", {})),  # type: ignore[arg-type]
+                )
+            )
+        return cls(items)
+
+    def to_json(self) -> str:
+        """JSON text for the whole list."""
+        return json.dumps(self.to_records())
+
+    @classmethod
+    def from_json(cls, text: str) -> "ItemList":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_records(json.loads(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ItemList(n={len(self._items)})"

@@ -1,0 +1,245 @@
+"""Packing results: assignments, feasibility validation and the objective.
+
+A :class:`PackingResult` is the canonical output of every algorithm in the
+library: the item list plus an item→bin assignment.  It rebuilds the bins,
+validates feasibility and computes the MinUsageTime objective (total bin
+usage time) and auxiliary profiles used in the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .bins import Bin, bins_from_assignment
+from .exceptions import ValidationError
+from .intervals import Interval
+from .items import ItemList
+from .stepfun import DEFAULT_TOL, StepFunction
+
+__all__ = ["PackingResult", "PackingStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class PackingStats:
+    """Summary statistics of a packing, suitable for tabulation."""
+
+    algorithm: str
+    num_items: int
+    num_bins: int
+    total_usage: float
+    total_demand: float
+    span: float
+    max_open_bins: int
+    utilization: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view for tabulation."""
+        return {
+            "algorithm": self.algorithm,
+            "num_items": self.num_items,
+            "num_bins": self.num_bins,
+            "total_usage": self.total_usage,
+            "total_demand": self.total_demand,
+            "span": self.span,
+            "max_open_bins": self.max_open_bins,
+            "utilization": self.utilization,
+        }
+
+
+class PackingResult:
+    """An item→bin assignment with validation and objective computation.
+
+    Args:
+        items: The packed item list.
+        assignment: Map from item id to bin index.  Bin indices should be
+            the opening order of the producing algorithm but any integers
+            work; they are preserved.
+        algorithm: Human-readable producer name (for reports).
+        capacity: Bin capacity used for validation.
+        tol: Capacity tolerance.
+
+    Raises:
+        ValidationError: if the assignment does not cover exactly the item
+            list's ids.
+    """
+
+    __slots__ = ("items", "assignment", "algorithm", "capacity", "tol", "_bins")
+
+    def __init__(
+        self,
+        items: ItemList,
+        assignment: Mapping[int, int],
+        *,
+        algorithm: str = "unknown",
+        capacity: float = 1.0,
+        tol: float = DEFAULT_TOL,
+    ) -> None:
+        ids = {r.id for r in items}
+        if set(assignment) != ids:
+            missing = ids - set(assignment)
+            extra = set(assignment) - ids
+            raise ValidationError(
+                f"assignment does not match items (missing={sorted(missing)[:5]}, "
+                f"extra={sorted(extra)[:5]})"
+            )
+        self.items = items
+        self.assignment: dict[int, int] = dict(assignment)
+        self.algorithm = algorithm
+        self.capacity = capacity
+        self.tol = tol
+        self._bins: list[Bin] | None = None
+
+    # -- bins -----------------------------------------------------------------
+
+    def bins(self) -> Sequence[Bin]:
+        """The bins of this packing, materialised lazily (cached)."""
+        if self._bins is None:
+            self._bins = bins_from_assignment(
+                self.items, self.assignment, capacity=self.capacity, tol=self.tol
+            )
+        return self._bins
+
+    @property
+    def num_bins(self) -> int:
+        """Number of distinct bins ever opened."""
+        return len(set(self.assignment.values()))
+
+    # -- feasibility -------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check full feasibility of the packing.
+
+        Verified invariants:
+
+        * every item is assigned to exactly one bin for its entire active
+          interval (no migration is representable in this model by
+          construction, so this is implied by the assignment shape);
+        * at every event time, each bin's level is within capacity.
+
+        Levels are piecewise constant between event times, so checking at
+        event times (the left endpoint of each constant piece) is exact.
+
+        Raises:
+            ValidationError: on any capacity violation, reporting the bin,
+                time and level.
+        """
+        for b in self.bins():
+            profile = StepFunction()
+            for item in b.items:
+                profile.add(item.interval, item.size)
+            for left, _right, value in profile.segments():
+                if value > self.capacity + self.tol:
+                    raise ValidationError(
+                        f"bin {b.index} overflows at t={left}: level {value} > "
+                        f"capacity {self.capacity}"
+                    )
+
+    def is_feasible(self) -> bool:
+        """Boolean wrapper around :meth:`validate`."""
+        try:
+            self.validate()
+        except ValidationError:
+            return False
+        return True
+
+    # -- objective & profiles -------------------------------------------------------
+
+    def total_usage(self) -> float:
+        """The MinUsageTime objective: ``Σ_bins span(items in bin)``."""
+        return sum(b.usage_time() for b in self.bins())
+
+    def per_bin_usage(self) -> dict[int, float]:
+        """Usage time of each bin, keyed by bin index."""
+        return {b.index: b.usage_time() for b in self.bins()}
+
+    def open_bins_profile(self) -> StepFunction:
+        """Step function counting bins in use at each time."""
+        profile = StepFunction()
+        for b in self.bins():
+            for iv in b.usage_intervals():
+                profile.add(iv, 1.0)
+        return profile
+
+    def max_open_bins(self) -> int:
+        """Peak number of simultaneously used bins (classical-DBP objective)."""
+        return int(round(self.open_bins_profile().max_value()))
+
+    def open_bins_at(self, t: float) -> int:
+        """Number of bins in use at time ``t``."""
+        return int(round(self.open_bins_profile().value_at(t)))
+
+    def utilization(self) -> float:
+        """``d(R) / total_usage`` — fraction of rented capacity actually used."""
+        usage = self.total_usage()
+        if usage == 0:
+            return 1.0
+        return self.items.total_demand() / usage
+
+    def bin_usage_over(self, interval: Interval) -> float:
+        """Aggregate bin usage time restricted to a window (for stage analyses)."""
+        total = 0.0
+        for b in self.bins():
+            for iv in b.usage_intervals():
+                clipped = iv.intersection(interval)
+                if clipped is not None:
+                    total += clipped.length
+        return total
+
+    def stats(self) -> PackingStats:
+        """Aggregate :class:`PackingStats` for reporting."""
+        return PackingStats(
+            algorithm=self.algorithm,
+            num_items=len(self.items),
+            num_bins=self.num_bins,
+            total_usage=self.total_usage(),
+            total_demand=self.items.total_demand(),
+            span=self.items.span(),
+            max_open_bins=self.max_open_bins(),
+            utilization=self.utilization(),
+        )
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_record(self) -> dict[str, object]:
+        """A JSON-ready record of this packing (items + assignment)."""
+        return {
+            "algorithm": self.algorithm,
+            "capacity": self.capacity,
+            "items": self.items.to_records(),
+            "assignment": {str(k): v for k, v in self.assignment.items()},
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, object]) -> "PackingResult":
+        """Inverse of :meth:`to_record`."""
+        items = ItemList.from_records(record["items"])  # type: ignore[arg-type]
+        assignment = {
+            int(k): int(v)
+            for k, v in record["assignment"].items()  # type: ignore[union-attr]
+        }
+        return cls(
+            items,
+            assignment,
+            algorithm=str(record.get("algorithm", "unknown")),
+            capacity=float(record.get("capacity", 1.0)),  # type: ignore[arg-type]
+        )
+
+    def to_json(self) -> str:
+        """JSON text for the whole packing (audit/replay artefact)."""
+        import json
+
+        return json.dumps(self.to_record())
+
+    @classmethod
+    def from_json(cls, text: str) -> "PackingResult":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        return cls.from_record(json.loads(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PackingResult(algorithm={self.algorithm!r}, items={len(self.items)}, "
+            f"bins={self.num_bins})"
+        )

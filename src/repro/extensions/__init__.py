@@ -1,0 +1,27 @@
+"""Paper §6 future-work extensions: vector resources and flexible jobs."""
+
+from .flexible import FlexibleJob, FlexibleSchedule, SlackAwareScheduler
+from .multidim import (
+    VectorBin,
+    VectorClassifyByDeparture,
+    VectorClassifyByDuration,
+    VectorFirstFit,
+    VectorItem,
+    VectorPacking,
+    vector_ceil_lower_bound,
+    vector_demand_lower_bound,
+)
+
+__all__ = [
+    "FlexibleJob",
+    "FlexibleSchedule",
+    "SlackAwareScheduler",
+    "VectorBin",
+    "VectorClassifyByDeparture",
+    "VectorClassifyByDuration",
+    "VectorFirstFit",
+    "VectorItem",
+    "VectorPacking",
+    "vector_ceil_lower_bound",
+    "vector_demand_lower_bound",
+]

@@ -1,0 +1,151 @@
+"""Flexible jobs with release times and deadlines (paper §6 future work,
+after Khandekar et al. [14]).
+
+A :class:`FlexibleJob` has a release time, a deadline, a processing length
+and a demand; the scheduler chooses a start time in
+``[release, deadline − length]`` and then the job behaves like an interval
+item.  The paper's model is the special case ``deadline = release + length``
+(zero slack).
+
+:class:`SlackAwareScheduler` is a greedy heuristic: jobs are processed in
+release order; for each job, a small set of candidate start times is tried —
+the release itself plus alignments with currently committed bin openings and
+closings — and the (start, bin) pair adding the least usage time wins.  With
+zero slack it degenerates to First Fit, which tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.bins import Bin
+from ..core.exceptions import ValidationError
+from ..core.intervals import Interval
+from ..core.items import Item, ItemList
+from ..core.packing import PackingResult
+
+__all__ = ["FlexibleJob", "FlexibleSchedule", "SlackAwareScheduler"]
+
+
+@dataclass(frozen=True, slots=True)
+class FlexibleJob:
+    """A job whose interval is not fixed: only its length is.
+
+    Attributes:
+        job_id: Unique identifier.
+        size: Demand in (0, 1].
+        release: Earliest allowed start.
+        deadline: Latest allowed completion.
+        length: Processing time; ``deadline - release >= length`` must hold.
+    """
+
+    job_id: int
+    size: float
+    release: float
+    deadline: float
+    length: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.size <= 1:
+            raise ValidationError(f"job {self.job_id}: size must be in (0, 1]")
+        if self.length <= 0:
+            raise ValidationError(f"job {self.job_id}: length must be positive")
+        if self.deadline - self.release < self.length - 1e-12:
+            raise ValidationError(
+                f"job {self.job_id}: window [{self.release}, {self.deadline}] too "
+                f"short for length {self.length}"
+            )
+
+    @property
+    def slack(self) -> float:
+        """How much the start may move: ``deadline − release − length``."""
+        return self.deadline - self.release - self.length
+
+    def item_at(self, start: float) -> Item:
+        """The interval item this job becomes when started at ``start``."""
+        if start < self.release - 1e-12 or start + self.length > self.deadline + 1e-12:
+            raise ValidationError(
+                f"job {self.job_id}: start {start} outside window "
+                f"[{self.release}, {self.deadline - self.length}]"
+            )
+        return Item(self.job_id, self.size, Interval(start, start + self.length))
+
+
+@dataclass(frozen=True, slots=True)
+class FlexibleSchedule:
+    """Chosen start times plus the induced packing."""
+
+    starts: dict[int, float]
+    packing: PackingResult
+
+    def total_usage(self) -> float:
+        """Total bin usage time of the induced packing."""
+        return self.packing.total_usage()
+
+
+class SlackAwareScheduler:
+    """Greedy start-time + bin chooser for flexible jobs.
+
+    For each job (in release order, ties by id) the candidate starts are:
+    the release time, each open bin's last committed departure (align the
+    job right after existing work ends — extends nothing if it fits inside),
+    and each bin's earliest committed arrival minus the job length (finish
+    right as existing work begins), clipped to the job's window.  The
+    (start, bin) pair minimising the bin's usage-time increase is committed;
+    a fresh bin (cost = length) is the fallback.
+    """
+
+    name = "slack-aware-greedy"
+
+    def describe(self) -> str:
+        """Scheduler label for reports."""
+        return self.name
+
+    def schedule(self, jobs: list[FlexibleJob]) -> FlexibleSchedule:
+        """Choose start times and bins for all jobs (release order)."""
+        ordered = sorted(jobs, key=lambda j: (j.release, j.job_id))
+        bins: list[Bin] = []
+        starts: dict[int, float] = {}
+        assignment: dict[int, int] = {}
+        for job in ordered:
+            lo = job.release
+            hi = job.deadline - job.length
+            candidates = {lo, hi}
+            for b in bins:
+                if b.is_empty:
+                    continue
+                last_dep = max(r.departure for r in b.items)
+                first_arr = min(r.arrival for r in b.items)
+                candidates.add(min(max(last_dep, lo), hi))
+                candidates.add(min(max(first_arr - job.length, lo), hi))
+            best: tuple[float, float, Bin | None] = (job.length + 1e-9, lo, None)
+            for start in sorted(candidates):
+                item = job.item_at(start)
+                for b in bins:
+                    if not b.fits(item):
+                        continue
+                    increase = self._usage_increase(b, item)
+                    if increase < best[0] - 1e-12:
+                        best = (increase, start, b)
+            _, start, target = best
+            item = job.item_at(start)
+            if target is None:
+                target = Bin(len(bins))
+                bins.append(target)
+            target.place(item, check=False)
+            starts[job.job_id] = start
+            assignment[job.job_id] = target.index
+        items = ItemList(j.item_at(starts[j.job_id]) for j in ordered)
+        packing = PackingResult(items, assignment, algorithm=self.describe())
+        return FlexibleSchedule(starts=starts, packing=packing)
+
+    @staticmethod
+    def _usage_increase(b: Bin, item: Item) -> float:
+        before = b.usage_time()
+        covered = sum(
+            iv.intersection(item.interval).length
+            for iv in b.usage_intervals()
+            if iv.intersection(item.interval) is not None
+        )
+        after = before + (item.duration - covered)
+        return after - before

@@ -1,0 +1,21 @@
+"""Interval scheduling with bounded parallelism (the §2 related problem)."""
+
+from .algorithms import (
+    BucketFirstFitScheduler,
+    FirstFitScheduler,
+    GreedyProperScheduler,
+    LongestFirstScheduler,
+    is_proper,
+)
+from .model import Schedule, UnitJob, jobs_to_unit_items
+
+__all__ = [
+    "BucketFirstFitScheduler",
+    "FirstFitScheduler",
+    "GreedyProperScheduler",
+    "LongestFirstScheduler",
+    "is_proper",
+    "Schedule",
+    "UnitJob",
+    "jobs_to_unit_items",
+]

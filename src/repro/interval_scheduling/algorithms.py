@@ -1,0 +1,135 @@
+"""Interval-scheduling algorithms, via the size-1/g embedding.
+
+* :class:`LongestFirstScheduler` — the offline "sort by length, first fit"
+  algorithm of Flammini et al. [10] (4-approx for unit jobs; our Theorem 1
+  analysis gives 5 for general sizes).  It is Duration Descending First Fit
+  under the embedding.
+* :class:`BucketFirstFitScheduler` — Shalom et al.'s online BucketFirstFit
+  [23]: jobs are classified into length buckets of ratio α and First Fit
+  runs within each bucket.  Under the embedding this is *exactly* the
+  paper's classify-by-duration First Fit, whose Theorem 5 analysis improves
+  the known competitive ratio from ``(2α+2)·⌈log_α μ⌉`` to
+  ``α + ⌈log_α μ⌉ + 4`` (paper §5.3 remark).
+* :class:`FirstFitScheduler` — plain online First Fit, the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algorithms.anyfit import FirstFitPacker
+from ..algorithms.classify_duration import ClassifyByDurationFirstFit
+from ..algorithms.duration_descending import DurationDescendingFirstFit
+from ..core.exceptions import ValidationError
+from .model import Schedule, UnitJob, jobs_to_unit_items
+
+__all__ = [
+    "LongestFirstScheduler",
+    "BucketFirstFitScheduler",
+    "FirstFitScheduler",
+    "GreedyProperScheduler",
+    "is_proper",
+]
+
+
+def is_proper(jobs: "Sequence[UnitJob]") -> bool:
+    """True iff no job's interval properly contains another's (§2: the
+    special case where greedy arrival-order scheduling is 2-approximate
+    [10, 20]).  Proper ⇔ sorting by arrival also sorts by departure."""
+    ordered = sorted(jobs, key=lambda j: (j.arrival, j.departure))
+    departures = [j.departure for j in ordered]
+    return all(a <= b for a, b in zip(departures, departures[1:]))
+
+
+class _EmbeddingScheduler:
+    """Base: run a DBP packer on the size-1/g embedding of the jobs."""
+
+    def __init__(self, g: int) -> None:
+        if g < 1:
+            raise ValidationError(f"machine capacity g must be >= 1, got {g}")
+        self.g = g
+
+    def _packer(self):
+        raise NotImplementedError
+
+    def schedule(self, jobs: Sequence[UnitJob]) -> Schedule:
+        """Assign jobs to machines; the result validates g-parallelism."""
+        items = jobs_to_unit_items(jobs, self.g)
+        packing = self._packer().pack(items)
+        schedule = Schedule(packing, self.g)
+        schedule.validate()
+        return schedule
+
+
+class LongestFirstScheduler(_EmbeddingScheduler):
+    """Offline: longest job first, first fit (Flammini et al. [10])."""
+
+    name = "longest-first"
+
+    def _packer(self):
+        return DurationDescendingFirstFit()
+
+
+class FirstFitScheduler(_EmbeddingScheduler):
+    """Online plain First Fit baseline."""
+
+    name = "first-fit"
+
+    def _packer(self):
+        return FirstFitPacker()
+
+
+class BucketFirstFitScheduler(_EmbeddingScheduler):
+    """Online BucketFirstFit (Shalom et al. [23]).
+
+    Args:
+        g: Machine capacity.
+        alpha: Length-bucket ratio (> 1).
+        base: Bucket base length (``None`` ⇒ first job's length, the online
+            choice).
+    """
+
+    name = "bucket-first-fit"
+
+    def __init__(self, g: int, alpha: float = 2.0, base: float | None = None) -> None:
+        super().__init__(g)
+        if alpha <= 1:
+            raise ValidationError(f"alpha must exceed 1, got {alpha}")
+        self.alpha = alpha
+        self.base = base
+
+    def _packer(self):
+        return ClassifyByDurationFirstFit(alpha=self.alpha, base=self.base)
+
+
+class GreedyProperScheduler(_EmbeddingScheduler):
+    """Arrival-order greedy for *proper* instances (Flammini et al. [10]).
+
+    When no interval properly contains another, processing jobs in arrival
+    order with first fit is 2-approximate for busy time ([10]; improved to
+    2−1/g by Mertzios et al. [20]).  On general instances the guarantee is
+    void; :meth:`schedule` raises by default and can be asked to proceed
+    anyway (``require_proper=False``) for comparisons.
+
+    Under the size-1/g embedding, arrival-order first fit is exactly
+    :class:`~repro.algorithms.FirstFitPacker`; the class exists to carry the
+    properness contract and its validation.
+    """
+
+    name = "greedy-proper"
+
+    def __init__(self, g: int, require_proper: bool = True) -> None:
+        super().__init__(g)
+        self.require_proper = require_proper
+
+    def _packer(self):
+        return FirstFitPacker()
+
+    def schedule(self, jobs: Sequence[UnitJob]) -> Schedule:
+        if self.require_proper and not is_proper(jobs):
+            raise ValidationError(
+                "GreedyProperScheduler requires a proper instance (no interval "
+                "properly contained in another); pass require_proper=False to "
+                "run without the 2-approximation guarantee"
+            )
+        return super().schedule(jobs)

@@ -1,0 +1,24 @@
+"""Event-driven simulation, billing and metrics."""
+
+from .billing import PER_HOUR, PER_MINUTE, PER_SECOND, BillingPolicy
+from .metrics import PackingMetrics, compare, evaluate
+from .replay import Decision, DecisionLog, first_divergence, record_decisions
+from .simulator import Estimator, SimulationResult, Simulator, perfect_estimator
+
+__all__ = [
+    "PER_HOUR",
+    "PER_MINUTE",
+    "PER_SECOND",
+    "BillingPolicy",
+    "PackingMetrics",
+    "compare",
+    "evaluate",
+    "Decision",
+    "DecisionLog",
+    "first_divergence",
+    "record_decisions",
+    "Estimator",
+    "SimulationResult",
+    "Simulator",
+    "perfect_estimator",
+]

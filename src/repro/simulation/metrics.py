@@ -1,0 +1,91 @@
+"""Packing metrics and multi-algorithm comparisons.
+
+Thin aggregation layer turning packings into the numbers the benches print:
+usage, bins, utilisation, ratios against lower bounds or the exact repacking
+adversary, and side-by-side comparisons of several packers on one workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..algorithms.base import Packer
+from ..bounds.opt_bounds import OptBounds
+from ..core.items import ItemList
+from ..core.packing import PackingResult
+
+__all__ = ["PackingMetrics", "evaluate", "compare"]
+
+
+@dataclass(frozen=True, slots=True)
+class PackingMetrics:
+    """One packer's performance on one workload.
+
+    ``ratio_lb`` is usage divided by the best Proposition 1–3 lower bound —
+    an *upper bound* on the true ratio against ``OPT_total``; ``ratio_opt``
+    is exact when the caller supplied the solved adversary cost.
+    """
+
+    algorithm: str
+    num_items: int
+    num_bins: int
+    total_usage: float
+    max_open_bins: int
+    utilization: float
+    lower_bound: float
+    ratio_lb: float
+    opt_total: float | None = None
+    ratio_opt: float | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view for tabulation."""
+        return {
+            "algorithm": self.algorithm,
+            "num_items": self.num_items,
+            "num_bins": self.num_bins,
+            "total_usage": self.total_usage,
+            "max_open_bins": self.max_open_bins,
+            "utilization": self.utilization,
+            "lower_bound": self.lower_bound,
+            "ratio_lb": self.ratio_lb,
+            "opt_total": self.opt_total,
+            "ratio_opt": self.ratio_opt,
+        }
+
+
+def evaluate(
+    result: PackingResult, *, opt: float | None = None, validate: bool = True
+) -> PackingMetrics:
+    """Compute :class:`PackingMetrics` for a finished packing.
+
+    Args:
+        result: The packing to score.
+        opt: Exact ``OPT_total`` when available (from
+            :func:`repro.algorithms.opt_total`); enables ``ratio_opt``.
+        validate: Re-check feasibility first (cheap; defaults on).
+    """
+    if validate:
+        result.validate()
+    bounds = OptBounds.of(result.items)
+    usage = result.total_usage()
+    lb = bounds.best
+    return PackingMetrics(
+        algorithm=result.algorithm,
+        num_items=len(result.items),
+        num_bins=result.num_bins,
+        total_usage=usage,
+        max_open_bins=result.max_open_bins(),
+        utilization=result.utilization(),
+        lower_bound=lb,
+        ratio_lb=usage / lb if lb > 0 else 1.0,
+        opt_total=opt,
+        ratio_opt=(usage / opt) if opt else None,
+    )
+
+
+def compare(
+    items: ItemList, packers: Sequence[Packer], *, opt: float | None = None
+) -> list[PackingMetrics]:
+    """Run several packers on one workload and score each."""
+    return [evaluate(p.pack(items), opt=opt) for p in packers]

@@ -1,0 +1,128 @@
+"""Event-driven execution of online packers, with optional noisy clairvoyance.
+
+The simulator replays an :class:`~repro.core.ItemList` against an
+:class:`~repro.algorithms.OnlinePacker` in arrival order, exactly as the
+paper's online model prescribes.  Its extra value over ``packer.pack``:
+
+* it can inject a **departure-time estimator** so placement decisions see a
+  *predicted* departure while the bins evolve with the *actual* one — the
+  machinery behind the paper's §6 "inaccurate estimates" future-work study
+  (:mod:`repro.analysis.noise`);
+* it records a timeline of open-bin counts and per-event bookkeeping that
+  the metrics layer consumes.
+
+With mispredicted departures the arrival-instant fit check stays correct —
+in a real system current occupancy is observable regardless of predictions —
+so after each placement the committed (predicted) item is amended back to
+its actual interval before the next event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..algorithms.base import OnlinePacker
+from ..core.exceptions import ValidationError
+from ..core.items import Item, ItemList
+from ..core.packing import PackingResult
+
+__all__ = ["Estimator", "SimulationResult", "Simulator", "perfect_estimator"]
+
+#: Maps an item to its *predicted* departure time.
+Estimator = Callable[[Item], float]
+
+
+def perfect_estimator(item: Item) -> float:
+    """The clairvoyant baseline: predictions equal actual departures."""
+    return item.departure
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Outcome of one simulated run.
+
+    Attributes:
+        packing: The realised packing (actual intervals, validated upstream).
+        predicted_departures: What the packer was told for each item id.
+        num_placements: Items placed (== len of the workload).
+    """
+
+    packing: PackingResult
+    predicted_departures: dict[int, float]
+    num_placements: int
+
+    def total_usage(self) -> float:
+        """Realised total bin usage time under actual departures."""
+        return self.packing.total_usage()
+
+    def mean_absolute_prediction_error(self) -> float:
+        """Mean |predicted − actual| departure over all items."""
+        items = self.packing.items
+        if not items:
+            return 0.0
+        return sum(
+            abs(self.predicted_departures[r.id] - r.departure) for r in items
+        ) / len(items)
+
+
+class Simulator:
+    """Drives an online packer over a workload.
+
+    Args:
+        packer: Any online packer; it is reset at the start of each run.
+    """
+
+    def __init__(self, packer: OnlinePacker) -> None:
+        self.packer = packer
+
+    def run(self, items: ItemList, estimator: Estimator | None = None) -> SimulationResult:
+        """Simulate the packing of ``items``.
+
+        Args:
+            items: The workload (replayed in arrival order).
+            estimator: Predicted-departure function shown to the packer;
+                ``None`` means perfect clairvoyance.  Predictions are clamped
+                to be strictly after the arrival (a job is never predicted to
+                have already finished).
+
+        Raises:
+            ValidationError: if the estimator returns a non-finite value.
+        """
+        est = estimator or perfect_estimator
+        self.packer.reset()
+        assignment: dict[int, int] = {}
+        predicted: dict[int, float] = {}
+        for item in items:  # arrival order
+            pred = float(est(item))
+            if not pred == pred:  # NaN guard
+                raise ValidationError(f"estimator returned NaN for item {item.id}")
+            pred = max(pred, item.arrival + 1e-12 * max(1.0, abs(item.arrival)))
+            predicted[item.id] = pred
+            decision_item = item if pred == item.departure else item.with_departure(pred)
+            bin_index = self.packer.place(decision_item)
+            assignment[item.id] = bin_index
+            if decision_item is not item:
+                self._amend_commit(bin_index, decision_item, item)
+        packing = PackingResult(items, assignment, algorithm=self.packer.describe())
+        return SimulationResult(
+            packing=packing,
+            predicted_departures=predicted,
+            num_placements=len(items),
+        )
+
+    def _amend_commit(self, bin_index: int, committed: Item, actual: Item) -> None:
+        """Swap the just-committed predicted item for the actual one.
+
+        Keeps bin level profiles tracking *actual* occupancy so subsequent
+        arrival-instant fit checks match what a real system observes.
+        """
+        b = self.packer.bins[bin_index]
+        if not b.items or b.items[-1].id != committed.id:
+            raise ValidationError(
+                f"bin {bin_index} did not receive item {committed.id} last; "
+                f"cannot amend (packer broke the placement contract)"
+            )
+        b._items[-1] = actual  # noqa: SLF001 - deliberate tight coupling
+        b._profile.remove(committed.interval, committed.size)  # noqa: SLF001
+        b._profile.add(actual.interval, actual.size)  # noqa: SLF001

@@ -1,0 +1,9 @@
+"""Terminal visualisation: Gantt charts, profiles and line charts."""
+
+from .gantt import render_chart, render_gantt, render_profile
+
+__all__ = ["render_chart", "render_gantt", "render_profile"]
+
+from .gantt import render_demand_chart  # noqa: E402
+
+__all__.append("render_demand_chart")

@@ -1,0 +1,211 @@
+"""ASCII visualisation of packings and demand profiles.
+
+Terminal-friendly rendering used by the CLI and the examples:
+
+* :func:`render_gantt` — one row per bin, time on the x-axis, item ids (mod
+  62, base-62 glyphs) marking occupancy, ``.`` for open-but-idle gaps;
+* :func:`render_profile` — a vertical-bar chart of a step function (demand
+  or open-bin count over time);
+* :func:`render_chart` — a multi-series line chart on a character grid
+  (used to draw Figure 8 in the terminal).
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.exceptions import ValidationError
+from ..core.packing import PackingResult
+from ..core.stepfun import StepFunction
+
+__all__ = ["render_gantt", "render_profile", "render_chart"]
+
+_GLYPHS = string.digits + string.ascii_uppercase + string.ascii_lowercase
+
+
+def _time_axis(lo: float, hi: float, width: int) -> str:
+    left = f"{lo:g}"
+    right = f"{hi:g}"
+    middle = f"{(lo + hi) / 2:g}"
+    pad = max(width - len(left) - len(right) - len(middle), 2)
+    return left + " " * (pad // 2) + middle + " " * (pad - pad // 2) + right
+
+
+def render_gantt(packing: PackingResult, width: int = 78) -> str:
+    """Render a packing as an ASCII Gantt chart, one row per bin.
+
+    Each committed item paints its glyph (its id in base-62, one character)
+    over the columns its interval covers; later items overpaint earlier ones
+    in shared columns.  Columns where the bin is open but the probed instant
+    is idle show ``.``; fully idle columns show a space.
+
+    Args:
+        packing: Any packing result.
+        width: Character columns for the time axis.
+
+    Raises:
+        ValidationError: for an empty packing (nothing to draw).
+    """
+    items = packing.items
+    if not items:
+        raise ValidationError("cannot render an empty packing")
+    lo = min(r.arrival for r in items)
+    hi = max(r.departure for r in items)
+    span = hi - lo or 1.0
+    # Sample each column at its left edge time.
+    col_times = lo + (np.arange(width) + 0.5) / width * span
+    lines = [f"time axis: [{lo:g}, {hi:g})  ({len(packing.bins())} bins)"]
+    for b in packing.bins():
+        row = [" "] * width
+        usage = b.usage_intervals()
+        for c, t in enumerate(col_times):
+            if any(iv.left <= t < iv.right for iv in usage):
+                row[c] = "."
+        for item in b.items:
+            c0 = int((item.arrival - lo) / span * width)
+            c1 = int((item.departure - lo) / span * width)
+            glyph = _GLYPHS[item.id % len(_GLYPHS)]
+            for c in range(max(c0, 0), min(max(c1, c0 + 1), width)):
+                row[c] = glyph
+        lines.append(f"bin {b.index:3d} |{''.join(row)}|")
+    lines.append(" " * 9 + _time_axis(lo, hi, width))
+    return "\n".join(lines)
+
+
+def render_profile(profile: StepFunction, width: int = 78, height: int = 10) -> str:
+    """Render a step function as a vertical-bar chart.
+
+    Args:
+        profile: The function to draw (e.g. ``items.size_profile()``).
+        width: Character columns.
+        height: Character rows for the value axis.
+    """
+    bps = profile.breakpoints
+    if not bps:
+        return "(empty profile)"
+    lo, hi = bps[0], bps[-1]
+    span = hi - lo or 1.0
+    col_times = lo + (np.arange(width) + 0.5) / width * span
+    values = profile.sample(col_times)
+    vmax = float(values.max())
+    if vmax <= 0:
+        return "(zero profile)"
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = vmax * (level - 0.5) / height
+        row = "".join("#" if v >= threshold else " " for v in values)
+        label = f"{vmax * level / height:8.2f} |"
+        rows.append(label + row)
+    rows.append(" " * 9 + "+" + "-" * width)
+    rows.append(" " * 10 + _time_axis(lo, hi, width))
+    return "\n".join(rows)
+
+
+def render_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 70,
+    height: int = 20,
+) -> str:
+    """Render multiple y-series against shared x-values on a character grid.
+
+    Each series gets a distinct glyph (its index); collisions show ``*``.
+    A legend line follows the grid.
+
+    Raises:
+        ValidationError: on empty input or mismatched series lengths.
+    """
+    if not x_values or not series:
+        raise ValidationError("render_chart needs x values and at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValidationError(f"series {name!r} length mismatch")
+    xs = np.asarray(x_values, dtype=float)
+    all_y = np.concatenate([np.asarray(ys, dtype=float) for ys in series.values()])
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = {}
+    for si, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        glyphs[name] = glyph
+        for x, y in zip(xs, np.asarray(ys, dtype=float)):
+            c = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            r = height - 1 - int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[r][c] = "*" if grid[r][c] not in (" ", glyph) else glyph
+    lines = []
+    for r, row in enumerate(grid):
+        y_label = y_hi - r * (y_hi - y_lo) / (height - 1)
+        lines.append(f"{y_label:8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + _time_axis(x_lo, x_hi, width))
+    legend = "   ".join(f"{g} = {name}" for name, g in glyphs.items())
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def render_demand_chart(
+    placements, chart, width: int = 78, height: int = 16
+) -> str:
+    """Render Dual Coloring Phase 1 placements inside the demand chart.
+
+    Args:
+        placements: ``item id -> Placement`` as returned by
+            :meth:`repro.algorithms.DualColoringPacker.place_small_items`.
+        chart: The :class:`repro.algorithms.DemandChart` of the same run.
+        width: Time columns.
+        height: Altitude rows.
+
+    Each placed item paints its base-62 glyph over its rectangle
+    ``I(r) × (alt−size, alt]``; chart area not covered by any item shows
+    ``·`` and area outside the chart is blank — a visual check of Lemma 3
+    (no glyph should ever sit on a blank background column above the chart).
+    """
+    if not chart.segments:
+        return "(empty demand chart)"
+    t_lo = float(chart.segments[0][0])
+    t_hi = float(chart.segments[-1][1])
+    max_h = float(chart.max_height())
+    if max_h <= 0:
+        return "(zero demand chart)"
+    span = t_hi - t_lo or 1.0
+    col_times = [t_lo + (c + 0.5) / width * span for c in range(width)]
+    # Chart height per column.
+    heights = []
+    for t in col_times:
+        h = 0.0
+        for left, right, value in chart.segments:
+            if float(left) <= t < float(right):
+                h = float(value)
+                break
+        heights.append(h)
+    grid = [[" "] * width for _ in range(height)]
+    for r in range(height):
+        alt = max_h * (height - r - 0.5) / height  # row centre altitude
+        for c in range(width):
+            if alt <= heights[c]:
+                grid[r][c] = "."
+    for p in placements.values():
+        lo_f, hi_f = float(p.alt_low), float(p.alt_high)
+        glyph = _GLYPHS[p.item_id % len(_GLYPHS)]
+        t_left, t_right = float(p.interval[0]), float(p.interval[1])
+        for r in range(height):
+            alt = max_h * (height - r - 0.5) / height
+            if lo_f < alt <= hi_f:
+                for c in range(width):
+                    if t_left <= col_times[c] < t_right:
+                        grid[r][c] = glyph
+    lines = []
+    for r, row in enumerate(grid):
+        alt_label = max_h * (height - r) / height
+        lines.append(f"{alt_label:8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + _time_axis(t_lo, t_hi, width))
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Synthetic workload generators and trace serialisation."""
+
+from .analytics import JobTemplate, random_templates, recurring_jobs
+from .cloud_gaming import gaming_sessions
+from .cluster import cluster_tasks
+from .generators import (
+    DISCRETE_SIZES,
+    bounded_mu,
+    bursty,
+    discrete_sizes,
+    poisson_exponential,
+    uniform_random,
+)
+from .transforms import load_scale, mix, subsample, time_stretch
+from .traces import (
+    dump_csv,
+    dump_jsonl,
+    load_csv,
+    load_jsonl,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "JobTemplate",
+    "random_templates",
+    "recurring_jobs",
+    "gaming_sessions",
+    "cluster_tasks",
+    "DISCRETE_SIZES",
+    "bounded_mu",
+    "bursty",
+    "discrete_sizes",
+    "poisson_exponential",
+    "uniform_random",
+    "dump_csv",
+    "dump_jsonl",
+    "load_csv",
+    "load_jsonl",
+    "load_trace",
+    "save_trace",
+    "load_scale",
+    "mix",
+    "subsample",
+    "time_stretch",
+]

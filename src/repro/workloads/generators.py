@@ -1,0 +1,231 @@
+"""Seeded synthetic workload generators.
+
+All generators return an :class:`~repro.core.ItemList` and draw every random
+number from a ``numpy.random.Generator`` seeded by the caller, so every
+experiment in the benches is reproducible from its printed seed.  Sampling is
+vectorised (one numpy draw per attribute) per the HPC guidelines.
+
+The parameters exposed are the ones the paper's theory cares about: the
+duration ratio μ (via duration ranges), item sizes relative to bin capacity,
+and the arrival process shaping how much demand overlaps in time.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+from ..core.exceptions import ValidationError
+from ..core.intervals import Interval
+from ..core.items import Item, ItemList
+
+__all__ = [
+    "uniform_random",
+    "poisson_exponential",
+    "bounded_mu",
+    "bursty",
+    "discrete_sizes",
+]
+
+SizeDist = Literal["uniform", "small", "large-mix", "discrete"]
+
+#: Typical cloud flavor shares of a server used by the "discrete" size model.
+DISCRETE_SIZES: tuple[float, ...] = (1 / 8, 1 / 4, 3 / 8, 1 / 2, 3 / 4, 1.0)
+
+
+def _sample_sizes(
+    rng: np.random.Generator,
+    n: int,
+    dist: SizeDist,
+    size_range: tuple[float, float],
+) -> np.ndarray:
+    lo, hi = size_range
+    if not (0.0 < lo <= hi <= 1.0):
+        raise ValidationError(f"size_range must satisfy 0 < lo <= hi <= 1, got {size_range}")
+    if dist == "uniform":
+        return rng.uniform(lo, hi, n)
+    if dist == "small":
+        # Beta(2, 6) skews toward small shares, rescaled into the range.
+        return lo + (hi - lo) * rng.beta(2.0, 6.0, n)
+    if dist == "large-mix":
+        # 30% large items near the top of the range, 70% small.
+        large = rng.random(n) < 0.3
+        out = lo + (hi - lo) * rng.beta(2.0, 6.0, n)
+        out[large] = hi - (hi - lo) * 0.3 * rng.random(int(large.sum()))
+        return out
+    if dist == "discrete":
+        choices = np.array([s for s in DISCRETE_SIZES if lo <= s <= hi])
+        if choices.size == 0:
+            raise ValidationError(f"no discrete size falls inside {size_range}")
+        return rng.choice(choices, n)
+    raise ValidationError(f"unknown size distribution {dist!r}")
+
+
+def _build(
+    arrivals: np.ndarray, durations: np.ndarray, sizes: np.ndarray
+) -> ItemList:
+    return ItemList(
+        Item(i, float(sizes[i]), Interval(float(arrivals[i]), float(arrivals[i] + durations[i])))
+        for i in range(len(arrivals))
+    )
+
+
+def uniform_random(
+    n: int,
+    *,
+    seed: int,
+    size_range: tuple[float, float] = (0.05, 0.5),
+    duration_range: tuple[float, float] = (1.0, 10.0),
+    arrival_span: float = 50.0,
+    size_dist: SizeDist = "uniform",
+) -> ItemList:
+    """Uniform arrivals over ``[0, arrival_span)``, uniform durations/sizes.
+
+    The workhorse generator: the realised μ is close to
+    ``duration_range[1] / duration_range[0]``.
+    """
+    if n < 1:
+        raise ValidationError(f"n must be >= 1, got {n}")
+    lo_d, hi_d = duration_range
+    if not 0 < lo_d <= hi_d:
+        raise ValidationError(f"bad duration_range {duration_range}")
+    rng = np.random.default_rng(seed)
+    arrivals = rng.uniform(0.0, arrival_span, n)
+    durations = rng.uniform(lo_d, hi_d, n)
+    sizes = _sample_sizes(rng, n, size_dist, size_range)
+    return _build(arrivals, durations, sizes)
+
+
+def poisson_exponential(
+    n: int,
+    *,
+    seed: int,
+    arrival_rate: float = 2.0,
+    mean_duration: float = 3.0,
+    duration_clip: tuple[float, float] = (0.5, 30.0),
+    size_range: tuple[float, float] = (0.05, 0.5),
+    size_dist: SizeDist = "uniform",
+) -> ItemList:
+    """Poisson arrival process with exponential service times.
+
+    The M/G/∞-style workload of queueing folklore: interarrival gaps are
+    Exp(``arrival_rate``), durations Exp(``mean_duration``) clipped to
+    ``duration_clip`` (so μ is controlled, as the theory requires finite μ).
+    """
+    if n < 1:
+        raise ValidationError(f"n must be >= 1, got {n}")
+    if arrival_rate <= 0 or mean_duration <= 0:
+        raise ValidationError("arrival_rate and mean_duration must be positive")
+    lo, hi = duration_clip
+    if not 0 < lo <= hi:
+        raise ValidationError(f"bad duration_clip {duration_clip}")
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, n))
+    durations = np.clip(rng.exponential(mean_duration, n), lo, hi)
+    sizes = _sample_sizes(rng, n, size_dist, size_range)
+    return _build(arrivals, durations, sizes)
+
+
+def bounded_mu(
+    n: int,
+    *,
+    seed: int,
+    mu: float,
+    min_duration: float = 1.0,
+    arrival_span: float = 50.0,
+    size_range: tuple[float, float] = (0.05, 0.5),
+    size_dist: SizeDist = "uniform",
+    log_uniform: bool = True,
+) -> ItemList:
+    """Durations spread over exactly ``[Δ, μΔ]`` with both endpoints realised.
+
+    Used by the Theorem 4/5 benches, which sweep μ and need the *realised*
+    max/min ratio to equal the nominal one: the first two items are pinned to
+    the extreme durations, the rest drawn log-uniformly (default) or
+    uniformly in between.
+    """
+    if n < 2:
+        raise ValidationError(f"n must be >= 2 to realise both extremes, got {n}")
+    if mu < 1:
+        raise ValidationError(f"mu must be >= 1, got {mu}")
+    if min_duration <= 0:
+        raise ValidationError(f"min_duration must be positive, got {min_duration}")
+    rng = np.random.default_rng(seed)
+    arrivals = rng.uniform(0.0, arrival_span, n)
+    if log_uniform and mu > 1:
+        durations = min_duration * np.exp(rng.uniform(0.0, np.log(mu), n))
+    else:
+        durations = rng.uniform(min_duration, mu * min_duration, n)
+    durations[0] = min_duration
+    durations[1] = mu * min_duration
+    sizes = _sample_sizes(rng, n, size_dist, size_range)
+    return _build(arrivals, durations, sizes)
+
+
+def bursty(
+    n_bursts: int,
+    items_per_burst: int,
+    *,
+    seed: int,
+    burst_gap: float = 10.0,
+    burst_width: float = 0.5,
+    duration_range: tuple[float, float] = (1.0, 8.0),
+    size_range: tuple[float, float] = (0.05, 0.5),
+    size_dist: SizeDist = "uniform",
+) -> ItemList:
+    """Arrival bursts: ``n_bursts`` spikes of ``items_per_burst`` items each.
+
+    Models flash-crowd behaviour (e.g. game launches): items within a burst
+    arrive inside a window of ``burst_width``, bursts are ``burst_gap``
+    apart.  Stresses the packers' ability to close bins between spikes.
+    """
+    if n_bursts < 1 or items_per_burst < 1:
+        raise ValidationError("n_bursts and items_per_burst must be >= 1")
+    lo_d, hi_d = duration_range
+    if not 0 < lo_d <= hi_d:
+        raise ValidationError(f"bad duration_range {duration_range}")
+    rng = np.random.default_rng(seed)
+    n = n_bursts * items_per_burst
+    burst_index = np.repeat(np.arange(n_bursts), items_per_burst)
+    arrivals = burst_index * burst_gap + rng.uniform(0.0, burst_width, n)
+    durations = rng.uniform(lo_d, hi_d, n)
+    sizes = _sample_sizes(rng, n, size_dist, size_range)
+    return _build(arrivals, durations, sizes)
+
+
+def discrete_sizes(
+    n: int,
+    *,
+    seed: int,
+    sizes: Sequence[float] = DISCRETE_SIZES,
+    weights: Sequence[float] | None = None,
+    duration_range: tuple[float, float] = (1.0, 10.0),
+    arrival_span: float = 50.0,
+) -> ItemList:
+    """Items drawn from a discrete size menu (cloud "flavors").
+
+    Args:
+        sizes: Menu of allowed sizes in (0, 1].
+        weights: Selection probabilities (uniform when omitted).
+    """
+    if n < 1:
+        raise ValidationError(f"n must be >= 1, got {n}")
+    menu = np.asarray(sizes, dtype=float)
+    if menu.size == 0 or np.any(menu <= 0) or np.any(menu > 1):
+        raise ValidationError(f"sizes must be a non-empty menu within (0, 1]: {sizes}")
+    if weights is not None:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != menu.shape or np.any(w < 0) or w.sum() == 0:
+            raise ValidationError("weights must match sizes and sum to a positive value")
+        w = w / w.sum()
+    else:
+        w = None
+    lo_d, hi_d = duration_range
+    if not 0 < lo_d <= hi_d:
+        raise ValidationError(f"bad duration_range {duration_range}")
+    rng = np.random.default_rng(seed)
+    arrivals = rng.uniform(0.0, arrival_span, n)
+    durations = rng.uniform(lo_d, hi_d, n)
+    chosen = rng.choice(menu, n, p=w)
+    return _build(arrivals, durations, chosen)

@@ -1,0 +1,96 @@
+"""Trace serialisation: JSONL and CSV round-trips for item lists.
+
+A *trace* is an on-disk record of a workload so experiments can be re-run on
+exactly the same instance.  Two formats are supported:
+
+* **JSONL** — one JSON object per item, preserving tags;
+* **CSV** — ``id,size,arrival,departure`` (tags dropped), convenient for
+  spreadsheets and external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from ..core.exceptions import ValidationError
+from ..core.intervals import Interval
+from ..core.items import Item, ItemList
+
+__all__ = [
+    "dump_jsonl",
+    "load_jsonl",
+    "dump_csv",
+    "load_csv",
+    "save_trace",
+    "load_trace",
+]
+
+CSV_FIELDS = ("id", "size", "arrival", "departure")
+
+
+def dump_jsonl(items: ItemList) -> str:
+    """Serialise to JSON-lines text (one item per line, tags preserved)."""
+    return "\n".join(json.dumps(rec) for rec in items.to_records()) + "\n"
+
+
+def load_jsonl(text: str) -> ItemList:
+    """Parse JSON-lines text produced by :func:`dump_jsonl`."""
+    records = [json.loads(line) for line in text.splitlines() if line.strip()]
+    return ItemList.from_records(records)
+
+
+def dump_csv(items: ItemList) -> str:
+    """Serialise to CSV text with a header row (tags are dropped)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(CSV_FIELDS)
+    for r in items:
+        writer.writerow([r.id, repr(r.size), repr(r.arrival), repr(r.departure)])
+    return buf.getvalue()
+
+
+def load_csv(text: str) -> ItemList:
+    """Parse CSV text produced by :func:`dump_csv`.
+
+    Raises:
+        ValidationError: on a missing or wrong header.
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValidationError("empty CSV trace") from None
+    if tuple(h.strip() for h in header) != CSV_FIELDS:
+        raise ValidationError(f"bad CSV header {header}; expected {list(CSV_FIELDS)}")
+    items: list[Item] = []
+    for row in reader:
+        if not row:
+            continue
+        item_id, size, arrival, departure = row
+        items.append(
+            Item(int(item_id), float(size), Interval(float(arrival), float(departure)))
+        )
+    return ItemList(items)
+
+
+def save_trace(items: ItemList, path: str | Path) -> None:
+    """Write a trace file; the format follows the extension (.jsonl or .csv)."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        path.write_text(dump_jsonl(items))
+    elif path.suffix == ".csv":
+        path.write_text(dump_csv(items))
+    else:
+        raise ValidationError(f"unknown trace extension {path.suffix!r} (use .jsonl/.csv)")
+
+
+def load_trace(path: str | Path) -> ItemList:
+    """Read a trace file written by :func:`save_trace`."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return load_jsonl(path.read_text())
+    if path.suffix == ".csv":
+        return load_csv(path.read_text())
+    raise ValidationError(f"unknown trace extension {path.suffix!r} (use .jsonl/.csv)")

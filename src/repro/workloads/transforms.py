@@ -1,0 +1,127 @@
+"""Workload transformations: scale, stretch, mix, subsample.
+
+Experiment utilities for deriving controlled variants of a workload —
+"what if the load doubled?", "what if everything ran 3× longer?" — with the
+invariants each transformation guarantees documented (and property-tested):
+
+* :func:`time_stretch` — multiplies all times by a factor; usage of any
+  scale-free packer scales by the same factor.
+* :func:`load_scale` — overlays ``k`` phase-shifted copies of the workload;
+  ``d(R)`` scales by exactly ``k``.
+* :func:`subsample` — keeps a seeded random fraction of the items.
+* :func:`mix` — concatenates workloads with id renumbering and optional
+  time offsets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.exceptions import ValidationError
+from ..core.intervals import Interval
+from ..core.items import Item, ItemList
+
+__all__ = ["time_stretch", "load_scale", "subsample", "mix"]
+
+
+def time_stretch(items: ItemList, factor: float) -> ItemList:
+    """All arrivals and departures multiplied by ``factor`` (> 0).
+
+    Durations scale by ``factor``; sizes are untouched, so ``d(R)`` scales
+    by ``factor`` and μ is invariant.
+    """
+    if factor <= 0:
+        raise ValidationError(f"factor must be positive, got {factor}")
+    return ItemList(
+        Item(
+            r.id,
+            r.size,
+            Interval(r.arrival * factor, r.departure * factor),
+            dict(r.tags),
+        )
+        for r in items
+    )
+
+
+def load_scale(items: ItemList, k: int, *, jitter: float = 0.0, seed: int = 0) -> ItemList:
+    """Overlay ``k`` copies of the workload (ids renumbered).
+
+    Args:
+        items: The base workload.
+        k: Copy count (≥ 1); ``k = 1`` returns an equivalent renumbered list.
+        jitter: Uniform arrival perturbation applied to copies 2..k (keeps
+            the copies from being perfectly synchronised); durations are
+            preserved.
+        seed: Jitter seed.
+
+    ``d(R)`` scales by exactly ``k`` when ``jitter == 0``.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    rng = np.random.default_rng(seed)
+    out: list[Item] = []
+    next_id = 0
+    for copy in range(k):
+        for r in items:
+            shift = float(rng.uniform(-jitter, jitter)) if (jitter and copy) else 0.0
+            out.append(
+                Item(
+                    next_id,
+                    r.size,
+                    Interval(r.arrival + shift, r.departure + shift),
+                    dict(r.tags),
+                )
+            )
+            next_id += 1
+    return ItemList(out)
+
+
+def subsample(items: ItemList, fraction: float, *, seed: int = 0) -> ItemList:
+    """A seeded random subset keeping about ``fraction`` of the items.
+
+    At least one item is kept from a non-empty input.
+    """
+    if not 0 < fraction <= 1:
+        raise ValidationError(f"fraction must be in (0, 1], got {fraction}")
+    if not items:
+        return items
+    rng = np.random.default_rng(seed)
+    keep = rng.random(len(items)) < fraction
+    if not keep.any():
+        keep[int(rng.integers(len(items)))] = True
+    return ItemList(r for r, k in zip(items, keep) if k)
+
+
+def mix(
+    workloads: Sequence[ItemList], *, offsets: Sequence[float] | None = None
+) -> ItemList:
+    """Concatenate workloads with renumbered ids and optional time offsets.
+
+    Args:
+        workloads: The parts to combine.
+        offsets: Per-workload time shifts (default: all zero — true overlay).
+
+    Raises:
+        ValidationError: on an offsets/workloads length mismatch.
+    """
+    if offsets is not None and len(offsets) != len(workloads):
+        raise ValidationError(
+            f"got {len(offsets)} offsets for {len(workloads)} workloads"
+        )
+    out: list[Item] = []
+    next_id = 0
+    for i, sub in enumerate(workloads):
+        shift = offsets[i] if offsets is not None else 0.0
+        for r in sub:
+            out.append(
+                Item(
+                    next_id,
+                    r.size,
+                    Interval(r.arrival + shift, r.departure + shift),
+                    dict(r.tags),
+                )
+            )
+            next_id += 1
+    return ItemList(out)

@@ -1,0 +1,67 @@
+"""Shared fixtures and hypothesis strategies for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core import Interval, Item, ItemList
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+#: Sizes kept off the exact extremes to avoid degenerate float dust.
+sizes = st.floats(min_value=0.01, max_value=1.0, allow_nan=False, allow_infinity=False)
+small_sizes = st.floats(min_value=0.01, max_value=0.5)
+arrivals = st.floats(min_value=0.0, max_value=20.0, allow_nan=False, allow_infinity=False)
+durations = st.floats(min_value=0.05, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def items_strategy(draw, max_items: int = 12, size_strategy=sizes):
+    """An :class:`ItemList` of up to ``max_items`` random items."""
+    n = draw(st.integers(min_value=1, max_value=max_items))
+    items = []
+    for i in range(n):
+        a = draw(arrivals)
+        d = draw(durations)
+        s = draw(size_strategy)
+        items.append(Item(i, s, Interval(a, a + d)))
+    return ItemList(items)
+
+
+@st.composite
+def intervals_strategy(draw):
+    left = draw(st.floats(min_value=-50, max_value=50, allow_nan=False))
+    length = draw(st.floats(min_value=1e-3, max_value=30, allow_nan=False))
+    return Interval(left, left + length)
+
+
+# ---------------------------------------------------------------------------
+# Plain fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def simple_items() -> ItemList:
+    """Three overlapping items with easy hand-checkable numbers."""
+    return ItemList(
+        [
+            Item(0, 0.5, Interval(0.0, 4.0)),
+            Item(1, 0.4, Interval(1.0, 3.0)),
+            Item(2, 0.3, Interval(2.0, 6.0)),
+        ]
+    )
+
+
+@pytest.fixture
+def disjoint_items() -> ItemList:
+    """Items whose intervals never overlap (always packable in one bin)."""
+    return ItemList(
+        [
+            Item(0, 0.9, Interval(0.0, 1.0)),
+            Item(1, 0.8, Interval(2.0, 3.0)),
+            Item(2, 0.7, Interval(4.0, 5.0)),
+        ]
+    )

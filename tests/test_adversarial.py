@@ -1,0 +1,157 @@
+"""Tests for the adversarial instance families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    BestFitPacker,
+    ClassifyByDurationFirstFit,
+    FirstFitPacker,
+    NextFitPacker,
+    opt_total,
+)
+from repro.bounds import (
+    GOLDEN_RATIO,
+    bestfit_trap_instance,
+    retention_instance,
+    staircase_instance,
+    theorem3_instance,
+    theorem3_optimal_x,
+)
+from repro.core import ValidationError
+
+
+class TestTheorem3Instance:
+    def test_default_x_is_golden_ratio(self):
+        inst = theorem3_instance()
+        assert inst.x == pytest.approx(GOLDEN_RATIO)
+        assert theorem3_optimal_x() == pytest.approx(GOLDEN_RATIO)
+
+    def test_case_a_structure(self):
+        inst = theorem3_instance(x=2.0, eps=0.1)
+        assert len(inst.case_a) == 2
+        assert all(r.size == pytest.approx(0.4) for r in inst.case_a)
+        durations = sorted(r.duration for r in inst.case_a)
+        assert durations == pytest.approx([1.0, 2.0])
+
+    def test_case_b_extends_case_a(self):
+        inst = theorem3_instance(x=2.0, eps=0.1, tau=0.01)
+        assert len(inst.case_b) == 4
+        big = [r for r in inst.case_b if r.size > 0.5]
+        assert len(big) == 2
+        assert all(r.arrival == pytest.approx(0.01) for r in big)
+
+    def test_optimal_costs_match_paper(self):
+        inst = theorem3_instance(x=2.0, tau=0.001)
+        assert inst.opt_a == pytest.approx(2.0)
+        assert inst.opt_b == pytest.approx(2.0 + 1.0 + 0.002)
+        # Cross-check against the exact repacking adversary.
+        assert opt_total(inst.case_a) == pytest.approx(inst.opt_a)
+        assert opt_total(inst.case_b) <= inst.opt_b + 1e-9
+
+    def test_adversary_ratio_formulas(self):
+        inst = theorem3_instance(x=2.0, tau=1e-9)
+        assert inst.adversary_ratio(True) == pytest.approx(5.0 / 3.0, rel=1e-6)
+        assert inst.adversary_ratio(False) == pytest.approx(3.0 / 2.0)
+
+    def test_golden_x_balances_cases(self):
+        inst = theorem3_instance(tau=1e-12)
+        assert inst.adversary_ratio(True) == pytest.approx(
+            inst.adversary_ratio(False), rel=1e-6
+        )
+        assert inst.adversary_ratio(True) == pytest.approx(GOLDEN_RATIO, rel=1e-6)
+
+    def test_first_fit_suffers_on_case_b(self):
+        """First Fit packs the first two items together, so case B extracts
+        the full (2x+1)/(x+1) ratio from it — above the golden ratio."""
+        inst = theorem3_instance(tau=1e-9)
+        result = FirstFitPacker().pack(inst.case_b)
+        ratio = result.total_usage() / inst.opt_b
+        assert ratio == pytest.approx(
+            (2 * inst.x + 1) / (inst.x + 1 + 2 * inst.tau), rel=1e-6
+        )
+        assert ratio >= GOLDEN_RATIO - 1e-6
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            theorem3_instance(x=1.0)
+        with pytest.raises(ValidationError):
+            theorem3_instance(eps=0.6)
+        with pytest.raises(ValidationError):
+            theorem3_instance(tau=0.0)
+
+
+class TestRetentionInstance:
+    def test_structure(self):
+        items = retention_instance(mu=10.0, phases=5)
+        assert len(items) == 10
+        assert items.mu() == pytest.approx(10.0)
+
+    def test_any_fit_opens_one_bin_per_phase(self):
+        items = retention_instance(mu=20.0, phases=10)
+        for packer in (FirstFitPacker(), BestFitPacker(), NextFitPacker()):
+            result = packer.pack(items)
+            result.validate()
+            assert result.num_bins == 10
+
+    def test_ratio_approaches_mu(self):
+        mu, phases = 30.0, 30
+        items = retention_instance(mu=mu, phases=phases)
+        ff_usage = FirstFitPacker().pack(items).total_usage()
+        # Lower bound on OPT: fillers need own bins (~phases*delta) and the
+        # retainers share one (~mu*delta); the measured ratio must reach the
+        # asymptotic m*mu/(m+mu) regime within 20%.
+        from repro.bounds import best_lower_bound
+
+        ratio = ff_usage / best_lower_bound(items)
+        expected = phases * mu / (phases + mu)
+        assert ratio >= 0.8 * expected
+
+    def test_classification_escapes_the_trap(self):
+        items = retention_instance(mu=50.0, phases=20)
+        ff = FirstFitPacker().pack(items).total_usage()
+        cd = ClassifyByDurationFirstFit.with_known_durations(1.0, 50.0).pack(items)
+        cd.validate()
+        assert cd.total_usage() < 0.25 * ff
+
+    def test_eps_budget_validated(self):
+        with pytest.raises(ValidationError):
+            retention_instance(mu=5.0, phases=200, eps=0.01)
+
+
+class TestBestFitTrap:
+    def test_bestfit_pays_about_double(self):
+        items = bestfit_trap_instance(mu=20.0, phases=6)
+        ff = FirstFitPacker().pack(items)
+        bf = BestFitPacker().pack(items)
+        ff.validate()
+        bf.validate()
+        assert bf.total_usage() > 1.5 * ff.total_usage()
+
+    def test_first_fit_near_optimal(self):
+        items = bestfit_trap_instance(mu=20.0, phases=4)
+        from repro.bounds import best_lower_bound
+
+        ff = FirstFitPacker().pack(items).total_usage()
+        assert ff <= 1.2 * best_lower_bound(items)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bestfit_trap_instance(mu=1.0, phases=3)
+
+
+class TestStaircase:
+    def test_forces_levels_bins(self):
+        items = staircase_instance(levels=6, horizon=20.0)
+        result = FirstFitPacker().pack(items)
+        result.validate()
+        # 6 tiny long items end up in 6 distinct bins, all open till horizon.
+        tiny_bins = {
+            result.assignment[r.id] for r in items if r.size < 0.5
+        }
+        assert len(tiny_bins) == 6
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValidationError):
+            staircase_instance(levels=5, horizon=5.0)

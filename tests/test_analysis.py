@@ -1,0 +1,159 @@
+"""Tests for analysis: ratio sweeps, tables, the noise study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import ClassifyByDurationFirstFit, FirstFitPacker
+from repro.analysis import (
+    measured_ratio,
+    noise_sweep,
+    noisy_estimator,
+    render_series,
+    render_table,
+    sweep_mu,
+)
+from repro.analysis.tables import format_cell
+from repro.core import Interval, Item, ItemList
+from repro.workloads import bounded_mu, uniform_random
+
+
+class TestMeasuredRatio:
+    def test_exact_for_small_instances(self, simple_items):
+        m = measured_ratio(FirstFitPacker(), simple_items)
+        assert m.exact
+        assert m.ratio >= 1.0 - 1e-9
+
+    def test_falls_back_to_lower_bound(self):
+        items = uniform_random(40, seed=1)
+        m = measured_ratio(FirstFitPacker(), items, exact_opt_max_items=10)
+        assert not m.exact
+        assert m.ratio >= 1.0 - 1e-9
+
+    def test_solver_budget_fallback(self):
+        items = uniform_random(40, seed=1, size_range=(0.2, 0.45))
+        m = measured_ratio(FirstFitPacker(), items, solver_nodes=5)
+        assert not m.exact
+
+
+class TestSweepMu:
+    def test_shape_and_aggregation(self):
+        points = sweep_mu(
+            make_packer=lambda mu: ClassifyByDurationFirstFit.with_known_durations(1.0, mu),
+            make_items=lambda mu, seed: bounded_mu(15, seed=seed, mu=mu),
+            mus=[2.0, 8.0],
+            seeds=[0, 1, 2],
+        )
+        assert [p.mu for p in points] == [2.0, 8.0]
+        for p in points:
+            assert p.n_seeds == 3
+            assert 1.0 - 1e-9 <= p.mean_ratio <= p.max_ratio + 1e-12
+            assert p.std_ratio >= 0.0
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell(True) == "yes"
+        assert format_cell(1.23456, precision=2) == "1.23"
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell("abc") == "abc"
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert len({len(l) for l in lines[1:]}) == 1  # aligned widths
+
+    def test_render_table_missing_keys(self):
+        text = render_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "-" in text
+
+    def test_render_table_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_render_series(self):
+        text = render_series(
+            "mu", [1.0, 2.0], {"ff": [5.0, 6.0], "cd": [5.0, 5.83]}
+        )
+        assert "mu" in text and "ff" in text and "cd" in text
+        assert "5.830" in text
+
+
+class TestNoiseStudy:
+    def test_noisy_estimator_deterministic(self):
+        est = noisy_estimator(0.5, seed=3)
+        item = Item(7, 0.3, Interval(0.0, 2.0))
+        assert est(item) == est(item)
+
+    def test_sigma_zero_is_perfect(self):
+        est = noisy_estimator(0.0, seed=3)
+        item = Item(7, 0.3, Interval(0.0, 2.0))
+        assert est(item) == item.departure
+
+    def test_noise_sweep_monotone_error(self):
+        items = uniform_random(40, seed=5)
+        points = noise_sweep(
+            make_packer=lambda: ClassifyByDurationFirstFit(alpha=2.0),
+            items=items,
+            sigmas=[0.0, 0.3, 1.0],
+            seeds=[0, 1],
+        )
+        errors = [p.mean_abs_error for p in points]
+        assert errors[0] == pytest.approx(0.0)
+        assert errors == sorted(errors)
+
+    def test_noise_sweep_baseline_inflation_one(self):
+        items = uniform_random(30, seed=6)
+        points = noise_sweep(
+            make_packer=lambda: ClassifyByDurationFirstFit(alpha=2.0),
+            items=items,
+            sigmas=[0.0],
+            seeds=[0],
+        )
+        assert points[0].mean_inflation == pytest.approx(1.0)
+
+
+class TestBuildReport:
+    def test_full_report_contents(self):
+        from repro.analysis import build_report
+
+        items = uniform_random(30, seed=21)
+        text = build_report(items, title="T")
+        assert "=== T ===" in text
+        assert "OPT_total" in text or "lower bound" in text
+        assert "algorithms (best first)" in text
+        assert "demand profile" in text
+        assert "packing by the winner" in text
+
+    def test_empty_workload(self):
+        from repro.analysis import build_report
+
+        assert "(empty workload)" in build_report(ItemList([]))
+
+    def test_algorithm_subset_and_kwargs(self):
+        from repro.analysis import build_report
+
+        items = uniform_random(20, seed=22)
+        text = build_report(
+            items,
+            algorithms=["classify-duration"],
+            packer_kwargs={"classify-duration": {"alpha": 3.0}},
+            include_gantt=False,
+        )
+        assert "alpha=3" in text
+        assert "packing by the winner" not in text
+
+    def test_guarantee_for(self):
+        from repro.algorithms import BestFitPacker, FirstFitPacker, get_packer
+        from repro.analysis import guarantee_for
+
+        items = uniform_random(10, seed=23)
+        mu = items.mu()
+        assert guarantee_for(FirstFitPacker(), items) == pytest.approx(mu + 4)
+        assert guarantee_for(BestFitPacker(), items) is None
+        assert guarantee_for(get_packer("dual-coloring"), items) == 4.0
+        assert guarantee_for(FirstFitPacker(), ItemList([])) is None

@@ -1,0 +1,217 @@
+"""Tests for the Any Fit family and Next Fit."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    BestFitPacker,
+    FirstFitPacker,
+    LastFitPacker,
+    NextFitPacker,
+    RandomFitPacker,
+    WorstFitPacker,
+)
+from repro.core import Interval, Item, ItemList
+
+from conftest import items_strategy
+
+ANY_FIT_CLASSES = [
+    FirstFitPacker,
+    BestFitPacker,
+    WorstFitPacker,
+    LastFitPacker,
+    RandomFitPacker,
+]
+ALL_CLASSES = ANY_FIT_CLASSES + [NextFitPacker]
+
+
+def two_small_one_big() -> ItemList:
+    return ItemList(
+        [
+            Item(0, 0.4, Interval(0.0, 4.0)),
+            Item(1, 0.4, Interval(0.5, 4.0)),
+            Item(2, 0.9, Interval(1.0, 4.0)),
+        ]
+    )
+
+
+class TestFirstFit:
+    def test_fills_earliest_opened_bin(self):
+        result = FirstFitPacker().pack(two_small_one_big())
+        # Items 0 and 1 share bin 0; item 2 needs its own.
+        assert result.assignment[0] == result.assignment[1] == 0
+        assert result.assignment[2] == 1
+
+    def test_reuses_freed_capacity(self):
+        items = ItemList(
+            [
+                Item(0, 0.9, Interval(0.0, 1.0)),
+                Item(1, 0.5, Interval(0.5, 2.0)),
+                Item(2, 0.9, Interval(1.0, 3.0)),  # item 0 gone at t=1
+            ]
+        )
+        result = FirstFitPacker().pack(items)
+        result.validate()
+        assert result.assignment[0] == 0
+        assert result.assignment[1] == 1
+        # Bin 0 is closed at t=1 (item 0 departed at exactly 1.0), so a new
+        # bin opens: closed bins are never reused.
+        assert result.assignment[2] == 2
+
+    def test_earliest_opened_preference(self):
+        # Two open bins can both accommodate; First Fit takes bin 0.
+        items = ItemList(
+            [
+                Item(0, 0.6, Interval(0.0, 10.0)),
+                Item(1, 0.6, Interval(0.0, 10.0)),
+                Item(2, 0.3, Interval(1.0, 5.0)),
+            ]
+        )
+        result = FirstFitPacker().pack(items)
+        assert result.assignment[2] == 0
+
+
+class TestBestFit:
+    def test_prefers_fullest(self):
+        items = ItemList(
+            [
+                Item(0, 0.5, Interval(0.0, 10.0)),
+                Item(1, 0.6, Interval(0.0, 10.0)),  # 0.5+0.6 > 1: forced into bin 1
+                Item(2, 0.35, Interval(1.0, 5.0)),  # fits both; bin 1 is fuller
+            ]
+        )
+        result = BestFitPacker().pack(items)
+        assert result.assignment[0] == 0
+        assert result.assignment[1] == 1
+        assert result.assignment[2] == 1
+
+    def test_tie_breaks_to_earliest(self):
+        items = ItemList(
+            [
+                Item(0, 0.55, Interval(0.0, 10.0)),
+                Item(1, 0.55, Interval(0.0, 10.0)),  # forced into bin 1
+                Item(2, 0.4, Interval(1.0, 5.0)),  # fits both at equal level
+            ]
+        )
+        result = BestFitPacker().pack(items)
+        assert result.assignment[2] == 0
+
+
+class TestWorstFit:
+    def test_prefers_emptiest(self):
+        items = ItemList(
+            [
+                Item(0, 0.5, Interval(0.0, 10.0)),
+                Item(1, 0.6, Interval(0.0, 10.0)),  # forced into bin 1
+                Item(2, 0.35, Interval(1.0, 5.0)),  # fits both; bin 0 is emptier
+            ]
+        )
+        result = WorstFitPacker().pack(items)
+        assert result.assignment[2] == 0
+
+
+class TestLastFit:
+    def test_prefers_most_recent(self):
+        items = ItemList(
+            [
+                Item(0, 0.3, Interval(0.0, 10.0)),
+                Item(1, 0.3, Interval(0.5, 10.0)),  # would fit bin 0; any-fit packs it there
+                Item(2, 0.9, Interval(1.0, 10.0)),  # forces bin 1
+                Item(3, 0.1, Interval(2.0, 5.0)),  # fits both; last fit -> bin 1
+            ]
+        )
+        result = LastFitPacker().pack(items)
+        assert result.assignment[1] == 0  # any fit property: no new bin if one fits
+        assert result.assignment[3] == 1
+
+
+class TestNextFit:
+    def test_abandons_bin_on_misfit(self):
+        items = ItemList(
+            [
+                Item(0, 0.6, Interval(0.0, 10.0)),
+                Item(1, 0.6, Interval(1.0, 10.0)),  # doesn't fit -> new current bin
+                Item(2, 0.3, Interval(2.0, 5.0)),  # fits current (bin 1)
+                Item(3, 0.1, Interval(3.0, 5.0)),  # would fit bin 0, but it's abandoned
+            ]
+        )
+        result = NextFitPacker().pack(items)
+        assert result.assignment[0] == 0
+        assert result.assignment[1] == 1
+        assert result.assignment[2] == 1
+        assert result.assignment[3] == 1
+
+    def test_opens_new_after_current_closes(self):
+        items = ItemList(
+            [
+                Item(0, 0.6, Interval(0.0, 1.0)),
+                Item(1, 0.6, Interval(2.0, 3.0)),  # current bin closed at t=2
+            ]
+        )
+        result = NextFitPacker().pack(items)
+        assert result.assignment[1] == 1
+
+
+class TestRandomFit:
+    def test_deterministic_given_seed(self):
+        items = two_small_one_big()
+        a = RandomFitPacker(seed=5).pack(items).assignment
+        b = RandomFitPacker(seed=5).pack(items).assignment
+        assert a == b
+
+    def test_reset_restores_stream(self):
+        p = RandomFitPacker(seed=5)
+        items = two_small_one_big()
+        a = p.pack(items).assignment
+        b = p.pack(items).assignment  # pack() resets, so streams match
+        assert a == b
+
+
+class TestFamilyInvariants:
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_feasible_on_fixture(self, cls, simple_items):
+        result = cls().pack(simple_items)
+        result.validate()
+        assert result.num_bins >= 1
+
+    @pytest.mark.parametrize("cls", ANY_FIT_CLASSES)
+    def test_any_fit_property_single_fitting_bin(self, cls):
+        # With one open bin that fits, an Any Fit algorithm must use it.
+        items = ItemList(
+            [
+                Item(0, 0.5, Interval(0.0, 10.0)),
+                Item(1, 0.5, Interval(1.0, 9.0)),
+            ]
+        )
+        result = cls().pack(items)
+        assert result.num_bins == 1
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_packer_instance_reusable(self, cls, simple_items, disjoint_items):
+        p = cls()
+        r1 = p.pack(simple_items)
+        r2 = p.pack(disjoint_items)
+        r1.validate()
+        r2.validate()
+        # Disjoint items: each bin closes before the next arrival, and closed
+        # bins are never reused, so each item opens a fresh bin — but usage
+        # still equals the span (gaps cost nothing).
+        assert r2.num_bins == 3
+        assert r2.total_usage() == pytest.approx(disjoint_items.span())
+
+    @settings(max_examples=40)
+    @given(items_strategy(max_items=15))
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_feasible_on_random(self, cls, items):
+        result = cls().pack(items)
+        result.validate()
+        # Usage can never beat the span lower bound.
+        assert result.total_usage() >= items.span() - 1e-9
+
+    @settings(max_examples=40)
+    @given(items_strategy(max_items=15))
+    def test_first_fit_never_uses_more_bins_than_singletons(self, items):
+        result = FirstFitPacker().pack(items)
+        assert result.num_bins <= len(items)

@@ -1,0 +1,90 @@
+"""Tests for packer base classes and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    FirstFitPacker,
+    OnlinePacker,
+    available_packers,
+    get_packer,
+    register_packer,
+)
+from repro.core import Interval, Item, ItemList
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        names = available_packers()
+        for expected in (
+            "first-fit",
+            "best-fit",
+            "worst-fit",
+            "last-fit",
+            "random-fit",
+            "next-fit",
+            "hybrid-first-fit",
+            "duration-descending-first-fit",
+            "dual-coloring",
+            "classify-departure",
+            "classify-duration",
+            "classify-combined",
+        ):
+            assert expected in names
+
+    def test_get_packer_with_kwargs(self):
+        p = get_packer("classify-duration", alpha=3.0)
+        assert p.alpha == 3.0
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="first-fit"):
+            get_packer("no-such-packer")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_packer("first-fit")(FirstFitPacker)
+
+
+class TestOnlinePackerDriver:
+    def test_pack_presents_items_in_arrival_order(self):
+        seen: list[int] = []
+
+        class Recorder(OnlinePacker):
+            name = "recorder"
+
+            def place(self, item):
+                seen.append(item.id)
+                b = self.open_bin()
+                b.place(item, check=False)
+                return b.index
+
+        items = ItemList(
+            [
+                Item(2, 0.1, Interval(5.0, 6.0)),
+                Item(0, 0.1, Interval(1.0, 2.0)),
+                Item(1, 0.1, Interval(1.0, 3.0)),
+            ]
+        )
+        Recorder().pack(items)
+        assert seen == [0, 1, 2]
+
+    def test_open_bins_at_excludes_closed(self):
+        p = FirstFitPacker()
+        p.reset()
+        p.place(Item(0, 0.5, Interval(0.0, 1.0)))
+        p.place(Item(1, 0.5, Interval(2.0, 3.0)))
+        assert [b.index for b in p.open_bins_at(0.5)] == [0]
+        assert [b.index for b in p.open_bins_at(2.5)] == [1]
+        assert p.open_bins_at(1.5) == []
+
+    def test_pack_stream_matches_pack(self, simple_items):
+        p = FirstFitPacker()
+        full = p.pack(simple_items).assignment
+        p.reset()
+        streamed = p.pack_stream(iter(simple_items))
+        assert streamed == full
+
+    def test_describe_defaults_to_name(self):
+        assert FirstFitPacker().describe() == "first-fit"
+        assert "FirstFitPacker" in repr(FirstFitPacker())

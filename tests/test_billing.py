@@ -1,0 +1,73 @@
+"""Tests for pay-as-you-go billing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Interval, Item, ItemList, PackingResult, ValidationError
+from repro.simulation import PER_HOUR, PER_MINUTE, BillingPolicy
+
+
+def packing_one_bin(duration: float) -> PackingResult:
+    items = ItemList([Item(0, 0.5, Interval(0.0, duration))])
+    return PackingResult(items, {0: 0})
+
+
+class TestBilledDuration:
+    def test_exact_policy_bills_raw(self):
+        assert BillingPolicy().billed_duration(2.5) == 2.5
+
+    def test_granularity_rounds_up(self):
+        policy = BillingPolicy(granularity=1.0)
+        assert policy.billed_duration(0.1) == 1.0
+        assert policy.billed_duration(1.0) == 1.0
+        assert policy.billed_duration(1.001) == 2.0
+
+    def test_boundary_tolerance(self):
+        # Float dust just above a whole increment must not add an increment.
+        policy = BillingPolicy(granularity=1.0)
+        assert policy.billed_duration(3.0 + 1e-12) == 3.0
+
+    def test_minimum_charge(self):
+        policy = BillingPolicy(granularity=0.0, minimum_units=1.0)
+        assert policy.billed_duration(0.2) == 1.0
+        assert policy.billed_duration(2.0) == 2.0
+
+    def test_zero_duration_free(self):
+        assert PER_HOUR.billed_duration(0.0) == 0.0
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            BillingPolicy(granularity=-1.0)
+
+
+class TestCost:
+    def test_exact_cost_is_usage(self):
+        assert BillingPolicy().cost(packing_one_bin(2.5)) == pytest.approx(2.5)
+
+    def test_hourly_cost_rounds_each_rental(self):
+        assert PER_HOUR.cost(packing_one_bin(2.5)) == pytest.approx(3.0)
+
+    def test_price_scales(self):
+        policy = BillingPolicy(price_per_unit=0.25)
+        assert policy.cost(packing_one_bin(4.0)) == pytest.approx(1.0)
+
+    def test_each_rental_billed_separately(self):
+        # One bin, two disjoint usage periods: each rounds up separately.
+        items = ItemList(
+            [
+                Item(0, 0.5, Interval(0.0, 0.5)),
+                Item(1, 0.5, Interval(10.0, 10.5)),
+            ]
+        )
+        packing = PackingResult(items, {0: 0, 1: 0})
+        assert PER_HOUR.cost(packing) == pytest.approx(2.0)
+
+    def test_presets_ordering(self):
+        # Finer granularity never costs more.
+        packing = packing_one_bin(2.51)
+        exact = BillingPolicy().cost(packing)
+        assert exact <= PER_MINUTE.cost(packing) <= PER_HOUR.cost(packing)
+
+    def test_describe(self):
+        assert "per-hour" in PER_HOUR.describe()

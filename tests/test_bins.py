@@ -1,0 +1,158 @@
+"""Unit and property tests for repro.core.bins."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core import Bin, CapacityError, Interval, Item, ValidationError
+from repro.core.bins import bins_from_assignment
+
+from conftest import items_strategy
+
+
+class TestBinBasics:
+    def test_new_bin_empty(self):
+        b = Bin(0)
+        assert b.is_empty
+        assert len(b) == 0
+        assert b.level_at(0.0) == 0.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            Bin(0, capacity=0.0)
+
+    def test_place_updates_level(self):
+        b = Bin(0)
+        b.place(Item(0, 0.4, Interval(0.0, 2.0)))
+        assert b.level_at(1.0) == pytest.approx(0.4)
+        assert b.level_at(2.0) == 0.0
+
+    def test_levels_stack(self):
+        b = Bin(0)
+        b.place(Item(0, 0.4, Interval(0.0, 4.0)))
+        b.place(Item(1, 0.5, Interval(1.0, 3.0)))
+        assert b.level_at(2.0) == pytest.approx(0.9)
+        assert b.level_at(3.5) == pytest.approx(0.4)
+
+    def test_residual(self):
+        b = Bin(0)
+        b.place(Item(0, 0.3, Interval(0.0, 1.0)))
+        assert b.residual_at(0.5) == pytest.approx(0.7)
+
+
+class TestFitChecks:
+    def test_fits_simple(self):
+        b = Bin(0)
+        b.place(Item(0, 0.6, Interval(0.0, 2.0)))
+        assert b.fits(Item(1, 0.4, Interval(0.0, 2.0)))
+        assert not b.fits(Item(2, 0.5, Interval(0.0, 2.0)))
+
+    def test_fits_considers_future_commitments(self):
+        # Offline scenario: a future item is already committed; an arriving
+        # item whose interval reaches into that commitment must account for it.
+        b = Bin(0)
+        b.place(Item(0, 0.8, Interval(5.0, 10.0)))
+        assert b.level_at(0.0) == 0.0
+        assert not b.fits(Item(1, 0.5, Interval(0.0, 6.0)))  # clashes at t=5
+        assert b.fits(Item(2, 0.5, Interval(0.0, 5.0)))  # half-open: ok
+
+    def test_fits_at_arrival_ignores_future(self):
+        b = Bin(0)
+        b.place(Item(0, 0.8, Interval(5.0, 10.0)))
+        probe = Item(1, 0.5, Interval(0.0, 6.0))
+        assert b.fits_at_arrival(probe)  # level at t=0 is 0
+        assert not b.fits(probe)
+
+    def test_exact_fill_allowed(self):
+        b = Bin(0)
+        b.place(Item(0, 0.6, Interval(0.0, 1.0)))
+        assert b.fits(Item(1, 0.4, Interval(0.0, 1.0)))
+
+    def test_float_noise_tolerated(self):
+        b = Bin(0)
+        for i in range(10):
+            b.place(Item(i, 0.1, Interval(0.0, 1.0)))
+        # Ten 0.1s sum to slightly more than 1.0 in floats; tolerance absorbs it.
+        assert b.level_at(0.5) == pytest.approx(1.0)
+
+    def test_place_with_check_raises(self):
+        b = Bin(0)
+        b.place(Item(0, 0.7, Interval(0.0, 2.0)))
+        with pytest.raises(CapacityError) as exc_info:
+            b.place(Item(1, 0.7, Interval(1.0, 3.0)))
+        assert exc_info.value.time == pytest.approx(1.0)
+
+    def test_place_unchecked_allows_overflow(self):
+        b = Bin(0)
+        b.place(Item(0, 0.7, Interval(0.0, 2.0)))
+        b.place(Item(1, 0.7, Interval(1.0, 3.0)), check=False)
+        assert b.level_at(1.5) == pytest.approx(1.4)
+
+
+class TestUsage:
+    def test_usage_time_is_span(self):
+        b = Bin(0)
+        b.place(Item(0, 0.2, Interval(0.0, 2.0)))
+        b.place(Item(1, 0.2, Interval(1.0, 3.0)))
+        b.place(Item(2, 0.2, Interval(5.0, 6.0)))
+        assert b.usage_time() == pytest.approx(4.0)
+        assert b.usage_intervals() == [Interval(0.0, 3.0), Interval(5.0, 6.0)]
+
+    def test_open_close_times(self):
+        b = Bin(0)
+        b.place(Item(0, 0.2, Interval(1.0, 2.0)))
+        b.place(Item(1, 0.2, Interval(0.5, 3.0)))
+        assert b.open_time() == 0.5
+        assert b.close_time() == 3.0
+
+    def test_open_close_on_empty_raises(self):
+        with pytest.raises(ValidationError):
+            Bin(0).open_time()
+        with pytest.raises(ValidationError):
+            Bin(0).close_time()
+
+    def test_is_open_at(self):
+        b = Bin(0)
+        b.place(Item(0, 0.2, Interval(1.0, 2.0)))
+        assert b.is_open_at(1.0)
+        assert not b.is_open_at(2.0)  # half-open: closed at departure
+        assert not b.is_open_at(0.5)
+
+
+class TestBinsFromAssignment:
+    def test_groups_by_bin(self, simple_items):
+        bins = bins_from_assignment(simple_items, {0: 0, 1: 1, 2: 0})
+        assert len(bins) == 2
+        assert {r.id for r in bins[0].items} == {0, 2}
+
+    def test_non_contiguous_indices_preserved(self, simple_items):
+        bins = bins_from_assignment(simple_items, {0: 5, 1: 9, 2: 5})
+        assert [b.index for b in bins] == [5, 9]
+
+
+class TestBinProperties:
+    @given(items_strategy(max_items=8))
+    def test_level_profile_matches_manual_sum(self, items):
+        b = Bin(0)
+        for r in items:
+            b.place(r, check=False)
+        for t in items.event_times():
+            manual = sum(r.size for r in items if r.active_at(t))
+            assert b.level_at(t) == pytest.approx(manual, abs=1e-9)
+
+    @given(items_strategy(max_items=8))
+    def test_usage_equals_itemlist_span(self, items):
+        b = Bin(0)
+        for r in items:
+            b.place(r, check=False)
+        assert b.usage_time() == pytest.approx(items.span(), rel=1e-9)
+
+    @given(items_strategy(max_items=8))
+    def test_fits_iff_max_level_allows(self, items):
+        b = Bin(0)
+        for r in list(items)[:-1]:
+            b.place(r, check=False)
+        probe = items[len(items) - 1]
+        expected = b.max_level_over(probe.interval) + probe.size <= 1.0 + b.tol
+        assert b.fits(probe) == expected

@@ -1,0 +1,131 @@
+"""Tests for classify-by-departure-time First Fit (paper §5.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import ClassifyByDepartureFirstFit
+from repro.bounds import optimal_rho
+from repro.core import Interval, Item, ItemList, ValidationError
+
+from conftest import items_strategy
+
+
+class TestConstruction:
+    def test_rho_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            ClassifyByDepartureFirstFit(rho=0.0)
+        with pytest.raises(ValidationError):
+            ClassifyByDepartureFirstFit(rho=-1.0)
+
+    def test_with_known_durations_sets_optimal_rho(self):
+        p = ClassifyByDepartureFirstFit.with_known_durations(min_duration=2.0, mu=9.0)
+        assert p.rho == pytest.approx(optimal_rho(9.0, 2.0))
+        assert p.rho == pytest.approx(math.sqrt(9.0) * 2.0)
+
+    def test_with_known_durations_validates(self):
+        with pytest.raises(ValidationError):
+            ClassifyByDepartureFirstFit.with_known_durations(min_duration=0.0, mu=2.0)
+        with pytest.raises(ValidationError):
+            ClassifyByDepartureFirstFit.with_known_durations(min_duration=1.0, mu=0.5)
+
+    def test_describe_mentions_rho(self):
+        assert "rho=2" in ClassifyByDepartureFirstFit(rho=2.0).describe()
+
+
+class TestCategories:
+    def test_paper_convention_first_category(self):
+        # First category is departures in (0, rho]: an item departing exactly
+        # at rho belongs to category 1, just after rho to category 2.
+        p = ClassifyByDepartureFirstFit(rho=5.0, origin=0.0)
+        assert p.category_of(Item(0, 0.1, Interval(0.0, 5.0))) == 1
+        assert p.category_of(Item(1, 0.1, Interval(0.0, 5.0001))) == 2
+        assert p.category_of(Item(2, 0.1, Interval(0.0, 0.1))) == 1
+
+    def test_origin_defaults_to_first_arrival(self):
+        p = ClassifyByDepartureFirstFit(rho=1.0)
+        p.reset()
+        # First item arrives at 10; origin pinned there.
+        assert p.category_of(Item(0, 0.1, Interval(10.0, 10.5))) == 1
+        assert p.category_of(Item(1, 0.1, Interval(10.0, 11.0))) == 1
+        assert p.category_of(Item(2, 0.1, Interval(10.2, 11.5))) == 2
+
+    def test_reset_clears_learned_origin(self):
+        p = ClassifyByDepartureFirstFit(rho=1.0)
+        p.reset()
+        p.category_of(Item(0, 0.1, Interval(10.0, 10.5)))
+        p.reset()
+        assert p.category_of(Item(0, 0.1, Interval(0.0, 0.5))) == 1
+
+    def test_fixed_origin_survives_reset(self):
+        p = ClassifyByDepartureFirstFit(rho=1.0, origin=5.0)
+        p.reset()
+        assert p.category_of(Item(0, 0.1, Interval(6.0, 6.5))) == 2
+
+
+class TestPackingBehaviour:
+    def test_items_with_far_departures_not_mixed(self):
+        # Without classification these would share a bin and hold it open.
+        items = ItemList(
+            [
+                Item(0, 0.3, Interval(0.0, 1.0)),
+                Item(1, 0.3, Interval(0.0, 100.0)),
+            ]
+        )
+        result = ClassifyByDepartureFirstFit(rho=5.0).pack(items)
+        assert result.assignment[0] != result.assignment[1]
+
+    def test_similar_departures_share(self):
+        items = ItemList(
+            [
+                Item(0, 0.3, Interval(0.0, 4.0)),
+                Item(1, 0.3, Interval(0.5, 4.5)),
+            ]
+        )
+        result = ClassifyByDepartureFirstFit(rho=5.0).pack(items)
+        assert result.assignment[0] == result.assignment[1]
+
+    def test_first_fit_within_category(self):
+        items = ItemList(
+            [
+                Item(0, 0.6, Interval(0.0, 4.0)),
+                Item(1, 0.6, Interval(0.2, 4.2)),  # same category, doesn't fit bin 0
+                Item(2, 0.3, Interval(0.4, 4.4)),  # same category, fits bin 0 first
+            ]
+        )
+        result = ClassifyByDepartureFirstFit(rho=5.0).pack(items)
+        assert result.assignment[2] == result.assignment[0]
+
+    def test_beats_first_fit_on_retention_workload(self):
+        from repro.algorithms import FirstFitPacker
+        from repro.bounds import retention_instance
+
+        items = retention_instance(mu=50.0, phases=20)
+        ff = FirstFitPacker().pack(items).total_usage()
+        cd = (
+            ClassifyByDepartureFirstFit.with_known_durations(1.0, 50.0)
+            .pack(items)
+            .total_usage()
+        )
+        assert cd < ff
+
+    @settings(max_examples=30)
+    @given(items_strategy(max_items=15))
+    def test_feasible_on_random(self, items):
+        result = ClassifyByDepartureFirstFit(rho=2.0).pack(items)
+        result.validate()
+
+    @settings(max_examples=30)
+    @given(items_strategy(max_items=12))
+    def test_same_bin_implies_same_category(self, items):
+        p = ClassifyByDepartureFirstFit(rho=2.0)
+        result = p.pack(items)
+        # Rebuild categories with the origin the packer learned.
+        by_bin: dict[int, set[int]] = {}
+        for r in items:
+            by_bin.setdefault(result.assignment[r.id], set()).add(p.category_of(r))
+        for cats in by_bin.values():
+            assert len(cats) == 1

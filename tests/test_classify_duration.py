@@ -1,0 +1,143 @@
+"""Tests for classify-by-duration First Fit (paper §5.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import ClassifyByDurationFirstFit, duration_category
+from repro.bounds import optimal_num_duration_classes
+from repro.core import Interval, Item, ItemList, ValidationError
+
+from conftest import items_strategy
+
+
+class TestDurationCategory:
+    def test_base_duration_is_category_zero(self):
+        assert duration_category(1.0, base=1.0, alpha=2.0) == 0
+
+    def test_boundaries_half_open_upward(self):
+        # Category i holds (base*alpha^(i-1), base*alpha^i].
+        assert duration_category(2.0, base=1.0, alpha=2.0) == 1
+        assert duration_category(2.0001, base=1.0, alpha=2.0) == 2
+        assert duration_category(4.0, base=1.0, alpha=2.0) == 2
+
+    def test_below_base_goes_negative(self):
+        assert duration_category(0.4, base=1.0, alpha=2.0) == -1
+        assert duration_category(0.5, base=1.0, alpha=2.0) == -1
+        assert duration_category(0.51, base=1.0, alpha=2.0) == 0
+
+    def test_paper_footnote_example(self):
+        # alpha=2, durations within [1.5, 4.5]: three categories arise
+        # (the paper's footnote counts ceil(log2(3)) + 1 = 3).
+        cats = {duration_category(d, base=1.5, alpha=2.0) for d in (1.5, 2.9, 3.1, 4.5)}
+        assert len(cats) == 2 or len(cats) == 3  # realised categories
+        full = {duration_category(d, base=1.5, alpha=2.0) for d in (1.5, 1.6, 3.0, 3.1, 4.5)}
+        assert len(full) == 3
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValidationError):
+            duration_category(0.0, base=1.0, alpha=2.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1000.0),
+        st.floats(min_value=1.1, max_value=10.0),
+    )
+    def test_category_predicate_holds(self, duration, alpha):
+        i = duration_category(duration, base=1.0, alpha=alpha)
+        assert alpha ** (i - 1) < duration / 1.0 <= alpha**i * (1 + 1e-12)
+
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=1.1, max_value=5.0),
+    )
+    def test_same_category_ratio_bounded_by_alpha(self, d1, d2, alpha):
+        if duration_category(d1, 1.0, alpha) == duration_category(d2, 1.0, alpha):
+            ratio = max(d1, d2) / min(d1, d2)
+            assert ratio <= alpha * (1 + 1e-9)
+
+
+class TestConstruction:
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ValidationError):
+            ClassifyByDurationFirstFit(alpha=1.0)
+
+    def test_with_known_durations_default_n(self):
+        p = ClassifyByDurationFirstFit.with_known_durations(min_duration=1.0, mu=16.0)
+        n = optimal_num_duration_classes(16.0)
+        assert p.alpha == pytest.approx(16.0 ** (1.0 / n))
+
+    def test_with_known_durations_explicit_n(self):
+        p = ClassifyByDurationFirstFit.with_known_durations(1.0, 16.0, n=2)
+        assert p.alpha == pytest.approx(4.0)
+
+    def test_with_known_durations_mu_one(self):
+        p = ClassifyByDurationFirstFit.with_known_durations(1.0, 1.0)
+        assert p.alpha > 1.0  # degenerate case still valid
+
+
+class TestPackingBehaviour:
+    def test_short_and_long_items_not_mixed(self):
+        items = ItemList(
+            [
+                Item(0, 0.3, Interval(0.0, 1.0)),  # duration 1
+                Item(1, 0.3, Interval(0.0, 64.0)),  # duration 64
+            ]
+        )
+        result = ClassifyByDurationFirstFit(alpha=2.0, base=1.0).pack(items)
+        assert result.assignment[0] != result.assignment[1]
+
+    def test_similar_durations_share(self):
+        items = ItemList(
+            [
+                Item(0, 0.3, Interval(0.0, 3.0)),
+                Item(1, 0.3, Interval(0.5, 3.6)),  # both in (2, 4]
+            ]
+        )
+        result = ClassifyByDurationFirstFit(alpha=2.0, base=1.0).pack(items)
+        assert result.assignment[0] == result.assignment[1]
+
+    def test_base_defaults_to_first_item_duration(self):
+        p = ClassifyByDurationFirstFit(alpha=2.0)
+        items = ItemList(
+            [
+                Item(0, 0.3, Interval(0.0, 5.0)),  # base = 5
+                Item(1, 0.3, Interval(0.0, 4.0)),  # (2.5, 5] -> same category
+                Item(2, 0.3, Interval(0.0, 11.0)),  # (5, 10]? no: 11 -> next next
+            ]
+        )
+        result = p.pack(items)
+        assert result.assignment[0] == result.assignment[1]
+        assert result.assignment[2] != result.assignment[0]
+
+    def test_beats_first_fit_on_retention_workload(self):
+        from repro.algorithms import FirstFitPacker
+        from repro.bounds import retention_instance
+
+        items = retention_instance(mu=50.0, phases=20)
+        ff = FirstFitPacker().pack(items).total_usage()
+        cd = (
+            ClassifyByDurationFirstFit.with_known_durations(1.0, 50.0)
+            .pack(items)
+            .total_usage()
+        )
+        assert cd < ff
+
+    @settings(max_examples=30)
+    @given(items_strategy(max_items=15))
+    def test_feasible_on_random(self, items):
+        result = ClassifyByDurationFirstFit(alpha=2.0).pack(items)
+        result.validate()
+
+    @settings(max_examples=30)
+    @given(items_strategy(max_items=12))
+    def test_bin_duration_ratio_bounded_by_alpha(self, items):
+        alpha = 2.0
+        result = ClassifyByDurationFirstFit(alpha=alpha).pack(items)
+        by_bin: dict[int, list[float]] = {}
+        for r in items:
+            by_bin.setdefault(result.assignment[r.id], []).append(r.duration)
+        for durations in by_bin.values():
+            assert max(durations) / min(durations) <= alpha * (1 + 1e-9)

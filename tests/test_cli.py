@@ -1,0 +1,220 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import load_trace
+
+
+@pytest.fixture
+def trace(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    code = main(
+        ["generate", "--kind", "uniform", "--n", "30", "--seed", "5", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_trace(self, trace, capsys):
+        items = load_trace(trace)
+        assert len(items) == 30
+
+    @pytest.mark.parametrize(
+        "kind", ["uniform", "poisson", "bounded-mu", "bursty", "gaming", "analytics"]
+    )
+    def test_all_kinds(self, kind, tmp_path, capsys):
+        out = tmp_path / f"{kind}.jsonl"
+        assert main(["generate", "--kind", kind, "--n", "25", "--out", str(out)]) == 0
+        assert len(load_trace(out)) >= 1
+
+    def test_csv_output(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        assert main(["generate", "--n", "10", "--out", str(out)]) == 0
+        assert len(load_trace(out)) == 10
+
+    def test_bad_extension_reports_error(self, tmp_path, capsys):
+        out = tmp_path / "t.xml"
+        assert main(["generate", "--n", "10", "--out", str(out)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPack:
+    def test_basic(self, trace, capsys):
+        assert main(["pack", "--trace", str(trace), "--algorithm", "first-fit"]) == 0
+        out = capsys.readouterr().out
+        assert "first-fit" in out
+        assert "total_usage" in out
+
+    def test_with_gantt_and_profile(self, trace, capsys):
+        code = main(
+            [
+                "pack",
+                "--trace",
+                str(trace),
+                "--algorithm",
+                "best-fit",
+                "--gantt",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bin " in out
+        assert "demand profile" in out
+
+    def test_exact_opt(self, trace, capsys):
+        code = main(
+            [
+                "pack",
+                "--trace",
+                str(trace),
+                "--algorithm",
+                "first-fit",
+                "--exact-opt",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ratio_opt" in out
+
+    def test_classify_params_forwarded(self, trace, capsys):
+        code = main(
+            [
+                "pack",
+                "--trace",
+                str(trace),
+                "--algorithm",
+                "classify-duration",
+                "--alpha",
+                "3.0",
+            ]
+        )
+        assert code == 0
+        assert "alpha=3" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_subset(self, trace, capsys):
+        code = main(
+            [
+                "compare",
+                "--trace",
+                str(trace),
+                "--algorithms",
+                "first-fit,next-fit",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "first-fit" in out and "next-fit" in out
+
+    def test_all_algorithms_default(self, trace, capsys):
+        assert main(["compare", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "dual-coloring" in out
+        assert "duration-descending-first-fit" in out
+
+
+class TestBounds:
+    def test_prints_three_bounds(self, trace, capsys):
+        assert main(["bounds", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Prop 1" in out and "Prop 2" in out and "Prop 3" in out
+
+    def test_exact_opt_row(self, trace, capsys):
+        assert main(["bounds", "--trace", str(trace), "--exact-opt"]) == 0
+        assert "OPT_total" in capsys.readouterr().out
+
+
+class TestFig8:
+    def test_table_and_chart(self, capsys):
+        assert main(["fig8", "--mus", "1,4,16"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "legend:" in out
+
+
+class TestNoiseOption:
+    def test_noisy_pack_runs(self, trace, capsys):
+        code = main(
+            [
+                "pack",
+                "--trace",
+                str(trace),
+                "--algorithm",
+                "classify-duration",
+                "--noise-sigma",
+                "0.5",
+            ]
+        )
+        assert code == 0
+        assert "total_usage" in capsys.readouterr().out
+
+    def test_noise_requires_online_algorithm(self, trace, capsys):
+        code = main(
+            [
+                "pack",
+                "--trace",
+                str(trace),
+                "--algorithm",
+                "dual-coloring",
+                "--noise-sigma",
+                "0.5",
+            ]
+        )
+        assert code == 2
+        assert "online" in capsys.readouterr().err
+
+
+class TestReplayCommand:
+    def test_decision_table(self, trace, capsys):
+        code = main(
+            ["replay", "--trace", str(trace), "--algorithm", "first-fit", "--limit", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replay: first-fit" in out
+        assert "bin openings over" in out
+
+    def test_versus_divergence_or_identity(self, trace, capsys):
+        code = main(
+            [
+                "replay",
+                "--trace",
+                str(trace),
+                "--algorithm",
+                "best-fit",
+                "--versus",
+                "worst-fit",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "divergence" in out or "identical" in out
+
+    def test_requires_online_algorithm(self, trace, capsys):
+        code = main(
+            ["replay", "--trace", str(trace), "--algorithm", "dual-coloring"]
+        )
+        assert code == 2
+        assert "online" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_default_report(self, trace, capsys):
+        assert main(["report", "--trace", str(trace), "--no-gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithms (best first)" in out
+        assert "demand profile" in out
+
+    def test_algorithm_subset(self, trace, capsys):
+        code = main(
+            ["report", "--trace", str(trace), "--algorithms", "first-fit,next-fit"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "first-fit" in out and "next-fit" in out

@@ -1,0 +1,85 @@
+"""Tests for the combined duration→departure classification (§5.4 remark)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    ClassifyByDepartureFirstFit,
+    ClassifyByDurationFirstFit,
+    CombinedClassifyFirstFit,
+)
+from repro.core import Interval, Item, ItemList, ValidationError
+
+from conftest import items_strategy
+
+
+class TestConstruction:
+    def test_alpha_validated(self):
+        with pytest.raises(ValidationError):
+            CombinedClassifyFirstFit(alpha=1.0)
+
+    def test_rho_scale_validated(self):
+        with pytest.raises(ValidationError):
+            CombinedClassifyFirstFit(alpha=2.0, rho_scale=0.0)
+
+    def test_with_known_durations(self):
+        p = CombinedClassifyFirstFit.with_known_durations(1.0, 16.0, n=2)
+        assert p.alpha == pytest.approx(4.0)
+
+
+class TestCategories:
+    def test_category_is_pair(self):
+        p = CombinedClassifyFirstFit(alpha=2.0, base=1.0, origin=0.0)
+        p.reset()
+        cat = p.category_of(Item(0, 0.1, Interval(0.0, 1.0)))
+        assert isinstance(cat, tuple) and len(cat) == 2
+
+    def test_duration_separation(self):
+        p = CombinedClassifyFirstFit(alpha=2.0, base=1.0, origin=0.0)
+        p.reset()
+        short = p.category_of(Item(0, 0.1, Interval(0.0, 1.0)))
+        long = p.category_of(Item(1, 0.1, Interval(0.0, 8.0)))
+        assert short[0] != long[0]
+
+    def test_departure_separation_within_duration_class(self):
+        p = CombinedClassifyFirstFit(alpha=2.0, base=1.0, origin=0.0)
+        p.reset()
+        a = p.category_of(Item(0, 0.1, Interval(0.0, 1.0)))
+        b = p.category_of(Item(1, 0.1, Interval(50.0, 51.0)))
+        assert a[0] == b[0]  # same duration class
+        assert a[1] != b[1]  # different departure window
+
+
+class TestBehaviour:
+    @settings(max_examples=30)
+    @given(items_strategy(max_items=15))
+    def test_feasible_on_random(self, items):
+        result = CombinedClassifyFirstFit(alpha=2.0).pack(items)
+        result.validate()
+
+    def test_never_mixes_far_departures_or_durations(self):
+        items = ItemList(
+            [
+                Item(0, 0.2, Interval(0.0, 1.0)),
+                Item(1, 0.2, Interval(0.0, 100.0)),  # far duration
+                Item(2, 0.2, Interval(90.0, 91.0)),  # same duration as 0, far departure
+            ]
+        )
+        result = CombinedClassifyFirstFit(alpha=2.0, base=1.0, origin=0.0).pack(items)
+        assert len({result.assignment[i] for i in range(3)}) == 3
+
+    def test_competitive_with_singles_on_retention(self):
+        from repro.bounds import retention_instance
+
+        items = retention_instance(mu=64.0, phases=15)
+        mu, delta = 64.0, 1.0
+        combined = CombinedClassifyFirstFit.with_known_durations(delta, mu).pack(items)
+        by_dur = ClassifyByDurationFirstFit.with_known_durations(delta, mu).pack(items)
+        by_dep = ClassifyByDepartureFirstFit.with_known_durations(delta, mu).pack(items)
+        combined.validate()
+        # The combined strategy should at least match the worse single
+        # strategy on the workload that motivates classification.
+        worst_single = max(by_dur.total_usage(), by_dep.total_usage())
+        assert combined.total_usage() <= worst_single * 1.5

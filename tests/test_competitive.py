@@ -1,0 +1,162 @@
+"""Tests for the competitive/approximation-ratio formulas (paper's theorems)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bounds import (
+    GOLDEN_RATIO,
+    any_fit_lower_bound,
+    bucket_first_fit_ratio,
+    classify_departure_ratio,
+    classify_departure_ratio_known,
+    classify_duration_ratio,
+    classify_duration_ratio_known,
+    ddff_approximation_ratio,
+    dual_coloring_approximation_ratio,
+    first_fit_ratio,
+    hybrid_first_fit_ratio_known_mu,
+    hybrid_first_fit_ratio_unknown_mu,
+    next_fit_ratio,
+    online_clairvoyant_lower_bound,
+    optimal_num_duration_classes,
+    optimal_rho,
+)
+from repro.core import ValidationError
+
+mus = st.floats(min_value=1.0, max_value=1e4, allow_nan=False)
+
+
+class TestConstants:
+    def test_golden_ratio_value(self):
+        assert GOLDEN_RATIO == pytest.approx((1 + math.sqrt(5)) / 2)
+        assert online_clairvoyant_lower_bound() == GOLDEN_RATIO
+
+    def test_golden_ratio_fixed_point(self):
+        # x = (1+sqrt 5)/2 satisfies (x+1)/x = (2x+1)/(x+1) (Theorem 3 proof).
+        x = GOLDEN_RATIO
+        assert (x + 1) / x == pytest.approx((2 * x + 1) / (x + 1))
+
+    def test_offline_constants(self):
+        assert ddff_approximation_ratio() == 5.0
+        assert dual_coloring_approximation_ratio() == 4.0
+
+
+class TestBaselineFormulas:
+    def test_first_fit(self):
+        assert first_fit_ratio(1.0) == 5.0
+        assert first_fit_ratio(10.0) == 14.0
+
+    def test_next_fit(self):
+        assert next_fit_ratio(3.0) == 7.0
+
+    def test_any_fit_lower_bound(self):
+        assert any_fit_lower_bound(3.0) == 4.0
+
+    def test_hybrid(self):
+        assert hybrid_first_fit_ratio_known_mu(3.0) == 8.0
+        assert hybrid_first_fit_ratio_unknown_mu(7.0) == pytest.approx(8 + 55 / 7)
+
+    def test_mu_below_one_rejected(self):
+        for fn in (first_fit_ratio, next_fit_ratio, any_fit_lower_bound):
+            with pytest.raises(ValidationError):
+                fn(0.5)
+
+
+class TestTheorem4:
+    def test_general_formula(self):
+        assert classify_departure_ratio(mu=4.0, delta=1.0, rho=2.0) == pytest.approx(
+            2.0 + 2.0 + 3.0
+        )
+
+    def test_known_formula(self):
+        assert classify_departure_ratio_known(4.0) == pytest.approx(7.0)
+        assert classify_departure_ratio_known(1.0) == pytest.approx(5.0)
+
+    def test_optimal_rho_minimises(self):
+        mu, delta = 9.0, 2.0
+        rho_star = optimal_rho(mu, delta)
+        best = classify_departure_ratio(mu, delta, rho_star)
+        for rho in (0.5 * rho_star, 0.9 * rho_star, 1.1 * rho_star, 2.0 * rho_star):
+            assert classify_departure_ratio(mu, delta, rho) >= best - 1e-12
+
+    def test_known_matches_general_at_optimum(self):
+        mu, delta = 16.0, 3.0
+        assert classify_departure_ratio(
+            mu, delta, optimal_rho(mu, delta)
+        ) == pytest.approx(classify_departure_ratio_known(mu))
+
+    @given(mus)
+    def test_known_formula_closed_form(self, mu):
+        assert classify_departure_ratio_known(mu) == pytest.approx(
+            2 * math.sqrt(mu) + 3
+        )
+
+
+class TestTheorem5:
+    def test_general_formula(self):
+        # alpha=2, mu=8: 2 + ceil(log2 8) + 4 = 2 + 3 + 4.
+        assert classify_duration_ratio(mu=8.0, alpha=2.0) == pytest.approx(9.0)
+
+    def test_ceiling_robust_on_exact_powers(self):
+        # mu = alpha^k exactly: the ceiling must be k, not k+1 via float noise.
+        assert classify_duration_ratio(mu=2.0**10, alpha=2.0) == pytest.approx(
+            2 + 10 + 4
+        )
+
+    def test_known_with_explicit_n(self):
+        assert classify_duration_ratio_known(16.0, n=2) == pytest.approx(4 + 2 + 3)
+        assert classify_duration_ratio_known(16.0, n=4) == pytest.approx(2 + 4 + 3)
+
+    def test_known_minimises_over_n(self):
+        mu = 100.0
+        best = classify_duration_ratio_known(mu)
+        for n in range(1, 15):
+            assert best <= classify_duration_ratio_known(mu, n=n) + 1e-12
+
+    def test_optimal_n_small_mu(self):
+        assert optimal_num_duration_classes(1.0) == 1
+
+    def test_optimal_n_grows_slowly(self):
+        assert optimal_num_duration_classes(10.0) <= optimal_num_duration_classes(1e4)
+
+    def test_n_validation(self):
+        with pytest.raises(ValidationError):
+            classify_duration_ratio_known(4.0, n=0)
+
+
+class TestFigure8Shape:
+    """The qualitative claims the paper draws from Figure 8 (§5.4)."""
+
+    def test_classification_beats_first_fit_asymptotically(self):
+        for mu in (10.0, 100.0, 1000.0):
+            assert classify_departure_ratio_known(mu) < first_fit_ratio(mu)
+            assert classify_duration_ratio_known(mu) < first_fit_ratio(mu)
+
+    def test_crossover_at_mu_4(self):
+        # mu < 4: classify-by-departure wins; mu > 4: classify-by-duration.
+        assert classify_departure_ratio_known(2.0) < classify_duration_ratio_known(2.0)
+        assert classify_departure_ratio_known(16.0) > classify_duration_ratio_known(16.0)
+
+    def test_equal_at_mu_4(self):
+        # At mu=4 both equal 7 (2*2+3 and 2+1+4... check via formulas).
+        dep = classify_departure_ratio_known(4.0)
+        dur = classify_duration_ratio_known(4.0)
+        assert dep == pytest.approx(7.0)
+        assert dur == pytest.approx(min(4 + 1 + 3, 2 + 2 + 3))
+
+    @given(mus)
+    def test_all_ratios_at_least_one(self, mu):
+        assert first_fit_ratio(mu) >= 1
+        assert classify_departure_ratio_known(mu) >= 1
+        assert classify_duration_ratio_known(mu) >= 1
+
+    @given(st.floats(min_value=1.0, max_value=1e6))
+    def test_improvement_over_bucket_first_fit(self, mu):
+        """§5.3 remark: α+⌈log_α μ⌉+4 improves (2α+2)·⌈log_α μ⌉ for α=2, μ≥4."""
+        if mu >= 4.0:
+            assert classify_duration_ratio(mu, 2.0) <= bucket_first_fit_ratio(mu, 2.0)

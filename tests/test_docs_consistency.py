@@ -1,0 +1,148 @@
+"""Meta-tests keeping the documentation honest.
+
+DESIGN.md promises an experiment index mapping exhibits to benches, and the
+README advertises the algorithm registry; these tests fail whenever code and
+docs drift apart (a new bench without a DESIGN row, a renamed packer the
+README still lists, an EXPERIMENTS section without its bench, …).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms import available_packers
+
+ROOT = Path(__file__).parent.parent
+
+
+@pytest.fixture(scope="module")
+def design() -> str:
+    return (ROOT / "DESIGN.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def experiments() -> str:
+    return (ROOT / "EXPERIMENTS.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def readme() -> str:
+    return (ROOT / "README.md").read_text()
+
+
+def bench_files() -> list[str]:
+    return sorted(p.name for p in (ROOT / "benchmarks").glob("bench_*.py"))
+
+
+class TestDesignDoc:
+    def test_every_bench_listed_in_design(self, design):
+        for name in bench_files():
+            assert name in design, f"DESIGN.md experiment index is missing {name}"
+
+    def test_design_mentions_every_subpackage(self, design):
+        src = ROOT / "src" / "repro"
+        for pkg in sorted(p.name for p in src.iterdir() if (p / "__init__.py").exists()):
+            assert pkg in design, f"DESIGN.md system inventory is missing {pkg}"
+
+    def test_paper_identity_check_present(self, design):
+        assert "SPAA 2016" in design
+        assert "Paper-text check" in design
+
+
+class TestExperimentsDoc:
+    def test_every_bench_quoted(self, experiments):
+        for name in bench_files():
+            assert name in experiments, f"EXPERIMENTS.md is missing {name}"
+
+    def test_core_exhibits_have_sections(self, experiments):
+        for exhibit in ("FIG8", "THM1", "THM2", "THM3", "THM4", "THM5"):
+            assert f"## {exhibit}" in experiments
+
+
+class TestReadme:
+    def test_mentions_paper(self, readme):
+        assert "SPAA 2016" in readme
+        assert "Clairvoyant" in readme
+
+    def test_lists_key_algorithms(self, readme):
+        for phrase in (
+            "Duration Descending First Fit",
+            "Dual Coloring",
+            "Classify-by-departure-time",
+            "Classify-by-duration",
+        ):
+            assert phrase in readme
+
+    def test_examples_table_matches_disk(self, readme):
+        for p in (ROOT / "examples").glob("*.py"):
+            assert p.name in readme, f"README examples table is missing {p.name}"
+
+    def test_quickstart_snippet_runs(self, readme):
+        # Extract the first python code block and execute it.
+        block = readme.split("```python", 1)[1].split("```", 1)[0]
+        namespace: dict[str, object] = {}
+        exec(compile(block, "<README quickstart>", "exec"), namespace)  # noqa: S102
+
+
+class TestRegistryAdvertised:
+    def test_api_doc_lists_every_packer(self):
+        api = (ROOT / "docs" / "API.md").read_text()
+        for name in available_packers():
+            assert f"`{name}`" in api, f"docs/API.md registry list is missing {name}"
+
+
+class TestDocstringCoverage:
+    """Every public module, class and function in repro must be documented."""
+
+    def _public_objects(self):
+        import importlib
+        import inspect
+        import pkgutil
+
+        import repro
+
+        objects = []
+        for modinfo in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            if modinfo.name.endswith("__main__"):
+                continue  # importing it would run the CLI
+            module = importlib.import_module(modinfo.name)
+            objects.append((modinfo.name, module))
+            for name, obj in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                    continue
+                if getattr(obj, "__module__", "") != modinfo.name:
+                    continue  # re-exports documented at their source
+                objects.append((f"{modinfo.name}.{name}", obj))
+        return objects
+
+    def test_everything_has_a_docstring(self):
+        missing = [
+            name
+            for name, obj in self._public_objects()
+            if not (obj.__doc__ or "").strip()
+        ]
+        assert not missing, f"undocumented public objects: {missing}"
+
+    def test_public_methods_documented(self):
+        import inspect
+
+        missing = []
+        for name, obj in self._public_objects():
+            if not inspect.isclass(obj):
+                continue
+            for attr, member in vars(obj).items():
+                if attr.startswith("_") or not inspect.isfunction(member):
+                    continue
+                if not (member.__doc__ or "").strip():
+                    # Inherited contracts may document at the base class.
+                    for base in obj.__mro__[1:]:
+                        base_member = getattr(base, attr, None)
+                        if base_member is not None and (base_member.__doc__ or "").strip():
+                            break
+                    else:
+                        missing.append(f"{name}.{attr}")
+        assert not missing, f"undocumented public methods: {missing}"

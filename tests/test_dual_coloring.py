@@ -1,0 +1,203 @@
+"""Tests for the Dual Coloring algorithm (paper §4.2, Theorem 2)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import DualColoringPacker
+from repro.algorithms.dual_coloring import (
+    DemandChart,
+    _FracItem,
+    _normalize,
+    _stripe_assignment,
+    _subtract,
+    Placement,
+)
+from repro.core import Interval, Item, ItemList
+from repro.core.stepfun import iceil
+
+from conftest import items_strategy, small_sizes
+
+F = Fraction
+
+
+class TestIntervalHelpers:
+    def test_normalize_merges_touching(self):
+        assert _normalize([(F(0), F(1)), (F(1), F(2))]) == [(F(0), F(2))]
+
+    def test_normalize_drops_empty(self):
+        assert _normalize([(F(1), F(1))]) == []
+
+    def test_normalize_sorts(self):
+        assert _normalize([(F(3), F(4)), (F(0), F(1))]) == [
+            (F(0), F(1)),
+            (F(3), F(4)),
+        ]
+
+    def test_subtract_middle_hole(self):
+        assert _subtract([(F(0), F(10))], [(F(3), F(5))]) == [
+            (F(0), F(3)),
+            (F(5), F(10)),
+        ]
+
+    def test_subtract_everything(self):
+        assert _subtract([(F(0), F(10))], [(F(0), F(10))]) == []
+
+    def test_subtract_disjoint_hole(self):
+        assert _subtract([(F(0), F(1))], [(F(5), F(6))]) == [(F(0), F(1))]
+
+
+class TestDemandChart:
+    def make(self) -> DemandChart:
+        items = [
+            _FracItem(0, F(1, 2), F(0), F(2)),
+            _FracItem(1, F(1, 4), F(1), F(3)),
+        ]
+        return DemandChart(items)
+
+    def test_heights(self):
+        chart = self.make()
+        assert chart.heights() == {F(1, 2), F(3, 4), F(1, 4)}
+
+    def test_max_height(self):
+        assert self.make().max_height() == F(3, 4)
+
+    def test_line_at_low_altitude_spans_all(self):
+        assert self.make().line_at(F(1, 4)) == [(F(0), F(3))]
+
+    def test_line_at_peak(self):
+        assert self.make().line_at(F(3, 4)) == [(F(1), F(2))]
+
+    def test_height_covers(self):
+        chart = self.make()
+        assert chart.height_covers((F(0), F(2)), F(1, 2))
+        assert not chart.height_covers((F(0), F(3)), F(1, 2))
+
+    def test_empty_chart(self):
+        chart = DemandChart([])
+        assert chart.max_height() == 0
+        assert chart.heights() == set()
+
+
+class TestStripeAssignment:
+    def test_item_within_first_stripe(self):
+        p = Placement(0, F(1, 2), F(1, 2), (F(0), F(1)))
+        assert _stripe_assignment(p, 4) == ("stripe", 1)
+
+    def test_item_within_second_stripe(self):
+        p = Placement(0, F(1), F(1, 2), (F(0), F(1)))
+        assert _stripe_assignment(p, 4) == ("stripe", 2)
+
+    def test_item_crossing_boundary(self):
+        p = Placement(0, F(3, 4), F(1, 2), (F(0), F(1)))  # (1/4, 3/4] crosses 1/2
+        assert _stripe_assignment(p, 4) == ("cross", 1)
+
+    def test_integer_double_altitude_never_crosses(self):
+        # 2h integer => the item always fits a stripe (sizes <= 1/2).
+        p = Placement(0, F(3, 2), F(1, 2), (F(0), F(1)))
+        assert _stripe_assignment(p, 4) == ("stripe", 3)
+
+
+class TestSmallItemPlacement:
+    def test_single_item(self):
+        packer = DualColoringPacker()
+        items = [Item(0, 0.4, Interval(0.0, 2.0))]
+        placements, chart = packer.place_small_items(items)
+        assert placements[0].altitude == F(0.4)
+        assert chart.max_height() == F(0.4)
+
+    def test_two_stacked_items(self):
+        packer = DualColoringPacker()
+        items = [
+            Item(0, 0.4, Interval(0.0, 2.0)),
+            Item(1, 0.4, Interval(0.0, 2.0)),
+        ]
+        placements, _ = packer.place_small_items(items)
+        alts = sorted(p.altitude for p in placements.values())
+        assert alts == [F(0.4), F(0.4) + F(0.4)]
+
+    def test_staggered_items_all_placed(self):
+        packer = DualColoringPacker()
+        items = [
+            Item(0, 0.5, Interval(0.0, 2.0)),
+            Item(1, 0.25, Interval(1.0, 3.0)),
+            Item(2, 0.5, Interval(2.5, 4.0)),
+        ]
+        placements, chart = packer.place_small_items(items)
+        assert set(placements) == {0, 1, 2}
+        for p in placements.values():
+            assert p.alt_low >= 0
+            assert chart.height_covers(p.interval, p.alt_high)
+
+
+class TestFullAlgorithm:
+    def test_large_items_never_share_with_small(self):
+        items = ItemList(
+            [
+                Item(0, 0.8, Interval(0.0, 4.0)),  # large
+                Item(1, 0.1, Interval(0.0, 4.0)),  # small — would fit level-wise
+            ]
+        )
+        result = DualColoringPacker().pack(items)
+        assert result.assignment[0] != result.assignment[1]
+
+    def test_only_large_items(self):
+        items = ItemList(
+            [
+                Item(0, 0.9, Interval(0.0, 2.0)),
+                Item(1, 0.8, Interval(1.0, 3.0)),
+                Item(2, 0.7, Interval(2.5, 4.0)),
+            ]
+        )
+        result = DualColoringPacker().pack(items)
+        result.validate()
+
+    def test_only_small_items(self):
+        items = ItemList(
+            [Item(i, 0.2, Interval(0.5 * i, 0.5 * i + 2.0)) for i in range(8)]
+        )
+        result = DualColoringPacker().pack(items)
+        result.validate()
+
+    def test_size_exactly_half_is_small(self):
+        items = ItemList(
+            [
+                Item(0, 0.5, Interval(0.0, 2.0)),
+                Item(1, 0.5, Interval(0.0, 2.0)),
+            ]
+        )
+        result = DualColoringPacker().pack(items)
+        result.validate()
+        # Two half-size items are both small; they stack in the chart and
+        # land in stripe bins (possibly the same one, total exactly 1).
+        assert result.total_usage() <= 4.0 + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(items_strategy(max_items=12))
+    def test_feasible_on_random(self, items):
+        result = DualColoringPacker().pack(items)
+        result.validate()
+
+    @settings(max_examples=25, deadline=None)
+    @given(items_strategy(max_items=12, size_strategy=small_sizes))
+    def test_theorem2_open_bin_bound_on_random(self, items):
+        """At any time, open bins ≤ 4·⌈S(t)⌉ (Theorem 2 proof sketch)."""
+        result = DualColoringPacker().pack(items)
+        profile = result.open_bins_profile()
+        size_profile = items.size_profile()
+        for left, _right, count in profile.segments():
+            s = size_profile.value_at(left)
+            assert count <= 4 * iceil(s) + 1e-9
+
+    def test_strict_mode_verifies_lemmas(self):
+        # strict=True (default) runs the Lemma 3/5 checks without error on a
+        # normal workload; strict=False skips them but yields the same result.
+        items = ItemList(
+            [Item(i, 0.3, Interval(0.3 * i, 0.3 * i + 2.0)) for i in range(10)]
+        )
+        a = DualColoringPacker(strict=True).pack(items)
+        b = DualColoringPacker(strict=False).pack(items)
+        assert a.assignment == b.assignment

@@ -1,0 +1,102 @@
+"""Tests for Duration Descending First Fit (paper §4.1, Theorem 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import DurationDescendingFirstFit, FirstFitPacker
+from repro.core import Interval, Item, ItemList
+
+from conftest import items_strategy, small_sizes
+
+
+class TestOrdering:
+    def test_longest_item_defines_bin_zero(self):
+        items = ItemList(
+            [
+                Item(0, 0.4, Interval(5.0, 6.0)),  # short
+                Item(1, 0.4, Interval(0.0, 10.0)),  # longest -> placed first
+            ]
+        )
+        result = DurationDescendingFirstFit().pack(items)
+        assert result.assignment[1] == 0
+
+    def test_out_of_order_insertion_respects_future_commitments(self):
+        # The long item is placed first; the short one arrives earlier in time
+        # but is inserted later and must respect the long item's presence.
+        items = ItemList(
+            [
+                Item(0, 0.7, Interval(0.0, 2.0)),  # short, early
+                Item(1, 0.7, Interval(1.0, 9.0)),  # long, overlaps at [1,2)
+            ]
+        )
+        result = DurationDescendingFirstFit().pack(items)
+        result.validate()
+        assert result.assignment[0] != result.assignment[1]
+
+    def test_non_overlapping_share_despite_insertion_order(self):
+        items = ItemList(
+            [
+                Item(0, 0.9, Interval(0.0, 2.0)),
+                Item(1, 0.9, Interval(2.0, 10.0)),
+            ]
+        )
+        result = DurationDescendingFirstFit().pack(items)
+        assert result.assignment[0] == result.assignment[1] == 0
+
+    def test_deterministic_tie_break(self):
+        items = ItemList(
+            [
+                Item(3, 0.3, Interval(0.0, 2.0)),
+                Item(1, 0.3, Interval(0.0, 2.0)),
+            ]
+        )
+        a = DurationDescendingFirstFit().pack(items).assignment
+        b = DurationDescendingFirstFit().pack(items).assignment
+        assert a == b
+
+
+class TestTheorem1Inequality:
+    """The provable intermediate bound: usage < 4·d(R) + span(R)."""
+
+    def check(self, items: ItemList) -> None:
+        result = DurationDescendingFirstFit().pack(items)
+        result.validate()
+        bound = 4.0 * items.total_demand() + items.span()
+        assert result.total_usage() < bound + 1e-9
+
+    def test_on_fixture(self, simple_items):
+        self.check(simple_items)
+
+    @settings(max_examples=50)
+    @given(items_strategy(max_items=20))
+    def test_on_random(self, items):
+        self.check(items)
+
+    @settings(max_examples=30)
+    @given(items_strategy(max_items=20, size_strategy=small_sizes))
+    def test_on_random_small_sizes(self, items):
+        self.check(items)
+
+    def test_on_adversarial_retention(self):
+        from repro.bounds import retention_instance
+
+        self.check(retention_instance(mu=30.0, phases=25))
+
+
+class TestComparisons:
+    def test_often_beats_online_first_fit_on_retention(self):
+        # Offline knowledge lets DDFF group the long retainers together.
+        from repro.bounds import retention_instance
+
+        items = retention_instance(mu=40.0, phases=20)
+        ddff = DurationDescendingFirstFit().pack(items).total_usage()
+        ff = FirstFitPacker().pack(items).total_usage()
+        assert ddff < ff
+
+    @settings(max_examples=30)
+    @given(items_strategy(max_items=15))
+    def test_usage_at_least_span(self, items):
+        result = DurationDescendingFirstFit().pack(items)
+        assert result.total_usage() >= items.span() - 1e-9

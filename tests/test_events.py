@@ -1,0 +1,62 @@
+"""Tests for repro.core.events."""
+
+from __future__ import annotations
+
+from hypothesis import given
+
+from repro.core import Event, EventKind, Interval, Item, ItemList, event_stream
+
+from conftest import items_strategy
+
+
+class TestEventStream:
+    def test_each_item_yields_two_events(self, simple_items):
+        events = list(event_stream(simple_items))
+        assert len(events) == 2 * len(simple_items)
+
+    def test_time_ordering(self, simple_items):
+        events = list(event_stream(simple_items))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_departure_before_arrival_at_equal_time(self):
+        items = ItemList(
+            [Item(0, 0.9, Interval(0.0, 1.0)), Item(1, 0.9, Interval(1.0, 2.0))]
+        )
+        events = list(event_stream(items))
+        # At t=1: item 0 departs before item 1 arrives.
+        at_one = [e for e in events if e.time == 1.0]
+        assert at_one[0].kind is EventKind.DEPARTURE
+        assert at_one[0].item.id == 0
+        assert at_one[1].kind is EventKind.ARRIVAL
+        assert at_one[1].item.id == 1
+
+    def test_id_tiebreak_within_kind(self):
+        items = ItemList(
+            [Item(3, 0.1, Interval(0.0, 1.0)), Item(1, 0.1, Interval(0.0, 1.0))]
+        )
+        arrivals = [e.item.id for e in event_stream(items) if e.kind is EventKind.ARRIVAL]
+        assert arrivals == [1, 3]
+
+    def test_event_sort_key(self):
+        e = Event(1.5, EventKind.ARRIVAL, Item(2, 0.1, Interval(1.5, 2.0)))
+        assert e.sort_key == (1.5, 1, 2)
+
+
+class TestEventStreamProperties:
+    @given(items_strategy())
+    def test_sorted_and_complete(self, items):
+        events = list(event_stream(items))
+        assert len(events) == 2 * len(items)
+        keys = [e.sort_key for e in events]
+        assert keys == sorted(keys)
+        arrived = {e.item.id for e in events if e.kind is EventKind.ARRIVAL}
+        departed = {e.item.id for e in events if e.kind is EventKind.DEPARTURE}
+        assert arrived == departed == {r.id for r in items}
+
+    @given(items_strategy())
+    def test_running_active_count_never_negative(self, items):
+        active = 0
+        for e in event_stream(items):
+            active += 1 if e.kind is EventKind.ARRIVAL else -1
+            assert active >= 0

@@ -1,0 +1,71 @@
+"""Smoke tests keeping every example script runnable.
+
+Each example is executed in-process (runpy) with stdout captured; the test
+asserts it completes and prints its headline sections.  This pins the
+examples to the public API — any breaking rename fails here first.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "OPT_total" in out
+        assert "first-fit" in out and "dual-coloring" in out
+
+    def test_cloud_gaming(self, capsys):
+        out = run_example("cloud_gaming.py", capsys)
+        assert "game sessions" in out
+        assert "launch-spike" in out
+        assert "% vs First Fit" in out
+
+    def test_data_analytics(self, capsys):
+        out = run_example("data_analytics.py", capsys)
+        assert "recurring-job runs" in out
+        assert "prediction noise sigma" in out
+
+    def test_offline_packing(self, capsys):
+        out = run_example("offline_packing.py", capsys)
+        assert "demand chart" in out
+        assert "duration-descending-first-fit" in out
+
+    def test_adversarial_lower_bound(self, capsys):
+        out = run_example("adversarial_lower_bound.py", capsys)
+        assert "1.618" in out
+        assert "theoretical floor" in out
+
+    def test_interval_scheduling(self, capsys):
+        out = run_example("interval_scheduling.py", capsys)
+        assert "Busy time" in out
+        assert "machine timeline" in out
+
+    def test_capacity_planning(self, capsys):
+        out = run_example("capacity_planning.py", capsys)
+        assert "reservation level" in out
+        assert "concurrent servers" in out
+
+    def test_all_examples_have_tests(self):
+        tested = {
+            "quickstart.py",
+            "cloud_gaming.py",
+            "data_analytics.py",
+            "offline_packing.py",
+            "adversarial_lower_bound.py",
+            "interval_scheduling.py",
+            "capacity_planning.py",
+        }
+        on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+        assert on_disk == tested, "update test_examples.py for new examples"

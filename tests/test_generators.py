@@ -1,0 +1,222 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ValidationError
+from repro.workloads import (
+    DISCRETE_SIZES,
+    bounded_mu,
+    bursty,
+    discrete_sizes,
+    poisson_exponential,
+    uniform_random,
+)
+
+
+class TestUniformRandom:
+    def test_count_and_ranges(self):
+        items = uniform_random(50, seed=1, size_range=(0.1, 0.4), duration_range=(2, 5))
+        assert len(items) == 50
+        for r in items:
+            assert 0.1 <= r.size <= 0.4
+            assert 2.0 <= r.duration <= 5.0
+
+    def test_deterministic_per_seed(self):
+        assert uniform_random(20, seed=7) == uniform_random(20, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert uniform_random(20, seed=7) != uniform_random(20, seed=8)
+
+    def test_size_dists(self):
+        for dist in ("uniform", "small", "large-mix", "discrete"):
+            items = uniform_random(30, seed=1, size_dist=dist, size_range=(0.05, 1.0))
+            assert all(0 < r.size <= 1 for r in items)
+
+    def test_small_dist_skews_small(self):
+        items = uniform_random(500, seed=3, size_dist="small", size_range=(0.0001, 1.0))
+        mean = sum(r.size for r in items) / len(items)
+        assert mean < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            uniform_random(0, seed=1)
+        with pytest.raises(ValidationError):
+            uniform_random(5, seed=1, size_range=(0.0, 0.5))
+        with pytest.raises(ValidationError):
+            uniform_random(5, seed=1, duration_range=(5.0, 2.0))
+        with pytest.raises(ValidationError):
+            uniform_random(5, seed=1, size_dist="bogus")  # type: ignore[arg-type]
+
+
+class TestPoissonExponential:
+    def test_arrivals_increasing(self):
+        items = poisson_exponential(40, seed=2)
+        arrivals = [r.arrival for r in items]
+        assert arrivals == sorted(arrivals)
+
+    def test_durations_clipped(self):
+        items = poisson_exponential(200, seed=2, duration_clip=(1.0, 4.0))
+        # Durations are reconstructed as departure - arrival, which can wobble
+        # by one ULP around the clip boundaries.
+        assert all(1.0 - 1e-9 <= r.duration <= 4.0 + 1e-9 for r in items)
+        assert items.mu() <= 4.0 + 1e-6
+
+    def test_rate_controls_density(self):
+        sparse = poisson_exponential(100, seed=5, arrival_rate=0.5)
+        dense = poisson_exponential(100, seed=5, arrival_rate=10.0)
+        assert dense.span() < sparse.span()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            poisson_exponential(10, seed=1, arrival_rate=0.0)
+        with pytest.raises(ValidationError):
+            poisson_exponential(10, seed=1, duration_clip=(3.0, 1.0))
+
+
+class TestBoundedMu:
+    @pytest.mark.parametrize("mu", [1.0, 2.0, 16.0, 100.0])
+    def test_realises_exact_mu(self, mu):
+        items = bounded_mu(30, seed=4, mu=mu)
+        assert items.mu() == pytest.approx(mu)
+
+    def test_durations_within_band(self):
+        items = bounded_mu(100, seed=4, mu=8.0, min_duration=0.5)
+        assert all(0.5 - 1e-12 <= r.duration <= 4.0 + 1e-12 for r in items)
+
+    def test_uniform_variant(self):
+        items = bounded_mu(50, seed=4, mu=8.0, log_uniform=False)
+        assert items.mu() == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bounded_mu(1, seed=1, mu=2.0)
+        with pytest.raises(ValidationError):
+            bounded_mu(10, seed=1, mu=0.9)
+
+
+class TestBursty:
+    def test_burst_structure(self):
+        items = bursty(4, 10, seed=6, burst_gap=100.0, burst_width=1.0)
+        assert len(items) == 40
+        arrivals = sorted(r.arrival for r in items)
+        # Each burst's arrivals lie within its window.
+        for b in range(4):
+            chunk = arrivals[b * 10 : (b + 1) * 10]
+            assert all(b * 100.0 <= a <= b * 100.0 + 1.0 for a in chunk)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bursty(0, 5, seed=1)
+
+
+class TestDiscreteSizes:
+    def test_sizes_from_menu(self):
+        items = discrete_sizes(60, seed=8)
+        assert all(r.size in DISCRETE_SIZES for r in items)
+
+    def test_custom_menu_and_weights(self):
+        items = discrete_sizes(100, seed=8, sizes=[0.25, 0.5], weights=[1.0, 0.0])
+        assert all(r.size == 0.25 for r in items)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            discrete_sizes(10, seed=1, sizes=[])
+        with pytest.raises(ValidationError):
+            discrete_sizes(10, seed=1, sizes=[1.5])
+        with pytest.raises(ValidationError):
+            discrete_sizes(10, seed=1, sizes=[0.5], weights=[0.0])
+
+
+class TestTransforms:
+    def make(self):
+        return uniform_random(25, seed=9)
+
+    def test_time_stretch_scales_demand_not_mu(self):
+        from repro.workloads import time_stretch
+
+        items = self.make()
+        stretched = time_stretch(items, 3.0)
+        assert stretched.total_demand() == pytest.approx(3.0 * items.total_demand())
+        assert stretched.span() == pytest.approx(3.0 * items.span())
+        assert stretched.mu() == pytest.approx(items.mu())
+
+    def test_time_stretch_validation(self):
+        from repro.workloads import time_stretch
+
+        with pytest.raises(ValidationError):
+            time_stretch(self.make(), 0.0)
+
+    def test_load_scale_exact_demand_multiple(self):
+        from repro.workloads import load_scale
+
+        items = self.make()
+        scaled = load_scale(items, 3)
+        assert len(scaled) == 3 * len(items)
+        assert scaled.total_demand() == pytest.approx(3.0 * items.total_demand())
+        assert scaled.span() == pytest.approx(items.span())
+
+    def test_load_scale_jitter_preserves_durations(self):
+        from repro.workloads import load_scale
+
+        items = self.make()
+        scaled = load_scale(items, 2, jitter=0.5, seed=1)
+        durations = sorted(round(r.duration, 9) for r in scaled)
+        expected = sorted(round(r.duration, 9) for r in items) * 2
+        assert durations == pytest.approx(sorted(expected))
+
+    def test_load_scale_validation(self):
+        from repro.workloads import load_scale
+
+        with pytest.raises(ValidationError):
+            load_scale(self.make(), 0)
+
+    def test_subsample_fraction(self):
+        from repro.workloads import subsample
+
+        items = uniform_random(200, seed=10)
+        sub = subsample(items, 0.3, seed=1)
+        assert 0 < len(sub) < len(items)
+        assert all(r in items.items for r in sub)
+
+    def test_subsample_keeps_at_least_one(self):
+        from repro.workloads import subsample
+
+        items = uniform_random(3, seed=11)
+        sub = subsample(items, 0.0001, seed=2)
+        assert len(sub) >= 1
+
+    def test_subsample_validation(self):
+        from repro.workloads import subsample
+
+        with pytest.raises(ValidationError):
+            subsample(self.make(), 0.0)
+
+    def test_mix_renumbers_and_offsets(self):
+        from repro.workloads import mix
+
+        a, b = uniform_random(10, seed=1), uniform_random(10, seed=2)
+        combined = mix([a, b], offsets=[0.0, 1000.0])
+        assert len(combined) == 20
+        assert len({r.id for r in combined}) == 20
+        late = [r for r in combined if r.arrival >= 1000.0]
+        assert len(late) == 10
+
+    def test_mix_offsets_mismatch(self):
+        from repro.workloads import mix
+
+        with pytest.raises(ValidationError):
+            mix([self.make()], offsets=[0.0, 1.0])
+
+    def test_load_scaled_usage_roughly_scales(self):
+        from repro.algorithms import FirstFitPacker
+        from repro.workloads import load_scale
+
+        items = self.make()
+        scaled = load_scale(items, 3)
+        u1 = FirstFitPacker().pack(items).total_usage()
+        u3 = FirstFitPacker().pack(scaled).total_usage()
+        # Tripling the load at most triples the usage, and can only help
+        # utilisation relative to span — sanity band.
+        assert items.span() - 1e-9 <= u3 <= 3 * u1 + 1e-9

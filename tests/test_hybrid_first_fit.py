@@ -1,0 +1,71 @@
+"""Tests for Hybrid First Fit (size-classified baseline of Li et al.)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import FirstFitPacker, HybridFirstFitPacker
+from repro.core import Interval, Item, ItemList, ValidationError
+
+from conftest import items_strategy
+
+
+class TestSizeClasses:
+    def test_invalid_num_classes(self):
+        with pytest.raises(ValidationError):
+            HybridFirstFitPacker(num_classes=0)
+
+    def test_class_boundaries(self):
+        p = HybridFirstFitPacker(num_classes=4)
+        # Class k holds sizes in (1/(k+1), 1/k]; class 4 holds (0, 1/4].
+        assert p.category_of(Item(0, 0.9, Interval(0, 1))) == 1
+        assert p.category_of(Item(0, 0.51, Interval(0, 1))) == 1
+        assert p.category_of(Item(0, 0.5, Interval(0, 1))) == 2
+        assert p.category_of(Item(0, 0.34, Interval(0, 1))) == 2
+        assert p.category_of(Item(0, 1 / 3, Interval(0, 1))) == 3
+        assert p.category_of(Item(0, 0.26, Interval(0, 1))) == 3
+        assert p.category_of(Item(0, 0.25, Interval(0, 1))) == 4
+        assert p.category_of(Item(0, 0.01, Interval(0, 1))) == 4
+
+    def test_single_class_degenerates_to_first_fit(self):
+        items = ItemList(
+            [
+                Item(i, s, Interval(float(i) * 0.1, float(i) * 0.1 + 3.0))
+                for i, s in enumerate([0.6, 0.3, 0.2, 0.5, 0.15])
+            ]
+        )
+        hybrid = HybridFirstFitPacker(num_classes=1).pack(items)
+        ff = FirstFitPacker().pack(items)
+        assert hybrid.assignment == ff.assignment
+
+
+class TestBehaviour:
+    def test_sizes_never_mixed_across_classes(self):
+        items = ItemList(
+            [
+                Item(0, 0.6, Interval(0.0, 5.0)),  # class 1
+                Item(1, 0.2, Interval(0.0, 5.0)),  # class 4 — fits bin 0 but separated
+            ]
+        )
+        result = HybridFirstFitPacker(num_classes=4).pack(items)
+        assert result.assignment[0] != result.assignment[1]
+
+    @settings(max_examples=30)
+    @given(items_strategy(max_items=15))
+    def test_feasible_on_random(self, items):
+        result = HybridFirstFitPacker().pack(items)
+        result.validate()
+
+    @settings(max_examples=30)
+    @given(items_strategy(max_items=12))
+    def test_bins_homogeneous_in_class(self, items):
+        p = HybridFirstFitPacker(num_classes=4)
+        result = p.pack(items)
+        by_bin: dict[int, set[int]] = {}
+        for r in items:
+            by_bin.setdefault(result.assignment[r.id], set()).add(p.category_of(r))
+        assert all(len(cats) == 1 for cats in by_bin.values())
+
+    def test_describe(self):
+        assert "K=3" in HybridFirstFitPacker(num_classes=3).describe()

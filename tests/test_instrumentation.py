@@ -1,0 +1,269 @@
+"""Tests for the proof-instrumentation analyses (the paper's inner lemmas)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import DurationDescendingFirstFit, FirstFitPacker
+from repro.analysis import (
+    theorem1_decomposition,
+    theorem4_stage_decomposition,
+)
+from repro.analysis.instrumentation import _reduce_to_uncontained, _x_periods
+from repro.core import Interval, Item, ItemList
+from repro.workloads import bounded_mu, uniform_random
+
+from conftest import items_strategy
+
+
+class TestReduction:
+    def test_contained_items_removed(self):
+        items = [
+            Item(0, 0.2, Interval(0.0, 10.0)),
+            Item(1, 0.2, Interval(2.0, 5.0)),  # contained in item 0
+            Item(2, 0.2, Interval(8.0, 12.0)),
+        ]
+        reduced = _reduce_to_uncontained(items)
+        assert [r.id for r in reduced] == [0, 2]
+
+    def test_identical_intervals_keep_one(self):
+        items = [
+            Item(0, 0.2, Interval(0.0, 5.0)),
+            Item(1, 0.2, Interval(0.0, 5.0)),
+        ]
+        assert len(_reduce_to_uncontained(items)) == 1
+
+    def test_strictly_increasing_arrivals_and_departures(self):
+        items = [
+            Item(i, 0.1, Interval(float(i), float(i) + 3.0 + 0.1 * i)) for i in range(6)
+        ]
+        reduced = _reduce_to_uncontained(items)
+        arr = [r.arrival for r in reduced]
+        dep = [r.departure for r in reduced]
+        assert arr == sorted(arr) and len(set(arr)) == len(arr)
+        assert dep == sorted(dep) and len(set(dep)) == len(dep)
+
+    @settings(max_examples=30)
+    @given(items_strategy(max_items=12))
+    def test_reduction_preserves_span(self, items):
+        from repro.core.intervals import span
+
+        reduced = _reduce_to_uncontained(list(items))
+        assert span(r.interval for r in reduced) == pytest.approx(
+            items.span(), rel=1e-9
+        )
+
+
+class TestXPeriods:
+    def test_paper_figure2_shape(self):
+        # Chained items: each X-period ends at the next arrival.
+        items = [
+            Item(0, 0.2, Interval(0.0, 4.0)),
+            Item(1, 0.2, Interval(2.0, 6.0)),
+            Item(2, 0.2, Interval(5.0, 9.0)),
+        ]
+        periods = _x_periods(items)
+        assert periods == [Interval(0.0, 2.0), Interval(2.0, 5.0), Interval(5.0, 9.0)]
+
+    def test_gap_between_items(self):
+        items = [
+            Item(0, 0.2, Interval(0.0, 2.0)),
+            Item(1, 0.2, Interval(5.0, 7.0)),
+        ]
+        periods = _x_periods(items)
+        # First X-period capped at the item's own departure.
+        assert periods == [Interval(0.0, 2.0), Interval(5.0, 7.0)]
+
+    @settings(max_examples=30)
+    @given(items_strategy(max_items=10))
+    def test_lengths_sum_to_span(self, items):
+        reduced = _reduce_to_uncontained(list(items))
+        total = sum(p.length for p in _x_periods(reduced))
+        assert total == pytest.approx(items.span(), rel=1e-9)
+
+
+class TestTheorem1Decomposition:
+    def test_single_bin_packing_has_no_analyses(self, disjoint_items):
+        result = DurationDescendingFirstFit().pack(disjoint_items)
+        assert result.num_bins == 1
+        assert theorem1_decomposition(result) == []
+
+    def test_inequalities_on_fixture(self):
+        items = uniform_random(60, seed=3, size_range=(0.2, 0.9))
+        result = DurationDescendingFirstFit().pack(items)
+        analyses = theorem1_decomposition(result)
+        assert analyses  # multiple bins expected at these sizes
+        for a in analyses:
+            a.check()
+
+    def test_witness_times_inside_item_intervals(self):
+        items = uniform_random(40, seed=4, size_range=(0.3, 0.9))
+        result = DurationDescendingFirstFit().pack(items)
+        for a in theorem1_decomposition(result):
+            for xp in a.x_periods:
+                assert xp.item.arrival <= xp.witness_time < xp.item.departure
+                assert xp.witness_level + xp.item.size > 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(items_strategy(max_items=15))
+    def test_inequalities_on_random(self, items):
+        result = DurationDescendingFirstFit().pack(items)
+        for a in theorem1_decomposition(result):
+            a.check()
+
+    def test_theorem1_bound_reconstructs(self):
+        """Summing the per-bin inequality reproduces usage < 4d(R)+span(R)."""
+        items = uniform_random(50, seed=5, size_range=(0.2, 0.8))
+        result = DurationDescendingFirstFit().pack(items)
+        analyses = theorem1_decomposition(result)
+        total_span_tail = sum(a.span_k for a in analyses)
+        rhs = sum(a.demand_k + 3.0 * a.demand_prev for a in analyses)
+        assert total_span_tail < rhs + 1e-9
+
+
+class TestTheorem4Stages:
+    def test_empty_items(self):
+        assert theorem4_stage_decomposition(ItemList([]), rho=1.0) == []
+
+    def test_stage_boundaries(self):
+        items = bounded_mu(40, seed=6, mu=9.0, min_duration=1.0)
+        analyses = theorem4_stage_decomposition(items, rho=3.0)
+        delta = items.min_duration()
+        mu_delta = items.max_duration()
+        for a in analyses:
+            t = a.t3 + delta
+            assert a.t1 == pytest.approx(t - mu_delta)
+            assert a.t1 <= a.t2 <= a.t3 <= a.t_end
+
+    def test_usage_splits_cover_category_usage(self):
+        items = bounded_mu(40, seed=6, mu=9.0, min_duration=1.0)
+        packer_total = sum(
+            a.usage_a + a.usage_b + a.usage_c
+            for a in theorem4_stage_decomposition(items, rho=3.0)
+        )
+        from repro.algorithms import ClassifyByDepartureFirstFit
+
+        direct = ClassifyByDepartureFirstFit(rho=3.0).pack(items).total_usage()
+        assert packer_total == pytest.approx(direct, rel=1e-9)
+
+    def test_lemma6_and_inequality4_on_fixture(self):
+        items = bounded_mu(60, seed=7, mu=16.0, min_duration=1.0)
+        for a in theorem4_stage_decomposition(items, rho=4.0):
+            a.check()
+
+    @settings(max_examples=30, deadline=None)
+    @given(items_strategy(max_items=15))
+    def test_lemma6_on_random(self, items):
+        for a in theorem4_stage_decomposition(items, rho=2.0):
+            a.check()
+
+    def test_retention_adversary_stages(self):
+        from repro.bounds import retention_instance
+
+        items = retention_instance(mu=20.0, phases=10)
+        analyses = theorem4_stage_decomposition(items, rho=4.0)
+        for a in analyses:
+            a.check()
+
+    def test_first_fit_comparison_sanity(self):
+        # The stage machinery only applies to the classified packer; plain
+        # First Fit has no categories — this documents the intended usage.
+        items = bounded_mu(30, seed=8, mu=4.0)
+        ff_usage = FirstFitPacker().pack(items).total_usage()
+        staged = theorem4_stage_decomposition(items, rho=2.0)
+        assert sum(a.usage_a + a.usage_b + a.usage_c for a in staged) >= 0
+        assert ff_usage > 0
+
+
+class TestThirdStage:
+    def test_empty(self):
+        from repro.analysis import theorem4_third_stage
+
+        assert theorem4_third_stage(ItemList([]), rho=1.0) == []
+
+    def test_right_usage_bounded_by_stage_length(self):
+        from repro.analysis import theorem4_third_stage
+
+        items = bounded_mu(60, seed=9, mu=16.0, min_duration=1.0)
+        analyses = theorem4_third_stage(items, rho=4.0)
+        assert analyses
+        for a in analyses:
+            a.check()
+            assert a.right_usage <= a.stage_length + 1e-9
+
+    def test_split_covers_stage_usage(self):
+        from repro.algorithms import ClassifyByDepartureFirstFit
+        from repro.analysis import theorem4_third_stage
+
+        items = bounded_mu(50, seed=10, mu=9.0, min_duration=1.0)
+        rho = 3.0
+        analyses = theorem4_third_stage(items, rho=rho)
+        stage_total = sum(a.left_usage + a.right_usage for a in analyses)
+        # Cross-check against the stage decomposition's usage_c.
+        from repro.analysis import theorem4_stage_decomposition
+
+        staged = theorem4_stage_decomposition(items, rho=rho)
+        usage_c_total = sum(a.usage_c for a in staged)
+        assert stage_total == pytest.approx(usage_c_total, rel=1e-9)
+
+    def test_single_bin_category_has_zero_left_usage(self):
+        from repro.analysis import theorem4_third_stage
+
+        items = ItemList([Item(0, 0.3, Interval(0.0, 2.0))])
+        analyses = theorem4_third_stage(items, rho=5.0)
+        assert len(analyses) == 1
+        assert analyses[0].left_usage == pytest.approx(0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(items_strategy(max_items=15))
+    def test_structural_facts_on_random(self, items):
+        from repro.analysis import theorem4_third_stage
+
+        for a in theorem4_third_stage(items, rho=2.0):
+            a.check()
+
+
+class TestTheorem5Categories:
+    def test_empty(self):
+        from repro.analysis import theorem5_category_decomposition
+
+        assert theorem5_category_decomposition(ItemList([]), alpha=2.0) == []
+
+    def test_per_category_bound_and_alpha_discipline(self):
+        from repro.analysis import theorem5_category_decomposition
+
+        items = bounded_mu(80, seed=11, mu=32.0, min_duration=1.0)
+        analyses = theorem5_category_decomposition(items, alpha=2.0, base=1.0)
+        assert len(analyses) >= 3
+        for a in analyses:
+            a.check(alpha=2.0)
+
+    def test_usage_sums_to_packer_total(self):
+        from repro.algorithms import ClassifyByDurationFirstFit
+        from repro.analysis import theorem5_category_decomposition
+
+        items = bounded_mu(50, seed=12, mu=16.0)
+        analyses = theorem5_category_decomposition(items, alpha=2.0)
+        total = sum(a.usage for a in analyses)
+        direct = ClassifyByDurationFirstFit(alpha=2.0).pack(items).total_usage()
+        assert total == pytest.approx(direct, rel=1e-9)
+
+    def test_summed_bound_reproduces_theorem5_inequality(self):
+        from repro.analysis import theorem5_category_decomposition
+
+        items = bounded_mu(60, seed=13, mu=16.0, min_duration=1.0)
+        alpha = 2.0
+        analyses = theorem5_category_decomposition(items, alpha=alpha, base=1.0)
+        total = sum(a.usage for a in analyses)
+        # (α+3)·d(R) + (#categories)·span(R) dominates the summed bound.
+        bound = (alpha + 3.0) * items.total_demand() + len(analyses) * items.span()
+        assert total <= bound + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(items_strategy(max_items=15))
+    def test_on_random(self, items):
+        from repro.analysis import theorem5_category_decomposition
+
+        for a in theorem5_category_decomposition(items, alpha=2.0):
+            a.check(alpha=2.0)

@@ -1,0 +1,141 @@
+"""End-to-end integration tests crossing all layers of the library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    available_packers,
+    get_packer,
+    opt_total,
+)
+from repro.algorithms import (
+    ClassifyByDepartureFirstFit,
+    ClassifyByDurationFirstFit,
+    DualColoringPacker,
+    DurationDescendingFirstFit,
+    FirstFitPacker,
+)
+from repro.bounds import best_lower_bound
+from repro.cloud import CloudScheduler, Job
+from repro.simulation import PER_HOUR, Simulator, evaluate
+from repro.workloads import (
+    bounded_mu,
+    dump_jsonl,
+    gaming_sessions,
+    load_jsonl,
+    random_templates,
+    recurring_jobs,
+    uniform_random,
+)
+
+
+def make_all_packers():
+    """One instance of every registered packer with sane parameters."""
+    special = {
+        "classify-departure": {"rho": 3.0},
+        "classify-duration": {"alpha": 2.0},
+        "classify-combined": {"alpha": 2.0},
+    }
+    return [get_packer(name, **special.get(name, {})) for name in available_packers()]
+
+
+class TestEveryPackerOnEveryWorkload:
+    @pytest.mark.parametrize("name", sorted(available_packers()))
+    def test_feasible_and_above_lower_bound(self, name):
+        special = {
+            "classify-departure": {"rho": 3.0},
+            "classify-duration": {"alpha": 2.0},
+            "classify-combined": {"alpha": 2.0},
+        }
+        packer = get_packer(name, **special.get(name, {}))
+        for items in (
+            uniform_random(60, seed=1, size_range=(0.05, 1.0)),
+            bounded_mu(40, seed=2, mu=12.0),
+            gaming_sessions(50, seed=3),
+        ):
+            result = packer.pack(items)
+            result.validate()
+            assert result.total_usage() >= best_lower_bound(items) - 1e-6
+
+    def test_offline_beats_worst_online_on_average(self):
+        wins = 0
+        for seed in range(6):
+            items = uniform_random(60, seed=seed)
+            off = DurationDescendingFirstFit().pack(items).total_usage()
+            worst_online = max(
+                get_packer(n).pack(items).total_usage()
+                for n in ("next-fit", "first-fit", "best-fit")
+            )
+            wins += off <= worst_online
+        assert wins >= 4
+
+
+class TestGamingPipeline:
+    def test_trace_roundtrip_preserves_packing(self, tmp_path):
+        items = gaming_sessions(80, seed=5)
+        restored = load_jsonl(dump_jsonl(items))
+        a = FirstFitPacker().pack(items).total_usage()
+        b = FirstFitPacker().pack(restored).total_usage()
+        assert a == pytest.approx(b)
+
+    def test_clairvoyant_policies_save_on_gaming_load(self):
+        items = gaming_sessions(300, seed=6)
+        mu = items.mu()
+        delta = items.min_duration()
+        ff = evaluate(FirstFitPacker().pack(items))
+        cd = evaluate(
+            ClassifyByDurationFirstFit.with_known_durations(delta, mu).pack(items)
+        )
+        # Classification should not catastrophically regress on a realistic
+        # workload (it may not always win — the theory bounds the worst case).
+        assert cd.total_usage <= 1.5 * ff.total_usage
+
+
+class TestAnalyticsPipeline:
+    def test_recurring_jobs_end_to_end(self):
+        templates = random_templates(6, seed=7)
+        items = recurring_jobs(templates, horizon=120.0, seed=7)
+        assert len(items) > 20
+        for packer in (
+            FirstFitPacker(),
+            ClassifyByDepartureFirstFit(rho=4.0),
+            DualColoringPacker(),
+        ):
+            result = packer.pack(items)
+            result.validate()
+
+    def test_scheduler_costs_consistent(self):
+        jobs = [
+            Job(i, demand=2.0, arrival=0.25 * i, duration=1.0 + (i % 3))
+            for i in range(30)
+        ]
+        plan = CloudScheduler("first-fit", server_capacity=8.0, billing=PER_HOUR).schedule(jobs)
+        assert plan.billed_cost >= plan.usage_time - 1e-9
+        assert plan.usage_time == pytest.approx(plan.packing.total_usage())
+        assert sum(l.duration for l in plan.leases) == pytest.approx(plan.usage_time)
+
+
+class TestSimulatorAgreesWithPack:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            FirstFitPacker,
+            lambda: ClassifyByDurationFirstFit(alpha=2.0),
+            lambda: ClassifyByDepartureFirstFit(rho=2.0),
+        ],
+    )
+    def test_on_mixed_workload(self, make):
+        items = uniform_random(80, seed=9)
+        assert Simulator(make()).run(items).packing.assignment == make().pack(items).assignment
+
+
+class TestExactOptSandwich:
+    def test_algorithms_between_opt_and_bound(self):
+        items = bounded_mu(25, seed=10, mu=6.0, size_range=(0.1, 0.6))
+        opt = opt_total(items)
+        lb = best_lower_bound(items)
+        assert lb <= opt + 1e-9
+        for packer in make_all_packers():
+            usage = packer.pack(items).total_usage()
+            assert usage >= opt - 1e-9

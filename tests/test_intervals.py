@@ -1,0 +1,182 @@
+"""Unit and property tests for repro.core.intervals."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Interval, ValidationError, intersect_many, merge_intervals, span
+from repro.core.intervals import total_length
+
+from conftest import intervals_strategy
+
+
+class TestIntervalConstruction:
+    def test_basic(self):
+        iv = Interval(1.0, 3.0)
+        assert iv.left == 1.0
+        assert iv.right == 3.0
+        assert iv.length == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            Interval(1.0, 1.0)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValidationError):
+            Interval(2.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            Interval(float("nan"), 1.0)
+
+    def test_maybe_returns_none_for_empty(self):
+        assert Interval.maybe(1.0, 1.0) is None
+        assert Interval.maybe(2.0, 1.0) is None
+
+    def test_maybe_returns_interval(self):
+        assert Interval.maybe(1.0, 2.0) == Interval(1.0, 2.0)
+
+    def test_of_length(self):
+        assert Interval.of_length(3.0, 2.0) == Interval(3.0, 5.0)
+
+    def test_frozen_and_hashable(self):
+        iv = Interval(0.0, 1.0)
+        assert hash(iv) == hash(Interval(0.0, 1.0))
+        with pytest.raises(AttributeError):
+            iv.left = 5.0  # type: ignore[misc]
+
+
+class TestHalfOpenSemantics:
+    def test_left_endpoint_contained(self):
+        assert 0.0 in Interval(0.0, 1.0)
+
+    def test_right_endpoint_not_contained(self):
+        assert 1.0 not in Interval(0.0, 1.0)
+
+    def test_interior_contained(self):
+        assert 0.5 in Interval(0.0, 1.0)
+
+    def test_touching_intervals_do_not_overlap(self):
+        assert not Interval(0.0, 1.0).overlaps(Interval(1.0, 2.0))
+
+    def test_overlapping(self):
+        assert Interval(0.0, 2.0).overlaps(Interval(1.0, 3.0))
+
+    def test_iter_unpacks(self):
+        left, right = Interval(2.0, 5.0)
+        assert (left, right) == (2.0, 5.0)
+
+
+class TestRelations:
+    def test_contains_interval(self):
+        assert Interval(0.0, 5.0).contains_interval(Interval(1.0, 2.0))
+        assert Interval(0.0, 5.0).contains_interval(Interval(0.0, 5.0))
+        assert not Interval(0.0, 5.0).contains_interval(Interval(4.0, 6.0))
+
+    def test_properly_contains_excludes_equal(self):
+        assert not Interval(0.0, 5.0).properly_contains(Interval(0.0, 5.0))
+        assert Interval(0.0, 5.0).properly_contains(Interval(0.0, 4.0))
+
+    def test_intersection(self):
+        assert Interval(0.0, 3.0).intersection(Interval(2.0, 5.0)) == Interval(2.0, 3.0)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Interval(0.0, 1.0).intersection(Interval(2.0, 3.0)) is None
+
+    def test_intersection_touching_is_none(self):
+        assert Interval(0.0, 1.0).intersection(Interval(1.0, 2.0)) is None
+
+    def test_shift(self):
+        assert Interval(1.0, 2.0).shift(3.0) == Interval(4.0, 5.0)
+
+    def test_clamp_alias(self):
+        assert Interval(0.0, 10.0).clamp(Interval(3.0, 4.0)) == Interval(3.0, 4.0)
+
+
+class TestMergeAndSpan:
+    def test_merge_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_merge_disjoint_preserved(self):
+        ivs = [Interval(0.0, 1.0), Interval(2.0, 3.0)]
+        assert merge_intervals(ivs) == ivs
+
+    def test_merge_touching(self):
+        assert merge_intervals([Interval(0.0, 1.0), Interval(1.0, 2.0)]) == [
+            Interval(0.0, 2.0)
+        ]
+
+    def test_merge_overlapping(self):
+        assert merge_intervals([Interval(0.0, 2.0), Interval(1.0, 3.0)]) == [
+            Interval(0.0, 3.0)
+        ]
+
+    def test_merge_nested(self):
+        assert merge_intervals([Interval(0.0, 5.0), Interval(1.0, 2.0)]) == [
+            Interval(0.0, 5.0)
+        ]
+
+    def test_merge_unsorted_input(self):
+        assert merge_intervals([Interval(3.0, 4.0), Interval(0.0, 1.0)]) == [
+            Interval(0.0, 1.0),
+            Interval(3.0, 4.0),
+        ]
+
+    def test_span_matches_figure_1(self):
+        # Figure 1 style: overlapping block plus a separate block.
+        ivs = [Interval(0.0, 2.0), Interval(1.0, 3.0), Interval(5.0, 6.0)]
+        assert span(ivs) == pytest.approx(4.0)
+
+    def test_span_empty(self):
+        assert span([]) == 0.0
+
+    def test_total_length(self):
+        assert total_length([Interval(0.0, 1.0), Interval(2.0, 4.0)]) == pytest.approx(3.0)
+
+
+class TestIntersectMany:
+    def test_common_intersection(self):
+        ivs = [Interval(0.0, 5.0), Interval(1.0, 4.0), Interval(2.0, 6.0)]
+        assert intersect_many(ivs) == Interval(2.0, 4.0)
+
+    def test_empty_intersection_is_none(self):
+        assert intersect_many([Interval(0.0, 1.0), Interval(2.0, 3.0)]) is None
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValidationError):
+            intersect_many([])
+
+
+class TestIntervalProperties:
+    @given(intervals_strategy())
+    def test_length_positive(self, iv):
+        assert iv.length > 0
+
+    @given(intervals_strategy(), intervals_strategy())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(intervals_strategy(), intervals_strategy())
+    def test_overlap_iff_intersection(self, a, b):
+        assert a.overlaps(b) == (a.intersection(b) is not None)
+
+    @given(st.lists(intervals_strategy(), max_size=12))
+    def test_merge_produces_disjoint_sorted(self, ivs):
+        merged = merge_intervals(ivs)
+        for x, y in zip(merged, merged[1:]):
+            assert x.right < y.left  # strictly separated (touching merged)
+
+    @given(st.lists(intervals_strategy(), min_size=1, max_size=12))
+    def test_span_bounds(self, ivs):
+        s = span(ivs)
+        assert s <= sum(iv.length for iv in ivs) + 1e-9
+        assert s >= max(iv.length for iv in ivs) - 1e-9
+
+    @given(st.lists(intervals_strategy(), min_size=1, max_size=12))
+    def test_merge_preserves_membership(self, ivs):
+        merged = merge_intervals(ivs)
+        # Every original left endpoint is inside some merged piece.
+        for iv in ivs:
+            assert any(iv.left in m for m in merged)

@@ -1,0 +1,221 @@
+"""Unit and property tests for repro.core.items."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core import Interval, Item, ItemList, ValidationError
+
+from conftest import items_strategy
+
+
+class TestItem:
+    def test_accessors_match_paper_notation(self):
+        r = Item(0, 0.25, Interval(2.0, 7.0))
+        assert r.arrival == 2.0
+        assert r.departure == 7.0
+        assert r.duration == 5.0
+        assert r.demand == pytest.approx(0.25 * 5.0)
+
+    def test_size_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            Item(0, 0.0, Interval(0.0, 1.0))
+
+    def test_size_above_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            Item(0, 1.01, Interval(0.0, 1.0))
+
+    def test_size_exactly_one_allowed(self):
+        assert Item(0, 1.0, Interval(0.0, 1.0)).size == 1.0
+
+    def test_active_at_half_open(self):
+        r = Item(0, 0.5, Interval(1.0, 2.0))
+        assert r.active_at(1.0)
+        assert not r.active_at(2.0)
+        assert not r.active_at(0.5)
+
+    def test_shift(self):
+        r = Item(3, 0.5, Interval(1.0, 2.0), {"k": "v"})
+        shifted = r.shift(10.0)
+        assert shifted.interval == Interval(11.0, 12.0)
+        assert shifted.id == 3
+        assert shifted.tags == {"k": "v"}
+
+    def test_with_departure(self):
+        r = Item(0, 0.5, Interval(1.0, 2.0))
+        assert r.with_departure(5.0).interval == Interval(1.0, 5.0)
+
+    def test_tags_do_not_affect_equality(self):
+        a = Item(0, 0.5, Interval(0.0, 1.0), {"x": 1})
+        b = Item(0, 0.5, Interval(0.0, 1.0), {"y": 2})
+        assert a == b
+
+
+class TestItemListBasics:
+    def test_sorted_by_arrival_then_id(self):
+        items = ItemList(
+            [
+                Item(5, 0.1, Interval(3.0, 4.0)),
+                Item(2, 0.1, Interval(1.0, 2.0)),
+                Item(1, 0.1, Interval(3.0, 4.0)),
+            ]
+        )
+        assert [r.id for r in items] == [2, 1, 5]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValidationError):
+            ItemList([Item(0, 0.1, Interval(0, 1)), Item(0, 0.2, Interval(1, 2))])
+
+    def test_by_id(self):
+        items = ItemList([Item(7, 0.1, Interval(0, 1))])
+        assert items.by_id(7).size == 0.1
+        with pytest.raises(KeyError):
+            items.by_id(8)
+
+    def test_container_protocol(self):
+        items = ItemList([Item(0, 0.1, Interval(0, 1)), Item(1, 0.2, Interval(0, 2))])
+        assert len(items) == 2
+        assert items[0].id == 0
+        assert bool(items)
+        assert not bool(ItemList([]))
+
+    def test_equality_and_hash(self):
+        a = ItemList([Item(0, 0.1, Interval(0, 1))])
+        b = ItemList([Item(0, 0.1, Interval(0, 1))])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestItemListStats:
+    def test_total_demand(self, simple_items):
+        expected = 0.5 * 4 + 0.4 * 2 + 0.3 * 4
+        assert simple_items.total_demand() == pytest.approx(expected)
+
+    def test_span_contiguous(self, simple_items):
+        assert simple_items.span() == pytest.approx(6.0)
+
+    def test_span_with_gap(self, disjoint_items):
+        assert disjoint_items.span() == pytest.approx(3.0)
+
+    def test_span_intervals(self, disjoint_items):
+        assert disjoint_items.span_intervals() == [
+            Interval(0.0, 1.0),
+            Interval(2.0, 3.0),
+            Interval(4.0, 5.0),
+        ]
+
+    def test_mu(self, simple_items):
+        assert simple_items.mu() == pytest.approx(4.0 / 2.0)
+
+    def test_min_max_duration_empty_raises(self):
+        empty = ItemList([])
+        with pytest.raises(ValidationError):
+            empty.min_duration()
+        with pytest.raises(ValidationError):
+            empty.max_duration()
+
+    def test_size_profile(self, simple_items):
+        profile = simple_items.size_profile()
+        assert profile.value_at(0.5) == pytest.approx(0.5)
+        assert profile.value_at(1.5) == pytest.approx(0.9)
+        assert profile.value_at(2.5) == pytest.approx(1.2)
+        assert profile.value_at(5.0) == pytest.approx(0.3)
+
+    def test_max_concurrent_size(self, simple_items):
+        assert simple_items.max_concurrent_size() == pytest.approx(1.2)
+
+    def test_active_at(self, simple_items):
+        assert {r.id for r in simple_items.active_at(2.5)} == {0, 1, 2}
+        assert {r.id for r in simple_items.active_at(0.5)} == {0}
+
+    def test_event_times(self, simple_items):
+        assert simple_items.event_times() == [0.0, 1.0, 2.0, 3.0, 4.0, 6.0]
+
+
+class TestItemListRestructuring:
+    def test_filter(self, simple_items):
+        big = simple_items.filter(lambda r: r.size >= 0.4)
+        assert {r.id for r in big} == {0, 1}
+
+    def test_partition(self, simple_items):
+        parts = simple_items.partition(lambda r: 0 if r.size < 0.4 else 1)
+        assert {r.id for r in parts[0]} == {2}
+        assert {r.id for r in parts[1]} == {0, 1}
+
+    def test_split_by_span_components(self, disjoint_items):
+        subs = disjoint_items.split_by_span_components()
+        assert len(subs) == 3
+        assert all(len(s) == 1 for s in subs)
+
+    def test_split_single_component(self, simple_items):
+        assert len(simple_items.split_by_span_components()) == 1
+
+    def test_shift(self, simple_items):
+        shifted = simple_items.shift(10.0)
+        assert shifted.span() == simple_items.span()
+        assert shifted[0].arrival == 10.0
+
+    def test_renumbered(self):
+        items = ItemList([Item(42, 0.1, Interval(0, 1)), Item(17, 0.2, Interval(2, 3))])
+        renum = items.renumbered()
+        assert [r.id for r in renum] == [0, 1]
+
+    def test_concat(self):
+        a = ItemList([Item(0, 0.1, Interval(0, 1))])
+        b = ItemList([Item(1, 0.2, Interval(2, 3))])
+        both = ItemList.concat([a, b])
+        assert len(both) == 2
+
+    def test_concat_duplicate_ids_rejected(self):
+        a = ItemList([Item(0, 0.1, Interval(0, 1))])
+        with pytest.raises(ValidationError):
+            ItemList.concat([a, a])
+
+
+class TestSerialisation:
+    def test_records_roundtrip(self, simple_items):
+        assert ItemList.from_records(simple_items.to_records()) == simple_items
+
+    def test_json_roundtrip(self, simple_items):
+        assert ItemList.from_json(simple_items.to_json()) == simple_items
+
+    def test_tags_preserved(self):
+        items = ItemList([Item(0, 0.1, Interval(0, 1), {"app": "x"})])
+        restored = ItemList.from_json(items.to_json())
+        assert restored[0].tags == {"app": "x"}
+
+
+class TestItemListProperties:
+    @given(items_strategy())
+    def test_span_le_demand_relation(self, items):
+        # span <= sum of durations; demand <= sum of durations (sizes <= 1).
+        total_duration = sum(r.duration for r in items)
+        assert items.span() <= total_duration + 1e-9
+        assert items.total_demand() <= total_duration + 1e-9
+
+    @given(items_strategy())
+    def test_mu_at_least_one(self, items):
+        assert items.mu() >= 1.0
+
+    @given(items_strategy())
+    def test_size_profile_integral_is_demand(self, items):
+        assert items.size_profile().integral() == pytest.approx(
+            items.total_demand(), rel=1e-9
+        )
+
+    @given(items_strategy())
+    def test_size_profile_support_is_span(self, items):
+        assert items.size_profile().support_measure(tol=1e-12) == pytest.approx(
+            items.span(), rel=1e-9
+        )
+
+    @given(items_strategy())
+    def test_split_components_preserve_items(self, items):
+        subs = items.split_by_span_components()
+        ids = sorted(r.id for s in subs for r in s)
+        assert ids == sorted(r.id for r in items)
+
+    @given(items_strategy())
+    def test_roundtrip_json(self, items):
+        assert ItemList.from_json(items.to_json()) == items

@@ -1,0 +1,168 @@
+"""Tests for simulation metrics and the cloud application layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import FirstFitPacker, opt_total
+from repro.cloud import (
+    CloudScheduler,
+    Job,
+    compare_policies,
+    compare_policies_on_items,
+    items_to_jobs,
+    jobs_to_items,
+    leases_from_packing,
+)
+from repro.core import Interval, Item, ItemList, ValidationError
+from repro.simulation import PER_HOUR, BillingPolicy, compare, evaluate
+from repro.workloads import uniform_random
+
+
+class TestEvaluate:
+    def test_fields(self, simple_items):
+        result = FirstFitPacker().pack(simple_items)
+        metrics = evaluate(result)
+        assert metrics.algorithm == "first-fit"
+        assert metrics.num_items == 3
+        assert metrics.total_usage >= metrics.lower_bound - 1e-9
+        assert metrics.ratio_lb >= 1.0 - 1e-9
+        assert metrics.ratio_opt is None
+
+    def test_with_exact_opt(self, simple_items):
+        result = FirstFitPacker().pack(simple_items)
+        opt = opt_total(simple_items)
+        metrics = evaluate(result, opt=opt)
+        assert metrics.ratio_opt == pytest.approx(metrics.total_usage / opt)
+
+    def test_compare_runs_all(self, simple_items):
+        from repro.algorithms import BestFitPacker
+
+        rows = compare(simple_items, [FirstFitPacker(), BestFitPacker()])
+        assert [m.algorithm for m in rows] == ["first-fit", "best-fit"]
+
+    def test_as_dict_keys(self, simple_items):
+        metrics = evaluate(FirstFitPacker().pack(simple_items))
+        assert set(metrics.as_dict()) >= {"algorithm", "total_usage", "ratio_lb"}
+
+
+class TestJobMapping:
+    def test_normalisation(self):
+        jobs = [Job(0, demand=8.0, arrival=0.0, duration=2.0)]
+        items = jobs_to_items(jobs, server_capacity=32.0)
+        assert items[0].size == pytest.approx(0.25)
+        assert items[0].interval == Interval(0.0, 2.0)
+
+    def test_oversized_job_rejected(self):
+        jobs = [Job(0, demand=40.0, arrival=0.0, duration=1.0)]
+        with pytest.raises(ValidationError):
+            jobs_to_items(jobs, server_capacity=32.0)
+
+    def test_prediction_carried_in_tags(self):
+        jobs = [Job(0, 1.0, arrival=0.0, duration=2.0, predicted_duration=3.0)]
+        items = jobs_to_items(jobs, 4.0)
+        assert items[0].tags["predicted_departure"] == pytest.approx(3.0)
+
+    def test_roundtrip(self):
+        jobs = [
+            Job(0, 2.0, 0.0, 3.0, predicted_duration=2.5, tags={"team": "a"}),
+            Job(1, 4.0, 1.0, 2.0),
+        ]
+        back = items_to_jobs(jobs_to_items(jobs, 8.0), 8.0)
+        assert back[0].demand == pytest.approx(2.0)
+        assert back[0].predicted_duration == pytest.approx(2.5)
+        assert back[0].tags == {"team": "a"}
+        assert back[1].predicted_duration == pytest.approx(2.0)
+
+    def test_job_validation(self):
+        with pytest.raises(ValidationError):
+            Job(0, demand=0.0, arrival=0.0, duration=1.0)
+        with pytest.raises(ValidationError):
+            Job(0, demand=1.0, arrival=0.0, duration=0.0)
+
+
+class TestLeases:
+    def test_one_lease_per_usage_interval(self):
+        items = ItemList(
+            [
+                Item(0, 0.5, Interval(0.0, 1.0)),
+                Item(1, 0.5, Interval(5.0, 6.0)),
+            ]
+        )
+        from repro.core import PackingResult
+
+        packing = PackingResult(items, {0: 0, 1: 0})
+        leases = leases_from_packing(packing)
+        assert len(leases) == 2
+        assert leases[0].duration == pytest.approx(1.0)
+        assert leases[0].job_ids == (0,)
+        assert leases[1].job_ids == (1,)
+
+
+class TestCloudScheduler:
+    def jobs(self) -> list[Job]:
+        return [
+            Job(i, demand=2.0, arrival=0.5 * i, duration=2.0, predicted_duration=2.0)
+            for i in range(12)
+        ]
+
+    def test_schedule_produces_feasible_plan(self):
+        plan = CloudScheduler("first-fit", server_capacity=8.0).schedule(self.jobs())
+        plan.packing.validate()
+        assert plan.num_leases >= 1
+        assert plan.usage_time > 0
+
+    def test_policy_by_name_with_kwargs(self):
+        plan = CloudScheduler(
+            "classify-duration", server_capacity=8.0, alpha=2.0
+        ).schedule(self.jobs())
+        assert "classify-duration" in plan.policy
+
+    def test_policy_by_instance(self):
+        plan = CloudScheduler(FirstFitPacker(), server_capacity=8.0).schedule(self.jobs())
+        assert plan.policy == "first-fit"
+
+    def test_billing_applied(self):
+        plan = CloudScheduler(
+            "first-fit", server_capacity=8.0, billing=PER_HOUR
+        ).schedule(self.jobs())
+        assert plan.billed_cost >= plan.usage_time - 1e-9
+
+    def test_offline_policy_supported(self):
+        plan = CloudScheduler(
+            "duration-descending-first-fit", server_capacity=8.0
+        ).schedule(self.jobs())
+        plan.packing.validate()
+
+    def test_predictions_drive_placement(self):
+        # Mispredicted durations flow through to a clairvoyant policy.
+        jobs = [
+            Job(0, 2.0, 0.0, duration=2.0, predicted_duration=2.0),
+            Job(1, 2.0, 0.0, duration=2.0, predicted_duration=50.0),
+        ]
+        plan = CloudScheduler(
+            "classify-duration", server_capacity=8.0, alpha=2.0
+        ).schedule(jobs)
+        # Misprediction pushes job 1 into a different duration class.
+        assert plan.packing.assignment[0] != plan.packing.assignment[1]
+
+
+class TestPolicyComparison:
+    def test_compare_policies(self):
+        jobs = [Job(i, 1.0, 0.3 * i, 1.5) for i in range(20)]
+        reports = compare_policies(
+            jobs,
+            ["first-fit", "next-fit"],
+            server_capacity=4.0,
+            billings=[PER_HOUR, BillingPolicy()],
+        )
+        assert len(reports) == 2
+        for rep in reports:
+            assert rep.ratio_lb >= 1.0 - 1e-9
+            assert set(rep.costs) == {"per-hour", "exact"}
+            assert set(rep.as_dict()) >= {"policy", "usage_time", "cost[per-hour]"}
+
+    def test_compare_on_items(self):
+        items = uniform_random(30, seed=2)
+        reports = compare_policies_on_items(items, ["first-fit", "best-fit"])
+        assert {r.policy for r in reports} == {"first-fit", "best-fit"}

@@ -1,0 +1,132 @@
+"""Numerical-robustness stress tests: extreme magnitudes and boundary sums.
+
+The packers promise exact feasibility under a 1e-9 capacity tolerance; these
+tests push the float edges — huge absolute times, tiny durations, capacity
+sums built from non-representable decimals, and the exact-Fraction path of
+Dual Coloring under gnarly float inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    ClassifyByDepartureFirstFit,
+    ClassifyByDurationFirstFit,
+    DualColoringPacker,
+    DurationDescendingFirstFit,
+    FirstFitPacker,
+)
+from repro.core import Interval, Item, ItemList
+from repro.workloads import uniform_random
+
+
+class TestExtremeMagnitudes:
+    def test_huge_absolute_times(self):
+        base = 1e12
+        items = ItemList(
+            [
+                Item(i, 0.3, Interval(base + i * 0.5, base + i * 0.5 + 3.0))
+                for i in range(20)
+            ]
+        )
+        for packer in (FirstFitPacker(), DurationDescendingFirstFit()):
+            result = packer.pack(items)
+            result.validate()
+            assert result.total_usage() >= items.span() - 1e-6
+
+    def test_tiny_durations(self):
+        items = ItemList(
+            [Item(i, 0.4, Interval(i * 1e-7, i * 1e-7 + 1e-8)) for i in range(15)]
+        )
+        result = FirstFitPacker().pack(items)
+        result.validate()
+        assert result.total_usage() > 0
+
+    def test_wide_duration_spread(self):
+        # mu = 1e9: classification still terminates with sane category counts.
+        items = ItemList(
+            [
+                Item(0, 0.3, Interval(0.0, 1e-3)),
+                Item(1, 0.3, Interval(0.0, 1e6)),
+                Item(2, 0.3, Interval(0.5, 2.0)),
+            ]
+        )
+        packer = ClassifyByDurationFirstFit(alpha=2.0)
+        result = packer.pack(items)
+        result.validate()
+        assert result.num_bins <= 3
+
+    def test_classify_departure_huge_rho_and_tiny_rho(self):
+        items = uniform_random(20, seed=1)
+        for rho in (1e-6, 1e9):
+            result = ClassifyByDepartureFirstFit(rho=rho).pack(items)
+            result.validate()
+
+
+class TestCapacityBoundaries:
+    def test_ten_tenths_fill_exactly(self):
+        items = ItemList([Item(i, 0.1, Interval(0.0, 1.0)) for i in range(10)])
+        result = FirstFitPacker().pack(items)
+        result.validate()
+        assert result.num_bins == 1  # 10 * 0.1 fits with tolerance
+
+    def test_three_thirds_fill_exactly(self):
+        third = 1.0 / 3.0
+        items = ItemList([Item(i, third, Interval(0.0, 1.0)) for i in range(3)])
+        result = FirstFitPacker().pack(items)
+        assert result.num_bins == 1
+
+    def test_just_over_capacity_splits(self):
+        items = ItemList(
+            [
+                Item(0, 0.5, Interval(0.0, 1.0)),
+                Item(1, 0.5 + 1e-6, Interval(0.0, 1.0)),
+            ]
+        )
+        result = FirstFitPacker().pack(items)
+        result.validate()
+        assert result.num_bins == 2
+
+    def test_decimal_dust_accumulation(self):
+        # 0.1+0.2+0.3+0.4 = 1.0000000000000002 in floats.
+        sizes = [0.1, 0.2, 0.3, 0.4]
+        items = ItemList(
+            [Item(i, s, Interval(0.0, 2.0)) for i, s in enumerate(sizes)]
+        )
+        result = FirstFitPacker().pack(items)
+        result.validate()
+        assert result.num_bins == 1
+
+
+class TestDualColoringNumerics:
+    def test_gnarly_float_sizes_exact_arithmetic(self):
+        # Sizes that are messy in binary; the Fraction path must never
+        # mis-handle altitude equality.
+        sizes = [0.1, 0.3, 0.12345678901234567, 0.499999999, 0.2]
+        items = ItemList(
+            [
+                Item(i, s, Interval(0.2 * i, 0.2 * i + 2.0 + 0.1 * i))
+                for i, s in enumerate(sizes)
+            ]
+        )
+        result = DualColoringPacker(strict=True).pack(items)
+        result.validate()
+
+    def test_identical_items_stack(self):
+        items = ItemList([Item(i, 0.25, Interval(0.0, 1.0)) for i in range(8)])
+        result = DualColoringPacker(strict=True).pack(items)
+        result.validate()
+        # 8 quarters = total size 2.0 => 4 stripes => within-stripe bins only.
+        assert result.num_bins <= 2 * 4 - 1
+
+    def test_huge_times_exact(self):
+        base = 1e9
+        items = ItemList(
+            [
+                Item(i, 0.3, Interval(base + 0.3 * i, base + 0.3 * i + 1.5))
+                for i in range(10)
+            ]
+        )
+        result = DualColoringPacker(strict=True).pack(items)
+        result.validate()

@@ -1,0 +1,83 @@
+"""Tests for the Proposition 1–3 lower bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import opt_total
+from repro.bounds import (
+    OptBounds,
+    best_lower_bound,
+    ceil_size_lower_bound,
+    demand_lower_bound,
+    span_lower_bound,
+)
+from repro.core import Interval, Item, ItemList
+
+from conftest import items_strategy
+
+
+class TestIndividualBounds:
+    def test_demand(self, simple_items):
+        assert demand_lower_bound(simple_items) == pytest.approx(
+            0.5 * 4 + 0.4 * 2 + 0.3 * 4
+        )
+
+    def test_span(self, simple_items):
+        assert span_lower_bound(simple_items) == pytest.approx(6.0)
+
+    def test_ceil_size(self, simple_items):
+        # S(t): [0,1): .5 -> 1; [1,2): .9 -> 1; [2,3): 1.2 -> 2; [3,4): .8 -> 1;
+        # [4,6): .3 -> 1.
+        assert ceil_size_lower_bound(simple_items) == pytest.approx(
+            1 + 1 + 2 + 1 + 2 * 1
+        )
+
+    def test_empty_list(self):
+        empty = ItemList([])
+        assert demand_lower_bound(empty) == 0.0
+        assert span_lower_bound(empty) == 0.0
+        assert ceil_size_lower_bound(empty) == 0.0
+
+
+class TestDominance:
+    """Proposition 3 dominates Propositions 1 and 2 (paper §3.2)."""
+
+    @settings(max_examples=60)
+    @given(items_strategy(max_items=15))
+    def test_ceil_dominates(self, items):
+        ceil = ceil_size_lower_bound(items)
+        assert ceil >= demand_lower_bound(items) - 1e-9
+        assert ceil >= span_lower_bound(items) - 1e-9
+
+    @settings(max_examples=60)
+    @given(items_strategy(max_items=15))
+    def test_best_equals_ceil(self, items):
+        assert best_lower_bound(items) == pytest.approx(
+            ceil_size_lower_bound(items), rel=1e-12
+        )
+
+
+class TestAgainstExactOpt:
+    @settings(max_examples=25, deadline=None)
+    @given(items_strategy(max_items=8))
+    def test_all_bounds_below_opt_total(self, items):
+        opt = opt_total(items)
+        bounds = OptBounds.of(items)
+        assert bounds.demand <= opt + 1e-9
+        assert bounds.span <= opt + 1e-9
+        assert bounds.ceil_size <= opt + 1e-9
+
+    def test_ceil_bound_tight_when_no_fragmentation(self):
+        # Items of size 1 make ceil(S(t)) exactly the bins needed: bound tight.
+        items = ItemList(
+            [Item(0, 1.0, Interval(0.0, 2.0)), Item(1, 1.0, Interval(1.0, 3.0))]
+        )
+        assert ceil_size_lower_bound(items) == pytest.approx(opt_total(items))
+
+
+class TestOptBoundsDataclass:
+    def test_of_and_best(self, simple_items):
+        b = OptBounds.of(simple_items)
+        assert b.best == max(b.demand, b.span, b.ceil_size)

@@ -1,0 +1,146 @@
+"""Unit and property tests for repro.core.packing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core import Interval, Item, ItemList, PackingResult, ValidationError
+
+from conftest import items_strategy, small_sizes
+
+
+def one_bin_packing(items: ItemList) -> PackingResult:
+    return PackingResult(items, {r.id: 0 for r in items}, algorithm="all-in-one")
+
+
+class TestConstruction:
+    def test_assignment_must_cover_items(self, simple_items):
+        with pytest.raises(ValidationError):
+            PackingResult(simple_items, {0: 0, 1: 0})  # item 2 missing
+
+    def test_assignment_must_not_have_extras(self, simple_items):
+        with pytest.raises(ValidationError):
+            PackingResult(simple_items, {0: 0, 1: 0, 2: 0, 99: 1})
+
+    def test_empty_packing(self):
+        result = PackingResult(ItemList([]), {})
+        assert result.total_usage() == 0.0
+        assert result.num_bins == 0
+        assert result.max_open_bins() == 0
+
+
+class TestValidation:
+    def test_feasible_passes(self, disjoint_items):
+        one_bin_packing(disjoint_items).validate()
+
+    def test_overflow_detected(self):
+        items = ItemList(
+            [Item(0, 0.7, Interval(0.0, 2.0)), Item(1, 0.7, Interval(1.0, 3.0))]
+        )
+        result = one_bin_packing(items)
+        with pytest.raises(ValidationError, match="overflows"):
+            result.validate()
+        assert not result.is_feasible()
+
+    def test_exact_capacity_is_feasible(self):
+        items = ItemList(
+            [Item(0, 0.5, Interval(0.0, 2.0)), Item(1, 0.5, Interval(0.0, 2.0))]
+        )
+        assert one_bin_packing(items).is_feasible()
+
+    def test_float_dust_tolerated(self):
+        items = ItemList([Item(i, 0.1, Interval(0.0, 1.0)) for i in range(10)])
+        assert one_bin_packing(items).is_feasible()
+
+
+class TestObjective:
+    def test_total_usage_single_bin(self, simple_items):
+        assert one_bin_packing(simple_items).total_usage() == pytest.approx(6.0)
+
+    def test_total_usage_split_bins(self, simple_items):
+        result = PackingResult(simple_items, {0: 0, 1: 1, 2: 2})
+        assert result.total_usage() == pytest.approx(4.0 + 2.0 + 4.0)
+
+    def test_per_bin_usage(self, simple_items):
+        result = PackingResult(simple_items, {0: 0, 1: 1, 2: 0})
+        usage = result.per_bin_usage()
+        assert usage[0] == pytest.approx(6.0)
+        assert usage[1] == pytest.approx(2.0)
+
+    def test_open_bins_profile(self, simple_items):
+        result = PackingResult(simple_items, {0: 0, 1: 1, 2: 2})
+        assert result.open_bins_at(1.5) == 2  # bins 0 and 1
+        assert result.open_bins_at(2.5) == 3
+        assert result.open_bins_at(5.0) == 1
+        assert result.max_open_bins() == 3
+
+    def test_utilization(self, simple_items):
+        result = one_bin_packing(simple_items)
+        assert result.utilization() == pytest.approx(
+            simple_items.total_demand() / 6.0
+        )
+
+    def test_bin_usage_over_window(self, simple_items):
+        result = one_bin_packing(simple_items)
+        assert result.bin_usage_over(Interval(0.0, 2.0)) == pytest.approx(2.0)
+
+    def test_stats_fields(self, simple_items):
+        stats = one_bin_packing(simple_items).stats()
+        assert stats.algorithm == "all-in-one"
+        assert stats.num_items == 3
+        assert stats.num_bins == 1
+        assert stats.total_usage == pytest.approx(6.0)
+        d = stats.as_dict()
+        assert set(d) >= {"algorithm", "num_bins", "total_usage", "utilization"}
+
+
+class TestPackingProperties:
+    @given(items_strategy(max_items=8))
+    def test_singleton_bins_usage_is_duration_sum(self, items):
+        result = PackingResult(items, {r.id: i for i, r in enumerate(items)})
+        assert result.total_usage() == pytest.approx(
+            sum(r.duration for r in items), rel=1e-9
+        )
+
+    @given(items_strategy(max_items=8))
+    def test_usage_bounded_by_span_and_duration_sum(self, items):
+        result = PackingResult(items, {r.id: r.id % 3 for r in items})
+        usage = result.total_usage()
+        assert usage >= items.span() - 1e-9
+        assert usage <= sum(r.duration for r in items) + 1e-9
+
+    @given(items_strategy(max_items=8))
+    def test_open_bins_profile_integral_is_usage(self, items):
+        result = PackingResult(items, {r.id: r.id % 3 for r in items})
+        assert result.open_bins_profile().integral() == pytest.approx(
+            result.total_usage(), rel=1e-9
+        )
+
+    @given(items_strategy(max_items=8, size_strategy=small_sizes))
+    def test_singleton_bins_always_feasible(self, items):
+        result = PackingResult(items, {r.id: i for i, r in enumerate(items)})
+        result.validate()
+
+
+class TestPackingSerialisation:
+    def test_record_roundtrip(self, simple_items):
+        result = PackingResult(simple_items, {0: 0, 1: 1, 2: 0}, algorithm="x")
+        restored = PackingResult.from_record(result.to_record())
+        assert restored.assignment == result.assignment
+        assert restored.items == result.items
+        assert restored.algorithm == "x"
+        assert restored.total_usage() == pytest.approx(result.total_usage())
+
+    def test_json_roundtrip(self, simple_items):
+        result = PackingResult(simple_items, {0: 0, 1: 1, 2: 0})
+        restored = PackingResult.from_json(result.to_json())
+        assert restored.assignment == result.assignment
+
+    def test_roundtrip_preserves_feasibility_verdict(self):
+        items = ItemList(
+            [Item(0, 0.7, Interval(0.0, 2.0)), Item(1, 0.7, Interval(1.0, 3.0))]
+        )
+        infeasible = PackingResult(items, {0: 0, 1: 0})
+        restored = PackingResult.from_json(infeasible.to_json())
+        assert not restored.is_feasible()

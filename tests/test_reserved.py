@@ -1,0 +1,84 @@
+"""Tests for the reserved-capacity planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import FirstFitPacker
+from repro.cloud import ReservedPricing, optimize_reservation
+from repro.core import Interval, Item, ItemList, PackingResult, ValidationError
+from repro.workloads import gaming_sessions
+
+
+def constant_load_packing(bins: int, duration: float) -> PackingResult:
+    """``bins`` servers continuously busy for ``duration``."""
+    items = [Item(i, 0.9, Interval(0.0, duration)) for i in range(bins)]
+    return PackingResult(ItemList(items), {i: i for i in range(bins)})
+
+
+class TestPricing:
+    def test_rates_validated(self):
+        with pytest.raises(ValidationError):
+            ReservedPricing(ondemand_rate=0.0)
+        with pytest.raises(ValidationError):
+            ReservedPricing(ondemand_rate=1.0, reserved_rate=1.5)
+
+    def test_equal_rates_allowed(self):
+        ReservedPricing(ondemand_rate=1.0, reserved_rate=1.0)
+
+
+class TestOptimizeReservation:
+    def test_constant_load_fully_reserved(self):
+        packing = constant_load_packing(bins=3, duration=10.0)
+        plan = optimize_reservation(packing, ReservedPricing(1.0, 0.6))
+        assert plan.num_reserved == 3
+        assert plan.total_cost == pytest.approx(3 * 0.6 * 10.0)
+        assert plan.savings == pytest.approx(3 * 10.0 * 0.4)
+
+    def test_pure_burst_stays_on_demand(self):
+        # One short spike in a long horizon: reserving for the whole horizon
+        # costs more than paying on-demand for the spike.
+        items = ItemList(
+            [
+                Item(0, 0.9, Interval(0.0, 100.0)),  # base load (1 server)
+                Item(1, 0.9, Interval(50.0, 51.0)),  # 1-hour burst
+            ]
+        )
+        packing = PackingResult(items, {0: 0, 1: 1})
+        plan = optimize_reservation(packing, ReservedPricing(1.0, 0.6))
+        assert plan.num_reserved == 1  # the base load only
+        assert plan.ondemand_cost == pytest.approx(1.0)
+
+    def test_empty_packing(self):
+        plan = optimize_reservation(PackingResult(ItemList([]), {}))
+        assert plan.num_reserved == 0
+        assert plan.total_cost == 0.0
+        assert plan.savings_fraction == 0.0
+
+    def test_optimum_beats_all_alternatives(self):
+        items = gaming_sessions(200, seed=3)
+        packing = FirstFitPacker().pack(items)
+        pricing = ReservedPricing(1.0, 0.5)
+        plan = optimize_reservation(packing, pricing)
+        profile = packing.open_bins_profile()
+        segments = list(profile.segments())
+        horizon = plan.horizon
+        for r in range(0, packing.max_open_bins() + 1):
+            cost = r * pricing.reserved_rate * horizon + pricing.ondemand_rate * sum(
+                (right - left) * max(0.0, v - r) for left, right, v in segments
+            )
+            assert plan.total_cost <= cost + 1e-9
+
+    def test_reservation_never_loses_money(self):
+        items = gaming_sessions(150, seed=4)
+        packing = FirstFitPacker().pack(items)
+        plan = optimize_reservation(packing)
+        assert plan.total_cost <= plan.all_ondemand_cost + 1e-9
+        assert 0.0 <= plan.savings_fraction <= 1.0
+
+    def test_equal_rates_prefer_zero_reservation(self):
+        # With no discount, reserving has no upside (strictly worse off-peak).
+        items = gaming_sessions(100, seed=5)
+        packing = FirstFitPacker().pack(items)
+        plan = optimize_reservation(packing, ReservedPricing(1.0, 1.0))
+        assert plan.num_reserved == 0

@@ -1,0 +1,50 @@
+"""Tests for the automated worst-case instance search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import FirstFitPacker, NextFitPacker, opt_total
+from repro.bounds import find_bad_instance, first_fit_ratio, next_fit_ratio
+from repro.core import ValidationError
+
+
+class TestFindBadInstance:
+    def test_returns_consistent_ratio(self):
+        result = find_bad_instance(
+            FirstFitPacker, n_items=6, iterations=40, seed=3, restarts=1
+        )
+        usage = FirstFitPacker().pack(result.items).total_usage()
+        assert usage / opt_total(result.items) == pytest.approx(result.ratio)
+
+    def test_deterministic_given_seed(self):
+        a = find_bad_instance(FirstFitPacker, n_items=6, iterations=30, seed=7, restarts=1)
+        b = find_bad_instance(FirstFitPacker, n_items=6, iterations=30, seed=7, restarts=1)
+        assert a.ratio == pytest.approx(b.ratio)
+        assert a.items == b.items
+
+    def test_search_beats_random_baseline(self):
+        from repro.analysis import measured_ratio
+        from repro.workloads import uniform_random
+
+        result = find_bad_instance(
+            FirstFitPacker, n_items=8, iterations=120, seed=1, restarts=2
+        )
+        random_ratio = measured_ratio(
+            FirstFitPacker(), uniform_random(8, seed=1)
+        ).ratio
+        assert result.ratio > random_ratio
+
+    def test_found_ratios_respect_theorems(self):
+        ff = find_bad_instance(FirstFitPacker, n_items=8, iterations=80, seed=2, restarts=2)
+        assert ff.ratio <= first_fit_ratio(ff.items.mu()) + 1e-9
+        nf = find_bad_instance(NextFitPacker, n_items=8, iterations=80, seed=2, restarts=2)
+        assert nf.ratio <= next_fit_ratio(nf.items.mu()) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            find_bad_instance(FirstFitPacker, n_items=1)
+        with pytest.raises(ValidationError):
+            find_bad_instance(FirstFitPacker, iterations=0)
+        with pytest.raises(ValidationError):
+            find_bad_instance(FirstFitPacker, min_duration=0.0)

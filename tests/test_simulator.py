@@ -1,0 +1,130 @@
+"""Tests for the event-driven simulator and noisy clairvoyance."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    ClassifyByDepartureFirstFit,
+    ClassifyByDurationFirstFit,
+    FirstFitPacker,
+)
+from repro.core import Interval, Item, ItemList, ValidationError
+from repro.simulation import Simulator, perfect_estimator
+
+from conftest import items_strategy
+
+
+class TestPerfectClairvoyance:
+    def test_matches_direct_pack(self, simple_items):
+        packer = FirstFitPacker()
+        direct = packer.pack(simple_items).assignment
+        sim = Simulator(FirstFitPacker()).run(simple_items)
+        assert sim.packing.assignment == direct
+
+    def test_explicit_perfect_estimator_identical(self, simple_items):
+        a = Simulator(FirstFitPacker()).run(simple_items).packing.assignment
+        b = (
+            Simulator(FirstFitPacker())
+            .run(simple_items, perfect_estimator)
+            .packing.assignment
+        )
+        assert a == b
+
+    @settings(max_examples=25)
+    @given(items_strategy(max_items=12))
+    def test_matches_direct_pack_random(self, items):
+        direct = ClassifyByDurationFirstFit(alpha=2.0).pack(items).assignment
+        sim = Simulator(ClassifyByDurationFirstFit(alpha=2.0)).run(items)
+        assert sim.packing.assignment == direct
+
+    def test_zero_prediction_error(self, simple_items):
+        sim = Simulator(FirstFitPacker()).run(simple_items)
+        assert sim.mean_absolute_prediction_error() == 0.0
+        assert sim.num_placements == len(simple_items)
+
+
+class TestNoisyClairvoyance:
+    def test_bins_track_actual_occupancy(self):
+        # The estimator wildly over-predicts item 0's stay; the bin must
+        # still be seen as CLOSED at t=2 (actual departure was 1), so item 1
+        # opens a new bin rather than being refused.
+        items = ItemList(
+            [
+                Item(0, 0.9, Interval(0.0, 1.0)),
+                Item(1, 0.9, Interval(2.0, 3.0)),
+            ]
+        )
+
+        def overpredict(item: Item) -> float:
+            return item.departure + 100.0 if item.id == 0 else item.departure
+
+        sim = Simulator(FirstFitPacker()).run(items, overpredict)
+        sim.packing.validate()  # actual intervals are feasible
+        assert sim.packing.assignment[0] != sim.packing.assignment[1]
+
+    def test_underprediction_cannot_overflow_reality(self):
+        # Item 0 predicted to leave before item 1 arrives, but actually stays:
+        # arrival-instant levels use actual occupancy, so item 1 must not be
+        # co-located beyond capacity.
+        items = ItemList(
+            [
+                Item(0, 0.6, Interval(0.0, 10.0)),
+                Item(1, 0.6, Interval(5.0, 8.0)),
+            ]
+        )
+
+        def underpredict(item: Item) -> float:
+            return item.arrival + 0.1 if item.id == 0 else item.departure
+
+        sim = Simulator(FirstFitPacker()).run(items, underpredict)
+        sim.packing.validate()
+        assert sim.packing.assignment[0] != sim.packing.assignment[1]
+
+    def test_misprediction_changes_classification(self):
+        # Two co-departing items get split when one's prediction lands in a
+        # different departure window.
+        items = ItemList(
+            [
+                Item(0, 0.3, Interval(0.0, 4.0)),
+                Item(1, 0.3, Interval(0.0, 4.0)),
+            ]
+        )
+        sim_perfect = Simulator(ClassifyByDepartureFirstFit(rho=5.0)).run(items)
+        assert sim_perfect.packing.assignment[0] == sim_perfect.packing.assignment[1]
+
+        def skew(item: Item) -> float:
+            return item.departure + (10.0 if item.id == 1 else 0.0)
+
+        sim_noisy = Simulator(ClassifyByDepartureFirstFit(rho=5.0)).run(items, skew)
+        assert sim_noisy.packing.assignment[0] != sim_noisy.packing.assignment[1]
+
+    def test_prediction_clamped_after_arrival(self):
+        items = ItemList([Item(0, 0.3, Interval(5.0, 6.0))])
+        sim = Simulator(ClassifyByDepartureFirstFit(rho=1.0)).run(
+            items, lambda r: r.arrival - 10.0
+        )
+        assert sim.predicted_departures[0] > 5.0
+
+    def test_nan_prediction_rejected(self):
+        items = ItemList([Item(0, 0.3, Interval(0.0, 1.0))])
+        with pytest.raises(ValidationError):
+            Simulator(FirstFitPacker()).run(items, lambda r: float("nan"))
+
+    def test_mean_absolute_error_reported(self):
+        items = ItemList(
+            [Item(0, 0.3, Interval(0.0, 1.0)), Item(1, 0.3, Interval(0.0, 2.0))]
+        )
+        sim = Simulator(FirstFitPacker()).run(items, lambda r: r.departure + 1.0)
+        assert sim.mean_absolute_prediction_error() == pytest.approx(1.0)
+
+    @settings(max_examples=25)
+    @given(items_strategy(max_items=12))
+    def test_noisy_runs_always_feasible(self, items):
+        from repro.analysis import noisy_estimator
+
+        sim = Simulator(ClassifyByDurationFirstFit(alpha=2.0)).run(
+            items, noisy_estimator(0.8, seed=1)
+        )
+        sim.packing.validate()

@@ -1,0 +1,95 @@
+"""Soak tests: larger instances than the unit tests, still CI-friendly.
+
+These push each subsystem at 5-20x the unit-test scale to catch anything
+that only shows up with volume (quadratic blow-ups, state leaks across
+categories, validation at thousands of event times).  Budget: tens of
+seconds for the whole module.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    ClassifyByDepartureFirstFit,
+    ClassifyByDurationFirstFit,
+    DualColoringPacker,
+    DurationDescendingFirstFit,
+    FirstFitPacker,
+)
+from repro.analysis import theorem1_decomposition, theorem4_stage_decomposition
+from repro.bounds import best_lower_bound, retention_instance
+from repro.core.stepfun import iceil
+from repro.workloads import cluster_tasks, gaming_sessions, uniform_random
+
+
+class TestLargeOnline:
+    def test_first_fit_two_thousand_items(self):
+        items = uniform_random(2000, seed=1, arrival_span=1000.0)
+        result = FirstFitPacker().pack(items)
+        result.validate()
+        assert result.total_usage() >= best_lower_bound(items) - 1e-6
+
+    def test_classification_thousand_items(self):
+        items = uniform_random(1000, seed=2, arrival_span=400.0)
+        for packer in (
+            ClassifyByDurationFirstFit(alpha=2.0),
+            ClassifyByDepartureFirstFit(rho=5.0),
+        ):
+            result = packer.pack(items)
+            result.validate()
+
+    def test_cluster_week_workload(self):
+        items = cluster_tasks(400, seed=3)
+        result = FirstFitPacker().pack(items)
+        result.validate()
+        assert result.utilization() > 0.2
+
+
+class TestLargeOffline:
+    def test_ddff_thousand_items_with_theorem1_bound(self):
+        items = uniform_random(1000, seed=4, arrival_span=300.0)
+        result = DurationDescendingFirstFit().pack(items)
+        result.validate()
+        assert result.total_usage() < 4 * items.total_demand() + items.span() + 1e-6
+
+    def test_dual_coloring_three_hundred_items_strict(self):
+        items = uniform_random(300, seed=5, arrival_span=150.0)
+        result = DualColoringPacker(strict=True).pack(items)
+        result.validate()
+        profile = result.open_bins_profile()
+        size_profile = items.size_profile()
+        for left, _right, count in profile.segments():
+            assert count <= 4 * iceil(size_profile.value_at(left)) + 1e-9
+
+
+class TestLargeInstrumentation:
+    def test_theorem1_decomposition_at_scale(self):
+        items = uniform_random(400, seed=6, size_range=(0.2, 0.9), arrival_span=120.0)
+        result = DurationDescendingFirstFit().pack(items)
+        analyses = theorem1_decomposition(result)
+        assert len(analyses) >= 5
+        for a in analyses:
+            a.check()
+
+    def test_theorem4_stages_at_scale(self):
+        items = uniform_random(500, seed=7, arrival_span=200.0)
+        for a in theorem4_stage_decomposition(items, rho=5.0):
+            a.check()
+
+
+class TestLargeAdversarial:
+    def test_retention_hundred_phases(self):
+        items = retention_instance(mu=50.0, phases=90, eps=0.01)
+        ff = FirstFitPacker().pack(items)
+        cd = ClassifyByDurationFirstFit.with_known_durations(1.0, 50.0).pack(items)
+        ff.validate()
+        cd.validate()
+        ratio_gap = ff.total_usage() / cd.total_usage()
+        assert ratio_gap > 15.0  # the trap scales with phases
+
+    def test_gaming_five_thousand_sessions(self):
+        items = gaming_sessions(5000, seed=8, horizon_hours=168.0)
+        result = FirstFitPacker().pack(items)
+        result.validate()
+        assert result.max_open_bins() >= 1

@@ -1,0 +1,272 @@
+"""Unit and property tests for repro.core.stepfun."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Interval, StepFunction, ValidationError
+from repro.core.stepfun import iceil
+
+
+class TestIceil:
+    def test_exact_integer(self):
+        assert iceil(3.0) == 3
+
+    def test_just_above_integer_forgiven(self):
+        assert iceil(3.0 + 1e-12) == 3
+
+    def test_just_below_integer_forgiven(self):
+        assert iceil(3.0 - 1e-12) == 3
+
+    def test_real_fraction_rounds_up(self):
+        assert iceil(3.1) == 4
+
+    def test_zero(self):
+        assert iceil(0.0) == 0
+
+    def test_negative(self):
+        assert iceil(-0.5) == 0
+        assert iceil(-1.2) == -1
+
+    def test_float_sum_noise(self):
+        assert iceil(sum([0.1] * 10)) == 1  # 0.1*10 != 1.0 exactly
+
+
+class TestStepFunctionBasics:
+    def test_empty_function_is_zero(self):
+        f = StepFunction()
+        assert f.value_at(0.0) == 0.0
+        assert f.integral() == 0.0
+        assert f.max_value() == 0.0
+        assert not f
+
+    def test_single_rectangle(self):
+        f = StepFunction()
+        f.add(Interval(1.0, 3.0), 0.5)
+        assert f.value_at(0.0) == 0.0
+        assert f.value_at(1.0) == 0.5  # left endpoint included
+        assert f.value_at(2.0) == 0.5
+        assert f.value_at(3.0) == 0.0  # right endpoint excluded
+        assert f.integral() == pytest.approx(1.0)
+
+    def test_overlapping_rectangles_sum(self):
+        f = StepFunction()
+        f.add(Interval(0.0, 2.0), 1.0)
+        f.add(Interval(1.0, 3.0), 2.0)
+        assert f.value_at(0.5) == 1.0
+        assert f.value_at(1.5) == 3.0
+        assert f.value_at(2.5) == 2.0
+
+    def test_add_range_rejects_empty(self):
+        f = StepFunction()
+        with pytest.raises(ValidationError):
+            f.add_range(1.0, 1.0, 2.0)
+
+    def test_zero_height_noop(self):
+        f = StepFunction()
+        f.add_range(0.0, 1.0, 0.0)
+        assert not f
+
+    def test_remove_cancels_add(self):
+        f = StepFunction()
+        f.add(Interval(0.0, 2.0), 1.5)
+        f.remove(Interval(0.0, 2.0), 1.5)
+        assert not f  # zero deltas are dropped
+        assert f.value_at(1.0) == 0.0
+
+    def test_breakpoints_sorted_unique(self):
+        f = StepFunction()
+        f.add(Interval(0.0, 2.0), 1.0)
+        f.add(Interval(1.0, 2.0), 1.0)
+        assert list(f.breakpoints) == [0.0, 1.0, 2.0]
+
+
+class TestStepFunctionQueries:
+    def make(self) -> StepFunction:
+        f = StepFunction()
+        f.add(Interval(0.0, 4.0), 1.0)
+        f.add(Interval(1.0, 2.0), 2.0)
+        return f
+
+    def test_segments(self):
+        segs = list(self.make().segments())
+        assert segs == [(0.0, 1.0, 1.0), (1.0, 2.0, 3.0), (2.0, 4.0, 1.0)]
+
+    def test_max_over_full(self):
+        assert self.make().max_over(Interval(0.0, 4.0)) == 3.0
+
+    def test_max_over_partial(self):
+        assert self.make().max_over(Interval(2.0, 4.0)) == 1.0
+
+    def test_max_over_straddling(self):
+        assert self.make().max_over(Interval(0.5, 1.5)) == 3.0
+
+    def test_max_over_outside_support(self):
+        assert self.make().max_over(Interval(10.0, 11.0)) == 0.0
+
+    def test_max_over_before_support(self):
+        assert self.make().max_over(Interval(-5.0, -1.0)) == 0.0
+
+    def test_max_over_excludes_right_boundary_jump(self):
+        # Max over [0, 1): the jump to 3 happens AT 1, which is excluded.
+        assert self.make().max_over(Interval(0.0, 1.0)) == 1.0
+
+    def test_max_value(self):
+        assert self.make().max_value() == 3.0
+
+    def test_integral(self):
+        assert self.make().integral() == pytest.approx(4.0 + 2.0)
+
+    def test_integral_over_window(self):
+        assert self.make().integral_over(Interval(0.5, 1.5)) == pytest.approx(
+            0.5 * 1.0 + 0.5 * 3.0
+        )
+
+    def test_integral_ceil(self):
+        f = StepFunction()
+        f.add(Interval(0.0, 2.0), 0.3)  # ceil -> 1
+        f.add(Interval(1.0, 2.0), 1.0)  # 1.3 -> 2
+        assert f.integral_ceil() == pytest.approx(1.0 * 1 + 1.0 * 2)
+
+    def test_support_measure(self):
+        f = StepFunction()
+        f.add(Interval(0.0, 1.0), 1.0)
+        f.add(Interval(5.0, 7.0), 0.2)
+        assert f.support_measure() == pytest.approx(3.0)
+
+    def test_support_intervals_merges_contiguous(self):
+        f = StepFunction()
+        f.add(Interval(0.0, 1.0), 1.0)
+        f.add(Interval(1.0, 2.0), 2.0)
+        assert f.support_intervals() == [Interval(0.0, 2.0)]
+
+    def test_support_intervals_gaps(self):
+        f = StepFunction()
+        f.add(Interval(0.0, 1.0), 1.0)
+        f.add(Interval(3.0, 4.0), 1.0)
+        assert f.support_intervals() == [Interval(0.0, 1.0), Interval(3.0, 4.0)]
+
+    def test_sample_vectorised(self):
+        f = self.make()
+        values = f.sample([-1.0, 0.5, 1.5, 3.0, 9.0])
+        assert list(values) == [0.0, 1.0, 3.0, 1.0, 0.0]
+
+    def test_copy_is_independent(self):
+        f = self.make()
+        g = f.copy()
+        g.add(Interval(0.0, 1.0), 10.0)
+        assert f.max_value() == 3.0
+        assert g.max_value() == 11.0
+
+
+rect = st.tuples(
+    st.floats(min_value=-20, max_value=20, allow_nan=False),
+    st.floats(min_value=0.01, max_value=10, allow_nan=False),
+    st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+)
+
+
+class TestStepFunctionProperties:
+    @given(st.lists(rect, min_size=1, max_size=15))
+    def test_integral_equals_sum_of_areas(self, rects):
+        f = StepFunction()
+        area = 0.0
+        for left, width, height in rects:
+            f.add_range(left, left + width, height)
+            area += width * height
+        assert f.integral() == pytest.approx(area, rel=1e-9)
+
+    @given(st.lists(rect, min_size=1, max_size=15))
+    def test_max_over_agrees_with_dense_sampling(self, rects):
+        f = StepFunction()
+        for left, width, height in rects:
+            f.add_range(left, left + width, height)
+        lo = min(r[0] for r in rects)
+        hi = max(r[0] + r[1] for r in rects)
+        window = Interval(lo, hi)
+        # Sample at all breakpoints inside the window plus the left edge.
+        pts = [t for t in f.breakpoints if lo <= t < hi] + [lo]
+        expected = max(f.value_at(t) for t in pts)
+        assert f.max_over(window) == pytest.approx(max(expected, 0.0))
+
+    @given(st.lists(rect, min_size=1, max_size=15))
+    def test_ceil_integral_dominates_integral(self, rects):
+        f = StepFunction()
+        for left, width, height in rects:
+            f.add_range(left, left + width, height)
+        assert f.integral_ceil() >= f.integral() - 1e-9
+
+    @given(st.lists(rect, min_size=1, max_size=15))
+    def test_support_measure_le_breakpoint_range(self, rects):
+        f = StepFunction()
+        for left, width, height in rects:
+            f.add_range(left, left + width, height)
+        bps = f.breakpoints
+        assert f.support_measure() <= (bps[-1] - bps[0]) + 1e-9
+
+    @given(st.lists(rect, min_size=1, max_size=10))
+    def test_add_then_remove_everything_returns_to_zero(self, rects):
+        f = StepFunction()
+        for left, width, height in rects:
+            f.add_range(left, left + width, height)
+        for left, width, height in rects:
+            f.add_range(left, left + width, -height)
+        xs = np.linspace(-25, 35, 50)
+        assert np.allclose(f.sample(xs), 0.0, atol=1e-9)
+
+
+class TestStepFunctionAlgebra:
+    def make_pair(self):
+        f = StepFunction()
+        f.add(Interval(0.0, 4.0), 1.0)
+        g = StepFunction()
+        g.add(Interval(2.0, 6.0), 2.0)
+        return f, g
+
+    def test_add_pointwise(self):
+        f, g = self.make_pair()
+        h = f + g
+        assert h.value_at(1.0) == 1.0
+        assert h.value_at(3.0) == 3.0
+        assert h.value_at(5.0) == 2.0
+        # Operands untouched.
+        assert f.value_at(3.0) == 1.0
+
+    def test_add_integral_is_sum(self):
+        f, g = self.make_pair()
+        assert (f + g).integral() == pytest.approx(f.integral() + g.integral())
+
+    def test_scaled(self):
+        f, _ = self.make_pair()
+        assert f.scaled(2.5).value_at(1.0) == pytest.approx(2.5)
+        assert f.scaled(0.0).integral() == 0.0
+        assert not f.scaled(0.0)
+
+    def test_shifted(self):
+        f, _ = self.make_pair()
+        s = f.shifted(10.0)
+        assert s.value_at(1.0) == 0.0
+        assert s.value_at(11.0) == 1.0
+        assert s.integral() == pytest.approx(f.integral())
+
+    def test_clipped(self):
+        f, g = self.make_pair()
+        h = (f + g).clipped(Interval(2.5, 5.0))
+        assert h.value_at(1.0) == 0.0
+        assert h.value_at(3.0) == 3.0
+        assert h.integral() == pytest.approx((f + g).integral_over(Interval(2.5, 5.0)))
+
+    @given(st.lists(rect, min_size=1, max_size=8), st.lists(rect, min_size=1, max_size=8))
+    def test_add_commutes(self, ra, rb):
+        f, g = StepFunction(), StepFunction()
+        for left, width, height in ra:
+            f.add_range(left, left + width, height)
+        for left, width, height in rb:
+            g.add_range(left, left + width, height)
+        import numpy as np
+
+        xs = np.linspace(-25, 35, 40)
+        assert np.allclose((f + g).sample(xs), (g + f).sample(xs), atol=1e-9)

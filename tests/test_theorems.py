@@ -1,0 +1,190 @@
+"""Property tests pinning every *provable* inequality in the paper.
+
+The approximation/competitive ratios proper compare against ``OPT_total``,
+which we can only solve exactly for small instances; but each proof goes
+through intermediate inequalities stated purely in terms of ``d(R)``,
+``span(R)`` and ``S(t)``, and those are machine-checkable on any instance.
+This module asserts them all, on random and adversarial workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    ClassifyByDepartureFirstFit,
+    ClassifyByDurationFirstFit,
+    DualColoringPacker,
+    DurationDescendingFirstFit,
+    FirstFitPacker,
+    NextFitPacker,
+    opt_total,
+)
+from repro.algorithms.classify_duration import duration_category
+from repro.bounds import (
+    classify_departure_ratio,
+    classify_duration_ratio,
+    first_fit_ratio,
+    next_fit_ratio,
+)
+from repro.core import ItemList
+from repro.core.stepfun import iceil
+from repro.workloads import bounded_mu, uniform_random
+
+from conftest import items_strategy, small_sizes
+
+
+def spans_of_categories(items: ItemList, key) -> float:
+    return sum(sub.span() for sub in items.partition(key).values())
+
+
+class TestTheorem1DDFF:
+    """Usage < 4·d(R) + span(R), hence ≤ 5·OPT (Theorem 1)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(items_strategy(max_items=18))
+    def test_intermediate_inequality(self, items):
+        usage = DurationDescendingFirstFit().pack(items).total_usage()
+        assert usage < 4 * items.total_demand() + items.span() + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(items_strategy(max_items=8))
+    def test_five_approx_vs_exact_opt(self, items):
+        usage = DurationDescendingFirstFit().pack(items).total_usage()
+        assert usage <= 5 * opt_total(items) + 1e-9
+
+    def test_on_generated_workloads(self):
+        for seed in range(5):
+            items = uniform_random(80, seed=seed, size_range=(0.05, 1.0))
+            usage = DurationDescendingFirstFit().pack(items).total_usage()
+            assert usage < 4 * items.total_demand() + items.span() + 1e-9
+
+
+class TestTheorem2DualColoring:
+    """Open bins ≤ 4·⌈S(t)⌉ at every time, hence ≤ 4·OPT (Theorem 2)."""
+
+    def check_bin_bound(self, items: ItemList) -> None:
+        result = DualColoringPacker().pack(items)
+        result.validate()
+        profile = result.open_bins_profile()
+        size_profile = items.size_profile()
+        for left, _right, count in profile.segments():
+            assert count <= 4 * iceil(size_profile.value_at(left)) + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(items_strategy(max_items=12))
+    def test_bin_bound_on_random(self, items):
+        self.check_bin_bound(items)
+
+    @settings(max_examples=15, deadline=None)
+    @given(items_strategy(max_items=8))
+    def test_four_approx_vs_exact_opt(self, items):
+        usage = DualColoringPacker().pack(items).total_usage()
+        assert usage <= 4 * opt_total(items) + 1e-9
+
+    def test_on_generated_workloads(self):
+        for seed in range(3):
+            items = uniform_random(60, seed=seed, size_range=(0.05, 1.0))
+            self.check_bin_bound(items)
+
+
+class TestFirstFitTangBound:
+    """Tang et al. [24]: FF usage ≤ (μ+3)·d(R) + span(R) — the inequality
+    the classify-by-duration analysis builds on (paper §5.3)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(items_strategy(max_items=18))
+    def test_intermediate_inequality(self, items):
+        usage = FirstFitPacker().pack(items).total_usage()
+        mu = items.mu()
+        assert usage <= (mu + 3) * items.total_demand() + items.span() + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(items_strategy(max_items=8))
+    def test_mu_plus_4_vs_exact_opt(self, items):
+        usage = FirstFitPacker().pack(items).total_usage()
+        assert usage <= (items.mu() + 4) * opt_total(items) + 1e-9
+
+
+class TestNextFitKamaliBound:
+    """Kamali & López-Ortiz [13]: Next Fit ≤ (2μ+1)·OPT."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(items_strategy(max_items=8))
+    def test_vs_exact_opt(self, items):
+        usage = NextFitPacker().pack(items).total_usage()
+        assert usage <= next_fit_ratio(items.mu()) * opt_total(items) + 1e-9
+
+
+class TestTheorem5ClassifyDuration:
+    """Per-category FF bound summed: usage ≤ (α+3)·d(R) + (#categories)·span(R)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(items_strategy(max_items=15))
+    def test_intermediate_inequality(self, items):
+        alpha = 2.0
+        packer = ClassifyByDurationFirstFit(alpha=alpha)
+        usage = packer.pack(items).total_usage()
+        categories = {
+            duration_category(r.duration, items[0].duration, alpha) for r in items
+        }
+        bound = (alpha + 3) * items.total_demand() + len(categories) * items.span()
+        assert usage <= bound + 1e-9
+
+    @settings(max_examples=12, deadline=None)
+    @given(items_strategy(max_items=8))
+    def test_ratio_vs_exact_opt(self, items):
+        alpha = 2.0
+        usage = ClassifyByDurationFirstFit(alpha=alpha).pack(items).total_usage()
+        assert usage <= classify_duration_ratio(items.mu(), alpha) * opt_total(items) + 1e-9
+
+
+class TestTheorem4ClassifyDeparture:
+    """Ratio ≤ ρ/Δ + μΔ/ρ + 3 against the exact adversary."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(items_strategy(max_items=8))
+    def test_ratio_vs_exact_opt(self, items):
+        rho = 2.0
+        usage = ClassifyByDepartureFirstFit(rho=rho).pack(items).total_usage()
+        bound = classify_departure_ratio(items.mu(), items.min_duration(), rho)
+        assert usage <= bound * opt_total(items) + 1e-9
+
+    def test_ratio_on_bounded_mu_workloads(self):
+        for mu in (2.0, 8.0, 32.0):
+            for seed in range(3):
+                items = bounded_mu(40, seed=seed, mu=mu)
+                delta = items.min_duration()
+                packer = ClassifyByDepartureFirstFit.with_known_durations(delta, mu)
+                usage = packer.pack(items).total_usage()
+                bound = classify_departure_ratio(mu, delta, packer.rho)
+                assert usage <= bound * opt_total(items) + 1e-9
+
+
+class TestMeasuredRatiosRespectTheorems:
+    """End-to-end: measured ratios on realistic workloads stay within every
+    theorem's bound (with exact OPT denominators)."""
+
+    @pytest.mark.parametrize("mu", [2.0, 10.0])
+    def test_all_algorithms(self, mu):
+        items = bounded_mu(35, seed=99, mu=mu, size_range=(0.05, 0.5))
+        opt = opt_total(items)
+        delta = items.min_duration()
+        checks = [
+            (DurationDescendingFirstFit(), 5.0),
+            (DualColoringPacker(), 4.0),
+            (FirstFitPacker(), first_fit_ratio(mu)),
+            (NextFitPacker(), next_fit_ratio(mu)),
+            (
+                ClassifyByDepartureFirstFit.with_known_durations(delta, mu),
+                classify_departure_ratio(mu, delta, (mu**0.5) * delta),
+            ),
+            (
+                ClassifyByDurationFirstFit.with_known_durations(delta, mu),
+                classify_duration_ratio(mu, max(mu ** (1.0 / 2), 1.01)) + 2,
+            ),
+        ]
+        for packer, bound in checks:
+            usage = packer.pack(items).total_usage()
+            assert usage <= bound * opt + 1e-6, packer.describe()

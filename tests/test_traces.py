@@ -1,0 +1,73 @@
+"""Tests for trace serialisation (JSONL / CSV round-trips)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import ValidationError
+from repro.workloads import (
+    dump_csv,
+    dump_jsonl,
+    load_csv,
+    load_jsonl,
+    load_trace,
+    save_trace,
+    uniform_random,
+)
+
+from conftest import items_strategy
+
+
+class TestJsonl:
+    def test_roundtrip(self, simple_items):
+        assert load_jsonl(dump_jsonl(simple_items)) == simple_items
+
+    def test_one_line_per_item(self, simple_items):
+        text = dump_jsonl(simple_items)
+        assert len([ln for ln in text.splitlines() if ln.strip()]) == len(simple_items)
+
+    def test_blank_lines_tolerated(self, simple_items):
+        text = dump_jsonl(simple_items).replace("\n", "\n\n")
+        assert load_jsonl(text) == simple_items
+
+    @settings(max_examples=25)
+    @given(items_strategy())
+    def test_roundtrip_random(self, items):
+        assert load_jsonl(dump_jsonl(items)) == items
+
+
+class TestCsv:
+    def test_roundtrip(self, simple_items):
+        assert load_csv(dump_csv(simple_items)) == simple_items
+
+    def test_repr_precision_exact(self):
+        # repr() round-trips floats exactly.
+        items = uniform_random(25, seed=11)
+        assert load_csv(dump_csv(items)) == items
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValidationError):
+            load_csv("a,b,c\n1,2,3\n")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValidationError):
+            load_csv("")
+
+
+class TestFiles:
+    def test_jsonl_file_roundtrip(self, tmp_path, simple_items):
+        path = tmp_path / "trace.jsonl"
+        save_trace(simple_items, path)
+        assert load_trace(path) == simple_items
+
+    def test_csv_file_roundtrip(self, tmp_path, simple_items):
+        path = tmp_path / "trace.csv"
+        save_trace(simple_items, path)
+        assert load_trace(path) == simple_items
+
+    def test_unknown_extension_rejected(self, tmp_path, simple_items):
+        with pytest.raises(ValidationError):
+            save_trace(simple_items, tmp_path / "trace.xml")
+        with pytest.raises(ValidationError):
+            load_trace(tmp_path / "trace.xml")

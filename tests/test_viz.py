@@ -1,0 +1,114 @@
+"""Tests for the ASCII visualisation module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import FirstFitPacker
+from repro.core import Interval, Item, ItemList, PackingResult, StepFunction, ValidationError
+from repro.viz import render_chart, render_gantt, render_profile
+
+
+class TestGantt:
+    def test_one_row_per_bin(self, simple_items):
+        result = FirstFitPacker().pack(simple_items)
+        text = render_gantt(result)
+        assert text.count("bin ") == result.num_bins
+
+    def test_glyphs_present(self):
+        items = ItemList([Item(1, 0.5, Interval(0.0, 10.0))])
+        result = PackingResult(items, {1: 0})
+        text = render_gantt(result, width=20)
+        assert "1" in text
+
+    def test_idle_gap_rendered_as_dots(self):
+        # One bin with two items separated by a long gap: the gap columns
+        # are neither glyphs nor dots (bin is CLOSED in the gap).
+        items = ItemList(
+            [Item(0, 0.5, Interval(0.0, 1.0)), Item(1, 0.5, Interval(9.0, 10.0))]
+        )
+        result = PackingResult(items, {0: 0, 1: 0})
+        row = render_gantt(result, width=40).splitlines()[1]
+        body = row.split("|")[1]
+        assert " " in body  # closed middle
+        assert "0" in body and "1" in body
+
+    def test_empty_packing_rejected(self):
+        with pytest.raises(ValidationError):
+            render_gantt(PackingResult(ItemList([]), {}))
+
+    def test_width_respected(self, simple_items):
+        result = FirstFitPacker().pack(simple_items)
+        for line in render_gantt(result, width=30).splitlines()[1:-1]:
+            body = line.split("|")[1]
+            assert len(body) == 30
+
+
+class TestProfile:
+    def test_bar_heights_scale(self):
+        f = StepFunction()
+        f.add(Interval(0.0, 5.0), 1.0)
+        f.add(Interval(5.0, 10.0), 2.0)
+        text = render_profile(f, width=20, height=4)
+        lines = text.splitlines()
+        # Top row only covers the second half; bottom row covers everything.
+        top_body = lines[0].split("|")[1]
+        bottom_body = lines[3].split("|")[1]
+        assert top_body.count("#") < bottom_body.count("#")
+
+    def test_empty_profile(self):
+        assert "(empty profile)" in render_profile(StepFunction())
+
+
+class TestChart:
+    def test_legend_and_axis(self):
+        text = render_chart([1.0, 2.0, 3.0], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]})
+        assert "legend:" in text
+        assert "0 = a" in text and "1 = b" in text
+
+    def test_collision_marker(self):
+        text = render_chart([1.0, 2.0], {"a": [1.0, 2.0], "b": [1.0, 2.0]})
+        assert "*" in text
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            render_chart([], {})
+        with pytest.raises(ValidationError):
+            render_chart([1.0, 2.0], {"a": [1.0]})
+
+    def test_flat_series_handled(self):
+        text = render_chart([1.0, 2.0], {"a": [5.0, 5.0]})
+        assert "legend" in text
+
+
+class TestDemandChartViz:
+    def make(self):
+        from repro.algorithms import DualColoringPacker
+        from repro.workloads import uniform_random
+
+        items = uniform_random(15, seed=2, size_range=(0.05, 0.5))
+        return DualColoringPacker().place_small_items(list(items))
+
+    def test_renders_grid_with_axis(self):
+        from repro.viz import render_demand_chart
+
+        placements, chart = self.make()
+        text = render_demand_chart(placements, chart, width=40, height=8)
+        lines = text.splitlines()
+        assert len(lines) == 10  # 8 rows + axis + labels
+        assert "+" in lines[8]
+
+    def test_every_item_glyph_appears(self):
+        from repro.viz import render_demand_chart
+        from repro.viz.gantt import _GLYPHS
+
+        placements, chart = self.make()
+        text = render_demand_chart(placements, chart, width=80, height=20)
+        for item_id in placements:
+            assert _GLYPHS[item_id % len(_GLYPHS)] in text
+
+    def test_empty_chart(self):
+        from repro.algorithms.dual_coloring import DemandChart
+        from repro.viz import render_demand_chart
+
+        assert "(empty demand chart)" in render_demand_chart({}, DemandChart([]))

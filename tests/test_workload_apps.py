@@ -1,0 +1,177 @@
+"""Tests for the application-shaped workloads (cloud gaming, analytics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError
+from repro.workloads import (
+    JobTemplate,
+    gaming_sessions,
+    random_templates,
+    recurring_jobs,
+)
+
+
+class TestGamingSessions:
+    def test_basic_shape(self):
+        items = gaming_sessions(200, seed=1)
+        assert len(items) == 200
+        assert all(r.tags["app"] == "gaming" for r in items)
+
+    def test_session_lengths_clipped(self):
+        items = gaming_sessions(300, seed=2, session_clip_hours=(0.5, 3.0))
+        assert all(0.5 - 1e-9 <= r.duration <= 3.0 + 1e-9 for r in items)
+        assert items.mu() <= 6.0 + 1e-9
+
+    def test_sizes_from_share_menu(self):
+        shares = (0.125, 0.25)
+        items = gaming_sessions(100, seed=3, instance_shares=shares)
+        assert all(r.size in shares for r in items)
+
+    def test_deterministic(self):
+        assert gaming_sessions(50, seed=9) == gaming_sessions(50, seed=9)
+
+    def test_diurnal_pattern_visible(self):
+        # With a strong peak/trough ratio, arrival counts around the daily
+        # peak (t mod 24 near 18:00 with our phase) should exceed the trough.
+        items = gaming_sessions(4000, seed=4, horizon_hours=240.0, peak_to_trough=8.0)
+        hours = np.array([r.arrival % 24.0 for r in items])
+        peak = ((hours >= 15.0) & (hours < 21.0)).sum()
+        trough = ((hours >= 3.0) & (hours < 9.0)).sum()
+        assert peak > 1.5 * trough
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            gaming_sessions(0, seed=1)
+        with pytest.raises(ValidationError):
+            gaming_sessions(5, seed=1, session_clip_hours=(3.0, 1.0))
+        with pytest.raises(ValidationError):
+            gaming_sessions(5, seed=1, peak_to_trough=0.5)
+        with pytest.raises(ValidationError):
+            gaming_sessions(5, seed=1, instance_shares=(1.5,))
+
+
+class TestJobTemplates:
+    def test_template_validation(self):
+        with pytest.raises(ValidationError):
+            JobTemplate(0, period=0.0, runtime=1.0, size=0.1)
+        with pytest.raises(ValidationError):
+            JobTemplate(0, period=1.0, runtime=1.0, size=1.5)
+        with pytest.raises(ValidationError):
+            JobTemplate(0, period=1.0, runtime=1.0, size=0.1, jitter=-1.0)
+
+    def test_random_templates(self):
+        tpls = random_templates(5, seed=1)
+        assert len(tpls) == 5
+        assert all(0 < t.size <= 1 for t in tpls)
+        assert all(0 <= t.phase <= t.period for t in tpls)
+
+
+class TestRecurringJobs:
+    def test_jitter_free_firing_times(self):
+        tpl = JobTemplate(0, period=10.0, runtime=2.0, size=0.3, phase=1.0, jitter=0.0)
+        items = recurring_jobs([tpl], horizon=35.0, seed=1)
+        assert [r.arrival for r in items] == pytest.approx([1.0, 11.0, 21.0, 31.0])
+        assert all(r.duration == pytest.approx(2.0) for r in items)
+
+    def test_tags_carry_template(self):
+        tpls = random_templates(3, seed=2)
+        items = recurring_jobs(tpls, horizon=48.0, seed=2)
+        assert {r.tags["template"] for r in items} <= {0, 1, 2}
+        assert all(r.tags["app"] == "analytics" for r in items)
+
+    def test_jitter_perturbs_but_bounded(self):
+        tpl = JobTemplate(0, period=10.0, runtime=2.0, size=0.3, jitter=0.1)
+        items = recurring_jobs([tpl], horizon=100.0, seed=3)
+        for r in items:
+            assert r.duration >= 0.2  # clipped at 10% of runtime
+
+    def test_recurring_durations_predictable(self):
+        # The motivating property: per-template durations cluster tightly,
+        # so duration-classification puts recurrences in the same category.
+        tpls = random_templates(4, seed=5, jitter_frac=0.02)
+        items = recurring_jobs(tpls, horizon=200.0, seed=5)
+        for tid in range(4):
+            durations = [r.duration for r in items if r.tags["template"] == tid]
+            if len(durations) > 1:
+                assert max(durations) / min(durations) < 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            recurring_jobs([], horizon=10.0, seed=1)
+        tpl = JobTemplate(0, period=1.0, runtime=1.0, size=0.1)
+        with pytest.raises(ValidationError):
+            recurring_jobs([tpl], horizon=0.0, seed=1)
+
+
+class TestClusterTasks:
+    def test_basic_shape(self):
+        from repro.workloads import cluster_tasks
+
+        items = cluster_tasks(100, seed=1)
+        assert len(items) >= 100  # gangs expand jobs into tasks
+        assert all(r.tags["app"] == "cluster" for r in items)
+
+    def test_durations_clipped_and_heavy_tailed(self):
+        from repro.workloads import cluster_tasks
+
+        items = cluster_tasks(300, seed=2, duration_clip_hours=(0.1, 12.0))
+        durations = sorted(r.duration for r in items)
+        assert durations[0] >= 0.1 - 1e-9
+        assert durations[-1] <= 12.0 + 1e-9
+        # Heavy tail: the top decile dwarfs the median.
+        median = durations[len(durations) // 2]
+        p90 = durations[int(len(durations) * 0.9)]
+        assert p90 > 2.0 * median
+
+    def test_gangs_share_job_tag_and_similar_durations(self):
+        from repro.workloads import cluster_tasks
+
+        items = cluster_tasks(50, seed=3, mean_gang_size=5.0)
+        by_job: dict[int, list[float]] = {}
+        for r in items:
+            by_job.setdefault(int(r.tags["job"]), []).append(r.duration)
+        multi = [d for d in by_job.values() if len(d) > 1]
+        assert multi  # gangs exist
+        for durations in multi:
+            assert max(durations) / min(durations) < 1.6
+
+    def test_sizes_from_menu(self):
+        from repro.workloads import cluster_tasks
+        from repro.workloads.cluster import DEFAULT_SHARES
+
+        items = cluster_tasks(80, seed=4)
+        menu = {s for s, _ in DEFAULT_SHARES}
+        assert all(r.size in menu for r in items)
+
+    def test_deterministic(self):
+        from repro.workloads import cluster_tasks
+
+        assert cluster_tasks(40, seed=5) == cluster_tasks(40, seed=5)
+
+    def test_weekend_dip(self):
+        import numpy as np
+
+        from repro.workloads import cluster_tasks
+
+        items = cluster_tasks(3000, seed=6, weekend_dip=0.2, mean_gang_size=1.0)
+        days = np.array([(r.arrival // 24.0) % 7.0 for r in items])
+        weekday_rate = ((days < 5.0).sum()) / 5.0
+        weekend_rate = ((days >= 5.0).sum()) / 2.0
+        assert weekend_rate < 0.6 * weekday_rate
+
+    def test_validation(self):
+        import pytest as _pytest
+
+        from repro.workloads import cluster_tasks
+
+        with _pytest.raises(ValidationError):
+            cluster_tasks(0, seed=1)
+        with _pytest.raises(ValidationError):
+            cluster_tasks(5, seed=1, mean_gang_size=0.5)
+        with _pytest.raises(ValidationError):
+            cluster_tasks(5, seed=1, weekend_dip=0.0)
+        with _pytest.raises(ValidationError):
+            cluster_tasks(5, seed=1, shares=((1.5, 1.0),))
