@@ -18,6 +18,7 @@ Subpackages:
 * :mod:`repro.algorithms` — the paper's algorithms and all baselines;
 * :mod:`repro.bounds` — OPT lower bounds, ratio formulas, adversaries;
 * :mod:`repro.workloads` — synthetic workload generators and traces;
+* :mod:`repro.engine` — the streaming packing engine (persistent sessions);
 * :mod:`repro.simulation` — event-driven execution and billing;
 * :mod:`repro.cloud` — the job/server scheduling application layer;
 * :mod:`repro.analysis` — ratio sweeps, tables and the noise study;
@@ -34,11 +35,17 @@ from .algorithms import (
     FirstFitPacker,
     HybridFirstFitPacker,
     NextFitPacker,
+    OfflinePacker,
+    OnlinePacker,
+    Packer,
+    PackerInfo,
+    ParamInfo,
     available_packers,
     bin_packing_min_bins,
     get_packer,
     opt_total,
     optimal_packing,
+    packer_info,
 )
 from .bounds import (
     GOLDEN_RATIO,
@@ -54,6 +61,8 @@ from .core import (
     PackingResult,
     StepFunction,
 )
+from .engine import EngineSnapshot, EngineStats, PackingSession
+from .simulation import SimulationResult, Simulator
 from .workloads import (
     bounded_mu,
     bursty,
@@ -75,11 +84,17 @@ __all__ = [
     "FirstFitPacker",
     "HybridFirstFitPacker",
     "NextFitPacker",
+    "OfflinePacker",
+    "OnlinePacker",
+    "Packer",
+    "PackerInfo",
+    "ParamInfo",
     "available_packers",
     "bin_packing_min_bins",
     "get_packer",
     "opt_total",
     "optimal_packing",
+    "packer_info",
     "GOLDEN_RATIO",
     "OptBounds",
     "best_lower_bound",
@@ -90,6 +105,11 @@ __all__ = [
     "ItemList",
     "PackingResult",
     "StepFunction",
+    "EngineSnapshot",
+    "EngineStats",
+    "PackingSession",
+    "SimulationResult",
+    "Simulator",
     "bounded_mu",
     "bursty",
     "gaming_sessions",

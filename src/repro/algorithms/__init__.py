@@ -35,8 +35,11 @@ from .base import (
     OfflinePacker,
     OnlinePacker,
     Packer,
+    PackerInfo,
+    ParamInfo,
     available_packers,
     get_packer,
+    packer_info,
     register_packer,
 )
 from .classified import ClassifiedFirstFit
@@ -66,8 +69,11 @@ __all__ = [
     "OfflinePacker",
     "OnlinePacker",
     "Packer",
+    "PackerInfo",
+    "ParamInfo",
     "available_packers",
     "get_packer",
+    "packer_info",
     "register_packer",
     "ClassifiedFirstFit",
     "ClassifyByDepartureFirstFit",

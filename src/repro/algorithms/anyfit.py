@@ -62,8 +62,7 @@ class AnyFitPacker(OnlinePacker):
         target = self.choose(item, candidates) if candidates else None
         if target is None:
             target = self.open_bin()
-        target.place(item, check=False)
-        return target.index
+        return self.commit(target, item)
 
     def choose(self, item: Item, candidates: Sequence[Bin]) -> Bin | None:
         """Pick one of ``candidates`` (non-empty, in opening order)."""
@@ -167,5 +166,4 @@ class NextFitPacker(OnlinePacker):
         if cur is None:
             cur = self.open_bin()
             self._current = cur
-        cur.place(item, check=False)
-        return cur.index
+        return self.commit(cur, item)

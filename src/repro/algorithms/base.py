@@ -10,13 +10,25 @@ Two families of packers exist, mirroring the paper's offline/online split:
   placing it; non-clairvoyant baselines simply never look at it.
 
 Every packer produces a :class:`~repro.core.PackingResult`.  The registry maps
-stable string names to packer factories so benches and the cloud scheduler can
-be configured by name.
+stable string names to packer factories so benches, the CLI, the cloud
+scheduler and the streaming engine can be configured by name;
+:func:`get_packer` validates keyword arguments against each factory's
+declared parameters and :func:`available_packers` exposes the per-packer
+parameter metadata.
+
+Online packers carry an **indexed bin pool**: a lazy min-heap over bin close
+times retires departed bins in O(log n), so :meth:`OnlinePacker.open_bins_at`
+at the arrival frontier touches only the bins that are actually open instead
+of rescanning every bin ever opened.  Both batch :meth:`OnlinePacker.pack`
+and the streaming :class:`~repro.engine.PackingSession` run on this index.
 """
 
 from __future__ import annotations
 
 import abc
+import heapq
+import inspect
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from ..core.bins import Bin
@@ -27,8 +39,11 @@ __all__ = [
     "Packer",
     "OfflinePacker",
     "OnlinePacker",
+    "ParamInfo",
+    "PackerInfo",
     "register_packer",
     "get_packer",
+    "packer_info",
     "available_packers",
 ]
 
@@ -63,6 +78,9 @@ class OfflinePacker(Packer):
         """Compute the item-id → bin-index assignment."""
 
 
+_NEG_INF = float("-inf")
+
+
 class OnlinePacker(Packer):
     """A packer that places items one at a time, in arrival order.
 
@@ -74,23 +92,41 @@ class OnlinePacker(Packer):
     The driver presents items in arrival order (ties broken by item id,
     matching :func:`repro.core.event_stream`).  A fresh :meth:`reset` happens
     at the start of each :meth:`pack`, so a packer instance is reusable.
+
+    **Incremental place contract.**  ``place(item)`` must commit *exactly*
+    the presented item to the bin whose index it returns, and nothing else —
+    the streaming engine relies on this to feed items one at a time and to
+    amend mispredicted departures afterwards.  Subclasses should commit via
+    :meth:`commit`, which also maintains the open-bin index; committing with
+    ``bin.place`` directly stays correct because every driver (``pack``,
+    ``pack_stream``, the engine session) re-syncs the index from the returned
+    bin after each placement.
     """
 
     def __init__(self) -> None:
         self._bins: list[Bin] = []
+        self._open: set[int] = set()
+        self._close_times: list[float] = []
+        self._retire_heap: list[tuple[float, int]] = []
+        self._frontier = _NEG_INF
 
     # -- lifecycle -----------------------------------------------------------
 
     def reset(self) -> None:
         """Clear all state before packing a new item list."""
         self._bins = []
+        self._open = set()
+        self._close_times = []
+        self._retire_heap = []
+        self._frontier = _NEG_INF
 
     def pack(self, items: ItemList) -> PackingResult:
+        """Pack all items, returning the resulting assignment."""
         self.reset()
-        assignment: dict[int, int] = {}
         for item in items:  # ItemList iterates in arrival order
-            assignment[item.id] = self.place(item)
-        return PackingResult(items, assignment, algorithm=self.describe())
+            index = self.place(item)
+            self._note_commit(index, item)
+        return PackingResult.from_bins(self._bins, items, algorithm=self.describe())
 
     def pack_stream(self, items: Iterable[Item]) -> dict[int, int]:
         """Pack an already-ordered stream without building a result object.
@@ -99,7 +135,12 @@ class OnlinePacker(Packer):
         bookkeeping between placements.  The caller is responsible for
         calling :meth:`reset` first and for arrival ordering.
         """
-        return {item.id: self.place(item) for item in items}
+        assignment: dict[int, int] = {}
+        for item in items:
+            index = self.place(item)
+            self._note_commit(index, item)
+            assignment[item.id] = index
+        return assignment
 
     # -- bin pool ----------------------------------------------------------------
 
@@ -112,7 +153,67 @@ class OnlinePacker(Packer):
         """Open a fresh bin with the next index and return it."""
         b = Bin(len(self._bins))
         self._bins.append(b)
+        self._close_times.append(_NEG_INF)
         return b
+
+    def commit(self, b: Bin, item: Item, *, check: bool = False) -> int:
+        """Commit ``item`` to bin ``b`` and update the open-bin index.
+
+        The preferred way for :meth:`place` implementations to commit their
+        decision; returns the bin index so ``place`` can end with
+        ``return self.commit(target, item)``.
+        """
+        b.place(item, check=check)
+        self._note_commit(b.index, item)
+        return b.index
+
+    def _note_commit(self, index: int, item: Item) -> None:
+        """Sync the open-bin index after ``item`` landed in bin ``index``.
+
+        Idempotent: drivers call it after every ``place`` even when the
+        placement already went through :meth:`commit`.
+        """
+        close = self._bins[index].close_time()
+        if self._close_times[index] != close:
+            self._close_times[index] = close
+            heapq.heappush(self._retire_heap, (close, index))
+        self._open.add(index)
+        if item.arrival > self._frontier:
+            self._frontier = item.arrival
+
+    def retire_until(self, t: float) -> list[Bin]:
+        """Drop bins whose close time is ``<= t`` from the open set.
+
+        Returns the newly retired bins (in retirement order).  Uses the lazy
+        close-time heap: stale entries — from bins whose close time moved
+        after the entry was pushed — are skipped, so each entry is paid for
+        once, O(log n).
+        """
+        retired: list[Bin] = []
+        heap = self._retire_heap
+        while heap and heap[0][0] <= t:
+            close, index = heapq.heappop(heap)
+            if close != self._close_times[index]:
+                continue  # stale: the bin's close time has since moved
+            if index in self._open:
+                self._open.discard(index)
+                retired.append(self._bins[index])
+        return retired
+
+    def amend_last(self, bin_index: int, actual: Item) -> None:
+        """Replace the item just committed to ``bin_index`` with ``actual``.
+
+        Supports noisy clairvoyance: the packer decided on a *predicted*
+        departure, but the bin must track the *actual* occupancy a real
+        system would observe.  Updates the bin and the open-bin index.
+
+        Raises:
+            ValidationError: if that bin's last item has a different id
+                (the placement contract was broken).
+        """
+        b = self._bins[bin_index]
+        b.amend_last(actual)
+        self._note_commit(bin_index, actual)
 
     def open_bins_at(self, t: float) -> list[Bin]:
         """Bins with at least one item active at ``t``, in opening order.
@@ -120,7 +221,17 @@ class OnlinePacker(Packer):
         A bin whose items have all departed is *closed* (paper §5) and is
         never considered for new placements — re-using it would cost the same
         as a new bin and would muddle the analysis.
+
+        At or beyond the arrival frontier (the hot path: every placement
+        queries its own arrival time) this reads the retire-heap index and
+        touches only open bins.  Queries strictly in the past fall back to
+        the exact linear scan, since a bin may have usage gaps there.
         """
+        if t >= self._frontier:
+            self.retire_until(t)
+            return [
+                self._bins[i] for i in sorted(self._open) if self._close_times[i] > t
+            ]
         return [b for b in self._bins if b.is_open_at(t)]
 
     # -- the decision ---------------------------------------------------------------
@@ -132,7 +243,87 @@ class OnlinePacker(Packer):
 
 # -- registry ------------------------------------------------------------------------
 
+
+@dataclass(frozen=True, slots=True)
+class ParamInfo:
+    """One constructor parameter of a registered packer.
+
+    Attributes:
+        name: Parameter name as accepted by :func:`get_packer`.
+        required: True when the parameter has no default.
+        default: The default value (``None`` when required).
+        annotation: The declared type annotation as text ("" if absent).
+    """
+
+    name: str
+    required: bool
+    default: object
+    annotation: str
+
+    def describe(self) -> str:
+        """Render as ``name`` / ``name=default`` for error messages."""
+        return self.name if self.required else f"{self.name}={self.default!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class PackerInfo:
+    """Registry metadata of one packer: its name and declared parameters.
+
+    Attributes:
+        name: The registry name.
+        params: Declared constructor parameters, in declaration order.
+        accepts_extra: True when the factory takes ``**kwargs`` (no keyword
+            validation is possible).
+        summary: First line of the factory's docstring.
+    """
+
+    name: str
+    params: tuple[ParamInfo, ...]
+    accepts_extra: bool
+    summary: str
+
+    def param_names(self) -> tuple[str, ...]:
+        """Accepted keyword names, in declaration order."""
+        return tuple(p.name for p in self.params)
+
+    def required_params(self) -> tuple[str, ...]:
+        """Names of the parameters without defaults."""
+        return tuple(p.name for p in self.params if p.required)
+
+
 _REGISTRY: dict[str, Callable[..., Packer]] = {}
+_INFO: dict[str, PackerInfo] = {}
+
+
+def _inspect_factory(name: str, factory: Callable[..., Packer]) -> PackerInfo:
+    """Build :class:`PackerInfo` from a factory's signature and docstring."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return PackerInfo(name=name, params=(), accepts_extra=True, summary="")
+    params: list[ParamInfo] = []
+    accepts_extra = False
+    for p in signature.parameters.values():
+        if p.name == "self" or p.kind is inspect.Parameter.VAR_POSITIONAL:
+            continue
+        if p.kind is inspect.Parameter.VAR_KEYWORD:
+            accepts_extra = True
+            continue
+        required = p.default is inspect.Parameter.empty
+        annotation = "" if p.annotation is inspect.Parameter.empty else str(p.annotation)
+        params.append(
+            ParamInfo(
+                name=p.name,
+                required=required,
+                default=None if required else p.default,
+                annotation=annotation,
+            )
+        )
+    doc = inspect.getdoc(factory) or ""
+    summary = doc.splitlines()[0].strip() if doc else ""
+    return PackerInfo(
+        name=name, params=tuple(params), accepts_extra=accepts_extra, summary=summary
+    )
 
 
 def register_packer(name: str) -> Callable[[Callable[..., Packer]], Callable[..., Packer]]:
@@ -142,16 +333,23 @@ def register_packer(name: str) -> Callable[[Callable[..., Packer]], Callable[...
         if name in _REGISTRY:
             raise ValueError(f"packer name already registered: {name}")
         _REGISTRY[name] = factory
+        _INFO[name] = _inspect_factory(name, factory)
         return factory
 
     return deco
 
 
 def get_packer(name: str, **kwargs: object) -> Packer:
-    """Instantiate a registered packer by name.
+    """Instantiate a registered packer by name, validating its parameters.
+
+    Keyword arguments are checked against the factory's declared parameters
+    (its ``__init__`` signature) *before* instantiation, so a typo'd or
+    unsupported parameter fails loudly instead of being silently accepted.
 
     Raises:
         KeyError: for unknown names; the message lists what is available.
+        ValueError: for unknown keyword arguments or missing required ones;
+            the message lists the packer's accepted parameters.
     """
     try:
         factory = _REGISTRY[name]
@@ -159,9 +357,42 @@ def get_packer(name: str, **kwargs: object) -> Packer:
         raise KeyError(
             f"unknown packer {name!r}; available: {', '.join(sorted(_REGISTRY))}"
         ) from None
+    info = _INFO[name]
+    if not info.accepts_extra:
+        accepted = info.param_names()
+        unknown = sorted(set(kwargs) - set(accepted))
+        if unknown:
+            listing = ", ".join(p.describe() for p in info.params) or "none"
+            raise ValueError(
+                f"unknown parameter(s) {', '.join(unknown)} for packer {name!r}; "
+                f"accepted: {listing}"
+            )
+        missing = sorted(set(info.required_params()) - set(kwargs))
+        if missing:
+            raise ValueError(
+                f"packer {name!r} requires parameter(s): {', '.join(missing)}"
+            )
     return factory(**kwargs)
 
 
-def available_packers() -> list[str]:
-    """Sorted names of all registered packers."""
-    return sorted(_REGISTRY)
+def packer_info(name: str) -> PackerInfo:
+    """The declared parameter metadata of one registered packer.
+
+    Raises:
+        KeyError: for unknown names; the message lists what is available.
+    """
+    if name not in _INFO:
+        raise KeyError(
+            f"unknown packer {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _INFO[name]
+
+
+def available_packers() -> dict[str, PackerInfo]:
+    """All registered packers: name → parameter metadata, sorted by name.
+
+    The mapping iterates in name order, so existing callers that treated the
+    result as a list of names (``for name in available_packers()``,
+    ``"first-fit" in available_packers()``) keep working unchanged.
+    """
+    return {name: _INFO[name] for name in sorted(_REGISTRY)}

@@ -47,12 +47,10 @@ class ClassifiedFirstFit(OnlinePacker):
         t = item.arrival
         for b in bins:  # opening order within the category = First Fit
             if b.is_open_at(t) and b.fits_at_arrival(item):
-                b.place(item, check=False)
-                return b.index
+                return self.commit(b, item)
         b = self.open_bin()
         bins.append(b)
-        b.place(item, check=False)
-        return b.index
+        return self.commit(b, item)
 
     def categories_used(self) -> list[object]:
         """Category keys that received at least one item (after a pack)."""

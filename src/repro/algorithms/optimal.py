@@ -183,14 +183,6 @@ def opt_total(
 # ---------------------------------------------------------------------------
 
 
-def _pop_last(b: Bin) -> None:
-    """Undo the most recent ``place`` on a bin (search-internal helper)."""
-    item = b._items.pop()  # noqa: SLF001 - solver-internal undo
-    b._profile.add_range(  # noqa: SLF001
-        item.interval.left, item.interval.right, -item.size
-    )
-
-
 def optimal_packing(
     items: ItemList, *, max_items: int = 14, max_nodes: int = 5_000_000
 ) -> PackingResult:
@@ -249,7 +241,7 @@ def optimal_packing(
                 assignment[item.id] = b.index
                 search(i + 1, bins, assignment)
                 del assignment[item.id]
-                _pop_last(b)
+                b.pop_last()
         fresh = Bin(len(bins))
         fresh.place(item, check=False)
         bins.append(fresh)

@@ -70,5 +70,4 @@ class UsageAwareFitPacker(OnlinePacker):
                 target = None
         if target is None:
             target = self.open_bin()
-        target.place(item, check=False)
-        return target.index
+        return self.commit(target, item)

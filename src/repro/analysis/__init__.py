@@ -1,5 +1,10 @@
-"""Experiment machinery: ratio sweeps, tables, the noise study."""
+"""Experiment machinery: ratio sweeps, tables, the noise study.
 
+Also re-exports :class:`~repro.engine.EngineStats` so engine counters sit
+next to the rest of the instrumentation surface.
+"""
+
+from ..engine.stats import EngineStats
 from .instrumentation import (
     CategoryStageAnalysis,
     DurationCategoryAnalysis,
@@ -18,6 +23,7 @@ from .ratios import RatioMeasurement, SweepPoint, measured_ratio, sweep_mu
 from .tables import format_cell, render_series, render_table
 
 __all__ = [
+    "EngineStats",
     "CategoryStageAnalysis",
     "DurationCategoryAnalysis",
     "Theorem1BinAnalysis",

@@ -8,10 +8,16 @@ Commands:
 * ``compare`` — run several algorithms on one trace side by side;
 * ``bounds`` — print the Proposition 1–3 lower bounds (and the exact
   repacking adversary for small traces);
+* ``serve`` — stream a trace through the packing engine event by event,
+  with live snapshots and engine counters;
 * ``fig8`` — print the paper's Figure 8 as a table and ASCII chart.
 
 Every command is pure stdlib-argparse on top of the public API, so the CLI
-doubles as executable documentation of the library.
+doubles as executable documentation of the library.  Algorithm names and
+parameters (``--algorithm``, ``--rho``, ``--alpha``, ``--num-classes``) all
+flow through the validated :func:`~repro.algorithms.get_packer` path: an
+unknown algorithm or a bad parameter exits with status 2 and a message
+listing what is accepted.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from .algorithms import available_packers, get_packer, opt_total
+from .algorithms import available_packers, get_packer, opt_total, packer_info
 from .analysis import render_series, render_table
 from .bounds import (
     OptBounds,
@@ -83,14 +89,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _make_packer(name: str, args: argparse.Namespace):
-    kwargs: dict[str, object] = {}
-    if name == "classify-departure":
-        kwargs["rho"] = args.rho
-    elif name in ("classify-duration", "classify-combined"):
-        kwargs["alpha"] = args.alpha
-    elif name == "hybrid-first-fit" and args.num_classes:
-        kwargs["num_classes"] = args.num_classes
-    return get_packer(name, **kwargs)
+    """Build a packer from CLI flags through the validated registry path.
+
+    The candidate flags (``--rho``, ``--alpha``, ``--num-classes``) are
+    filtered against the packer's declared parameters, so each algorithm
+    receives exactly the flags it understands; unknown algorithm names and
+    invalid parameter values surface as :class:`~repro.core.ReproError`
+    (exit status 2).
+    """
+    candidates: dict[str, object] = {"rho": args.rho, "alpha": args.alpha}
+    if args.num_classes:
+        candidates["num_classes"] = args.num_classes
+    try:
+        accepted = set(packer_info(name).param_names())
+        kwargs = {k: v for k, v in candidates.items() if k in accepted}
+        return get_packer(name, **kwargs)
+    except (KeyError, ValueError) as exc:
+        raise ReproError(str(exc.args[0] if exc.args else exc)) from exc
 
 
 def _load(args: argparse.Namespace) -> ItemList:
@@ -230,6 +245,41 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .algorithms.base import OnlinePacker
+    from .core import EventKind, event_stream
+    from .engine import PackingSession
+
+    items = _load(args)
+    packer = _make_packer(args.algorithm, args)
+    if not isinstance(packer, OnlinePacker):
+        print("error: serve requires an online algorithm", file=sys.stderr)
+        return 2
+    session = PackingSession(packer)
+    arrivals = 0
+    for event in event_stream(items):
+        if event.kind is EventKind.ARRIVAL:
+            session.submit(event.item)
+            arrivals += 1
+            if args.snapshot_every and arrivals % args.snapshot_every == 0:
+                snap = session.snapshot()
+                print(
+                    f"t={snap.time:<12g} submitted={snap.items_submitted:<6d} "
+                    f"active={snap.active_items:<6d} open_bins={snap.open_bins:<5d} "
+                    f"usage={snap.usage_time:.3f}"
+                )
+        else:
+            session.advance(event.time)
+    result = session.result()
+    result.validate()
+    metrics = evaluate(result)
+    print(render_table([metrics.as_dict()], title=f"serve: {packer.describe()}"))
+    print()
+    stats_rows = [{"counter": k, "value": v} for k, v in session.stats.as_dict().items()]
+    print(render_table(stats_rows, title="engine counters"))
+    return 0
+
+
 def _cmd_fig8(args: argparse.Namespace) -> int:
     mus = [float(m) for m in args.mus.split(",")]
     series = {
@@ -279,7 +329,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     pack = sub.add_parser("pack", help="pack a trace with one algorithm")
     pack.add_argument("--trace", required=True)
-    pack.add_argument("--algorithm", required=True, choices=available_packers())
+    pack.add_argument(
+        "--algorithm",
+        required=True,
+        help=f"one of: {', '.join(available_packers())}",
+    )
     pack.add_argument("--gantt", action="store_true", help="draw the packing")
     pack.add_argument("--profile", action="store_true", help="draw the demand profile")
     pack.add_argument(
@@ -314,16 +368,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     rep = sub.add_parser("replay", help="show an online packer's decisions")
     rep.add_argument("--trace", required=True)
-    rep.add_argument("--algorithm", required=True, choices=available_packers())
+    rep.add_argument("--algorithm", required=True, help="online algorithm name")
     rep.add_argument(
         "--versus",
         default="",
-        choices=["", *available_packers()],
         help="second algorithm: report the first structural divergence",
     )
     rep.add_argument("--limit", type=int, default=30, help="decisions to print")
     add_packer_opts(rep)
     rep.set_defaults(func=_cmd_replay)
+
+    srv = sub.add_parser("serve", help="stream a trace through the packing engine")
+    srv.add_argument("--trace", required=True)
+    srv.add_argument("--algorithm", required=True, help="online algorithm name")
+    srv.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        help="print a live snapshot every N arrivals (0: only the final report)",
+    )
+    add_packer_opts(srv)
+    srv.set_defaults(func=_cmd_serve)
 
     fig = sub.add_parser("fig8", help="print the paper's Figure 8")
     fig.add_argument(

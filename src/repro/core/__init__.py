@@ -1,7 +1,7 @@
 """Core substrate: intervals, step functions, items, bins and packings."""
 
 from .bins import Bin, bins_from_assignment
-from .events import Event, EventKind, event_stream
+from .events import Event, EventHeap, EventKind, event_stream
 from .exceptions import (
     CapacityError,
     InfeasibleError,
@@ -18,6 +18,7 @@ __all__ = [
     "Bin",
     "bins_from_assignment",
     "Event",
+    "EventHeap",
     "EventKind",
     "event_stream",
     "CapacityError",

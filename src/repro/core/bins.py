@@ -6,10 +6,20 @@ the capacity.  The clairvoyant fit check asks whether an item fits **for its
 whole active interval**, which matters for offline packers (e.g. Duration
 Descending First Fit) that insert items out of arrival order: the bin may
 already hold commitments that lie in the new item's future.
+
+Performance note (streaming engine): every mutation (:meth:`Bin.place`,
+:meth:`Bin.amend_last`, :meth:`Bin.pop_last`) incrementally maintains a set
+of caches — the occupancy step-function, the merged usage intervals with
+their total length, and the open/close/frontier times — so the hot queries
+(:meth:`Bin.close_time`, :meth:`Bin.usage_time`, :meth:`Bin.is_open_at` at
+the arrival frontier) are O(1) instead of rescanning the item list.  The
+caches are invariant-checked against exact recomputation by
+:meth:`Bin.check_invariants` (exercised by the engine parity tests).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Iterable, Iterator
 
 from .exceptions import CapacityError, ValidationError
@@ -18,6 +28,9 @@ from .items import Item
 from .stepfun import DEFAULT_TOL, StepFunction
 
 __all__ = ["Bin"]
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
 
 
 class Bin:
@@ -31,7 +44,18 @@ class Bin:
             summation noise (e.g. ten items of size 0.1).
     """
 
-    __slots__ = ("index", "capacity", "tol", "_items", "_profile")
+    __slots__ = (
+        "index",
+        "capacity",
+        "tol",
+        "_items",
+        "_profile",
+        "_min_arrival",
+        "_max_arrival",
+        "_max_departure",
+        "_usage",
+        "_usage_time",
+    )
 
     def __init__(self, index: int, capacity: float = 1.0, tol: float = DEFAULT_TOL) -> None:
         if capacity <= 0:
@@ -41,6 +65,12 @@ class Bin:
         self.tol = tol
         self._items: list[Item] = []
         self._profile = StepFunction()
+        # Incremental caches (kept exact by every mutation path below).
+        self._min_arrival = _POS_INF
+        self._max_arrival = _NEG_INF
+        self._max_departure = _NEG_INF
+        self._usage: list[Interval] = []
+        self._usage_time = 0.0
 
     # -- contents ---------------------------------------------------------------
 
@@ -119,6 +149,128 @@ class Bin:
             )
         self._items.append(item)
         self._profile.add(item.interval, item.size)
+        self._absorb(item)
+
+    def amend_last(self, actual: Item) -> None:
+        """Swap the most recently placed item for ``actual`` (same id).
+
+        The streaming engine and the noisy-clairvoyance simulator commit a
+        *predicted* item and then amend it back to its actual interval, so
+        bin state tracks real occupancy.  All caches are rebuilt (an amend
+        may shrink the close time, which is not incrementally recoverable).
+
+        Raises:
+            ValidationError: if the bin is empty or the last item's id does
+                not match (the packer broke the placement contract).
+        """
+        if not self._items or self._items[-1].id != actual.id:
+            raise ValidationError(
+                f"bin {self.index} did not receive item {actual.id} last; "
+                f"cannot amend (packer broke the placement contract)"
+            )
+        committed = self._items[-1]
+        self._items[-1] = actual
+        self._profile.remove(committed.interval, committed.size)
+        self._profile.add(actual.interval, actual.size)
+        self._recompute_caches()
+
+    def pop_last(self) -> Item:
+        """Undo the most recent :meth:`place` and return the removed item.
+
+        Used by the exact solvers' backtracking search.
+
+        Raises:
+            ValidationError: if the bin is empty.
+        """
+        if not self._items:
+            raise ValidationError(f"bin {self.index} is empty; nothing to pop")
+        item = self._items.pop()
+        self._profile.remove(item.interval, item.size)
+        self._recompute_caches()
+        return item
+
+    def _absorb(self, item: Item) -> None:
+        """Incrementally fold one new item into the cached aggregates."""
+        a, d = item.arrival, item.departure
+        if a < self._min_arrival:
+            self._min_arrival = a
+        if a > self._max_arrival:
+            self._max_arrival = a
+        if d > self._max_departure:
+            self._max_departure = d
+        self._merge_into_usage(item.interval)
+
+    def _merge_into_usage(self, iv: Interval) -> None:
+        """Insert ``iv`` into the sorted disjoint usage list, merging touching
+        neighbours, and update the cached total usage length."""
+        usage = self._usage
+        left, right = iv.left, iv.right
+        # Find the window of existing intervals that touch [left, right);
+        # touching endpoints merge, matching half-open semantics.
+        lo = bisect_left(usage, left, key=lambda u: u.right)
+        hi = lo
+        while hi < len(usage) and usage[hi].left <= right:
+            hi += 1
+        if lo == hi:  # disjoint from everything: plain insertion
+            usage.insert(lo, iv)
+            self._usage_time += iv.length
+            return
+        merged_left = min(left, usage[lo].left)
+        merged_right = max(right, usage[hi - 1].right)
+        removed = sum(u.length for u in usage[lo:hi])
+        usage[lo:hi] = [Interval(merged_left, merged_right)]
+        self._usage_time += (merged_right - merged_left) - removed
+
+    def _recompute_caches(self) -> None:
+        """Rebuild every cache from the item list (mutations that shrink)."""
+        items = self._items
+        self._min_arrival = min((r.arrival for r in items), default=_POS_INF)
+        self._max_arrival = max((r.arrival for r in items), default=_NEG_INF)
+        self._max_departure = max((r.departure for r in items), default=_NEG_INF)
+        self._usage = merge_intervals(r.interval for r in items)
+        self._usage_time = sum(iv.length for iv in self._usage)
+
+    def check_invariants(self) -> None:
+        """Verify every incremental cache against an exact recomputation.
+
+        The engine's parity tests call this after each event; it is also a
+        debugging aid for custom packers that mutate bins directly.
+
+        Raises:
+            ValidationError: on any cache/recompute mismatch.
+        """
+        exact_profile = StepFunction()
+        for r in self._items:
+            exact_profile.add(r.interval, r.size)
+        if not self._profile.equals(exact_profile):
+            raise ValidationError(
+                f"bin {self.index}: cached profile diverged from exact recompute"
+            )
+        exact_usage = merge_intervals(r.interval for r in self._items)
+        if [
+            (round(u.left, 12), round(u.right, 12)) for u in self._usage
+        ] != [(round(u.left, 12), round(u.right, 12)) for u in exact_usage]:
+            raise ValidationError(
+                f"bin {self.index}: cached usage intervals {self._usage} != "
+                f"exact {exact_usage}"
+            )
+        exact_len = sum(iv.length for iv in exact_usage)
+        if abs(self._usage_time - exact_len) > 1e-9 * max(1.0, exact_len):
+            raise ValidationError(
+                f"bin {self.index}: cached usage time {self._usage_time} != "
+                f"exact {exact_len}"
+            )
+        if self._items:
+            facts = (
+                (self._min_arrival, min(r.arrival for r in self._items)),
+                (self._max_arrival, max(r.arrival for r in self._items)),
+                (self._max_departure, max(r.departure for r in self._items)),
+            )
+            for cached, exact in facts:
+                if cached != exact:
+                    raise ValidationError(
+                        f"bin {self.index}: cached time {cached} != exact {exact}"
+                    )
 
     def _first_overflow_time(self, item: Item) -> float | None:
         for left, _right, value in self._profile.segments():
@@ -133,11 +285,11 @@ class Bin:
 
     def usage_intervals(self) -> list[Interval]:
         """Maximal disjoint intervals during which the bin is in use."""
-        return merge_intervals(r.interval for r in self._items)
+        return list(self._usage)
 
     def usage_time(self) -> float:
         """``span`` of the committed items — this bin's usage-time cost."""
-        return sum(iv.length for iv in self.usage_intervals())
+        return self._usage_time
 
     def open_time(self) -> float:
         """Time this bin first receives an item (its *opening*, paper §5).
@@ -147,16 +299,27 @@ class Bin:
         """
         if not self._items:
             raise ValidationError(f"bin {self.index} is empty")
-        return min(r.arrival for r in self._items)
+        return self._min_arrival
 
     def close_time(self) -> float:
         """Time the last committed item departs (the bin *closes*)."""
         if not self._items:
             raise ValidationError(f"bin {self.index} is empty")
-        return max(r.departure for r in self._items)
+        return self._max_departure
 
     def is_open_at(self, t: float) -> bool:
-        """True iff at least one committed item is active at ``t``."""
+        """True iff at least one committed item is active at ``t``.
+
+        O(1) at or beyond the arrival frontier (every committed arrival is
+        ``<= t``, so the bin is open iff its close time lies beyond ``t``);
+        exact linear scan for queries in the past, where usage gaps matter.
+        """
+        if not self._items:
+            return False
+        if t < self._min_arrival:
+            return False
+        if t >= self._max_arrival:
+            return t < self._max_departure
         return any(r.active_at(t) for r in self._items)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

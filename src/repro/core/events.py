@@ -10,12 +10,13 @@ instant), and ties within a kind break by item id.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass
 from typing import Iterator
 
 from .items import Item, ItemList
 
-__all__ = ["EventKind", "Event", "event_stream"]
+__all__ = ["EventKind", "Event", "event_stream", "EventHeap"]
 
 
 class EventKind(enum.IntEnum):
@@ -55,3 +56,43 @@ def event_stream(items: ItemList) -> Iterator[Event]:
     events.extend(Event(r.departure, EventKind.DEPARTURE, r) for r in items)
     events.sort(key=lambda e: e.sort_key)
     return iter(events)
+
+
+class EventHeap:
+    """A priority queue of :class:`Event` objects ordered by ``sort_key``.
+
+    The incremental counterpart of :func:`event_stream`: the streaming engine
+    pushes each item's departure event as the item is submitted and drains
+    all events due by the advancing clock in O(log n) per event, instead of
+    re-sorting the whole stream.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[float, int, int], Event]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Insert one event."""
+        heapq.heappush(self._heap, (event.sort_key, event))
+
+    def peek_time(self) -> float | None:
+        """The earliest pending event time, or ``None`` when empty."""
+        return self._heap[0][0][0] if self._heap else None
+
+    def pop_until(self, t: float) -> Iterator[Event]:
+        """Yield (and remove) every pending event with ``time <= t``, in order.
+
+        The inclusive cut matches half-open interval semantics: an item
+        departing *at* ``t`` is no longer active at ``t``, so its departure
+        event is due.
+        """
+        heap = self._heap
+        while heap and heap[0][0][0] <= t:
+            yield heapq.heappop(heap)[1]

@@ -9,7 +9,9 @@ usage time) and auxiliary profiles used in the analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from .bins import Bin, bins_from_assignment
 from .exceptions import ValidationError
@@ -90,6 +92,39 @@ class PackingResult:
         self.tol = tol
         self._bins: list[Bin] | None = None
 
+    @classmethod
+    def from_bins(
+        cls,
+        bins: Iterable[Bin],
+        items: ItemList | None = None,
+        *,
+        algorithm: str = "unknown",
+        capacity: float = 1.0,
+        tol: float = DEFAULT_TOL,
+    ) -> "PackingResult":
+        """Build a result directly from materialised bins.
+
+        This is the canonical constructor for algorithms that maintain
+        :class:`~repro.core.Bin` objects while packing (every online packer,
+        the streaming engine, the exact solvers): the assignment is derived
+        from the bins, so the two can never disagree.  The plain constructor
+        remains for assignment-only callers (deserialisation, repacking
+        transforms); avoid hand-rolling assignment dicts when bins exist.
+
+        Args:
+            bins: The packing's bins; empty bins are skipped.
+            items: The packed item list.  ``None`` collects the items from
+                the bins (ids must be unique).
+            algorithm: Producer name for reports.
+            capacity: Bin capacity used for validation.
+            tol: Capacity tolerance.
+        """
+        bins = list(bins)
+        assignment = {r.id: b.index for b in bins for r in b}
+        if items is None:
+            items = ItemList(r for b in bins for r in b)
+        return cls(items, assignment, algorithm=algorithm, capacity=capacity, tol=tol)
+
     # -- bins -----------------------------------------------------------------
 
     def bins(self) -> Sequence[Bin]:
@@ -107,6 +142,17 @@ class PackingResult:
 
     # -- feasibility -------------------------------------------------------------
 
+    def _event_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-item ``(bin, arrival, departure, size)`` columns as arrays."""
+        n = len(self.items)
+        bins_col = np.fromiter(
+            (self.assignment[r.id] for r in self.items), dtype=np.int64, count=n
+        )
+        arrivals = np.fromiter((r.arrival for r in self.items), dtype=float, count=n)
+        departures = np.fromiter((r.departure for r in self.items), dtype=float, count=n)
+        sizes = np.fromiter((r.size for r in self.items), dtype=float, count=n)
+        return bins_col, np.stack([arrivals, departures]), sizes
+
     def validate(self) -> None:
         """Check full feasibility of the packing.
 
@@ -119,10 +165,47 @@ class PackingResult:
 
         Levels are piecewise constant between event times, so checking at
         event times (the left endpoint of each constant piece) is exact.
+        The check runs on a vectorised numpy sweep — all arrival/departure
+        deltas are sorted by (bin, time, sign) and cumulatively summed, with
+        per-bin baselines subtracted so float noise cannot leak across bins
+        (cross-checked against the segment-by-segment recompute in tests).
 
         Raises:
             ValidationError: on any capacity violation, reporting the bin,
                 time and level.
+        """
+        n = len(self.items)
+        if n == 0:
+            return
+        bins_col, times2, sizes = self._event_arrays()
+        ev_bins = np.concatenate([bins_col, bins_col])
+        ev_times = np.concatenate([times2[0], times2[1]])
+        ev_deltas = np.concatenate([sizes, -sizes])
+        # Departures sort before arrivals at equal times (negative deltas
+        # first), matching half-open interval semantics.
+        order = np.lexsort((ev_deltas, ev_times, ev_bins))
+        sorted_bins = ev_bins[order]
+        levels = np.cumsum(ev_deltas[order])
+        # Subtract each bin's closing balance so the running sum restarts at
+        # exactly zero per bin (float cancellation is not exact on its own).
+        boundaries = np.flatnonzero(np.diff(sorted_bins)) + 1
+        if boundaries.size:
+            offsets = np.concatenate([[0.0], levels[boundaries - 1]])
+            seg_lengths = np.diff(np.concatenate([[0], boundaries, [2 * n]]))
+            levels = levels - np.repeat(offsets, seg_lengths)
+        bad = levels > self.capacity + self.tol
+        if bad.any():
+            k = int(np.argmax(bad))
+            raise ValidationError(
+                f"bin {int(sorted_bins[k])} overflows at t={ev_times[order][k]}: "
+                f"level {float(levels[k])} > capacity {self.capacity}"
+            )
+
+    def _validate_exact(self) -> None:
+        """Reference implementation of :meth:`validate` (pure Python).
+
+        Kept for cross-checking the vectorised sweep in the test suite;
+        identical contract and error conditions.
         """
         for b in self.bins():
             profile = StepFunction()
@@ -146,8 +229,34 @@ class PackingResult:
     # -- objective & profiles -------------------------------------------------------
 
     def total_usage(self) -> float:
-        """The MinUsageTime objective: ``Σ_bins span(items in bin)``."""
-        return sum(b.usage_time() for b in self.bins())
+        """The MinUsageTime objective: ``Σ_bins span(items in bin)``.
+
+        Computed by a grouped numpy interval-union sweep over the raw
+        assignment, so large packings never pay for materialising
+        :class:`~repro.core.Bin` objects and their level profiles.  When the
+        bins are already cached (someone called :meth:`bins`), their O(1)
+        cached usage times are summed instead.
+        """
+        if self._bins is not None:
+            return sum(b.usage_time() for b in self._bins)
+        n = len(self.items)
+        if n == 0:
+            return 0.0
+        bins_col, times2, _sizes = self._event_arrays()
+        order = np.lexsort((times2[0], bins_col))
+        sorted_bins = bins_col[order]
+        lefts = times2[0][order]
+        rights = times2[1][order]
+        starts = np.concatenate([[0], np.flatnonzero(np.diff(sorted_bins)) + 1, [n]])
+        total = 0.0
+        for s, e in zip(starts[:-1], starts[1:]):
+            ga, gd = lefts[s:e], rights[s:e]
+            # Union of sorted-by-left intervals: each interval contributes the
+            # part of itself beyond the running maximum departure so far.
+            reach = np.maximum.accumulate(gd)
+            prev = np.concatenate([[ga[0]], reach[:-1]])
+            total += float(np.maximum(gd - np.maximum(ga, prev), 0.0).sum())
+        return total
 
     def per_bin_usage(self) -> dict[int, float]:
         """Usage time of each bin, keyed by bin index."""

@@ -232,6 +232,15 @@ class StepFunction:
 
     # -- conveniences ------------------------------------------------------------
 
+    def equals(self, other: "StepFunction", tol: float = DEFAULT_TOL) -> bool:
+        """Pointwise equality within ``tol`` (used by cache invariant checks).
+
+        Two step functions are equal iff they agree (within ``tol``) on every
+        piece induced by the union of their breakpoints.
+        """
+        times = sorted(set(self._times) | set(other._times))
+        return all(abs(self.value_at(t) - other.value_at(t)) <= tol for t in times)
+
     def copy(self) -> "StepFunction":
         """An independent copy of this function."""
         out = StepFunction()

@@ -1,0 +1,11 @@
+"""Streaming packing engine: persistent sessions over online packers.
+
+See :class:`PackingSession` for the submit/advance/snapshot/result API and
+``docs/ENGINE.md`` for the design notes (indexed bins, incremental caches,
+batch/stream parity guarantees).
+"""
+
+from .session import EngineSnapshot, PackingSession, clamp_prediction
+from .stats import EngineStats
+
+__all__ = ["PackingSession", "EngineSnapshot", "EngineStats", "clamp_prediction"]

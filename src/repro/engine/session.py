@@ -1,0 +1,248 @@
+"""The streaming packing engine: a persistent session around an online packer.
+
+:class:`PackingSession` is the incremental counterpart of the batch
+``packer.pack(items)`` call.  A long-running scheduler submits jobs one at a
+time as they arrive (``session.submit(item)``), advances the wall clock
+between arrivals (``session.advance(t)``), inspects live state
+(``session.snapshot()``, ``session.stats``) and can materialise the packing
+so far at any point (``session.result()``).
+
+The session reuses the packer's indexed bin pool (the lazy close-time heap of
+:class:`~repro.algorithms.OnlinePacker`) and keeps its own
+:class:`~repro.core.EventHeap` of pending departures, so each event costs
+O(log n) instead of a rescan of every bin ever opened.  Streaming placements
+are **identical** to batch packing: for every registered online packer the
+session produces the same assignment and usage as ``packer.pack`` on the same
+workload (enforced by the parity tests in ``tests/test_engine.py``).
+
+Noisy clairvoyance (paper §6) is first-class: ``submit(item,
+predicted_departure=...)`` shows the packer an item with the predicted
+departure, then amends the committed placement back to the actual interval,
+so bins always track the occupancy a real system would observe.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..algorithms.base import OnlinePacker, get_packer
+from ..core.bins import Bin
+from ..core.events import Event, EventHeap, EventKind
+from ..core.exceptions import ValidationError
+from ..core.items import Item, ItemList
+from ..core.packing import PackingResult
+from .stats import EngineStats
+
+__all__ = ["PackingSession", "EngineSnapshot", "clamp_prediction"]
+
+_NEG_INF = float("-inf")
+
+
+def clamp_prediction(item: Item, predicted: float) -> float:
+    """Sanitise a predicted departure for ``item``.
+
+    Predictions are clamped to be strictly after the arrival — a job is never
+    predicted to have already finished the moment it arrives.
+
+    Raises:
+        ValidationError: if ``predicted`` is NaN.
+    """
+    predicted = float(predicted)
+    if not predicted == predicted:  # NaN guard
+        raise ValidationError(f"estimator returned NaN for item {item.id}")
+    return max(predicted, item.arrival + 1e-12 * max(1.0, abs(item.arrival)))
+
+
+@dataclass(frozen=True, slots=True)
+class EngineSnapshot:
+    """Point-in-time view of a running :class:`PackingSession`.
+
+    Attributes:
+        time: The session clock (max of submitted arrivals and advances).
+        items_submitted: Items accepted so far.
+        active_items: Items submitted whose departure has not been processed.
+        open_bins: Bins currently holding at least one active item.
+        bins_opened: Bins ever opened.
+        usage_time: Total bin usage accrued by the packing so far.
+    """
+
+    time: float
+    items_submitted: int
+    active_items: int
+    open_bins: int
+    bins_opened: int
+    usage_time: float
+
+
+class PackingSession:
+    """A persistent, incremental packing run over one online packer.
+
+    Args:
+        packer: An :class:`~repro.algorithms.OnlinePacker` instance, or a
+            registered packer name (resolved through
+            :func:`~repro.algorithms.get_packer`, so keyword arguments are
+            validated against the packer's declared parameters).
+        algorithm: Override for the result's algorithm label.
+        **kwargs: Constructor parameters when ``packer`` is a name.
+
+    Raises:
+        TypeError: if ``packer`` is an offline packer (or not a packer), or
+            if kwargs are passed alongside a packer instance.
+        KeyError / ValueError: propagated from :func:`get_packer` for unknown
+            names or invalid parameters.
+    """
+
+    def __init__(
+        self,
+        packer: OnlinePacker | str,
+        *,
+        algorithm: str | None = None,
+        **kwargs: object,
+    ) -> None:
+        if isinstance(packer, str):
+            resolved = get_packer(packer, **kwargs)
+        else:
+            if kwargs:
+                raise TypeError(
+                    "packer parameters are only accepted with a packer name, "
+                    f"not a ready instance: {sorted(kwargs)}"
+                )
+            resolved = packer
+        if not isinstance(resolved, OnlinePacker):
+            raise TypeError(
+                f"PackingSession needs an OnlinePacker, got {type(resolved).__name__}; "
+                "offline packers cannot stream"
+            )
+        self._packer = resolved
+        self._packer.reset()
+        self._algorithm = algorithm
+        self._departures = EventHeap()
+        self._items: list[Item] = []
+        self._ids: set[int] = set()
+        self._clock = _NEG_INF
+        self._active = 0
+        self.stats = EngineStats()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def packer(self) -> OnlinePacker:
+        """The driven packer (its bins are live — do not mutate)."""
+        return self._packer
+
+    @property
+    def clock(self) -> float:
+        """Current session time (``-inf`` before the first event)."""
+        return self._clock
+
+    def open_bins(self) -> list[Bin]:
+        """Bins holding at least one active item right now."""
+        return self._packer.open_bins_at(self._clock)
+
+    def snapshot(self) -> EngineSnapshot:
+        """A consistent point-in-time view (cheap: O(open bins))."""
+        return EngineSnapshot(
+            time=self._clock,
+            items_submitted=self.stats.items_submitted,
+            active_items=self._active,
+            open_bins=len(self.open_bins()),
+            bins_opened=len(self._packer.bins),
+            usage_time=sum(b.usage_time() for b in self._packer.bins),
+        )
+
+    # -- the streaming API ---------------------------------------------------
+
+    def submit(self, item: Item, predicted_departure: float | None = None) -> int:
+        """Submit one arriving item; returns the bin index it was placed in.
+
+        Items must be submitted in arrival order (the online model).  When
+        ``predicted_departure`` differs from the item's actual departure, the
+        packer decides on the prediction and the committed placement is then
+        amended to the actual interval (noisy clairvoyance).
+
+        Raises:
+            ValidationError: on out-of-order arrivals, duplicate item ids, or
+                a NaN prediction.
+        """
+        t0 = time.perf_counter()
+        if item.arrival < self._clock:
+            raise ValidationError(
+                f"item {item.id} arrives at {item.arrival}, before the session "
+                f"clock {self._clock}; submissions must be in arrival order"
+            )
+        if item.id in self._ids:
+            raise ValidationError(f"duplicate item id {item.id}")
+        self._drain_departures(item.arrival)
+        self._clock = item.arrival
+
+        if predicted_departure is None:
+            decision_item = item
+        else:
+            pred = clamp_prediction(item, predicted_departure)
+            decision_item = item if pred == item.departure else item.with_departure(pred)
+        index = self._packer.place(decision_item)
+        self._packer._note_commit(index, decision_item)
+        if decision_item is not item:
+            self._packer.amend_last(index, item)
+
+        self._ids.add(item.id)
+        self._items.append(item)
+        self._active += 1
+        self._departures.push(Event(item.departure, EventKind.DEPARTURE, item))
+
+        stats = self.stats
+        stats.items_submitted += 1
+        stats.bins_opened = len(self._packer.bins)
+        if self._active > stats.peak_active_items:
+            stats.peak_active_items = self._active
+        open_now = len(self._packer.open_bins_at(item.arrival))
+        if open_now > stats.peak_open_bins:
+            stats.peak_open_bins = open_now
+        stats.submit_seconds += time.perf_counter() - t0
+        return index
+
+    def advance(self, t: float) -> list[Bin]:
+        """Advance the session clock to ``t``; returns newly retired bins.
+
+        Processes every pending departure due by ``t`` (half-open semantics:
+        an item departing *at* ``t`` is gone at ``t``) and retires bins whose
+        items have all departed.
+
+        Raises:
+            ValidationError: if ``t`` is before the current clock.
+        """
+        t0 = time.perf_counter()
+        if t < self._clock:
+            raise ValidationError(
+                f"cannot advance backwards: clock is {self._clock}, got {t}"
+            )
+        retired = self._drain_departures(t)
+        self._clock = t
+        self.stats.advances += 1
+        self.stats.advance_seconds += time.perf_counter() - t0
+        return retired
+
+    def _drain_departures(self, t: float) -> list[Bin]:
+        """Process departures due by ``t``; returns the bins this retires."""
+        for _event in self._departures.pop_until(t):
+            self._active -= 1
+            self.stats.departures_processed += 1
+        retired = self._packer.retire_until(t)
+        self.stats.bins_retired += len(retired)
+        return retired
+
+    # -- finishing -----------------------------------------------------------
+
+    def result(self) -> PackingResult:
+        """The packing of everything submitted so far.
+
+        Does not close the session — more items may still be submitted; each
+        call builds a fresh :class:`~repro.core.PackingResult` from the live
+        bins (actual intervals, post-amendment).
+        """
+        return PackingResult.from_bins(
+            self._packer.bins,
+            ItemList(self._items),
+            algorithm=self._algorithm or self._packer.describe(),
+        )

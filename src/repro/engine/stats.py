@@ -1,0 +1,51 @@
+"""Counters and timers of the streaming packing engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EngineStats"]
+
+
+@dataclass(slots=True)
+class EngineStats:
+    """Mutable run counters of one :class:`~repro.engine.PackingSession`.
+
+    All counters start at zero and only the owning session writes them;
+    read them at any point (``session.stats``) for live instrumentation.
+
+    Attributes:
+        items_submitted: Items accepted by ``submit`` so far.
+        bins_opened: Bins the packer has opened so far.
+        bins_retired: Bins retired from the open index (all items departed).
+        departures_processed: Departure events drained from the event heap.
+        advances: Explicit ``advance`` calls.
+        peak_open_bins: Maximum simultaneously open bins observed.
+        peak_active_items: Maximum simultaneously active items observed.
+        submit_seconds: Wall-clock time spent inside ``submit``.
+        advance_seconds: Wall-clock time spent inside ``advance``.
+    """
+
+    items_submitted: int = 0
+    bins_opened: int = 0
+    bins_retired: int = 0
+    departures_processed: int = 0
+    advances: int = 0
+    peak_open_bins: int = 0
+    peak_active_items: int = 0
+    submit_seconds: float = field(default=0.0)
+    advance_seconds: float = field(default=0.0)
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view for tabulation and JSON reports."""
+        return {
+            "items_submitted": self.items_submitted,
+            "bins_opened": self.bins_opened,
+            "bins_retired": self.bins_retired,
+            "departures_processed": self.departures_processed,
+            "advances": self.advances,
+            "peak_open_bins": self.peak_open_bins,
+            "peak_active_items": self.peak_active_items,
+            "submit_seconds": self.submit_seconds,
+            "advance_seconds": self.advance_seconds,
+        }

@@ -15,6 +15,10 @@ With mispredicted departures the arrival-instant fit check stays correct —
 in a real system current occupancy is observable regardless of predictions —
 so after each placement the committed (predicted) item is amended back to
 its actual interval before the next event.
+
+The simulator is a thin loop over the streaming engine: each run drives a
+:class:`~repro.engine.PackingSession`, so it inherits the engine's indexed
+bin retirement and its batch/stream parity guarantees.
 """
 
 from __future__ import annotations
@@ -23,9 +27,9 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..algorithms.base import OnlinePacker
-from ..core.exceptions import ValidationError
 from ..core.items import Item, ItemList
 from ..core.packing import PackingResult
+from ..engine import PackingSession, clamp_prediction
 
 __all__ = ["Estimator", "SimulationResult", "Simulator", "perfect_estimator"]
 
@@ -90,39 +94,14 @@ class Simulator:
             ValidationError: if the estimator returns a non-finite value.
         """
         est = estimator or perfect_estimator
-        self.packer.reset()
-        assignment: dict[int, int] = {}
+        session = PackingSession(self.packer)
         predicted: dict[int, float] = {}
         for item in items:  # arrival order
-            pred = float(est(item))
-            if not pred == pred:  # NaN guard
-                raise ValidationError(f"estimator returned NaN for item {item.id}")
-            pred = max(pred, item.arrival + 1e-12 * max(1.0, abs(item.arrival)))
+            pred = clamp_prediction(item, est(item))
             predicted[item.id] = pred
-            decision_item = item if pred == item.departure else item.with_departure(pred)
-            bin_index = self.packer.place(decision_item)
-            assignment[item.id] = bin_index
-            if decision_item is not item:
-                self._amend_commit(bin_index, decision_item, item)
-        packing = PackingResult(items, assignment, algorithm=self.packer.describe())
+            session.submit(item, predicted_departure=pred)
         return SimulationResult(
-            packing=packing,
+            packing=session.result(),
             predicted_departures=predicted,
             num_placements=len(items),
         )
-
-    def _amend_commit(self, bin_index: int, committed: Item, actual: Item) -> None:
-        """Swap the just-committed predicted item for the actual one.
-
-        Keeps bin level profiles tracking *actual* occupancy so subsequent
-        arrival-instant fit checks match what a real system observes.
-        """
-        b = self.packer.bins[bin_index]
-        if not b.items or b.items[-1].id != committed.id:
-            raise ValidationError(
-                f"bin {bin_index} did not receive item {committed.id} last; "
-                f"cannot amend (packer broke the placement contract)"
-            )
-        b._items[-1] = actual  # noqa: SLF001 - deliberate tight coupling
-        b._profile.remove(committed.interval, committed.size)  # noqa: SLF001
-        b._profile.add(actual.interval, actual.size)  # noqa: SLF001

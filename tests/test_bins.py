@@ -120,6 +120,56 @@ class TestUsage:
         assert not b.is_open_at(0.5)
 
 
+class TestAmendAndPop:
+    def test_amend_last_swaps_interval(self):
+        b = Bin(0)
+        b.place(Item(0, 0.5, Interval(0.0, 10.0)))
+        b.amend_last(Item(0, 0.5, Interval(0.0, 1.0)))
+        assert b.usage_time() == pytest.approx(1.0)
+        assert b.close_time() == 1.0
+        assert not b.is_open_at(2.0)
+        b.check_invariants()
+
+    def test_amend_last_wrong_id_rejected(self):
+        b = Bin(0)
+        b.place(Item(0, 0.5, Interval(0.0, 1.0)))
+        with pytest.raises(ValidationError, match="contract"):
+            b.amend_last(Item(7, 0.5, Interval(0.0, 2.0)))
+
+    def test_amend_last_on_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Bin(0).amend_last(Item(0, 0.5, Interval(0.0, 1.0)))
+
+    def test_pop_last_undoes_place(self):
+        b = Bin(0)
+        b.place(Item(0, 0.5, Interval(0.0, 2.0)))
+        b.place(Item(1, 0.4, Interval(1.0, 5.0)))
+        popped = b.pop_last()
+        assert popped.id == 1
+        assert b.usage_time() == pytest.approx(2.0)
+        assert b.close_time() == 2.0
+        b.check_invariants()
+        b.pop_last()
+        assert b.is_empty
+
+    def test_pop_last_on_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Bin(0).pop_last()
+
+    @given(items_strategy(max_items=10))
+    def test_invariants_after_place_amend_pop_mix(self, items):
+        b = Bin(0)
+        for i, r in enumerate(items):
+            b.place(r, check=False)
+            b.check_invariants()
+            if i % 3 == 1:
+                b.amend_last(r.with_departure(r.departure + 0.25))
+                b.check_invariants()
+            elif i % 3 == 2:
+                b.pop_last()
+                b.check_invariants()
+
+
 class TestBinsFromAssignment:
     def test_groups_by_bin(self, simple_items):
         bins = bins_from_assignment(simple_items, {0: 0, 1: 1, 2: 0})

@@ -96,6 +96,28 @@ class TestPack:
         assert code == 0
         assert "alpha=3" in capsys.readouterr().out
 
+    def test_unknown_algorithm_exits_2_listing_available(self, trace, capsys):
+        code = main(["pack", "--trace", str(trace), "--algorithm", "frist-fit"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "first-fit" in err  # the message lists what IS available
+
+    def test_bad_parameter_exits_2(self, trace, capsys):
+        code = main(
+            [
+                "pack",
+                "--trace",
+                str(trace),
+                "--algorithm",
+                "classify-duration",
+                "--alpha",
+                "-1.0",
+            ]
+        )
+        assert code == 2
+        assert "alpha" in capsys.readouterr().err
+
 
 class TestCompare:
     def test_subset(self, trace, capsys):
@@ -202,6 +224,42 @@ class TestReplayCommand:
         )
         assert code == 2
         assert "online" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_streams_and_reports_counters(self, trace, capsys):
+        code = main(["serve", "--trace", str(trace), "--algorithm", "first-fit"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve: first-fit" in out
+        assert "engine counters" in out
+        assert "items_submitted" in out
+
+    def test_snapshot_every(self, trace, capsys):
+        code = main(
+            [
+                "serve",
+                "--trace",
+                str(trace),
+                "--algorithm",
+                "classify-duration",
+                "--snapshot-every",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "open_bins=" in out
+
+    def test_requires_online_algorithm(self, trace, capsys):
+        code = main(["serve", "--trace", str(trace), "--algorithm", "dual-coloring"])
+        assert code == 2
+        assert "online" in capsys.readouterr().err
+
+    def test_unknown_algorithm_exits_2(self, trace, capsys):
+        code = main(["serve", "--trace", str(trace), "--algorithm", "zzz"])
+        assert code == 2
+        assert "unknown packer" in capsys.readouterr().err
 
 
 class TestReportCommand:

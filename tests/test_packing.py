@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given
 
-from repro.core import Interval, Item, ItemList, PackingResult, ValidationError
+from repro.core import Bin, Interval, Item, ItemList, PackingResult, ValidationError
 
 from conftest import items_strategy, small_sizes
 
@@ -30,6 +30,40 @@ class TestConstruction:
         assert result.max_open_bins() == 0
 
 
+class TestFromBins:
+    def test_assignment_derived_from_bins(self, simple_items):
+        b0, b1 = Bin(0), Bin(1)
+        b0.place(simple_items[0])
+        b1.place(simple_items[1])
+        b0.place(simple_items[2], check=False)
+        result = PackingResult.from_bins([b0, b1], simple_items, algorithm="manual")
+        assert result.assignment == {0: 0, 1: 1, 2: 0}
+        assert result.algorithm == "manual"
+
+    def test_items_collected_when_omitted(self, simple_items):
+        b = Bin(0)
+        for r in simple_items:
+            b.place(r, check=False)
+        result = PackingResult.from_bins([b])
+        assert result.items == simple_items
+
+    def test_empty_bins_skipped(self, simple_items):
+        b = Bin(3)
+        for r in simple_items:
+            b.place(r, check=False)
+        result = PackingResult.from_bins([Bin(0), b], simple_items)
+        assert set(result.assignment.values()) == {3}
+
+    def test_accepts_generators(self, simple_items):
+        bins = []
+        for i, r in enumerate(simple_items):
+            b = Bin(i)
+            b.place(r)
+            bins.append(b)
+        result = PackingResult.from_bins(b for b in bins)
+        assert result.num_bins == 3
+
+
 class TestValidation:
     def test_feasible_passes(self, disjoint_items):
         one_bin_packing(disjoint_items).validate()
@@ -52,6 +86,18 @@ class TestValidation:
     def test_float_dust_tolerated(self):
         items = ItemList([Item(i, 0.1, Interval(0.0, 1.0)) for i in range(10)])
         assert one_bin_packing(items).is_feasible()
+
+    @given(items_strategy(max_items=10))
+    def test_vectorized_agrees_with_exact(self, items):
+        # The numpy sweep and the per-bin StepFunction recompute must agree
+        # on feasibility for arbitrary (often infeasible) assignments.
+        result = PackingResult(items, {r.id: r.id % 2 for r in items})
+        try:
+            result._validate_exact()
+            exact_ok = True
+        except ValidationError:
+            exact_ok = False
+        assert result.is_feasible() == exact_ok
 
 
 class TestObjective:
@@ -116,6 +162,15 @@ class TestPackingProperties:
         assert result.open_bins_profile().integral() == pytest.approx(
             result.total_usage(), rel=1e-9
         )
+
+    @given(items_strategy(max_items=8))
+    def test_usage_same_with_and_without_cached_bins(self, items):
+        # total_usage has two code paths: the numpy sweep over the raw
+        # assignment and the sum of cached per-bin usage times.
+        result = PackingResult(items, {r.id: r.id % 3 for r in items})
+        vectorized = result.total_usage()
+        result.bins()  # materialise the cache; flips to the cached path
+        assert result.total_usage() == pytest.approx(vectorized, rel=1e-12)
 
     @given(items_strategy(max_items=8, size_strategy=small_sizes))
     def test_singleton_bins_always_feasible(self, items):
