@@ -1,0 +1,185 @@
+"""ADVERSARY — sweep-line + incremental ``opt_total`` vs the legacy rescan.
+
+Engineering bench for the exact repacking adversary (not a paper exhibit).
+Every empirical ratio divides by ``OPT_total(R) = ∫ OPT(R, t) dt`` (§3.2),
+so the adversary's cost bounds every sweep and every hill-climb search.
+This bench measures the two layers the fast pipeline adds and checks that
+both return values **bit-identical** to the reference implementation:
+
+* ``opt_total`` (event-sorted sweep line, warm-started branch and bound,
+  memo cache) is at least 5x faster than the legacy per-interval rescan
+  ``opt_total_scan`` on a 5k-item generated trace;
+* a hill-climb evaluation loop through :class:`~repro.algorithms.AdversaryOracle`
+  (re-solving only slices touched by each mutation) is at least 10x faster
+  than re-paying the full rescan per mutation.
+
+Run as a script (``python benchmarks/bench_opt_total.py [--quick]``) or
+through pytest (``pytest benchmarks/bench_opt_total.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.algorithms import AdversaryOracle, MemoCache, opt_total, opt_total_scan
+from repro.algorithms.optimal import SolverStats
+from repro.analysis import render_table
+from repro.bounds.search import _mutate, _random_instance
+from repro.core import ItemList
+from repro.workloads import uniform_random
+
+FULL_N = 5_000
+FULL_SEARCH = (250, 200.0, 150)  # (instance items, arrival span, mutations)
+FULL_FLOORS = (5.0, 10.0)  # (opt_total, search loop)
+
+QUICK_N = 1_500
+QUICK_SEARCH = (100, 70.0, 60)
+QUICK_FLOORS = (2.0, 3.0)  # small-n floors; the full run shows 5x / 10x
+
+
+def make_trace(n: int) -> ItemList:
+    """A reproducible open-ended trace with bounded concurrency."""
+    return uniform_random(n, seed=42, arrival_span=float(n))
+
+
+def run_opt_total_experiment(n: int) -> dict[str, object]:
+    """Time the legacy rescan vs the sweep-line adversary on one trace."""
+    items = make_trace(n)
+    t0 = time.perf_counter()
+    reference = opt_total_scan(items)
+    scan_seconds = time.perf_counter() - t0
+    stats = SolverStats()
+    t0 = time.perf_counter()
+    value = opt_total(items, memo=MemoCache(), stats=stats)
+    sweep_seconds = time.perf_counter() - t0
+    assert value == reference, (
+        f"sweep adversary diverged: {value!r} != legacy {reference!r}"
+    )
+    speedup = scan_seconds / sweep_seconds if sweep_seconds > 0 else float("inf")
+    return {
+        "items": n,
+        "slices": stats.slices,
+        "memo hits": stats.memo_hits,
+        "scan (s)": scan_seconds,
+        "sweep (s)": sweep_seconds,
+        "speedup": speedup,
+        "OPT_total": value,
+    }
+
+
+def run_search_experiment(
+    n_items: int, span: float, steps: int
+) -> dict[str, object]:
+    """Time a hill-climb evaluation loop: full rescan vs the oracle.
+
+    Reproduces what :func:`repro.bounds.find_bad_instance` pays per
+    candidate: a chain of single-item mutations, each needing the exact
+    adversary value.  The legacy loop re-pays ``opt_total_scan`` per
+    mutation; the oracle re-solves only the slices each mutation touches.
+    """
+    rng = np.random.default_rng(7)
+    base = _random_instance(rng, n_items, span, 0.5, 8.0)
+    candidates = []
+    current = base
+    for _ in range(steps):
+        current = _mutate(rng, current, span, 0.5, 8.0)
+        candidates.append(current)
+
+    t0 = time.perf_counter()
+    legacy_values = [opt_total_scan(c) for c in candidates]
+    legacy_seconds = time.perf_counter() - t0
+
+    stats = SolverStats()
+    oracle = AdversaryOracle(stats=stats)
+    oracle.opt_total(base)
+    t0 = time.perf_counter()
+    oracle_values = [oracle.opt_total(c) for c in candidates]
+    oracle_seconds = time.perf_counter() - t0
+
+    assert oracle_values == legacy_values, (
+        "oracle value sequence diverged from per-mutation rescans"
+    )
+    speedup = legacy_seconds / oracle_seconds if oracle_seconds > 0 else float("inf")
+    return {
+        "instance": n_items,
+        "mutations": steps,
+        "slices reused": stats.slices_reused,
+        "memo hits": stats.memo_hits,
+        "rescan loop (s)": legacy_seconds,
+        "oracle loop (s)": oracle_seconds,
+        "speedup": speedup,
+    }
+
+
+def test_opt_total_speedup(benchmark, report):
+    """Pytest entry: quick-size speedups + bit-exact adversary parity."""
+    opt_row = run_opt_total_experiment(QUICK_N)
+    search_row = run_search_experiment(*QUICK_SEARCH)
+    assert opt_row["speedup"] >= QUICK_FLOORS[0]  # type: ignore[operator]
+    assert search_row["speedup"] >= QUICK_FLOORS[1]  # type: ignore[operator]
+    items = make_trace(400)
+
+    def one_sweep():
+        return opt_total(items, memo=MemoCache())
+
+    benchmark(one_sweep)
+    report(
+        render_table(
+            [opt_row],
+            title="[ADVERSARY] sweep-line opt_total vs legacy rescan",
+            precision=4,
+        )
+        + "\n\n"
+        + render_table(
+            [search_row],
+            title="[ADVERSARY] hill-climb loop: oracle vs per-mutation rescan",
+            precision=4,
+        )
+    )
+
+
+def main() -> int:
+    """Script entry: the full (or --quick) speedup runs with floors."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"small run for CI smoke ({QUICK_N} items instead of {FULL_N})",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        n, search, floors = QUICK_N, QUICK_SEARCH, QUICK_FLOORS
+    else:
+        n, search, floors = FULL_N, FULL_SEARCH, FULL_FLOORS
+    opt_row = run_opt_total_experiment(n)
+    print(
+        render_table(
+            [opt_row], title="sweep-line opt_total vs legacy rescan", precision=4
+        )
+    )
+    search_row = run_search_experiment(*search)
+    print(
+        render_table(
+            [search_row],
+            title="hill-climb loop: oracle vs per-mutation rescan",
+            precision=4,
+        )
+    )
+    failures = 0
+    for label, row, floor in (
+        ("opt_total", opt_row, floors[0]),
+        ("search loop", search_row, floors[1]),
+    ):
+        if row["speedup"] < floor:  # type: ignore[operator]
+            print(f"FAIL: {label} speedup {row['speedup']:.2f}x below {floor}x")
+            failures += 1
+        else:
+            print(f"OK: {label} {row['speedup']:.1f}x >= {floor}x")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

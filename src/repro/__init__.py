@@ -40,10 +40,14 @@ from .algorithms import (
     Packer,
     PackerInfo,
     ParamInfo,
+    AdversaryOracle,
+    MemoCache,
+    SolverStats,
     available_packers,
     bin_packing_min_bins,
     get_packer,
     opt_total,
+    opt_total_incremental,
     optimal_packing,
     packer_info,
 )
@@ -89,10 +93,14 @@ __all__ = [
     "Packer",
     "PackerInfo",
     "ParamInfo",
+    "AdversaryOracle",
+    "MemoCache",
+    "SolverStats",
     "available_packers",
     "bin_packing_min_bins",
     "get_packer",
     "opt_total",
+    "opt_total_incremental",
     "optimal_packing",
     "packer_info",
     "GOLDEN_RATIO",

@@ -19,7 +19,10 @@ Non-clairvoyant baselines:
   :class:`HybridFirstFitPacker` (Li et al. [17]).
 
 Exact solvers: :func:`bin_packing_min_bins`, :func:`opt_total` (the repacking
-adversary), :func:`optimal_packing` (tiny-instance true optimum).
+adversary: sweep line + memoization + warm starts, see
+:mod:`repro.algorithms.adversary`), :class:`AdversaryOracle` /
+:func:`opt_total_incremental` (mutation-window re-evaluation),
+:func:`optimal_packing` (tiny-instance true optimum).
 """
 
 from .anyfit import (
@@ -52,10 +55,18 @@ from .hybrid_first_fit import HybridFirstFitPacker
 from .postopt import DualColoringMergedPacker, merge_bins
 from .usage_aware import UsageAwareFitPacker
 from .optimal import (
+    SolverStats,
     bin_packing_min_bins,
     brute_force_min_usage,
-    opt_total,
+    opt_total_scan,
     optimal_packing,
+)
+from .adversary import (
+    AdversaryOracle,
+    MemoCache,
+    default_memo,
+    opt_total,
+    opt_total_incremental,
 )
 
 __all__ = [
@@ -88,8 +99,14 @@ __all__ = [
     "UsageAwareFitPacker",
     "DualColoringMergedPacker",
     "merge_bins",
+    "SolverStats",
     "bin_packing_min_bins",
     "brute_force_min_usage",
     "opt_total",
+    "opt_total_scan",
     "optimal_packing",
+    "AdversaryOracle",
+    "MemoCache",
+    "default_memo",
+    "opt_total_incremental",
 ]

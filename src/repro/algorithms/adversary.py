@@ -1,0 +1,494 @@
+"""The incremental repacking adversary: sweep line, memoization, warm starts.
+
+Every empirical ratio in this repository divides by the paper's §3.2
+adversary ``OPT_total(R) = ∫ OPT(R, t) dt``.  This module is the production
+pipeline for that integral, built from three layers:
+
+* :func:`opt_total` — an event-sorted **sweep line** over the elementary
+  intervals (via :func:`repro.core.events.active_size_slices`) that maintains
+  the active size multiset incrementally instead of rescanning all items per
+  interval, **warm-starts** each slice's branch-and-bound with the previous
+  slice's optimum plus its arrivals, and answers repeated multisets from a
+  :class:`MemoCache`.
+* :class:`MemoCache` — a thread-safe, optionally disk-backed map from the
+  canonical hash of a size multiset to its exact bin count, shared across
+  ``opt_total`` calls (and, through a file, across sweep worker processes
+  and repeated benchmark runs).
+* :class:`AdversaryOracle` — a stateful evaluator that remembers the slice
+  decomposition of the last instance it solved; when the next instance
+  differs only by item mutations, it recomputes **only the slices
+  intersecting the mutated time windows** and splices the rest — the fast
+  path behind :func:`repro.bounds.find_bad_instance`'s hill climb.
+
+All three return values bit-identical to the reference
+:func:`repro.algorithms.optimal.opt_total_scan`: the slice boundaries, the
+per-slice exact optima and the left-to-right summation order are the same,
+so the floating-point result is exactly equal, not merely approximately.
+Observability flows through :class:`~repro.algorithms.optimal.SolverStats`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import threading
+from bisect import bisect_left, bisect_right, insort
+from pathlib import Path
+from typing import Sequence
+
+from ..core.events import SizeSlice, active_size_slices
+from ..core.items import ItemList
+from ..core.stepfun import DEFAULT_TOL
+from .optimal import SolverStats, bin_packing_min_bins
+
+__all__ = [
+    "MemoCache",
+    "AdversaryOracle",
+    "opt_total",
+    "opt_total_incremental",
+    "default_memo",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shared memoization of slice optima
+# ---------------------------------------------------------------------------
+
+
+class MemoCache:
+    """Canonical multiset hash → exact bin count, shared across solves.
+
+    Keys are 16-byte BLAKE2b digests of the packed ``(tol, sorted sizes)``
+    vector, so identical slices hash identically regardless of which
+    instance produced them, and the cache stays compact even for thousands
+    of large slices.  All operations take an internal lock (thread-safe);
+    persistence is **merge-on-save** with an atomic ``os.replace``, so
+    concurrent sweep worker processes pointed at the same path never corrupt
+    the file — at worst a simultaneous save loses some of another worker's
+    freshly added entries.
+
+    A cached count is the *exact* optimum of its multiset, independent of
+    the node budget it was solved under; a hit can therefore only turn a
+    would-be :class:`~repro.core.SolverLimitError` into an exact answer,
+    never change a value.
+
+    Args:
+        path: Optional file backing the cache; loaded eagerly when it
+            exists, written by :meth:`save`.
+        max_entries: Soft capacity; the oldest entries are evicted first.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike[str] | None = None, *, max_entries: int = 1_000_000
+    ) -> None:
+        self._lock = threading.Lock()
+        self._data: dict[bytes, int] = {}
+        self.max_entries = max_entries
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.load()
+
+    @staticmethod
+    def key(sizes: Sequence[float], tol: float) -> bytes:
+        """The canonical cache key of a sorted size multiset at ``tol``."""
+        packed = struct.pack(f"<{len(sizes) + 1}d", tol, *sizes)
+        return hashlib.blake2b(packed, digest_size=16).digest()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: bytes) -> int | None:
+        """The cached bin count for ``key``, or ``None``."""
+        with self._lock:
+            return self._data.get(key)
+
+    def put(self, key: bytes, count: int) -> None:
+        """Record the exact bin count of a multiset."""
+        with self._lock:
+            if key not in self._data and len(self._data) >= self.max_entries:
+                del self._data[next(iter(self._data))]
+            self._data[key] = count
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the backing file is untouched)."""
+        with self._lock:
+            self._data.clear()
+
+    def load(self) -> int:
+        """Merge entries from the backing file; returns how many were read.
+
+        A missing, empty or unreadable file is treated as an empty cache —
+        persistence is an optimisation, never a correctness dependency.
+        """
+        if self.path is None or not self.path.exists():
+            return 0
+        try:
+            raw = self.path.read_bytes()
+            data = pickle.loads(raw) if raw else {}
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            return 0
+        if not isinstance(data, dict):
+            return 0
+        with self._lock:
+            for k, v in data.items():
+                self._data.setdefault(k, v)
+            return len(data)
+
+    def save(self) -> int:
+        """Merge this cache into the backing file atomically.
+
+        Existing on-disk entries from other processes are preserved; the
+        merged dict is written to a temp file and ``os.replace``d into
+        place.  Returns the number of entries written (0 without a path).
+        """
+        if self.path is None:
+            return 0
+        merged: dict[bytes, int] = {}
+        try:
+            raw = self.path.read_bytes()
+            on_disk = pickle.loads(raw) if raw else {}
+            if isinstance(on_disk, dict):
+                merged.update(on_disk)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            pass
+        with self._lock:
+            merged.update(self._data)
+        tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
+        tmp.write_bytes(pickle.dumps(merged, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, self.path)
+        return len(merged)
+
+
+#: Process-wide default cache used when ``opt_total`` is not handed one.
+_DEFAULT_MEMO = MemoCache()
+
+
+def default_memo() -> MemoCache:
+    """The process-wide :class:`MemoCache` behind ``opt_total(memo=None)``."""
+    return _DEFAULT_MEMO
+
+
+# ---------------------------------------------------------------------------
+# The sweep-line adversary
+# ---------------------------------------------------------------------------
+
+
+def _slice_count(
+    sizes: tuple[float, ...],
+    warm_upper: int,
+    *,
+    tol: float,
+    max_nodes: int,
+    memo: MemoCache,
+    stats: SolverStats | None,
+) -> int:
+    """Exact bin count of one slice: memo lookup, else warm-started B&B."""
+    key = MemoCache.key(sizes, tol)
+    cached = memo.get(key)
+    if cached is not None:
+        if stats is not None:
+            stats.memo_hits += 1
+        return cached
+    if stats is not None:
+        stats.memo_misses += 1
+    count = bin_packing_min_bins(
+        sizes, tol=tol, max_nodes=max_nodes, upper_bound=warm_upper, stats=stats
+    )
+    memo.put(key, count)
+    return count
+
+
+def _added_count(prev: tuple[float, ...], cur: tuple[float, ...]) -> int:
+    """``|cur \\ prev|`` as multisets of sorted floats (two-pointer walk)."""
+    i = j = common = 0
+    while i < len(prev) and j < len(cur):
+        if prev[i] == cur[j]:
+            common += 1
+            i += 1
+            j += 1
+        elif prev[i] < cur[j]:
+            i += 1
+        else:
+            j += 1
+    return len(cur) - common
+
+
+def opt_total(
+    items: ItemList,
+    *,
+    tol: float = DEFAULT_TOL,
+    max_nodes: int = 2_000_000,
+    memo: MemoCache | None = None,
+    stats: SolverStats | None = None,
+) -> float:
+    """Exact ``OPT_total(R) = ∫ OPT(R, t) dt`` (paper §3.2), fast.
+
+    An event-sorted sweep maintains the active size multiset in O(log n) per
+    event; each elementary interval's classical bin packing instance is
+    answered from ``memo`` when its multiset has been seen before (by any
+    prior call sharing the cache) and otherwise solved by branch and bound
+    warm-started with the previous slice's optimum plus its arrival count —
+    a valid upper bound, since removing departures cannot increase the
+    optimum and each arrival fits in a fresh bin.
+
+    Values are bit-identical to the reference
+    :func:`~repro.algorithms.optimal.opt_total_scan`.
+
+    Args:
+        items: The instance ``R``.
+        tol: Capacity tolerance (part of the memo key).
+        max_nodes: Per-slice branch-and-bound node budget.
+        memo: Cache to consult and fill; ``None`` uses the process-wide
+            :func:`default_memo`.
+        stats: Optional :class:`~repro.algorithms.optimal.SolverStats`
+            incremented in place.
+
+    Raises:
+        SolverLimitError: propagated from :func:`bin_packing_min_bins` if an
+            uncached slice exceeds the node budget.
+    """
+    if not items:
+        return 0.0
+    memo = _DEFAULT_MEMO if memo is None else memo
+    total = 0.0
+    prev_count = 0
+    for sl in active_size_slices(items):
+        if stats is not None:
+            stats.slices += 1
+        if not sl.sizes:
+            prev_count = 0
+            continue
+        count = _slice_count(
+            sl.sizes,
+            prev_count + sl.added,
+            tol=tol,
+            max_nodes=max_nodes,
+            memo=memo,
+            stats=stats,
+        )
+        total += count * (sl.right - sl.left)
+        prev_count = count
+    if stats is not None:
+        stats.full_evals += 1
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Incremental re-evaluation under item mutations
+# ---------------------------------------------------------------------------
+
+
+def _merge_windows(windows: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    windows.sort()
+    merged: list[tuple[float, float]] = []
+    for lo, hi in windows:
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+class AdversaryOracle:
+    """A stateful ``OPT_total`` evaluator with an incremental mutation path.
+
+    The oracle remembers the slice decomposition (boundaries, multisets,
+    exact per-slice optima) of the last instance it evaluated.  When the
+    next instance covers the same item ids and differs only in some items'
+    sizes or intervals — exactly what one hill-climb mutation produces —
+    it recomputes only the slices intersecting the mutated items' old/new
+    time windows; every other slice's multiset and count are spliced from
+    the previous evaluation without rescanning a single item.  The final
+    integral is re-summed left to right over all slices, so the result is
+    bit-identical to a from-scratch :func:`opt_total` of the new instance.
+
+    The memo cache and stats are shared across evaluations (and may be
+    shared wider by passing them in), so repeated slices pay for their
+    branch and bound exactly once per oracle/cache lifetime.
+
+    Args:
+        tol: Capacity tolerance.
+        max_nodes: Per-slice branch-and-bound node budget.
+        memo: Shared :class:`MemoCache`; a private one is created if omitted
+            (note: *not* the process-wide default, so oracle memory is
+            bounded by its own lifetime).
+        stats: Shared :class:`~repro.algorithms.optimal.SolverStats`; a
+            private one is created if omitted (read it via ``.stats``).
+    """
+
+    __slots__ = ("tol", "max_nodes", "memo", "stats", "_items", "_slices", "_counts")
+
+    #: An evaluation falls back to a full sweep when more than this fraction
+    #: of the items changed (windows would cover most of the timeline).
+    _INCREMENTAL_FRACTION = 0.25
+
+    def __init__(
+        self,
+        *,
+        tol: float = DEFAULT_TOL,
+        max_nodes: int = 2_000_000,
+        memo: MemoCache | None = None,
+        stats: SolverStats | None = None,
+    ) -> None:
+        self.tol = tol
+        self.max_nodes = max_nodes
+        self.memo = memo if memo is not None else MemoCache()
+        self.stats = stats if stats is not None else SolverStats()
+        self._items: ItemList | None = None
+        self._slices: list[SizeSlice] | None = None
+        self._counts: list[int] | None = None
+
+    def reset(self) -> None:
+        """Forget the remembered baseline (the memo cache is kept)."""
+        self._items = self._slices = self._counts = None
+
+    def opt_total(self, items: ItemList) -> float:
+        """Exact ``OPT_total(items)``, incrementally when possible.
+
+        Raises:
+            SolverLimitError: if an uncached slice exceeds the node budget;
+                the remembered baseline is left unchanged in that case.
+        """
+        if not items:
+            return 0.0
+        slices: list[SizeSlice] | None = None
+        counts: list[int] | None = None
+        if self._items is not None:
+            changed = self._items.changed_ids(items)
+            if changed is not None:
+                if not changed:
+                    slices, counts = self._slices, self._counts
+                elif len(changed) <= max(2, int(len(items) * self._INCREMENTAL_FRACTION)):
+                    slices, counts = self._incremental(items, changed)
+        if slices is None or counts is None:
+            slices, counts = self._full(items)
+        total = 0.0
+        for sl, count in zip(slices, counts):
+            if sl.sizes:
+                total += count * (sl.right - sl.left)
+        self._items, self._slices, self._counts = items, slices, counts
+        return total
+
+    # -- evaluation paths ---------------------------------------------------
+
+    def _count(self, sizes: tuple[float, ...], warm_upper: int) -> int:
+        return _slice_count(
+            sizes,
+            warm_upper,
+            tol=self.tol,
+            max_nodes=self.max_nodes,
+            memo=self.memo,
+            stats=self.stats,
+        )
+
+    def _full(self, items: ItemList) -> tuple[list[SizeSlice], list[int]]:
+        slices: list[SizeSlice] = []
+        counts: list[int] = []
+        prev_count = 0
+        for sl in active_size_slices(items):
+            self.stats.slices += 1
+            count = self._count(sl.sizes, prev_count + sl.added) if sl.sizes else 0
+            slices.append(sl)
+            counts.append(count)
+            prev_count = count
+        self.stats.full_evals += 1
+        return slices, counts
+
+    def _incremental(
+        self, items: ItemList, changed: list[int]
+    ) -> tuple[list[SizeSlice], list[int]]:
+        assert self._items is not None and self._slices is not None
+        assert self._counts is not None
+        old_items, old_slices, old_counts = self._items, self._slices, self._counts
+        old_changed = [old_items.by_id(i) for i in changed]
+        new_changed = [items.by_id(i) for i in changed]
+        raw_windows: list[tuple[float, float]] = []
+        for o, n in zip(old_changed, new_changed):
+            if o.size == n.size:
+                # Same size: only the symmetric difference of the two
+                # intervals changes the multiset — the overlap keeps the
+                # item as-is.  The two boundary-shift windows cover it
+                # (and cover both intervals when they are disjoint).
+                if o.arrival != n.arrival:
+                    raw_windows.append(
+                        (min(o.arrival, n.arrival), max(o.arrival, n.arrival))
+                    )
+                if o.departure != n.departure:
+                    raw_windows.append(
+                        (min(o.departure, n.departure), max(o.departure, n.departure))
+                    )
+            else:
+                raw_windows.append(
+                    (min(o.arrival, n.arrival), max(o.departure, n.departure))
+                )
+        windows = _merge_windows(raw_windows)
+        window_los = [w[0] for w in windows]
+        old_lefts = [sl.left for sl in old_slices]
+
+        def old_state_at(t: float) -> tuple[tuple[float, ...], int]:
+            """Old multiset and count at time ``t`` (empty outside coverage)."""
+            idx = bisect_right(old_lefts, t) - 1
+            if 0 <= idx and t < old_slices[idx].right:
+                return old_slices[idx].sizes, old_counts[idx]
+            return (), 0
+
+        def in_window(left: float, right: float) -> bool:
+            # Windows are merged (disjoint, sorted), so the last window
+            # starting strictly before `right` is the only candidate for an
+            # overlap with the half-open slice [left, right).
+            k = bisect_left(window_los, right) - 1
+            return k >= 0 and left < windows[k][1]
+
+        times = items.event_times()
+        slices: list[SizeSlice] = []
+        counts: list[int] = []
+        prev_sizes: tuple[float, ...] = ()
+        prev_count = 0
+        for left, right in zip(times[:-1], times[1:]):
+            self.stats.slices += 1
+            if not in_window(left, right):
+                sizes, count = old_state_at(left)
+                self.stats.slices_reused += 1
+            else:
+                base, _ = old_state_at(left)
+                active = list(base)
+                for item in old_changed:
+                    if item.active_at(left):
+                        del active[bisect_left(active, item.size)]
+                for item in new_changed:
+                    if item.active_at(left):
+                        insort(active, item.size)
+                sizes = tuple(active)
+                count = (
+                    self._count(sizes, prev_count + _added_count(prev_sizes, sizes))
+                    if sizes
+                    else 0
+                )
+            slices.append(SizeSlice(left, right, sizes, 0))
+            counts.append(count)
+            prev_sizes, prev_count = sizes, count
+        self.stats.incremental_evals += 1
+        return slices, counts
+
+
+def opt_total_incremental(
+    base_items: ItemList,
+    items: ItemList,
+    *,
+    tol: float = DEFAULT_TOL,
+    max_nodes: int = 2_000_000,
+    memo: MemoCache | None = None,
+    stats: SolverStats | None = None,
+) -> float:
+    """``OPT_total(items)`` via the incremental path anchored at ``base_items``.
+
+    Convenience wrapper over :class:`AdversaryOracle` for one-shot use: the
+    oracle evaluates the baseline, then re-evaluates the mutated instance
+    touching only the slices the mutation can affect.  Bit-identical to
+    ``opt_total(items)``.  For repeated mutations keep an oracle instead.
+    """
+    oracle = AdversaryOracle(tol=tol, max_nodes=max_nodes, memo=memo, stats=stats)
+    oracle.opt_total(base_items)
+    return oracle.opt_total(items)

@@ -7,10 +7,15 @@ repack everything at any time* (§3.2):
 
 where ``OPT(R, t)`` is the minimum number of unit bins into which the items
 active at time ``t`` can be packed — a classical (static) bin packing
-instance.  :func:`opt_total` computes this exactly by solving one classical
-instance per elementary interval between consecutive event times, using a
-branch-and-bound solver with first-fit-decreasing upper bounds and the L2
-lower bound of Martello & Toth for pruning.
+instance.  The production solver for the integral lives in
+:mod:`repro.algorithms.adversary` (sweep line + memoization + warm starts);
+this module keeps the building blocks: the exact classical solver
+:func:`bin_packing_min_bins` (branch and bound with first-fit-decreasing
+upper bounds, the L2 lower bound of Martello & Toth, closing perfect-fit
+dominance and optional warm-started upper bounds), its
+:class:`SolverStats` observability counters, and
+:func:`opt_total_scan` — the straightforward one-rescan-per-interval
+reference implementation that benches and parity tests compare against.
 
 For very small instances, :func:`optimal_packing` additionally finds the best
 *non-repacking* assignment (the true optimum of the DBP problem itself) by
@@ -22,6 +27,7 @@ algorithms sit between the two.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..core.bins import Bin
@@ -30,7 +36,80 @@ from ..core.items import ItemList
 from ..core.packing import PackingResult
 from ..core.stepfun import DEFAULT_TOL
 
-__all__ = ["bin_packing_min_bins", "opt_total", "optimal_packing"]
+__all__ = [
+    "SolverStats",
+    "bin_packing_min_bins",
+    "opt_total_scan",
+    "optimal_packing",
+]
+
+
+@dataclass(slots=True)
+class SolverStats:
+    """Mutable counters of the exact adversary pipeline.
+
+    The :class:`~repro.engine.EngineStats` of the solver layer: every
+    component that accepts a ``stats`` argument increments these in place, so
+    one object threaded through a sweep aggregates the whole run.
+
+    Attributes:
+        nodes: Branch-and-bound nodes expanded.
+        lb_prunes: Branches cut because a lower bound met the incumbent
+            (the L2 bound at the root, the continuous bound inside the tree).
+        dominance_hits: Closing perfect-fit dominance applications (the
+            current item filled a bin that no two further items could enter,
+            so all sibling branches were skipped).
+        warm_start_hits: Solves whose warm-started upper bound (previous
+            slice's optimum plus its arrivals) beat the FFD bound.
+        memo_hits: Slice instances answered from the memo cache.
+        memo_misses: Slice instances that had to be solved.
+        slices: Elementary intervals processed by ``opt_total``.
+        slices_reused: Slices an incremental re-evaluation copied verbatim
+            from the previous evaluation (no rescan, no memo lookup).
+        incremental_evals: Oracle evaluations served by the incremental
+            (mutation-window) path.
+        full_evals: Oracle / ``opt_total`` evaluations that swept the whole
+            timeline.
+    """
+
+    nodes: int = 0
+    lb_prunes: int = 0
+    dominance_hits: int = 0
+    warm_start_hits: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    slices: int = 0
+    slices_reused: int = 0
+    incremental_evals: int = 0
+    full_evals: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view for tabulation and JSON reports."""
+        return {
+            "nodes": self.nodes,
+            "lb_prunes": self.lb_prunes,
+            "dominance_hits": self.dominance_hits,
+            "warm_start_hits": self.warm_start_hits,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "slices": self.slices,
+            "slices_reused": self.slices_reused,
+            "incremental_evals": self.incremental_evals,
+            "full_evals": self.full_evals,
+        }
+
+    def merge(self, other: "SolverStats") -> None:
+        """Add ``other``'s counters into this object (sweep aggregation)."""
+        self.nodes += other.nodes
+        self.lb_prunes += other.lb_prunes
+        self.dominance_hits += other.dominance_hits
+        self.warm_start_hits += other.warm_start_hits
+        self.memo_hits += other.memo_hits
+        self.memo_misses += other.memo_misses
+        self.slices += other.slices
+        self.slices_reused += other.slices_reused
+        self.incremental_evals += other.incremental_evals
+        self.full_evals += other.full_evals
 
 
 # ---------------------------------------------------------------------------
@@ -38,10 +117,18 @@ __all__ = ["bin_packing_min_bins", "opt_total", "optimal_packing"]
 # ---------------------------------------------------------------------------
 
 
-def _ffd_bins(sizes: Sequence[float], tol: float) -> int:
-    """First-Fit-Decreasing upper bound on the optimal bin count."""
+def _ffd_bins(sizes: Sequence[float], tol: float, *, presorted: bool = False) -> int:
+    """First-Fit-Decreasing upper bound on the optimal bin count.
+
+    Args:
+        sizes: Item sizes.
+        tol: Capacity tolerance.
+        presorted: Set when ``sizes`` is already in decreasing order to skip
+            the re-sort (the exact solver sorts once and reuses the order).
+    """
     levels: list[float] = []
-    for s in sorted(sizes, reverse=True):
+    ordered = sizes if presorted else sorted(sizes, reverse=True)
+    for s in ordered:
         for i, lvl in enumerate(levels):
             if lvl + s <= 1.0 + tol:
                 levels[i] = lvl + s
@@ -78,17 +165,37 @@ def _l2_lower_bound(sizes: Sequence[float], tol: float) -> int:
 
 
 def bin_packing_min_bins(
-    sizes: Sequence[float], *, tol: float = DEFAULT_TOL, max_nodes: int = 2_000_000
+    sizes: Sequence[float],
+    *,
+    tol: float = DEFAULT_TOL,
+    max_nodes: int = 2_000_000,
+    upper_bound: int | None = None,
+    stats: SolverStats | None = None,
 ) -> int:
     """Exact minimum number of unit bins for the given sizes.
 
     Branch and bound: items in decreasing size order; each item goes into an
     existing bin (distinct levels only, to break symmetry) or one new bin.
+    Two refinements tighten the search without affecting exactness:
+
+    * **Warm start** — a caller that already knows a valid upper bound (the
+      adversary sweep derives one from the previous slice's optimum) passes
+      it via ``upper_bound``; when it beats the FFD bound it becomes the
+      initial incumbent, so pruning bites from the first node.
+    * **Closing perfect-fit dominance** — when the current item fits a bin
+      whose residual capacity cannot hold two further items, placing it
+      there is provably optimal (exchange argument: any set the adversary
+      puts there instead is a single item no larger than the current one),
+      so all sibling branches are skipped.
 
     Args:
         sizes: Item sizes, each in (0, 1].
         tol: Capacity tolerance.
         max_nodes: Search-node budget.
+        upper_bound: Optional externally-known valid upper bound on the
+            optimum (must be achievable, e.g. derived from a feasible
+            packing); the returned value is still the exact optimum.
+        stats: Optional :class:`SolverStats` to increment in place.
 
     Raises:
         ValidationError: if any size is outside (0, 1].
@@ -102,20 +209,32 @@ def bin_packing_min_bins(
         return 0
     order = sorted(sizes, reverse=True)
     n = len(order)
-    best = _ffd_bins(order, tol)
+    best = _ffd_bins(order, tol, presorted=True)
+    if upper_bound is not None and upper_bound < best:
+        best = upper_bound
+        if stats is not None:
+            stats.warm_start_hits += 1
     lb = _l2_lower_bound(order, tol)
     if lb >= best:
+        if stats is not None:
+            stats.lb_prunes += 1
         return best
     suffix = [0.0] * (n + 1)
     for i in range(n - 1, -1, -1):
         suffix[i] = suffix[i + 1] + order[i]
     nodes = 0
     best_found = best
+    smallest = order[-1]
+    # A bin whose total residual is below this can receive at most one more
+    # item in any completion — the closing perfect-fit dominance condition.
+    closing_residual = 2.0 * smallest
 
     def search(i: int, levels: list[float]) -> None:
         nonlocal best_found, nodes
         nodes += 1
         if nodes > max_nodes:
+            if stats is not None:
+                stats.nodes += nodes
             raise SolverLimitError(
                 f"bin packing B&B exceeded {max_nodes} nodes", best_known=best_found
             )
@@ -126,8 +245,21 @@ def bin_packing_min_bins(
         waste = sum(1.0 - lvl for lvl in levels)
         lower = len(levels) + max(0, -int(-((suffix[i] - waste) - tol) // 1))
         if lower >= best_found:
+            if stats is not None:
+                stats.lb_prunes += 1
             return
         s = order[i]
+        for j, lvl in enumerate(levels):
+            if lvl + s <= 1.0 + tol and (
+                i == n - 1 or (1.0 + tol) - lvl < closing_residual
+            ):
+                # Closing perfect fit: this placement is dominant.
+                if stats is not None:
+                    stats.dominance_hits += 1
+                levels[j] = lvl + s
+                search(i + 1, levels)
+                levels[j] = lvl
+                return
         tried: set[float] = set()
         for j, lvl in enumerate(levels):
             if lvl + s <= 1.0 + tol and lvl not in tried:
@@ -140,23 +272,33 @@ def bin_packing_min_bins(
             search(i + 1, levels)
             levels.pop()
 
-    search(0, [])
+    try:
+        search(0, [])
+    except SolverLimitError:
+        raise
+    else:
+        if stats is not None:
+            stats.nodes += nodes
     return best_found
 
 
 # ---------------------------------------------------------------------------
-# The repacking adversary OPT_total
+# The repacking adversary OPT_total — reference implementation
 # ---------------------------------------------------------------------------
 
 
-def opt_total(
+def opt_total_scan(
     items: ItemList, *, tol: float = DEFAULT_TOL, max_nodes: int = 2_000_000
 ) -> float:
-    """Exact ``OPT_total(R) = ∫ OPT(R, t) dt`` (paper §3.2).
+    """Exact ``OPT_total(R) = ∫ OPT(R, t) dt`` by per-interval rescans.
 
-    One classical bin packing instance is solved per elementary interval
-    between consecutive event times; results are cached on the multiset of
-    active sizes, which repeats often in structured workloads.
+    The straightforward reference implementation: one classical bin packing
+    instance per elementary interval, with the active set rebuilt by a full
+    O(n) scan per interval and results cached per call on the multiset of
+    active sizes.  The production :func:`repro.algorithms.opt_total`
+    (sweep line + shared memoization + warm starts) returns bit-identical
+    values; benches and parity tests keep this version around as the ground
+    truth to diff against.
 
     Raises:
         SolverLimitError: propagated from :func:`bin_packing_min_bins` if an
@@ -225,7 +367,7 @@ def optimal_packing(
         if nodes > max_nodes:
             raise SolverLimitError(
                 f"optimal_packing exceeded {max_nodes} nodes",
-                best_known=None if best_assignment is None else int(best_usage),
+                best_known=None if best_assignment is None else best_usage,
             )
         current = usage_of(bins)
         if current >= best_usage:

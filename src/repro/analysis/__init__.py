@@ -1,9 +1,12 @@
 """Experiment machinery: ratio sweeps, tables, the noise study.
 
-Also re-exports :class:`~repro.engine.EngineStats` so engine counters sit
-next to the rest of the instrumentation surface.
+Also re-exports :class:`~repro.engine.EngineStats` and the adversary's
+:class:`~repro.algorithms.SolverStats` / :class:`~repro.algorithms.MemoCache`
+so every instrumentation counter sits on one surface.
 """
 
+from ..algorithms.adversary import MemoCache
+from ..algorithms.optimal import SolverStats
 from ..engine.stats import EngineStats
 from .instrumentation import (
     CategoryStageAnalysis,
@@ -24,6 +27,8 @@ from .tables import format_cell, render_series, render_table
 
 __all__ = [
     "EngineStats",
+    "SolverStats",
+    "MemoCache",
     "CategoryStageAnalysis",
     "DurationCategoryAnalysis",
     "Theorem1BinAnalysis",

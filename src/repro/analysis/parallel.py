@@ -15,9 +15,12 @@ from __future__ import annotations
 
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Mapping, Sequence
 
+from ..algorithms.adversary import MemoCache
 from ..algorithms.base import get_packer
+from ..algorithms.optimal import SolverStats
 from ..core.exceptions import ValidationError
 from ..workloads import (
     bounded_mu,
@@ -64,29 +67,40 @@ class SweepTask:
 
 @dataclass(frozen=True)
 class SweepOutcome:
-    """Result of one cell: the measured ratio plus identifying fields."""
+    """Result of one cell: the measured ratio plus identifying fields.
+
+    ``solver`` carries the cell's adversary counters
+    (:class:`~repro.algorithms.SolverStats`): nodes, prunes, memo and
+    warm-start hits — merge them across outcomes for a sweep-level view.
+    """
 
     task: SweepTask
     usage: float
     denominator: float
     ratio: float
     exact: bool
+    solver: SolverStats = field(default_factory=SolverStats, compare=False)
 
 
-def _run_one(task: SweepTask) -> SweepOutcome:
+def _run_one(task: SweepTask, memo_path: str | None = None) -> SweepOutcome:
     """Worker entry point (module-level for pickling)."""
     generator = WORKLOAD_GENERATORS[task.workload]
     kwargs = dict(task.workload_kwargs)
     n = kwargs.pop("n", None)
     items = generator(n, **kwargs) if n is not None else generator(**kwargs)
     packer = get_packer(task.packer, **dict(task.packer_kwargs))
-    m = measured_ratio(packer, items)
+    stats = SolverStats()
+    memo = MemoCache(memo_path) if memo_path is not None else None
+    m = measured_ratio(packer, items, memo=memo, stats=stats)
+    if memo is not None:
+        memo.save()
     return SweepOutcome(
         task=task,
         usage=m.usage,
         denominator=m.denominator,
         ratio=m.ratio,
         exact=m.exact,
+        solver=stats,
     )
 
 
@@ -95,6 +109,7 @@ def run_sweep(
     *,
     max_workers: int | None = None,
     executor: str = "process",
+    memo_path: str | None = None,
 ) -> list[SweepOutcome]:
     """Execute tasks, in parallel by default; order follows the input.
 
@@ -103,6 +118,11 @@ def run_sweep(
         max_workers: Worker count (``None`` = executor default).
         executor: ``"process"`` (default; true parallelism),
             ``"thread"`` (useful under debuggers), or ``"serial"``.
+        memo_path: Optional path of a disk-backed adversary
+            :class:`~repro.algorithms.MemoCache` shared by every cell: each
+            worker loads it before measuring and merge-saves after, so
+            repeated runs (and cells sharing slices) stop recomputing
+            identical bin packing instances.
 
     Raises:
         ValidationError: for unknown workload names or executor kinds.
@@ -113,8 +133,9 @@ def run_sweep(
                 f"unknown workload {task.workload!r}; "
                 f"available: {sorted(WORKLOAD_GENERATORS)}"
             )
+    run = partial(_run_one, memo_path=memo_path)
     if executor == "serial":
-        return [_run_one(t) for t in tasks]
+        return [run(t) for t in tasks]
     pool_cls: type[Executor]
     if executor == "process":
         pool_cls = ProcessPoolExecutor
@@ -123,4 +144,4 @@ def run_sweep(
     else:
         raise ValidationError(f"unknown executor {executor!r}")
     with pool_cls(max_workers=max_workers) as pool:
-        return list(pool.map(_run_one, tasks))
+        return list(pool.map(run, tasks))

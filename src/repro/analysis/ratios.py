@@ -18,10 +18,10 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..algorithms.adversary import MemoCache
 from ..algorithms.base import Packer
-from ..algorithms.optimal import opt_total
-from ..bounds.opt_bounds import best_lower_bound
-from ..core.exceptions import SolverLimitError
+from ..algorithms.optimal import SolverStats
+from ..bounds.opt_bounds import adversary_denominator
 from ..core.items import ItemList
 
 __all__ = ["RatioMeasurement", "measured_ratio", "SweepPoint", "sweep_mu"]
@@ -53,24 +53,36 @@ def measured_ratio(
     *,
     exact_opt_max_items: int = 200,
     solver_nodes: int = 500_000,
+    memo: MemoCache | None = None,
+    stats: SolverStats | None = None,
 ) -> RatioMeasurement:
     """Pack ``items`` and measure the ratio against the adversary.
 
     Tries the exact repacking adversary first for instances up to
     ``exact_opt_max_items`` items; on size or solver-budget overflow it
-    falls back to the Proposition 1–3 lower bound.
+    falls back to the Proposition 1–3 lower bound (the shared policy of
+    :func:`repro.bounds.adversary_denominator`).
+
+    Args:
+        packer: Algorithm under measurement.
+        items: The instance.
+        exact_opt_max_items: Exact-adversary size ceiling.
+        solver_nodes: Per-slice node budget for the exact adversary.
+        memo: Optional shared :class:`~repro.algorithms.MemoCache` so
+            repeated measurements stop re-solving identical slices.
+        stats: Optional :class:`~repro.algorithms.SolverStats` populated in
+            place with the adversary's counters.
     """
     result = packer.pack(items)
     usage = result.total_usage()
-    if len(items) <= exact_opt_max_items:
-        try:
-            denom = opt_total(items, max_nodes=solver_nodes)
-            return RatioMeasurement(usage=usage, denominator=denom, exact=True)
-        except SolverLimitError:
-            pass
-    return RatioMeasurement(
-        usage=usage, denominator=best_lower_bound(items), exact=False
+    denom, exact = adversary_denominator(
+        items,
+        exact_opt_max_items=exact_opt_max_items,
+        solver_nodes=solver_nodes,
+        memo=memo,
+        stats=stats,
     )
+    return RatioMeasurement(usage=usage, denominator=denom, exact=exact)
 
 
 @dataclass(frozen=True, slots=True)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..algorithms.base import Packer, get_packer
-from ..algorithms.optimal import opt_total
+from ..algorithms.adversary import opt_total
 from ..bounds.competitive import (
     classify_departure_ratio,
     classify_duration_ratio,

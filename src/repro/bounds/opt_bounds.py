@@ -16,14 +16,21 @@ These are cheap (no search), so they scale to instances where the exact
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from ..core.exceptions import SolverLimitError
 from ..core.items import ItemList
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..algorithms.adversary import MemoCache
+    from ..algorithms.optimal import SolverStats
 
 __all__ = [
     "demand_lower_bound",
     "span_lower_bound",
     "ceil_size_lower_bound",
     "best_lower_bound",
+    "adversary_denominator",
     "OptBounds",
 ]
 
@@ -55,6 +62,37 @@ def best_lower_bound(items: ItemList) -> float:
         span_lower_bound(items),
         ceil_size_lower_bound(items),
     )
+
+
+def adversary_denominator(
+    items: ItemList,
+    *,
+    exact_opt_max_items: int = 200,
+    solver_nodes: int = 500_000,
+    memo: "MemoCache | None" = None,
+    stats: "SolverStats | None" = None,
+) -> tuple[float, bool]:
+    """The ratio denominator: exact ``OPT_total`` when tractable, else bounds.
+
+    The single policy every ratio measurement shares: solve the exact
+    repacking adversary for instances up to ``exact_opt_max_items`` items,
+    falling back to the Proposition 1–3 lower bound on size or solver-budget
+    overflow (which makes the reported ratio an *upper bound* on the true
+    one — the conservative direction for checking the paper's guarantees).
+
+    Returns:
+        ``(denominator, exact)`` where ``exact`` is True iff the value is
+        the solved ``OPT_total``.
+    """
+    from ..algorithms.adversary import opt_total
+
+    if len(items) <= exact_opt_max_items:
+        try:
+            value = opt_total(items, max_nodes=solver_nodes, memo=memo, stats=stats)
+            return value, True
+        except SolverLimitError:
+            pass
+    return best_lower_bound(items), False
 
 
 @dataclass(frozen=True, slots=True)

@@ -8,18 +8,26 @@ keeps mutations that increase the measured ratio of a target algorithm
 against the exact repacking adversary.
 
 Instances are kept small so ``opt_total`` stays exact; the result therefore
-reports true ratios, directly comparable to the theorems' bounds.
+reports true ratios, directly comparable to the theorems' bounds.  Each
+candidate is evaluated through a shared
+:class:`~repro.algorithms.AdversaryOracle`: a mutation touches one item, so
+the oracle re-solves only the time slices intersecting the mutated window
+and answers recurring slices from its memo cache — the evaluation loop runs
+an order of magnitude faster than re-paying the full adversary per mutation
+(see ``benchmarks/bench_opt_total.py``), while producing bit-identical
+ratios.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from ..algorithms.adversary import AdversaryOracle
 from ..algorithms.base import Packer
-from ..algorithms.optimal import opt_total
+from ..algorithms.optimal import SolverStats
 from ..core.exceptions import SolverLimitError, ValidationError
 from ..core.intervals import Interval
 from ..core.items import Item, ItemList
@@ -36,17 +44,20 @@ class SearchResult:
         ratio: Its exact algorithm/OPT_total ratio.
         iterations: Mutation steps performed.
         accepted: Mutations that improved the ratio.
+        solver_stats: Adversary counters accumulated over every evaluation
+            of the search (nodes, prunes, memo/warm-start hits, reuse).
     """
 
     items: ItemList
     ratio: float
     iterations: int
     accepted: int
+    solver_stats: SolverStats = field(default_factory=SolverStats, compare=False)
 
 
-def _ratio(packer: Packer, items: ItemList, max_nodes: int) -> float:
+def _ratio(packer: Packer, items: ItemList, oracle: AdversaryOracle) -> float:
     usage = packer.pack(items).total_usage()
-    denom = opt_total(items, max_nodes=max_nodes)
+    denom = oracle.opt_total(items)
     return usage / denom if denom > 0 else 1.0
 
 
@@ -129,19 +140,23 @@ def find_bad_instance(
     if not 0 < min_duration <= max_duration:
         raise ValidationError("need 0 < min_duration <= max_duration")
     packer = make_packer()
+    stats = SolverStats()
+    # One oracle for the whole search: the memo cache spans restarts, and
+    # each mutation re-solves only the slices its window touches.
+    oracle = AdversaryOracle(max_nodes=solver_nodes, stats=stats)
     best: SearchResult | None = None
     for r in range(restarts):
         rng = np.random.default_rng((seed, r))
         current = _random_instance(rng, n_items, span, min_duration, max_duration)
         try:
-            current_ratio = _ratio(packer, current, solver_nodes)
+            current_ratio = _ratio(packer, current, oracle)
         except SolverLimitError:
             continue
         accepted = 0
         for _ in range(iterations):
             candidate = _mutate(rng, current, span, min_duration, max_duration)
             try:
-                cand_ratio = _ratio(packer, candidate, solver_nodes)
+                cand_ratio = _ratio(packer, candidate, oracle)
             except SolverLimitError:
                 continue
             if cand_ratio > current_ratio:
@@ -152,6 +167,7 @@ def find_bad_instance(
             ratio=current_ratio,
             iterations=iterations,
             accepted=accepted,
+            solver_stats=stats,
         )
         if best is None or result.ratio > best.ratio:
             best = result

@@ -10,6 +10,9 @@ Commands:
   repacking adversary for small traces);
 * ``serve`` — stream a trace through the packing engine event by event,
   with live snapshots and engine counters;
+* ``sweep`` — run one algorithm over a seed grid of generated workloads in
+  parallel (``run_sweep``), reporting per-seed ratios against the exact
+  adversary plus the merged :class:`~repro.analysis.SolverStats` counters;
 * ``fig8`` — print the paper's Figure 8 as a table and ASCII chart.
 
 Every command is pure stdlib-argparse on top of the public API, so the CLI
@@ -88,21 +91,32 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _make_packer(name: str, args: argparse.Namespace):
-    """Build a packer from CLI flags through the validated registry path.
+def _packer_params(name: str, args: argparse.Namespace) -> dict[str, object]:
+    """Validated constructor kwargs for ``name`` from the CLI flags.
 
     The candidate flags (``--rho``, ``--alpha``, ``--num-classes``) are
     filtered against the packer's declared parameters, so each algorithm
-    receives exactly the flags it understands; unknown algorithm names and
-    invalid parameter values surface as :class:`~repro.core.ReproError`
-    (exit status 2).
+    receives exactly the flags it understands; unknown algorithm names
+    surface as :class:`~repro.core.ReproError` (exit status 2).
     """
     candidates: dict[str, object] = {"rho": args.rho, "alpha": args.alpha}
     if args.num_classes:
         candidates["num_classes"] = args.num_classes
     try:
         accepted = set(packer_info(name).param_names())
-        kwargs = {k: v for k, v in candidates.items() if k in accepted}
+    except (KeyError, ValueError) as exc:
+        raise ReproError(str(exc.args[0] if exc.args else exc)) from exc
+    return {k: v for k, v in candidates.items() if k in accepted}
+
+
+def _make_packer(name: str, args: argparse.Namespace):
+    """Build a packer from CLI flags through the validated registry path.
+
+    Invalid parameter values surface as :class:`~repro.core.ReproError`
+    (exit status 2), same as unknown names in :func:`_packer_params`.
+    """
+    kwargs = _packer_params(name, args)
+    try:
         return get_packer(name, **kwargs)
     except (KeyError, ValueError) as exc:
         raise ReproError(str(exc.args[0] if exc.args else exc)) from exc
@@ -280,6 +294,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis import SolverStats, SweepTask, run_sweep
+
+    if args.seeds < 1:
+        raise ReproError("--seeds must be >= 1")
+    packer_kwargs = _packer_params(args.algorithm, args)
+    _make_packer(args.algorithm, args)  # validate parameter values up front
+    workload_kwargs: dict[str, object] = {"n": args.n}
+    if args.workload == "bounded-mu":
+        workload_kwargs["mu"] = args.mu
+    tasks = [
+        SweepTask(
+            packer=args.algorithm,
+            workload=args.workload,
+            packer_kwargs=packer_kwargs,
+            workload_kwargs={**workload_kwargs, "seed": seed},
+            label=f"seed={seed}",
+        )
+        for seed in range(args.seeds)
+    ]
+    outcomes = run_sweep(
+        tasks,
+        max_workers=args.workers or None,
+        executor=args.executor,
+        memo_path=args.memo or None,
+    )
+    rows = [
+        {
+            "seed": o.task.label,
+            "usage": o.usage,
+            "denominator": o.denominator,
+            "ratio": o.ratio,
+            "exact": o.exact,
+        }
+        for o in outcomes
+    ]
+    print(
+        render_table(
+            rows,
+            title=f"sweep: {args.algorithm} on {args.workload} "
+            f"(n={args.n}, {args.seeds} seeds)",
+        )
+    )
+    merged = SolverStats()
+    for o in outcomes:
+        merged.merge(o.solver)
+    print()
+    stats_rows = [{"counter": k, "value": v} for k, v in merged.as_dict().items()]
+    print(render_table(stats_rows, title="adversary solver counters (all cells)"))
+    return 0
+
+
 def _cmd_fig8(args: argparse.Namespace) -> int:
     mus = [float(m) for m in args.mus.split(",")]
     series = {
@@ -389,6 +455,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_packer_opts(srv)
     srv.set_defaults(func=_cmd_serve)
+
+    swp = sub.add_parser("sweep", help="parallel ratio sweep over a seed grid")
+    swp.add_argument("--algorithm", required=True, help=f"one of: {', '.join(available_packers())}")
+    swp.add_argument(
+        "--workload",
+        default="uniform",
+        help="generator name (uniform, poisson, bounded-mu, bursty, gaming, cluster)",
+    )
+    swp.add_argument("--n", type=int, default=40, help="items per workload")
+    swp.add_argument("--mu", type=float, default=10.0, help="duration ratio (bounded-mu)")
+    swp.add_argument("--seeds", type=int, default=5, help="number of seeds (cells)")
+    swp.add_argument(
+        "--workers", type=int, default=0, help="parallel workers (0: executor default)"
+    )
+    swp.add_argument(
+        "--executor",
+        choices=["process", "thread", "serial"],
+        default="process",
+        help="how cells run",
+    )
+    swp.add_argument(
+        "--memo",
+        default="",
+        help="path of a disk-backed adversary memo cache shared by all cells",
+    )
+    add_packer_opts(swp)
+    swp.set_defaults(func=_cmd_sweep)
 
     fig = sub.add_parser("fig8", help="print the paper's Figure 8")
     fig.add_argument(

@@ -1,7 +1,7 @@
 """Core substrate: intervals, step functions, items, bins and packings."""
 
 from .bins import Bin, bins_from_assignment
-from .events import Event, EventHeap, EventKind, event_stream
+from .events import Event, EventHeap, EventKind, SizeSlice, active_size_slices, event_stream
 from .exceptions import (
     CapacityError,
     InfeasibleError,
@@ -20,6 +20,8 @@ __all__ = [
     "Event",
     "EventHeap",
     "EventKind",
+    "SizeSlice",
+    "active_size_slices",
     "event_stream",
     "CapacityError",
     "InfeasibleError",

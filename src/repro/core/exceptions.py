@@ -54,7 +54,10 @@ class InfeasibleError(ReproError):
 class SolverLimitError(ReproError):
     """An exact solver hit its node/time budget before proving optimality."""
 
-    def __init__(self, message: str, *, best_known: int | None = None) -> None:
+    def __init__(self, message: str, *, best_known: float | None = None) -> None:
         super().__init__(message)
-        #: Best feasible objective value found before the budget ran out.
+        #: Best feasible objective value found before the budget ran out —
+        #: an ``int`` bin count for the classical solver, a ``float`` usage
+        #: time for :func:`~repro.algorithms.optimal_packing`, or ``None``
+        #: when no feasible solution was found at all.
         self.best_known = best_known

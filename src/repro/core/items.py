@@ -226,6 +226,39 @@ class ItemList:
         """All items translated by ``delta``."""
         return ItemList(r.shift(delta) for r in self._items)
 
+    def replace(self, item: Item) -> "ItemList":
+        """A new list with the same-id item swapped for ``item``.
+
+        The single-item mutation primitive of the worst-case search and the
+        incremental adversary oracle.
+
+        Raises:
+            KeyError: if no item with ``item.id`` exists.
+        """
+        if item.id not in self._by_id:
+            raise KeyError(item.id)
+        return ItemList(
+            item if r.id == item.id else r for r in self._items
+        )
+
+    def changed_ids(self, other: "ItemList") -> list[int] | None:
+        """Ids whose item differs between ``self`` and ``other``.
+
+        Returns ``None`` when the two lists do not cover the same id set
+        (an item was added or removed, not mutated) — the caller cannot treat
+        the difference as a set of in-place mutations.  Tags are ignored,
+        matching :class:`Item` equality.
+        """
+        if len(self._items) != len(other._items):
+            return None
+        if self._by_id.keys() != other._by_id.keys():
+            return None
+        return [
+            item_id
+            for item_id, item in self._by_id.items()
+            if item != other._by_id[item_id]
+        ]
+
     def renumbered(self, start: int = 0) -> "ItemList":
         """Items re-identified ``start, start+1, ...`` in arrival order."""
         return ItemList(

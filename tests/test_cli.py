@@ -276,3 +276,117 @@ class TestReportCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "first-fit" in out and "next-fit" in out
+
+
+class TestSweepCommand:
+    def test_serial_sweep_reports_ratios_and_counters(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--algorithm",
+                "first-fit",
+                "--workload",
+                "uniform",
+                "--n",
+                "25",
+                "--seeds",
+                "3",
+                "--executor",
+                "serial",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep: first-fit on uniform" in out
+        assert "seed=2" in out
+        assert "adversary solver counters" in out
+        assert "memo_misses" in out
+
+    def test_parallel_workers(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--algorithm",
+                "best-fit",
+                "--n",
+                "20",
+                "--seeds",
+                "2",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "best-fit" in capsys.readouterr().out
+
+    def test_packer_params_flow_through(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--algorithm",
+                "classify-duration",
+                "--alpha",
+                "2.0",
+                "--workload",
+                "bounded-mu",
+                "--n",
+                "15",
+                "--seeds",
+                "2",
+                "--executor",
+                "serial",
+            ]
+        )
+        assert code == 0
+
+    def test_memo_path_written(self, tmp_path, capsys):
+        memo = tmp_path / "memo.pkl"
+        code = main(
+            [
+                "sweep",
+                "--algorithm",
+                "first-fit",
+                "--n",
+                "20",
+                "--seeds",
+                "2",
+                "--executor",
+                "serial",
+                "--memo",
+                str(memo),
+            ]
+        )
+        assert code == 0
+        assert memo.exists()
+
+    def test_unknown_algorithm_exits_2(self, capsys):
+        code = main(["sweep", "--algorithm", "zzz", "--executor", "serial"])
+        assert code == 2
+        assert "unknown packer" in capsys.readouterr().err
+
+    def test_bad_param_value_exits_2(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--algorithm",
+                "classify-duration",
+                "--alpha",
+                "-3",
+                "--executor",
+                "serial",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_workload_exits_2(self, capsys):
+        code = main(
+            ["sweep", "--algorithm", "first-fit", "--workload", "zzz", "--executor", "serial"]
+        )
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_bad_seed_count_exits_2(self, capsys):
+        code = main(["sweep", "--algorithm", "first-fit", "--seeds", "0"])
+        assert code == 2
+        assert "--seeds" in capsys.readouterr().err

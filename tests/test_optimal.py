@@ -6,14 +6,19 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import numpy as np
+
 from repro.algorithms import (
     DurationDescendingFirstFit,
     FirstFitPacker,
+    SolverStats,
     bin_packing_min_bins,
     brute_force_min_usage,
     opt_total,
+    opt_total_scan,
     optimal_packing,
 )
+from repro.algorithms.optimal import _ffd_bins
 from repro.bounds import best_lower_bound
 from repro.core import Interval, Item, ItemList, SolverLimitError, ValidationError
 
@@ -72,6 +77,26 @@ class TestBinPackingMinBins:
     def test_all_big_items_need_own_bins(self, sizes):
         assert bin_packing_min_bins(sizes) == len(sizes)
 
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=30))
+    def test_ffd_unsorted_matches_presorted(self, sizes):
+        tol = 1e-9
+        expected = _ffd_bins(sorted(sizes, reverse=True), tol, presorted=True)
+        assert _ffd_bins(sizes, tol) == expected
+
+    def test_warm_start_upper_bound_keeps_exactness(self):
+        sizes = [0.41, 0.36, 0.23] * 2
+        exact = bin_packing_min_bins(sizes)
+        stats = SolverStats()
+        # A loose-but-valid external bound must not change the optimum.
+        assert bin_packing_min_bins(sizes, upper_bound=exact, stats=stats) == exact
+        assert stats.warm_start_hits == 1  # beats the 3-bin FFD incumbent
+
+    def test_stats_count_nodes_and_prunes(self):
+        stats = SolverStats()
+        bin_packing_min_bins([0.41, 0.36, 0.23] * 2, stats=stats)
+        assert stats.nodes > 0
+        assert stats.lb_prunes + stats.dominance_hits > 0
+
 
 class TestOptTotal:
     def test_empty(self):
@@ -121,6 +146,22 @@ class TestOptTotal:
         for packer in (FirstFitPacker(), DurationDescendingFirstFit()):
             assert packer.pack(items).total_usage() >= value - 1e-9
 
+    def test_node_budget_propagates(self):
+        # Per-slice sizes where FFD is suboptimal, so the search must run.
+        items = ItemList(
+            [
+                Item(i, s, Interval(0.0, 1.0))
+                for i, s in enumerate([0.41, 0.36, 0.23] * 2)
+            ]
+        )
+        with pytest.raises(SolverLimitError):
+            opt_total_scan(items, max_nodes=1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(items_strategy(max_items=8))
+    def test_sweep_matches_scan_bitexact(self, items):
+        assert opt_total(items) == opt_total_scan(items)
+
 
 class TestOptimalPacking:
     def test_refuses_large_instances(self):
@@ -156,3 +197,42 @@ class TestOptimalPacking:
         best_fixed = optimal_packing(items).total_usage()
         assert opt_total(items) <= best_fixed + 1e-9
         assert FirstFitPacker().pack(items).total_usage() >= best_fixed - 1e-9
+
+    def test_seeded_seven_item_instances_match_brute_force(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            items = ItemList(
+                [
+                    Item(
+                        i,
+                        float(rng.uniform(0.05, 1.0)),
+                        Interval(a := float(rng.uniform(0, 5)), a + float(rng.uniform(0.5, 4))),
+                    )
+                    for i in range(7)
+                ]
+            )
+            result = optimal_packing(items)
+            result.validate()
+            assert result.total_usage() == pytest.approx(
+                brute_force_min_usage(items), rel=1e-9
+            )
+
+    def test_budget_overflow_before_any_solution_carries_none(self):
+        items = ItemList(
+            [Item(i, 0.4, Interval(float(i), float(i) + 2.0)) for i in range(4)]
+        )
+        with pytest.raises(SolverLimitError) as exc_info:
+            optimal_packing(items, max_nodes=1)
+        assert exc_info.value.best_known is None
+
+    def test_budget_overflow_after_a_solution_carries_float_usage(self):
+        items = ItemList(
+            [Item(i, 0.4, Interval(0.25 * i, 0.25 * i + 1.5)) for i in range(4)]
+        )
+        # Enough nodes to reach one full assignment (depth 4 + root), not
+        # enough to finish the proof: best_known must be the float usage.
+        with pytest.raises(SolverLimitError) as exc_info:
+            optimal_packing(items, max_nodes=5)
+        best = exc_info.value.best_known
+        assert isinstance(best, float) and not isinstance(best, bool)
+        assert best == optimal_packing(items).total_usage() or best > 0.0

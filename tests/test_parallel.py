@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import SweepTask, run_sweep
+from repro.analysis import MemoCache, SolverStats, SweepTask, run_sweep
 from repro.core import ValidationError
 
 
@@ -57,6 +57,42 @@ class TestRunSweep:
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValidationError):
             run_sweep(make_tasks()[:1], executor="gpu")
+
+    def test_solver_stats_populated(self):
+        outcomes = run_sweep(make_tasks(), executor="serial")
+        merged = SolverStats()
+        for o in outcomes:
+            merged.merge(o.solver)
+        assert merged.slices > 0
+        assert merged.full_evals == len(outcomes)
+        # Misses may be zero if the process-wide default memo is already
+        # warm from earlier tests; every non-empty slice still goes through
+        # the cache.
+        lookups = merged.memo_hits + merged.memo_misses
+        assert 0 < lookups <= merged.slices
+
+    def test_shared_memo_path_persists_and_accelerates(self, tmp_path):
+        memo_file = tmp_path / "memo.pkl"
+        tasks = make_tasks()
+        first = run_sweep(tasks, executor="serial", memo_path=str(memo_file))
+        assert memo_file.exists()
+        assert len(MemoCache(memo_file)) > 0
+        second = run_sweep(tasks, executor="serial", memo_path=str(memo_file))
+        assert [o.ratio for o in second] == [o.ratio for o in first]
+        # Every slice was cached by the first run: no cell solves anything.
+        assert all(o.solver.memo_misses == 0 for o in second)
+
+    def test_memo_path_with_process_pool(self, tmp_path):
+        memo_file = tmp_path / "memo.pkl"
+        tasks = make_tasks()[:2]
+        processed = run_sweep(
+            tasks, executor="process", max_workers=2, memo_path=str(memo_file)
+        )
+        serial = run_sweep(tasks, executor="serial")
+        assert [o.ratio for o in processed] == pytest.approx(
+            [o.ratio for o in serial]
+        )
+        assert memo_file.exists()
 
     def test_generator_without_count_argument(self):
         # recurring-jobs style generators are not in the registry; gaming is,
