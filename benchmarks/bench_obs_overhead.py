@@ -1,0 +1,224 @@
+"""OBS — telemetry instrumentation overhead on the hot paths.
+
+Engineering bench for the ``repro.obs`` telemetry core (not a paper
+exhibit).  The refactor that moved every stats surface onto the
+:class:`~repro.obs.TelemetryRegistry` is only acceptable if it is
+effectively free, so this bench measures the same two hot workloads with
+telemetry globally enabled and disabled (:func:`repro.obs.set_enabled`):
+
+* **engine throughput** — a full submit/advance streaming pass through
+  :class:`~repro.engine.PackingSession` (the per-event timing is the only
+  instrumentation the flag gates there), and
+* **opt_total** — the exact repacking adversary with a registry-backed
+  :class:`~repro.algorithms.SolverStats` threaded through.
+
+Acceptance, checked in both pytest and script mode:
+
+* enabled-vs-disabled overhead stays **under 3%** (best-of-repeats over
+  interleaved rounds, GC disabled while timing), and
+* results are **bit-identical** either way: same streaming assignment and
+  usage, same ``OPT_total`` value — telemetry never touches control flow.
+
+Run as a script (``python benchmarks/bench_obs_overhead.py [--quick]``) or
+through pytest (``pytest benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import time
+from typing import Callable
+
+from repro.algorithms import SolverStats, opt_total
+from repro.analysis import render_table
+from repro.core import EventKind, ItemList, event_stream
+from repro.engine import PackingSession
+from repro.obs import set_enabled
+from repro.workloads import uniform_random
+
+#: Overhead ceiling: telemetry-on must cost < 3% over telemetry-off.
+MAX_OVERHEAD = 0.03
+#: Absolute-noise floor: below this per-run delta the 3% ratio is meaningless.
+NOISE_FLOOR_SECONDS = 0.005
+
+FULL_ENGINE_N = 20_000
+QUICK_ENGINE_N = 4_000
+FULL_OPT_N = 16
+QUICK_OPT_N = 11
+FULL_REPEATS = 7
+QUICK_REPEATS = 9
+
+
+def make_engine_trace(n: int) -> ItemList:
+    """Reproducible open-ended trace with bounded concurrency."""
+    return uniform_random(n, seed=42, arrival_span=n / 4.0)
+
+
+def make_opt_trace(n: int) -> ItemList:
+    """Small dense trace the exact adversary can solve quickly."""
+    return uniform_random(n, seed=7, arrival_span=6.0)
+
+
+def engine_pass(items: ItemList) -> tuple[dict[int, int], float]:
+    """One full streaming pass; returns (assignment, usage)."""
+    session = PackingSession("first-fit")
+    for event in event_stream(items):
+        if event.kind is EventKind.ARRIVAL:
+            session.submit(event.item)
+        else:
+            session.advance(event.time)
+    result = session.result()
+    return result.assignment, result.total_usage()
+
+
+def opt_pass(items: ItemList) -> float:
+    """One exact adversary evaluation with registry-backed stats."""
+    return opt_total(items, stats=SolverStats())
+
+
+def _timed(fn: Callable[[], object], on: bool) -> tuple[float, object]:
+    set_enabled(on)
+    t0 = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - t0, value
+
+
+def measure_workload(
+    name: str, fn: Callable[[], object], repeats: int
+) -> dict[str, object]:
+    """Time ``fn`` with telemetry on and off; check results are identical.
+
+    Robustness against machine noise: rounds alternate which mode runs
+    first, GC is disabled while timing (a collection pause cannot land
+    inside one mode's sample), and the overhead is the **smaller** of two
+    estimators of the same quantity —
+
+    * best-of-rounds ratio (``on_best / off_best``): immune to additive
+      noise spikes, vulnerable to slow drift between phases;
+    * median of the per-round paired ratios: immune to drift (the two
+      modes of a round run back to back), vulnerable to spikes.
+
+    A real instrumentation regression inflates both; transient machine
+    noise rarely inflates both the same way, and what little survives is
+    absorbed by a bounded retry in the caller plus an absolute noise
+    floor for runs too short for the ratio to mean anything.
+    """
+    previous = set_enabled(True)
+    gc_was_enabled = gc.isenabled()
+    try:
+        on_value = fn()  # warmup; also the enabled-mode reference result
+        set_enabled(False)
+        off_value = fn()
+        gc.collect()
+        gc.disable()
+        on_best = float("inf")
+        off_best = float("inf")
+        ratios = []
+        for round_index in range(repeats):
+            if round_index % 2 == 0:
+                on_seconds, on_value = _timed(fn, True)
+                off_seconds, off_value = _timed(fn, False)
+            else:
+                off_seconds, off_value = _timed(fn, False)
+                on_seconds, on_value = _timed(fn, True)
+            on_best = min(on_best, on_seconds)
+            off_best = min(off_best, off_seconds)
+            if off_seconds > 0:
+                ratios.append(on_seconds / off_seconds)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        set_enabled(previous)
+    assert on_value == off_value, (
+        f"{name}: telemetry changed the result — {on_value!r} != {off_value!r}"
+    )
+    best_ratio = on_best / off_best if off_best > 0 else 1.0
+    ratios.sort()
+    paired_ratio = ratios[len(ratios) // 2] if ratios else 1.0
+    overhead = min(best_ratio, paired_ratio) - 1.0
+    within = overhead < MAX_OVERHEAD or (on_best - off_best) < NOISE_FLOOR_SECONDS
+    return {
+        "workload": name,
+        "enabled (s)": on_best,
+        "disabled (s)": off_best,
+        "overhead": overhead,
+        "within 3%": "ok" if within else "FAIL",
+    }
+
+
+def measure_with_retry(
+    name: str, fn: Callable[[], object], repeats: int, attempts: int = 3
+) -> dict[str, object]:
+    """Gate ``fn`` with up to ``attempts`` measurements, keeping the first ok.
+
+    On a busy machine a single measurement can exceed the gate purely from
+    scheduler noise; a genuine regression fails every attempt.  The last
+    (failing) row is returned when no attempt passes.
+    """
+    row: dict[str, object] = {}
+    for _ in range(attempts):
+        row = measure_workload(name, fn, repeats)
+        if row["within 3%"] == "ok":
+            return row
+    return row
+
+
+def run_experiment(engine_n: int, opt_n: int, repeats: int) -> list[dict[str, object]]:
+    """Both hot workloads, telemetry on vs off."""
+    engine_items = make_engine_trace(engine_n)
+    opt_items = make_opt_trace(opt_n)
+    return [
+        measure_with_retry(
+            f"engine throughput (n={engine_n})",
+            lambda: engine_pass(engine_items),
+            repeats,
+        ),
+        measure_with_retry(
+            f"opt_total (n={opt_n})", lambda: opt_pass(opt_items), repeats
+        ),
+    ]
+
+
+def test_obs_overhead(benchmark, report):
+    """Pytest entry: overhead under 3% and bit-identical results."""
+    rows = run_experiment(QUICK_ENGINE_N, QUICK_OPT_N, QUICK_REPEATS)
+    assert all(row["within 3%"] == "ok" for row in rows), rows
+    items = make_engine_trace(2000)
+    benchmark(lambda: engine_pass(items))
+    report(
+        render_table(
+            rows, title="[OBS] telemetry overhead (enabled vs disabled)", precision=4
+        )
+    )
+
+
+def main() -> int:
+    """Script entry: the full (or --quick) overhead run."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"small run for CI smoke ({QUICK_ENGINE_N} items instead of {FULL_ENGINE_N})",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        rows = run_experiment(QUICK_ENGINE_N, QUICK_OPT_N, QUICK_REPEATS)
+    else:
+        rows = run_experiment(FULL_ENGINE_N, FULL_OPT_N, FULL_REPEATS)
+    print(
+        render_table(
+            rows, title="telemetry overhead (enabled vs disabled)", precision=4
+        )
+    )
+    failures = [row for row in rows if row["within 3%"] != "ok"]
+    if failures:
+        for row in failures:
+            print(f"FAIL: {row['workload']} overhead {row['overhead']:.1%} >= 3%")
+        return 1
+    print("OK: telemetry overhead under 3% on both workloads, results identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

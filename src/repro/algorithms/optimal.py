@@ -27,14 +27,14 @@ algorithms sit between the two.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..core.bins import Bin
 from ..core.exceptions import SolverLimitError, ValidationError
 from ..core.items import ItemList
 from ..core.packing import PackingResult
 from ..core.stepfun import DEFAULT_TOL
+from ..obs import TelemetryRegistry
 
 __all__ = [
     "SolverStats",
@@ -44,13 +44,32 @@ __all__ = [
 ]
 
 
-@dataclass(slots=True)
+#: Counter cells behind :class:`SolverStats`, in declaration (report) order.
+SOLVER_FIELDS = (
+    "nodes",
+    "lb_prunes",
+    "dominance_hits",
+    "warm_start_hits",
+    "memo_hits",
+    "memo_misses",
+    "slices",
+    "slices_reused",
+    "incremental_evals",
+    "full_evals",
+)
+
+
 class SolverStats:
     """Mutable counters of the exact adversary pipeline.
 
     The :class:`~repro.engine.EngineStats` of the solver layer: every
     component that accepts a ``stats`` argument increments these in place, so
-    one object threaded through a sweep aggregates the whole run.
+    one object threaded through a sweep aggregates the whole run.  Each
+    field is a thin view over a ``solver.<field>`` counter cell in
+    ``self.registry`` — pass a shared
+    :class:`~repro.obs.TelemetryRegistry` to aggregate the adversary's
+    counters with the rest of a run's telemetry (non-zero constructor values
+    *add* into an already-populated shared registry).
 
     Attributes:
         nodes: Branch-and-bound nodes expanded.
@@ -70,46 +89,159 @@ class SolverStats:
             (mutation-window) path.
         full_evals: Oracle / ``opt_total`` evaluations that swept the whole
             timeline.
+        registry: The backing :class:`~repro.obs.TelemetryRegistry`.
     """
 
-    nodes: int = 0
-    lb_prunes: int = 0
-    dominance_hits: int = 0
-    warm_start_hits: int = 0
-    memo_hits: int = 0
-    memo_misses: int = 0
-    slices: int = 0
-    slices_reused: int = 0
-    incremental_evals: int = 0
-    full_evals: int = 0
+    __slots__ = ("registry",) + tuple(f"_{name}" for name in SOLVER_FIELDS)
+
+    def __init__(
+        self,
+        nodes: int = 0,
+        lb_prunes: int = 0,
+        dominance_hits: int = 0,
+        warm_start_hits: int = 0,
+        memo_hits: int = 0,
+        memo_misses: int = 0,
+        slices: int = 0,
+        slices_reused: int = 0,
+        incremental_evals: int = 0,
+        full_evals: int = 0,
+        *,
+        registry: TelemetryRegistry | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else TelemetryRegistry()
+        initial = (
+            nodes,
+            lb_prunes,
+            dominance_hits,
+            warm_start_hits,
+            memo_hits,
+            memo_misses,
+            slices,
+            slices_reused,
+            incremental_evals,
+            full_evals,
+        )
+        for name, value in zip(SOLVER_FIELDS, initial):
+            cell = self.registry.counter(f"solver.{name}")
+            cell.value += int(value)
+            setattr(self, f"_{name}", cell)
+
+    # -- the legacy attribute API (thin views over the registry cells) -------
+
+    @property
+    def nodes(self) -> int:
+        """Branch-and-bound nodes expanded."""
+        return self._nodes.value
+
+    @nodes.setter
+    def nodes(self, value: int) -> None:
+        self._nodes.value = value
+
+    @property
+    def lb_prunes(self) -> int:
+        """Branches cut because a lower bound met the incumbent."""
+        return self._lb_prunes.value
+
+    @lb_prunes.setter
+    def lb_prunes(self, value: int) -> None:
+        self._lb_prunes.value = value
+
+    @property
+    def dominance_hits(self) -> int:
+        """Closing perfect-fit dominance applications."""
+        return self._dominance_hits.value
+
+    @dominance_hits.setter
+    def dominance_hits(self, value: int) -> None:
+        self._dominance_hits.value = value
+
+    @property
+    def warm_start_hits(self) -> int:
+        """Solves whose warm-started upper bound beat the FFD bound."""
+        return self._warm_start_hits.value
+
+    @warm_start_hits.setter
+    def warm_start_hits(self, value: int) -> None:
+        self._warm_start_hits.value = value
+
+    @property
+    def memo_hits(self) -> int:
+        """Slice instances answered from the memo cache."""
+        return self._memo_hits.value
+
+    @memo_hits.setter
+    def memo_hits(self, value: int) -> None:
+        self._memo_hits.value = value
+
+    @property
+    def memo_misses(self) -> int:
+        """Slice instances that had to be solved."""
+        return self._memo_misses.value
+
+    @memo_misses.setter
+    def memo_misses(self, value: int) -> None:
+        self._memo_misses.value = value
+
+    @property
+    def slices(self) -> int:
+        """Elementary intervals processed by ``opt_total``."""
+        return self._slices.value
+
+    @slices.setter
+    def slices(self, value: int) -> None:
+        self._slices.value = value
+
+    @property
+    def slices_reused(self) -> int:
+        """Slices an incremental re-evaluation copied from the previous one."""
+        return self._slices_reused.value
+
+    @slices_reused.setter
+    def slices_reused(self, value: int) -> None:
+        self._slices_reused.value = value
+
+    @property
+    def incremental_evals(self) -> int:
+        """Oracle evaluations served by the incremental path."""
+        return self._incremental_evals.value
+
+    @incremental_evals.setter
+    def incremental_evals(self, value: int) -> None:
+        self._incremental_evals.value = value
+
+    @property
+    def full_evals(self) -> int:
+        """Evaluations that swept the whole timeline."""
+        return self._full_evals.value
+
+    @full_evals.setter
+    def full_evals(self, value: int) -> None:
+        self._full_evals.value = value
+
+    # -- aggregation and serialisation ---------------------------------------
 
     def as_dict(self) -> dict[str, object]:
         """Plain-dict view for tabulation and JSON reports."""
-        return {
-            "nodes": self.nodes,
-            "lb_prunes": self.lb_prunes,
-            "dominance_hits": self.dominance_hits,
-            "warm_start_hits": self.warm_start_hits,
-            "memo_hits": self.memo_hits,
-            "memo_misses": self.memo_misses,
-            "slices": self.slices,
-            "slices_reused": self.slices_reused,
-            "incremental_evals": self.incremental_evals,
-            "full_evals": self.full_evals,
-        }
+        return {name: getattr(self, name) for name in SOLVER_FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "SolverStats":
+        """Rebuild stats from :meth:`as_dict` output (JSON round-trip)."""
+        return cls(**{k: int(v) for k, v in data.items()})
 
     def merge(self, other: "SolverStats") -> None:
         """Add ``other``'s counters into this object (sweep aggregation)."""
-        self.nodes += other.nodes
-        self.lb_prunes += other.lb_prunes
-        self.dominance_hits += other.dominance_hits
-        self.warm_start_hits += other.warm_start_hits
-        self.memo_hits += other.memo_hits
-        self.memo_misses += other.memo_misses
-        self.slices += other.slices
-        self.slices_reused += other.slices_reused
-        self.incremental_evals += other.incremental_evals
-        self.full_evals += other.full_evals
+        for name in SOLVER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SolverStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        return f"SolverStats({self.as_dict()!r})"
 
 
 # ---------------------------------------------------------------------------

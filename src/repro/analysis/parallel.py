@@ -13,7 +13,13 @@ no closures cross the process boundary.
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Mapping, Sequence
@@ -22,6 +28,7 @@ from ..algorithms.adversary import MemoCache
 from ..algorithms.base import get_packer
 from ..algorithms.optimal import SolverStats
 from ..core.exceptions import ValidationError
+from ..obs import TelemetryRegistry, TelemetrySnapshot
 from ..workloads import (
     bounded_mu,
     bursty,
@@ -72,6 +79,10 @@ class SweepOutcome:
     ``solver`` carries the cell's adversary counters
     (:class:`~repro.algorithms.SolverStats`): nodes, prunes, memo and
     warm-start hits — merge them across outcomes for a sweep-level view.
+    ``telemetry`` is the worker's full
+    :class:`~repro.obs.TelemetrySnapshot` (the solver counters plus the
+    cell's spans), ready to :meth:`~repro.obs.TelemetryRegistry.merge` into
+    a driver-side registry.
     """
 
     task: SweepTask
@@ -80,20 +91,26 @@ class SweepOutcome:
     ratio: float
     exact: bool
     solver: SolverStats = field(default_factory=SolverStats, compare=False)
+    telemetry: TelemetrySnapshot = field(
+        default_factory=TelemetrySnapshot, compare=False
+    )
 
 
 def _run_one(task: SweepTask, memo_path: str | None = None) -> SweepOutcome:
     """Worker entry point (module-level for pickling)."""
+    registry = TelemetryRegistry()
     generator = WORKLOAD_GENERATORS[task.workload]
     kwargs = dict(task.workload_kwargs)
     n = kwargs.pop("n", None)
-    items = generator(n, **kwargs) if n is not None else generator(**kwargs)
     packer = get_packer(task.packer, **dict(task.packer_kwargs))
-    stats = SolverStats()
+    stats = SolverStats(registry=registry)
     memo = MemoCache(memo_path) if memo_path is not None else None
-    m = measured_ratio(packer, items, memo=memo, stats=stats)
+    with registry.span("sweep.cell"):
+        items = generator(n, **kwargs) if n is not None else generator(**kwargs)
+        m = measured_ratio(packer, items, memo=memo, stats=stats)
     if memo is not None:
         memo.save()
+    registry.counter("sweep.cells").inc()
     return SweepOutcome(
         task=task,
         usage=m.usage,
@@ -101,6 +118,7 @@ def _run_one(task: SweepTask, memo_path: str | None = None) -> SweepOutcome:
         ratio=m.ratio,
         exact=m.exact,
         solver=stats,
+        telemetry=registry.snapshot(),
     )
 
 
@@ -110,8 +128,13 @@ def run_sweep(
     max_workers: int | None = None,
     executor: str = "process",
     memo_path: str | None = None,
+    registry: TelemetryRegistry | None = None,
 ) -> list[SweepOutcome]:
     """Execute tasks, in parallel by default; order follows the input.
+
+    Outcomes are always returned (and merged) in **input task order**, not
+    completion order, so sweep reports and ``"last"``-aggregated gauges are
+    deterministic regardless of worker scheduling.
 
     Args:
         tasks: The experiment cells.
@@ -123,6 +146,8 @@ def run_sweep(
             worker loads it before measuring and merge-saves after, so
             repeated runs (and cells sharing slices) stop recomputing
             identical bin packing instances.
+        registry: Optional driver-side :class:`~repro.obs.TelemetryRegistry`
+            every cell's telemetry snapshot is merged into (in task order).
 
     Raises:
         ValidationError: for unknown workload names or executor kinds.
@@ -135,13 +160,25 @@ def run_sweep(
             )
     run = partial(_run_one, memo_path=memo_path)
     if executor == "serial":
-        return [run(t) for t in tasks]
-    pool_cls: type[Executor]
-    if executor == "process":
-        pool_cls = ProcessPoolExecutor
-    elif executor == "thread":
-        pool_cls = ThreadPoolExecutor
+        outcomes = [run(t) for t in tasks]
     else:
-        raise ValidationError(f"unknown executor {executor!r}")
-    with pool_cls(max_workers=max_workers) as pool:
-        return list(pool.map(run, tasks))
+        pool_cls: type[Executor]
+        if executor == "process":
+            pool_cls = ProcessPoolExecutor
+        elif executor == "thread":
+            pool_cls = ThreadPoolExecutor
+        else:
+            raise ValidationError(f"unknown executor {executor!r}")
+        with pool_cls(max_workers=max_workers) as pool:
+            index_of: dict[Future[SweepOutcome], int] = {
+                pool.submit(run, task): i for i, task in enumerate(tasks)
+            }
+            collected: list[SweepOutcome | None] = [None] * len(tasks)
+            for future in as_completed(index_of):
+                collected[index_of[future]] = future.result()
+        # Completion order is nondeterministic; task index order is not.
+        outcomes = [o for o in collected if o is not None]
+    if registry is not None:
+        for outcome in outcomes:
+            registry.merge(outcome.telemetry)
+    return outcomes

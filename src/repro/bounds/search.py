@@ -31,6 +31,7 @@ from ..algorithms.optimal import SolverStats
 from ..core.exceptions import SolverLimitError, ValidationError
 from ..core.intervals import Interval
 from ..core.items import Item, ItemList
+from ..obs import TelemetryRegistry
 
 __all__ = ["SearchResult", "find_bad_instance"]
 
@@ -117,6 +118,7 @@ def find_bad_instance(
     max_duration: float = 8.0,
     restarts: int = 3,
     solver_nodes: int = 200_000,
+    registry: TelemetryRegistry | None = None,
 ) -> SearchResult:
     """Hill-climb toward a high-ratio instance for the given algorithm.
 
@@ -131,6 +133,11 @@ def find_bad_instance(
         restarts: Independent random restarts; the best result wins.
         solver_nodes: Budget for each exact ``opt_total`` evaluation;
             mutations whose evaluation exceeds it are rejected.
+        registry: Optional shared :class:`~repro.obs.TelemetryRegistry` the
+            search's solver counters and progress metrics are interned in
+            (``search.restarts``, ``search.mutations``, ``search.accepted``,
+            ``search.best_ratio``, plus per-restart ``search.restart``
+            spans); the returned result is identical with or without it.
 
     Raises:
         ValidationError: on non-positive sizes of the search space.
@@ -139,29 +146,39 @@ def find_bad_instance(
         raise ValidationError("need n_items >= 2, iterations >= 1, restarts >= 1")
     if not 0 < min_duration <= max_duration:
         raise ValidationError("need 0 < min_duration <= max_duration")
+    obs = registry if registry is not None else TelemetryRegistry()
     packer = make_packer()
-    stats = SolverStats()
+    stats = SolverStats(registry=obs)
     # One oracle for the whole search: the memo cache spans restarts, and
     # each mutation re-solves only the slices its window touches.
     oracle = AdversaryOracle(max_nodes=solver_nodes, stats=stats)
+    mutations = obs.counter("search.mutations")
+    accepts = obs.counter("search.accepted")
+    rejected = obs.counter("search.budget_rejections")
     best: SearchResult | None = None
     for r in range(restarts):
         rng = np.random.default_rng((seed, r))
-        current = _random_instance(rng, n_items, span, min_duration, max_duration)
-        try:
-            current_ratio = _ratio(packer, current, oracle)
-        except SolverLimitError:
-            continue
-        accepted = 0
-        for _ in range(iterations):
-            candidate = _mutate(rng, current, span, min_duration, max_duration)
+        with obs.span("search.restart"):
+            obs.counter("search.restarts").inc()
+            current = _random_instance(rng, n_items, span, min_duration, max_duration)
             try:
-                cand_ratio = _ratio(packer, candidate, oracle)
+                current_ratio = _ratio(packer, current, oracle)
             except SolverLimitError:
+                rejected.inc()
                 continue
-            if cand_ratio > current_ratio:
-                current, current_ratio = candidate, cand_ratio
-                accepted += 1
+            accepted = 0
+            for _ in range(iterations):
+                candidate = _mutate(rng, current, span, min_duration, max_duration)
+                mutations.inc()
+                try:
+                    cand_ratio = _ratio(packer, candidate, oracle)
+                except SolverLimitError:
+                    rejected.inc()
+                    continue
+                if cand_ratio > current_ratio:
+                    current, current_ratio = candidate, cand_ratio
+                    accepted += 1
+                    accepts.inc()
         result = SearchResult(
             items=current,
             ratio=current_ratio,
@@ -171,6 +188,7 @@ def find_bad_instance(
         )
         if best is None or result.ratio > best.ratio:
             best = result
+            obs.gauge("search.best_ratio", aggregate="max").set(best.ratio)
     if best is None:
         raise SolverLimitError(
             "every restart exceeded the exact-adversary node budget; "

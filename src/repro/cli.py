@@ -21,11 +21,18 @@ parameters (``--algorithm``, ``--rho``, ``--alpha``, ``--num-classes``) all
 flow through the validated :func:`~repro.algorithms.get_packer` path: an
 unknown algorithm or a bad parameter exits with status 2 and a message
 listing what is accepted.
+
+Observability: ``pack``, ``compare``, ``bounds``, ``serve`` and ``sweep``
+accept ``--json`` (machine-readable report on stdout — the tables' data plus
+a ``telemetry`` block) and ``--obs FILE`` (write the run's full
+:class:`~repro.obs.TelemetryRegistry` as NDJSON, one metric per line).  Both
+flags are also accepted globally, before the subcommand name.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -38,6 +45,7 @@ from .bounds import (
     first_fit_ratio,
 )
 from .core import ItemList, ReproError
+from .obs import TelemetryRegistry, export_dict, write_ndjson
 from .simulation import evaluate
 from .viz import render_chart, render_gantt, render_profile
 from .workloads import (
@@ -87,6 +95,35 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# output helpers
+# ---------------------------------------------------------------------------
+
+
+def _finish(
+    args: argparse.Namespace,
+    registry: TelemetryRegistry,
+    payload: dict[str, object],
+    text: str,
+) -> int:
+    """Emit one command's report and telemetry.
+
+    With ``--json`` the payload (plus a ``telemetry`` block) is printed as a
+    single JSON document instead of the human-readable ``text``; with
+    ``--obs FILE`` the registry is additionally written to ``FILE`` as
+    NDJSON.  Returns the command's exit code (always 0).
+    """
+    if getattr(args, "obs", ""):
+        write_ndjson(registry, args.obs)
+    if getattr(args, "json", False):
+        payload = dict(payload)
+        payload["telemetry"] = export_dict(registry)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(text)
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # pack / compare helpers
 # ---------------------------------------------------------------------------
 
@@ -127,61 +164,86 @@ def _load(args: argparse.Namespace) -> ItemList:
 
 
 def _cmd_pack(args: argparse.Namespace) -> int:
+    registry = TelemetryRegistry()
     items = _load(args)
     packer = _make_packer(args.algorithm, args)
-    if args.noise_sigma > 0:
-        from .analysis import noisy_estimator
-        from .algorithms.base import OnlinePacker
-        from .simulation import Simulator
+    with registry.span("cli.pack"):
+        if args.noise_sigma > 0:
+            from .analysis import noisy_estimator
+            from .algorithms.base import OnlinePacker
+            from .simulation import Simulator
 
-        if not isinstance(packer, OnlinePacker):
-            print("error: --noise-sigma requires an online algorithm", file=sys.stderr)
-            return 2
-        result = Simulator(packer).run(
-            items, noisy_estimator(args.noise_sigma, args.noise_seed)
-        ).packing
-    else:
-        result = packer.pack(items)
-    result.validate()
-    opt = opt_total(items) if args.exact_opt else None
-    metrics = evaluate(result, opt=opt)
-    print(render_table([metrics.as_dict()], title=f"pack: {packer.describe()}"))
+            if not isinstance(packer, OnlinePacker):
+                print(
+                    "error: --noise-sigma requires an online algorithm", file=sys.stderr
+                )
+                return 2
+            result = Simulator(packer).run(
+                items, noisy_estimator(args.noise_sigma, args.noise_seed)
+            ).packing
+        else:
+            result = packer.pack(items)
+        result.validate()
+        opt = opt_total(items) if args.exact_opt else None
+        metrics = evaluate(result, opt=opt, registry=registry)
+    text_parts = [render_table([metrics.as_dict()], title=f"pack: {packer.describe()}")]
     if args.gantt:
-        print()
-        print(render_gantt(result, width=args.width))
+        text_parts.append("")
+        text_parts.append(render_gantt(result, width=args.width))
     if args.profile:
-        print()
-        print("demand profile S(t):")
-        print(render_profile(items.size_profile(), width=args.width))
-    return 0
+        text_parts.append("")
+        text_parts.append("demand profile S(t):")
+        text_parts.append(render_profile(items.size_profile(), width=args.width))
+    payload = {
+        "command": "pack",
+        "trace": args.trace,
+        "algorithm": packer.describe(),
+        "metrics": metrics.as_dict(),
+    }
+    return _finish(args, registry, payload, "\n".join(text_parts))
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    registry = TelemetryRegistry()
     items = _load(args)
     names = args.algorithms.split(",") if args.algorithms else available_packers()
     opt = opt_total(items) if args.exact_opt else None
     rows = []
-    for name in names:
-        packer = _make_packer(name.strip(), args)
-        metrics = evaluate(packer.pack(items), opt=opt)
-        rows.append(metrics.as_dict())
+    with registry.span("cli.compare"):
+        for name in names:
+            packer = _make_packer(name.strip(), args)
+            metrics = evaluate(packer.pack(items), opt=opt, registry=registry)
+            rows.append(metrics.as_dict())
     rows.sort(key=lambda r: r["total_usage"])  # type: ignore[arg-type,return-value]
-    print(render_table(rows, title=f"compare on {args.trace} (best first)"))
-    return 0
+    payload = {"command": "compare", "trace": args.trace, "rows": rows}
+    return _finish(
+        args,
+        registry,
+        payload,
+        render_table(rows, title=f"compare on {args.trace} (best first)"),
+    )
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
+    registry = TelemetryRegistry()
     items = _load(args)
-    bounds = OptBounds.of(items)
-    rows = [
-        {"bound": "Prop 1: d(R) total demand", "value": bounds.demand},
-        {"bound": "Prop 2: span(R)", "value": bounds.span},
-        {"bound": "Prop 3: integral ceil(S(t))", "value": bounds.ceil_size},
-    ]
-    if args.exact_opt:
-        rows.append({"bound": "exact OPT_total (repacking adversary)", "value": opt_total(items)})
-    print(render_table(rows, title=f"lower bounds for {args.trace}"))
-    return 0
+    with registry.span("cli.bounds"):
+        bounds = OptBounds.of(items)
+        rows = [
+            {"bound": "Prop 1: d(R) total demand", "value": bounds.demand},
+            {"bound": "Prop 2: span(R)", "value": bounds.span},
+            {"bound": "Prop 3: integral ceil(S(t))", "value": bounds.ceil_size},
+        ]
+        if args.exact_opt:
+            rows.append(
+                {"bound": "exact OPT_total (repacking adversary)", "value": opt_total(items)}
+            )
+        for row in rows:
+            registry.gauge("bounds.value", bound=row["bound"]).set(row["value"])
+    payload = {"command": "bounds", "trace": args.trace, "rows": rows}
+    return _finish(
+        args, registry, payload, render_table(rows, title=f"lower bounds for {args.trace}")
+    )
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -264,34 +326,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .core import EventKind, event_stream
     from .engine import PackingSession
 
+    registry = TelemetryRegistry()
     items = _load(args)
     packer = _make_packer(args.algorithm, args)
     if not isinstance(packer, OnlinePacker):
         print("error: serve requires an online algorithm", file=sys.stderr)
         return 2
-    session = PackingSession(packer)
+    session = PackingSession(packer, registry=registry)
+    live = args.snapshot_every and not getattr(args, "json", False)
     arrivals = 0
-    for event in event_stream(items):
-        if event.kind is EventKind.ARRIVAL:
-            session.submit(event.item)
-            arrivals += 1
-            if args.snapshot_every and arrivals % args.snapshot_every == 0:
-                snap = session.snapshot()
-                print(
-                    f"t={snap.time:<12g} submitted={snap.items_submitted:<6d} "
-                    f"active={snap.active_items:<6d} open_bins={snap.open_bins:<5d} "
-                    f"usage={snap.usage_time:.3f}"
-                )
-        else:
-            session.advance(event.time)
-    result = session.result()
-    result.validate()
-    metrics = evaluate(result)
-    print(render_table([metrics.as_dict()], title=f"serve: {packer.describe()}"))
-    print()
+    with registry.span("cli.serve"):
+        for event in event_stream(items):
+            if event.kind is EventKind.ARRIVAL:
+                session.submit(event.item)
+                arrivals += 1
+                if live and arrivals % args.snapshot_every == 0:
+                    snap = session.snapshot()
+                    print(
+                        f"t={snap.time:<12g} submitted={snap.items_submitted:<6d} "
+                        f"active={snap.active_items:<6d} open_bins={snap.open_bins:<5d} "
+                        f"usage={snap.usage_time:.3f}"
+                    )
+            else:
+                session.advance(event.time)
+        result = session.result()
+        result.validate()
+        metrics = evaluate(result, registry=registry)
     stats_rows = [{"counter": k, "value": v} for k, v in session.stats.as_dict().items()]
-    print(render_table(stats_rows, title="engine counters"))
-    return 0
+    text = "\n".join(
+        [
+            render_table([metrics.as_dict()], title=f"serve: {packer.describe()}"),
+            "",
+            render_table(stats_rows, title="engine counters"),
+        ]
+    )
+    payload = {
+        "command": "serve",
+        "trace": args.trace,
+        "algorithm": packer.describe(),
+        "metrics": metrics.as_dict(),
+        "engine": session.stats.as_dict(),
+    }
+    return _finish(args, registry, payload, text)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -314,12 +390,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         for seed in range(args.seeds)
     ]
-    outcomes = run_sweep(
-        tasks,
-        max_workers=args.workers or None,
-        executor=args.executor,
-        memo_path=args.memo or None,
-    )
+    registry = TelemetryRegistry()
+    with registry.span("cli.sweep"):
+        outcomes = run_sweep(
+            tasks,
+            max_workers=args.workers or None,
+            executor=args.executor,
+            memo_path=args.memo or None,
+            registry=registry,
+        )
     rows = [
         {
             "seed": o.task.label,
@@ -330,20 +409,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         }
         for o in outcomes
     ]
-    print(
-        render_table(
-            rows,
-            title=f"sweep: {args.algorithm} on {args.workload} "
-            f"(n={args.n}, {args.seeds} seeds)",
-        )
-    )
     merged = SolverStats()
     for o in outcomes:
         merged.merge(o.solver)
-    print()
     stats_rows = [{"counter": k, "value": v} for k, v in merged.as_dict().items()]
-    print(render_table(stats_rows, title="adversary solver counters (all cells)"))
-    return 0
+    text = "\n".join(
+        [
+            render_table(
+                rows,
+                title=f"sweep: {args.algorithm} on {args.workload} "
+                f"(n={args.n}, {args.seeds} seeds)",
+            ),
+            "",
+            render_table(stats_rows, title="adversary solver counters (all cells)"),
+        ]
+    )
+    payload = {
+        "command": "sweep",
+        "algorithm": args.algorithm,
+        "workload": args.workload,
+        "rows": rows,
+        "solver": merged.as_dict(),
+    }
+    return _finish(args, registry, payload, text)
 
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
@@ -372,7 +460,29 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Clairvoyant MinUsageTime Dynamic Bin Packing (Ren & Tang, SPAA'16)",
     )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON report on stdout"
+    )
+    parser.add_argument(
+        "--obs", default="", metavar="FILE", help="write run telemetry to FILE as NDJSON"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_output_opts(p: argparse.ArgumentParser) -> None:
+        # SUPPRESS keeps the subcommand from clobbering the global flags'
+        # values with its own defaults (subparsers parse a fresh namespace).
+        p.add_argument(
+            "--json",
+            action="store_true",
+            default=argparse.SUPPRESS,
+            help="machine-readable JSON report on stdout",
+        )
+        p.add_argument(
+            "--obs",
+            default=argparse.SUPPRESS,
+            metavar="FILE",
+            help="write run telemetry to FILE as NDJSON",
+        )
 
     gen = sub.add_parser("generate", help="synthesise a workload trace")
     gen.add_argument(
@@ -410,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pack.add_argument("--noise-seed", type=int, default=0)
     add_packer_opts(pack)
+    add_output_opts(pack)
     pack.set_defaults(func=_cmd_pack)
 
     cmp_ = sub.add_parser("compare", help="compare algorithms on a trace")
@@ -418,11 +529,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms", default="", help="comma-separated names (default: all)"
     )
     add_packer_opts(cmp_)
+    add_output_opts(cmp_)
     cmp_.set_defaults(func=_cmd_compare)
 
     bnd = sub.add_parser("bounds", help="print OPT lower bounds for a trace")
     bnd.add_argument("--trace", required=True)
     bnd.add_argument("--exact-opt", action="store_true")
+    add_output_opts(bnd)
     bnd.set_defaults(func=_cmd_bounds)
 
     rpt = sub.add_parser("report", help="full workload report (bounds + comparison)")
@@ -454,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a live snapshot every N arrivals (0: only the final report)",
     )
     add_packer_opts(srv)
+    add_output_opts(srv)
     srv.set_defaults(func=_cmd_serve)
 
     swp = sub.add_parser("sweep", help="parallel ratio sweep over a seed grid")
@@ -481,6 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="path of a disk-backed adversary memo cache shared by all cells",
     )
     add_packer_opts(swp)
+    add_output_opts(swp)
     swp.set_defaults(func=_cmd_sweep)
 
     fig = sub.add_parser("fig8", help="print the paper's Figure 8")

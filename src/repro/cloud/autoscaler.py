@@ -15,6 +15,7 @@ from typing import Iterable, Sequence
 from ..algorithms.base import Packer
 from ..bounds.opt_bounds import best_lower_bound
 from ..core.items import ItemList
+from ..obs import TelemetryRegistry
 from ..simulation.billing import BillingPolicy
 from .jobs import Job, items_to_jobs
 from .scheduler import CloudScheduler
@@ -50,6 +51,7 @@ def compare_policies(
     *,
     server_capacity: float = 1.0,
     billings: Sequence[BillingPolicy] = (),
+    registry: TelemetryRegistry | None = None,
 ) -> list[PolicyReport]:
     """Schedule the same jobs under each policy and report costs.
 
@@ -59,10 +61,15 @@ def compare_policies(
         server_capacity: Capacity of one server in job-demand units.
         billings: Billing schemes to price each plan under (exact usage is
             always reported via ``usage_time``).
+        registry: Optional shared :class:`~repro.obs.TelemetryRegistry`
+            every scheduler run records into (per-policy spans and metrics);
+            reports are identical with or without it.
     """
     reports = []
     for policy in policies:
-        scheduler = CloudScheduler(policy, server_capacity=server_capacity)
+        scheduler = CloudScheduler(
+            policy, server_capacity=server_capacity, registry=registry
+        )
         plan = scheduler.schedule(jobs)
         lb = best_lower_bound(plan.packing.items)
         reports.append(
@@ -82,7 +89,10 @@ def compare_policies_on_items(
     policies: Iterable[Packer | str],
     *,
     billings: Sequence[BillingPolicy] = (),
+    registry: TelemetryRegistry | None = None,
 ) -> list[PolicyReport]:
     """Like :func:`compare_policies` but starting from an item list."""
     jobs = items_to_jobs(items, 1.0)
-    return compare_policies(jobs, policies, server_capacity=1.0, billings=billings)
+    return compare_policies(
+        jobs, policies, server_capacity=1.0, billings=billings, registry=registry
+    )

@@ -15,6 +15,7 @@ from typing import Iterable
 from ..algorithms.base import OnlinePacker, Packer, get_packer
 from ..core.items import Item
 from ..core.packing import PackingResult
+from ..obs import TelemetryRegistry
 from ..simulation.billing import BillingPolicy
 from ..simulation.simulator import Simulator
 from .jobs import Job, jobs_to_items
@@ -51,6 +52,9 @@ class CloudScheduler:
         policy: A packer instance or registered packer name.
         server_capacity: Capacity of one server in job-demand units.
         billing: Billing policy used for the cost report (exact by default).
+        registry: Optional shared :class:`~repro.obs.TelemetryRegistry`;
+            every ``schedule`` call records a ``cloud.schedule`` span plus
+            job/lease/cost metrics labelled by policy.
         policy_kwargs: Forwarded to :func:`repro.algorithms.get_packer` when
             ``policy`` is a name.
     """
@@ -61,6 +65,7 @@ class CloudScheduler:
         *,
         server_capacity: float = 1.0,
         billing: BillingPolicy | None = None,
+        registry: TelemetryRegistry | None = None,
         **policy_kwargs: object,
     ) -> None:
         self.packer = (
@@ -68,6 +73,7 @@ class CloudScheduler:
         )
         self.server_capacity = server_capacity
         self.billing = billing or BillingPolicy()
+        self.registry = registry if registry is not None else TelemetryRegistry()
 
     def schedule(self, jobs: Iterable[Job]) -> SchedulePlan:
         """Produce a :class:`SchedulePlan` for the given jobs.
@@ -77,12 +83,18 @@ class CloudScheduler:
         times while costs reflect actual ones; offline policies receive the
         actual intervals directly (the offline model assumes full knowledge).
         """
-        items = jobs_to_items(jobs, self.server_capacity)
-        if isinstance(self.packer, OnlinePacker):
-            packing = Simulator(self.packer).run(items, _predicted_departure).packing
-        else:
-            packing = self.packer.pack(items)
-        packing.validate()
+        with self.registry.span("cloud.schedule"):
+            items = jobs_to_items(jobs, self.server_capacity)
+            if isinstance(self.packer, OnlinePacker):
+                packing = Simulator(self.packer).run(items, _predicted_departure).packing
+            else:
+                packing = self.packer.pack(items)
+            packing.validate()
+        labels = {"policy": self.packer.describe()}
+        self.registry.counter("cloud.schedules", **labels).inc()
+        self.registry.counter("cloud.jobs", **labels).inc(len(items))
+        self.registry.gauge("cloud.leases", **labels).set(packing.num_bins)
+        self.registry.gauge("cloud.usage_time", **labels).set(packing.total_usage())
         return SchedulePlan(
             packing=packing,
             leases=leases_from_packing(packing),

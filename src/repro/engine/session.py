@@ -32,11 +32,20 @@ from ..core.events import Event, EventHeap, EventKind
 from ..core.exceptions import ValidationError
 from ..core.items import Item, ItemList
 from ..core.packing import PackingResult
+from ..obs import TelemetryRegistry, enabled as _telemetry_enabled
 from .stats import EngineStats
 
 __all__ = ["PackingSession", "EngineSnapshot", "clamp_prediction"]
 
 _NEG_INF = float("-inf")
+_perf = time.perf_counter
+
+#: Per-event timing is exact for the first ``_TIMING_EXACT`` events of each
+#: kind, then samples one event in ``_TIMING_STRIDE`` and scales the reading,
+#: so ``submit_seconds``/``advance_seconds`` stay statistically faithful while
+#: the clock reads drop out of the steady-state hot path almost entirely.
+_TIMING_EXACT = 64
+_TIMING_STRIDE = 8
 
 
 def clamp_prediction(item: Item, predicted: float) -> float:
@@ -84,6 +93,9 @@ class PackingSession:
             :func:`~repro.algorithms.get_packer`, so keyword arguments are
             validated against the packer's declared parameters).
         algorithm: Override for the result's algorithm label.
+        registry: Optional shared :class:`~repro.obs.TelemetryRegistry` the
+            session's :class:`EngineStats` cells are interned in; ``None``
+            gives the stats a private registry.
         **kwargs: Constructor parameters when ``packer`` is a name.
 
     Raises:
@@ -98,6 +110,7 @@ class PackingSession:
         packer: OnlinePacker | str,
         *,
         algorithm: str | None = None,
+        registry: TelemetryRegistry | None = None,
         **kwargs: object,
     ) -> None:
         if isinstance(packer, str):
@@ -122,7 +135,13 @@ class PackingSession:
         self._ids: set[int] = set()
         self._clock = _NEG_INF
         self._active = 0
-        self.stats = EngineStats()
+        self.stats = EngineStats(registry)
+        # Hot-path timing writes straight to the interned timer cells; the
+        # property round trip through EngineStats costs ~3x more per event.
+        self._submit_timer = self.stats.registry.timer("engine.submit_seconds")
+        self._advance_timer = self.stats.registry.timer("engine.advance_seconds")
+        self._submit_tick = 0
+        self._advance_tick = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -165,7 +184,12 @@ class PackingSession:
             ValidationError: on out-of-order arrivals, duplicate item ids, or
                 a NaN prediction.
         """
-        t0 = time.perf_counter()
+        tick = self._submit_tick
+        self._submit_tick = tick + 1
+        timed = (
+            tick < _TIMING_EXACT or not tick % _TIMING_STRIDE
+        ) and _telemetry_enabled()
+        t0 = _perf() if timed else 0.0
         if item.arrival < self._clock:
             raise ValidationError(
                 f"item {item.id} arrives at {item.arrival}, before the session "
@@ -199,7 +223,11 @@ class PackingSession:
         open_now = len(self._packer.open_bins_at(item.arrival))
         if open_now > stats.peak_open_bins:
             stats.peak_open_bins = open_now
-        stats.submit_seconds += time.perf_counter() - t0
+        if timed:
+            delta = _perf() - t0
+            self._submit_timer.seconds += (
+                delta if tick < _TIMING_EXACT else delta * _TIMING_STRIDE
+            )
         return index
 
     def advance(self, t: float) -> list[Bin]:
@@ -212,7 +240,12 @@ class PackingSession:
         Raises:
             ValidationError: if ``t`` is before the current clock.
         """
-        t0 = time.perf_counter()
+        tick = self._advance_tick
+        self._advance_tick = tick + 1
+        timed = (
+            tick < _TIMING_EXACT or not tick % _TIMING_STRIDE
+        ) and _telemetry_enabled()
+        t0 = _perf() if timed else 0.0
         if t < self._clock:
             raise ValidationError(
                 f"cannot advance backwards: clock is {self._clock}, got {t}"
@@ -220,7 +253,11 @@ class PackingSession:
         retired = self._drain_departures(t)
         self._clock = t
         self.stats.advances += 1
-        self.stats.advance_seconds += time.perf_counter() - t0
+        if timed:
+            delta = _perf() - t0
+            self._advance_timer.seconds += (
+                delta if tick < _TIMING_EXACT else delta * _TIMING_STRIDE
+            )
         return retired
 
     def _drain_departures(self, t: float) -> list[Bin]:

@@ -1,18 +1,45 @@
-"""Counters and timers of the streaming packing engine."""
+"""Counters and timers of the streaming packing engine.
+
+Since the telemetry refactor, :class:`EngineStats` is a thin view over a
+:class:`~repro.obs.TelemetryRegistry`: every attribute reads and writes an
+interned metric cell (``engine.items_submitted``, ``engine.submit_seconds``,
+…), so a session's counters appear in the same export as the adversary's and
+the CLI's without any ad-hoc dict stitching.  The public attribute API is
+unchanged — ``session.stats.items_submitted`` still reads and ``+=`` still
+writes — and :meth:`EngineStats.as_dict` produces the exact legacy shape.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..obs import TelemetryRegistry
 
 __all__ = ["EngineStats"]
 
+#: Monotonic event counts (``Counter`` cells).
+_COUNTER_FIELDS = (
+    "items_submitted",
+    "bins_retired",
+    "departures_processed",
+    "advances",
+)
+#: Point-in-time values (``Gauge`` cells, max-merged).
+_GAUGE_FIELDS = ("bins_opened", "peak_open_bins", "peak_active_items")
+#: Wall-clock accumulators (``Timer`` cells).
+_TIMER_FIELDS = ("submit_seconds", "advance_seconds")
 
-@dataclass(slots=True)
+FIELDS = _COUNTER_FIELDS + _GAUGE_FIELDS + _TIMER_FIELDS
+
+
 class EngineStats:
     """Mutable run counters of one :class:`~repro.engine.PackingSession`.
 
     All counters start at zero and only the owning session writes them;
     read them at any point (``session.stats``) for live instrumentation.
+    Every field is backed by a metric cell in ``self.registry`` — pass a
+    shared :class:`~repro.obs.TelemetryRegistry` to aggregate several
+    surfaces into one export, or let the stats own a private one.
 
     Attributes:
         items_submitted: Items accepted by ``submit`` so far.
@@ -22,30 +49,134 @@ class EngineStats:
         advances: Explicit ``advance`` calls.
         peak_open_bins: Maximum simultaneously open bins observed.
         peak_active_items: Maximum simultaneously active items observed.
-        submit_seconds: Wall-clock time spent inside ``submit``.
-        advance_seconds: Wall-clock time spent inside ``advance``.
+        submit_seconds: Wall-clock time spent inside ``submit`` (sampled —
+            exact for the first 64 calls, then a scaled 1-in-8 estimate).
+        advance_seconds: Wall-clock time spent inside ``advance`` (sampled
+            the same way).
+        registry: The backing :class:`~repro.obs.TelemetryRegistry`.
     """
 
-    items_submitted: int = 0
-    bins_opened: int = 0
-    bins_retired: int = 0
-    departures_processed: int = 0
-    advances: int = 0
-    peak_open_bins: int = 0
-    peak_active_items: int = 0
-    submit_seconds: float = field(default=0.0)
-    advance_seconds: float = field(default=0.0)
+    __slots__ = ("registry",) + tuple(f"_{name}" for name in FIELDS)
+
+    def __init__(
+        self, registry: TelemetryRegistry | None = None, **initial: float
+    ) -> None:
+        self.registry = registry if registry is not None else TelemetryRegistry()
+        for name in _COUNTER_FIELDS:
+            cell = self.registry.counter(f"engine.{name}")
+            cell.value += int(initial.pop(name, 0))
+            setattr(self, f"_{name}", cell)
+        for name in _GAUGE_FIELDS:
+            cell = self.registry.gauge(f"engine.{name}", aggregate="max")
+            if cell.value is None:
+                cell.value = 0
+            cell.set(int(initial.pop(name, 0)))
+            setattr(self, f"_{name}", cell)
+        for name in _TIMER_FIELDS:
+            cell = self.registry.timer(f"engine.{name}")
+            cell.seconds += float(initial.pop(name, 0.0))
+            setattr(self, f"_{name}", cell)
+        if initial:
+            raise TypeError(f"unknown EngineStats fields: {sorted(initial)}")
+
+    # -- the legacy attribute API (thin views over the registry cells) -------
+
+    @property
+    def items_submitted(self) -> int:
+        """Items accepted by ``submit`` so far."""
+        return self._items_submitted.value
+
+    @items_submitted.setter
+    def items_submitted(self, value: int) -> None:
+        self._items_submitted.value = value
+
+    @property
+    def bins_opened(self) -> int:
+        """Bins the packer has opened so far."""
+        return self._bins_opened.value
+
+    @bins_opened.setter
+    def bins_opened(self, value: int) -> None:
+        self._bins_opened.value = value
+
+    @property
+    def bins_retired(self) -> int:
+        """Bins retired from the open index (all items departed)."""
+        return self._bins_retired.value
+
+    @bins_retired.setter
+    def bins_retired(self, value: int) -> None:
+        self._bins_retired.value = value
+
+    @property
+    def departures_processed(self) -> int:
+        """Departure events drained from the event heap."""
+        return self._departures_processed.value
+
+    @departures_processed.setter
+    def departures_processed(self, value: int) -> None:
+        self._departures_processed.value = value
+
+    @property
+    def advances(self) -> int:
+        """Explicit ``advance`` calls."""
+        return self._advances.value
+
+    @advances.setter
+    def advances(self, value: int) -> None:
+        self._advances.value = value
+
+    @property
+    def peak_open_bins(self) -> int:
+        """Maximum simultaneously open bins observed."""
+        return self._peak_open_bins.value
+
+    @peak_open_bins.setter
+    def peak_open_bins(self, value: int) -> None:
+        self._peak_open_bins.value = value
+
+    @property
+    def peak_active_items(self) -> int:
+        """Maximum simultaneously active items observed."""
+        return self._peak_active_items.value
+
+    @peak_active_items.setter
+    def peak_active_items(self, value: int) -> None:
+        self._peak_active_items.value = value
+
+    @property
+    def submit_seconds(self) -> float:
+        """Wall-clock time spent inside ``submit``."""
+        return self._submit_seconds.seconds
+
+    @submit_seconds.setter
+    def submit_seconds(self, value: float) -> None:
+        self._submit_seconds.seconds = value
+
+    @property
+    def advance_seconds(self) -> float:
+        """Wall-clock time spent inside ``advance``."""
+        return self._advance_seconds.seconds
+
+    @advance_seconds.setter
+    def advance_seconds(self, value: float) -> None:
+        self._advance_seconds.seconds = value
+
+    # -- serialisation -------------------------------------------------------
 
     def as_dict(self) -> dict[str, object]:
-        """Plain-dict view for tabulation and JSON reports."""
-        return {
-            "items_submitted": self.items_submitted,
-            "bins_opened": self.bins_opened,
-            "bins_retired": self.bins_retired,
-            "departures_processed": self.departures_processed,
-            "advances": self.advances,
-            "peak_open_bins": self.peak_open_bins,
-            "peak_active_items": self.peak_active_items,
-            "submit_seconds": self.submit_seconds,
-            "advance_seconds": self.advance_seconds,
-        }
+        """Plain-dict view for tabulation and JSON reports (legacy shape)."""
+        return {name: getattr(self, name) for name in FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "EngineStats":
+        """Rebuild stats from :meth:`as_dict` output (JSON round-trip)."""
+        return cls(**dict(data))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EngineStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        return f"EngineStats({self.as_dict()!r})"

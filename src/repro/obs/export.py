@@ -1,0 +1,59 @@
+"""Telemetry exporters: plain dicts and NDJSON files.
+
+Two formats, one source of truth (:meth:`~repro.obs.Metric.as_dict` rows):
+
+* :func:`export_dict` — a single JSON-serialisable dict
+  (``{"metrics": [row, ...]}``), the shape the CLI's ``--json`` output and
+  the round-trip tests use;
+* :func:`write_ndjson` / :func:`ndjson_lines` — newline-delimited JSON, one
+  metric row per line, the append-friendly shape behind the CLI's
+  ``--obs FILE`` flag (and trivially greppable / ``jq``-able).
+
+:func:`load_ndjson` and :meth:`~repro.obs.TelemetryRegistry.from_dict`
+rebuild a registry from either format without drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from .registry import TelemetryRegistry, TelemetrySnapshot
+
+__all__ = ["export_dict", "ndjson_lines", "write_ndjson", "load_ndjson"]
+
+
+def export_dict(source: TelemetryRegistry | TelemetrySnapshot) -> dict[str, object]:
+    """The registry (or snapshot) as one JSON-serialisable dict."""
+    return source.as_dict()
+
+
+def ndjson_lines(source: TelemetryRegistry | TelemetrySnapshot) -> list[str]:
+    """One compact JSON document per metric row, sorted deterministically."""
+    rows = export_dict(source)["metrics"]
+    return [json.dumps(row, sort_keys=True) for row in rows]  # type: ignore[union-attr]
+
+
+def write_ndjson(
+    source: TelemetryRegistry | TelemetrySnapshot, path: str | os.PathLike[str]
+) -> int:
+    """Write the telemetry export to ``path`` as NDJSON; returns rows written."""
+    lines = ndjson_lines(source)
+    Path(path).write_text("".join(line + "\n" for line in lines))
+    return len(lines)
+
+
+def load_ndjson(path: str | os.PathLike[str]) -> TelemetryRegistry:
+    """Rebuild a registry from a :func:`write_ndjson` file.
+
+    Raises:
+        ValueError: on a malformed line or an unknown metric kind.
+    """
+    rows = []
+    for line in Path(path).read_text().splitlines():
+        if line.strip():
+            rows.append(json.loads(line))
+    registry = TelemetryRegistry()
+    registry.merge(TelemetrySnapshot(metrics=tuple(rows)))
+    return registry

@@ -1,0 +1,222 @@
+"""Typed metric primitives: :class:`Counter`, :class:`Gauge`, :class:`Timer`.
+
+Each metric is a tiny mutable cell identified by ``(name, labels)`` with a
+kind-specific value and a deterministic :meth:`~Metric.merge` rule.  Metrics
+are normally created through a
+:class:`~repro.obs.TelemetryRegistry` (which interns them so every caller
+naming the same ``(name, labels)`` pair shares one cell) and are plain
+picklable objects, so they can cross process boundaries inside sweep
+outcomes and snapshots.
+
+Merge semantics (what happens when two runs' telemetry is combined):
+
+* ``Counter`` — values add.
+* ``Gauge`` — values combine under the gauge's declared ``aggregate``
+  (``"last"``, ``"max"``, ``"min"`` or ``"sum"``); an unset gauge
+  (``value is None``) never overrides a set one.
+* ``Timer`` — total seconds and observation counts both add.
+
+Counters and timers merge commutatively and associatively; only ``"last"``
+gauges are order-sensitive, which is why registry merges always happen in a
+deterministic (task-index) order.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+__all__ = ["Counter", "Gauge", "Timer", "Metric", "LabelSet", "normalize_labels"]
+
+#: Canonical hashable label form: sorted ``(key, value)`` string pairs.
+LabelSet = tuple[tuple[str, str], ...]
+
+#: Gauge aggregation policies accepted by :class:`Gauge`.
+_GAUGE_AGGREGATES = ("last", "max", "min", "sum")
+
+
+def normalize_labels(labels: Mapping[str, object]) -> LabelSet:
+    """Canonical, hashable, sorted form of a label mapping."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Common shape of every metric cell: a name plus canonical labels.
+
+    Subclasses define ``kind`` and the value payload; this base provides the
+    shared identity and serialisation scaffolding.
+    """
+
+    __slots__ = ("name", "labels")
+
+    #: Kind tag written into every export row (``counter``/``gauge``/``timer``).
+    kind = ""
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+
+    @property
+    def key(self) -> tuple[str, LabelSet]:
+        """The registry interning key ``(name, labels)``."""
+        return (self.name, self.labels)
+
+    def labels_dict(self) -> dict[str, str]:
+        """The labels as a plain dict (export form)."""
+        return dict(self.labels)
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict export row; subclasses extend with their payload."""
+        return {"name": self.name, "kind": self.kind, "labels": self.labels_dict()}
+
+    def merge(self, other: "Metric") -> None:
+        """Fold ``other``'s payload into this cell (kind-specific)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.as_dict()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Metric):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __hash__(self) -> int:  # identity-keyed cells are interned, not hashed
+        return hash((type(self).__name__,) + self.key)
+
+
+class Counter(Metric):
+    """A monotonically growing count (items submitted, nodes expanded, …).
+
+    ``value`` is a plain attribute so hot paths may also write it directly;
+    merges add.
+    """
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelSet = (), value: int = 0) -> None:
+        super().__init__(name, labels)
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the count."""
+        self.value += amount
+
+    def merge(self, other: Metric) -> None:
+        """Add the other counter's value into this one."""
+        self.value += other.value  # type: ignore[attr-defined]
+
+    def as_dict(self) -> dict[str, object]:
+        """Export row: ``{name, kind, labels, value}``."""
+        d = super().as_dict()
+        d["value"] = self.value
+        return d
+
+
+class Gauge(Metric):
+    """A point-in-time numeric observation (peaks, last ratio, totals).
+
+    The ``aggregate`` policy decides both how repeated :meth:`set` calls
+    combine and how two gauges merge: ``"last"`` keeps the newest value,
+    ``"max"``/``"min"`` keep the extreme, ``"sum"`` accumulates.  A fresh
+    gauge holds ``None`` until first set.
+    """
+
+    __slots__ = ("value", "aggregate")
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        value: float | int | None = None,
+        aggregate: str = "last",
+    ) -> None:
+        super().__init__(name, labels)
+        if aggregate not in _GAUGE_AGGREGATES:
+            raise ValueError(
+                f"unknown gauge aggregate {aggregate!r}; one of {_GAUGE_AGGREGATES}"
+            )
+        self.value = value
+        self.aggregate = aggregate
+
+    def set(self, value: float | int) -> None:
+        """Record an observation under the gauge's aggregation policy."""
+        self.value = self._combine(self.value, value)
+
+    def _combine(
+        self, old: float | int | None, new: float | int | None
+    ) -> float | int | None:
+        if new is None:
+            return old
+        if old is None:
+            return new
+        if self.aggregate == "max":
+            return max(old, new)
+        if self.aggregate == "min":
+            return min(old, new)
+        if self.aggregate == "sum":
+            return old + new
+        return new  # "last"
+
+    def merge(self, other: Metric) -> None:
+        """Combine the other gauge's value under this gauge's policy."""
+        self.value = self._combine(self.value, other.value)  # type: ignore[attr-defined]
+
+    def as_dict(self) -> dict[str, object]:
+        """Export row: ``{name, kind, labels, value, aggregate}``."""
+        d = super().as_dict()
+        d["value"] = self.value
+        d["aggregate"] = self.aggregate
+        return d
+
+
+class Timer(Metric):
+    """Accumulated wall-clock seconds plus an observation count.
+
+    ``seconds`` and ``count`` are plain attributes (hot paths may add to
+    them directly); merges add both.  Span scopes record into timers.
+    """
+
+    __slots__ = ("seconds", "count")
+    kind = "timer"
+
+    def __init__(
+        self, name: str, labels: LabelSet = (), seconds: float = 0.0, count: int = 0
+    ) -> None:
+        super().__init__(name, labels)
+        self.seconds = seconds
+        self.count = count
+
+    def observe(self, seconds: float, count: int = 1) -> None:
+        """Record one (or ``count``) timed observation(s) totalling ``seconds``."""
+        self.seconds += seconds
+        self.count += count
+
+    @contextmanager
+    def time(self) -> Iterator["Timer"]:
+        """Context manager measuring the enclosed block into this timer."""
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe(time.perf_counter() - t0)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average seconds per observation (0.0 before any observation)."""
+        return self.seconds / self.count if self.count else 0.0
+
+    def merge(self, other: Metric) -> None:
+        """Add the other timer's seconds and count into this one."""
+        self.seconds += other.seconds  # type: ignore[attr-defined]
+        self.count += other.count  # type: ignore[attr-defined]
+
+    def as_dict(self) -> dict[str, object]:
+        """Export row: ``{name, kind, labels, seconds, count}``."""
+        d = super().as_dict()
+        d["seconds"] = self.seconds
+        d["count"] = self.count
+        return d

@@ -1,0 +1,249 @@
+"""The :class:`TelemetryRegistry`: one home for every metric of a run.
+
+A registry interns metric cells by ``(name, labels)`` — every component that
+asks for ``registry.counter("solver.nodes")`` gets the same
+:class:`~repro.obs.Counter`, so the engine, the adversary, the sweep driver
+and the CLI all write into one coherent store.  Registries are plain
+picklable objects (no locks, no threads), so sweep workers ship them back
+through a ``ProcessPoolExecutor`` either whole or as a compact
+:class:`TelemetrySnapshot`; :meth:`TelemetryRegistry.merge` folds snapshots
+or registries back together deterministically (callers merge in task-index
+order, making even ``"last"`` gauges reproducible).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from .metrics import Counter, Gauge, LabelSet, Metric, Timer, normalize_labels
+from .trace import SPAN_PREFIX, enabled, span_path
+
+__all__ = ["TelemetryRegistry", "TelemetrySnapshot", "metric_from_dict"]
+
+_KINDS: dict[str, type[Metric]] = {
+    Counter.kind: Counter,
+    Gauge.kind: Gauge,
+    Timer.kind: Timer,
+}
+
+
+def metric_from_dict(data: Mapping[str, object]) -> Metric:
+    """Rebuild a metric cell from its :meth:`~repro.obs.Metric.as_dict` row.
+
+    Raises:
+        ValueError: on an unknown ``kind``.
+    """
+    kind = str(data.get("kind", ""))
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown metric kind {kind!r}; one of {sorted(_KINDS)}")
+    name = str(data["name"])
+    labels = normalize_labels(data.get("labels") or {})
+    if cls is Counter:
+        return Counter(name, labels, value=int(data.get("value") or 0))
+    if cls is Gauge:
+        value = data.get("value")
+        if value is not None and not isinstance(value, (int, float)):
+            value = float(value)  # type: ignore[arg-type]
+        return Gauge(
+            name,
+            labels,
+            value=value,  # int stays int: gauges must round-trip without coercion
+            aggregate=str(data.get("aggregate", "last")),
+        )
+    return Timer(
+        name,
+        labels,
+        seconds=float(data.get("seconds") or 0.0),
+        count=int(data.get("count") or 0),
+    )
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """A compact, immutable, picklable export of a registry's metrics.
+
+    ``metrics`` holds one plain :meth:`~repro.obs.Metric.as_dict` row per
+    cell, sorted by ``(name, labels)`` — the wire format sweep workers send
+    back and the JSON exporters serialise.
+    """
+
+    metrics: tuple[dict[str, object], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.metrics)
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form: ``{"metrics": [row, ...]}``."""
+        return {"metrics": [dict(m) for m in self.metrics]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TelemetrySnapshot":
+        """Rebuild a snapshot from :meth:`as_dict` output (JSON round-trip)."""
+        rows = data.get("metrics") or []
+        return cls(metrics=tuple(dict(r) for r in rows))  # type: ignore[union-attr]
+
+
+class TelemetryRegistry:
+    """Interned metric cells plus hierarchical span tracing for one run.
+
+    The registry is deliberately lock-free: like the legacy stats
+    dataclasses it replaces, each instance has one writing owner (a session,
+    a sweep cell, a CLI invocation); cross-process and cross-run aggregation
+    goes through :meth:`snapshot` / :meth:`merge`, which are deterministic
+    when applied in a fixed order.
+    """
+
+    __slots__ = ("_metrics", "_span_stack")
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelSet], Metric] = {}
+        self._span_stack: list[str] = []
+
+    # -- cell access ---------------------------------------------------------
+
+    def _intern(self, cls: type[Metric], name: str, labels: LabelSet, **kwargs: object):
+        key = (name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels, **kwargs)  # type: ignore[arg-type]
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} {dict(labels)!r} already registered as "
+                f"{metric.kind}, not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The interned :class:`~repro.obs.Counter` for ``(name, labels)``."""
+        return self._intern(Counter, name, normalize_labels(labels))
+
+    def gauge(self, name: str, *, aggregate: str = "last", **labels: object) -> Gauge:
+        """The interned :class:`~repro.obs.Gauge` for ``(name, labels)``.
+
+        ``aggregate`` only applies on first creation; later calls return the
+        existing cell with its original policy.
+        """
+        return self._intern(Gauge, name, normalize_labels(labels), aggregate=aggregate)
+
+    def timer(self, name: str, **labels: object) -> Timer:
+        """The interned :class:`~repro.obs.Timer` for ``(name, labels)``."""
+        return self._intern(Timer, name, normalize_labels(labels))
+
+    def get(self, name: str, **labels: object) -> Metric | None:
+        """The existing cell for ``(name, labels)``, or ``None``."""
+        return self._metrics.get((name, normalize_labels(labels)))
+
+    def metrics(self) -> list[Metric]:
+        """Every cell, sorted by ``(name, labels)`` for deterministic output."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self.metrics())
+
+    def clear(self) -> None:
+        """Drop every cell and any open span state."""
+        self._metrics.clear()
+        self._span_stack.clear()
+
+    # -- span tracing --------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[str]:
+        """A named, timed, hierarchical trace scope.
+
+        Yields the span's slash-joined path (``parent/child``).  Wall-clock
+        time is recorded into the timer ``span:<path>`` unless telemetry is
+        globally disabled (:func:`repro.obs.set_enabled`), in which case the
+        scope is a pure pass-through.
+        """
+        if not enabled():
+            yield span_path(self._span_stack, name)
+            return
+        path = span_path(self._span_stack, name)
+        self._span_stack.append(name)
+        t0 = time.perf_counter()
+        try:
+            yield path
+        finally:
+            elapsed = time.perf_counter() - t0
+            self._span_stack.pop()
+            self.timer(SPAN_PREFIX + path).observe(elapsed)
+
+    def spans(self) -> dict[str, Timer]:
+        """Recorded span timers keyed by their hierarchical path."""
+        return {
+            m.name[len(SPAN_PREFIX):]: m
+            for m in self.metrics()
+            if isinstance(m, Timer) and m.name.startswith(SPAN_PREFIX)
+        }
+
+    # -- snapshot / merge ----------------------------------------------------
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """An immutable, picklable copy of every cell (sorted)."""
+        return TelemetrySnapshot(metrics=tuple(m.as_dict() for m in self.metrics()))
+
+    def merge(self, other: "TelemetryRegistry | TelemetrySnapshot") -> None:
+        """Fold another registry's (or snapshot's) cells into this one.
+
+        Cells are matched by ``(name, labels)`` and combined under each
+        kind's merge rule (counters/timers add, gauges follow their
+        aggregate).  Merging in a fixed order (e.g. sweep task index) makes
+        the result reproducible run-to-run.
+        """
+        if isinstance(other, TelemetryRegistry):
+            incoming: list[Metric] = other.metrics()
+        else:
+            incoming = [metric_from_dict(row) for row in other.metrics]
+        for metric in incoming:
+            key = (metric.name, metric.labels)
+            mine = self._metrics.get(key)
+            if mine is None:
+                # Adopt a copy so later merges never mutate the source.
+                adopted = metric_from_dict(metric.as_dict())
+                self._metrics[key] = adopted
+            else:
+                if mine.kind != metric.kind:
+                    raise ValueError(
+                        f"cannot merge {metric.kind} into {mine.kind} for "
+                        f"metric {metric.name!r}"
+                    )
+                mine.merge(metric)
+
+    # -- serialisation -------------------------------------------------------
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict export (same shape as ``snapshot().as_dict()``)."""
+        return self.snapshot().as_dict()
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TelemetryRegistry":
+        """Rebuild a registry from :meth:`as_dict` output (JSON round-trip)."""
+        registry = cls()
+        registry.merge(TelemetrySnapshot.from_dict(data))
+        return registry
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TelemetryRegistry):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        return f"TelemetryRegistry({len(self)} metrics)"
+
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle the cells; open-span state never crosses a process."""
+        return {"metrics": self._metrics, "span_stack": []}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        """Restore from :meth:`__getstate__` output."""
+        self._metrics = state["metrics"]  # type: ignore[assignment]
+        self._span_stack = list(state.get("span_stack") or [])

@@ -1,0 +1,55 @@
+"""The global telemetry switch and hierarchical span scopes.
+
+A *span* is a named, timed scope: entering ``registry.span("sweep.cell")``
+inside ``registry.span("cli.sweep")`` records wall-clock time into a
+:class:`~repro.obs.Timer` named ``span:cli.sweep/sweep.cell`` — the slash
+path encodes the hierarchy, so exports reconstruct the call tree without a
+separate span table.
+
+Telemetry can be switched off process-wide with :func:`set_enabled` (or
+temporarily with the :func:`disabled` context manager): spans then skip the
+clock reads entirely and instrumented hot paths (the engine's submit/advance
+timers) skip theirs, so the overhead bench can measure exactly what the
+instrumentation costs.  Counters keep counting either way — they are part of
+the public stats API, not optional tracing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["enabled", "set_enabled", "disabled", "SPAN_PREFIX", "span_path"]
+
+#: Metric-name prefix distinguishing span timers from ordinary timers.
+SPAN_PREFIX = "span:"
+
+_ENABLED = True
+
+
+def enabled() -> bool:
+    """Whether telemetry timing (spans, engine timers) is currently on."""
+    return _ENABLED
+
+
+def set_enabled(on: bool) -> bool:
+    """Switch telemetry timing on or off; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(on)
+    return previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Context manager running the enclosed block with telemetry off."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+def span_path(stack: list[str], name: str) -> str:
+    """The hierarchical path of span ``name`` under the open-span ``stack``."""
+    return "/".join((*stack, name))

@@ -8,12 +8,13 @@ adversary, and side-by-side comparisons of several packers on one workload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..algorithms.base import Packer
 from ..bounds.opt_bounds import OptBounds
 from ..core.items import ItemList
 from ..core.packing import PackingResult
+from ..obs import TelemetryRegistry
 
 __all__ = ["PackingMetrics", "evaluate", "compare"]
 
@@ -53,9 +54,34 @@ class PackingMetrics:
             "ratio_opt": self.ratio_opt,
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PackingMetrics":
+        """Rebuild metrics from :meth:`as_dict` output (JSON round-trip)."""
+        return cls(**data)  # type: ignore[arg-type]
+
+    def record(self, registry: TelemetryRegistry) -> None:
+        """Intern this score into ``registry`` as labelled metric cells.
+
+        One ``sim.evaluations`` counter tick plus ``sim.total_usage`` /
+        ``sim.num_bins`` / ``sim.ratio_lb`` gauges, all labelled with the
+        packing's algorithm, so a multi-packer comparison exports one row
+        per algorithm.
+        """
+        labels = {"algorithm": self.algorithm}
+        registry.counter("sim.evaluations", **labels).inc()
+        registry.gauge("sim.total_usage", **labels).set(self.total_usage)
+        registry.gauge("sim.num_bins", **labels).set(self.num_bins)
+        registry.gauge("sim.ratio_lb", **labels).set(self.ratio_lb)
+        if self.ratio_opt is not None:
+            registry.gauge("sim.ratio_opt", **labels).set(self.ratio_opt)
+
 
 def evaluate(
-    result: PackingResult, *, opt: float | None = None, validate: bool = True
+    result: PackingResult,
+    *,
+    opt: float | None = None,
+    validate: bool = True,
+    registry: TelemetryRegistry | None = None,
 ) -> PackingMetrics:
     """Compute :class:`PackingMetrics` for a finished packing.
 
@@ -64,13 +90,16 @@ def evaluate(
         opt: Exact ``OPT_total`` when available (from
             :func:`repro.algorithms.opt_total`); enables ``ratio_opt``.
         validate: Re-check feasibility first (cheap; defaults on).
+        registry: Optional :class:`~repro.obs.TelemetryRegistry` the score is
+            recorded into (labelled by algorithm); the returned metrics are
+            identical with or without it.
     """
     if validate:
         result.validate()
     bounds = OptBounds.of(result.items)
     usage = result.total_usage()
     lb = bounds.best
-    return PackingMetrics(
+    metrics = PackingMetrics(
         algorithm=result.algorithm,
         num_items=len(result.items),
         num_bins=result.num_bins,
@@ -82,10 +111,28 @@ def evaluate(
         opt_total=opt,
         ratio_opt=(usage / opt) if opt else None,
     )
+    if registry is not None:
+        metrics.record(registry)
+    return metrics
 
 
 def compare(
-    items: ItemList, packers: Sequence[Packer], *, opt: float | None = None
+    items: ItemList,
+    packers: Sequence[Packer],
+    *,
+    opt: float | None = None,
+    registry: TelemetryRegistry | None = None,
 ) -> list[PackingMetrics]:
-    """Run several packers on one workload and score each."""
-    return [evaluate(p.pack(items), opt=opt) for p in packers]
+    """Run several packers on one workload and score each.
+
+    With a ``registry``, each packer's run is wrapped in a
+    ``sim.compare/<algorithm>`` span and its score recorded.
+    """
+    if registry is None:
+        return [evaluate(p.pack(items), opt=opt) for p in packers]
+    scored = []
+    with registry.span("sim.compare"):
+        for p in packers:
+            with registry.span(p.describe()):
+                scored.append(evaluate(p.pack(items), opt=opt, registry=registry))
+    return scored

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..algorithms.base import OnlinePacker
 from ..core.items import ItemList
+from ..obs import TelemetryRegistry
 
 __all__ = ["Decision", "DecisionLog", "record_decisions", "first_divergence"]
 
@@ -67,35 +68,50 @@ class DecisionLog:
         return [d for d in self.decisions if d.opened_new]
 
 
-def record_decisions(packer: OnlinePacker, items: ItemList) -> DecisionLog:
+def record_decisions(
+    packer: OnlinePacker,
+    items: ItemList,
+    *,
+    registry: TelemetryRegistry | None = None,
+) -> DecisionLog:
     """Replay ``items`` against ``packer``, capturing every decision.
 
     The packer is reset first; the resulting packing is identical to
-    ``packer.pack(items)`` (pure observation, no behavioural change).
+    ``packer.pack(items)`` (pure observation, no behavioural change).  With
+    a ``registry``, the replay is wrapped in a ``replay.record`` span and
+    records ``replay.decisions`` / ``replay.new_bins`` counters labelled by
+    algorithm; the returned log is identical with or without it.
     """
+    obs = registry if registry is not None else TelemetryRegistry()
     packer.reset()
     decisions = []
-    for item in items:  # arrival order
-        t = item.arrival
-        open_bins = packer.open_bins_at(t)
-        open_indices = tuple(b.index for b in open_bins)
-        levels = tuple(b.level_at(t) for b in open_bins)
-        feasible = tuple(
-            b.index for b in open_bins if b.fits_at_arrival(item)
-        )
-        before = len(packer.bins)
-        chosen = packer.place(item)
-        decisions.append(
-            Decision(
-                item_id=item.id,
-                time=t,
-                open_bins=open_indices,
-                levels=levels,
-                feasible_bins=feasible,
-                chosen_bin=chosen,
-                opened_new=len(packer.bins) > before,
+    with obs.span("replay.record"):
+        for item in items:  # arrival order
+            t = item.arrival
+            open_bins = packer.open_bins_at(t)
+            open_indices = tuple(b.index for b in open_bins)
+            levels = tuple(b.level_at(t) for b in open_bins)
+            feasible = tuple(
+                b.index for b in open_bins if b.fits_at_arrival(item)
             )
-        )
+            before = len(packer.bins)
+            chosen = packer.place(item)
+            decisions.append(
+                Decision(
+                    item_id=item.id,
+                    time=t,
+                    open_bins=open_indices,
+                    levels=levels,
+                    feasible_bins=feasible,
+                    chosen_bin=chosen,
+                    opened_new=len(packer.bins) > before,
+                )
+            )
+    labels = {"algorithm": packer.describe()}
+    obs.counter("replay.decisions", **labels).inc(len(decisions))
+    obs.counter("replay.new_bins", **labels).inc(
+        sum(1 for d in decisions if d.opened_new)
+    )
     return DecisionLog(algorithm=packer.describe(), decisions=tuple(decisions))
 
 

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import load_ndjson
 from repro.workloads import load_trace
 
 
@@ -390,3 +393,129 @@ class TestSweepCommand:
         code = main(["sweep", "--algorithm", "first-fit", "--seeds", "0"])
         assert code == 2
         assert "--seeds" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    """``--json`` emits one machine-readable document per command."""
+
+    def test_pack_json(self, trace, capsys):
+        code = main(
+            ["pack", "--trace", str(trace), "--algorithm", "first-fit", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "pack"
+        assert doc["algorithm"] == "first-fit"
+        assert doc["metrics"]["num_items"] == 30
+        names = [m["name"] for m in doc["telemetry"]["metrics"]]
+        assert "sim.evaluations" in names
+        assert "span:cli.pack" in names
+
+    def test_compare_json(self, trace, capsys):
+        code = main(
+            [
+                "compare",
+                "--trace",
+                str(trace),
+                "--algorithms",
+                "first-fit,next-fit",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "compare"
+        assert {r["algorithm"] for r in doc["rows"]} == {"first-fit", "next-fit"}
+        # best-first ordering is preserved in the JSON rows too
+        usages = [r["total_usage"] for r in doc["rows"]]
+        assert usages == sorted(usages)
+
+    def test_bounds_json(self, trace, capsys):
+        code = main(["bounds", "--trace", str(trace), "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "bounds"
+        assert len(doc["rows"]) == 3
+        assert all(row["value"] > 0 for row in doc["rows"])
+
+    def test_sweep_json(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--algorithm",
+                "first-fit",
+                "--n",
+                "15",
+                "--seeds",
+                "2",
+                "--executor",
+                "serial",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "sweep"
+        assert [r["seed"] for r in doc["rows"]] == ["seed=0", "seed=1"]
+        assert doc["solver"]["full_evals"] == 2
+        names = [m["name"] for m in doc["telemetry"]["metrics"]]
+        assert "sweep.cells" in names and "solver.nodes" in names
+
+    def test_serve_json(self, trace, capsys):
+        code = main(
+            ["serve", "--trace", str(trace), "--algorithm", "first-fit", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "serve"
+        assert doc["engine"]["items_submitted"] == 30
+
+    def test_global_flag_position(self, trace, capsys):
+        """--json is accepted before the subcommand name too."""
+        code = main(["--json", "bounds", "--trace", str(trace)])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["command"] == "bounds"
+
+
+class TestObsExport:
+    """``--obs FILE`` writes the run's telemetry as loadable NDJSON."""
+
+    def test_pack_obs_file(self, trace, tmp_path, capsys):
+        obs = tmp_path / "pack.ndjson"
+        code = main(
+            [
+                "pack",
+                "--trace",
+                str(trace),
+                "--algorithm",
+                "first-fit",
+                "--obs",
+                str(obs),
+            ]
+        )
+        assert code == 0
+        registry = load_ndjson(obs)
+        assert registry.get("sim.evaluations", algorithm="first-fit").value == 1
+        assert "cli.pack" in registry.spans()
+
+    def test_sweep_obs_merges_worker_telemetry(self, tmp_path, capsys):
+        obs = tmp_path / "sweep.ndjson"
+        code = main(
+            [
+                "sweep",
+                "--algorithm",
+                "first-fit",
+                "--n",
+                "15",
+                "--seeds",
+                "3",
+                "--workers",
+                "2",
+                "--obs",
+                str(obs),
+            ]
+        )
+        assert code == 0
+        registry = load_ndjson(obs)
+        assert registry.get("sweep.cells").value == 3
+        assert registry.get("solver.full_evals").value == 3

@@ -1,0 +1,400 @@
+"""Tests for the ``repro.obs`` telemetry core and the stats views over it.
+
+Covers the typed metrics (counter/gauge/timer), registry interning and
+labels, span tracing, snapshot/merge determinism, pickling across process
+boundaries, NDJSON export, the global enable switch, the registry-backed
+legacy views (:class:`~repro.engine.EngineStats`,
+:class:`~repro.algorithms.SolverStats`), behaviour preservation (identical
+results with telemetry on and off), and a hypothesis round-trip property:
+every stats/registry object survives ``as_dict() -> json -> from_dict``
+with no field drift or type coercion.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import SolverStats, opt_total
+from repro.analysis import SweepTask, run_sweep
+from repro.engine import PackingSession
+from repro.engine.stats import EngineStats
+from repro.obs import (
+    Counter,
+    Gauge,
+    TelemetryRegistry,
+    TelemetrySnapshot,
+    Timer,
+    disabled,
+    enabled,
+    export_dict,
+    load_ndjson,
+    metric_from_dict,
+    ndjson_lines,
+    normalize_labels,
+    set_enabled,
+    write_ndjson,
+)
+from repro.simulation import evaluate
+from repro.workloads import uniform_random
+
+
+class TestMetrics:
+    def test_counter_inc_and_merge(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        other = Counter("x", value=10)
+        c.merge(other)
+        assert c.value == 15
+
+    def test_gauge_aggregates(self):
+        for policy, sets, expected in [
+            ("last", [3, 1, 2], 2),
+            ("max", [3, 1, 2], 3),
+            ("min", [3, 1, 2], 1),
+            ("sum", [3, 1, 2], 6),
+        ]:
+            g = Gauge("g", aggregate=policy)
+            for v in sets:
+                g.set(v)
+            assert g.value == expected, policy
+
+    def test_gauge_unknown_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            Gauge("g", aggregate="mean")
+
+    def test_timer_observe_and_mean(self):
+        t = Timer("t")
+        t.observe(0.5)
+        t.observe(1.5)
+        assert t.seconds == pytest.approx(2.0)
+        assert t.count == 2
+        assert t.mean_seconds == pytest.approx(1.0)
+
+    def test_timer_time_contextmanager(self):
+        t = Timer("t")
+        with t.time():
+            pass
+        assert t.count == 1
+        assert t.seconds >= 0
+
+    def test_labels_normalized(self):
+        assert normalize_labels({"b": 1, "a": "x"}) == (("a", "x"), ("b", "1"))
+
+    def test_metric_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            metric_from_dict({"kind": "histogram", "name": "h"})
+
+
+class TestRegistry:
+    def test_interning_same_cell(self):
+        r = TelemetryRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.counter("a", k="1") is not r.counter("a", k="2")
+
+    def test_kind_clash_rejected(self):
+        r = TelemetryRegistry()
+        r.counter("a")
+        with pytest.raises(ValueError):
+            r.gauge("a")
+
+    def test_metrics_sorted(self):
+        r = TelemetryRegistry()
+        r.counter("b")
+        r.counter("a", z="2")
+        r.counter("a", z="1")
+        assert [(m.name, m.labels) for m in r.metrics()] == [
+            ("a", (("z", "1"),)),
+            ("a", (("z", "2"),)),
+            ("b", ()),
+        ]
+
+    def test_spans_nest_and_time(self):
+        r = TelemetryRegistry()
+        with r.span("outer") as outer_path:
+            with r.span("inner") as inner_path:
+                pass
+        assert outer_path == "outer"
+        assert inner_path == "outer/inner"
+        spans = r.spans()
+        assert set(spans) == {"outer", "outer/inner"}
+        assert spans["outer"].seconds >= spans["outer/inner"].seconds
+
+    def test_merge_adds_counters_and_respects_gauge_policy(self):
+        a = TelemetryRegistry()
+        b = TelemetryRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.gauge("peak", aggregate="max").set(5)
+        b.gauge("peak", aggregate="max").set(9)
+        a.merge(b)
+        assert a.counter("n").value == 5
+        assert a.gauge("peak", aggregate="max").value == 9
+
+    def test_merge_snapshot_does_not_alias_source(self):
+        a = TelemetryRegistry()
+        b = TelemetryRegistry()
+        b.counter("n").inc()
+        a.merge(b.snapshot())
+        a.counter("n").inc(10)
+        assert b.counter("n").value == 1
+
+    def test_merge_order_matters_only_for_last_gauges(self):
+        """Counters commute; "last" gauges are why merge order is fixed."""
+        parts = []
+        for v in (1, 2, 3):
+            r = TelemetryRegistry()
+            r.gauge("g").set(v)
+            parts.append(r.snapshot())
+        merged = TelemetryRegistry()
+        for snap in parts:
+            merged.merge(snap)
+        assert merged.gauge("g").value == 3
+
+    def test_pickle_roundtrip_preserves_cells(self):
+        r = TelemetryRegistry()
+        r.counter("n").inc(7)
+        with r.span("s"):
+            pass
+        clone = pickle.loads(pickle.dumps(r))
+        assert clone == r
+        assert clone.counter("n").value == 7
+
+    def test_snapshot_json_roundtrip(self):
+        r = TelemetryRegistry()
+        r.counter("n", kind_label="x").inc(2)
+        r.gauge("g", aggregate="max").set(4)
+        r.timer("t").observe(0.25)
+        snap = TelemetrySnapshot.from_dict(
+            json.loads(json.dumps(r.snapshot().as_dict()))
+        )
+        rebuilt = TelemetryRegistry()
+        rebuilt.merge(snap)
+        assert rebuilt == r
+
+
+class TestExport:
+    def test_ndjson_write_and_load(self, tmp_path):
+        r = TelemetryRegistry()
+        r.counter("a").inc(3)
+        r.gauge("b", lbl="x").set(1.5)
+        path = tmp_path / "obs.ndjson"
+        rows = write_ndjson(r, path)
+        assert rows == 2
+        assert load_ndjson(path) == r
+
+    def test_ndjson_lines_sorted_and_parseable(self):
+        r = TelemetryRegistry()
+        r.counter("z").inc()
+        r.counter("a").inc()
+        lines = ndjson_lines(r)
+        names = [json.loads(line)["name"] for line in lines]
+        assert names == ["a", "z"]
+
+    def test_export_dict_shape(self):
+        r = TelemetryRegistry()
+        r.counter("a").inc()
+        doc = export_dict(r)
+        assert set(doc) == {"metrics"}
+        assert doc["metrics"][0]["kind"] == "counter"
+
+
+class TestEnableSwitch:
+    def test_disabled_skips_span_timing_only(self):
+        r = TelemetryRegistry()
+        with disabled():
+            assert not enabled()
+            with r.span("quiet"):
+                r.counter("n").inc()  # counters always count
+        assert enabled()
+        assert r.spans() == {}
+        assert r.counter("n").value == 1
+
+    def test_set_enabled_returns_previous(self):
+        previous = set_enabled(False)
+        try:
+            assert previous is True
+            assert set_enabled(True) is False
+        finally:
+            set_enabled(True)
+
+
+class TestRegistryBackedViews:
+    def test_engine_stats_share_registry_with_session(self):
+        registry = TelemetryRegistry()
+        items = uniform_random(40, seed=3)
+        session = PackingSession("first-fit", registry=registry)
+        for item in items:
+            session.submit(item)
+        assert session.stats.registry is registry
+        assert registry.counter("engine.items_submitted").value == 40
+        assert session.stats.items_submitted == 40
+
+    def test_engine_stats_legacy_dict_shape(self):
+        stats = EngineStats(items_submitted=2, peak_open_bins=3, submit_seconds=0.5)
+        d = stats.as_dict()
+        assert d["items_submitted"] == 2
+        assert d["peak_open_bins"] == 3
+        assert d["submit_seconds"] == pytest.approx(0.5)
+        assert isinstance(d["peak_open_bins"], int)
+        assert EngineStats.from_dict(d) == stats
+
+    def test_engine_stats_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            EngineStats(bogus=1)
+
+    def test_solver_stats_keyword_constructor_and_merge(self):
+        a = SolverStats(nodes=1, memo_hits=2, slices=3)
+        b = SolverStats(nodes=10)
+        a.merge(b)
+        assert a.nodes == 11 and a.memo_hits == 2 and a.slices == 3
+        assert SolverStats.from_dict(a.as_dict()) == a
+
+    def test_solver_stats_cells_visible_in_shared_registry(self):
+        registry = TelemetryRegistry()
+        stats = SolverStats(registry=registry)
+        items = uniform_random(8, seed=1, arrival_span=4.0)
+        opt_total(items, stats=stats)
+        assert registry.counter("solver.full_evals").value == 1
+        assert registry.counter("solver.slices").value == stats.slices > 0
+
+    def test_sweep_outcome_telemetry_merges(self):
+        tasks = [
+            SweepTask(
+                packer="first-fit",
+                workload="uniform",
+                workload_kwargs={"n": 10, "seed": seed},
+            )
+            for seed in range(2)
+        ]
+        registry = TelemetryRegistry()
+        outcomes = run_sweep(tasks, executor="serial", registry=registry)
+        assert registry.counter("sweep.cells").value == 2
+        assert registry.counter("solver.full_evals").value == 2
+        assert [o.task.workload_kwargs["seed"] for o in outcomes] == [0, 1]
+
+
+class TestBehaviorPreservation:
+    def test_packing_identical_with_telemetry_off(self):
+        items = uniform_random(60, seed=9)
+
+        def run():
+            session = PackingSession("first-fit")
+            for item in items:
+                session.submit(item)
+            result = session.result()
+            return result.assignment, result.total_usage()
+
+        with disabled():
+            assignment_off, usage_off = run()
+        assignment_on, usage_on = run()
+        assert assignment_on == assignment_off
+        assert usage_on == usage_off
+
+    def test_opt_total_identical_with_telemetry_off(self):
+        items = uniform_random(9, seed=4, arrival_span=5.0)
+        with disabled():
+            off = opt_total(items, stats=SolverStats())
+        assert opt_total(items, stats=SolverStats()) == off
+
+    def test_evaluate_identical_with_and_without_registry(self):
+        items = uniform_random(30, seed=2)
+        from repro.algorithms import get_packer
+
+        result = get_packer("first-fit").pack(items)
+        plain = evaluate(result)
+        recorded = evaluate(result, registry=TelemetryRegistry())
+        assert plain == recorded
+
+
+# -- round-trip property: as_dict -> json -> restore, no drift or coercion ---
+
+_label_keys = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=6
+)
+_counts = st.integers(min_value=0, max_value=10**9)
+_floats = st.floats(min_value=0, max_value=1e9, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def registries(draw) -> TelemetryRegistry:
+    """A registry with random counters, gauges and timers."""
+    r = TelemetryRegistry()
+    for i in range(draw(st.integers(min_value=0, max_value=5))):
+        kind = draw(st.sampled_from(["counter", "gauge", "timer"]))
+        labels = draw(
+            st.dictionaries(_label_keys, _label_keys, min_size=0, max_size=2)
+        )
+        name = f"m{i}.{kind}"
+        if kind == "counter":
+            r.counter(name, **labels).inc(draw(_counts))
+        elif kind == "gauge":
+            aggregate = draw(st.sampled_from(["last", "max", "min", "sum"]))
+            cell = r.gauge(name, aggregate=aggregate, **labels)
+            if draw(st.booleans()):
+                cell.set(draw(st.one_of(_counts, _floats)))
+        else:
+            r.timer(name, **labels).observe(draw(_floats), count=draw(_counts))
+    return r
+
+
+@given(registry=registries())
+@settings(max_examples=60, deadline=None)
+def test_registry_roundtrip_property(registry):
+    """Registries survive as_dict -> json -> from_dict without drift."""
+    restored = TelemetryRegistry.from_dict(
+        json.loads(json.dumps(registry.as_dict()))
+    )
+    assert restored == registry
+    for mine, theirs in zip(registry.metrics(), restored.metrics()):
+        assert mine.as_dict() == theirs.as_dict()
+        for key, value in mine.as_dict().items():
+            # no type coercion: ints stay int, floats stay float
+            assert type(theirs.as_dict()[key]) is type(value), key
+
+
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=10**6), min_size=10, max_size=10
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_solver_stats_roundtrip_property(values):
+    """SolverStats survives as_dict -> json -> from_dict exactly."""
+    from repro.algorithms.optimal import SOLVER_FIELDS
+
+    stats = SolverStats(**dict(zip(SOLVER_FIELDS, values)))
+    restored = SolverStats.from_dict(json.loads(json.dumps(stats.as_dict())))
+    assert restored == stats
+    assert all(
+        type(getattr(restored, f)) is int for f in SOLVER_FIELDS
+    )
+
+
+@given(
+    counters=st.lists(
+        st.integers(min_value=0, max_value=10**6), min_size=4, max_size=4
+    ),
+    gauges=st.lists(
+        st.integers(min_value=0, max_value=10**6), min_size=3, max_size=3
+    ),
+    timers=st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=2, max_size=2
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_engine_stats_roundtrip_property(counters, gauges, timers):
+    """EngineStats survives as_dict -> json -> from_dict exactly."""
+    from repro.engine.stats import FIELDS
+
+    values = dict(zip(FIELDS, [*counters, *gauges, *timers]))
+    stats = EngineStats(**values)
+    restored = EngineStats.from_dict(json.loads(json.dumps(stats.as_dict())))
+    assert restored == stats
+    for name, value in restored.as_dict().items():
+        assert type(value) is type(stats.as_dict()[name]), name
