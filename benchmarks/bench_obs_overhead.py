@@ -15,9 +15,14 @@ telemetry globally enabled and disabled (:func:`repro.obs.set_enabled`):
 Acceptance, checked in both pytest and script mode:
 
 * enabled-vs-disabled overhead stays **under 3%** (best-of-repeats over
-  interleaved rounds, GC disabled while timing), and
+  interleaved rounds, GC disabled while timing),
 * results are **bit-identical** either way: same streaming assignment and
-  usage, same ``OPT_total`` value — telemetry never touches control flow.
+  usage, same ``OPT_total`` value — telemetry never touches control flow,
+  and
+* the latency-tail histograms are populated and sane: the p99 bucket of
+  ``engine.submit_latency`` and ``solver.solve_latency`` stays under a
+  generous absolute ceiling, so a regression that fattens the tail (rather
+  than the mean) is caught even when totals still pass the 3% gate.
 
 Run as a script (``python benchmarks/bench_obs_overhead.py [--quick]``) or
 through pytest (``pytest benchmarks/bench_obs_overhead.py``).
@@ -30,17 +35,22 @@ import gc
 import time
 from typing import Callable
 
-from repro.algorithms import SolverStats, opt_total
+from repro.algorithms import MemoCache, SolverStats, opt_total
 from repro.analysis import render_table
 from repro.core import EventKind, ItemList, event_stream
 from repro.engine import PackingSession
-from repro.obs import set_enabled
+from repro.obs import Histogram, TelemetryRegistry, set_enabled
 from repro.workloads import uniform_random
 
 #: Overhead ceiling: telemetry-on must cost < 3% over telemetry-off.
 MAX_OVERHEAD = 0.03
 #: Absolute-noise floor: below this per-run delta the 3% ratio is meaningless.
 NOISE_FLOOR_SECONDS = 0.005
+#: p99 ceiling for one engine ``submit`` (typical is ~10 µs; the ceiling is
+#: generous because a single scheduler preemption can inflate one sample).
+ENGINE_P99_CEILING = 0.005
+#: p99 ceiling for one uncached adversary slice solve on the bench trace.
+SOLVER_P99_CEILING = 0.25
 
 FULL_ENGINE_N = 20_000
 QUICK_ENGINE_N = 4_000
@@ -60,9 +70,11 @@ def make_opt_trace(n: int) -> ItemList:
     return uniform_random(n, seed=7, arrival_span=6.0)
 
 
-def engine_pass(items: ItemList) -> tuple[dict[int, int], float]:
+def engine_pass(
+    items: ItemList, registry: TelemetryRegistry | None = None
+) -> tuple[dict[int, int], float]:
     """One full streaming pass; returns (assignment, usage)."""
-    session = PackingSession("first-fit")
+    session = PackingSession("first-fit", registry=registry)
     for event in event_stream(items):
         if event.kind is EventKind.ARRIVAL:
             session.submit(event.item)
@@ -180,16 +192,73 @@ def run_experiment(engine_n: int, opt_n: int, repeats: int) -> list[dict[str, ob
     ]
 
 
+def _tail_row(name: str, hist: Histogram, ceiling: float) -> dict[str, object]:
+    p99 = hist.quantile(0.99)
+    within = hist.count > 0 and p99 <= ceiling
+    return {
+        "histogram": name,
+        "samples": hist.count,
+        "p50 (s)": hist.quantile(0.5),
+        "p99 (s)": p99,
+        "ceiling (s)": ceiling,
+        "tail ok": "ok" if within else "FAIL",
+    }
+
+
+def measure_latency_tails(engine_n: int, opt_n: int) -> list[dict[str, object]]:
+    """Run both workloads once with fresh registries and read the p99 buckets.
+
+    The solver pass uses a **fresh** :class:`~repro.algorithms.MemoCache`:
+    against the shared process-wide default every slice would hit the cache
+    and no solve latency would ever be recorded.
+    """
+    previous = set_enabled(True)
+    try:
+        registry = TelemetryRegistry()
+        engine_pass(make_engine_trace(engine_n), registry=registry)
+        submit_hist = registry.get("engine.submit_latency")
+        stats = SolverStats()
+        opt_total(make_opt_trace(opt_n), memo=MemoCache(), stats=stats)
+    finally:
+        set_enabled(previous)
+    assert isinstance(submit_hist, Histogram)
+    return [
+        _tail_row("engine.submit_latency", submit_hist, ENGINE_P99_CEILING),
+        _tail_row("solver.solve_latency", stats.solve_latency, SOLVER_P99_CEILING),
+    ]
+
+
+def measure_tails_with_retry(
+    engine_n: int, opt_n: int, attempts: int = 3
+) -> list[dict[str, object]]:
+    """Gate the latency tails with up to ``attempts`` fresh runs.
+
+    Same rationale as :func:`measure_with_retry`: one preempted sample can
+    blow a p99 bucket on a busy machine; a real tail regression fails every
+    attempt.
+    """
+    rows: list[dict[str, object]] = []
+    for _ in range(attempts):
+        rows = measure_latency_tails(engine_n, opt_n)
+        if all(row["tail ok"] == "ok" for row in rows):
+            return rows
+    return rows
+
+
 def test_obs_overhead(benchmark, report):
-    """Pytest entry: overhead under 3% and bit-identical results."""
+    """Pytest entry: overhead under 3%, bit-identical results, sane p99 tails."""
     rows = run_experiment(QUICK_ENGINE_N, QUICK_OPT_N, QUICK_REPEATS)
     assert all(row["within 3%"] == "ok" for row in rows), rows
+    tail_rows = measure_tails_with_retry(QUICK_ENGINE_N, QUICK_OPT_N)
+    assert all(row["tail ok"] == "ok" for row in tail_rows), tail_rows
     items = make_engine_trace(2000)
     benchmark(lambda: engine_pass(items))
     report(
         render_table(
             rows, title="[OBS] telemetry overhead (enabled vs disabled)", precision=4
         )
+        + "\n\n"
+        + render_table(tail_rows, title="[OBS] latency tails (p99 gate)", precision=6)
     )
 
 
@@ -203,20 +272,33 @@ def main() -> int:
     )
     args = parser.parse_args()
     if args.quick:
-        rows = run_experiment(QUICK_ENGINE_N, QUICK_OPT_N, QUICK_REPEATS)
+        engine_n, opt_n, repeats = QUICK_ENGINE_N, QUICK_OPT_N, QUICK_REPEATS
     else:
-        rows = run_experiment(FULL_ENGINE_N, FULL_OPT_N, FULL_REPEATS)
+        engine_n, opt_n, repeats = FULL_ENGINE_N, FULL_OPT_N, FULL_REPEATS
+    rows = run_experiment(engine_n, opt_n, repeats)
+    tail_rows = measure_tails_with_retry(engine_n, opt_n)
     print(
         render_table(
             rows, title="telemetry overhead (enabled vs disabled)", precision=4
         )
     )
+    print()
+    print(render_table(tail_rows, title="latency tails (p99 gate)", precision=6))
     failures = [row for row in rows if row["within 3%"] != "ok"]
-    if failures:
-        for row in failures:
-            print(f"FAIL: {row['workload']} overhead {row['overhead']:.1%} >= 3%")
+    for row in failures:
+        print(f"FAIL: {row['workload']} overhead {row['overhead']:.1%} >= 3%")
+    tail_failures = [row for row in tail_rows if row["tail ok"] != "ok"]
+    for row in tail_failures:
+        print(
+            f"FAIL: {row['histogram']} p99 {row['p99 (s)']}s over "
+            f"ceiling {row['ceiling (s)']}s (samples={row['samples']})"
+        )
+    if failures or tail_failures:
         return 1
-    print("OK: telemetry overhead under 3% on both workloads, results identical")
+    print(
+        "OK: telemetry overhead under 3% on both workloads, results identical, "
+        "latency tails within ceilings"
+    )
     return 0
 
 

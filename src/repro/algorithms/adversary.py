@@ -34,6 +34,7 @@ import os
 import pickle
 import struct
 import threading
+import time
 from bisect import bisect_left, bisect_right, insort
 from pathlib import Path
 from typing import Sequence
@@ -41,6 +42,7 @@ from typing import Sequence
 from ..core.events import SizeSlice, active_size_slices
 from ..core.items import ItemList
 from ..core.stepfun import DEFAULT_TOL
+from ..obs import TelemetryRegistry, enabled as _telemetry_enabled
 from .optimal import SolverStats, bin_packing_min_bins
 
 __all__ = [
@@ -78,14 +80,26 @@ class MemoCache:
         path: Optional file backing the cache; loaded eagerly when it
             exists, written by :meth:`save`.
         max_entries: Soft capacity; the oldest entries are evicted first.
+        registry: Optional :class:`~repro.obs.TelemetryRegistry` the cache
+            records its persistence telemetry in (``memo.load_entries``,
+            ``memo.saves``, ``memo.entries_merged``, ``memo.file_bytes``,
+            ``memo.save_retries``); ``None`` records nothing.
     """
 
+    #: Transient-OSError attempts made by :meth:`save` before giving up.
+    _SAVE_ATTEMPTS = 3
+
     def __init__(
-        self, path: str | os.PathLike[str] | None = None, *, max_entries: int = 1_000_000
+        self,
+        path: str | os.PathLike[str] | None = None,
+        *,
+        max_entries: int = 1_000_000,
+        registry: TelemetryRegistry | None = None,
     ) -> None:
         self._lock = threading.Lock()
         self._data: dict[bytes, int] = {}
         self.max_entries = max_entries
+        self.registry = registry
         self.path = Path(path) if path is not None else None
         if self.path is not None:
             self.load()
@@ -134,14 +148,17 @@ class MemoCache:
         with self._lock:
             for k, v in data.items():
                 self._data.setdefault(k, v)
-            return len(data)
+        if self.registry is not None:
+            self.registry.counter("memo.load_entries").inc(len(data))
+        return len(data)
 
     def save(self) -> int:
         """Merge this cache into the backing file atomically.
 
         Existing on-disk entries from other processes are preserved; the
         merged dict is written to a temp file and ``os.replace``d into
-        place.  Returns the number of entries written (0 without a path).
+        place (retried a few times on transient ``OSError``).  Returns the
+        number of entries written (0 without a path).
         """
         if self.path is None:
             return 0
@@ -155,9 +172,26 @@ class MemoCache:
             pass
         with self._lock:
             merged.update(self._data)
+        payload = pickle.dumps(merged, protocol=pickle.HIGHEST_PROTOCOL)
         tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
-        tmp.write_bytes(pickle.dumps(merged, protocol=pickle.HIGHEST_PROTOCOL))
-        os.replace(tmp, self.path)
+        retries = 0
+        for attempt in range(self._SAVE_ATTEMPTS):
+            try:
+                tmp.write_bytes(payload)
+                os.replace(tmp, self.path)
+                break
+            except OSError:
+                retries += 1
+                if attempt == self._SAVE_ATTEMPTS - 1:
+                    if self.registry is not None:
+                        self.registry.counter("memo.save_retries").inc(retries)
+                    raise
+        if self.registry is not None:
+            self.registry.counter("memo.saves").inc()
+            self.registry.counter("memo.entries_merged").inc(len(merged))
+            self.registry.gauge("memo.file_bytes").set(len(payload))
+            if retries:
+                self.registry.counter("memo.save_retries").inc(retries)
         return len(merged)
 
 
@@ -193,6 +227,14 @@ def _slice_count(
         return cached
     if stats is not None:
         stats.memo_misses += 1
+        if _telemetry_enabled():
+            t0 = time.perf_counter()
+            count = bin_packing_min_bins(
+                sizes, tol=tol, max_nodes=max_nodes, upper_bound=warm_upper, stats=stats
+            )
+            stats.solve_latency.observe(time.perf_counter() - t0)
+            memo.put(key, count)
+            return count
     count = bin_packing_min_bins(
         sizes, tol=tol, max_nodes=max_nodes, upper_bound=warm_upper, stats=stats
     )

@@ -34,7 +34,7 @@ from ..core.exceptions import SolverLimitError, ValidationError
 from ..core.items import ItemList
 from ..core.packing import PackingResult
 from ..core.stepfun import DEFAULT_TOL
-from ..obs import TelemetryRegistry
+from ..obs import Histogram, TelemetryRegistry
 
 __all__ = [
     "SolverStats",
@@ -89,10 +89,14 @@ class SolverStats:
             (mutation-window) path.
         full_evals: Oracle / ``opt_total`` evaluations that swept the whole
             timeline.
+        solve_latency: Per-solve latency :class:`~repro.obs.Histogram` of
+            the uncached :func:`bin_packing_min_bins` calls issued by the
+            sweep (recorded only while telemetry timing is enabled; not part
+            of :meth:`as_dict`).
         registry: The backing :class:`~repro.obs.TelemetryRegistry`.
     """
 
-    __slots__ = ("registry",) + tuple(f"_{name}" for name in SOLVER_FIELDS)
+    __slots__ = ("registry", "_solve_latency") + tuple(f"_{name}" for name in SOLVER_FIELDS)
 
     def __init__(
         self,
@@ -126,6 +130,7 @@ class SolverStats:
             cell = self.registry.counter(f"solver.{name}")
             cell.value += int(value)
             setattr(self, f"_{name}", cell)
+        self._solve_latency = self.registry.histogram("solver.solve_latency")
 
     # -- the legacy attribute API (thin views over the registry cells) -------
 
@@ -219,6 +224,11 @@ class SolverStats:
     def full_evals(self, value: int) -> None:
         self._full_evals.value = value
 
+    @property
+    def solve_latency(self) -> Histogram:
+        """Per-solve latency distribution of uncached classical solves."""
+        return self._solve_latency
+
     # -- aggregation and serialisation ---------------------------------------
 
     def as_dict(self) -> dict[str, object]:
@@ -231,9 +241,11 @@ class SolverStats:
         return cls(**{k: int(v) for k, v in data.items()})
 
     def merge(self, other: "SolverStats") -> None:
-        """Add ``other``'s counters into this object (sweep aggregation)."""
+        """Add ``other``'s counters (and latency buckets) into this object."""
         for name in SOLVER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        if other._solve_latency.count:
+            self._solve_latency.merge(other._solve_latency)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SolverStats):

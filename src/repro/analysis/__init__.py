@@ -21,7 +21,7 @@ from .instrumentation import (
 )
 from .noise import NoisePoint, noise_sweep, noisy_estimator
 from .parallel import SweepOutcome, SweepTask, run_sweep
-from .report import build_report, guarantee_for
+from .report import ReportData, build_report, guarantee_for, render_report, report_data
 from .ratios import RatioMeasurement, SweepPoint, measured_ratio, sweep_mu
 from .tables import format_cell, render_series, render_table
 
@@ -44,6 +44,9 @@ __all__ = [
     "SweepOutcome",
     "SweepTask",
     "run_sweep",
+    "ReportData",
+    "report_data",
+    "render_report",
     "build_report",
     "guarantee_for",
     "RatioMeasurement",

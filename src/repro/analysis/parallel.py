@@ -13,6 +13,7 @@ no closures cross the process boundary.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import (
     Executor,
     Future,
@@ -28,7 +29,7 @@ from ..algorithms.adversary import MemoCache
 from ..algorithms.base import get_packer
 from ..algorithms.optimal import SolverStats
 from ..core.exceptions import ValidationError
-from ..obs import TelemetryRegistry, TelemetrySnapshot
+from ..obs import TelemetryRegistry, TelemetrySnapshot, enabled as _telemetry_enabled
 from ..workloads import (
     bounded_mu,
     bursty,
@@ -104,10 +105,14 @@ def _run_one(task: SweepTask, memo_path: str | None = None) -> SweepOutcome:
     n = kwargs.pop("n", None)
     packer = get_packer(task.packer, **dict(task.packer_kwargs))
     stats = SolverStats(registry=registry)
-    memo = MemoCache(memo_path) if memo_path is not None else None
+    memo = MemoCache(memo_path, registry=registry) if memo_path is not None else None
+    timed = _telemetry_enabled()
+    t0 = time.perf_counter() if timed else 0.0
     with registry.span("sweep.cell"):
         items = generator(n, **kwargs) if n is not None else generator(**kwargs)
         m = measured_ratio(packer, items, memo=memo, stats=stats)
+    if timed:
+        registry.histogram("sweep.cell_latency").observe(time.perf_counter() - t0)
     if memo is not None:
         memo.save()
     registry.counter("sweep.cells").inc()

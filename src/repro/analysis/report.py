@@ -1,16 +1,20 @@
 """One-shot experiment reports: workload → bounds → algorithms → verdict.
 
-:func:`build_report` turns an :class:`~repro.core.ItemList` into a complete
-plain-text report: workload statistics, the Proposition 1–3 lower bounds
-(and the exact adversary when affordable), a ranked comparison of the
-requested algorithms with theorem guarantees where applicable, the demand
-profile and the winner's Gantt chart.  The CLI exposes it as
-``python -m repro report``.
+:func:`report_data` turns an :class:`~repro.core.ItemList` into a
+:class:`ReportData`: a JSON-ready structured payload (workload statistics,
+the Proposition 1–3 lower bounds and the exact adversary when affordable, a
+ranked comparison of the requested algorithms with theorem guarantees where
+applicable) plus the computed packings.  :func:`render_report` renders that
+data as the classic plain-text report (tables, demand profile and the
+winner's Gantt chart), and :func:`build_report` is the one-call
+compose-and-render wrapper the CLI exposes as ``python -m repro report``;
+``report --json`` emits the payload instead of the rendering.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 from ..algorithms.base import Packer, get_packer
 from ..algorithms.adversary import opt_total
@@ -24,10 +28,12 @@ from ..bounds.competitive import (
 )
 from ..core.exceptions import SolverLimitError
 from ..core.items import ItemList
+from ..core.packing import PackingResult
+from ..obs import TelemetryRegistry
 from ..viz.gantt import render_gantt, render_profile
 from .tables import render_table
 
-__all__ = ["build_report", "guarantee_for"]
+__all__ = ["ReportData", "report_data", "render_report", "build_report", "guarantee_for"]
 
 DEFAULT_ALGORITHMS = (
     "first-fit",
@@ -68,38 +74,63 @@ def guarantee_for(packer: Packer, items: ItemList) -> float | None:
     return None
 
 
-def build_report(
+@dataclass(frozen=True)
+class ReportData:
+    """Everything one report computed, in both structured and reusable form.
+
+    Attributes:
+        title: The report heading.
+        items: The workload the report covers.
+        payload: A JSON-serialisable dict — workload stats, the bounds block
+            (including the ratio denominator and its label) and the ranked
+            algorithm rows under **stable** keys (``algorithm`` / ``bins`` /
+            ``usage`` / ``ratio`` / ``guarantee``), plus the ``winner``.
+        results: The validated :class:`~repro.core.PackingResult` per
+            requested algorithm name, in request order.
+    """
+
+    title: str
+    items: ItemList
+    payload: dict[str, object]
+    results: dict[str, PackingResult] = field(default_factory=dict)
+
+    @property
+    def denominator_label(self) -> str:
+        """Which denominator the ratio column divides by (display label)."""
+        bounds = self.payload.get("bounds")
+        return str(bounds["denominator_label"]) if isinstance(bounds, dict) else ""
+
+
+def report_data(
     items: ItemList,
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     *,
     title: str = "workload report",
     exact_opt_max_items: int = 150,
-    width: int = 72,
-    include_gantt: bool = True,
-    packer_kwargs: dict[str, dict[str, object]] | None = None,
-) -> str:
-    """Build the full plain-text report for one workload.
+    packer_kwargs: Mapping[str, dict[str, object]] | None = None,
+    registry: TelemetryRegistry | None = None,
+) -> ReportData:
+    """Compute one workload's full report content (no rendering).
 
     Args:
         items: The workload.
         algorithms: Registered packer names to compare.
         title: Report heading.
         exact_opt_max_items: Size cap for solving the exact adversary.
-        width: Chart width in characters.
-        include_gantt: Append the best algorithm's Gantt chart.
         packer_kwargs: Optional per-name constructor arguments.
+        registry: Optional :class:`~repro.obs.TelemetryRegistry` the report
+            records summary gauges in (``report.algorithms``,
+            ``report.denominator``, ``report.best_usage``, ``report.builds``).
     """
     packer_kwargs = packer_kwargs or {}
-    lines = [f"=== {title} ===", ""]
     if not items:
-        lines.append("(empty workload)")
-        return "\n".join(lines)
+        payload: dict[str, object] = {
+            "title": title,
+            "workload": {"items": 0},
+            "algorithms": [],
+        }
+        return ReportData(title=title, items=items, payload=payload)
 
-    lines.append(
-        f"{len(items)} items | span {items.span():.2f} | demand "
-        f"{items.total_demand():.2f} | mu {items.mu():.2f} | peak demand "
-        f"{items.max_concurrent_size():.2f}"
-    )
     from ..bounds.opt_bounds import OptBounds
 
     bounds = OptBounds.of(items)
@@ -111,15 +142,9 @@ def build_report(
             opt = None
     denom = opt if opt is not None else bounds.best
     denom_label = "OPT_total (exact)" if opt is not None else "Prop-3 lower bound"
-    lines.append(
-        f"bounds: d(R)={bounds.demand:.2f}  span={bounds.span:.2f}  "
-        f"ceil-integral={bounds.ceil_size:.2f}"
-        + (f"  OPT_total={opt:.2f}" if opt is not None else "")
-    )
-    lines.append("")
 
-    rows = []
-    results = {}
+    rows: list[dict[str, object]] = []
+    results: dict[str, PackingResult] = {}
     for name in algorithms:
         packer = get_packer(name, **packer_kwargs.get(name, {}))
         result = packer.pack(items)
@@ -130,20 +155,126 @@ def build_report(
                 "algorithm": packer.describe(),
                 "bins": result.num_bins,
                 "usage": result.total_usage(),
-                f"ratio vs {denom_label}": result.total_usage() / denom
-                if denom > 0
-                else 1.0,
+                "ratio": result.total_usage() / denom if denom > 0 else 1.0,
                 "guarantee": guarantee_for(packer, items),
             }
         )
     rows.sort(key=lambda r: r["usage"])  # type: ignore[arg-type,return-value]
-    lines.append(render_table(rows, title="algorithms (best first)"))
+    winner = min(results, key=lambda n: results[n].total_usage()) if results else None
+
+    payload = {
+        "title": title,
+        "workload": {
+            "items": len(items),
+            "span": items.span(),
+            "demand": items.total_demand(),
+            "mu": items.mu(),
+            "peak_demand": items.max_concurrent_size(),
+        },
+        "bounds": {
+            "demand": bounds.demand,
+            "span": bounds.span,
+            "ceil_integral": bounds.ceil_size,
+            "opt_total": opt,
+            "denominator": denom,
+            "denominator_label": denom_label,
+        },
+        "algorithms": rows,
+        "winner": results[winner].algorithm if winner is not None else None,
+    }
+    if registry is not None:
+        registry.counter("report.builds").inc()
+        registry.gauge("report.algorithms").set(len(rows))
+        registry.gauge("report.denominator").set(denom)
+        if rows:
+            registry.gauge("report.best_usage").set(float(rows[0]["usage"]))  # type: ignore[arg-type]
+    return ReportData(title=title, items=items, payload=payload, results=results)
+
+
+def render_report(
+    data: ReportData,
+    *,
+    width: int = 72,
+    include_gantt: bool = True,
+) -> str:
+    """Render computed report content as the classic plain-text report."""
+    lines = [f"=== {data.title} ===", ""]
+    items = data.items
+    if not items:
+        lines.append("(empty workload)")
+        return "\n".join(lines)
+
+    workload = data.payload["workload"]
+    bounds = data.payload["bounds"]
+    lines.append(
+        f"{workload['items']} items | span {workload['span']:.2f} | demand "  # type: ignore[index]
+        f"{workload['demand']:.2f} | mu {workload['mu']:.2f} | peak demand "  # type: ignore[index]
+        f"{workload['peak_demand']:.2f}"  # type: ignore[index]
+    )
+    opt = bounds["opt_total"]  # type: ignore[index]
+    lines.append(
+        f"bounds: d(R)={bounds['demand']:.2f}  span={bounds['span']:.2f}  "  # type: ignore[index]
+        f"ceil-integral={bounds['ceil_integral']:.2f}"  # type: ignore[index]
+        + (f"  OPT_total={opt:.2f}" if opt is not None else "")
+    )
+    lines.append("")
+
+    denom_label = data.denominator_label
+    display_rows = [
+        {
+            "algorithm": row["algorithm"],
+            "bins": row["bins"],
+            "usage": row["usage"],
+            f"ratio vs {denom_label}": row["ratio"],
+            "guarantee": row["guarantee"],
+        }
+        for row in data.payload["algorithms"]  # type: ignore[union-attr]
+    ]
+    lines.append(render_table(display_rows, title="algorithms (best first)"))
     lines.append("")
     lines.append("demand profile S(t):")
     lines.append(render_profile(items.size_profile(), width=width, height=8))
-    if include_gantt:
-        best_name = min(results, key=lambda n: results[n].total_usage())
+    if include_gantt and data.results:
+        best_name = min(data.results, key=lambda n: data.results[n].total_usage())
         lines.append("")
-        lines.append(f"packing by the winner ({results[best_name].algorithm}):")
-        lines.append(render_gantt(results[best_name], width=width))
+        lines.append(f"packing by the winner ({data.results[best_name].algorithm}):")
+        lines.append(render_gantt(data.results[best_name], width=width))
     return "\n".join(lines)
+
+
+def build_report(
+    items: ItemList,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    *,
+    title: str = "workload report",
+    exact_opt_max_items: int = 150,
+    width: int = 72,
+    include_gantt: bool = True,
+    packer_kwargs: dict[str, dict[str, object]] | None = None,
+    registry: TelemetryRegistry | None = None,
+) -> str:
+    """Build the full plain-text report for one workload.
+
+    Compose-and-render convenience over :func:`report_data` and
+    :func:`render_report`; the output text is unchanged from before the
+    structured split.
+
+    Args:
+        items: The workload.
+        algorithms: Registered packer names to compare.
+        title: Report heading.
+        exact_opt_max_items: Size cap for solving the exact adversary.
+        width: Chart width in characters.
+        include_gantt: Append the best algorithm's Gantt chart.
+        packer_kwargs: Optional per-name constructor arguments.
+        registry: Optional registry for the report's summary gauges.
+    """
+    data = report_data(
+        items,
+        algorithms,
+        title=title,
+        exact_opt_max_items=exact_opt_max_items,
+        packer_kwargs=packer_kwargs,
+        registry=registry,
+    )
+    return render_report(data, width=width, include_gantt=include_gantt)

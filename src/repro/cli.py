@@ -22,11 +22,16 @@ flow through the validated :func:`~repro.algorithms.get_packer` path: an
 unknown algorithm or a bad parameter exits with status 2 and a message
 listing what is accepted.
 
-Observability: ``pack``, ``compare``, ``bounds``, ``serve`` and ``sweep``
-accept ``--json`` (machine-readable report on stdout — the tables' data plus
-a ``telemetry`` block) and ``--obs FILE`` (write the run's full
-:class:`~repro.obs.TelemetryRegistry` as NDJSON, one metric per line).  Both
-flags are also accepted globally, before the subcommand name.
+Observability: ``pack``, ``compare``, ``bounds``, ``report``, ``replay``,
+``serve`` and ``sweep`` accept ``--json`` (machine-readable report on
+stdout — the tables' data plus a ``telemetry`` block), ``--obs FILE``
+(write the run's full :class:`~repro.obs.TelemetryRegistry` as NDJSON, one
+metric per line) and ``--flame FILE`` (write the run's span tree as a
+collapsed-stack flamegraph profile).  All three flags are also accepted
+globally, before the subcommand name.  ``serve --metrics-port PORT``
+additionally exposes the live registry as a Prometheus ``/metrics``
+endpoint on localhost while the trace replays (``--pace`` slows the replay
+down to scrape it mid-run).
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Sequence
 
 from .algorithms import available_packers, get_packer, opt_total, packer_info
@@ -45,7 +51,7 @@ from .bounds import (
     first_fit_ratio,
 )
 from .core import ItemList, ReproError
-from .obs import TelemetryRegistry, export_dict, write_ndjson
+from .obs import TelemetryRegistry, export_dict, export_flamegraph, write_ndjson
 from .simulation import evaluate
 from .viz import render_chart, render_gantt, render_profile
 from .workloads import (
@@ -110,10 +116,14 @@ def _finish(
     With ``--json`` the payload (plus a ``telemetry`` block) is printed as a
     single JSON document instead of the human-readable ``text``; with
     ``--obs FILE`` the registry is additionally written to ``FILE`` as
-    NDJSON.  Returns the command's exit code (always 0).
+    NDJSON, and with ``--flame FILE`` its span tree is written as a
+    collapsed-stack flamegraph profile.  Returns the command's exit code
+    (always 0).
     """
     if getattr(args, "obs", ""):
         write_ndjson(registry, args.obs)
+    if getattr(args, "flame", ""):
+        export_flamegraph(registry, args.flame)
     if getattr(args, "json", False):
         payload = dict(payload)
         payload["telemetry"] = export_dict(registry)
@@ -247,33 +257,39 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from .analysis import build_report
+    from .analysis import render_report, report_data
+    from .analysis.report import DEFAULT_ALGORITHMS
 
+    registry = TelemetryRegistry()
     items = _load(args)
-    names = args.algorithms.split(",") if args.algorithms else None
+    names = (
+        [n.strip() for n in args.algorithms.split(",")]
+        if args.algorithms
+        else list(DEFAULT_ALGORITHMS)
+    )
     kwargs = {
         "classify-departure": {"rho": args.rho},
         "classify-duration": {"alpha": args.alpha},
         "classify-combined": {"alpha": args.alpha},
     }
-    text = build_report(
-        items,
-        algorithms=[n.strip() for n in names] if names else __import__(
-            "repro.analysis.report", fromlist=["DEFAULT_ALGORITHMS"]
-        ).DEFAULT_ALGORITHMS,
-        title=f"report: {args.trace}",
-        width=args.width,
-        include_gantt=not args.no_gantt,
-        packer_kwargs=kwargs,
-    )
-    print(text)
-    return 0
+    with registry.span("cli.report"):
+        data = report_data(
+            items,
+            algorithms=names,
+            title=f"report: {args.trace}",
+            packer_kwargs=kwargs,
+            registry=registry,
+        )
+        text = render_report(data, width=args.width, include_gantt=not args.no_gantt)
+    payload = {"command": "report", "trace": args.trace, **data.payload}
+    return _finish(args, registry, payload, text)
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     from .algorithms.base import OnlinePacker
     from .simulation import first_divergence, record_decisions
 
+    registry = TelemetryRegistry()
     items = _load(args)
     packer = _make_packer(args.algorithm, args)
     if not isinstance(packer, OnlinePacker):
@@ -284,25 +300,35 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         if not isinstance(other, OnlinePacker):
             print("error: --versus requires an online algorithm", file=sys.stderr)
             return 2
-        div = first_divergence(packer, other, items)
+        with registry.span("cli.replay"):
+            div = first_divergence(packer, other, items, registry=registry)
+        payload: dict[str, object] = {
+            "command": "replay",
+            "trace": args.trace,
+            "algorithm": packer.describe(),
+            "versus": other.describe(),
+        }
         if div is None:
-            print(
+            payload["divergence"] = None
+            text = (
                 f"{packer.describe()} and {other.describe()} induce identical "
                 f"groupings on {args.trace}"
             )
-            return 0
+            return _finish(args, registry, payload, text)
         da, db = div
-        print(f"first divergence at item {da.item_id} (t={da.time:g}):")
-        print(
-            f"  {packer.describe():30s} -> bin {da.chosen_bin} "
-            f"(open={list(da.open_bins)}, levels={[round(l, 3) for l in da.levels]})"
+        payload["divergence"] = {"a": da.as_dict(), "b": db.as_dict()}
+        text = "\n".join(
+            [
+                f"first divergence at item {da.item_id} (t={da.time:g}):",
+                f"  {packer.describe():30s} -> bin {da.chosen_bin} "
+                f"(open={list(da.open_bins)}, levels={[round(l, 3) for l in da.levels]})",
+                f"  {other.describe():30s} -> bin {db.chosen_bin} "
+                f"(open={list(db.open_bins)}, levels={[round(l, 3) for l in db.levels]})",
+            ]
         )
-        print(
-            f"  {other.describe():30s} -> bin {db.chosen_bin} "
-            f"(open={list(db.open_bins)}, levels={[round(l, 3) for l in db.levels]})"
-        )
-        return 0
-    log = record_decisions(packer, items)
+        return _finish(args, registry, payload, text)
+    with registry.span("cli.replay"):
+        log = record_decisions(packer, items, registry=registry)
     rows = [
         {
             "item": d.item_id,
@@ -314,11 +340,21 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         }
         for d in log.decisions[: args.limit]
     ]
-    print(render_table(rows, title=f"replay: {log.algorithm} on {args.trace}"))
-    print(
-        f"\n{len(log.new_bin_openings())} bin openings over {len(log)} placements"
+    text = "\n".join(
+        [
+            render_table(rows, title=f"replay: {log.algorithm} on {args.trace}"),
+            f"\n{len(log.new_bin_openings())} bin openings over {len(log)} placements",
+        ]
     )
-    return 0
+    payload = {
+        "command": "replay",
+        "trace": args.trace,
+        "algorithm": log.algorithm,
+        "placements": len(log),
+        "bin_openings": len(log.new_bin_openings()),
+        "log": log.as_dict(),
+    }
+    return _finish(args, registry, payload, text)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -335,23 +371,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     session = PackingSession(packer, registry=registry)
     live = args.snapshot_every and not getattr(args, "json", False)
     arrivals = 0
-    with registry.span("cli.serve"):
-        for event in event_stream(items):
-            if event.kind is EventKind.ARRIVAL:
-                session.submit(event.item)
-                arrivals += 1
-                if live and arrivals % args.snapshot_every == 0:
-                    snap = session.snapshot()
-                    print(
-                        f"t={snap.time:<12g} submitted={snap.items_submitted:<6d} "
-                        f"active={snap.active_items:<6d} open_bins={snap.open_bins:<5d} "
-                        f"usage={snap.usage_time:.3f}"
-                    )
-            else:
-                session.advance(event.time)
-        result = session.result()
-        result.validate()
-        metrics = evaluate(result, registry=registry)
+    server = None
+    if args.metrics_port is not None and args.metrics_port >= 0:
+        from .obs import MetricsServer
+
+        server = MetricsServer(registry, port=args.metrics_port)
+        server.start()
+        print(f"metrics endpoint: {server.url}", file=sys.stderr)
+    try:
+        with registry.span("cli.serve"):
+            for event in event_stream(items):
+                if event.kind is EventKind.ARRIVAL:
+                    session.submit(event.item)
+                    arrivals += 1
+                    if live and arrivals % args.snapshot_every == 0:
+                        snap = session.snapshot()
+                        print(
+                            f"t={snap.time:<12g} submitted={snap.items_submitted:<6d} "
+                            f"active={snap.active_items:<6d} open_bins={snap.open_bins:<5d} "
+                            f"usage={snap.usage_time:.3f}"
+                        )
+                else:
+                    session.advance(event.time)
+                if args.pace > 0:
+                    time.sleep(args.pace)
+            result = session.result()
+            result.validate()
+            metrics = evaluate(result, registry=registry)
+    finally:
+        if server is not None:
+            server.stop()
     stats_rows = [{"counter": k, "value": v} for k, v in session.stats.as_dict().items()]
     text = "\n".join(
         [
@@ -466,6 +515,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--obs", default="", metavar="FILE", help="write run telemetry to FILE as NDJSON"
     )
+    parser.add_argument(
+        "--flame",
+        default="",
+        metavar="FILE",
+        help="write the run's span tree to FILE as a collapsed-stack flamegraph",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_output_opts(p: argparse.ArgumentParser) -> None:
@@ -482,6 +537,12 @@ def build_parser() -> argparse.ArgumentParser:
             default=argparse.SUPPRESS,
             metavar="FILE",
             help="write run telemetry to FILE as NDJSON",
+        )
+        p.add_argument(
+            "--flame",
+            default=argparse.SUPPRESS,
+            metavar="FILE",
+            help="write the run's span tree to FILE as a collapsed-stack flamegraph",
         )
 
     gen = sub.add_parser("generate", help="synthesise a workload trace")
@@ -543,6 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
     rpt.add_argument("--algorithms", default="", help="comma-separated (default: a representative set)")
     rpt.add_argument("--no-gantt", action="store_true")
     add_packer_opts(rpt)
+    add_output_opts(rpt)
     rpt.set_defaults(func=_cmd_report)
 
     rep = sub.add_parser("replay", help="show an online packer's decisions")
@@ -555,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument("--limit", type=int, default=30, help="decisions to print")
     add_packer_opts(rep)
+    add_output_opts(rep)
     rep.set_defaults(func=_cmd_replay)
 
     srv = sub.add_parser("serve", help="stream a trace through the packing engine")
@@ -565,6 +628,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="print a live snapshot every N arrivals (0: only the final report)",
+    )
+    srv.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose a Prometheus /metrics endpoint on localhost:PORT while "
+        "replaying (0: ephemeral port, printed to stderr)",
+    )
+    srv.add_argument(
+        "--pace",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep between replayed events (slows the run for live scraping)",
     )
     add_packer_opts(srv)
     add_output_opts(srv)

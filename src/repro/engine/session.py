@@ -140,6 +140,8 @@ class PackingSession:
         # property round trip through EngineStats costs ~3x more per event.
         self._submit_timer = self.stats.registry.timer("engine.submit_seconds")
         self._advance_timer = self.stats.registry.timer("engine.advance_seconds")
+        self._submit_hist = self.stats.submit_latency
+        self._advance_hist = self.stats.advance_latency
         self._submit_tick = 0
         self._advance_tick = 0
 
@@ -228,6 +230,7 @@ class PackingSession:
             self._submit_timer.seconds += (
                 delta if tick < _TIMING_EXACT else delta * _TIMING_STRIDE
             )
+            self._submit_hist.observe(delta)  # tail buckets want raw, unscaled deltas
         return index
 
     def advance(self, t: float) -> list[Bin]:
@@ -258,6 +261,7 @@ class PackingSession:
             self._advance_timer.seconds += (
                 delta if tick < _TIMING_EXACT else delta * _TIMING_STRIDE
             )
+            self._advance_hist.observe(delta)
         return retired
 
     def _drain_departures(self, t: float) -> list[Bin]:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from ..obs import TelemetryRegistry
+from ..obs import Histogram, TelemetryRegistry
 
 __all__ = ["EngineStats"]
 
@@ -30,6 +30,12 @@ _GAUGE_FIELDS = ("bins_opened", "peak_open_bins", "peak_active_items")
 _TIMER_FIELDS = ("submit_seconds", "advance_seconds")
 
 FIELDS = _COUNTER_FIELDS + _GAUGE_FIELDS + _TIMER_FIELDS
+
+#: Per-event latency distributions (``Histogram`` cells) — recorded by the
+#: session alongside the sampled timers, but *not* part of the legacy
+#: :meth:`EngineStats.as_dict` shape (read them via the properties below or
+#: the registry export).
+_HISTOGRAM_FIELDS = ("submit_latency", "advance_latency")
 
 
 class EngineStats:
@@ -53,10 +59,13 @@ class EngineStats:
             exact for the first 64 calls, then a scaled 1-in-8 estimate).
         advance_seconds: Wall-clock time spent inside ``advance`` (sampled
             the same way).
+        submit_latency: Per-event ``submit`` latency
+            :class:`~repro.obs.Histogram` (raw sampled deltas, log buckets).
+        advance_latency: Per-event ``advance`` latency histogram.
         registry: The backing :class:`~repro.obs.TelemetryRegistry`.
     """
 
-    __slots__ = ("registry",) + tuple(f"_{name}" for name in FIELDS)
+    __slots__ = ("registry",) + tuple(f"_{name}" for name in FIELDS + _HISTOGRAM_FIELDS)
 
     def __init__(
         self, registry: TelemetryRegistry | None = None, **initial: float
@@ -76,6 +85,8 @@ class EngineStats:
             cell = self.registry.timer(f"engine.{name}")
             cell.seconds += float(initial.pop(name, 0.0))
             setattr(self, f"_{name}", cell)
+        for name in _HISTOGRAM_FIELDS:
+            setattr(self, f"_{name}", self.registry.histogram(f"engine.{name}"))
         if initial:
             raise TypeError(f"unknown EngineStats fields: {sorted(initial)}")
 
@@ -161,6 +172,16 @@ class EngineStats:
     @advance_seconds.setter
     def advance_seconds(self, value: float) -> None:
         self._advance_seconds.seconds = value
+
+    @property
+    def submit_latency(self) -> Histogram:
+        """Per-event ``submit`` latency distribution (sampled raw deltas)."""
+        return self._submit_latency
+
+    @property
+    def advance_latency(self) -> Histogram:
+        """Per-event ``advance`` latency distribution (sampled raw deltas)."""
+        return self._advance_latency
 
     # -- serialisation -------------------------------------------------------
 

@@ -8,7 +8,12 @@ process-safe :meth:`~TelemetryRegistry.snapshot` /
 :meth:`~TelemetryRegistry.merge` (sweep workers ship registries back through
 the ``ProcessPoolExecutor`` and the driver merges them deterministically),
 and dict / NDJSON exporters behind the CLI's ``--json`` and ``--obs``
-flags.
+flags.  On top of the core sit a log-bucketed :class:`Histogram` kind for
+latency tails (engine per-event, solver per-solve, sweep per-cell), a
+collapsed-stack flamegraph exporter over the span tree
+(:func:`export_flamegraph`), and a Prometheus text-exposition renderer
+plus localhost scrape endpoint (:func:`prometheus_text`,
+:class:`MetricsServer`) behind the CLI's ``serve --metrics-port``.
 
 Every legacy stats surface is a thin view over this substrate:
 :class:`repro.engine.EngineStats`, :class:`repro.algorithms.SolverStats`,
@@ -26,7 +31,18 @@ export formats.
 """
 
 from .export import export_dict, load_ndjson, ndjson_lines, write_ndjson
-from .metrics import Counter, Gauge, LabelSet, Metric, Timer, normalize_labels
+from .flamegraph import export_flamegraph, flamegraph_lines
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelSet,
+    Metric,
+    Timer,
+    default_latency_bounds,
+    normalize_labels,
+)
+from .prometheus import MetricsServer, prometheus_text, validate_exposition
 from .registry import TelemetryRegistry, TelemetrySnapshot, metric_from_dict
 from .trace import SPAN_PREFIX, disabled, enabled, set_enabled, span_path
 
@@ -34,9 +50,11 @@ __all__ = [
     "Counter",
     "Gauge",
     "Timer",
+    "Histogram",
     "Metric",
     "LabelSet",
     "normalize_labels",
+    "default_latency_bounds",
     "TelemetryRegistry",
     "TelemetrySnapshot",
     "metric_from_dict",
@@ -44,6 +62,11 @@ __all__ = [
     "ndjson_lines",
     "write_ndjson",
     "load_ndjson",
+    "flamegraph_lines",
+    "export_flamegraph",
+    "prometheus_text",
+    "validate_exposition",
+    "MetricsServer",
     "SPAN_PREFIX",
     "span_path",
     "enabled",

@@ -1,4 +1,4 @@
-"""Telemetry exporters: plain dicts and NDJSON files.
+"""Telemetry exporters: plain dicts and NDJSON files, with filtering.
 
 Two formats, one source of truth (:meth:`~repro.obs.Metric.as_dict` rows):
 
@@ -9,6 +9,14 @@ Two formats, one source of truth (:meth:`~repro.obs.Metric.as_dict` rows):
   metric row per line, the append-friendly shape behind the CLI's
   ``--obs FILE`` flag (and trivially greppable / ``jq``-able).
 
+Every exporter accepts the same two optional selectors, so large sweep
+registries can be exported without the full cell set:
+
+* ``match`` — a shell-style glob on the metric name
+  (``write_ndjson(registry, path, match="solver.*")``);
+* ``labels`` — a mapping every exported cell's labels must contain
+  (``labels={"algorithm": "first-fit"}``).
+
 :func:`load_ndjson` and :meth:`~repro.obs.TelemetryRegistry.from_dict`
 rebuild a registry from either format without drift.
 """
@@ -17,29 +25,69 @@ from __future__ import annotations
 
 import json
 import os
+from fnmatch import fnmatchcase
 from pathlib import Path
+from typing import Mapping
 
 from .registry import TelemetryRegistry, TelemetrySnapshot
 
 __all__ = ["export_dict", "ndjson_lines", "write_ndjson", "load_ndjson"]
 
 
-def export_dict(source: TelemetryRegistry | TelemetrySnapshot) -> dict[str, object]:
-    """The registry (or snapshot) as one JSON-serialisable dict."""
-    return source.as_dict()
+def _row_selected(
+    row: Mapping[str, object],
+    match: str | None,
+    labels: Mapping[str, object] | None,
+) -> bool:
+    """Whether one exported metric row passes the ``match``/``labels`` filters."""
+    if match is not None and not fnmatchcase(str(row.get("name", "")), match):
+        return False
+    if labels:
+        row_labels = row.get("labels") or {}
+        for key, value in labels.items():
+            if row_labels.get(str(key)) != str(value):  # type: ignore[union-attr]
+                return False
+    return True
 
 
-def ndjson_lines(source: TelemetryRegistry | TelemetrySnapshot) -> list[str]:
-    """One compact JSON document per metric row, sorted deterministically."""
-    rows = export_dict(source)["metrics"]
+def export_dict(
+    source: TelemetryRegistry | TelemetrySnapshot,
+    *,
+    match: str | None = None,
+    labels: Mapping[str, object] | None = None,
+) -> dict[str, object]:
+    """The registry (or snapshot) as one JSON-serialisable dict.
+
+    ``match`` (name glob) and ``labels`` (required label subset) restrict
+    which cells are exported; omitted, every cell is included.
+    """
+    doc = source.as_dict()
+    if match is None and not labels:
+        return doc
+    rows = doc["metrics"]
+    return {"metrics": [r for r in rows if _row_selected(r, match, labels)]}  # type: ignore[union-attr]
+
+
+def ndjson_lines(
+    source: TelemetryRegistry | TelemetrySnapshot,
+    *,
+    match: str | None = None,
+    labels: Mapping[str, object] | None = None,
+) -> list[str]:
+    """One compact JSON document per selected metric row, sorted deterministically."""
+    rows = export_dict(source, match=match, labels=labels)["metrics"]
     return [json.dumps(row, sort_keys=True) for row in rows]  # type: ignore[union-attr]
 
 
 def write_ndjson(
-    source: TelemetryRegistry | TelemetrySnapshot, path: str | os.PathLike[str]
+    source: TelemetryRegistry | TelemetrySnapshot,
+    path: str | os.PathLike[str],
+    *,
+    match: str | None = None,
+    labels: Mapping[str, object] | None = None,
 ) -> int:
-    """Write the telemetry export to ``path`` as NDJSON; returns rows written."""
-    lines = ndjson_lines(source)
+    """Write the (filtered) telemetry export to ``path`` as NDJSON; returns rows written."""
+    lines = ndjson_lines(source, match=match, labels=labels)
     Path(path).write_text("".join(line + "\n" for line in lines))
     return len(lines)
 

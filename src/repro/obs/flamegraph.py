@@ -1,0 +1,66 @@
+"""Collapsed-stack flamegraph export from the registry's span timers.
+
+The registry's hierarchical :meth:`~repro.obs.TelemetryRegistry.span`
+scopes record inclusive wall-clock time into timers named
+``span:parent/child``.  :func:`export_flamegraph` converts them into the
+*collapsed stack* format understood by Brendan Gregg's ``flamegraph.pl``
+and by speedscope's "Brendan Gregg collapsed" importer: one line per stack,
+frames joined by semicolons, followed by a space and an integer weight —
+
+    cli.sweep;sweep.cell 48123
+
+Weights are **self** time in integer microseconds: each span's inclusive
+seconds minus the inclusive seconds of its direct children (clamped at
+zero — sampled or re-entered spans can make children nominally exceed the
+parent).  Summing a subtree therefore reproduces the parent's inclusive
+time, which is exactly what flamegraph renderers expect.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from .registry import TelemetryRegistry, TelemetrySnapshot
+
+__all__ = ["flamegraph_lines", "export_flamegraph"]
+
+
+def flamegraph_lines(source: TelemetryRegistry | TelemetrySnapshot) -> list[str]:
+    """Collapsed-stack lines (``frame;frame weight``) from recorded spans.
+
+    One line per span path, sorted by stack for deterministic output; spans
+    whose self time rounds to zero microseconds are kept (weight ``0``),
+    so every recorded path stays visible in the profile.
+    """
+    if isinstance(source, TelemetrySnapshot):
+        registry = TelemetryRegistry()
+        registry.merge(source)
+    else:
+        registry = source
+    inclusive = {path: timer.seconds for path, timer in registry.spans().items()}
+    lines = []
+    for path in sorted(inclusive):
+        children = sum(
+            seconds
+            for other, seconds in inclusive.items()
+            if other.startswith(path + "/") and "/" not in other[len(path) + 1:]
+        )
+        self_micros = max(0, int(round((inclusive[path] - children) * 1e6)))
+        lines.append(f"{';'.join(path.split('/'))} {self_micros}")
+    return lines
+
+
+def export_flamegraph(
+    source: TelemetryRegistry | TelemetrySnapshot,
+    path: str | os.PathLike[str] | None = None,
+) -> list[str]:
+    """Emit the collapsed-stack profile, optionally writing it to ``path``.
+
+    Returns the lines either way; feed the file to ``flamegraph.pl`` or
+    drag it into https://speedscope.app to browse the span tree visually.
+    """
+    lines = flamegraph_lines(source)
+    if path is not None:
+        Path(path).write_text("".join(line + "\n" for line in lines))
+    return lines

@@ -15,19 +15,34 @@ Merge semantics (what happens when two runs' telemetry is combined):
   (``"last"``, ``"max"``, ``"min"`` or ``"sum"``); an unset gauge
   (``value is None``) never overrides a set one.
 * ``Timer`` — total seconds and observation counts both add.
+* ``Histogram`` — per-bucket counts, the exact observation count and the
+  running sum all add; merging requires identical bucket bounds.
 
-Counters and timers merge commutatively and associatively; only ``"last"``
-gauges are order-sensitive, which is why registry merges always happen in a
+Counters, timers and histogram counts merge commutatively and
+associatively (histogram *sums* are floating-point additions, so they are
+exact only up to reassociation); only ``"last"`` gauges are
+order-sensitive, which is why registry merges always happen in a
 deterministic (task-index) order.
 """
 
 from __future__ import annotations
 
+import math
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Sequence
 
-__all__ = ["Counter", "Gauge", "Timer", "Metric", "LabelSet", "normalize_labels"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "Metric",
+    "LabelSet",
+    "normalize_labels",
+    "default_latency_bounds",
+]
 
 #: Canonical hashable label form: sorted ``(key, value)`` string pairs.
 LabelSet = tuple[tuple[str, str], ...]
@@ -218,5 +233,127 @@ class Timer(Metric):
         """Export row: ``{name, kind, labels, seconds, count}``."""
         d = super().as_dict()
         d["seconds"] = self.seconds
+        d["count"] = self.count
+        return d
+
+
+def default_latency_bounds(
+    start: float = 1e-6, factor: float = 2.0, count: int = 24
+) -> tuple[float, ...]:
+    """Log-spaced bucket upper bounds for latency histograms.
+
+    The default covers one microsecond to ~8.4 seconds at factor-2 spacing —
+    wide enough for per-event engine latencies and per-slice adversary
+    solves alike.  Values beyond the last bound land in the implicit
+    overflow (``+Inf``) bucket every histogram carries.
+    """
+    return tuple(start * factor**i for i in range(count))
+
+
+class Histogram(Metric):
+    """A bucketed latency/size distribution with exact count and sum.
+
+    ``bounds`` are the finite bucket *upper* edges (strictly increasing);
+    bucket ``i`` counts observations ``v <= bounds[i]`` that exceeded every
+    earlier bound, and one extra overflow bucket counts everything above the
+    last bound, so ``counts`` has ``len(bounds) + 1`` entries.  ``count``
+    and ``sum`` are exact over all observations regardless of bucketing.
+    Merging adds counts/count/sum elementwise and requires identical bounds.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        bounds: Sequence[float] | None = None,
+        counts: Sequence[int] | None = None,
+        sum: float = 0.0,
+        count: int = 0,
+    ) -> None:
+        super().__init__(name, labels)
+        edges = tuple(float(b) for b in (bounds if bounds is not None else default_latency_bounds()))
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"histogram bounds must be strictly increasing and non-empty: {edges}")
+        if any(not math.isfinite(b) for b in edges):
+            raise ValueError(f"histogram bounds must be finite (+Inf is implicit): {edges}")
+        self.bounds = edges
+        if counts is None:
+            self.counts = [0] * (len(edges) + 1)
+        else:
+            if len(counts) != len(edges) + 1:
+                raise ValueError(
+                    f"histogram needs {len(edges) + 1} bucket counts "
+                    f"(finite buckets + overflow), got {len(counts)}"
+                )
+            self.counts = [int(c) for c in counts]
+        self.sum = float(sum)
+        self.count = int(count)
+
+    def observe(self, value: float) -> None:
+        """Record one observation (bucketed by ``v <= bound`` semantics)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations (0.0 before any observation)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_counts(self) -> list[int]:
+        """Running totals per bucket (the Prometheus ``le`` series shape)."""
+        total = 0
+        out = []
+        for c in self.counts:
+            total += c
+            out.append(total)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile observation.
+
+        Conservative by construction (the true value is ≤ the returned
+        bucket edge); returns 0.0 with no observations and ``math.inf`` when
+        the quantile lands in the overflow bucket.
+
+        Raises:
+            ValueError: if ``q`` is outside [0, 1].
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        total = 0
+        for i, c in enumerate(self.counts):
+            total += c
+            if total >= rank:
+                return self.bounds[i] if i < len(self.bounds) else math.inf
+        return math.inf  # pragma: no cover - cumulative total always reaches count
+
+    def merge(self, other: Metric) -> None:
+        """Add the other histogram's buckets, count and sum into this one.
+
+        Raises:
+            ValueError: if the bucket bounds differ.
+        """
+        if self.bounds != other.bounds:  # type: ignore[attr-defined]
+            raise ValueError(
+                f"cannot merge histograms with different bounds for {self.name!r}"
+            )
+        for i, c in enumerate(other.counts):  # type: ignore[attr-defined]
+            self.counts[i] += c
+        self.sum += other.sum  # type: ignore[attr-defined]
+        self.count += other.count  # type: ignore[attr-defined]
+
+    def as_dict(self) -> dict[str, object]:
+        """Export row: ``{name, kind, labels, bounds, counts, sum, count}``."""
+        d = super().as_dict()
+        d["bounds"] = list(self.bounds)
+        d["counts"] = list(self.counts)
+        d["sum"] = self.sum
         d["count"] = self.count
         return d

@@ -1,0 +1,301 @@
+"""Prometheus text-exposition rendering and a localhost scrape endpoint.
+
+:func:`prometheus_text` renders a :class:`~repro.obs.TelemetryRegistry`
+(or snapshot) in the Prometheus text exposition format (version 0.0.4):
+``# TYPE`` declarations followed by samples, one family per metric name.
+The four metric kinds map onto Prometheus conventions:
+
+* ``Counter`` → a ``counter`` family named ``repro_<name>_total``;
+* ``Gauge`` → a ``gauge`` family (unset cells are skipped);
+* ``Timer`` → a ``summary`` family exposing ``_sum`` (seconds) and
+  ``_count`` samples;
+* ``Histogram`` → a ``histogram`` family with cumulative ``_bucket``
+  samples (``le`` upper edges plus ``+Inf``), ``_sum`` and ``_count``.
+
+Metric names are sanitised (``.``, ``:`` and ``/`` become ``_``) and
+prefixed with ``repro_``, so ``engine.items_submitted`` scrapes as
+``repro_engine_items_submitted_total``.
+
+:class:`MetricsServer` serves the rendering over stdlib ``http.server`` on
+localhost (``GET /metrics``), reading the live registry on every scrape —
+the CLI's ``serve --metrics-port`` uses it so a replaying trace can be
+watched from Prometheus/Grafana or plain ``curl``.  A scrape may race the
+single writer thread; the renderer retries the handful of times a dict
+mutation can interleave, and a scrape never blocks or mutates the run.
+
+:func:`validate_exposition` is a strict syntax checker for the format,
+used by the test suite (and handy for asserting on scraped output).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from .metrics import Counter, Gauge, Histogram, Metric, Timer
+from .registry import TelemetryRegistry, TelemetrySnapshot
+
+__all__ = ["prometheus_text", "validate_exposition", "MetricsServer"]
+
+#: Prefix applied to every exported family name.
+NAMESPACE = "repro_"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize(name: str) -> str:
+    """A valid Prometheus metric name for one registry metric name."""
+    san = _INVALID_CHARS.sub("_", name)
+    if not san or san[0].isdigit():
+        san = "_" + san
+    return NAMESPACE + san
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{_INVALID_CHARS.sub("_", k)}="{_escape_label(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float | int) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"non-numeric sample value: {value!r}")
+    return str(value) if isinstance(value, int) else repr(float(value))
+
+
+def _family(metric: Metric) -> tuple[str, str]:
+    """The (family name, prometheus type) one metric cell belongs to."""
+    san = _sanitize(metric.name)
+    if isinstance(metric, Counter):
+        return san + "_total", "counter"
+    if isinstance(metric, Gauge):
+        return san, "gauge"
+    if isinstance(metric, Timer):
+        # engine.submit_seconds → repro_engine_submit_seconds (not .._seconds_seconds)
+        return (san if san.endswith("_seconds") else san + "_seconds"), "summary"
+    return san, "histogram"
+
+
+def _render_registry(registry: TelemetryRegistry) -> str:
+    lines: list[str] = []
+    declared: set[str] = set()
+    for metric in registry.metrics():
+        family, kind = _family(metric)
+        samples: list[str] = []
+        if isinstance(metric, Counter):
+            samples.append(f"{family}{_render_labels(metric.labels)} {_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            if metric.value is None:
+                continue
+            samples.append(f"{family}{_render_labels(metric.labels)} {_fmt(metric.value)}")
+        elif isinstance(metric, Timer):
+            labels = _render_labels(metric.labels)
+            samples.append(f"{family}_sum{labels} {_fmt(metric.seconds)}")
+            samples.append(f"{family}_count{labels} {_fmt(metric.count)}")
+        elif isinstance(metric, Histogram):
+            cumulative = metric.cumulative_counts()
+            for bound, running in zip(metric.bounds, cumulative):
+                le = _render_labels(metric.labels, extra=f'le="{repr(float(bound))}"')
+                samples.append(f"{family}_bucket{le} {running}")
+            inf = _render_labels(metric.labels, extra='le="+Inf"')
+            samples.append(f"{family}_bucket{inf} {cumulative[-1]}")
+            labels = _render_labels(metric.labels)
+            samples.append(f"{family}_sum{labels} {_fmt(metric.sum)}")
+            samples.append(f"{family}_count{labels} {_fmt(metric.count)}")
+        else:  # pragma: no cover - every registry kind is handled above
+            continue
+        if family not in declared:
+            declared.add(family)
+            lines.append(f"# TYPE {family} {kind}")
+        lines.extend(samples)
+    return "".join(line + "\n" for line in lines)
+
+
+def prometheus_text(source: TelemetryRegistry | TelemetrySnapshot) -> str:
+    """The telemetry as Prometheus text exposition format (version 0.0.4)."""
+    if isinstance(source, TelemetrySnapshot):
+        registry = TelemetryRegistry()
+        registry.merge(source)
+        return _render_registry(registry)
+    # A live registry may gain cells while another thread renders it;
+    # interning never removes cells, so a short retry always converges.
+    for _ in range(8):
+        try:
+            return _render_registry(source)
+        except RuntimeError:  # dict mutated during iteration
+            continue
+    return _render_registry(TelemetryRegistry.from_dict(source.as_dict()))
+
+
+# ---------------------------------------------------------------------------
+# Syntax checking
+# ---------------------------------------------------------------------------
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABELS = r'\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*")*\}'
+_VALUE = r"[-+]?(?:\d+\.?\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|Inf|NaN)"
+_SAMPLE_RE = re.compile(rf"^({_NAME})(?:{_LABELS})? {_VALUE}(?: -?\d+)?$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+_HELP_RE = re.compile(rf"^# HELP {_NAME} .*$")
+
+
+def validate_exposition(text: str) -> int:
+    """Check ``text`` against the exposition-format syntax; returns sample count.
+
+    Accepts ``# TYPE`` / ``# HELP`` / free comments, blank lines and sample
+    lines (with optional labels and timestamp).  Each family may be typed at
+    most once and must be declared before its samples.
+
+    Raises:
+        ValueError: on the first malformed or out-of-order line.
+    """
+    declared: set[str] = set()
+    sampled: set[str] = set()
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = _TYPE_RE.match(line)
+            if m:
+                if m.group(1) in declared:
+                    raise ValueError(f"line {lineno}: duplicate # TYPE for {m.group(1)}")
+                if any(
+                    name == m.group(1) or name.startswith(m.group(1) + "_")
+                    for name in sampled
+                ):
+                    raise ValueError(
+                        f"line {lineno}: # TYPE for {m.group(1)} after its samples"
+                    )
+                declared.add(m.group(1))
+                continue
+            if line.startswith("# TYPE"):
+                raise ValueError(f"line {lineno}: malformed # TYPE line: {line!r}")
+            if line.startswith("# HELP") and not _HELP_RE.match(line):
+                raise ValueError(f"line {lineno}: malformed # HELP line: {line!r}")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise ValueError(f"line {lineno}: malformed sample line: {line!r}")
+        name = m.group(1)
+        if declared and not any(
+            name == fam or name.startswith(fam + "_") for fam in declared
+        ):
+            raise ValueError(f"line {lineno}: sample {name!r} has no # TYPE family")
+        sampled.add(name)
+        samples += 1
+    if not samples:
+        raise ValueError("no samples in exposition text")
+    return samples
+
+
+# ---------------------------------------------------------------------------
+# The scrape endpoint
+# ---------------------------------------------------------------------------
+
+
+class _ScrapeHandler(BaseHTTPRequestHandler):
+    """GET /metrics → the current registry rendering; anything else → 404."""
+
+    server: "_ScrapeServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?")[0].rstrip("/") in ("", "/metrics"):
+            body = self.server.render().encode()
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404, "only /metrics is served")
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # scrapes must not spam the CLI's stdout/stderr
+
+
+class _ScrapeServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, source: Callable[[], TelemetryRegistry]) -> None:
+        super().__init__(address, _ScrapeHandler)
+        self._source = source
+
+    def render(self) -> str:
+        return prometheus_text(self._source())
+
+
+class MetricsServer:
+    """A localhost Prometheus scrape endpoint over a live registry.
+
+    Args:
+        source: The registry to expose, or a zero-argument callable
+            returning it (re-evaluated on every scrape).
+        host: Bind address; localhost only by default — this is a
+            diagnostics endpoint, not a hardened service.
+        port: TCP port; ``0`` lets the OS pick (read :attr:`port` after
+            :meth:`start`).
+
+    Usable as a context manager (``with MetricsServer(reg) as server:``).
+    """
+
+    def __init__(
+        self,
+        source: TelemetryRegistry | Callable[[], TelemetryRegistry],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._source = source if callable(source) else (lambda: source)
+        self._host = host
+        self._requested_port = port
+        self._server: _ScrapeServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (0 before :meth:`start`)."""
+        return self._server.server_address[1] if self._server is not None else 0
+
+    @property
+    def url(self) -> str:
+        """The scrape URL (valid after :meth:`start`)."""
+        return f"http://{self._host}:{self.port}/metrics"
+
+    def start(self) -> int:
+        """Bind and serve in a daemon thread; returns the bound port."""
+        if self._server is not None:
+            return self.port
+        self._server = _ScrapeServer((self._host, self._requested_port), self._source)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the endpoint down (idempotent)."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -18,7 +18,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Mapping
 
-from .metrics import Counter, Gauge, LabelSet, Metric, Timer, normalize_labels
+from .metrics import Counter, Gauge, Histogram, LabelSet, Metric, Timer, normalize_labels
 from .trace import SPAN_PREFIX, enabled, span_path
 
 __all__ = ["TelemetryRegistry", "TelemetrySnapshot", "metric_from_dict"]
@@ -27,6 +27,7 @@ _KINDS: dict[str, type[Metric]] = {
     Counter.kind: Counter,
     Gauge.kind: Gauge,
     Timer.kind: Timer,
+    Histogram.kind: Histogram,
 }
 
 
@@ -53,6 +54,15 @@ def metric_from_dict(data: Mapping[str, object]) -> Metric:
             labels,
             value=value,  # int stays int: gauges must round-trip without coercion
             aggregate=str(data.get("aggregate", "last")),
+        )
+    if cls is Histogram:
+        return Histogram(
+            name,
+            labels,
+            bounds=tuple(float(b) for b in data["bounds"]),  # type: ignore[union-attr]
+            counts=[int(c) for c in data["counts"]],  # type: ignore[union-attr]
+            sum=float(data.get("sum") or 0.0),
+            count=int(data.get("count") or 0),
         )
     return Timer(
         name,
@@ -133,6 +143,18 @@ class TelemetryRegistry:
     def timer(self, name: str, **labels: object) -> Timer:
         """The interned :class:`~repro.obs.Timer` for ``(name, labels)``."""
         return self._intern(Timer, name, normalize_labels(labels))
+
+    def histogram(
+        self, name: str, *, bounds: tuple[float, ...] | None = None, **labels: object
+    ) -> Histogram:
+        """The interned :class:`~repro.obs.Histogram` for ``(name, labels)``.
+
+        ``bounds`` (finite, strictly increasing bucket upper edges; default
+        :func:`~repro.obs.default_latency_bounds`) only applies on first
+        creation; later calls return the existing cell with its original
+        buckets.
+        """
+        return self._intern(Histogram, name, normalize_labels(labels), bounds=bounds)
 
     def get(self, name: str, **labels: object) -> Metric | None:
         """The existing cell for ``(name, labels)``, or ``None``."""

@@ -41,6 +41,18 @@ class Decision:
     chosen_bin: int
     opened_new: bool
 
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready row (the CLI's ``replay --json`` decision shape)."""
+        return {
+            "item_id": self.item_id,
+            "time": self.time,
+            "open_bins": list(self.open_bins),
+            "levels": list(self.levels),
+            "feasible_bins": list(self.feasible_bins),
+            "chosen_bin": self.chosen_bin,
+            "opened_new": self.opened_new,
+        }
+
 
 @dataclass(frozen=True, slots=True)
 class DecisionLog:
@@ -66,6 +78,13 @@ class DecisionLog:
     def new_bin_openings(self) -> list[Decision]:
         """The decisions that opened fresh bins (the cost drivers)."""
         return [d for d in self.decisions if d.opened_new]
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form: algorithm plus every decision row."""
+        return {
+            "algorithm": self.algorithm,
+            "decisions": [d.as_dict() for d in self.decisions],
+        }
 
 
 def record_decisions(
@@ -116,7 +135,11 @@ def record_decisions(
 
 
 def first_divergence(
-    a: OnlinePacker, b: OnlinePacker, items: ItemList
+    a: OnlinePacker,
+    b: OnlinePacker,
+    items: ItemList,
+    *,
+    registry: TelemetryRegistry | None = None,
 ) -> tuple[Decision, Decision] | None:
     """The first item on which two policies choose structurally differently.
 
@@ -125,9 +148,10 @@ def first_divergence(
     the same set of previously-placed items (or both open a new bin).
 
     Returns ``None`` when the induced partitions are identical throughout.
+    A ``registry`` is threaded into both :func:`record_decisions` replays.
     """
-    log_a = record_decisions(a, items)
-    log_b = record_decisions(b, items)
+    log_a = record_decisions(a, items, registry=registry)
+    log_b = record_decisions(b, items, registry=registry)
     groups_a: dict[int, set[int]] = {}
     groups_b: dict[int, set[int]] = {}
     for da, db in zip(log_a.decisions, log_b.decisions):

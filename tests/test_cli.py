@@ -519,3 +519,197 @@ class TestObsExport:
         registry = load_ndjson(obs)
         assert registry.get("sweep.cells").value == 3
         assert registry.get("solver.full_evals").value == 3
+
+
+class TestReportReplayJson:
+    """``report``/``replay`` are wired onto the structured output surface."""
+
+    def test_report_json_schema(self, trace, capsys):
+        code = main(["report", "--trace", str(trace), "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "report"
+        assert doc["workload"]["items"] == 30
+        assert set(doc["bounds"]) >= {
+            "demand",
+            "span",
+            "ceil_integral",
+            "opt_total",
+            "denominator",
+            "denominator_label",
+        }
+        for row in doc["algorithms"]:
+            assert set(row) == {"algorithm", "bins", "usage", "ratio", "guarantee"}
+        assert doc["winner"] in {r["algorithm"] for r in doc["algorithms"]}
+        names = [m["name"] for m in doc["telemetry"]["metrics"]]
+        assert "report.builds" in names
+        assert "span:cli.report" in names
+
+    def test_report_rows_sorted_best_first(self, trace, capsys):
+        assert main(["report", "--trace", str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        usages = [r["usage"] for r in doc["algorithms"]]
+        assert usages == sorted(usages)
+
+    def test_report_obs_file(self, trace, tmp_path, capsys):
+        obs = tmp_path / "report.ndjson"
+        code = main(["report", "--trace", str(trace), "--obs", str(obs)])
+        assert code == 0
+        registry = load_ndjson(obs)
+        assert registry.get("report.builds").value == 1
+        assert "cli.report" in registry.spans()
+
+    def test_replay_json_log_schema(self, trace, capsys):
+        code = main(
+            ["replay", "--trace", str(trace), "--algorithm", "first-fit", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "replay"
+        assert doc["algorithm"] == "first-fit"
+        assert doc["placements"] == 30
+        assert doc["bin_openings"] >= 1
+        decisions = doc["log"]["decisions"]
+        assert len(decisions) == 30
+        assert set(decisions[0]) == {
+            "item_id",
+            "time",
+            "open_bins",
+            "levels",
+            "feasible_bins",
+            "chosen_bin",
+            "opened_new",
+        }
+        assert decisions[0]["opened_new"] is True  # first item always opens a bin
+
+    def test_replay_json_versus_schema(self, trace, capsys):
+        code = main(
+            [
+                "replay",
+                "--trace",
+                str(trace),
+                "--algorithm",
+                "best-fit",
+                "--versus",
+                "worst-fit",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "replay"
+        assert doc["versus"] == "worst-fit"
+        if doc["divergence"] is not None:
+            assert doc["divergence"]["a"]["item_id"] == doc["divergence"]["b"]["item_id"]
+
+    def test_replay_obs_file(self, trace, tmp_path, capsys):
+        obs = tmp_path / "replay.ndjson"
+        code = main(
+            [
+                "replay",
+                "--trace",
+                str(trace),
+                "--algorithm",
+                "first-fit",
+                "--obs",
+                str(obs),
+            ]
+        )
+        assert code == 0
+        registry = load_ndjson(obs)
+        assert (
+            registry.get("replay.decisions", algorithm="first-fit").value == 30
+        )
+        assert "cli.replay" in registry.spans()
+
+
+class TestFlameExport:
+    """``--flame FILE`` writes a collapsed-stack profile of the run's spans."""
+
+    def test_pack_flame_file(self, trace, tmp_path, capsys):
+        from test_flamegraph import check_collapsed_format
+
+        flame = tmp_path / "pack.collapsed"
+        code = main(
+            [
+                "pack",
+                "--trace",
+                str(trace),
+                "--algorithm",
+                "first-fit",
+                "--flame",
+                str(flame),
+            ]
+        )
+        assert code == 0
+        lines = flame.read_text().splitlines()
+        check_collapsed_format(lines)
+        assert any(line.startswith("cli.pack") for line in lines)
+
+    def test_report_flame_file(self, trace, tmp_path, capsys):
+        from test_flamegraph import check_collapsed_format
+
+        flame = tmp_path / "report.collapsed"
+        code = main(["report", "--trace", str(trace), "--flame", str(flame)])
+        assert code == 0
+        lines = flame.read_text().splitlines()
+        check_collapsed_format(lines)
+        assert any(line.startswith("cli.report") for line in lines)
+
+
+class TestServeMetricsEndpoint:
+    """``serve --metrics-port`` exposes a live Prometheus scrape endpoint."""
+
+    def test_scrape_while_replaying(self, trace, capsys):
+        import socket
+        import threading
+        import time
+        import urllib.error
+        import urllib.request
+
+        from repro.obs import validate_exposition
+
+        with socket.socket() as probe:  # a port that is free right now
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        codes: list[int] = []
+        thread = threading.Thread(
+            target=lambda: codes.append(
+                main(
+                    [
+                        "serve",
+                        "--trace",
+                        str(trace),
+                        "--algorithm",
+                        "first-fit",
+                        "--metrics-port",
+                        str(port),
+                        "--pace",
+                        "0.02",
+                    ]
+                )
+            )
+        )
+        thread.start()
+        body = ""
+        try:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                try:
+                    body = (
+                        urllib.request.urlopen(
+                            f"http://127.0.0.1:{port}/metrics", timeout=2
+                        )
+                        .read()
+                        .decode()
+                    )
+                    if "repro_engine_items_submitted_total" in body:
+                        break
+                except (urllib.error.URLError, OSError):
+                    time.sleep(0.05)
+        finally:
+            thread.join(timeout=30)
+        assert codes == [0]
+        assert validate_exposition(body) > 0
+        assert "repro_engine_items_submitted_total" in body

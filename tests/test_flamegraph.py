@@ -1,0 +1,115 @@
+"""Tests for the collapsed-stack flamegraph export.
+
+A golden-file test pins the exact output for a hand-seeded span tree
+(self-time subtraction, zero clamping, deterministic ordering), a format
+checker validates every emitted line against the collapsed-stack grammar
+understood by ``flamegraph.pl`` / speedscope, and a live-session test
+checks that real nested :meth:`~repro.obs.TelemetryRegistry.span` scopes
+collapse into well-formed stacks.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core import EventKind, event_stream
+from repro.engine import PackingSession
+from repro.obs import TelemetryRegistry, export_flamegraph, flamegraph_lines
+from repro.workloads import uniform_random
+
+GOLDEN = Path(__file__).parent / "data" / "flamegraph_golden.txt"
+
+#: One collapsed stack: semicolon-joined frames, a space, an integer weight.
+COLLAPSED_LINE = re.compile(r"^[^;\s]+(?:;[^;\s]+)* \d+$")
+
+
+def check_collapsed_format(lines: list[str]) -> None:
+    """Assert ``lines`` form a loadable collapsed-stack profile."""
+    assert lines, "empty profile"
+    assert lines == sorted(lines), "stacks must be sorted for determinism"
+    for line in lines:
+        assert COLLAPSED_LINE.match(line), f"malformed collapsed stack: {line!r}"
+
+
+def _seeded_registry() -> TelemetryRegistry:
+    """Hand-seeded span timers: a three-level tree plus a second root.
+
+    Inclusive seconds are chosen so every self weight is a round
+    microsecond count: ``cli.serve`` is 10 ms inclusive with 6 ms in
+    children, ``engine.submit`` is 4 ms inclusive with 1 ms in its child.
+    """
+    r = TelemetryRegistry()
+    r.timer("span:cli.serve").observe(0.010)
+    r.timer("span:cli.serve/engine.submit").observe(0.004)
+    r.timer("span:cli.serve/engine.submit/place").observe(0.001)
+    r.timer("span:cli.serve/evaluate").observe(0.002)
+    r.timer("span:other").observe(0.0005)
+    return r
+
+
+class TestGolden:
+    def test_matches_golden_file(self):
+        assert flamegraph_lines(_seeded_registry()) == GOLDEN.read_text().splitlines()
+
+    def test_golden_file_is_valid_collapsed_format(self):
+        check_collapsed_format(GOLDEN.read_text().splitlines())
+
+    def test_self_times_sum_to_root_inclusive(self):
+        # 4000 + 3000 + 1000 + 2000 µs == the root's 10 ms inclusive time.
+        lines = flamegraph_lines(_seeded_registry())
+        total = sum(
+            int(line.rsplit(" ", 1)[1])
+            for line in lines
+            if line.startswith("cli.serve")
+        )
+        assert total == 10_000
+
+    def test_child_exceeding_parent_clamps_to_zero(self):
+        r = TelemetryRegistry()
+        r.timer("span:outer").observe(0.001)
+        r.timer("span:outer/inner").observe(0.005)  # sampled overshoot
+        lines = flamegraph_lines(r)
+        assert lines == ["outer 0", "outer;inner 5000"]
+
+    def test_export_writes_file(self, tmp_path):
+        path = tmp_path / "profile.collapsed"
+        lines = export_flamegraph(_seeded_registry(), path)
+        assert path.read_text().splitlines() == lines
+        check_collapsed_format(lines)
+
+    def test_snapshot_source_matches_registry(self):
+        r = _seeded_registry()
+        assert flamegraph_lines(r.snapshot()) == flamegraph_lines(r)
+
+
+class TestLiveSpans:
+    def test_real_session_spans_collapse(self):
+        registry = TelemetryRegistry()
+        items = uniform_random(60, seed=3)
+        with registry.span("cli.run"):
+            session = PackingSession("first-fit", registry=registry)
+            for event in event_stream(items):
+                if event.kind is EventKind.ARRIVAL:
+                    session.submit(event.item)
+                else:
+                    session.advance(event.time)
+            session.result()
+        lines = flamegraph_lines(registry)
+        check_collapsed_format(lines)
+        roots = {line.split(";")[0].split(" ")[0] for line in lines}
+        assert "cli.run" in roots
+
+    def test_nested_spans_produce_nested_stacks(self):
+        registry = TelemetryRegistry()
+        with registry.span("outer"):
+            with registry.span("mid"):
+                with registry.span("leaf"):
+                    pass
+        lines = flamegraph_lines(registry)
+        check_collapsed_format(lines)
+        assert [line.rsplit(" ", 1)[0] for line in lines] == [
+            "outer",
+            "outer;mid",
+            "outer;mid;leaf",
+        ]

@@ -172,3 +172,90 @@ class TestCrossValidation:
                 return sorted(map(frozenset, g.values()), key=sorted)
 
             assert groups(ours) == groups(ref), f"seed {seed}"
+
+
+class TestTelemetryAgreement:
+    """Telemetry recorded about a run must agree with the run's own accounting.
+
+    The observability layer is pure observation: for every packer and every
+    seeded instance, the ``sim.*`` cells written by ``evaluate`` and the
+    ``engine.*`` cells written by a streaming session must match what the
+    packing result itself reports — and recording them must not perturb the
+    packing.
+    """
+
+    def test_evaluate_gauges_match_result_for_every_packer(self):
+        from repro.obs import TelemetryRegistry
+        from repro.simulation import evaluate
+
+        for items in instances():
+            registry = TelemetryRegistry()
+            for packer in all_packers():
+                result = packer.pack(items)
+                result.validate()
+                evaluate(result, registry=registry)
+                labels = {"algorithm": result.algorithm}
+                assert (
+                    registry.get("sim.num_bins", **labels).value == result.num_bins
+                )
+                assert registry.get(
+                    "sim.total_usage", **labels
+                ).value == pytest.approx(result.total_usage())
+                assert registry.get("sim.evaluations", **labels).value == 1
+
+    def test_recording_telemetry_never_changes_the_packing(self):
+        from repro.obs import TelemetryRegistry
+        from repro.simulation import evaluate
+
+        items = uniform_random(35, seed=21, size_range=(0.05, 1.0))
+        for packer in all_packers():
+            bare = packer.pack(items)
+            observed = packer.pack(items)
+            evaluate(observed, registry=TelemetryRegistry())
+            assert bare.assignment == observed.assignment, packer.describe()
+            assert bare.total_usage() == observed.total_usage()
+
+    def test_engine_counters_match_session_result_for_online_packers(self):
+        from repro.algorithms.base import OnlinePacker
+        from repro.core import EventKind, event_stream
+        from repro.engine import PackingSession
+        from repro.obs import TelemetryRegistry
+
+        items = uniform_random(40, seed=19, size_range=(0.05, 1.0))
+        for name in sorted(available_packers()):
+            if not isinstance(get_packer(name, **SPECIAL.get(name, {})), OnlinePacker):
+                continue
+            registry = TelemetryRegistry()
+            session = PackingSession(
+                name, registry=registry, **SPECIAL.get(name, {})
+            )
+            for event in event_stream(items):
+                if event.kind is EventKind.ARRIVAL:
+                    session.submit(event.item)
+                else:
+                    session.advance(event.time)
+            result = session.result()
+            assert registry.get("engine.items_submitted").value == len(items), name
+            assert registry.get("engine.bins_opened").value == result.num_bins, name
+
+    def test_session_and_batch_usage_agree_under_shared_registry(self):
+        """One registry observing several algorithms keeps their cells
+        separate (labels) and each agrees with its own batch-mode run."""
+        from repro.algorithms.base import OnlinePacker
+        from repro.obs import TelemetryRegistry
+        from repro.simulation import evaluate
+
+        items = uniform_random(30, seed=23, size_range=(0.05, 1.0))
+        registry = TelemetryRegistry()
+        expected: dict[str, float] = {}
+        for name in sorted(available_packers()):
+            packer = get_packer(name, **SPECIAL.get(name, {}))
+            if not isinstance(packer, OnlinePacker):
+                continue
+            result = packer.pack(items)
+            evaluate(result, registry=registry)
+            expected[result.algorithm] = result.total_usage()
+        assert len(expected) >= 3
+        for algorithm, usage in expected.items():
+            cell = registry.get("sim.total_usage", algorithm=algorithm)
+            assert cell.value == pytest.approx(usage), algorithm

@@ -1,19 +1,23 @@
 """Tests for the ``repro.obs`` telemetry core and the stats views over it.
 
-Covers the typed metrics (counter/gauge/timer), registry interning and
-labels, span tracing, snapshot/merge determinism, pickling across process
-boundaries, NDJSON export, the global enable switch, the registry-backed
-legacy views (:class:`~repro.engine.EngineStats`,
+Covers the typed metrics (counter/gauge/timer/histogram), registry
+interning and labels, span tracing, snapshot/merge determinism, pickling
+across process boundaries, NDJSON export with name/label filtering, the
+Prometheus text exposition and scrape endpoint, the global enable switch,
+the registry-backed legacy views (:class:`~repro.engine.EngineStats`,
 :class:`~repro.algorithms.SolverStats`), behaviour preservation (identical
-results with telemetry on and off), and a hypothesis round-trip property:
-every stats/registry object survives ``as_dict() -> json -> from_dict``
-with no field drift or type coercion.
+results with telemetry on and off), and hypothesis properties: every
+stats/registry object survives ``as_dict() -> json -> from_dict`` with no
+field drift or type coercion, and histogram merging is commutative and
+associative with exact counts.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import pickle
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 from hypothesis import given, settings
@@ -26,9 +30,12 @@ from repro.engine.stats import EngineStats
 from repro.obs import (
     Counter,
     Gauge,
+    Histogram,
+    MetricsServer,
     TelemetryRegistry,
     TelemetrySnapshot,
     Timer,
+    default_latency_bounds,
     disabled,
     enabled,
     export_dict,
@@ -36,7 +43,9 @@ from repro.obs import (
     metric_from_dict,
     ndjson_lines,
     normalize_labels,
+    prometheus_text,
     set_enabled,
+    validate_exposition,
     write_ndjson,
 )
 from repro.simulation import evaluate
@@ -88,7 +97,97 @@ class TestMetrics:
 
     def test_metric_from_dict_rejects_unknown_kind(self):
         with pytest.raises(ValueError):
-            metric_from_dict({"kind": "histogram", "name": "h"})
+            metric_from_dict({"kind": "summary", "name": "h"})
+
+
+class TestHistogram:
+    def test_observe_buckets_by_upper_edge(self):
+        h = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+            h.observe(v)
+        # v <= bound semantics: 0.5 and 1.0 land in the first bucket.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(106.0)
+        assert h.mean == pytest.approx(106.0 / 5)
+
+    def test_default_bounds_log_spaced(self):
+        bounds = default_latency_bounds()
+        assert len(bounds) == 24
+        assert bounds[0] == pytest.approx(1e-6)
+        for a, b in zip(bounds, bounds[1:]):
+            assert b == pytest.approx(2 * a)
+
+    def test_bounds_must_be_increasing_finite_nonempty(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, math.inf))
+
+    def test_counts_length_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 2.0), counts=[1, 2])
+
+    def test_quantile_semantics(self):
+        h = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        assert h.quantile(0.5) == 0.0  # empty
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.0  # rank clamps to the first observation
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(0.75) == 2.0
+        assert h.quantile(1.0) == 4.0
+        h.observe(10.0)  # overflow bucket
+        assert h.quantile(1.0) == math.inf
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_cumulative_counts(self):
+        h = Histogram("h", bounds=(1.0, 2.0), counts=[3, 2, 1], sum=6.0, count=6)
+        assert h.cumulative_counts() == [3, 5, 6]
+
+    def test_merge_requires_identical_bounds(self):
+        a = Histogram("h", bounds=(1.0, 2.0))
+        b = Histogram("h", bounds=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_adds_everything(self):
+        a = Histogram("h", bounds=(1.0, 2.0))
+        b = Histogram("h", bounds=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.sum == pytest.approx(11.0)
+
+    def test_registry_interning_and_kind_clash(self):
+        r = TelemetryRegistry()
+        h = r.histogram("lat", bounds=(1.0, 2.0))
+        assert r.histogram("lat") is h  # later bounds ignored on the same cell
+        assert r.histogram("lat").bounds == (1.0, 2.0)
+        with pytest.raises(ValueError):
+            r.counter("lat")
+
+    def test_as_dict_roundtrip_through_registry(self):
+        r = TelemetryRegistry()
+        h = r.histogram("lat", algorithm="ff")
+        for v in (1e-6, 0.5, 100.0):
+            h.observe(v)
+        clone = TelemetryRegistry.from_dict(json.loads(json.dumps(r.as_dict())))
+        assert clone == r
+        restored = clone.get("lat", algorithm="ff")
+        assert isinstance(restored, Histogram)
+        assert restored.counts == h.counts
+        assert restored.bounds == h.bounds
 
 
 class TestRegistry:
@@ -323,13 +422,18 @@ _floats = st.floats(min_value=0, max_value=1e9, allow_nan=False, allow_infinity=
 
 @st.composite
 def registries(draw) -> TelemetryRegistry:
-    """A registry with random counters, gauges and timers."""
+    """A registry with random counters, gauges, timers and histograms."""
     r = TelemetryRegistry()
     for i in range(draw(st.integers(min_value=0, max_value=5))):
-        kind = draw(st.sampled_from(["counter", "gauge", "timer"]))
-        labels = draw(
-            st.dictionaries(_label_keys, _label_keys, min_size=0, max_size=2)
-        )
+        kind = draw(st.sampled_from(["counter", "gauge", "timer", "histogram"]))
+        labels = {
+            k: v
+            for k, v in draw(
+                st.dictionaries(_label_keys, _label_keys, min_size=0, max_size=2)
+            ).items()
+            # reserved keyword names on the typed accessors, not label keys
+            if k not in ("aggregate", "bounds")
+        }
         name = f"m{i}.{kind}"
         if kind == "counter":
             r.counter(name, **labels).inc(draw(_counts))
@@ -338,6 +442,10 @@ def registries(draw) -> TelemetryRegistry:
             cell = r.gauge(name, aggregate=aggregate, **labels)
             if draw(st.booleans()):
                 cell.set(draw(st.one_of(_counts, _floats)))
+        elif kind == "histogram":
+            cell = r.histogram(name, **labels)
+            for value in draw(st.lists(_floats, min_size=0, max_size=4)):
+                cell.observe(value)
         else:
             r.timer(name, **labels).observe(draw(_floats), count=draw(_counts))
     return r
@@ -398,3 +506,237 @@ def test_engine_stats_roundtrip_property(counters, gauges, timers):
     assert restored == stats
     for name, value in restored.as_dict().items():
         assert type(value) is type(stats.as_dict()[name]), name
+
+
+# --------------------------------------------------------------------------
+# Histogram properties
+# --------------------------------------------------------------------------
+
+_BOUNDS = (1e-6, 1e-3, 1.0, 1e3)
+_samples = st.lists(_floats, min_size=0, max_size=30)
+
+
+def _hist_from(values) -> Histogram:
+    h = Histogram("h", bounds=_BOUNDS)
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def _copy(h: Histogram) -> Histogram:
+    clone = metric_from_dict(h.as_dict())
+    assert isinstance(clone, Histogram)
+    return clone
+
+
+@given(a=_samples, b=_samples)
+@settings(max_examples=60, deadline=None)
+def test_histogram_merge_commutative(a, b):
+    """a ⊕ b and b ⊕ a have identical buckets, counts and sums."""
+    ab = _hist_from(a)
+    ab.merge(_hist_from(b))
+    ba = _hist_from(b)
+    ba.merge(_hist_from(a))
+    assert ab.counts == ba.counts
+    assert ab.count == ba.count == len(a) + len(b)
+    assert ab.sum == pytest.approx(ba.sum)
+
+
+@given(a=_samples, b=_samples, c=_samples)
+@settings(max_examples=40, deadline=None)
+def test_histogram_merge_associative(a, b, c):
+    """(a ⊕ b) ⊕ c equals a ⊕ (b ⊕ c) bucket for bucket."""
+    left = _hist_from(a)
+    left.merge(_hist_from(b))
+    left.merge(_hist_from(c))
+    bc = _hist_from(b)
+    bc.merge(_hist_from(c))
+    right = _hist_from(a)
+    right.merge(bc)
+    assert left.counts == right.counts
+    assert left.count == right.count
+    assert left.sum == pytest.approx(right.sum)
+
+
+@given(values=_samples)
+@settings(max_examples=60, deadline=None)
+def test_histogram_count_sum_consistency(values):
+    """count/sum/buckets all agree with the recorded sample list."""
+    h = _hist_from(values)
+    assert h.count == len(values)
+    assert sum(h.counts) == len(values)
+    assert h.sum == pytest.approx(sum(values))
+    if values:
+        assert h.cumulative_counts()[-1] == len(values)
+        assert h.quantile(1.0) >= max(0.0, h.quantile(0.0))
+
+
+@given(values=_samples)
+@settings(max_examples=60, deadline=None)
+def test_histogram_json_roundtrip_property(values):
+    """Histograms survive as_dict -> json -> metric_from_dict exactly."""
+    h = _hist_from(values)
+    restored = metric_from_dict(json.loads(json.dumps(h.as_dict())))
+    assert isinstance(restored, Histogram)
+    assert restored.bounds == h.bounds
+    assert restored.counts == h.counts
+    assert restored.count == h.count
+    assert restored.sum == h.sum
+    assert restored.as_dict() == h.as_dict()
+
+
+@given(values=_samples)
+@settings(max_examples=40, deadline=None)
+def test_histogram_pickle_roundtrip_property(values):
+    """Pickling preserves every bucket and keeps the clone independent."""
+    h = _hist_from(values)
+    clone = pickle.loads(pickle.dumps(h))
+    assert clone.as_dict() == h.as_dict()
+    clone.observe(1.0)
+    assert clone.count == h.count + 1
+
+
+def _observe_in_subprocess(payload: bytes) -> bytes:
+    """Worker for the cross-process test (must be module-level to pickle)."""
+    registry = pickle.loads(payload)
+    registry.histogram("xproc.latency").observe(0.5)
+    return pickle.dumps(registry)
+
+
+class TestHistogramCrossProcess:
+    def test_histogram_survives_process_boundary_and_merges(self):
+        r = TelemetryRegistry()
+        r.histogram("xproc.latency", bounds=_BOUNDS).observe(2e-6)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pickle.loads(
+                pool.submit(_observe_in_subprocess, pickle.dumps(r)).result()
+            )
+        assert isinstance(remote, TelemetryRegistry)
+        r.merge(remote)
+        merged = r.get("xproc.latency")
+        assert isinstance(merged, Histogram)
+        # original observation + (original + remote observation) from the clone
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(2e-6 + 2e-6 + 0.5)
+
+
+# --------------------------------------------------------------------------
+# Prometheus exposition
+# --------------------------------------------------------------------------
+
+
+def _four_kind_registry() -> TelemetryRegistry:
+    r = TelemetryRegistry()
+    r.counter("events.seen", algorithm="first-fit").inc(3)
+    r.gauge("sim.num_bins").set(7)
+    r.timer("span:cli.report").observe(0.25, count=2)
+    h = r.histogram("engine.submit_latency", bounds=(1e-6, 1e-3, 1.0))
+    h.observe(5e-4)
+    h.observe(9.0)
+    return r
+
+
+class TestPrometheus:
+    def test_renders_all_four_kinds(self):
+        text = prometheus_text(_four_kind_registry())
+        assert "# TYPE repro_events_seen_total counter" in text
+        assert "# TYPE repro_sim_num_bins gauge" in text
+        assert "# TYPE repro_span_cli_report_seconds summary" in text
+        assert "# TYPE repro_engine_submit_latency histogram" in text
+        assert 'repro_events_seen_total{algorithm="first-fit"} 3' in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_is_cumulative_with_inf(self):
+        text = prometheus_text(_four_kind_registry())
+        assert 'repro_engine_submit_latency_bucket{le="0.001"} 1' in text
+        assert 'repro_engine_submit_latency_bucket{le="+Inf"} 2' in text
+        assert "repro_engine_submit_latency_count 2" in text
+
+    def test_validate_accepts_and_counts_samples(self):
+        text = prometheus_text(_four_kind_registry())
+        assert validate_exposition(text) >= 8
+
+    def test_validate_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_exposition("this is not prometheus\n")
+
+    def test_validate_rejects_duplicate_type(self):
+        bad = (
+            "# TYPE repro_x counter\nrepro_x 1\n"
+            "# TYPE repro_x counter\nrepro_x 2\n"
+        )
+        with pytest.raises(ValueError):
+            validate_exposition(bad)
+
+    def test_validate_rejects_type_after_sample(self):
+        bad = "repro_x 1\n# TYPE repro_x counter\n"
+        with pytest.raises(ValueError):
+            validate_exposition(bad)
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_exposition("")
+
+    def test_snapshot_source_renders_identically(self):
+        r = _four_kind_registry()
+        assert prometheus_text(r.snapshot()) == prometheus_text(r)
+
+    def test_metrics_server_scrape(self):
+        from urllib.error import HTTPError
+        from urllib.request import urlopen
+
+        with MetricsServer(_four_kind_registry()) as server:
+            assert server.port > 0
+            assert server.url.endswith("/metrics")
+            body = urlopen(server.url, timeout=5).read().decode()
+            assert validate_exposition(body) >= 8
+            with pytest.raises(HTTPError):
+                urlopen(f"http://127.0.0.1:{server.port}/other", timeout=5)
+
+
+# --------------------------------------------------------------------------
+# Export filtering
+# --------------------------------------------------------------------------
+
+
+def _filter_registry() -> TelemetryRegistry:
+    r = TelemetryRegistry()
+    r.counter("engine.items_submitted").inc(4)
+    r.counter("solver.nodes", algorithm="opt").inc(10)
+    r.gauge("solver.depth", algorithm="opt").set(3)
+    r.gauge("sim.num_bins", algorithm="first-fit").set(2)
+    return r
+
+
+class TestExportFiltering:
+    def test_match_glob(self):
+        rows = export_dict(_filter_registry(), match="solver.*")["metrics"]
+        assert sorted(row["name"] for row in rows) == ["solver.depth", "solver.nodes"]
+
+    def test_labels_subset(self):
+        rows = export_dict(_filter_registry(), labels={"algorithm": "opt"})["metrics"]
+        assert {row["name"] for row in rows} == {"solver.nodes", "solver.depth"}
+
+    def test_match_and_labels_combined(self):
+        rows = export_dict(
+            _filter_registry(), match="*.num_bins", labels={"algorithm": "first-fit"}
+        )["metrics"]
+        assert [row["name"] for row in rows] == ["sim.num_bins"]
+
+    def test_no_match_yields_empty(self):
+        assert export_dict(_filter_registry(), match="nope.*")["metrics"] == []
+
+    def test_write_ndjson_filters_rows(self, tmp_path):
+        path = tmp_path / "metrics.ndjson"
+        count = write_ndjson(_filter_registry(), path, match="solver.*")
+        assert count == 2
+        loaded = load_ndjson(path)
+        assert sorted(m.name for m in loaded.metrics()) == [
+            "solver.depth",
+            "solver.nodes",
+        ]
+
+    def test_unfiltered_export_unchanged(self):
+        r = _filter_registry()
+        assert export_dict(r)["metrics"] == export_dict(r, match="*")["metrics"]
+        assert len(ndjson_lines(r)) == 4
