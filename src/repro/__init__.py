@@ -22,6 +22,7 @@ Subpackages:
 * :mod:`repro.simulation` — event-driven execution and billing;
 * :mod:`repro.cloud` — the job/server scheduling application layer;
 * :mod:`repro.analysis` — ratio sweeps, tables and the noise study;
+* :mod:`repro.resilience` — retry, deadlines, fault policies, checkpoints;
 * :mod:`repro.extensions` — multi-resource and flexible-job extensions.
 """
 
@@ -66,6 +67,7 @@ from .core import (
     StepFunction,
 )
 from .engine import EngineSnapshot, EngineStats, PackingSession
+from .resilience import CheckpointJournal, Deadline, FaultPolicy, RetryPolicy
 from .simulation import SimulationResult, Simulator
 from .workloads import (
     bounded_mu,
@@ -116,6 +118,10 @@ __all__ = [
     "EngineSnapshot",
     "EngineStats",
     "PackingSession",
+    "CheckpointJournal",
+    "Deadline",
+    "FaultPolicy",
+    "RetryPolicy",
     "SimulationResult",
     "Simulator",
     "bounded_mu",

@@ -39,11 +39,16 @@ from bisect import bisect_left, bisect_right, insort
 from pathlib import Path
 from typing import Sequence
 
+from typing import TYPE_CHECKING
+
 from ..core.events import SizeSlice, active_size_slices
 from ..core.items import ItemList
 from ..core.stepfun import DEFAULT_TOL
 from ..obs import TelemetryRegistry, enabled as _telemetry_enabled
 from .optimal import SolverStats, bin_packing_min_bins
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.deadline import Deadline
 
 __all__ = [
     "MemoCache",
@@ -217,6 +222,7 @@ def _slice_count(
     max_nodes: int,
     memo: MemoCache,
     stats: SolverStats | None,
+    deadline: "Deadline | None" = None,
 ) -> int:
     """Exact bin count of one slice: memo lookup, else warm-started B&B."""
     key = MemoCache.key(sizes, tol)
@@ -230,13 +236,23 @@ def _slice_count(
         if _telemetry_enabled():
             t0 = time.perf_counter()
             count = bin_packing_min_bins(
-                sizes, tol=tol, max_nodes=max_nodes, upper_bound=warm_upper, stats=stats
+                sizes,
+                tol=tol,
+                max_nodes=max_nodes,
+                upper_bound=warm_upper,
+                stats=stats,
+                deadline=deadline,
             )
             stats.solve_latency.observe(time.perf_counter() - t0)
             memo.put(key, count)
             return count
     count = bin_packing_min_bins(
-        sizes, tol=tol, max_nodes=max_nodes, upper_bound=warm_upper, stats=stats
+        sizes,
+        tol=tol,
+        max_nodes=max_nodes,
+        upper_bound=warm_upper,
+        stats=stats,
+        deadline=deadline,
     )
     memo.put(key, count)
     return count
@@ -264,6 +280,7 @@ def opt_total(
     max_nodes: int = 2_000_000,
     memo: MemoCache | None = None,
     stats: SolverStats | None = None,
+    deadline: "Deadline | None" = None,
 ) -> float:
     """Exact ``OPT_total(R) = ∫ OPT(R, t) dt`` (paper §3.2), fast.
 
@@ -286,10 +303,15 @@ def opt_total(
             :func:`default_memo`.
         stats: Optional :class:`~repro.algorithms.optimal.SolverStats`
             incremented in place.
+        deadline: Optional wall-clock :class:`~repro.resilience.Deadline`
+            bounding the **whole** integral — one budget shared by every
+            slice's branch and bound, checked between slices and inside
+            each solve.
 
     Raises:
         SolverLimitError: propagated from :func:`bin_packing_min_bins` if an
             uncached slice exceeds the node budget.
+        DeadlineExceeded: if ``deadline`` expires before the sweep finishes.
     """
     if not items:
         return 0.0
@@ -299,6 +321,8 @@ def opt_total(
     for sl in active_size_slices(items):
         if stats is not None:
             stats.slices += 1
+        if deadline is not None:
+            deadline.check("opt_total sweep")
         if not sl.sizes:
             prev_count = 0
             continue
@@ -309,6 +333,7 @@ def opt_total(
             max_nodes=max_nodes,
             memo=memo,
             stats=stats,
+            deadline=deadline,
         )
         total += count * (sl.right - sl.left)
         prev_count = count

@@ -27,10 +27,13 @@ algorithms sit between the two.
 from __future__ import annotations
 
 import itertools
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..core.bins import Bin
 from ..core.exceptions import SolverLimitError, ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..resilience.deadline import Deadline
 from ..core.items import ItemList
 from ..core.packing import PackingResult
 from ..core.stepfun import DEFAULT_TOL
@@ -315,6 +318,7 @@ def bin_packing_min_bins(
     max_nodes: int = 2_000_000,
     upper_bound: int | None = None,
     stats: SolverStats | None = None,
+    deadline: "Deadline | None" = None,
 ) -> int:
     """Exact minimum number of unit bins for the given sizes.
 
@@ -340,17 +344,24 @@ def bin_packing_min_bins(
             optimum (must be achievable, e.g. derived from a feasible
             packing); the returned value is still the exact optimum.
         stats: Optional :class:`SolverStats` to increment in place.
+        deadline: Optional wall-clock :class:`~repro.resilience.Deadline`
+            checked at entry and every 1024 search nodes; expiry raises
+            :class:`~repro.core.DeadlineExceeded` carrying the best
+            feasible count found so far.
 
     Raises:
         ValidationError: if any size is outside (0, 1].
         SolverLimitError: if the node budget is exhausted before proving
             optimality (carries the best feasible value found).
+        DeadlineExceeded: if ``deadline`` expires first.
     """
     for s in sizes:
         if not (0.0 < s <= 1.0 + tol):
             raise ValidationError(f"size out of range (0, 1]: {s}")
     if not sizes:
         return 0
+    if deadline is not None:
+        deadline.check("bin_packing_min_bins")
     order = sorted(sizes, reverse=True)
     n = len(order)
     best = _ffd_bins(order, tol, presorted=True)
@@ -382,6 +393,12 @@ def bin_packing_min_bins(
             raise SolverLimitError(
                 f"bin packing B&B exceeded {max_nodes} nodes", best_known=best_found
             )
+        # Deadline checks are strided: one clock read per 1024 nodes keeps
+        # the bounded path within noise of the unbounded one.
+        if deadline is not None and not nodes & 1023 and deadline.expired():
+            if stats is not None:
+                stats.nodes += nodes
+            deadline.check("bin packing B&B", best_known=best_found)
         if i == n:
             best_found = min(best_found, len(levels))
             return

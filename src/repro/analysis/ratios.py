@@ -21,8 +21,9 @@ import numpy as np
 from ..algorithms.adversary import MemoCache
 from ..algorithms.base import Packer
 from ..algorithms.optimal import SolverStats
-from ..bounds.opt_bounds import adversary_denominator
+from ..bounds.opt_bounds import resolve_denominator
 from ..core.items import ItemList
+from ..resilience.deadline import Deadline
 
 __all__ = ["RatioMeasurement", "measured_ratio", "SweepPoint", "sweep_mu"]
 
@@ -35,12 +36,16 @@ class RatioMeasurement:
         usage: Algorithm's total usage time.
         denominator: ``OPT_total`` (exact) or the best lower bound.
         exact: True when the denominator is the solved ``OPT_total``.
+        degraded_reason: ``None`` when exact; otherwise why the adversary
+            degraded to certified bounds (``"deadline"``, ``"node_budget"``
+            or ``"instance_too_large"``).
         ratio: ``usage / denominator``.
     """
 
     usage: float
     denominator: float
     exact: bool
+    degraded_reason: str | None = None
 
     @property
     def ratio(self) -> float:
@@ -55,13 +60,16 @@ def measured_ratio(
     solver_nodes: int = 500_000,
     memo: MemoCache | None = None,
     stats: SolverStats | None = None,
+    deadline: Deadline | None = None,
 ) -> RatioMeasurement:
     """Pack ``items`` and measure the ratio against the adversary.
 
     Tries the exact repacking adversary first for instances up to
-    ``exact_opt_max_items`` items; on size or solver-budget overflow it
-    falls back to the Proposition 1–3 lower bound (the shared policy of
-    :func:`repro.bounds.adversary_denominator`).
+    ``exact_opt_max_items`` items; on size overflow, solver-budget overflow
+    or wall-clock ``deadline`` expiry it degrades to the Proposition 1–3
+    lower bound (the shared policy of
+    :func:`repro.bounds.resolve_denominator`), so the result is always
+    bounded and the measurement never runs unboundedly long.
 
     Args:
         packer: Algorithm under measurement.
@@ -72,17 +80,26 @@ def measured_ratio(
             repeated measurements stop re-solving identical slices.
         stats: Optional :class:`~repro.algorithms.SolverStats` populated in
             place with the adversary's counters.
+        deadline: Optional :class:`~repro.resilience.Deadline` bounding the
+            adversary solve; expiry yields ``exact=False`` with
+            ``degraded_reason="deadline"`` instead of raising.
     """
     result = packer.pack(items)
     usage = result.total_usage()
-    denom, exact = adversary_denominator(
+    info = resolve_denominator(
         items,
         exact_opt_max_items=exact_opt_max_items,
         solver_nodes=solver_nodes,
         memo=memo,
         stats=stats,
+        deadline=deadline,
     )
-    return RatioMeasurement(usage=usage, denominator=denom, exact=exact)
+    return RatioMeasurement(
+        usage=usage,
+        denominator=info.value,
+        exact=info.exact,
+        degraded_reason=info.degraded_reason,
+    )
 
 
 @dataclass(frozen=True, slots=True)

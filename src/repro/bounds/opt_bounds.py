@@ -18,12 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..core.exceptions import SolverLimitError
+from ..core.exceptions import DeadlineExceeded, SolverLimitError
 from ..core.items import ItemList
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..algorithms.adversary import MemoCache
     from ..algorithms.optimal import SolverStats
+    from ..resilience.deadline import Deadline
 
 __all__ = [
     "demand_lower_bound",
@@ -31,6 +32,8 @@ __all__ = [
     "ceil_size_lower_bound",
     "best_lower_bound",
     "adversary_denominator",
+    "resolve_denominator",
+    "DenominatorInfo",
     "OptBounds",
 ]
 
@@ -64,6 +67,70 @@ def best_lower_bound(items: ItemList) -> float:
     )
 
 
+@dataclass(frozen=True, slots=True)
+class DenominatorInfo:
+    """The resolved ratio denominator plus how it was obtained.
+
+    Attributes:
+        value: The denominator — exact ``OPT_total`` or the certified
+            Proposition 1–3 lower bound.
+        exact: True iff ``value`` is the solved ``OPT_total``.
+        degraded_reason: ``None`` when exact; otherwise why the solver
+            degraded to bounds: ``"deadline"`` (wall-clock budget expired),
+            ``"node_budget"`` (branch-and-bound node budget exhausted) or
+            ``"instance_too_large"`` (above the exact-adversary size
+            ceiling).
+    """
+
+    value: float
+    exact: bool
+    degraded_reason: str | None = None
+
+
+def resolve_denominator(
+    items: ItemList,
+    *,
+    exact_opt_max_items: int = 200,
+    solver_nodes: int = 500_000,
+    memo: "MemoCache | None" = None,
+    stats: "SolverStats | None" = None,
+    deadline: "Deadline | None" = None,
+) -> DenominatorInfo:
+    """The ratio denominator: exact ``OPT_total`` when tractable, else bounds.
+
+    The single policy every ratio measurement shares: solve the exact
+    repacking adversary for instances up to ``exact_opt_max_items`` items,
+    degrading to the certified Proposition 1–3 lower bound on size overflow,
+    node-budget exhaustion or wall-clock ``deadline`` expiry.  Degradation
+    makes the reported ratio an *upper bound* on the true one — the
+    conservative direction for checking the paper's guarantees — and is
+    always bounded: the bounds themselves are closed-form, so the total time
+    past an expired deadline is the time to notice expiry, not another
+    search.
+
+    Degradations increment the ``resilience.solver.degraded`` counter
+    (labelled by reason) in ``stats``'s registry when ``stats`` is given.
+    """
+    from ..algorithms.adversary import opt_total
+
+    reason: str
+    if len(items) <= exact_opt_max_items:
+        try:
+            value = opt_total(
+                items, max_nodes=solver_nodes, memo=memo, stats=stats, deadline=deadline
+            )
+            return DenominatorInfo(value, True)
+        except DeadlineExceeded:
+            reason = "deadline"
+        except SolverLimitError:
+            reason = "node_budget"
+    else:
+        reason = "instance_too_large"
+    if stats is not None:
+        stats.registry.counter("resilience.solver.degraded", reason=reason).inc()
+    return DenominatorInfo(best_lower_bound(items), False, reason)
+
+
 def adversary_denominator(
     items: ItemList,
     *,
@@ -71,28 +138,23 @@ def adversary_denominator(
     solver_nodes: int = 500_000,
     memo: "MemoCache | None" = None,
     stats: "SolverStats | None" = None,
+    deadline: "Deadline | None" = None,
 ) -> tuple[float, bool]:
-    """The ratio denominator: exact ``OPT_total`` when tractable, else bounds.
-
-    The single policy every ratio measurement shares: solve the exact
-    repacking adversary for instances up to ``exact_opt_max_items`` items,
-    falling back to the Proposition 1–3 lower bound on size or solver-budget
-    overflow (which makes the reported ratio an *upper bound* on the true
-    one — the conservative direction for checking the paper's guarantees).
+    """Compatibility wrapper over :func:`resolve_denominator`.
 
     Returns:
         ``(denominator, exact)`` where ``exact`` is True iff the value is
         the solved ``OPT_total``.
     """
-    from ..algorithms.adversary import opt_total
-
-    if len(items) <= exact_opt_max_items:
-        try:
-            value = opt_total(items, max_nodes=solver_nodes, memo=memo, stats=stats)
-            return value, True
-        except SolverLimitError:
-            pass
-    return best_lower_bound(items), False
+    info = resolve_denominator(
+        items,
+        exact_opt_max_items=exact_opt_max_items,
+        solver_nodes=solver_nodes,
+        memo=memo,
+        stats=stats,
+        deadline=deadline,
+    )
+    return info.value, info.exact
 
 
 @dataclass(frozen=True, slots=True)

@@ -32,6 +32,14 @@ globally, before the subcommand name.  ``serve --metrics-port PORT``
 additionally exposes the live registry as a Prometheus ``/metrics``
 endpoint on localhost while the trace replays (``--pace`` slows the replay
 down to scrape it mid-run).
+
+Resilience: ``serve --fault-policy {strict,skip,clamp}`` (with an optional
+``--error-budget N``) hardens the serve path against malformed trace
+records and inconsistent events; ``sweep`` gains ``--retries N``
+(per-cell retry with backoff), ``--checkpoint FILE`` (NDJSON journal —
+rerunning with the same file resumes completed cells) and
+``--deadline SECONDS`` (per-cell adversary wall-clock budget with graceful
+degradation to certified bounds).  See ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ from .bounds import (
 )
 from .core import ItemList, ReproError
 from .obs import TelemetryRegistry, export_dict, export_flamegraph, write_ndjson
+from .resilience import FAULT_MODES, FaultPolicy, RetryPolicy
 from .simulation import evaluate
 from .viz import render_chart, render_gantt, render_profile
 from .workloads import (
@@ -169,8 +178,8 @@ def _make_packer(name: str, args: argparse.Namespace):
         raise ReproError(str(exc.args[0] if exc.args else exc)) from exc
 
 
-def _load(args: argparse.Namespace) -> ItemList:
-    return load_trace(args.trace)
+def _load(args: argparse.Namespace, policy: "FaultPolicy | None" = None) -> ItemList:
+    return load_trace(args.trace, policy=policy)
 
 
 def _cmd_pack(args: argparse.Namespace) -> int:
@@ -363,20 +372,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .engine import PackingSession
 
     registry = TelemetryRegistry()
-    items = _load(args)
+    policy = None
+    if args.fault_policy != "strict" or args.error_budget is not None:
+        policy = FaultPolicy(
+            args.fault_policy,
+            error_budget=args.error_budget,
+            registry=registry,
+        )
+    items = _load(args, policy)
     packer = _make_packer(args.algorithm, args)
     if not isinstance(packer, OnlinePacker):
         print("error: serve requires an online algorithm", file=sys.stderr)
         return 2
-    session = PackingSession(packer, registry=registry)
+    session = PackingSession(packer, registry=registry, fault_policy=policy)
     live = args.snapshot_every and not getattr(args, "json", False)
     arrivals = 0
     server = None
     if args.metrics_port is not None and args.metrics_port >= 0:
         from .obs import MetricsServer
 
-        server = MetricsServer(registry, port=args.metrics_port)
-        server.start()
+        try:
+            server = MetricsServer(registry, port=args.metrics_port)
+            server.start()
+        except OSError as exc:
+            print(
+                f"error: cannot bind metrics endpoint on port {args.metrics_port}: "
+                f"{exc} (is the port already in use? try --metrics-port 0 for an "
+                "ephemeral port)",
+                file=sys.stderr,
+            )
+            return 2
         print(f"metrics endpoint: {server.url}", file=sys.stderr)
     try:
         with registry.span("cli.serve"):
@@ -402,13 +427,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if server is not None:
             server.stop()
     stats_rows = [{"counter": k, "value": v} for k, v in session.stats.as_dict().items()]
-    text = "\n".join(
-        [
-            render_table([metrics.as_dict()], title=f"serve: {packer.describe()}"),
-            "",
-            render_table(stats_rows, title="engine counters"),
-        ]
-    )
+    text_parts = [
+        render_table([metrics.as_dict()], title=f"serve: {packer.describe()}"),
+        "",
+        render_table(stats_rows, title="engine counters"),
+    ]
     payload = {
         "command": "serve",
         "trace": args.trace,
@@ -416,7 +439,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "metrics": metrics.as_dict(),
         "engine": session.stats.as_dict(),
     }
-    return _finish(args, registry, payload, text)
+    if policy is not None:
+        payload["faults"] = {
+            "policy": policy.mode,
+            "records_dropped": policy.dropped,
+            "records_clamped": policy.clamped,
+            "budget_tripped": policy.tripped,
+        }
+        if policy.faults:
+            text_parts.append("")
+            text_parts.append(
+                f"fault policy {policy.mode}: {policy.dropped} records dropped, "
+                f"{policy.clamped} clamped"
+            )
+    return _finish(args, registry, payload, "\n".join(text_parts))
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -440,6 +476,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for seed in range(args.seeds)
     ]
     registry = TelemetryRegistry()
+    retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
     with registry.span("cli.sweep"):
         outcomes = run_sweep(
             tasks,
@@ -447,6 +484,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             executor=args.executor,
             memo_path=args.memo or None,
             registry=registry,
+            retry=retry,
+            checkpoint=args.checkpoint or None,
+            deadline=args.deadline or None,
         )
     rows = [
         {
@@ -455,6 +495,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "denominator": o.denominator,
             "ratio": o.ratio,
             "exact": o.exact,
+            "note": o.error or o.degraded_reason
+            or ("resumed" if o.from_checkpoint else ""),
         }
         for o in outcomes
     ]
@@ -479,6 +521,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "workload": args.workload,
         "rows": rows,
         "solver": merged.as_dict(),
+        "resilience": {
+            "resumed": sum(1 for o in outcomes if o.from_checkpoint),
+            "retried": sum(1 for o in outcomes if o.attempts > 1),
+            "failed": sum(1 for o in outcomes if o.error is not None),
+            "degraded": sum(1 for o in outcomes if o.degraded_reason is not None),
+        },
     }
     return _finish(args, registry, payload, text)
 
@@ -644,6 +692,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="sleep between replayed events (slows the run for live scraping)",
     )
+    srv.add_argument(
+        "--fault-policy",
+        choices=list(FAULT_MODES),
+        default="strict",
+        help="how malformed trace records and inconsistent events are handled: "
+        "strict raises (default), skip drops them, clamp repairs repairable ones",
+    )
+    srv.add_argument(
+        "--error-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="maximum faults absorbed before the policy trips back to strict "
+        "(default: unlimited)",
+    )
     add_packer_opts(srv)
     add_output_opts(srv)
     srv.set_defaults(func=_cmd_serve)
@@ -671,6 +734,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--memo",
         default="",
         help="path of a disk-backed adversary memo cache shared by all cells",
+    )
+    swp.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry failed cells up to N times with exponential backoff "
+        "(default: 0, crash isolation only)",
+    )
+    swp.add_argument(
+        "--checkpoint",
+        default="",
+        metavar="FILE",
+        help="NDJSON checkpoint journal: cells are appended as they complete; "
+        "rerunning with the same FILE resumes instead of recomputing",
+    )
+    swp.add_argument(
+        "--deadline",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget for the exact adversary; on expiry the "
+        "cell degrades to certified lower bounds (exact=false) instead of hanging",
     )
     add_packer_opts(swp)
     add_output_opts(swp)

@@ -4,6 +4,7 @@ from .bins import Bin, bins_from_assignment
 from .events import Event, EventHeap, EventKind, SizeSlice, active_size_slices, event_stream
 from .exceptions import (
     CapacityError,
+    DeadlineExceeded,
     InfeasibleError,
     ReproError,
     SolverLimitError,
@@ -24,6 +25,7 @@ __all__ = [
     "active_size_slices",
     "event_stream",
     "CapacityError",
+    "DeadlineExceeded",
     "InfeasibleError",
     "ReproError",
     "SolverLimitError",

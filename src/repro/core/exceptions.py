@@ -12,6 +12,9 @@ packing workloads:
   constraints (e.g. an item larger than the bin capacity).
 * :class:`SolverLimitError` — an exact solver exceeded its configured search
   budget.
+* :class:`DeadlineExceeded` — a wall-clock :class:`~repro.resilience.Deadline`
+  expired before the operation finished (a :class:`SolverLimitError`, so
+  node-budget fallback paths degrade identically).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ __all__ = [
     "CapacityError",
     "InfeasibleError",
     "SolverLimitError",
+    "DeadlineExceeded",
 ]
 
 
@@ -61,3 +65,13 @@ class SolverLimitError(ReproError):
         #: time for :func:`~repro.algorithms.optimal_packing`, or ``None``
         #: when no feasible solution was found at all.
         self.best_known = best_known
+
+
+class DeadlineExceeded(SolverLimitError):
+    """A wall-clock deadline expired before the operation finished.
+
+    Subclasses :class:`SolverLimitError` so callers that already degrade on
+    a node-budget overflow (e.g. the adversary-denominator fallback to the
+    Proposition 1–3 bounds) treat deadline expiry the same way; catch this
+    class specifically to distinguish time from search-space exhaustion.
+    """

@@ -25,15 +25,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..algorithms.base import OnlinePacker, get_packer
 from ..core.bins import Bin
 from ..core.events import Event, EventHeap, EventKind
 from ..core.exceptions import ValidationError
+from ..core.intervals import Interval
 from ..core.items import Item, ItemList
 from ..core.packing import PackingResult
 from ..obs import TelemetryRegistry, enabled as _telemetry_enabled
 from .stats import EngineStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.faults import FaultPolicy
 
 __all__ = ["PackingSession", "EngineSnapshot", "clamp_prediction"]
 
@@ -96,6 +101,15 @@ class PackingSession:
         registry: Optional shared :class:`~repro.obs.TelemetryRegistry` the
             session's :class:`EngineStats` cells are interned in; ``None``
             gives the stats a private registry.
+        fault_policy: Optional :class:`~repro.resilience.FaultPolicy`
+            hardening :meth:`submit` against out-of-order arrivals and
+            duplicate ids.  Without one (or in ``strict`` mode) such events
+            raise, exactly as before; ``skip`` drops the offending item
+            (``submit`` returns ``-1``); ``clamp`` repairs an out-of-order
+            arrival to the current session clock (duplicates are always
+            dropped — there is no certified repair).  Absorbed faults count
+            against the policy's error budget and its ``resilience.*``
+            telemetry.
         **kwargs: Constructor parameters when ``packer`` is a name.
 
     Raises:
@@ -111,6 +125,7 @@ class PackingSession:
         *,
         algorithm: str | None = None,
         registry: TelemetryRegistry | None = None,
+        fault_policy: "FaultPolicy | None" = None,
         **kwargs: object,
     ) -> None:
         if isinstance(packer, str):
@@ -135,7 +150,12 @@ class PackingSession:
         self._ids: set[int] = set()
         self._clock = _NEG_INF
         self._active = 0
+        self.fault_policy = fault_policy
         self.stats = EngineStats(registry)
+        if fault_policy is not None and fault_policy.registry is None:
+            # Faults absorbed on behalf of this session surface in its
+            # telemetry, not nowhere.
+            fault_policy.registry = self.stats.registry
         # Hot-path timing writes straight to the interned timer cells; the
         # property round trip through EngineStats costs ~3x more per event.
         self._submit_timer = self.stats.registry.timer("engine.submit_seconds")
@@ -182,9 +202,14 @@ class PackingSession:
         packer decides on the prediction and the committed placement is then
         amended to the actual interval (noisy clairvoyance).
 
+        With a non-strict ``fault_policy``, out-of-order and duplicate
+        submissions are absorbed instead of raising: the item is dropped and
+        ``-1`` returned, or — ``clamp`` mode, out-of-order only — its arrival
+        is repaired to the session clock and placement proceeds.
+
         Raises:
             ValidationError: on out-of-order arrivals, duplicate item ids, or
-                a NaN prediction.
+                a NaN prediction (strict mode / no fault policy).
         """
         tick = self._submit_tick
         self._submit_tick = tick + 1
@@ -192,13 +217,31 @@ class PackingSession:
             tick < _TIMING_EXACT or not tick % _TIMING_STRIDE
         ) and _telemetry_enabled()
         t0 = _perf() if timed else 0.0
+        policy = self.fault_policy
         if item.arrival < self._clock:
-            raise ValidationError(
+            exc = ValidationError(
                 f"item {item.id} arrives at {item.arrival}, before the session "
                 f"clock {self._clock}; submissions must be in arrival order"
             )
+            if policy is not None and policy.wants_clamp:
+                policy.absorb("out_of_order", exc, action="clamp")
+                arrival = self._clock
+                departure = item.departure
+                if departure <= arrival:
+                    departure = arrival + 1e-12 * max(1.0, abs(arrival))
+                item = Item(item.id, item.size, Interval(arrival, departure), dict(item.tags))
+            else:
+                if policy is None:
+                    raise exc
+                policy.absorb("out_of_order", exc, action="drop")
+                return -1
         if item.id in self._ids:
-            raise ValidationError(f"duplicate item id {item.id}")
+            exc = ValidationError(f"duplicate item id {item.id}")
+            if policy is None:
+                raise exc
+            # No certified repair for a duplicate: clamp mode drops it too.
+            policy.absorb("duplicate_id", exc, action="drop")
+            return -1
         self._drain_departures(item.arrival)
         self._clock = item.arrival
 

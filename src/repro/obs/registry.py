@@ -128,11 +128,11 @@ class TelemetryRegistry:
             )
         return metric
 
-    def counter(self, name: str, **labels: object) -> Counter:
+    def counter(self, name: str, /, **labels: object) -> Counter:
         """The interned :class:`~repro.obs.Counter` for ``(name, labels)``."""
         return self._intern(Counter, name, normalize_labels(labels))
 
-    def gauge(self, name: str, *, aggregate: str = "last", **labels: object) -> Gauge:
+    def gauge(self, name: str, /, *, aggregate: str = "last", **labels: object) -> Gauge:
         """The interned :class:`~repro.obs.Gauge` for ``(name, labels)``.
 
         ``aggregate`` only applies on first creation; later calls return the
@@ -140,12 +140,12 @@ class TelemetryRegistry:
         """
         return self._intern(Gauge, name, normalize_labels(labels), aggregate=aggregate)
 
-    def timer(self, name: str, **labels: object) -> Timer:
+    def timer(self, name: str, /, **labels: object) -> Timer:
         """The interned :class:`~repro.obs.Timer` for ``(name, labels)``."""
         return self._intern(Timer, name, normalize_labels(labels))
 
     def histogram(
-        self, name: str, *, bounds: tuple[float, ...] | None = None, **labels: object
+        self, name: str, /, *, bounds: tuple[float, ...] | None = None, **labels: object
     ) -> Histogram:
         """The interned :class:`~repro.obs.Histogram` for ``(name, labels)``.
 
@@ -156,7 +156,7 @@ class TelemetryRegistry:
         """
         return self._intern(Histogram, name, normalize_labels(labels), bounds=bounds)
 
-    def get(self, name: str, **labels: object) -> Metric | None:
+    def get(self, name: str, /, **labels: object) -> Metric | None:
         """The existing cell for ``(name, labels)``, or ``None``."""
         return self._metrics.get((name, normalize_labels(labels)))
 

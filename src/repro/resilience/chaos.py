@@ -1,0 +1,124 @@
+"""Seeded fault injection: rehearse failure before production does.
+
+The chaos harness drives the resilience test suite and lets any sweep or
+serve be rehearsed under the three failure classes the system must survive:
+
+* **worker crashes** — :meth:`ChaosInjector.crashes` tells a sweep worker to
+  raise :class:`InjectedFault` on selected ``(cell, attempt)`` pairs, so the
+  retry/crash-isolation path is exercised deterministically;
+* **solver stalls** — :attr:`ChaosInjector.solver_stall` burns wall-clock
+  time inside the cell *after* its :class:`~repro.resilience.Deadline`
+  starts, forcing the graceful-degradation path;
+* **record corruption** — :func:`corrupt_jsonl` flips a seeded fraction of
+  trace records into the malformed shapes the
+  :class:`~repro.resilience.FaultPolicy` loaders must absorb.
+
+Everything is a pure function of the seed: the same injector produces the
+same crashes, stalls and corruptions on every run, so chaos tests are as
+reproducible as any other test in this repository.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from dataclasses import dataclass
+
+from ..core.exceptions import ReproError
+
+__all__ = ["ChaosInjector", "InjectedFault", "corrupt_jsonl"]
+
+_U64_MAX = float(2**64)
+
+
+class InjectedFault(ReproError):
+    """A deliberately injected failure (chaos testing only)."""
+
+
+def _unit(seed: int, *parts: object) -> float:
+    """Deterministic uniform in ``[0, 1)`` from the seed and parts."""
+    payload = struct.pack("<q", seed) + "|".join(str(p) for p in parts).encode()
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return struct.unpack("<Q", digest)[0] / _U64_MAX
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosInjector:
+    """A picklable, seeded description of the faults to inject into a sweep.
+
+    Attributes:
+        seed: Drives every probabilistic choice; same seed → same faults.
+        crash_rate: Probability that a given cell is a crasher (evaluated
+            once per cell, deterministically).
+        crash_index: Additionally always crash the cell at this task index
+            (``None`` = none) — the precise "one worker crash per sweep"
+            knob of the chaos suite.
+        crash_attempts: How many initial attempts of a crashing cell fail;
+            with retries ≥ this, the cell eventually succeeds, below it the
+            cell exhausts its retries and surfaces as an error outcome.
+        solver_stall: Seconds a chaotic cell sleeps *after* its deadline
+            starts (simulating a stalled solver consuming the budget);
+            applied to every cell when > 0.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    crash_index: int | None = None
+    crash_attempts: int = 1
+    solver_stall: float = 0.0
+
+    def crashes(self, index: int, attempt: int) -> bool:
+        """Should attempt ``attempt`` (0-based) of cell ``index`` crash?"""
+        if attempt >= self.crash_attempts:
+            return False
+        if self.crash_index is not None and index == self.crash_index:
+            return True
+        return self.crash_rate > 0.0 and _unit(self.seed, "crash", index) < self.crash_rate
+
+
+#: The corruption shapes ``corrupt_jsonl`` cycles through, chosen by hash.
+_CORRUPTIONS = ("oversize", "non_numeric", "inverted", "negative_size", "missing_field")
+
+
+def corrupt_jsonl(text: str, *, rate: float, seed: int = 0) -> tuple[str, int]:
+    """Corrupt a seeded fraction of a JSONL trace's records.
+
+    Each record line is independently corrupted with probability ``rate``
+    into one of five malformed shapes: an oversized ``size`` (> 1), a
+    non-numeric ``size``, an inverted interval (``departure <= arrival``),
+    a non-positive ``size``, or a missing ``departure`` field.  Blank and
+    unparsable lines are passed through untouched.
+
+    Returns:
+        ``(corrupted_text, n_corrupted)`` — the count is what a
+        ``skip``-policy load of the result should report as dropped.
+    """
+    out_lines: list[str] = []
+    corrupted = 0
+    for lineno, line in enumerate(text.splitlines()):
+        stripped = line.strip()
+        if not stripped or _unit(seed, "corrupt", lineno) >= rate:
+            out_lines.append(line)
+            continue
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError:
+            out_lines.append(line)
+            continue
+        kind = _CORRUPTIONS[
+            int(_unit(seed, "kind", lineno) * len(_CORRUPTIONS)) % len(_CORRUPTIONS)
+        ]
+        if kind == "oversize":
+            record["size"] = 2.5
+        elif kind == "non_numeric":
+            record["size"] = "garbled"
+        elif kind == "inverted":
+            record["departure"] = record["arrival"]
+        elif kind == "negative_size":
+            record["size"] = -0.25
+        else:
+            record.pop("departure", None)
+        out_lines.append(json.dumps(record))
+        corrupted += 1
+    return "\n".join(out_lines) + "\n", corrupted

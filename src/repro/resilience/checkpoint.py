@@ -1,0 +1,98 @@
+"""The NDJSON checkpoint journal behind ``run_sweep --checkpoint``.
+
+One JSON object per completed sweep cell, appended as cells finish, keyed by
+a canonical hash of the cell's task spec.  A rerun pointed at the same
+journal restores every recorded cell instead of recomputing it — the sweep
+analogue of the adversary :class:`~repro.algorithms.MemoCache`'s
+merge-on-save path, but at cell granularity and in a human-greppable text
+format.
+
+The journal is deliberately forgiving on read: corrupt or truncated lines
+(a sweep killed mid-append) are skipped, and for a key recorded twice the
+last complete record wins.  Floats survive the round trip bit-exactly —
+``json`` serialises them via ``repr``, which Python guarantees to
+round-trip — so resumed cells report ratios identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["CheckpointJournal", "task_key"]
+
+
+def task_key(spec: Mapping[str, object]) -> str:
+    """Canonical 128-bit hex key of a task spec (a JSON-safe mapping).
+
+    The spec is serialised with sorted keys and no whitespace, so logically
+    identical specs hash identically regardless of construction order.
+    """
+    canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+
+
+class CheckpointJournal:
+    """An append-only NDJSON map from task key to completed-cell record.
+
+    Args:
+        path: The journal file; created on first :meth:`append`, read by
+            :meth:`load`.  A missing file is an empty journal.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+
+    def load(self) -> dict[str, dict[str, object]]:
+        """All complete records keyed by task key (last write wins).
+
+        Corrupt, truncated or keyless lines are skipped — a journal from a
+        killed run is still usable up to its last complete record.
+        """
+        if not self.path.exists():
+            return {}
+        records: dict[str, dict[str, object]] = {}
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            key = record.pop("key", None)
+            if isinstance(key, str) and key:
+                records[key] = record
+        return records
+
+    def append(self, key: str, record: Mapping[str, object]) -> None:
+        """Append one completed-cell record under ``key`` (flushed + fsynced).
+
+        The write is a single ``write()`` of one line, so concurrent
+        appenders on a POSIX filesystem interleave at line granularity and
+        a crash can at worst truncate the final line (which :meth:`load`
+        skips).
+        """
+        payload = dict(record)
+        payload["key"] = key
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __repr__(self) -> str:
+        return f"CheckpointJournal({str(self.path)!r})"

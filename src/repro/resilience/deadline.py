@@ -1,0 +1,69 @@
+"""Wall-clock budgets for the exact solvers.
+
+A :class:`Deadline` is an absolute expiry point on the monotonic clock,
+shared by every solve it is threaded through: one deadline handed to
+:func:`~repro.algorithms.opt_total` bounds the *whole* integral, not each
+slice separately.  Expiry raises :class:`~repro.core.DeadlineExceeded`
+(a :class:`~repro.core.SolverLimitError`, so every existing
+budget-overflow fallback path — notably the certified-bounds degradation in
+:func:`~repro.bounds.resolve_denominator` — handles it unchanged).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.exceptions import DeadlineExceeded, ValidationError
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A wall-clock budget: constructed now, expired ``seconds`` later.
+
+    Args:
+        seconds: Budget length; must be finite and ``>= 0`` (a zero budget
+            is already expired — useful in tests).
+
+    Attributes:
+        budget: The original budget in seconds.
+    """
+
+    __slots__ = ("budget", "_expires_at")
+
+    def __init__(self, seconds: float) -> None:
+        seconds = float(seconds)
+        if not seconds >= 0.0 or seconds != seconds or seconds == float("inf"):
+            raise ValidationError(f"deadline budget must be finite and >= 0, got {seconds}")
+        self.budget = seconds
+        self._expires_at = time.monotonic() + seconds
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline expiring ``seconds`` from now (readable constructor)."""
+        return cls(seconds)
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (never negative)."""
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        """True once the budget is spent."""
+        return time.monotonic() >= self._expires_at
+
+    def check(self, what: str = "operation", *, best_known: float | None = None) -> None:
+        """Raise :class:`~repro.core.DeadlineExceeded` if expired, else no-op.
+
+        Args:
+            what: Name of the bounded operation, for the error message.
+            best_known: Best feasible objective found so far, carried on the
+                exception like any :class:`~repro.core.SolverLimitError`.
+        """
+        if self.expired():
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.budget:g}s wall-clock deadline",
+                best_known=best_known,
+            )
+
+    def __repr__(self) -> str:
+        return f"Deadline(budget={self.budget:g}, remaining={self.remaining():g})"

@@ -1,0 +1,135 @@
+"""Fault policies for the serve path: ``strict | skip | clamp``.
+
+Long-running, arrival-driven serving loops see malformed input as the common
+case: corrupted trace records, out-of-order arrivals, duplicate ids,
+capacity-violating sizes.  A :class:`FaultPolicy` decides, at each fault,
+whether to abort (``strict``), drop the offending record (``skip``) or
+repair it when a certified repair exists (``clamp`` — e.g. an oversized item
+clamped to the unit capacity, an inverted interval bumped to a minimal
+positive duration).  An optional **error budget** bounds the tolerance:
+once more than ``error_budget`` faults have been absorbed the policy trips
+back to strict and re-raises, so a systematically corrupt feed cannot be
+silently consumed forever.
+
+Every absorbed fault increments ``resilience.records_dropped`` /
+``resilience.records_clamped`` (plus a per-reason ``resilience.faults``
+cell) in the attached :class:`~repro.obs.TelemetryRegistry`.
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import ValidationError
+from ..obs import TelemetryRegistry
+
+__all__ = ["FaultPolicy", "FAULT_MODES"]
+
+#: The accepted policy modes, in documentation order.
+FAULT_MODES = ("strict", "skip", "clamp")
+
+
+class FaultPolicy:
+    """How a consumer reacts to malformed or inconsistent input events.
+
+    Args:
+        mode: ``"strict"`` (raise on the first fault — the default, and the
+            pre-resilience behaviour), ``"skip"`` (drop faulty records) or
+            ``"clamp"`` (repair clampable faults, drop the rest).
+        error_budget: Maximum number of faults absorbed before the policy
+            trips back to strict; ``None`` means unlimited.
+        registry: Optional :class:`~repro.obs.TelemetryRegistry` receiving
+            ``resilience.*`` counters; ``None`` records nothing.
+
+    Attributes:
+        dropped: Records dropped so far.
+        clamped: Records repaired so far.
+        tripped: True once the error budget has been exhausted.
+    """
+
+    __slots__ = ("mode", "error_budget", "registry", "dropped", "clamped", "tripped")
+
+    def __init__(
+        self,
+        mode: str = "strict",
+        *,
+        error_budget: int | None = None,
+        registry: TelemetryRegistry | None = None,
+    ) -> None:
+        if mode not in FAULT_MODES:
+            raise ValidationError(
+                f"unknown fault policy mode {mode!r}; one of {list(FAULT_MODES)}"
+            )
+        if error_budget is not None and error_budget < 0:
+            raise ValidationError(f"error_budget must be >= 0, got {error_budget}")
+        self.mode = mode
+        self.error_budget = error_budget
+        self.registry = registry
+        self.dropped = 0
+        self.clamped = 0
+        self.tripped = False
+
+    @property
+    def strict(self) -> bool:
+        """True when every fault raises (mode strict, or budget tripped)."""
+        return self.mode == "strict" or self.tripped
+
+    @property
+    def wants_clamp(self) -> bool:
+        """True when clampable faults should be repaired rather than dropped."""
+        return self.mode == "clamp" and not self.tripped
+
+    @property
+    def faults(self) -> int:
+        """Total faults absorbed (dropped + clamped)."""
+        return self.dropped + self.clamped
+
+    def absorb(self, reason: str, exc: Exception, *, action: str = "drop") -> None:
+        """Account one fault; raises ``exc`` instead when the policy is strict.
+
+        Args:
+            reason: Short machine-readable fault label (``"non_numeric"``,
+                ``"out_of_order"``, …) used as the telemetry ``reason`` label.
+            exc: The underlying error, re-raised in strict mode or on budget
+                exhaustion.
+            action: ``"drop"`` or ``"clamp"`` — which counter the fault lands
+                in (the caller performs the actual drop/repair).
+
+        Raises:
+            Exception: ``exc``, when strict; on the fault that exhausts the
+                error budget the policy trips permanently first, so all
+                later faults raise too.
+        """
+        if self.strict:
+            raise exc
+        if self.error_budget is not None and self.faults >= self.error_budget:
+            self.tripped = True
+            if self.registry is not None:
+                self.registry.counter("resilience.budget_trips").inc()
+            message = (
+                f"{exc} (fault policy error budget of {self.error_budget} exhausted; "
+                "reverting to strict)"
+            )
+            try:
+                wrapped: Exception = type(exc)(message)
+            except TypeError:
+                # Exception subclasses with required keyword arguments fall
+                # back to the common validation type.
+                wrapped = ValidationError(message)
+            raise wrapped from exc
+        if action == "clamp":
+            self.clamped += 1
+        else:
+            self.dropped += 1
+        if self.registry is not None:
+            name = (
+                "resilience.records_clamped"
+                if action == "clamp"
+                else "resilience.records_dropped"
+            )
+            self.registry.counter(name).inc()
+            self.registry.counter("resilience.faults", reason=reason).inc()
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPolicy(mode={self.mode!r}, dropped={self.dropped}, "
+            f"clamped={self.clamped}, tripped={self.tripped})"
+        )

@@ -1,0 +1,80 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+Retries in this repository must not perturb reproducibility: a sweep rerun
+with the same seed has to back off by the same amounts, in the same order,
+regardless of wall-clock conditions.  :class:`RetryPolicy` therefore derives
+its jitter from a BLAKE2b hash of ``(seed, key, attempt)`` instead of a
+global RNG — no hidden state, no cross-cell coupling, identical delays on
+every rerun.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+from ..core.exceptions import ValidationError
+
+__all__ = ["RetryPolicy"]
+
+_U64_MAX = float(2**64)
+
+
+def _unit_hash(seed: int, key: str, attempt: int) -> float:
+    """Deterministic uniform in ``[0, 1)`` from ``(seed, key, attempt)``."""
+    payload = struct.pack("<qq", seed, attempt) + key.encode()
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return struct.unpack("<Q", digest)[0] / _U64_MAX
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How many times to retry a failed unit of work, and how long to wait.
+
+    The delay before retry ``attempt`` (0-based) is exponential,
+    ``base_delay * 2**attempt`` capped at ``max_delay``, shrunk by a
+    deterministic jitter factor in ``[1 - jitter, 1]`` so concurrent
+    retriers decorrelate without ever exceeding the cap.
+
+    Attributes:
+        max_retries: Retries after the first attempt (0 = fail after one
+            try; the work still runs once).
+        base_delay: Seconds before the first retry.
+        max_delay: Upper bound on any single delay.
+        jitter: Fraction of each delay that is randomised away
+            (``0`` = fixed exponential, ``1`` = anywhere down to zero).
+        seed: Jitter seed; same seed → same delays on rerun.
+    """
+
+    max_retries: int = 0
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValidationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValidationError("retry delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValidationError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts including the first (``max_retries + 1``)."""
+        return self.max_retries + 1
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before retry ``attempt`` (0-based) of unit ``key``.
+
+        Deterministic: the same ``(seed, key, attempt)`` always yields the
+        same delay, and the result never exceeds ``max_delay``.
+        """
+        if attempt < 0:
+            raise ValidationError(f"attempt must be >= 0, got {attempt}")
+        raw = min(self.max_delay, self.base_delay * (2.0**attempt))
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        return raw * (1.0 - self.jitter * _unit_hash(self.seed, key, attempt))

@@ -56,10 +56,19 @@ class Decision:
 
 @dataclass(frozen=True, slots=True)
 class DecisionLog:
-    """The full decision sequence of one run."""
+    """The full decision sequence of one run.
+
+    Attributes:
+        algorithm: The packer's label.
+        decisions: Every placement decision, in arrival order.
+        error: ``None`` for a clean replay; otherwise the error that stopped
+            it early (``record_decisions(..., on_error="stop")``), with the
+            decisions up to that point retained.
+    """
 
     algorithm: str
     decisions: tuple[Decision, ...]
+    error: str | None = None
 
     def __len__(self) -> int:
         return len(self.decisions)
@@ -81,10 +90,13 @@ class DecisionLog:
 
     def as_dict(self) -> dict[str, object]:
         """JSON-ready form: algorithm plus every decision row."""
-        return {
+        payload: dict[str, object] = {
             "algorithm": self.algorithm,
             "decisions": [d.as_dict() for d in self.decisions],
         }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
 
 
 def record_decisions(
@@ -92,6 +104,7 @@ def record_decisions(
     items: ItemList,
     *,
     registry: TelemetryRegistry | None = None,
+    on_error: str = "raise",
 ) -> DecisionLog:
     """Replay ``items`` against ``packer``, capturing every decision.
 
@@ -100,10 +113,19 @@ def record_decisions(
     a ``registry``, the replay is wrapped in a ``replay.record`` span and
     records ``replay.decisions`` / ``replay.new_bins`` counters labelled by
     algorithm; the returned log is identical with or without it.
+
+    Args:
+        on_error: ``"raise"`` propagates a packer exception mid-replay (the
+            default); ``"stop"`` truncates instead — the log keeps every
+            decision made before the failure, records the error in
+            ``DecisionLog.error`` and increments ``replay.errors``.
     """
+    if on_error not in ("raise", "stop"):
+        raise ValueError(f"on_error must be 'raise' or 'stop', got {on_error!r}")
     obs = registry if registry is not None else TelemetryRegistry()
     packer.reset()
     decisions = []
+    error: str | None = None
     with obs.span("replay.record"):
         for item in items:  # arrival order
             t = item.arrival
@@ -114,7 +136,13 @@ def record_decisions(
                 b.index for b in open_bins if b.fits_at_arrival(item)
             )
             before = len(packer.bins)
-            chosen = packer.place(item)
+            try:
+                chosen = packer.place(item)
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                error = f"item {item.id}: {type(exc).__name__}: {exc}"
+                break
             decisions.append(
                 Decision(
                     item_id=item.id,
@@ -131,7 +159,11 @@ def record_decisions(
     obs.counter("replay.new_bins", **labels).inc(
         sum(1 for d in decisions if d.opened_new)
     )
-    return DecisionLog(algorithm=packer.describe(), decisions=tuple(decisions))
+    if error is not None:
+        obs.counter("replay.errors", **labels).inc()
+    return DecisionLog(
+        algorithm=packer.describe(), decisions=tuple(decisions), error=error
+    )
 
 
 def first_divergence(

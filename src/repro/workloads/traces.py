@@ -6,6 +6,15 @@ exactly the same instance.  Two formats are supported:
 * **JSONL** — one JSON object per item, preserving tags;
 * **CSV** — ``id,size,arrival,departure`` (tags dropped), convenient for
   spreadsheets and external tools.
+
+Loading is hardened for the serve path: every parse or validation failure
+names the **1-based line number and offending field** in its
+:class:`~repro.core.ValidationError`, and an optional
+:class:`~repro.resilience.FaultPolicy` lets a long-running consumer *skip*
+malformed records or *clamp* the repairable ones (oversized items to the
+unit capacity, inverted intervals to a minimal positive duration) instead
+of aborting — with every absorbed fault counted in ``resilience.*``
+telemetry and bounded by the policy's error budget.
 """
 
 from __future__ import annotations
@@ -13,10 +22,16 @@ from __future__ import annotations
 import csv
 import io
 import json
+import math
 from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
 from ..core.exceptions import ValidationError
 from ..core.intervals import Interval
 from ..core.items import Item, ItemList
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.faults import FaultPolicy
 
 __all__ = [
     "dump_jsonl",
@@ -29,16 +44,14 @@ __all__ = [
 
 CSV_FIELDS = ("id", "size", "arrival", "departure")
 
+#: Relative epsilon used when clamping an inverted interval to a minimal
+#: positive duration (mirrors :func:`repro.engine.clamp_prediction`).
+_CLAMP_EPS = 1e-12
+
 
 def dump_jsonl(items: ItemList) -> str:
     """Serialise to JSON-lines text (one item per line, tags preserved)."""
     return "\n".join(json.dumps(rec) for rec in items.to_records()) + "\n"
-
-
-def load_jsonl(text: str) -> ItemList:
-    """Parse JSON-lines text produced by :func:`dump_jsonl`."""
-    records = [json.loads(line) for line in text.splitlines() if line.strip()]
-    return ItemList.from_records(records)
 
 
 def dump_csv(items: ItemList) -> str:
@@ -51,11 +64,189 @@ def dump_csv(items: ItemList) -> str:
     return buf.getvalue()
 
 
-def load_csv(text: str) -> ItemList:
-    """Parse CSV text produced by :func:`dump_csv`.
+# ---------------------------------------------------------------------------
+# Hardened record parsing
+# ---------------------------------------------------------------------------
+
+
+class _BadRecord(ValidationError):
+    """A malformed trace record: what is wrong, and whether it is repairable.
+
+    Attributes:
+        reason: Machine-readable fault label for telemetry.
+        clampable: True when a ``clamp`` policy can repair the record.
+        clamped: The repaired field values (only when ``clampable``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str,
+        clampable: bool = False,
+        clamped: Mapping[str, float] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.clampable = clampable
+        self.clamped = dict(clamped or {})
+
+
+def _numeric(rec: Mapping[str, object], field: str, lineno: int, *, integer: bool = False):
+    """Field as a finite number, or :class:`_BadRecord` naming line + field."""
+    if field not in rec:
+        raise _BadRecord(
+            f"trace line {lineno}: missing field {field!r}", reason="missing_field"
+        )
+    raw = rec[field]
+    try:
+        value = int(raw) if integer else float(raw)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise _BadRecord(
+            f"trace line {lineno}: non-numeric {field} {raw!r}", reason="non_numeric"
+        ) from None
+    if not integer and not math.isfinite(value):
+        raise _BadRecord(
+            f"trace line {lineno}: non-finite {field} {raw!r}", reason="non_finite"
+        )
+    return value
+
+
+def _parse_record(rec: Mapping[str, object], lineno: int) -> Item:
+    """One validated :class:`Item` from a raw record.
 
     Raises:
-        ValidationError: on a missing or wrong header.
+        _BadRecord: naming the 1-based ``lineno`` and the offending field;
+            ``clampable`` faults carry the repaired values.
+    """
+    item_id = _numeric(rec, "id", lineno, integer=True)
+    size = _numeric(rec, "size", lineno)
+    arrival = _numeric(rec, "arrival", lineno)
+    departure = _numeric(rec, "departure", lineno)
+    if size <= 0.0:
+        raise _BadRecord(
+            f"trace line {lineno}: field 'size' out of range (0, 1]: {size}",
+            reason="size_range",
+        )
+    if size > 1.0:
+        raise _BadRecord(
+            f"trace line {lineno}: field 'size' out of range (0, 1]: {size}",
+            reason="size_range",
+            clampable=True,
+            clamped={"size": 1.0},
+        )
+    if departure <= arrival:
+        fixed = arrival + _CLAMP_EPS * max(1.0, abs(arrival))
+        raise _BadRecord(
+            f"trace line {lineno}: field 'departure' {departure} <= arrival {arrival}",
+            reason="inverted_interval",
+            clampable=True,
+            clamped={"departure": fixed},
+        )
+    tags = rec.get("tags", {})
+    return Item(
+        item_id,
+        size,
+        Interval(arrival, departure),
+        dict(tags) if isinstance(tags, Mapping) else {},
+    )
+
+
+def _collect(
+    raw_records: list[tuple[int, Mapping[str, object] | _BadRecord]],
+    policy: "FaultPolicy | None",
+) -> ItemList:
+    """Turn parsed (or already-failed) records into an :class:`ItemList`.
+
+    Strict (no policy) raises the first fault; ``skip`` drops faulty
+    records; ``clamp`` repairs the repairable and drops the rest.
+    Duplicate ids are a fault of the *later* record.
+    """
+    items: list[Item] = []
+    seen: set[int] = set()
+    for lineno, parsed in raw_records:
+        try:
+            if isinstance(parsed, _BadRecord):
+                raise parsed
+            try:
+                item = _parse_record(parsed, lineno)
+            except _BadRecord as bad:
+                if bad.clampable and policy is not None and policy.wants_clamp:
+                    policy.absorb(bad.reason, bad, action="clamp")
+                    item = _parse_record({**parsed, **bad.clamped}, lineno)
+                else:
+                    raise
+            if item.id in seen:
+                raise _BadRecord(
+                    f"trace line {lineno}: duplicate item id {item.id}",
+                    reason="duplicate_id",
+                )
+        except _BadRecord as bad:
+            if policy is None:
+                raise
+            policy.absorb(bad.reason, bad, action="drop")
+            continue
+        seen.add(item.id)
+        items.append(item)
+    return ItemList(items)
+
+
+def load_jsonl(text: str, *, policy: "FaultPolicy | None" = None) -> ItemList:
+    """Parse JSON-lines text produced by :func:`dump_jsonl`.
+
+    Args:
+        text: The trace text.
+        policy: Optional :class:`~repro.resilience.FaultPolicy`; without
+            one (or in ``strict`` mode) the first malformed record raises a
+            :class:`~repro.core.ValidationError` naming its 1-based line
+            number and offending field.
+
+    Raises:
+        ValidationError: on malformed records (strict), or when the
+            policy's error budget is exhausted.
+    """
+    raw: list[tuple[int, Mapping[str, object] | _BadRecord]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raw.append(
+                (
+                    lineno,
+                    _BadRecord(
+                        f"trace line {lineno}: invalid JSON: {exc.msg}",
+                        reason="invalid_json",
+                    ),
+                )
+            )
+            continue
+        if not isinstance(record, Mapping):
+            raw.append(
+                (
+                    lineno,
+                    _BadRecord(
+                        f"trace line {lineno}: expected a JSON object, "
+                        f"got {type(record).__name__}",
+                        reason="not_an_object",
+                    ),
+                )
+            )
+            continue
+        raw.append((lineno, record))
+    return _collect(raw, policy)
+
+
+def load_csv(text: str, *, policy: "FaultPolicy | None" = None) -> ItemList:
+    """Parse CSV text produced by :func:`dump_csv`.
+
+    Line numbers in error messages are 1-based over the whole file, header
+    included (so the first data row is line 2).
+
+    Raises:
+        ValidationError: on a missing or wrong header, or (strict) on
+            malformed rows with the line number and offending field named.
     """
     reader = csv.reader(io.StringIO(text))
     try:
@@ -64,15 +255,24 @@ def load_csv(text: str) -> ItemList:
         raise ValidationError("empty CSV trace") from None
     if tuple(h.strip() for h in header) != CSV_FIELDS:
         raise ValidationError(f"bad CSV header {header}; expected {list(CSV_FIELDS)}")
-    items: list[Item] = []
-    for row in reader:
+    raw: list[tuple[int, Mapping[str, object] | _BadRecord]] = []
+    for lineno, row in enumerate(reader, 2):
         if not row:
             continue
-        item_id, size, arrival, departure = row
-        items.append(
-            Item(int(item_id), float(size), Interval(float(arrival), float(departure)))
-        )
-    return ItemList(items)
+        if len(row) != len(CSV_FIELDS):
+            raw.append(
+                (
+                    lineno,
+                    _BadRecord(
+                        f"trace line {lineno}: expected {len(CSV_FIELDS)} fields "
+                        f"({', '.join(CSV_FIELDS)}), got {len(row)}",
+                        reason="field_count",
+                    ),
+                )
+            )
+            continue
+        raw.append((lineno, dict(zip(CSV_FIELDS, row))))
+    return _collect(raw, policy)
 
 
 def save_trace(items: ItemList, path: str | Path) -> None:
@@ -86,11 +286,17 @@ def save_trace(items: ItemList, path: str | Path) -> None:
         raise ValidationError(f"unknown trace extension {path.suffix!r} (use .jsonl/.csv)")
 
 
-def load_trace(path: str | Path) -> ItemList:
-    """Read a trace file written by :func:`save_trace`."""
+def load_trace(path: str | Path, *, policy: "FaultPolicy | None" = None) -> ItemList:
+    """Read a trace file written by :func:`save_trace`.
+
+    Args:
+        path: The trace file (.jsonl or .csv).
+        policy: Optional :class:`~repro.resilience.FaultPolicy` forwarded to
+            the format loader (see :func:`load_jsonl` / :func:`load_csv`).
+    """
     path = Path(path)
     if path.suffix == ".jsonl":
-        return load_jsonl(path.read_text())
+        return load_jsonl(path.read_text(), policy=policy)
     if path.suffix == ".csv":
-        return load_csv(path.read_text())
+        return load_csv(path.read_text(), policy=policy)
     raise ValidationError(f"unknown trace extension {path.suffix!r} (use .jsonl/.csv)")
