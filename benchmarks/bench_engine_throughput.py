@@ -33,6 +33,8 @@ SPECIAL_KWARGS: dict[str, dict[str, object]] = {
     "classify-departure": {"rho": 2.0},
     "classify-duration": {"alpha": 2.0},
     "classify-combined": {"alpha": 2.0},
+    "vector-classify-departure": {"rho": 2.0},
+    "vector-classify-duration": {"alpha": 2.0},
 }
 
 FULL_N = 50_000

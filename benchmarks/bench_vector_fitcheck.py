@@ -1,0 +1,190 @@
+"""VECTOR — numpy SoA fit-check core vs the Bin-object path (paper §6).
+
+Engineering bench for the first-class vector packers.  The SoA core
+(:class:`repro.core.SoAFitChecker`) replaces per-bin per-dimension
+step-function bisections with one vectorised mask over contiguous
+``levels[dim, bin]`` arrays; this bench is its gatekeeper:
+
+* **parity** — for every registered vector packer, batch ``pack`` with
+  ``soa=True`` and ``soa=False`` must produce bit-identical assignments and
+  usage on the same multi-resource trace;
+* **telemetry parity** — a streaming :class:`~repro.engine.PackingSession`
+  must populate identical ``engine.*`` counters (items, bins, departures,
+  peaks) whichever fit-check core the packer uses; and
+* **speedup** — on a 1M-item 3-resource trace the SoA path must be at least
+  5x faster than the object path (the acceptance floor; measured speedups
+  are ~9x).
+
+Run as a script (``python benchmarks/bench_vector_fitcheck.py [--quick]``)
+or through pytest (``pytest benchmarks/bench_vector_fitcheck.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.algorithms import get_packer
+from repro.analysis import render_table
+from repro.core import EventKind, ItemList, event_stream
+from repro.engine import PackingSession
+from repro.workloads import vector_uniform
+
+#: Constructor parameters for the vector packers under test.
+VECTOR_PACKERS: dict[str, dict[str, object]] = {
+    "vector-first-fit": {},
+    "vector-classify-duration": {"alpha": 2.0},
+    "vector-classify-departure": {"rho": 2.0},
+}
+
+DIMS = 3
+FULL_N = 1_000_000
+QUICK_N = 15_000
+PARITY_N = 8_000
+TELEMETRY_N = 4_000
+
+
+def make_trace(n: int) -> ItemList:
+    """A reproducible 3-resource trace with bounded concurrency.
+
+    ``arrival_span = n / 10`` keeps the number of simultaneously open bins
+    roughly constant as ``n`` grows, so per-item costs (and the measured
+    speedup) are scale-invariant.
+    """
+    return vector_uniform(n, dims=DIMS, seed=7, arrival_span=n / 10.0)
+
+
+def timed_pack(name: str, items: ItemList, *, soa: bool) -> tuple[dict[int, int], float, float]:
+    """Batch-pack ``items``; returns (assignment, usage, seconds)."""
+    packer = get_packer(name, soa=soa, **VECTOR_PACKERS[name])
+    t0 = time.perf_counter()
+    result = packer.pack(items)
+    seconds = time.perf_counter() - t0
+    return result.assignment, result.total_usage(), seconds
+
+
+def check_parity(n: int) -> list[dict[str, object]]:
+    """SoA vs object-path parity for every registered vector packer."""
+    items = make_trace(n)
+    rows: list[dict[str, object]] = []
+    for name in VECTOR_PACKERS:
+        obj_assignment, obj_usage, _ = timed_pack(name, items, soa=False)
+        soa_assignment, soa_usage, _ = timed_pack(name, items, soa=True)
+        assert soa_assignment == obj_assignment, (
+            f"{name}: SoA assignment diverges from the object path"
+        )
+        assert abs(soa_usage - obj_usage) < 1e-9, (
+            f"{name}: SoA usage {soa_usage} != object-path usage {obj_usage}"
+        )
+        rows.append(
+            {"packer": name, "items": n, "dims": DIMS, "usage": obj_usage, "parity": "ok"}
+        )
+    return rows
+
+
+def _session_counters(items: ItemList, *, soa: bool) -> tuple[dict[int, int], dict[str, object]]:
+    """Stream ``items`` through a session; returns (assignment, counters).
+
+    Timer fields are dropped — wall-clock necessarily differs between the
+    two cores; every *count* (items, bins opened/retired, departures,
+    advances, peaks) must not.
+    """
+    session = PackingSession("vector-first-fit", soa=soa)
+    for event in event_stream(items):
+        if event.kind is EventKind.ARRIVAL:
+            session.submit(event.item)
+        else:
+            session.advance(event.time)
+    counters = {
+        k: v for k, v in session.stats.as_dict().items() if not k.endswith("_seconds")
+    }
+    return session.result().assignment, counters
+
+
+def check_session_telemetry(n: int) -> dict[str, object]:
+    """The ``engine.*`` counters must be identical on both fit-check cores."""
+    items = make_trace(n)
+    obj_assignment, obj_counters = _session_counters(items, soa=False)
+    soa_assignment, soa_counters = _session_counters(items, soa=True)
+    assert soa_assignment == obj_assignment, (
+        "streaming session: SoA assignment diverges from the object path"
+    )
+    assert soa_counters == obj_counters, (
+        f"engine.* counters diverge between cores: {obj_counters} != {soa_counters}"
+    )
+    return {
+        "packer": "vector-first-fit (session)",
+        "items": n,
+        "dims": DIMS,
+        "usage": obj_counters["bins_opened"],
+        "parity": "counters ok",
+    }
+
+
+def run_experiment(n: int) -> dict[str, object]:
+    """Time both fit-check cores on one trace and check parity + speedup."""
+    items = make_trace(n)
+    obj_assignment, obj_usage, obj_seconds = timed_pack("vector-first-fit", items, soa=False)
+    soa_assignment, soa_usage, soa_seconds = timed_pack("vector-first-fit", items, soa=True)
+    assert soa_assignment == obj_assignment, "SoA assignment diverges from the object path"
+    assert abs(soa_usage - obj_usage) < 1e-9
+    speedup = obj_seconds / soa_seconds if soa_seconds > 0 else float("inf")
+    return {
+        "items": n,
+        "dims": DIMS,
+        "bins": max(obj_assignment.values()) + 1,
+        "object (s)": obj_seconds,
+        "soa (s)": soa_seconds,
+        "speedup": speedup,
+    }
+
+
+def test_vector_fitcheck(benchmark, report):
+    """Pytest entry: full parity matrix + quick-size speedup."""
+    parity_rows = check_parity(PARITY_N)
+    parity_rows.append(check_session_telemetry(TELEMETRY_N))
+    row = run_experiment(QUICK_N)
+    assert row["speedup"] >= 2.0  # small-n floor; the 1M script run shows >=5x
+    items = make_trace(6_000)
+    packer = get_packer("vector-first-fit", soa=True)
+    benchmark(packer.pack, items)
+    report(
+        render_table(
+            parity_rows,
+            title="[VECTOR] SoA vs object-path parity (assignments + telemetry)",
+            precision=4,
+        )
+    )
+    report(
+        render_table(
+            [row], title="[VECTOR] SoA fit-check speedup (quick size)", precision=4
+        )
+    )
+
+
+def main() -> int:
+    """Script entry: parity sweep plus the full (or --quick) speedup run."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"small run for CI smoke ({QUICK_N} items instead of {FULL_N})",
+    )
+    args = parser.parse_args()
+    parity_rows = check_parity(PARITY_N if args.quick else 4 * PARITY_N)
+    parity_rows.append(check_session_telemetry(TELEMETRY_N))
+    print(render_table(parity_rows, title="SoA vs object-path parity", precision=4))
+    if args.quick:
+        row, floor = run_experiment(QUICK_N), 2.0
+    else:
+        row, floor = run_experiment(FULL_N), 5.0
+    print(render_table([row], title="SoA fit-check speedup", precision=4))
+    if row["speedup"] < floor:  # type: ignore[operator]
+        print(f"FAIL: speedup {row['speedup']:.2f}x below the {floor}x floor")
+        return 1
+    print(f"OK: {row['speedup']:.1f}x >= {floor}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

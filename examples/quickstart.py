@@ -39,6 +39,8 @@ def main() -> None:
         "classify-departure": {"rho": 3.0},
         "classify-duration": {"alpha": 2.0},
         "classify-combined": {"alpha": 2.0},
+        "vector-classify-departure": {"rho": 3.0},
+        "vector-classify-duration": {"alpha": 2.0},
     }
     rows = []
     for name in available_packers():

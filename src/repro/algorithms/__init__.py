@@ -18,6 +18,15 @@ Non-clairvoyant baselines:
   :class:`LastFitPacker`, :class:`RandomFitPacker`,
   :class:`HybridFirstFitPacker` (Li et al. [17]).
 
+Vector (``d``-dimensional, paper §6) — dimension-generic, with the numpy SoA
+fit-check core behind the ``soa`` flag:
+
+* :class:`VectorFirstFit`, :class:`VectorClassifyByDuration`,
+  :class:`VectorClassifyByDeparture` — registered as ``vector-first-fit``,
+  ``vector-classify-duration``, ``vector-classify-departure`` with
+  any-dimensionality capability (``dims=None``); bit-identical to their
+  scalar counterparts at ``d=1``.
+
 Exact solvers: :func:`bin_packing_min_bins`, :func:`opt_total` (the repacking
 adversary: sweep line + memoization + warm starts, see
 :mod:`repro.algorithms.adversary`), :class:`AdversaryOracle` /
@@ -68,6 +77,15 @@ from .adversary import (
     opt_total,
     opt_total_incremental,
 )
+from .vector import (
+    VectorBin,
+    VectorClassifiedFirstFit,
+    VectorClassifyByDeparture,
+    VectorClassifyByDuration,
+    VectorFirstFit,
+    VectorItem,
+    VectorPacking,
+)
 
 __all__ = [
     "AnyFitPacker",
@@ -109,4 +127,11 @@ __all__ = [
     "MemoCache",
     "default_memo",
     "opt_total_incremental",
+    "VectorBin",
+    "VectorClassifiedFirstFit",
+    "VectorClassifyByDeparture",
+    "VectorClassifyByDuration",
+    "VectorFirstFit",
+    "VectorItem",
+    "VectorPacking",
 ]

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from ..core.bins import Bin
+from ..core.exceptions import RegistryError, UnknownPackerError
 from ..core.items import Item, ItemList
 from ..core.packing import PackingResult
 
@@ -103,6 +104,11 @@ class OnlinePacker(Packer):
     bin after each placement.
     """
 
+    #: Dimensionality of the bins this packer opens.  Scalar packers keep the
+    #: default 1; vector packers set it per instance (possibly inferring it
+    #: from the first item, in which case it may be ``None`` until then).
+    dims: int | None = 1
+
     def __init__(self) -> None:
         self._bins: list[Bin] = []
         self._open: set[int] = set()
@@ -151,7 +157,7 @@ class OnlinePacker(Packer):
 
     def open_bin(self) -> Bin:
         """Open a fresh bin with the next index and return it."""
-        b = Bin(len(self._bins))
+        b = Bin(len(self._bins), dims=self.dims or 1)
         self._bins.append(b)
         self._close_times.append(_NEG_INF)
         return b
@@ -275,12 +281,16 @@ class PackerInfo:
         accepts_extra: True when the factory takes ``**kwargs`` (no keyword
             validation is possible).
         summary: First line of the factory's docstring.
+        dims: Item dimensionalities the packer supports — a tuple of allowed
+            values, or ``None`` for *any* dimensionality (the vector
+            packers).  Scalar packers declare the default ``(1,)``.
     """
 
     name: str
     params: tuple[ParamInfo, ...]
     accepts_extra: bool
     summary: str
+    dims: tuple[int, ...] | None = (1,)
 
     def param_names(self) -> tuple[str, ...]:
         """Accepted keyword names, in declaration order."""
@@ -290,17 +300,31 @@ class PackerInfo:
         """Names of the parameters without defaults."""
         return tuple(p.name for p in self.params if p.required)
 
+    def supports_dims(self, dims: int) -> bool:
+        """True iff the packer can place ``dims``-dimensional items."""
+        return self.dims is None or dims in self.dims
+
+    def describe_dims(self) -> str:
+        """Render the supported dimensionalities for listings/messages."""
+        if self.dims is None:
+            return "any"
+        return ", ".join(str(d) for d in self.dims)
+
 
 _REGISTRY: dict[str, Callable[..., Packer]] = {}
 _INFO: dict[str, PackerInfo] = {}
 
 
-def _inspect_factory(name: str, factory: Callable[..., Packer]) -> PackerInfo:
+def _inspect_factory(
+    name: str,
+    factory: Callable[..., Packer],
+    dims: tuple[int, ...] | None = (1,),
+) -> PackerInfo:
     """Build :class:`PackerInfo` from a factory's signature and docstring."""
     try:
         signature = inspect.signature(factory)
     except (TypeError, ValueError):  # pragma: no cover - builtins only
-        return PackerInfo(name=name, params=(), accepts_extra=True, summary="")
+        return PackerInfo(name=name, params=(), accepts_extra=True, summary="", dims=dims)
     params: list[ParamInfo] = []
     accepts_extra = False
     for p in signature.parameters.values():
@@ -322,21 +346,39 @@ def _inspect_factory(name: str, factory: Callable[..., Packer]) -> PackerInfo:
     doc = inspect.getdoc(factory) or ""
     summary = doc.splitlines()[0].strip() if doc else ""
     return PackerInfo(
-        name=name, params=tuple(params), accepts_extra=accepts_extra, summary=summary
+        name=name,
+        params=tuple(params),
+        accepts_extra=accepts_extra,
+        summary=summary,
+        dims=dims,
     )
 
 
-def register_packer(name: str) -> Callable[[Callable[..., Packer]], Callable[..., Packer]]:
-    """Class decorator registering a packer factory under ``name``."""
+def register_packer(
+    name: str, *, dims: tuple[int, ...] | None = (1,)
+) -> Callable[[Callable[..., Packer]], Callable[..., Packer]]:
+    """Class decorator registering a packer factory under ``name``.
+
+    Args:
+        name: Stable registry name.
+        dims: Item dimensionalities the packer supports; ``None`` means any
+            (see :attr:`PackerInfo.dims`).
+    """
 
     def deco(factory: Callable[..., Packer]) -> Callable[..., Packer]:
         if name in _REGISTRY:
-            raise ValueError(f"packer name already registered: {name}")
+            raise RegistryError(f"packer name already registered: {name}")
         _REGISTRY[name] = factory
-        _INFO[name] = _inspect_factory(name, factory)
+        _INFO[name] = _inspect_factory(name, factory, dims)
         return factory
 
     return deco
+
+
+def _unknown_name_error(name: str) -> UnknownPackerError:
+    return UnknownPackerError(
+        f"packer {name!r}: unknown packer; available: {', '.join(sorted(_REGISTRY))}"
+    )
 
 
 def get_packer(name: str, **kwargs: object) -> Packer:
@@ -346,31 +388,58 @@ def get_packer(name: str, **kwargs: object) -> Packer:
     (its ``__init__`` signature) *before* instantiation, so a typo'd or
     unsupported parameter fails loudly instead of being silently accepted.
 
+    A ``dims`` keyword is additionally checked against the packer's declared
+    dimensionality capability (:attr:`PackerInfo.dims`): passing the
+    dimensionality of the instance to be packed rejects incompatible packers
+    up front (e.g. a scalar-only packer for a 3-resource trace).  When the
+    factory itself declares a ``dims`` parameter (the vector packers), the
+    value is forwarded; otherwise it is consumed by the validation alone.
+
+    Every failure path raises the same uniform
+    :class:`~repro.core.RegistryError` shape (a
+    :class:`~repro.core.ValidationError`, hence also a ``ValueError``) with a
+    ``packer '<name>':`` message prefix; unknown names raise
+    :class:`~repro.core.UnknownPackerError`, which also subclasses
+    ``KeyError`` for mapping-style callers.
+
     Raises:
-        KeyError: for unknown names; the message lists what is available.
-        ValueError: for unknown keyword arguments or missing required ones;
-            the message lists the packer's accepted parameters.
+        UnknownPackerError: for unknown names; the message lists what is
+            available.
+        RegistryError: for unknown keyword arguments, missing required ones,
+            or an unsupported ``dims``; the message lists the packer's
+            accepted parameters / supported dimensionalities.
     """
     try:
         factory = _REGISTRY[name]
     except KeyError:
-        raise KeyError(
-            f"unknown packer {name!r}; available: {', '.join(sorted(_REGISTRY))}"
-        ) from None
+        raise _unknown_name_error(name) from None
     info = _INFO[name]
+    dims = kwargs.get("dims")
+    if dims is not None:
+        if isinstance(dims, bool) or not isinstance(dims, int) or dims < 1:
+            raise RegistryError(
+                f"packer {name!r}: dims must be a positive integer, got {dims!r}"
+            )
+        if not info.supports_dims(dims):
+            raise RegistryError(
+                f"packer {name!r}: does not support {dims}-dimensional items; "
+                f"supported dims: {info.describe_dims()}"
+            )
+        if "dims" not in info.param_names() and not info.accepts_extra:
+            kwargs = {k: v for k, v in kwargs.items() if k != "dims"}
     if not info.accepts_extra:
         accepted = info.param_names()
         unknown = sorted(set(kwargs) - set(accepted))
         if unknown:
             listing = ", ".join(p.describe() for p in info.params) or "none"
-            raise ValueError(
-                f"unknown parameter(s) {', '.join(unknown)} for packer {name!r}; "
+            raise RegistryError(
+                f"packer {name!r}: unknown parameter(s) {', '.join(unknown)}; "
                 f"accepted: {listing}"
             )
         missing = sorted(set(info.required_params()) - set(kwargs))
         if missing:
-            raise ValueError(
-                f"packer {name!r} requires parameter(s): {', '.join(missing)}"
+            raise RegistryError(
+                f"packer {name!r}: requires parameter(s): {', '.join(missing)}"
             )
     return factory(**kwargs)
 
@@ -379,12 +448,11 @@ def packer_info(name: str) -> PackerInfo:
     """The declared parameter metadata of one registered packer.
 
     Raises:
-        KeyError: for unknown names; the message lists what is available.
+        UnknownPackerError: for unknown names; the message lists what is
+            available.
     """
     if name not in _INFO:
-        raise KeyError(
-            f"unknown packer {name!r}; available: {', '.join(sorted(_REGISTRY))}"
-        )
+        raise _unknown_name_error(name)
     return _INFO[name]
 
 

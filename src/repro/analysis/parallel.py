@@ -54,6 +54,7 @@ from ..workloads import (
     gaming_sessions,
     poisson_exponential,
     uniform_random,
+    vector_uniform,
 )
 from .ratios import measured_ratio
 
@@ -67,6 +68,7 @@ WORKLOAD_GENERATORS = {
     "bursty": bursty,
     "gaming": gaming_sessions,
     "cluster": cluster_tasks,
+    "vector": vector_uniform,
 }
 
 
@@ -111,7 +113,8 @@ class SweepOutcome:
             :class:`~repro.resilience.CheckpointJournal` instead of run.
         degraded_reason: Set when the adversary degraded to certified
             bounds (``"deadline"``, ``"node_budget"``,
-            ``"instance_too_large"``); ``None`` when exact.
+            ``"instance_too_large"``, ``"vector_dims"``); ``None`` when
+            exact.
     """
 
     task: SweepTask

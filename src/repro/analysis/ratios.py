@@ -37,8 +37,10 @@ class RatioMeasurement:
         denominator: ``OPT_total`` (exact) or the best lower bound.
         exact: True when the denominator is the solved ``OPT_total``.
         degraded_reason: ``None`` when exact; otherwise why the adversary
-            degraded to certified bounds (``"deadline"``, ``"node_budget"``
-            or ``"instance_too_large"``).
+            degraded to certified bounds (``"deadline"``, ``"node_budget"``,
+            ``"instance_too_large"`` or ``"vector_dims"`` — multi-resource
+            instances always use the per-dimension Proposition 1–3 bounds,
+            the exact adversary being scalar-only).
         ratio: ``usage / denominator``.
     """
 

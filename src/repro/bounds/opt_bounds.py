@@ -11,15 +11,22 @@ Given an item list ``R``:
 
 These are cheap (no search), so they scale to instances where the exact
 :func:`repro.algorithms.opt_total` solver does not.
+
+All three bounds are dimension-generic: for a vector instance (paper §6)
+each resource dimension independently yields a valid lower bound, so the
+vector bound is the maximum over dimensions — ``max_d Σ_r s_d(r)·l(I(r))``
+for Proposition 1 and ``max_d ∫ ⌈S_d(t)⌉ dt`` for Proposition 3.  The
+:func:`vector_demand_lower_bound` / :func:`vector_ceil_lower_bound` helpers
+expose those per-dimension forms directly on plain item sequences.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from ..core.exceptions import DeadlineExceeded, SolverLimitError
-from ..core.items import ItemList
+from ..core.items import Item, ItemList
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..algorithms.adversary import MemoCache
@@ -31,6 +38,8 @@ __all__ = [
     "span_lower_bound",
     "ceil_size_lower_bound",
     "best_lower_bound",
+    "vector_demand_lower_bound",
+    "vector_ceil_lower_bound",
     "adversary_denominator",
     "resolve_denominator",
     "DenominatorInfo",
@@ -39,7 +48,11 @@ __all__ = [
 
 
 def demand_lower_bound(items: ItemList) -> float:
-    """Proposition 1: total time-space demand ``d(R)``."""
+    """Proposition 1: total time-space demand ``d(R)``.
+
+    For vector instances this is the max per-dimension demand (each
+    dimension alone constrains capacity).
+    """
     return items.total_demand()
 
 
@@ -49,8 +62,42 @@ def span_lower_bound(items: ItemList) -> float:
 
 
 def ceil_size_lower_bound(items: ItemList) -> float:
-    """Proposition 3: ``∫ ⌈S(t)⌉ dt`` over the span of ``R``."""
-    return items.size_profile().integral_ceil()
+    """Proposition 3: ``∫ ⌈S(t)⌉ dt`` over the span of ``R``.
+
+    For vector instances, the max over dimensions ``max_d ∫ ⌈S_d(t)⌉ dt``:
+    dimension ``d`` alone forces ``⌈S_d(t)⌉`` open bins at time ``t``.
+    """
+    return max(
+        items.size_profile(dim).integral_ceil() for dim in range(items.dims)
+    )
+
+
+def vector_demand_lower_bound(items: "ItemList | Iterable[Item]") -> float:
+    """Vector analogue of Propositions 1–2 on a plain item sequence.
+
+    ``OPT ≥ max(max_d Σ_r s_d(r)·l(I(r)), span(R))`` — the per-dimension
+    demand maximum combined with the span bound.  Accepts any iterable of
+    (vector) items; kept as the historical ``repro.extensions.multidim``
+    entry point, now expressed through the dimension-generic core bounds.
+    """
+    if not isinstance(items, ItemList):
+        items = ItemList(items)
+    if not items:
+        return 0.0
+    return max(demand_lower_bound(items), span_lower_bound(items))
+
+
+def vector_ceil_lower_bound(items: "ItemList | Iterable[Item]") -> float:
+    """Vector analogue of Proposition 3: ``max_d ∫ ⌈S_d(t)⌉ dt``.
+
+    Dominates :func:`vector_demand_lower_bound` (pointwise ``⌈x⌉ ≥ x`` and
+    ``≥ 1`` on the support).  Accepts any iterable of (vector) items.
+    """
+    if not isinstance(items, ItemList):
+        items = ItemList(items)
+    if not items:
+        return 0.0
+    return ceil_size_lower_bound(items)
 
 
 def best_lower_bound(items: ItemList) -> float:
@@ -77,9 +124,11 @@ class DenominatorInfo:
         exact: True iff ``value`` is the solved ``OPT_total``.
         degraded_reason: ``None`` when exact; otherwise why the solver
             degraded to bounds: ``"deadline"`` (wall-clock budget expired),
-            ``"node_budget"`` (branch-and-bound node budget exhausted) or
+            ``"node_budget"`` (branch-and-bound node budget exhausted),
             ``"instance_too_large"`` (above the exact-adversary size
-            ceiling).
+            ceiling) or ``"vector_dims"`` (the exact adversary is
+            scalar-only; vector instances always use the per-dimension
+            Proposition 1–3 bounds).
     """
 
     value: float
@@ -114,6 +163,14 @@ def resolve_denominator(
     from ..algorithms.adversary import opt_total
 
     reason: str
+    if items.dims > 1:
+        # The exact repacking adversary is scalar-only; vector instances
+        # degrade straight to the per-dimension Proposition 1-3 bounds.
+        if stats is not None:
+            stats.registry.counter(
+                "resilience.solver.degraded", reason="vector_dims"
+            ).inc()
+        return DenominatorInfo(best_lower_bound(items), False, "vector_dims")
     if len(items) <= exact_opt_max_items:
         try:
             value = opt_total(

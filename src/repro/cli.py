@@ -2,7 +2,10 @@
 
 Commands:
 
-* ``generate`` — synthesise a workload and write it to a trace file;
+* ``list-algorithms`` — every registered packer with its dimensionality
+  capability and declared parameters;
+* ``generate`` — synthesise a workload and write it to a trace file
+  (``--kind vector --dims D`` for multi-resource traces);
 * ``pack`` — pack a trace with one algorithm, report metrics, optionally
   draw the Gantt chart;
 * ``compare`` — run several algorithms on one trace side by side;
@@ -20,7 +23,10 @@ doubles as executable documentation of the library.  Algorithm names and
 parameters (``--algorithm``, ``--rho``, ``--alpha``, ``--num-classes``) all
 flow through the validated :func:`~repro.algorithms.get_packer` path: an
 unknown algorithm or a bad parameter exits with status 2 and a message
-listing what is accepted.
+listing what is accepted.  Trace-consuming commands forward the loaded
+trace's dimensionality through the same validation, so pointing a
+scalar-only algorithm at a multi-resource trace fails up front with the
+packer's supported dims listed.
 
 Observability: ``pack``, ``compare``, ``bounds``, ``report``, ``replay``,
 ``serve`` and ``sweep`` accept ``--json`` (machine-readable report on
@@ -73,6 +79,7 @@ from .workloads import (
     recurring_jobs,
     save_trace,
     uniform_random,
+    vector_uniform,
 )
 
 __all__ = ["main", "build_parser"]
@@ -99,14 +106,60 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     elif kind == "analytics":
         templates = random_templates(max(args.n // 20, 1), seed=args.seed)
         items = recurring_jobs(templates, horizon=float(args.n), seed=args.seed)
+    elif kind == "vector":
+        items = vector_uniform(
+            args.n, dims=args.dims, seed=args.seed, correlation=args.correlation
+        )
     else:  # pragma: no cover - argparse choices guard this
         raise ReproError(f"unknown workload kind {kind}")
     save_trace(items, args.out)
+    dims_note = f", dims={items.dims}" if items.dims > 1 else ""
     print(
         f"wrote {len(items)} items to {args.out} "
-        f"(span={items.span():.2f}, mu={items.mu():.2f})"
+        f"(span={items.span():.2f}, mu={items.mu():.2f}{dims_note})"
     )
     return 0
+
+
+# ---------------------------------------------------------------------------
+# list-algorithms
+# ---------------------------------------------------------------------------
+
+
+def _cmd_list_algorithms(args: argparse.Namespace) -> int:
+    registry = TelemetryRegistry()
+    infos = available_packers()
+    rows = [
+        {
+            "algorithm": name,
+            "dims": info.describe_dims(),
+            "params": ", ".join(p.describe() for p in info.params) or "-",
+            "summary": info.summary,
+        }
+        for name, info in infos.items()
+    ]
+    payload = {
+        "command": "list-algorithms",
+        "algorithms": [
+            {
+                "name": name,
+                "dims": list(info.dims) if info.dims is not None else None,
+                "params": [
+                    {
+                        "name": p.name,
+                        "required": p.required,
+                        "default": p.default,
+                    }
+                    for p in info.params
+                ],
+                "summary": info.summary,
+            }
+            for name, info in infos.items()
+        ],
+    }
+    return _finish(
+        args, registry, payload, render_table(rows, title="registered algorithms")
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -165,13 +218,21 @@ def _packer_params(name: str, args: argparse.Namespace) -> dict[str, object]:
     return {k: v for k, v in candidates.items() if k in accepted}
 
 
-def _make_packer(name: str, args: argparse.Namespace):
+def _make_packer(name: str, args: argparse.Namespace, *, dims: int | None = None):
     """Build a packer from CLI flags through the validated registry path.
+
+    ``dims`` (the loaded trace's dimensionality) is forwarded to
+    :func:`~repro.algorithms.get_packer`, which rejects packers that cannot
+    place items of that dimensionality — so e.g. ``pack --algorithm
+    first-fit`` on a 3-resource trace fails up front, with the packer's
+    supported dims listed, instead of mid-pack.
 
     Invalid parameter values surface as :class:`~repro.core.ReproError`
     (exit status 2), same as unknown names in :func:`_packer_params`.
     """
     kwargs = _packer_params(name, args)
+    if dims is not None:
+        kwargs["dims"] = dims
     try:
         return get_packer(name, **kwargs)
     except (KeyError, ValueError) as exc:
@@ -182,10 +243,22 @@ def _load(args: argparse.Namespace, policy: "FaultPolicy | None" = None) -> Item
     return load_trace(args.trace, policy=policy)
 
 
+def _require_scalar_for_exact_opt(items: ItemList) -> None:
+    """``--exact-opt`` solves the repacking adversary, which is scalar-only."""
+    if items.dims > 1:
+        raise ReproError(
+            f"--exact-opt is scalar-only (trace is {items.dims}-dimensional); "
+            "the exact repacking adversary does not support vector instances — "
+            "use the `bounds` command's Proposition 1-3 lower bounds instead"
+        )
+
+
 def _cmd_pack(args: argparse.Namespace) -> int:
     registry = TelemetryRegistry()
     items = _load(args)
-    packer = _make_packer(args.algorithm, args)
+    packer = _make_packer(args.algorithm, args, dims=items.dims)
+    if args.exact_opt:
+        _require_scalar_for_exact_opt(items)
     with registry.span("cli.pack"):
         if args.noise_sigma > 0:
             from .analysis import noisy_estimator
@@ -225,12 +298,22 @@ def _cmd_pack(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     registry = TelemetryRegistry()
     items = _load(args)
-    names = args.algorithms.split(",") if args.algorithms else available_packers()
+    if args.algorithms:
+        names = args.algorithms.split(",")
+    else:
+        # Default to every packer that can place this trace's dimensionality.
+        names = [
+            name
+            for name, info in available_packers().items()
+            if info.supports_dims(items.dims)
+        ]
+    if args.exact_opt:
+        _require_scalar_for_exact_opt(items)
     opt = opt_total(items) if args.exact_opt else None
     rows = []
     with registry.span("cli.compare"):
         for name in names:
-            packer = _make_packer(name.strip(), args)
+            packer = _make_packer(name.strip(), args, dims=items.dims)
             metrics = evaluate(packer.pack(items), opt=opt, registry=registry)
             rows.append(metrics.as_dict())
     rows.sort(key=lambda r: r["total_usage"])  # type: ignore[arg-type,return-value]
@@ -246,6 +329,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_bounds(args: argparse.Namespace) -> int:
     registry = TelemetryRegistry()
     items = _load(args)
+    if args.exact_opt:
+        _require_scalar_for_exact_opt(items)
     with registry.span("cli.bounds"):
         bounds = OptBounds.of(items)
         rows = [
@@ -300,12 +385,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
     registry = TelemetryRegistry()
     items = _load(args)
-    packer = _make_packer(args.algorithm, args)
+    packer = _make_packer(args.algorithm, args, dims=items.dims)
     if not isinstance(packer, OnlinePacker):
         print("error: replay requires an online algorithm", file=sys.stderr)
         return 2
     if args.versus:
-        other = _make_packer(args.versus, args)
+        other = _make_packer(args.versus, args, dims=items.dims)
         if not isinstance(other, OnlinePacker):
             print("error: --versus requires an online algorithm", file=sys.stderr)
             return 2
@@ -380,7 +465,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             registry=registry,
         )
     items = _load(args, policy)
-    packer = _make_packer(args.algorithm, args)
+    packer = _make_packer(args.algorithm, args, dims=items.dims)
     if not isinstance(packer, OnlinePacker):
         print("error: serve requires an online algorithm", file=sys.stderr)
         return 2
@@ -461,10 +546,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.seeds < 1:
         raise ReproError("--seeds must be >= 1")
     packer_kwargs = _packer_params(args.algorithm, args)
-    _make_packer(args.algorithm, args)  # validate parameter values up front
     workload_kwargs: dict[str, object] = {"n": args.n}
     if args.workload == "bounded-mu":
         workload_kwargs["mu"] = args.mu
+    sweep_dims = 1
+    if args.workload == "vector":
+        sweep_dims = args.dims
+        workload_kwargs["dims"] = args.dims
+    # Validate parameter values and dimensionality capability up front.
+    _make_packer(args.algorithm, args, dims=sweep_dims)
     tasks = [
         SweepTask(
             packer=args.algorithm,
@@ -593,15 +683,39 @@ def build_parser() -> argparse.ArgumentParser:
             help="write the run's span tree to FILE as a collapsed-stack flamegraph",
         )
 
+    lst = sub.add_parser(
+        "list-algorithms",
+        help="list registered packers with dims capability and parameters",
+    )
+    add_output_opts(lst)
+    lst.set_defaults(func=_cmd_list_algorithms)
+
     gen = sub.add_parser("generate", help="synthesise a workload trace")
     gen.add_argument(
         "--kind",
-        choices=["uniform", "poisson", "bounded-mu", "bursty", "gaming", "analytics"],
+        choices=[
+            "uniform",
+            "poisson",
+            "bounded-mu",
+            "bursty",
+            "gaming",
+            "analytics",
+            "vector",
+        ],
         default="uniform",
     )
     gen.add_argument("--n", type=int, default=100, help="number of items")
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--mu", type=float, default=10.0, help="duration ratio (bounded-mu)")
+    gen.add_argument(
+        "--dims", type=int, default=3, help="resource dimensions (vector kind)"
+    )
+    gen.add_argument(
+        "--correlation",
+        type=float,
+        default=0.0,
+        help="cross-dimension size correlation in [0, 1] (vector kind)",
+    )
     gen.add_argument("--out", required=True, help="output trace (.jsonl or .csv)")
     gen.set_defaults(func=_cmd_generate)
 
@@ -716,10 +830,14 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument(
         "--workload",
         default="uniform",
-        help="generator name (uniform, poisson, bounded-mu, bursty, gaming, cluster)",
+        help="generator name (uniform, poisson, bounded-mu, bursty, gaming, "
+        "cluster, vector)",
     )
     swp.add_argument("--n", type=int, default=40, help="items per workload")
     swp.add_argument("--mu", type=float, default=10.0, help="duration ratio (bounded-mu)")
+    swp.add_argument(
+        "--dims", type=int, default=3, help="resource dimensions (vector workload)"
+    )
     swp.add_argument("--seeds", type=int, default=5, help="number of seeds (cells)")
     swp.add_argument(
         "--workers", type=int, default=0, help="parallel workers (0: executor default)"

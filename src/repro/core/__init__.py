@@ -6,13 +6,16 @@ from .exceptions import (
     CapacityError,
     DeadlineExceeded,
     InfeasibleError,
+    RegistryError,
     ReproError,
     SolverLimitError,
+    UnknownPackerError,
     ValidationError,
 )
 from .intervals import Interval, intersect_many, merge_intervals, span, total_length
 from .items import Item, ItemList
 from .packing import PackingResult, PackingStats
+from .soa import IntVector, SoAFitChecker
 from .stepfun import DEFAULT_TOL, StepFunction, iceil
 
 __all__ = [
@@ -27,8 +30,10 @@ __all__ = [
     "CapacityError",
     "DeadlineExceeded",
     "InfeasibleError",
+    "RegistryError",
     "ReproError",
     "SolverLimitError",
+    "UnknownPackerError",
     "ValidationError",
     "Interval",
     "intersect_many",
@@ -39,6 +44,8 @@ __all__ = [
     "ItemList",
     "PackingResult",
     "PackingStats",
+    "IntVector",
+    "SoAFitChecker",
     "DEFAULT_TOL",
     "StepFunction",
     "iceil",

@@ -2,14 +2,18 @@
 
 A :class:`Bin` accumulates committed items.  Its *level* at time ``t`` is the
 total size of items active at ``t`` (paper §3.1); the level may never exceed
-the capacity.  The clairvoyant fit check asks whether an item fits **for its
-whole active interval**, which matters for offline packers (e.g. Duration
-Descending First Fit) that insert items out of arrival order: the bin may
-already hold commitments that lie in the new item's future.
+the capacity.  A bin is created with a fixed dimensionality ``dims`` and keeps
+one level profile per resource dimension — the scalar paper setting is the
+``dims=1`` degenerate case, and every fit check requires *all* dimensions to
+fit simultaneously (§6's vector extension).  The clairvoyant fit check asks
+whether an item fits **for its whole active interval**, which matters for
+offline packers (e.g. Duration Descending First Fit) that insert items out of
+arrival order: the bin may already hold commitments that lie in the new
+item's future.
 
 Performance note (streaming engine): every mutation (:meth:`Bin.place`,
 :meth:`Bin.amend_last`, :meth:`Bin.pop_last`) incrementally maintains a set
-of caches — the occupancy step-function, the merged usage intervals with
+of caches — the occupancy step-functions, the merged usage intervals with
 their total length, and the open/close/frontier times — so the hot queries
 (:meth:`Bin.close_time`, :meth:`Bin.usage_time`, :meth:`Bin.is_open_at` at
 the arrival frontier) are O(1) instead of rescanning the item list.  The
@@ -38,18 +42,22 @@ class Bin:
 
     Args:
         index: The bin's index in its packing (opening order).
-        capacity: Bin capacity; the library's algorithms assume 1.0 (WLOG per
-            paper §3.2) but the data structure supports any positive value.
+        capacity: Bin capacity (shared by every dimension); the library's
+            algorithms assume 1.0 (WLOG per paper §3.2) but the data
+            structure supports any positive value.
         tol: Absolute tolerance used in capacity comparisons, absorbing float
             summation noise (e.g. ten items of size 0.1).
+        dims: Number of resource dimensions; items committed to this bin
+            must have exactly this dimensionality.
     """
 
     __slots__ = (
         "index",
         "capacity",
         "tol",
+        "dims",
         "_items",
-        "_profile",
+        "_profiles",
         "_min_arrival",
         "_max_arrival",
         "_max_departure",
@@ -57,20 +65,39 @@ class Bin:
         "_usage_time",
     )
 
-    def __init__(self, index: int, capacity: float = 1.0, tol: float = DEFAULT_TOL) -> None:
+    def __init__(
+        self,
+        index: int,
+        capacity: float = 1.0,
+        tol: float = DEFAULT_TOL,
+        *,
+        dims: int = 1,
+    ) -> None:
         if capacity <= 0:
             raise ValidationError(f"bin capacity must be positive, got {capacity}")
+        if dims < 1:
+            raise ValidationError(f"bin dims must be >= 1, got {dims}")
         self.index = index
         self.capacity = capacity
         self.tol = tol
+        self.dims = dims
         self._items: list[Item] = []
-        self._profile = StepFunction()
+        self._profiles = [StepFunction() for _ in range(dims)]
         # Incremental caches (kept exact by every mutation path below).
         self._min_arrival = _POS_INF
         self._max_arrival = _NEG_INF
         self._max_departure = _NEG_INF
         self._usage: list[Interval] = []
         self._usage_time = 0.0
+
+    def _require_dims(self, item: Item) -> tuple[float, ...]:
+        sizes = item.sizes
+        if len(sizes) != self.dims:
+            raise ValidationError(
+                f"item {item.id} has {len(sizes)} dimension(s); "
+                f"bin {self.index} is {self.dims}-dimensional"
+            )
+        return sizes
 
     # -- contents ---------------------------------------------------------------
 
@@ -91,33 +118,45 @@ class Bin:
 
     # -- levels -------------------------------------------------------------------
 
-    def level_at(self, t: float) -> float:
-        """Total size of committed items active at time ``t``."""
-        return self._profile.value_at(t)
+    def level_at(self, t: float, dim: int = 0) -> float:
+        """Committed level at time ``t`` in dimension ``dim``."""
+        return self._profiles[dim].value_at(t)
 
-    def max_level_over(self, interval: Interval) -> float:
-        """Maximum committed level over ``interval``."""
-        return self._profile.max_over(interval)
+    def levels_at(self, t: float) -> tuple[float, ...]:
+        """Committed level at time ``t`` in every dimension."""
+        return tuple(p.value_at(t) for p in self._profiles)
 
-    def level_profile(self) -> StepFunction:
-        """A copy of the full level profile."""
-        return self._profile.copy()
+    def max_level_over(self, interval: Interval, dim: int = 0) -> float:
+        """Maximum committed level over ``interval`` in dimension ``dim``."""
+        return self._profiles[dim].max_over(interval)
 
-    def residual_at(self, t: float) -> float:
-        """Free capacity at time ``t``."""
-        return self.capacity - self.level_at(t)
+    def level_profile(self, dim: int = 0) -> StepFunction:
+        """A copy of the full level profile for dimension ``dim``."""
+        return self._profiles[dim].copy()
+
+    def residual_at(self, t: float, dim: int = 0) -> float:
+        """Free capacity at time ``t`` in dimension ``dim``."""
+        return self.capacity - self.level_at(t, dim)
 
     # -- fit checks ------------------------------------------------------------------
 
     def fits(self, item: Item) -> bool:
         """Clairvoyant fit check: does ``item`` fit *throughout its interval*?
 
-        True iff for every ``t ∈ I(item)``, ``level(t) + s(item) <= capacity``
-        (within tolerance).  This is the check every packer in the paper uses.
+        True iff for every ``t ∈ I(item)`` and every dimension ``d``,
+        ``level_d(t) + s_d(item) <= capacity`` (within tolerance).  This is
+        the check every packer in the paper uses.
+
+        Raises:
+            ValidationError: if the item's dimensionality differs from the
+                bin's.
         """
-        return (
-            self.max_level_over(item.interval) + item.size <= self.capacity + self.tol
-        )
+        sizes = self._require_dims(item)
+        limit = self.capacity + self.tol
+        for profile, s in zip(self._profiles, sizes):
+            if profile.max_over(item.interval) + s > limit:
+                return False
+        return True
 
     def fits_at_arrival(self, item: Item) -> bool:
         """Arrival-instant fit check: ``level(arrival) + s(item) <= capacity``.
@@ -127,7 +166,13 @@ class Bin:
         no future arrival has been committed yet.  Offline packers must use
         :meth:`fits`.  Both are exposed so tests can cross-validate them.
         """
-        return self.level_at(item.arrival) + item.size <= self.capacity + self.tol
+        sizes = self._require_dims(item)
+        limit = self.capacity + self.tol
+        t = item.arrival
+        for profile, s in zip(self._profiles, sizes):
+            if profile.value_at(t) + s > limit:
+                return False
+        return True
 
     # -- mutation ------------------------------------------------------------------------
 
@@ -140,15 +185,19 @@ class Bin:
 
         Raises:
             CapacityError: if ``check`` and the item does not fit at some time.
+            ValidationError: on a dimensionality mismatch.
         """
+        sizes = self._require_dims(item)
         if check and not self.fits(item):
+            shown = item.sizes[0] if self.dims == 1 else list(item.sizes)
             raise CapacityError(
-                f"item {item.id} (size {item.size}) overflows bin {self.index} "
+                f"item {item.id} (size {shown}) overflows bin {self.index} "
                 f"during {item.interval}",
                 time=self._first_overflow_time(item),
             )
         self._items.append(item)
-        self._profile.add(item.interval, item.size)
+        for profile, s in zip(self._profiles, sizes):
+            profile.add(item.interval, s)
         self._absorb(item)
 
     def amend_last(self, actual: Item) -> None:
@@ -168,10 +217,12 @@ class Bin:
                 f"bin {self.index} did not receive item {actual.id} last; "
                 f"cannot amend (packer broke the placement contract)"
             )
+        sizes = self._require_dims(actual)
         committed = self._items[-1]
         self._items[-1] = actual
-        self._profile.remove(committed.interval, committed.size)
-        self._profile.add(actual.interval, actual.size)
+        for profile, old_s, new_s in zip(self._profiles, committed.sizes, sizes):
+            profile.remove(committed.interval, old_s)
+            profile.add(actual.interval, new_s)
         self._recompute_caches()
 
     def pop_last(self) -> Item:
@@ -185,7 +236,8 @@ class Bin:
         if not self._items:
             raise ValidationError(f"bin {self.index} is empty; nothing to pop")
         item = self._items.pop()
-        self._profile.remove(item.interval, item.size)
+        for profile, s in zip(self._profiles, item.sizes):
+            profile.remove(item.interval, s)
         self._recompute_caches()
         return item
 
@@ -239,13 +291,15 @@ class Bin:
         Raises:
             ValidationError: on any cache/recompute mismatch.
         """
-        exact_profile = StepFunction()
-        for r in self._items:
-            exact_profile.add(r.interval, r.size)
-        if not self._profile.equals(exact_profile):
-            raise ValidationError(
-                f"bin {self.index}: cached profile diverged from exact recompute"
-            )
+        for dim, profile in enumerate(self._profiles):
+            exact_profile = StepFunction()
+            for r in self._items:
+                exact_profile.add(r.interval, r.sizes[dim])
+            if not profile.equals(exact_profile):
+                raise ValidationError(
+                    f"bin {self.index}: cached profile (dim {dim}) diverged "
+                    f"from exact recompute"
+                )
         exact_usage = merge_intervals(r.interval for r in self._items)
         if [
             (round(u.left, 12), round(u.right, 12)) for u in self._usage
@@ -273,12 +327,20 @@ class Bin:
                     )
 
     def _first_overflow_time(self, item: Item) -> float | None:
-        for left, _right, value in self._profile.segments():
-            if item.interval.left <= left < item.interval.right:
-                if value + item.size > self.capacity + self.tol:
-                    return left
-        if self.level_at(item.arrival) + item.size > self.capacity + self.tol:
-            return item.arrival
+        earliest: float | None = None
+        limit = self.capacity + self.tol
+        for profile, s in zip(self._profiles, item.sizes):
+            for left, _right, value in profile.segments():
+                if item.interval.left <= left < item.interval.right:
+                    if value + s > limit:
+                        if earliest is None or left < earliest:
+                            earliest = left
+                        break
+        if earliest is not None:
+            return earliest
+        for profile, s in zip(self._profiles, item.sizes):
+            if profile.value_at(item.arrival) + s > limit:
+                return item.arrival
         return None
 
     # -- usage (the objective) ---------------------------------------------------------------
@@ -337,13 +399,16 @@ def bins_from_assignment(
     """Materialise :class:`Bin` objects from an item→bin-index assignment.
 
     Bin indices need not be contiguous; the result is ordered by index.
+    The bins' dimensionality is taken from the items.
     """
     by_bin: dict[int, list[Item]] = {}
+    dims = 1
     for item in items:
+        dims = len(item.sizes)
         by_bin.setdefault(assignment[item.id], []).append(item)
     bins = []
     for index in sorted(by_bin):
-        b = Bin(index, capacity=capacity, tol=tol)
+        b = Bin(index, capacity=capacity, tol=tol, dims=dims)
         for item in sorted(by_bin[index], key=lambda r: (r.arrival, r.id)):
             b.place(item, check=check)
         bins.append(b)

@@ -7,6 +7,12 @@ packing workloads:
 
 * :class:`ValidationError` — malformed inputs (bad sizes, inverted intervals,
   duplicate item ids, …).
+* :class:`RegistryError` — a packer-registry lookup failed (unknown name,
+  bad parameters, or a dimensionality the packer does not support); one
+  uniform :class:`ValidationError` shape for every lookup-failure path.
+* :class:`UnknownPackerError` — the requested packer name is not registered
+  (a :class:`RegistryError` that also subclasses :class:`KeyError` for
+  mapping-style callers).
 * :class:`CapacityError` — an operation would overflow a bin's capacity.
 * :class:`InfeasibleError` — no feasible packing exists under the requested
   constraints (e.g. an item larger than the bin capacity).
@@ -22,6 +28,8 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ValidationError",
+    "RegistryError",
+    "UnknownPackerError",
     "CapacityError",
     "InfeasibleError",
     "SolverLimitError",
@@ -40,6 +48,30 @@ class ValidationError(ReproError, ValueError):
     than the unit capacity, duplicate item identifiers, and packing results
     that fail feasibility checks.
     """
+
+
+class RegistryError(ValidationError):
+    """A packer-registry lookup failed.
+
+    The single error shape for every :func:`~repro.algorithms.get_packer`
+    failure path — unknown packer name, unknown or missing constructor
+    parameters, and dimensionality mismatches — so callers can catch one
+    class (or, via :class:`ValidationError`, one ``ValueError``) regardless
+    of which check tripped.  Messages are uniformly prefixed with
+    ``packer '<name>':``.
+    """
+
+
+class UnknownPackerError(RegistryError, KeyError):
+    """The requested packer name is not in the registry.
+
+    Subclasses :class:`KeyError` so mapping-style callers keep working, but
+    renders its message like a plain exception instead of ``KeyError``'s
+    quoted-repr form.
+    """
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
 
 
 class CapacityError(ReproError):

@@ -1,19 +1,27 @@
 """Items (jobs) and item lists for MinUsageTime Dynamic Bin Packing.
 
-An :class:`Item` is the paper's ``r``: a size ``s(r) ∈ (0, 1]`` and a
-half-open active interval ``I(r)``.  An :class:`ItemList` is the paper's
-``R`` with the derived quantities the analysis uses everywhere:
+An :class:`Item` is the paper's ``r``: a size vector ``s(r) ∈ (0, 1]^d`` and
+a half-open active interval ``I(r)``.  The scalar problem of the paper's main
+body is the ``d = 1`` degenerate case — :attr:`Item.size` exposes the single
+coordinate and every scalar API keeps working unchanged — while §6's
+multi-resource extension uses ``d > 1`` vectors (CPU/memory/network demands).
 
-* ``d(R)`` — total time-space demand ``Σ s(r)·l(I(r))`` (Proposition 1),
+An :class:`ItemList` is the paper's ``R`` with the derived quantities the
+analysis uses everywhere:
+
+* ``d(R)`` — total time-space demand ``Σ s(r)·l(I(r))`` (Proposition 1);
+  for vector instances the maximum over dimensions, since every dimension is
+  independently a lower bound,
 * ``span(R)`` — measure of times with at least one active item (Prop. 2),
 * ``mu`` — max/min item-duration ratio ``μ``,
-* the total-active-size profile ``S(t)`` (Proposition 3).
+* the per-dimension total-active-size profile ``S(t)`` (Proposition 3).
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from numbers import Real
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -27,27 +35,75 @@ __all__ = ["Item", "ItemList"]
 
 @dataclass(frozen=True, slots=True)
 class Item:
-    """A job to pack: identifier, resource size and active interval.
+    """A job to pack: identifier, resource demand vector and active interval.
 
     Attributes:
         id: Unique identifier within an :class:`ItemList`.
-        size: Resource demand, must lie in ``(0, capacity]`` where the bin
-            capacity is 1 throughout the library (paper §3.2 WLOG).
+        sizes: Resource demand per dimension; every coordinate must lie in
+            ``(0, capacity]`` where the bin capacity is 1 throughout the
+            library (paper §3.2 WLOG).  A bare ``float`` is accepted and
+            normalised to a 1-tuple, so the scalar constructor calls used
+            throughout the paper's main body — ``Item(0, 0.5, iv)`` — keep
+            working verbatim.
         interval: Half-open active interval ``[arrival, departure)``.
         tags: Optional free-form metadata (e.g. the job template that
             generated the item); ignored by all algorithms.
     """
 
     id: int
-    size: float
+    sizes: tuple[float, ...]
     interval: Interval
     tags: Mapping[str, object] = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
-        if not (0.0 < self.size <= 1.0):
-            raise ValidationError(f"item {self.id}: size must be in (0, 1], got {self.size}")
+        raw = self.sizes
+        if isinstance(raw, Real):
+            sizes = (float(raw),)
+        else:
+            try:
+                sizes = tuple(float(s) for s in raw)
+            except TypeError:
+                raise ValidationError(
+                    f"item {self.id}: sizes must be a number or a sequence of "
+                    f"numbers, got {raw!r}"
+                ) from None
+        if not sizes:
+            raise ValidationError(f"item {self.id}: sizes must have at least one dimension")
+        object.__setattr__(self, "sizes", sizes)
+        if len(sizes) == 1:
+            if not (0.0 < sizes[0] <= 1.0):
+                raise ValidationError(
+                    f"item {self.id}: size must be in (0, 1], got {sizes[0]}"
+                )
+        else:
+            for d, s in enumerate(sizes):
+                if not (0.0 < s <= 1.0):
+                    raise ValidationError(
+                        f"item {self.id}: sizes[{d}] must be in (0, 1], got {s}"
+                    )
 
     # Convenience accessors mirroring the paper's notation -------------------
+
+    @property
+    def size(self) -> float:
+        """``s(r)`` — the scalar size of a one-dimensional item.
+
+        Raises:
+            ValidationError: on a ``d > 1`` item, where a single scalar size
+                is undefined; use :attr:`sizes` instead.
+        """
+        sizes = self.sizes
+        if len(sizes) != 1:
+            raise ValidationError(
+                f"item {self.id} is {len(sizes)}-dimensional; "
+                f"scalar .size is undefined, use .sizes"
+            )
+        return sizes[0]
+
+    @property
+    def dims(self) -> int:
+        """Number of resource dimensions ``d``."""
+        return len(self.sizes)
 
     @property
     def arrival(self) -> float:
@@ -66,8 +122,14 @@ class Item:
 
     @property
     def demand(self) -> float:
-        """Time-space demand ``s(r) · l(I(r))``."""
+        """Time-space demand ``s(r) · l(I(r))`` (scalar items only)."""
         return self.size * self.duration
+
+    @property
+    def demands(self) -> tuple[float, ...]:
+        """Per-dimension time-space demand ``s_d(r) · l(I(r))``."""
+        dur = self.duration
+        return tuple(s * dur for s in self.sizes)
 
     def active_at(self, t: float) -> bool:
         """True iff the item is active at time ``t`` (half-open semantics)."""
@@ -75,32 +137,43 @@ class Item:
 
     def shift(self, delta: float) -> "Item":
         """A copy of this item translated in time by ``delta``."""
-        return Item(self.id, self.size, self.interval.shift(delta), dict(self.tags))
+        return Item(self.id, self.sizes, self.interval.shift(delta), dict(self.tags))
 
     def with_departure(self, departure: float) -> "Item":
-        """A copy with a different departure time (same id/size/arrival)."""
-        return Item(self.id, self.size, Interval(self.arrival, departure), dict(self.tags))
+        """A copy with a different departure time (same id/sizes/arrival)."""
+        return Item(self.id, self.sizes, Interval(self.arrival, departure), dict(self.tags))
 
 
 class ItemList:
     """An immutable, validated list of items with cached aggregate statistics.
 
     Items are stored in arrival order (ties broken by id) — the order in which
-    an online algorithm sees them.  The constructor checks id uniqueness.
+    an online algorithm sees them.  The constructor checks id uniqueness and
+    that every item has the same dimensionality.
     """
 
-    __slots__ = ("_items", "_by_id", "_size_profile_cache")
+    __slots__ = ("_items", "_by_id", "_dims", "_size_profile_cache")
 
     def __init__(self, items: Iterable[Item]):
         ordered = sorted(items, key=lambda r: (r.arrival, r.id))
         by_id: dict[int, Item] = {}
+        dims: int | None = None
         for item in ordered:
             if item.id in by_id:
                 raise ValidationError(f"duplicate item id {item.id}")
             by_id[item.id] = item
+            d = len(item.sizes)
+            if dims is None:
+                dims = d
+            elif d != dims:
+                raise ValidationError(
+                    f"item {item.id} has {d} dimension(s); "
+                    f"list is {dims}-dimensional (all items must agree)"
+                )
         self._items: tuple[Item, ...] = tuple(ordered)
         self._by_id = by_id
-        self._size_profile_cache: StepFunction | None = None
+        self._dims = 1 if dims is None else dims
+        self._size_profile_cache: dict[int, StepFunction] = {}
 
     # -- container protocol ---------------------------------------------------
 
@@ -137,11 +210,32 @@ class ItemList:
         """All items in arrival order."""
         return self._items
 
+    @property
+    def dims(self) -> int:
+        """Common dimensionality of the items (1 for an empty list)."""
+        return self._dims
+
     # -- aggregate statistics (paper §3.1) -------------------------------------
 
     def total_demand(self) -> float:
-        """``d(R) = Σ_r s(r)·l(I(r))`` — Proposition 1's lower bound."""
-        return float(sum(r.demand for r in self._items))
+        """``d(R) = Σ_r s(r)·l(I(r))`` — Proposition 1's lower bound.
+
+        For vector instances, the maximum per-dimension demand: each
+        dimension is independently a valid lower bound on usage time, so the
+        largest one is the tightest.
+        """
+        if self._dims == 1:
+            return float(sum(r.demand for r in self._items))
+        return max(self.demand_by_dim())
+
+    def demand_by_dim(self) -> tuple[float, ...]:
+        """Per-dimension total time-space demand ``Σ_r s_d(r)·l(I(r))``."""
+        totals = [0.0] * self._dims
+        for r in self._items:
+            dur = r.duration
+            for d, s in enumerate(r.sizes):
+                totals[d] += s * dur
+        return tuple(float(x) for x in totals)
 
     def span(self) -> float:
         """``span(R)`` — Proposition 2's lower bound."""
@@ -171,18 +265,36 @@ class ItemList:
         """Max/min duration ratio ``μ ≥ 1``."""
         return self.max_duration() / self.min_duration()
 
-    def size_profile(self) -> StepFunction:
-        """The total-active-size profile ``S(t)`` (cached; do not mutate)."""
-        if self._size_profile_cache is None:
-            profile = StepFunction()
-            for r in self._items:
-                profile.add(r.interval, r.size)
-            self._size_profile_cache = profile
-        return self._size_profile_cache
+    def size_profile(self, dim: int = 0) -> StepFunction:
+        """The total-active-size profile ``S(t)`` in dimension ``dim``.
 
-    def max_concurrent_size(self) -> float:
-        """``max_t S(t)`` — peak aggregate demand."""
-        return self.size_profile().max_value()
+        Cached per dimension; do not mutate the returned function.
+
+        Raises:
+            ValidationError: if ``dim`` is outside ``[0, dims)``.
+        """
+        if not (0 <= dim < self._dims):
+            raise ValidationError(
+                f"size_profile dimension {dim} out of range for "
+                f"{self._dims}-dimensional items"
+            )
+        cached = self._size_profile_cache.get(dim)
+        if cached is None:
+            cached = StepFunction()
+            for r in self._items:
+                cached.add(r.interval, r.sizes[dim])
+            self._size_profile_cache[dim] = cached
+        return cached
+
+    def max_concurrent_size(self, dim: int = 0) -> float:
+        """``max_t S(t)`` — peak aggregate demand in dimension ``dim``."""
+        return self.size_profile(dim).max_value()
+
+    def sizes_matrix(self) -> np.ndarray:
+        """All demand vectors as a contiguous ``(len, dims)`` float array."""
+        if not self._items:
+            return np.zeros((0, self._dims), dtype=np.float64)
+        return np.array([r.sizes for r in self._items], dtype=np.float64)
 
     def active_at(self, t: float) -> list[Item]:
         """All items active at time ``t``."""
@@ -262,7 +374,7 @@ class ItemList:
     def renumbered(self, start: int = 0) -> "ItemList":
         """Items re-identified ``start, start+1, ...`` in arrival order."""
         return ItemList(
-            Item(start + i, r.size, r.interval, dict(r.tags))
+            Item(start + i, r.sizes, r.interval, dict(r.tags))
             for i, r in enumerate(self._items)
         )
 
@@ -277,11 +389,26 @@ class ItemList:
     # -- serialisation -----------------------------------------------------------
 
     def to_records(self) -> list[dict[str, object]]:
-        """Plain-dict records (JSON-ready) for each item."""
+        """Plain-dict records (JSON-ready) for each item.
+
+        Scalar items keep the legacy ``size`` field; vector items emit a
+        ``sizes`` list instead (the trace loaders accept both).
+        """
+        if self._dims == 1:
+            return [
+                {
+                    "id": r.id,
+                    "size": r.sizes[0],
+                    "arrival": r.arrival,
+                    "departure": r.departure,
+                    "tags": dict(r.tags),
+                }
+                for r in self._items
+            ]
         return [
             {
                 "id": r.id,
-                "size": r.size,
+                "sizes": list(r.sizes),
                 "arrival": r.arrival,
                 "departure": r.departure,
                 "tags": dict(r.tags),
@@ -291,13 +418,19 @@ class ItemList:
 
     @classmethod
     def from_records(cls, records: Iterable[Mapping[str, object]]) -> "ItemList":
-        """Inverse of :meth:`to_records`."""
+        """Inverse of :meth:`to_records` (accepts ``size`` or ``sizes``)."""
         items = []
         for rec in records:
+            if "sizes" in rec:
+                sizes: float | tuple[float, ...] = tuple(
+                    float(s) for s in rec["sizes"]  # type: ignore[union-attr]
+                )
+            else:
+                sizes = float(rec["size"])  # type: ignore[arg-type]
             items.append(
                 Item(
                     int(rec["id"]),  # type: ignore[arg-type]
-                    float(rec["size"]),  # type: ignore[arg-type]
+                    sizes,
                     Interval(float(rec["arrival"]), float(rec["departure"])),  # type: ignore[arg-type]
                     dict(rec.get("tags", {})),  # type: ignore[arg-type]
                 )

@@ -142,16 +142,20 @@ class PackingResult:
 
     # -- feasibility -------------------------------------------------------------
 
-    def _event_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Per-item ``(bin, arrival, departure, size)`` columns as arrays."""
+    def _event_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-item ``(bin, arrival, departure)`` columns as arrays."""
         n = len(self.items)
         bins_col = np.fromiter(
             (self.assignment[r.id] for r in self.items), dtype=np.int64, count=n
         )
         arrivals = np.fromiter((r.arrival for r in self.items), dtype=float, count=n)
         departures = np.fromiter((r.departure for r in self.items), dtype=float, count=n)
-        sizes = np.fromiter((r.size for r in self.items), dtype=float, count=n)
-        return bins_col, np.stack([arrivals, departures]), sizes
+        return bins_col, np.stack([arrivals, departures])
+
+    def _sizes_column(self, dim: int) -> np.ndarray:
+        """Per-item size in dimension ``dim`` as a float array."""
+        n = len(self.items)
+        return np.fromiter((r.sizes[dim] for r in self.items), dtype=float, count=n)
 
     def validate(self) -> None:
         """Check full feasibility of the packing.
@@ -169,37 +173,44 @@ class PackingResult:
         deltas are sorted by (bin, time, sign) and cumulatively summed, with
         per-bin baselines subtracted so float noise cannot leak across bins
         (cross-checked against the segment-by-segment recompute in tests).
+        Vector packings run one sweep per resource dimension.
 
         Raises:
             ValidationError: on any capacity violation, reporting the bin,
-                time and level.
+                dimension, time and level.
         """
         n = len(self.items)
         if n == 0:
             return
-        bins_col, times2, sizes = self._event_arrays()
+        bins_col, times2 = self._event_arrays()
         ev_bins = np.concatenate([bins_col, bins_col])
         ev_times = np.concatenate([times2[0], times2[1]])
-        ev_deltas = np.concatenate([sizes, -sizes])
-        # Departures sort before arrivals at equal times (negative deltas
-        # first), matching half-open interval semantics.
-        order = np.lexsort((ev_deltas, ev_times, ev_bins))
-        sorted_bins = ev_bins[order]
-        levels = np.cumsum(ev_deltas[order])
-        # Subtract each bin's closing balance so the running sum restarts at
-        # exactly zero per bin (float cancellation is not exact on its own).
-        boundaries = np.flatnonzero(np.diff(sorted_bins)) + 1
-        if boundaries.size:
-            offsets = np.concatenate([[0.0], levels[boundaries - 1]])
-            seg_lengths = np.diff(np.concatenate([[0], boundaries, [2 * n]]))
-            levels = levels - np.repeat(offsets, seg_lengths)
-        bad = levels > self.capacity + self.tol
-        if bad.any():
-            k = int(np.argmax(bad))
-            raise ValidationError(
-                f"bin {int(sorted_bins[k])} overflows at t={ev_times[order][k]}: "
-                f"level {float(levels[k])} > capacity {self.capacity}"
-            )
+        dims = self.items.dims
+        for dim in range(dims):
+            sizes = self._sizes_column(dim)
+            ev_deltas = np.concatenate([sizes, -sizes])
+            # Departures sort before arrivals at equal times (negative deltas
+            # first), matching half-open interval semantics.
+            order = np.lexsort((ev_deltas, ev_times, ev_bins))
+            sorted_bins = ev_bins[order]
+            levels = np.cumsum(ev_deltas[order])
+            # Subtract each bin's closing balance so the running sum restarts
+            # at exactly zero per bin (float cancellation is not exact on its
+            # own).
+            boundaries = np.flatnonzero(np.diff(sorted_bins)) + 1
+            if boundaries.size:
+                offsets = np.concatenate([[0.0], levels[boundaries - 1]])
+                seg_lengths = np.diff(np.concatenate([[0], boundaries, [2 * n]]))
+                levels = levels - np.repeat(offsets, seg_lengths)
+            bad = levels > self.capacity + self.tol
+            if bad.any():
+                k = int(np.argmax(bad))
+                where = f" (dim {dim})" if dims > 1 else ""
+                raise ValidationError(
+                    f"bin {int(sorted_bins[k])} overflows{where} at "
+                    f"t={ev_times[order][k]}: "
+                    f"level {float(levels[k])} > capacity {self.capacity}"
+                )
 
     def _validate_exact(self) -> None:
         """Reference implementation of :meth:`validate` (pure Python).
@@ -208,15 +219,16 @@ class PackingResult:
         identical contract and error conditions.
         """
         for b in self.bins():
-            profile = StepFunction()
-            for item in b.items:
-                profile.add(item.interval, item.size)
-            for left, _right, value in profile.segments():
-                if value > self.capacity + self.tol:
-                    raise ValidationError(
-                        f"bin {b.index} overflows at t={left}: level {value} > "
-                        f"capacity {self.capacity}"
-                    )
+            for dim in range(self.items.dims):
+                profile = StepFunction()
+                for item in b.items:
+                    profile.add(item.interval, item.sizes[dim])
+                for left, _right, value in profile.segments():
+                    if value > self.capacity + self.tol:
+                        raise ValidationError(
+                            f"bin {b.index} overflows at t={left}: level {value} > "
+                            f"capacity {self.capacity}"
+                        )
 
     def is_feasible(self) -> bool:
         """Boolean wrapper around :meth:`validate`."""
@@ -242,7 +254,7 @@ class PackingResult:
         n = len(self.items)
         if n == 0:
             return 0.0
-        bins_col, times2, _sizes = self._event_arrays()
+        bins_col, times2 = self._event_arrays()
         order = np.lexsort((times2[0], bins_col))
         sorted_bins = bins_col[order]
         lefts = times2[0][order]

@@ -1,0 +1,266 @@
+"""Struct-of-arrays (SoA) bin-state core for the fit-check hot loop.
+
+The object-graph representation (:class:`~repro.core.Bin` with one
+:class:`~repro.core.StepFunction` per dimension) is exact and supports every
+query the analysis needs, but the *online placement* hot loop only ever asks
+one question: *which of these candidate bins is open at the current arrival
+and fits this item in every dimension?*  For arrival-order packing that
+question needs just two facts per bin — its **current level vector** and its
+**close time** — because committed levels can only decrease in the item's
+future (the same invariant that makes
+:meth:`~repro.core.Bin.fits_at_arrival` equivalent to the clairvoyant
+:meth:`~repro.core.Bin.fits` for online packers).
+
+:class:`SoAFitChecker` keeps those two facts in contiguous numpy arrays —
+``levels[dim, bin]`` and ``closes[bin]`` — so a placement checks *all*
+candidate bins with one vectorised mask instead of per-bin step-function
+bisections.  Departures are applied lazily from a min-heap when the clock
+advances, with stale entries (from amended departures) skipped exactly like
+the packers' own retire heap.
+
+The checker is the engine behind the vector packers' ``soa`` feature flag
+(:mod:`repro.algorithms.vector`); the flag is parity-gated — both engines
+must produce bit-identical placements — and benchmarked by
+``benchmarks/bench_vector_fitcheck.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .exceptions import ValidationError
+from .stepfun import DEFAULT_TOL
+
+__all__ = ["SoAFitChecker", "IntVector"]
+
+_NEG_INF = float("-inf")
+
+
+class IntVector:
+    """A growable, append-only vector of non-negative ints backed by numpy.
+
+    Used for per-category candidate bin lists: appends are amortised O(1)
+    and :meth:`view` exposes the live prefix as a zero-copy ``ndarray`` for
+    vectorised masking.  Entries stay in append order (for first-fit, the
+    bin opening order).
+    """
+
+    __slots__ = ("_data", "_n")
+
+    def __init__(self, initial_capacity: int = 16) -> None:
+        self._data = np.empty(max(1, initial_capacity), dtype=np.int64)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def append(self, value: int) -> None:
+        """Append one value, growing the backing array geometrically."""
+        if self._n == self._data.size:
+            grown = np.empty(self._data.size * 2, dtype=np.int64)
+            grown[: self._n] = self._data
+            self._data = grown
+        self._data[self._n] = value
+        self._n += 1
+
+    def view(self) -> np.ndarray:
+        """Zero-copy view of the live entries (do not mutate)."""
+        return self._data[: self._n]
+
+    def replace(self, values: np.ndarray) -> None:
+        """Replace the contents with ``values`` (used for compaction)."""
+        n = int(values.size)
+        if n > self._data.size:
+            self._data = np.empty(max(n, 1), dtype=np.int64)
+        self._data[:n] = values
+        self._n = n
+
+
+class SoAFitChecker:
+    """Contiguous per-bin level vectors and close times for batch fit checks.
+
+    Mirrors the committed state of an online packer's bin pool in
+    struct-of-arrays layout:
+
+    * ``levels[dim, bin]`` — current committed level per dimension, updated
+      by :meth:`place` (add), :meth:`advance` (lazy departure subtraction)
+      and :meth:`amend_last` (delta correction);
+    * ``closes[bin]`` — bin close time, used as the open-at-``t`` predicate
+      (``closes[b] > t``) which is exact at the arrival frontier.  Callers
+      that amend departures downward must resync via :meth:`set_close`
+      (the vector packers do this from the bins' exact close times).
+
+    The checker is *only* valid for arrival-order (online) placement, where
+    the current level is the future maximum; offline packers must keep using
+    the clairvoyant step-function check.
+
+    Args:
+        dims: Number of resource dimensions (>= 1).
+        capacity: Bin capacity shared by every dimension.
+        tol: Absolute capacity-comparison tolerance (matches
+            :class:`~repro.core.Bin`).
+    """
+
+    __slots__ = (
+        "dims",
+        "capacity",
+        "tol",
+        "_levels",
+        "_closes",
+        "_nbins",
+        "_heap",
+        "_rec_bin",
+        "_rec_sizes",
+        "_rec_departure",
+        "_clock",
+    )
+
+    def __init__(self, dims: int, capacity: float = 1.0, tol: float = DEFAULT_TOL) -> None:
+        if dims < 1:
+            raise ValidationError(f"SoAFitChecker dims must be >= 1, got {dims}")
+        self.dims = dims
+        self.capacity = capacity
+        self.tol = tol
+        self._levels = np.zeros((dims, 64), dtype=np.float64)
+        self._closes = np.full(64, _NEG_INF, dtype=np.float64)
+        self._nbins = 0
+        # Lazy departure queue: (departure, serial) entries; a serial's
+        # record holds its authoritative departure, so stale entries (from
+        # amends) are detected and skipped on pop.
+        self._heap: list[tuple[float, int]] = []
+        self._rec_bin: list[int] = []
+        self._rec_sizes: list[np.ndarray] = []
+        self._rec_departure: list[float] = []
+        self._clock = _NEG_INF
+
+    # -- pool ------------------------------------------------------------------
+
+    @property
+    def nbins(self) -> int:
+        """Number of bins opened so far."""
+        return self._nbins
+
+    @property
+    def levels(self) -> np.ndarray:
+        """Live ``(dims, nbins)`` view of current levels (do not mutate)."""
+        return self._levels[:, : self._nbins]
+
+    @property
+    def closes(self) -> np.ndarray:
+        """Live ``(nbins,)`` view of close times (do not mutate)."""
+        return self._closes[: self._nbins]
+
+    def open_bin(self) -> int:
+        """Allocate the next bin slot and return its index."""
+        if self._nbins == self._closes.size:
+            cap = self._closes.size * 2
+            levels = np.zeros((self.dims, cap), dtype=np.float64)
+            levels[:, : self._nbins] = self._levels[:, : self._nbins]
+            self._levels = levels
+            closes = np.full(cap, _NEG_INF, dtype=np.float64)
+            closes[: self._nbins] = self._closes[: self._nbins]
+            self._closes = closes
+        index = self._nbins
+        self._nbins += 1
+        return index
+
+    # -- time ------------------------------------------------------------------
+
+    def advance(self, t: float) -> None:
+        """Apply all departures at or before ``t`` to the level arrays.
+
+        Half-open interval semantics: an item departing exactly at ``t``
+        frees its capacity *at* ``t``, matching the step-function level the
+        object path reads.  Stale heap entries (a serial whose departure was
+        amended after the entry was pushed) are skipped.
+        """
+        heap = self._heap
+        while heap and heap[0][0] <= t:
+            departure, serial = heapq.heappop(heap)
+            if departure != self._rec_departure[serial]:
+                continue  # stale: this placement's departure was amended
+            self._rec_departure[serial] = _NEG_INF  # consumed
+            self._levels[:, self._rec_bin[serial]] -= self._rec_sizes[serial]
+        self._clock = t
+
+    # -- placement -------------------------------------------------------------
+
+    def place(self, index: int, sizes: np.ndarray, departure: float) -> int:
+        """Record a committed placement into bin ``index``; returns a serial.
+
+        ``sizes`` must be a ``(dims,)`` float array; the caller is
+        responsible for having checked the fit (see :meth:`first_open_fit`).
+        """
+        self._levels[:, index] += sizes
+        if departure > self._closes[index]:
+            self._closes[index] = departure
+        serial = len(self._rec_bin)
+        self._rec_bin.append(index)
+        self._rec_sizes.append(sizes)
+        self._rec_departure.append(departure)
+        heapq.heappush(self._heap, (departure, serial))
+        return serial
+
+    def amend_last(self, sizes: np.ndarray, departure: float) -> None:
+        """Amend the most recent :meth:`place` to new sizes/departure.
+
+        Supports the engine's noisy-clairvoyance flow: the predicted item is
+        committed, then amended to its actual interval before the clock moves
+        — so the placement cannot have departed yet.  Level deltas are
+        applied immediately; the close time may need :meth:`set_close` from
+        the caller when the amendment *shrinks* a departure (max-tracking
+        alone cannot recover it).
+        """
+        serial = len(self._rec_bin) - 1
+        if serial < 0 or self._rec_departure[serial] == _NEG_INF:
+            raise ValidationError("amend_last: no live placement to amend")
+        index = self._rec_bin[serial]
+        self._levels[:, index] += sizes - self._rec_sizes[serial]
+        self._rec_sizes[serial] = sizes
+        self._rec_departure[serial] = departure
+        heapq.heappush(self._heap, (departure, serial))
+        if departure > self._closes[index]:
+            self._closes[index] = departure
+
+    def set_close(self, index: int, close: float) -> None:
+        """Overwrite one bin's close time (exact resync after an amend)."""
+        self._closes[index] = close
+
+    # -- the hot query ----------------------------------------------------------
+
+    def fit_mask(self, sizes: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``candidates``: fits in every dimension now."""
+        lv = self._levels[:, candidates]
+        return np.all(lv + sizes[:, None] <= self.capacity + self.tol, axis=0)
+
+    def first_open_fit(self, sizes: np.ndarray, t: float, candidates: np.ndarray) -> int:
+        """First candidate bin open at ``t`` that fits ``sizes``; -1 if none.
+
+        ``candidates`` must be in first-fit preference order (bin opening
+        order for the first-fit family).  The caller must have called
+        :meth:`advance` to ``t`` first.
+        """
+        if candidates.size == 0:
+            return -1
+        ok = self._closes[candidates] > t
+        lv = self._levels[:, candidates]
+        np.logical_and(
+            ok, np.all(lv + sizes[:, None] <= self.capacity + self.tol, axis=0), out=ok
+        )
+        hit = int(ok.argmax())
+        if not ok[hit]:
+            return -1
+        return int(candidates[hit])
+
+    def compact(self, candidates: IntVector, t: float) -> None:
+        """Drop bins already closed at ``t`` from a candidate list.
+
+        Keeps candidate lists from accumulating every bin ever opened; the
+        open-at-``t`` predicate (``closes > t``) can only flip one way at the
+        arrival frontier, so dropping closed bins never changes a future
+        first-fit decision.
+        """
+        view = candidates.view()
+        candidates.replace(view[self._closes[view] > t])

@@ -229,7 +229,7 @@ class PackingSession:
                 departure = item.departure
                 if departure <= arrival:
                     departure = arrival + 1e-12 * max(1.0, abs(arrival))
-                item = Item(item.id, item.size, Interval(arrival, departure), dict(item.tags))
+                item = Item(item.id, item.sizes, Interval(arrival, departure), dict(item.tags))
             else:
                 if policy is None:
                     raise exc

@@ -1,7 +1,13 @@
-"""Paper §6 future-work extensions: vector resources and flexible jobs."""
+"""Paper §6 future-work extensions.
 
-from .flexible import FlexibleJob, FlexibleSchedule, SlackAwareScheduler
-from .multidim import (
+Flexible jobs (:mod:`repro.extensions.flexible`) still live here.  Vector
+(multi-dimensional) packing graduated to the first-class
+:mod:`repro.algorithms.vector` path; the historical names are re-exported
+below for compatibility (importing :mod:`repro.extensions.multidim` itself
+additionally emits a :class:`DeprecationWarning`).
+"""
+
+from ..algorithms.vector import (
     VectorBin,
     VectorClassifyByDeparture,
     VectorClassifyByDuration,
@@ -11,6 +17,7 @@ from .multidim import (
     vector_ceil_lower_bound,
     vector_demand_lower_bound,
 )
+from .flexible import FlexibleJob, FlexibleSchedule, SlackAwareScheduler
 
 __all__ = [
     "FlexibleJob",

@@ -1,301 +1,51 @@
-"""Multi-resource MinUsageTime DBP (paper §6: "extending MinUsageTime DBP to
-multiple resource dimensions").
+"""Deprecated home of the vector packers — use :mod:`repro.algorithms.vector`.
 
-Items demand a *vector* of resources (CPU, memory, …), each coordinate in
-(0, 1] of the server's capacity in that dimension; a bin accommodates a set
-of concurrent items iff the coordinate-wise sum stays within 1 in every
-dimension.  The module provides:
+Vector (multi-dimensional) dynamic bin packing graduated from a §6
+future-work extension to a first-class path through the core API:
 
-* :class:`VectorItem` / :class:`VectorBin` — the vector analogues of the
-  core types (numpy-backed level profiles per dimension);
-* :class:`VectorFirstFit` — arrival-order First Fit with vector fit checks;
-* :class:`VectorClassifyByDuration` — the paper's classify-by-duration
-  strategy lifted to vectors (classification only reads durations, so it
-  composes with any fit rule).
+* vector items are plain :class:`repro.core.Item` objects (the ``sizes``
+  tuple is the canonical field; scalar ``size`` is the ``d=1`` accessor);
+* vector bins are plain :class:`repro.core.Bin` objects (``dims=`` ctor arg);
+* vector packings are plain :class:`repro.core.PackingResult` objects;
+* the packers live in :mod:`repro.algorithms.vector` and are registered as
+  ``vector-first-fit`` / ``vector-classify-duration`` /
+  ``vector-classify-departure``;
+* the lower bounds live in :mod:`repro.bounds`.
 
-The scalar theory's guarantees do not transfer verbatim (the demand lower
-bound becomes per-dimension), so these are benchmarked empirically
-(``bench_ablation_multidim``) rather than against a proved ratio.
+This module re-exports every historical name so old imports keep working,
+and emits a :class:`DeprecationWarning` (once) on import.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+import warnings
 
-import numpy as np
-
-from ..algorithms.classify_duration import duration_category
-from ..core.exceptions import ValidationError
-from ..core.intervals import Interval, merge_intervals
-from ..core.stepfun import DEFAULT_TOL
+from ..algorithms.vector import (
+    VectorBin,
+    VectorClassifyByDeparture,
+    VectorClassifyByDuration,
+    VectorFirstFit,
+    VectorItem,
+    VectorPacking,
+    vector_ceil_lower_bound,
+    vector_demand_lower_bound,
+)
 
 __all__ = [
-    "VectorItem",
     "VectorBin",
-    "VectorPacking",
-    "VectorFirstFit",
     "VectorClassifyByDeparture",
     "VectorClassifyByDuration",
-    "vector_demand_lower_bound",
+    "VectorFirstFit",
+    "VectorItem",
+    "VectorPacking",
     "vector_ceil_lower_bound",
+    "vector_demand_lower_bound",
 ]
 
-
-@dataclass(frozen=True, slots=True)
-class VectorItem:
-    """An item with a multi-dimensional size.
-
-    Attributes:
-        id: Unique identifier.
-        sizes: Demand per resource dimension, each in (0, 1].
-        interval: Active interval.
-        tags: Free-form metadata.
-    """
-
-    id: int
-    sizes: tuple[float, ...]
-    interval: Interval
-    tags: Mapping[str, object] = field(default_factory=dict, compare=False)
-
-    def __post_init__(self) -> None:
-        if not self.sizes:
-            raise ValidationError(f"item {self.id}: needs at least one dimension")
-        for d, s in enumerate(self.sizes):
-            if not 0.0 < s <= 1.0:
-                raise ValidationError(
-                    f"item {self.id}: size[{d}] must be in (0, 1], got {s}"
-                )
-
-    @property
-    def arrival(self) -> float:
-        return self.interval.left
-
-    @property
-    def departure(self) -> float:
-        return self.interval.right
-
-    @property
-    def duration(self) -> float:
-        return self.interval.length
-
-    @property
-    def dims(self) -> int:
-        return len(self.sizes)
-
-
-class VectorBin:
-    """A bin with one level profile per resource dimension."""
-
-    def __init__(self, index: int, dims: int, tol: float = DEFAULT_TOL) -> None:
-        self.index = index
-        self.dims = dims
-        self.tol = tol
-        self.items: list[VectorItem] = []
-
-    def level_at(self, t: float) -> np.ndarray:
-        """Vector of levels at time ``t``."""
-        level = np.zeros(self.dims)
-        for r in self.items:
-            if r.interval.left <= t < r.interval.right:
-                level += np.asarray(r.sizes)
-        return level
-
-    def fits_at_arrival(self, item: VectorItem) -> bool:
-        """Coordinate-wise fit check at the item's arrival instant."""
-        level = self.level_at(item.arrival)
-        return bool(np.all(level + np.asarray(item.sizes) <= 1.0 + self.tol))
-
-    def is_open_at(self, t: float) -> bool:
-        """True iff some committed item is active at ``t``."""
-        return any(r.interval.left <= t < r.interval.right for r in self.items)
-
-    def place(self, item: VectorItem) -> None:
-        """Commit an item (dimensionality-checked; no fit check)."""
-        if item.dims != self.dims:
-            raise ValidationError(
-                f"item {item.id} has {item.dims} dims, bin expects {self.dims}"
-            )
-        self.items.append(item)
-
-    def usage_time(self) -> float:
-        """Span of the committed items — this bin's usage cost."""
-        return sum(iv.length for iv in merge_intervals(r.interval for r in self.items))
-
-
-@dataclass(frozen=True, slots=True)
-class VectorPacking:
-    """Result of a vector packing run."""
-
-    items: tuple[VectorItem, ...]
-    assignment: dict[int, int]
-    bins: tuple[VectorBin, ...]
-    algorithm: str
-
-    def total_usage(self) -> float:
-        """The MinUsageTime objective over all vector bins."""
-        return sum(b.usage_time() for b in self.bins)
-
-    @property
-    def num_bins(self) -> int:
-        return len(self.bins)
-
-    def validate(self, tol: float = DEFAULT_TOL) -> None:
-        """Check coordinate-wise capacity at every event time."""
-        for b in self.bins:
-            times = sorted(
-                {r.interval.left for r in b.items} | {r.interval.right for r in b.items}
-            )
-            for t in times:
-                level = b.level_at(t)
-                if np.any(level > 1.0 + tol):
-                    raise ValidationError(
-                        f"vector bin {b.index} overflows at t={t}: {level}"
-                    )
-
-
-class VectorFirstFit:
-    """Arrival-order First Fit with vector fit checks."""
-
-    name = "vector-first-fit"
-
-    def describe(self) -> str:
-        """Algorithm label for reports."""
-        return self.name
-
-    def category_of(self, item: VectorItem) -> object:
-        """Single category — plain First Fit.  Subclasses override."""
-        return 0
-
-    def pack(self, items: Iterable[VectorItem]) -> VectorPacking:
-        """Pack vector items in arrival order (First Fit per category)."""
-        ordered = sorted(items, key=lambda r: (r.arrival, r.id))
-        if not ordered:
-            return VectorPacking((), {}, (), self.describe())
-        dims = ordered[0].dims
-        bins: list[VectorBin] = []
-        per_category: dict[object, list[VectorBin]] = {}
-        assignment: dict[int, int] = {}
-        for item in ordered:
-            if item.dims != dims:
-                raise ValidationError("all items must share the same dimensionality")
-            key = self.category_of(item)
-            cat_bins = per_category.setdefault(key, [])
-            target = None
-            for b in cat_bins:
-                if b.is_open_at(item.arrival) and b.fits_at_arrival(item):
-                    target = b
-                    break
-            if target is None:
-                target = VectorBin(len(bins), dims)
-                bins.append(target)
-                cat_bins.append(target)
-            target.place(item)
-            assignment[item.id] = target.index
-        return VectorPacking(tuple(ordered), assignment, tuple(bins), self.describe())
-
-
-class VectorClassifyByDuration(VectorFirstFit):
-    """Classify-by-duration First Fit for vector items.
-
-    The classification (paper §5.3) only reads durations, so it lifts to the
-    vector setting unchanged; within each category the vector First Fit rule
-    applies.
-    """
-
-    name = "vector-classify-duration"
-
-    def __init__(self, alpha: float, base: float | None = None) -> None:
-        if alpha <= 1:
-            raise ValidationError(f"alpha must exceed 1, got {alpha}")
-        self.alpha = alpha
-        self._fixed_base = base
-        self._base: float | None = base
-
-    def describe(self) -> str:
-        """Algorithm label including α."""
-        return f"vector-classify-duration(alpha={self.alpha:g})"
-
-    def pack(self, items: Iterable[VectorItem]) -> VectorPacking:
-        """Pack with a fresh base anchor (reusable across calls)."""
-        self._base = self._fixed_base
-        return super().pack(items)
-
-    def category_of(self, item: VectorItem) -> object:
-        if self._base is None:
-            self._base = item.duration
-        return duration_category(item.duration, self._base, self.alpha)
-
-
-def vector_demand_lower_bound(items: Sequence[VectorItem]) -> float:
-    """Vector analogue of Propositions 1–2: max over dimensions of the
-    per-dimension demand, and the span.
-
-    ``OPT ≥ max_d Σ_r sizes[d]·duration`` because each dimension alone
-    constrains capacity; ``OPT ≥ span`` as always.
-    """
-    if not items:
-        return 0.0
-    dims = items[0].dims
-    demand = max(
-        sum(r.sizes[d] * r.duration for r in items) for d in range(dims)
-    )
-    span = sum(iv.length for iv in merge_intervals(r.interval for r in items))
-    return max(demand, span)
-
-
-class VectorClassifyByDeparture(VectorFirstFit):
-    """Classify-by-departure-time First Fit for vector items (paper §5.2
-    lifted to multiple dimensions — like duration classification, the
-    departure windows only read times, so the strategy composes with any
-    fit rule)."""
-
-    name = "vector-classify-departure"
-
-    def __init__(self, rho: float, origin: float | None = None) -> None:
-        if rho <= 0:
-            raise ValidationError(f"rho must be positive, got {rho}")
-        self.rho = rho
-        self._fixed_origin = origin
-        self._origin: float | None = origin
-
-    def describe(self) -> str:
-        """Algorithm label including ρ."""
-        return f"vector-classify-departure(rho={self.rho:g})"
-
-    def pack(self, items: Iterable[VectorItem]) -> VectorPacking:
-        """Pack with a fresh origin anchor (reusable across calls)."""
-        self._origin = self._fixed_origin
-        return super().pack(items)
-
-    def category_of(self, item: VectorItem) -> object:
-        import math
-
-        if self._origin is None:
-            self._origin = item.arrival
-        offset = item.departure - self._origin
-        k = math.ceil(offset / self.rho)
-        if (k - 1) * self.rho >= offset:
-            k -= 1
-        return k
-
-
-def vector_ceil_lower_bound(items: Sequence[VectorItem]) -> float:
-    """Vector analogue of Proposition 3: ``max_d ∫ ⌈S_d(t)⌉ dt``.
-
-    Each dimension alone forces ``⌈S_d(t)⌉`` open bins at time ``t``, so the
-    max over dimensions lower-bounds any packing's usage.  Dominates
-    :func:`vector_demand_lower_bound` (pointwise ``⌈x⌉ ≥ x`` and ≥ 1 on the
-    support).
-    """
-    if not items:
-        return 0.0
-    from ..core.stepfun import StepFunction
-
-    best = 0.0
-    for d in range(items[0].dims):
-        profile = StepFunction()
-        for r in items:
-            profile.add(r.interval, r.sizes[d])
-        best = max(best, profile.integral_ceil())
-    return best
+warnings.warn(
+    "repro.extensions.multidim is deprecated: vector packing is first-class "
+    "now — import from repro.algorithms.vector (packers), repro.core "
+    "(Item/Bin/PackingResult) and repro.bounds (lower bounds) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

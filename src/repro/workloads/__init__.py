@@ -10,6 +10,7 @@ from .generators import (
     discrete_sizes,
     poisson_exponential,
     uniform_random,
+    vector_uniform,
 )
 from .transforms import load_scale, mix, subsample, time_stretch
 from .traces import (
@@ -33,6 +34,7 @@ __all__ = [
     "discrete_sizes",
     "poisson_exponential",
     "uniform_random",
+    "vector_uniform",
     "dump_csv",
     "dump_jsonl",
     "load_csv",

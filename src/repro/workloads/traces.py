@@ -3,9 +3,13 @@
 A *trace* is an on-disk record of a workload so experiments can be re-run on
 exactly the same instance.  Two formats are supported:
 
-* **JSONL** — one JSON object per item, preserving tags;
-* **CSV** — ``id,size,arrival,departure`` (tags dropped), convenient for
-  spreadsheets and external tools.
+* **JSONL** — one JSON object per item, preserving tags.  Scalar items carry
+  ``"size": 0.4``; vector (multi-resource) items carry
+  ``"sizes": [0.4, 0.2, 0.1]`` instead — both spellings load, and
+  :func:`dump_jsonl` writes whichever matches the item dimensionality.
+* **CSV** — ``id,size,arrival,departure`` for scalar traces, or
+  ``id,size_0,…,size_{d-1},arrival,departure`` for ``d``-dimensional ones
+  (tags dropped), convenient for spreadsheets and external tools.
 
 Loading is hardened for the serve path: every parse or validation failure
 names the **1-based line number and offending field** in its
@@ -24,7 +28,7 @@ import io
 import json
 import math
 from pathlib import Path
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..core.exceptions import ValidationError
 from ..core.intervals import Interval
@@ -44,6 +48,13 @@ __all__ = [
 
 CSV_FIELDS = ("id", "size", "arrival", "departure")
 
+
+def _csv_fields(dims: int) -> tuple[str, ...]:
+    """The CSV header for a ``dims``-dimensional trace."""
+    if dims == 1:
+        return CSV_FIELDS
+    return ("id", *(f"size_{k}" for k in range(dims)), "arrival", "departure")
+
 #: Relative epsilon used when clamping an inverted interval to a minimal
 #: positive duration (mirrors :func:`repro.engine.clamp_prediction`).
 _CLAMP_EPS = 1e-12
@@ -55,12 +66,17 @@ def dump_jsonl(items: ItemList) -> str:
 
 
 def dump_csv(items: ItemList) -> str:
-    """Serialise to CSV text with a header row (tags are dropped)."""
+    """Serialise to CSV text with a header row (tags are dropped).
+
+    Scalar traces keep the legacy ``id,size,arrival,departure`` layout;
+    ``d``-dimensional traces write one ``size_k`` column per dimension.
+    """
     buf = io.StringIO()
     writer = csv.writer(buf)
-    writer.writerow(CSV_FIELDS)
+    writer.writerow(_csv_fields(items.dims))
     for r in items:
-        writer.writerow([r.id, repr(r.size), repr(r.arrival), repr(r.departure)])
+        sizes = [repr(s) for s in r.sizes]
+        writer.writerow([r.id, *sizes, repr(r.arrival), repr(r.departure)])
     return buf.getvalue()
 
 
@@ -112,17 +128,63 @@ def _numeric(rec: Mapping[str, object], field: str, lineno: int, *, integer: boo
     return value
 
 
-def _parse_record(rec: Mapping[str, object], lineno: int) -> Item:
-    """One validated :class:`Item` from a raw record.
+def _coord(raw: object, field: str, lineno: int) -> float:
+    """One size coordinate as a finite float, or :class:`_BadRecord`."""
+    try:
+        value = float(raw)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise _BadRecord(
+            f"trace line {lineno}: non-numeric {field} {raw!r}", reason="non_numeric"
+        ) from None
+    if not math.isfinite(value):
+        raise _BadRecord(
+            f"trace line {lineno}: non-finite {field} {raw!r}", reason="non_finite"
+        )
+    return value
 
-    Raises:
-        _BadRecord: naming the 1-based ``lineno`` and the offending field;
-            ``clampable`` faults carry the repaired values.
+
+def _parse_sizes(rec: Mapping[str, object], lineno: int) -> tuple[float, ...]:
+    """The validated size vector of a record (``size`` or ``sizes`` spelling).
+
+    Coordinate faults name the offending entry — ``size`` for scalar
+    records, ``sizes[k]`` (0-indexed, matching :class:`~repro.core.Item`'s
+    own messages) for vector ones.  Oversized coordinates are clampable to
+    the unit capacity; non-positive ones are not.
     """
-    item_id = _numeric(rec, "id", lineno, integer=True)
+    if "sizes" in rec:
+        if "size" in rec:
+            raise _BadRecord(
+                f"trace line {lineno}: both 'size' and 'sizes' present",
+                reason="ambiguous_sizes",
+            )
+        raw = rec["sizes"]
+        if isinstance(raw, (str, bytes)) or not isinstance(raw, Sequence) or not raw:
+            raise _BadRecord(
+                f"trace line {lineno}: field 'sizes' must be a non-empty array, "
+                f"got {raw!r}",
+                reason="sizes_type",
+            )
+        sizes = tuple(
+            _coord(value, f"sizes[{k}]", lineno) for k, value in enumerate(raw)
+        )
+        for k, s in enumerate(sizes):
+            if s <= 0.0:
+                raise _BadRecord(
+                    f"trace line {lineno}: field 'sizes[{k}]' out of range (0, 1]: {s}",
+                    reason="size_range",
+                )
+        oversize = [k for k, s in enumerate(sizes) if s > 1.0]
+        if oversize:
+            k = oversize[0]
+            raise _BadRecord(
+                f"trace line {lineno}: field 'sizes[{k}]' out of range (0, 1]: "
+                f"{sizes[k]}",
+                reason="size_range",
+                clampable=True,
+                clamped={"sizes": [min(s, 1.0) for s in sizes]},
+            )
+        return sizes
     size = _numeric(rec, "size", lineno)
-    arrival = _numeric(rec, "arrival", lineno)
-    departure = _numeric(rec, "departure", lineno)
     if size <= 0.0:
         raise _BadRecord(
             f"trace line {lineno}: field 'size' out of range (0, 1]: {size}",
@@ -135,6 +197,20 @@ def _parse_record(rec: Mapping[str, object], lineno: int) -> Item:
             clampable=True,
             clamped={"size": 1.0},
         )
+    return (size,)
+
+
+def _parse_record(rec: Mapping[str, object], lineno: int) -> Item:
+    """One validated :class:`Item` from a raw record.
+
+    Raises:
+        _BadRecord: naming the 1-based ``lineno`` and the offending field;
+            ``clampable`` faults carry the repaired values.
+    """
+    item_id = _numeric(rec, "id", lineno, integer=True)
+    sizes = _parse_sizes(rec, lineno)
+    arrival = _numeric(rec, "arrival", lineno)
+    departure = _numeric(rec, "departure", lineno)
     if departure <= arrival:
         fixed = arrival + _CLAMP_EPS * max(1.0, abs(arrival))
         raise _BadRecord(
@@ -146,7 +222,7 @@ def _parse_record(rec: Mapping[str, object], lineno: int) -> Item:
     tags = rec.get("tags", {})
     return Item(
         item_id,
-        size,
+        sizes,
         Interval(arrival, departure),
         dict(tags) if isinstance(tags, Mapping) else {},
     )
@@ -238,11 +314,31 @@ def load_jsonl(text: str, *, policy: "FaultPolicy | None" = None) -> ItemList:
     return _collect(raw, policy)
 
 
+def _csv_dims(header: tuple[str, ...]) -> int:
+    """Trace dimensionality implied by a CSV header.
+
+    Raises:
+        ValidationError: when the header is neither the scalar layout nor a
+            ``size_0…size_{d-1}`` vector layout.
+    """
+    if header == CSV_FIELDS:
+        return 1
+    dims = len(header) - 3
+    if dims >= 1 and header == _csv_fields(dims):
+        return dims
+    raise ValidationError(
+        f"bad CSV header {list(header)}; expected {list(CSV_FIELDS)} or "
+        f"id,size_0,…,size_{{d-1}},arrival,departure"
+    )
+
+
 def load_csv(text: str, *, policy: "FaultPolicy | None" = None) -> ItemList:
-    """Parse CSV text produced by :func:`dump_csv`.
+    """Parse CSV text produced by :func:`dump_csv` (scalar or vector layout).
 
     Line numbers in error messages are 1-based over the whole file, header
-    included (so the first data row is line 2).
+    included (so the first data row is line 2).  Coordinate faults in a
+    vector trace name the record-level entry (``sizes[k]``, 0-indexed) the
+    offending ``size_k`` column maps to.
 
     Raises:
         ValidationError: on a missing or wrong header, or (strict) on
@@ -253,25 +349,38 @@ def load_csv(text: str, *, policy: "FaultPolicy | None" = None) -> ItemList:
         header = next(reader)
     except StopIteration:
         raise ValidationError("empty CSV trace") from None
-    if tuple(h.strip() for h in header) != CSV_FIELDS:
-        raise ValidationError(f"bad CSV header {header}; expected {list(CSV_FIELDS)}")
+    dims = _csv_dims(tuple(h.strip() for h in header))
+    fields = _csv_fields(dims)
     raw: list[tuple[int, Mapping[str, object] | _BadRecord]] = []
     for lineno, row in enumerate(reader, 2):
         if not row:
             continue
-        if len(row) != len(CSV_FIELDS):
+        if len(row) != len(fields):
             raw.append(
                 (
                     lineno,
                     _BadRecord(
-                        f"trace line {lineno}: expected {len(CSV_FIELDS)} fields "
-                        f"({', '.join(CSV_FIELDS)}), got {len(row)}",
+                        f"trace line {lineno}: expected {len(fields)} fields "
+                        f"({', '.join(fields)}), got {len(row)}",
                         reason="field_count",
                     ),
                 )
             )
             continue
-        raw.append((lineno, dict(zip(CSV_FIELDS, row))))
+        if dims == 1:
+            raw.append((lineno, dict(zip(fields, row))))
+        else:
+            raw.append(
+                (
+                    lineno,
+                    {
+                        "id": row[0],
+                        "sizes": row[1 : 1 + dims],
+                        "arrival": row[1 + dims],
+                        "departure": row[2 + dims],
+                    },
+                )
+            )
     return _collect(raw, policy)
 
 

@@ -26,6 +26,8 @@ SPECIAL = {
     "classify-departure": {"rho": 2.0},
     "classify-duration": {"alpha": 2.0},
     "classify-combined": {"alpha": 2.0},
+    "vector-classify-departure": {"rho": 2.0},
+    "vector-classify-duration": {"alpha": 2.0},
 }
 
 

@@ -19,6 +19,8 @@ SPECIAL = {
     "classify-departure": {"rho": 2.5},
     "classify-duration": {"alpha": 2.0},
     "classify-combined": {"alpha": 2.0},
+    "vector-classify-departure": {"rho": 2.5},
+    "vector-classify-duration": {"alpha": 2.0},
 }
 
 
@@ -123,6 +125,8 @@ class TestCrossValidation:
             "classify-departure": {"rho": 2.5 * c},  # rho has time units
             "classify-duration": {"alpha": 2.0},
             "classify-combined": {"alpha": 2.0},
+            "vector-classify-departure": {"rho": 2.5 * c},
+            "vector-classify-duration": {"alpha": 2.0},
         }
         for name in available_packers():
             p1 = get_packer(name, **SPECIAL.get(name, {}))

@@ -36,6 +36,8 @@ def make_all_packers():
         "classify-departure": {"rho": 3.0},
         "classify-duration": {"alpha": 2.0},
         "classify-combined": {"alpha": 2.0},
+        "vector-classify-departure": {"rho": 3.0},
+        "vector-classify-duration": {"alpha": 2.0},
     }
     return [get_packer(name, **special.get(name, {})) for name in available_packers()]
 
@@ -47,6 +49,8 @@ class TestEveryPackerOnEveryWorkload:
             "classify-departure": {"rho": 3.0},
             "classify-duration": {"alpha": 2.0},
             "classify-combined": {"alpha": 2.0},
+            "vector-classify-departure": {"rho": 3.0},
+            "vector-classify-duration": {"alpha": 2.0},
         }
         packer = get_packer(name, **special.get(name, {}))
         for items in (

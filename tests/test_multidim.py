@@ -1,18 +1,50 @@
-"""Tests for the multi-resource extension."""
+"""Tests for the historical multi-resource extension surface.
+
+Vector packing is first-class now (:mod:`repro.algorithms.vector`); these
+tests exercise the compatibility surface — the old ``repro.extensions``
+names must keep working on top of the new dimension-generic core, and
+``repro.extensions.multidim`` must warn on import.
+"""
 
 from __future__ import annotations
+
+import importlib
+import sys
+import warnings
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import Interval, ValidationError
+from repro.core import CapacityError, Interval, Item, ItemList, PackingResult, ValidationError
 from repro.extensions import (
     VectorClassifyByDuration,
     VectorFirstFit,
     VectorItem,
     vector_demand_lower_bound,
 )
+
+
+class TestDeprecatedShim:
+    def test_multidim_import_warns(self):
+        sys.modules.pop("repro.extensions.multidim", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.import_module("repro.extensions.multidim")
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+
+    def test_shim_reexports_core_types(self):
+        from repro.extensions import multidim
+
+        assert multidim.VectorItem is Item
+        assert multidim.VectorPacking is PackingResult
+        assert multidim.VectorFirstFit is VectorFirstFit
+
+    def test_extensions_package_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.reload(importlib.import_module("repro.extensions"))
+        assert not any(issubclass(w.category, DeprecationWarning) for w in caught)
 
 
 def vi(i, sizes, left, right):
@@ -66,19 +98,18 @@ class TestVectorFirstFit:
         assert packing.total_usage() == 0.0
 
     def test_validate_detects_overflow(self):
-        from repro.extensions import VectorBin, VectorPacking
+        items = ItemList([vi(0, (0.8, 0.1), 0.0, 2.0), vi(1, (0.8, 0.1), 0.0, 2.0)])
+        packing = PackingResult(items, {0: 0, 1: 0}, algorithm="manual")
+        with pytest.raises(ValidationError):
+            packing.validate()
+
+    def test_bin_place_detects_overflow(self):
+        from repro.extensions import VectorBin
 
         b = VectorBin(0, 2)
         b.place(vi(0, (0.8, 0.1), 0.0, 2.0))
-        b.place(vi(1, (0.8, 0.1), 0.0, 2.0))
-        packing = VectorPacking(
-            (vi(0, (0.8, 0.1), 0.0, 2.0), vi(1, (0.8, 0.1), 0.0, 2.0)),
-            {0: 0, 1: 0},
-            (b,),
-            "manual",
-        )
-        with pytest.raises(ValidationError):
-            packing.validate()
+        with pytest.raises(CapacityError):
+            b.place(vi(1, (0.8, 0.1), 0.0, 2.0))
 
 
 class TestVectorClassifyByDuration:

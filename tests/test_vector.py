@@ -1,0 +1,254 @@
+"""First-class vector packing: degeneracy, SoA parity, registry, traces.
+
+The guarantees under test, in the order the API redesign promises them:
+
+* **degeneracy** — every vector packer at ``d=1`` produces bit-identical
+  placements to its scalar counterpart (object path *and* SoA path);
+* **SoA parity** — the numpy struct-of-arrays fit-check core is a pure
+  optimisation: placements, usage, and ``engine.*`` telemetry counters are
+  identical with the flag on or off, batch and streaming;
+* **registry** — ``dims`` validation in :func:`repro.algorithms.get_packer`
+  raises the uniform :class:`~repro.core.RegistryError` shape;
+* **traces** — ``sizes`` round-trips exactly through JSONL and CSV, and
+  loader faults name the offending coordinate and 1-based line.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import items_strategy
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import available_packers, get_packer
+from repro.algorithms.vector import SOA_ENV_VAR, VectorFirstFit
+from repro.core import (
+    EventKind,
+    Interval,
+    Item,
+    ItemList,
+    RegistryError,
+    ValidationError,
+    event_stream,
+)
+from repro.engine import PackingSession
+from repro.workloads import (
+    dump_csv,
+    dump_jsonl,
+    load_csv,
+    load_jsonl,
+    uniform_random,
+    vector_uniform,
+)
+
+#: (vector packer, scalar counterpart, shared constructor params).
+COUNTERPARTS = [
+    ("vector-first-fit", "first-fit", {}),
+    ("vector-classify-duration", "classify-duration", {"alpha": 2.0}),
+    ("vector-classify-departure", "classify-departure", {"rho": 2.5}),
+]
+
+VECTOR_SPECIAL = {
+    "vector-first-fit": {},
+    "vector-classify-duration": {"alpha": 2.0},
+    "vector-classify-departure": {"rho": 2.5},
+}
+
+
+@st.composite
+def vector_items_strategy(draw, max_items: int = 10, dims: int = 3):
+    """An :class:`ItemList` of random ``dims``-dimensional items."""
+    n = draw(st.integers(min_value=1, max_value=max_items))
+    coord = st.floats(min_value=0.01, max_value=1.0, allow_nan=False, allow_infinity=False)
+    items = []
+    for i in range(n):
+        a = draw(st.floats(min_value=0.0, max_value=20.0, allow_nan=False))
+        d = draw(st.floats(min_value=0.05, max_value=10.0, allow_nan=False))
+        sizes = tuple(draw(coord) for _ in range(dims))
+        items.append(Item(i, sizes, Interval(a, a + d)))
+    return ItemList(items)
+
+
+class TestScalarDegeneracy:
+    """Vector packers at d=1 are their scalar counterparts, bit for bit."""
+
+    @pytest.mark.parametrize("vec_name,scalar_name,params", COUNTERPARTS)
+    @pytest.mark.parametrize("soa", [False, True])
+    def test_seeded_instances(self, vec_name, scalar_name, params, soa):
+        for seed in range(4):
+            items = uniform_random(60, seed=seed, size_range=(0.05, 1.0))
+            scalar = get_packer(scalar_name, **params).pack(items)
+            vector = get_packer(vec_name, soa=soa, **params).pack(items)
+            assert vector.assignment == scalar.assignment
+            assert vector.total_usage() == scalar.total_usage()
+
+    @pytest.mark.parametrize("vec_name,scalar_name,params", COUNTERPARTS)
+    @settings(max_examples=40, deadline=None)
+    @given(items=items_strategy(max_items=12))
+    def test_property(self, vec_name, scalar_name, params, items):
+        scalar = get_packer(scalar_name, **params).pack(items)
+        for soa in (False, True):
+            vector = get_packer(vec_name, soa=soa, **params).pack(items)
+            assert vector.assignment == scalar.assignment
+
+    def test_vector_uniform_dims1_equals_uniform_random(self):
+        a = uniform_random(50, seed=11)
+        b = vector_uniform(50, dims=1, seed=11)
+        assert [(r.id, r.sizes, r.arrival, r.departure) for r in a] == [
+            (r.id, r.sizes, r.arrival, r.departure) for r in b
+        ]
+
+
+class TestSoAParity:
+    """soa=True is a pure optimisation: identical placements everywhere."""
+
+    @pytest.mark.parametrize("name", sorted(VECTOR_SPECIAL))
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_batch(self, name, dims):
+        for seed in range(3):
+            items = vector_uniform(80, dims=dims, seed=seed, size_range=(0.05, 1.0))
+            obj = get_packer(name, soa=False, **VECTOR_SPECIAL[name]).pack(items)
+            soa = get_packer(name, soa=True, **VECTOR_SPECIAL[name]).pack(items)
+            assert soa.assignment == obj.assignment
+            assert soa.total_usage() == obj.total_usage()
+            obj.validate()
+            soa.validate()
+
+    @pytest.mark.parametrize("name", sorted(VECTOR_SPECIAL))
+    @settings(max_examples=30, deadline=None)
+    @given(items=vector_items_strategy(max_items=10, dims=2))
+    def test_property(self, name, items):
+        obj = get_packer(name, soa=False, **VECTOR_SPECIAL[name]).pack(items)
+        soa = get_packer(name, soa=True, **VECTOR_SPECIAL[name]).pack(items)
+        assert soa.assignment == obj.assignment
+
+    def test_env_flag_enables_soa(self, monkeypatch):
+        monkeypatch.delenv(SOA_ENV_VAR, raising=False)
+        assert VectorFirstFit().soa is False
+        monkeypatch.setenv(SOA_ENV_VAR, "1")
+        assert VectorFirstFit().soa is True
+        assert VectorFirstFit(soa=False).soa is False  # explicit beats env
+        monkeypatch.setenv(SOA_ENV_VAR, "off")
+        assert VectorFirstFit().soa is False
+
+
+class TestStreaming:
+    """Vector items through PackingSession, both cores, same telemetry."""
+
+    def _drive(self, items, *, soa):
+        session = PackingSession("vector-first-fit", soa=soa)
+        for event in event_stream(items):
+            if event.kind is EventKind.ARRIVAL:
+                session.submit(event.item)
+            else:
+                session.advance(event.time)
+        counters = {
+            k: v
+            for k, v in session.stats.as_dict().items()
+            if not k.endswith("_seconds")
+        }
+        return session.result(), counters
+
+    @pytest.mark.parametrize("soa", [False, True])
+    def test_streaming_matches_batch(self, soa):
+        items = vector_uniform(120, dims=3, seed=5)
+        result, _ = self._drive(items, soa=soa)
+        result.validate()
+        batch = get_packer("vector-first-fit", soa=soa).pack(items)
+        assert result.assignment == batch.assignment
+
+    def test_engine_counters_identical_across_cores(self):
+        items = vector_uniform(150, dims=3, seed=8)
+        obj_result, obj_counters = self._drive(items, soa=False)
+        soa_result, soa_counters = self._drive(items, soa=True)
+        assert soa_result.assignment == obj_result.assignment
+        assert soa_counters == obj_counters
+        assert obj_counters["items_submitted"] == 150
+        assert obj_counters["departures_processed"] == 150
+
+
+class TestRegistryDims:
+    """Uniform RegistryError shape for every dims failure path."""
+
+    def test_scalar_packer_rejects_vector_dims(self):
+        with pytest.raises(RegistryError, match=r"packer 'first-fit': does not support 3"):
+            get_packer("first-fit", dims=3)
+
+    def test_vector_packer_accepts_any_dims(self):
+        packer = get_packer("vector-first-fit", dims=7)
+        assert packer.dims == 7  # forwarded, not just validated
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "3"])
+    def test_bad_dims_values_rejected(self, bad):
+        with pytest.raises(RegistryError, match="dims must be a positive integer"):
+            get_packer("vector-first-fit", dims=bad)
+
+    def test_registry_error_is_validation_and_value_error(self):
+        with pytest.raises(ValidationError):
+            get_packer("first-fit", dims=2)
+        with pytest.raises(ValueError):
+            get_packer("first-fit", dims=2)
+
+    def test_every_scalar_packer_declares_dims_one(self):
+        from repro.algorithms import packer_info
+
+        for name in available_packers():
+            info = packer_info(name)
+            if name.startswith("vector-"):
+                assert info.dims is None
+            else:
+                assert info.supports_dims(1)
+
+    def test_mismatched_item_dims_at_place_time(self):
+        packer = get_packer("vector-first-fit", dims=2)
+        item = Item(0, (0.2, 0.3, 0.4), Interval(0.0, 1.0))
+        with pytest.raises(ValidationError, match="3 dimension"):
+            packer.pack(ItemList([item]))
+
+
+class TestVectorTraces:
+    """sizes round-trips and coordinate-precise loader faults."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(items=vector_items_strategy(max_items=8, dims=3))
+    def test_jsonl_roundtrip(self, items):
+        loaded = load_jsonl(dump_jsonl(items))
+        assert [(r.id, r.sizes, r.arrival, r.departure) for r in items] == [
+            (r.id, r.sizes, r.arrival, r.departure) for r in loaded
+        ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(items=vector_items_strategy(max_items=8, dims=3))
+    def test_csv_roundtrip(self, items):
+        loaded = load_csv(dump_csv(items))
+        assert [(r.id, r.sizes, r.arrival, r.departure) for r in items] == [
+            (r.id, r.sizes, r.arrival, r.departure) for r in loaded
+        ]
+
+    def test_bad_coordinate_names_index_and_line(self):
+        text = (
+            '{"id": 0, "sizes": [0.2, 0.3], "arrival": 0, "departure": 1}\n'
+            '{"id": 1, "sizes": [0.2, 0.3, "x"], "arrival": 0, "departure": 1}\n'
+        )
+        with pytest.raises(ValidationError, match=r"trace line 2: non-numeric sizes\[2\]"):
+            load_jsonl(text)
+
+    def test_out_of_range_coordinate_named(self):
+        text = '{"id": 0, "sizes": [0.2, -0.1], "arrival": 0, "departure": 1}\n'
+        with pytest.raises(ValidationError, match=r"sizes\[1\]"):
+            load_jsonl(text)
+
+    def test_both_spellings_rejected(self):
+        text = '{"id": 0, "size": 0.2, "sizes": [0.2], "arrival": 0, "departure": 1}\n'
+        with pytest.raises(ValidationError, match="both 'size' and 'sizes'"):
+            load_jsonl(text)
+
+    def test_vector_csv_header(self):
+        items = vector_uniform(3, dims=3, seed=1)
+        header = dump_csv(items).splitlines()[0]
+        assert header == "id,size_0,size_1,size_2,arrival,departure"
+
+    def test_scalar_dump_keeps_legacy_spelling(self):
+        items = uniform_random(3, seed=1)
+        assert '"size":' in dump_jsonl(items).splitlines()[0]
+        assert dump_csv(items).splitlines()[0] == "id,size,arrival,departure"
