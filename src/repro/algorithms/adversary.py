@@ -41,7 +41,8 @@ from typing import Sequence
 
 from typing import TYPE_CHECKING
 
-from ..core.events import SizeSlice, active_size_slices
+from ..core.events import EventArrays, SizeSlice, active_size_slices
+from ..core.exceptions import ValidationError
 from ..core.items import ItemList
 from ..core.stepfun import DEFAULT_TOL
 from ..obs import TelemetryRegistry, enabled as _telemetry_enabled
@@ -281,6 +282,7 @@ def opt_total(
     memo: MemoCache | None = None,
     stats: SolverStats | None = None,
     deadline: "Deadline | None" = None,
+    slice_engine: str | None = None,
 ) -> float:
     """Exact ``OPT_total(R) = ∫ OPT(R, t) dt`` (paper §3.2), fast.
 
@@ -307,6 +309,12 @@ def opt_total(
             bounding the **whole** integral — one budget shared by every
             slice's branch and bound, checked between slices and inside
             each solve.
+        slice_engine: Sweep engine forwarded to
+            :func:`~repro.core.events.active_size_slices` — ``None`` /
+            ``"columnar"`` (presorted arrays, the default) or ``"object"``
+            (the original per-object sweep).  Both engines yield identical
+            slices, so the integral is the same either way; the knob exists
+            for parity testing and benchmarking.
 
     Raises:
         SolverLimitError: propagated from :func:`bin_packing_min_bins` if an
@@ -318,7 +326,7 @@ def opt_total(
     memo = _DEFAULT_MEMO if memo is None else memo
     total = 0.0
     prev_count = 0
-    for sl in active_size_slices(items):
+    for sl in active_size_slices(items, engine=slice_engine):
         if stats is not None:
             stats.slices += 1
         if deadline is not None:
@@ -385,7 +393,16 @@ class AdversaryOracle:
             private one is created if omitted (read it via ``.stats``).
     """
 
-    __slots__ = ("tol", "max_nodes", "memo", "stats", "_items", "_slices", "_counts")
+    __slots__ = (
+        "tol",
+        "max_nodes",
+        "memo",
+        "stats",
+        "_items",
+        "_slices",
+        "_counts",
+        "_events",
+    )
 
     #: An evaluation falls back to a full sweep when more than this fraction
     #: of the items changed (windows would cover most of the timeline).
@@ -406,10 +423,11 @@ class AdversaryOracle:
         self._items: ItemList | None = None
         self._slices: list[SizeSlice] | None = None
         self._counts: list[int] | None = None
+        self._events: EventArrays | None = None
 
     def reset(self) -> None:
         """Forget the remembered baseline (the memo cache is kept)."""
-        self._items = self._slices = self._counts = None
+        self._items = self._slices = self._counts = self._events = None
 
     def opt_total(self, items: ItemList) -> float:
         """Exact ``OPT_total(items)``, incrementally when possible.
@@ -422,20 +440,22 @@ class AdversaryOracle:
             return 0.0
         slices: list[SizeSlice] | None = None
         counts: list[int] | None = None
+        events: EventArrays | None = None
         if self._items is not None:
             changed = self._items.changed_ids(items)
             if changed is not None:
                 if not changed:
-                    slices, counts = self._slices, self._counts
+                    slices, counts, events = self._slices, self._counts, self._events
                 elif len(changed) <= max(2, int(len(items) * self._INCREMENTAL_FRACTION)):
-                    slices, counts = self._incremental(items, changed)
+                    slices, counts, events = self._incremental(items, changed)
         if slices is None or counts is None:
-            slices, counts = self._full(items)
+            slices, counts, events = self._full(items)
         total = 0.0
         for sl, count in zip(slices, counts):
             if sl.sizes:
                 total += count * (sl.right - sl.left)
         self._items, self._slices, self._counts = items, slices, counts
+        self._events = events
         return total
 
     # -- evaluation paths ---------------------------------------------------
@@ -450,22 +470,25 @@ class AdversaryOracle:
             stats=self.stats,
         )
 
-    def _full(self, items: ItemList) -> tuple[list[SizeSlice], list[int]]:
+    def _full(
+        self, items: ItemList
+    ) -> tuple[list[SizeSlice], list[int], EventArrays]:
+        events = EventArrays.from_items(items)
         slices: list[SizeSlice] = []
         counts: list[int] = []
         prev_count = 0
-        for sl in active_size_slices(items):
+        for sl in events.slices():
             self.stats.slices += 1
             count = self._count(sl.sizes, prev_count + sl.added) if sl.sizes else 0
             slices.append(sl)
             counts.append(count)
             prev_count = count
         self.stats.full_evals += 1
-        return slices, counts
+        return slices, counts, events
 
     def _incremental(
         self, items: ItemList, changed: list[int]
-    ) -> tuple[list[SizeSlice], list[int]]:
+    ) -> tuple[list[SizeSlice], list[int], EventArrays]:
         assert self._items is not None and self._slices is not None
         assert self._counts is not None
         old_items, old_slices, old_counts = self._items, self._slices, self._counts
@@ -508,7 +531,19 @@ class AdversaryOracle:
             k = bisect_left(window_los, right) - 1
             return k >= 0 and left < windows[k][1]
 
-        times = items.event_times()
+        # Presort reuse: splice the mutated items' event times into the
+        # baseline's sorted timeline instead of re-sorting all 2n events per
+        # mutation.  The resulting boundaries are bit-identical to
+        # ``items.event_times()`` (same floats, same order).
+        events: EventArrays | None = None
+        if self._events is not None:
+            try:
+                events = self._events.retimed(old_changed, new_changed)
+            except ValidationError:
+                events = None  # baseline timeline mismatch: rebuild below
+        if events is None:
+            events = EventArrays.from_items(items)
+        times = events.times
         slices: list[SizeSlice] = []
         counts: list[int] = []
         prev_sizes: tuple[float, ...] = ()
@@ -537,7 +572,7 @@ class AdversaryOracle:
             counts.append(count)
             prev_sizes, prev_count = sizes, count
         self.stats.incremental_evals += 1
-        return slices, counts
+        return slices, counts, events
 
 
 def opt_total_incremental(

@@ -31,6 +31,9 @@ import inspect
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+import numpy as np
+
+from ..core.batch import ArrivalBatch
 from ..core.bins import Bin
 from ..core.exceptions import RegistryError, UnknownPackerError
 from ..core.items import Item, ItemList
@@ -40,6 +43,7 @@ __all__ = [
     "Packer",
     "OfflinePacker",
     "OnlinePacker",
+    "BatchPlacement",
     "ParamInfo",
     "PackerInfo",
     "register_packer",
@@ -80,6 +84,26 @@ class OfflinePacker(Packer):
 
 
 _NEG_INF = float("-inf")
+
+
+@dataclass(frozen=True, slots=True)
+class BatchPlacement:
+    """Result of one :meth:`OnlinePacker.place_many` call.
+
+    Attributes:
+        indices: ``(n,)`` int64 array — the bin index each batch row was
+            committed to, in row order (never ``-1``: the packer itself
+            always places; fault-driven drops happen in the session layer).
+        open_bins: ``(n,)`` int64 array — the number of open bins right
+            after each row's placement, measured at that row's arrival time
+            (what the scalar path reads via ``len(open_bins_at(arrival))``).
+        bins_retired: Total bins retired while advancing through the batch's
+            arrivals (matches the sum the scalar loop would accumulate).
+    """
+
+    indices: np.ndarray
+    open_bins: np.ndarray
+    bins_retired: int
 
 
 class OnlinePacker(Packer):
@@ -148,12 +172,49 @@ class OnlinePacker(Packer):
             assignment[item.id] = index
         return assignment
 
+    def place_many(self, batch: ArrivalBatch) -> BatchPlacement:
+        """Place a whole :class:`~repro.core.ArrivalBatch`, row by row.
+
+        The default implementation is the scalar loop — it materialises each
+        row as an :class:`~repro.core.Item` and routes it through
+        :meth:`place`, retiring departed bins at every arrival exactly as the
+        streaming session does.  Columnar packers (the ``vector-*`` family
+        with SoA enabled) override this with an array-at-a-time fast path;
+        either way the placements are bit-identical to the scalar loop, which
+        is asserted by the parity battery in ``tests/test_engine.py`` and
+        ``benchmarks/bench_columnar.py``.
+
+        The caller (``PackingSession.submit_many``) guarantees rows arrive in
+        non-decreasing arrival order with unique, fresh ids.
+        """
+        n = len(batch)
+        indices = np.empty(n, dtype=np.int64)
+        opens = np.empty(n, dtype=np.int64)
+        retired = 0
+        for i in range(n):
+            item = batch.item(i)
+            retired += len(self.retire_until(item.arrival))
+            index = self.place(item)
+            self._note_commit(index, item)
+            indices[i] = index
+            opens[i] = len(self._open)
+        return BatchPlacement(indices=indices, open_bins=opens, bins_retired=retired)
+
     # -- bin pool ----------------------------------------------------------------
 
     @property
     def bins(self) -> list[Bin]:
         """All bins ever opened, in opening order."""
         return self._bins
+
+    def bin_count(self) -> int:
+        """Number of bins ever opened.
+
+        Equivalent to ``len(self.bins)`` but safe to call on the batch hot
+        path: packers that defer :class:`~repro.core.Bin` materialisation
+        (the SoA ``place_many`` fast path) can answer without flushing.
+        """
+        return len(self._close_times)
 
     def open_bin(self) -> Bin:
         """Open a fresh bin with the next index and return it."""

@@ -39,12 +39,15 @@ types they grew into.
 from __future__ import annotations
 
 import abc
+import gc
+import heapq
 import math
 import os
 from typing import Iterable
 
 import numpy as np
 
+from ..core.batch import ArrivalBatch
 from ..core.bins import Bin
 from ..core.exceptions import ValidationError
 from ..core.items import Item, ItemList
@@ -52,7 +55,7 @@ from ..core.packing import PackingResult
 from ..core.soa import IntVector, SoAFitChecker
 from ..core.stepfun import DEFAULT_TOL
 from ..bounds.opt_bounds import vector_ceil_lower_bound, vector_demand_lower_bound
-from .base import OnlinePacker, register_packer
+from .base import BatchPlacement, OnlinePacker, register_packer
 from .classify_duration import duration_category
 
 __all__ = [
@@ -79,6 +82,8 @@ def _soa_default() -> bool:
 
 #: Compaction floor: candidate lists shorter than this are never compacted.
 _COMPACT_MIN = 64
+
+_NEG_INF = float("-inf")
 
 
 class VectorClassifiedFirstFit(OnlinePacker):
@@ -111,6 +116,7 @@ class VectorClassifiedFirstFit(OnlinePacker):
         self._category_bins: dict[object, list[Bin]] = {}
         self._category_slots: dict[object, IntVector] = {}
         self._compact_at: dict[object, int] = {}
+        self._pending: list[tuple[ArrivalBatch, np.ndarray]] = []
 
     def reset(self) -> None:
         """Clear all state (and re-arm dimension inference) before a pack."""
@@ -120,10 +126,23 @@ class VectorClassifiedFirstFit(OnlinePacker):
         self._category_bins = {}
         self._category_slots = {}
         self._compact_at = {}
+        self._pending = []
 
     @abc.abstractmethod
     def category_of(self, item: Item) -> object:
         """The (hashable) category key of ``item``, decided at its arrival."""
+
+    def category_of_interval(self, arrival: float, departure: float) -> object:
+        """The category key from the item's times alone (columnar hot path).
+
+        The built-in vector packers classify by times only, so the batched
+        :meth:`place_many` fast path can compute categories straight from the
+        batch's arrival/departure arrays without materialising items.  A
+        subclass whose :meth:`category_of` reads sizes or tags should leave
+        this unimplemented — :meth:`place_many` then falls back to the scalar
+        loop, which classifies through :meth:`category_of` as usual.
+        """
+        raise NotImplementedError
 
     # -- dimensionality ---------------------------------------------------------
 
@@ -167,6 +186,49 @@ class VectorClassifiedFirstFit(OnlinePacker):
             self._checker.open_bin()
         return b
 
+    # -- deferred bin materialisation (batch hot path) --------------------------
+
+    def _flush_pending(self) -> None:
+        """Materialise the bins and placements deferred by :meth:`place_many`.
+
+        The SoA batch path tracks bin state (levels, close times, retire
+        heap) in arrays only; :class:`~repro.core.Bin` objects are built here,
+        on the first access that actually needs them (results, snapshots,
+        scalar placements).  Placements are replayed in submission order, so
+        each bin's item sequence is exactly what the scalar path would have
+        produced.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        bins = self._bins
+        dims = self.dims or 1
+        while len(bins) < len(self._close_times):
+            bins.append(Bin(len(bins), dims=dims))
+        for batch, indices in pending:
+            idx = indices.tolist()
+            for i, index in enumerate(idx):
+                bins[index].place(batch.item(i), check=False)
+
+    @property
+    def bins(self) -> list[Bin]:
+        """All bins ever opened, in opening order (flushes deferred state)."""
+        self._flush_pending()
+        return self._bins
+
+    def retire_until(self, t: float) -> list[Bin]:
+        """Retire closed bins, flushing deferred batch placements first."""
+        if self._pending:
+            self._flush_pending()
+        return super().retire_until(t)
+
+    def open_bins_at(self, t: float) -> list[Bin]:
+        """Open bins at ``t``, flushing deferred batch placements first."""
+        if self._pending:
+            self._flush_pending()
+        return super().open_bins_at(t)
+
     def _note_commit(self, index: int, item: Item) -> None:
         """Sync the open-bin index, keeping SoA close times amend-exact."""
         super()._note_commit(index, item)
@@ -176,6 +238,8 @@ class VectorClassifiedFirstFit(OnlinePacker):
 
     def amend_last(self, bin_index: int, actual: Item) -> None:
         """Amend the last commitment in both the bin and the SoA core."""
+        if self._pending:
+            self._flush_pending()
         ck = self._checker
         if ck is not None:
             # The engine's contract: the amended item is the last one placed.
@@ -188,6 +252,8 @@ class VectorClassifiedFirstFit(OnlinePacker):
 
     def place(self, item: Item) -> int:
         """First Fit within the item's category, over all dimensions."""
+        if self._pending:
+            self._flush_pending()
         dims = self._resolve_dims(item)
         t = item.arrival
         key = self.category_of(item)
@@ -227,6 +293,184 @@ class VectorClassifiedFirstFit(OnlinePacker):
         b = self.open_bin()
         bins.append(b)
         return self.commit(b, item)
+
+    def place_many(self, batch: ArrivalBatch) -> BatchPlacement:
+        """Columnar batch placement on the SoA core, deferring bin objects.
+
+        With SoA enabled and a times-only classifier
+        (:meth:`category_of_interval`), the whole batch runs on contiguous
+        arrays: fit checks and level updates go through
+        :class:`~repro.core.SoAFitChecker`, close times and the retire heap
+        are maintained directly, and :class:`~repro.core.Bin` objects are not
+        built until something needs them (:meth:`_flush_pending`).  Placements
+        are bit-identical to the scalar loop — same first-fit scan order, same
+        tolerance arithmetic, same retire schedule.
+
+        Falls back to the scalar-loop default when SoA is off or the
+        classifier needs whole items.
+        """
+        n = len(batch)
+        if not self.soa or n == 0:
+            return super().place_many(batch)
+        d = batch.dims
+        dims = self.dims
+        if dims is None:
+            self.dims = dims = d
+        elif d != dims:
+            raise ValidationError(
+                f"item {int(batch.ids[0])} has {d} dimension(s); "
+                f"packer {self.name!r} expects {dims}"
+            )
+        # Everything below (the bulk tolist conversions included) runs with
+        # collection paused: the batch allocates ~n containers while the
+        # session's live placement records number in the millions, so each
+        # generational pass triggered mid-batch costs milliseconds (same
+        # guard as the columnar loaders).  Size rows are kept as *tuples* —
+        # the collector untracks all-float tuples on its first visit, while
+        # lists stay tracked forever and would make every future full
+        # collection rescan one list per placed item.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            arrivals = batch.arrivals.tolist()
+            departures = batch.departures.tolist()
+            try:
+                keys = [
+                    self.category_of_interval(arrivals[i], departures[i])
+                    for i in range(n)
+                ]
+            except NotImplementedError:
+                return super().place_many(batch)
+            ck = self._soa_checker(dims)
+            # The whole loop runs on pure-Python mirrors (cursor + local
+            # slot lists): at a handful of open bins per category, scalar
+            # arithmetic with short-circuiting beats vectorised scans on
+            # per-call overhead while staying bit-identical (Python floats
+            # are IEEE float64).  The cursor's advance / first_open_fit /
+            # open_bin / place bodies are inlined below with its state bound
+            # as locals — at 1e6 items even one method call per item is
+            # measurable (see BatchCursor docstring).
+            cursor = ck.batch_cursor()
+            clevels = cursor.levels
+            lv0 = clevels[0]
+            ccloses = cursor.closes
+            cheap = cursor.heap
+            rec_bin = cursor.rec_bin
+            rec_sizes = cursor.rec_sizes
+            rec_dep = cursor.rec_departure
+            captol = cursor.captol
+            one_dim = dims == 1
+            rows = list(map(tuple, batch.sizes.tolist()))
+            close_times = self._close_times
+            heap = self._retire_heap
+            open_set = self._open
+            slots_of = self._category_slots
+            compact_at = self._compact_at
+            local_slots: dict[object, list[int]] = {}
+            heappop, heappush = heapq.heappop, heapq.heappush
+            indices: list[int] = [0] * n
+            opens: list[int] = [0] * n
+            retired = 0
+            for i in range(n):
+                t = arrivals[i]
+                # Count-only retire: same heap discipline as ``retire_until`` but
+                # without touching (possibly unmaterialised) Bin objects.
+                while heap and heap[0][0] <= t:
+                    close, index = heappop(heap)
+                    if close != close_times[index]:
+                        continue  # stale entry, close time has since moved
+                    if index in open_set:
+                        open_set.discard(index)
+                        retired += 1
+                # cursor.advance(t)
+                while cheap and cheap[0][0] <= t:
+                    departure, serial = heappop(cheap)
+                    if departure != rec_dep[serial]:
+                        continue  # stale: this placement's departure was amended
+                    rec_dep[serial] = _NEG_INF  # consumed
+                    index = rec_bin[serial]
+                    sizes = rec_sizes[serial]
+                    if one_dim:
+                        lv0[index] -= sizes[0]
+                    else:
+                        for d in range(dims):
+                            clevels[d][index] -= sizes[d]
+                key = keys[i]
+                slots = local_slots.get(key)
+                if slots is None:
+                    vec = slots_of.get(key)
+                    if vec is None:
+                        slots_of[key] = IntVector()
+                        compact_at[key] = _COMPACT_MIN
+                        slots = local_slots[key] = []
+                    else:
+                        slots = local_slots[key] = vec.view().tolist()
+                row = rows[i]
+                dep = departures[i]
+                # cursor.first_open_fit(row, t, slots)
+                choice = -1
+                if one_dim:
+                    s0 = row[0]
+                    for b in slots:
+                        if ccloses[b] > t and lv0[b] + s0 <= captol:
+                            choice = b
+                            break
+                else:
+                    for b in slots:
+                        if ccloses[b] > t:
+                            for d in range(dims):
+                                if clevels[d][b] + row[d] > captol:
+                                    break
+                            else:
+                                choice = b
+                                break
+                if choice < 0:
+                    # cursor.open_bin()
+                    for lv in clevels:
+                        lv.append(0.0)
+                    ccloses.append(_NEG_INF)
+                    choice = len(ccloses) - 1
+                    slots.append(choice)
+                    close_times.append(_NEG_INF)
+                # cursor.place(choice, row, dep)
+                if one_dim:
+                    lv0[choice] += row[0]
+                else:
+                    for d in range(dims):
+                        clevels[d][choice] += row[d]
+                if dep > ccloses[choice]:
+                    ccloses[choice] = dep
+                serial = len(rec_bin)
+                rec_bin.append(choice)
+                rec_sizes.append(row)
+                rec_dep.append(dep)
+                heappush(cheap, (dep, serial))
+                if dep > close_times[choice]:
+                    close_times[choice] = dep
+                    heappush(heap, (dep, choice))
+                open_set.add(choice)
+                indices[i] = choice
+                opens[i] = len(open_set)
+                if len(slots) >= compact_at[key]:
+                    # cursor.compact(slots, t)
+                    slots = local_slots[key] = [b for b in slots if ccloses[b] > t]
+                    compact_at[key] = max(_COMPACT_MIN, 2 * len(slots))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        cursor.clock = arrivals[-1]
+        cursor.flush()
+        for key, slots in local_slots.items():
+            slots_of[key].replace(np.asarray(slots, dtype=np.int64))
+        if arrivals[-1] > self._frontier:
+            self._frontier = arrivals[-1]
+        out = np.asarray(indices, dtype=np.int64)
+        self._pending.append((batch, out))
+        return BatchPlacement(
+            indices=out,
+            open_bins=np.asarray(opens, dtype=np.int64),
+            bins_retired=retired,
+        )
 
     # -- batch packing ----------------------------------------------------------
 
@@ -284,6 +528,10 @@ class VectorFirstFit(VectorClassifiedFirstFit):
         """Single shared category: plain First Fit."""
         return 0
 
+    def category_of_interval(self, arrival: float, departure: float) -> object:
+        """Single shared category, regardless of times."""
+        return 0
+
 
 @register_packer("vector-classify-duration", dims=None)
 class VectorClassifyByDuration(VectorClassifiedFirstFit):
@@ -328,9 +576,14 @@ class VectorClassifyByDuration(VectorClassifiedFirstFit):
 
     def category_of(self, item: Item) -> int:
         """Geometric duration category, identical to the scalar packer."""
+        return self.category_of_interval(item.arrival, item.departure)
+
+    def category_of_interval(self, arrival: float, departure: float) -> int:
+        """Duration category from the raw times (columnar hot path)."""
+        duration = departure - arrival
         if self._base is None:
-            self._base = item.duration
-        return duration_category(item.duration, self._base, self.alpha)
+            self._base = duration
+        return duration_category(duration, self._base, self.alpha)
 
 
 @register_packer("vector-classify-departure", dims=None)
@@ -376,11 +629,15 @@ class VectorClassifyByDeparture(VectorClassifiedFirstFit):
 
     def category_of(self, item: Item) -> int:
         """Departure-window category, identical to the scalar packer."""
+        return self.category_of_interval(item.arrival, item.departure)
+
+    def category_of_interval(self, arrival: float, departure: float) -> int:
+        """Departure-window category from the raw times (columnar hot path)."""
         if self._origin is None:
-            self._origin = item.arrival
+            self._origin = arrival
         # Departure in (origin + (k-1)ρ, origin + kρ]  ⇒  k = ⌈(dep - origin)/ρ⌉,
         # with the same exact-boundary correction as the scalar packer.
-        offset = item.departure - self._origin
+        offset = departure - self._origin
         k = math.ceil(offset / self.rho)
         if (k - 1) * self.rho >= offset:
             k -= 1

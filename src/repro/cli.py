@@ -70,6 +70,7 @@ from .resilience import FAULT_MODES, FaultPolicy, RetryPolicy
 from .simulation import evaluate
 from .viz import render_chart, render_gantt, render_profile
 from .workloads import (
+    TRACE_LOADERS,
     bounded_mu,
     bursty,
     gaming_sessions,
@@ -240,7 +241,9 @@ def _make_packer(name: str, args: argparse.Namespace, *, dims: int | None = None
 
 
 def _load(args: argparse.Namespace, policy: "FaultPolicy | None" = None) -> ItemList:
-    return load_trace(args.trace, policy=policy)
+    return load_trace(
+        args.trace, policy=policy, loader=getattr(args, "loader", "object")
+    )
 
 
 def _require_scalar_for_exact_opt(items: ItemList) -> None:
@@ -683,6 +686,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="write the run's span tree to FILE as a collapsed-stack flamegraph",
         )
 
+    def add_loader_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--loader",
+            choices=list(TRACE_LOADERS),
+            default="object",
+            help="trace loader: object parses per record (default), columnar "
+            "memory-maps the file and block-parses the regular numeric schema, "
+            "falling back to the object loader on any irregular line "
+            "(identical items and fault diagnostics either way)",
+        )
+
     lst = sub.add_parser(
         "list-algorithms",
         help="list registered packers with dims capability and parameters",
@@ -778,6 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="second algorithm: report the first structural divergence",
     )
     rep.add_argument("--limit", type=int, default=30, help="decisions to print")
+    add_loader_opt(rep)
     add_packer_opts(rep)
     add_output_opts(rep)
     rep.set_defaults(func=_cmd_replay)
@@ -821,6 +836,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="maximum faults absorbed before the policy trips back to strict "
         "(default: unlimited)",
     )
+    add_loader_opt(srv)
     add_packer_opts(srv)
     add_output_opts(srv)
     srv.set_defaults(func=_cmd_serve)
@@ -876,6 +892,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-cell wall-clock budget for the exact adversary; on expiry the "
         "cell degrades to certified lower bounds (exact=false) instead of hanging",
     )
+    # Sweep generates its workloads rather than reading a trace; the flag is
+    # accepted for interface uniformity with replay/serve and ignored.
+    add_loader_opt(swp)
     add_packer_opts(swp)
     add_output_opts(swp)
     swp.set_defaults(func=_cmd_sweep)

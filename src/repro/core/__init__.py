@@ -1,7 +1,16 @@
 """Core substrate: intervals, step functions, items, bins and packings."""
 
+from .batch import ArrivalBatch
 from .bins import Bin, bins_from_assignment
-from .events import Event, EventHeap, EventKind, SizeSlice, active_size_slices, event_stream
+from .events import (
+    Event,
+    EventArrays,
+    EventHeap,
+    EventKind,
+    SizeSlice,
+    active_size_slices,
+    event_stream,
+)
 from .exceptions import (
     CapacityError,
     DeadlineExceeded,
@@ -19,9 +28,11 @@ from .soa import IntVector, SoAFitChecker
 from .stepfun import DEFAULT_TOL, StepFunction, iceil
 
 __all__ = [
+    "ArrivalBatch",
     "Bin",
     "bins_from_assignment",
     "Event",
+    "EventArrays",
     "EventHeap",
     "EventKind",
     "SizeSlice",

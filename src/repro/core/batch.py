@@ -1,0 +1,180 @@
+"""Structure-of-arrays arrival batches for the columnar engine hot path.
+
+The streaming engine's scalar API (:meth:`~repro.engine.PackingSession.submit`)
+pays per-item Python overhead — clock checks, fault checks, telemetry writes,
+an open-bin query — for every arrival.  :class:`ArrivalBatch` is the columnar
+input type that lets :meth:`~repro.engine.PackingSession.submit_many` and
+:meth:`~repro.algorithms.OnlinePacker.place_many` amortise all of that across
+a whole batch: ids, arrivals, departures and the ``(n, d)`` size matrix live
+in contiguous numpy arrays, so batch validation is a handful of vectorised
+reductions and the SoA fit-check core (:class:`~repro.core.SoAFitChecker`)
+can consume size rows directly without ever materialising
+:class:`~repro.core.Item` objects on the hot path.
+
+Construction is validated once per batch (:meth:`ArrivalBatch.from_arrays`)
+or inherited from already-validated items (:meth:`ArrivalBatch.from_items`),
+which is what makes the trusted fast paths downstream sound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .exceptions import ValidationError
+from .items import Item, ItemList
+from .intervals import Interval
+
+__all__ = ["ArrivalBatch"]
+
+
+def _trusted_item(
+    item_id: int, sizes: tuple[float, ...], arrival: float, departure: float
+) -> Item:
+    """Build an :class:`Item` from already-validated fields, skipping checks.
+
+    Every field must satisfy the :class:`Item` invariants (sizes in
+    ``(0, 1]``, ``arrival < departure``, both finite) — callers are the
+    validated columnar paths (:class:`ArrivalBatch`, the columnar trace
+    loader), which check those invariants vectorised over the whole batch
+    before constructing any object.
+    """
+    iv = object.__new__(Interval)
+    object.__setattr__(iv, "left", arrival)
+    object.__setattr__(iv, "right", departure)
+    item = object.__new__(Item)
+    object.__setattr__(item, "id", item_id)
+    object.__setattr__(item, "sizes", sizes)
+    object.__setattr__(item, "interval", iv)
+    object.__setattr__(item, "tags", {})
+    return item
+
+
+class ArrivalBatch:
+    """A validated, columnar batch of arriving items (structure of arrays).
+
+    Attributes:
+        ids: ``(n,)`` int64 item identifiers.
+        arrivals: ``(n,)`` float64 arrival times.
+        departures: ``(n,)`` float64 departure times.
+        sizes: ``(n, d)`` float64 demand matrix (C-contiguous); row ``i`` is
+            item ``i``'s demand vector.
+
+    Rows are kept in the order given; :meth:`~repro.engine.PackingSession.submit_many`
+    requires (and checks) non-decreasing arrivals for its fast path.
+    """
+
+    __slots__ = ("ids", "arrivals", "departures", "sizes")
+
+    def __init__(
+        self,
+        ids: np.ndarray,
+        arrivals: np.ndarray,
+        departures: np.ndarray,
+        sizes: np.ndarray,
+    ) -> None:
+        """Wrap pre-normalised arrays; use the classmethod constructors."""
+        self.ids = ids
+        self.arrivals = arrivals
+        self.departures = departures
+        self.sizes = sizes
+
+    @classmethod
+    def from_arrays(
+        cls,
+        ids: "np.ndarray | Iterable[int]",
+        arrivals: "np.ndarray | Iterable[float]",
+        departures: "np.ndarray | Iterable[float]",
+        sizes: "np.ndarray | Iterable[float] | Iterable[Iterable[float]]",
+    ) -> "ArrivalBatch":
+        """Build a batch from array-likes, validating the item invariants.
+
+        ``sizes`` may be ``(n,)`` (scalar items) or ``(n, d)``.  Validation
+        mirrors :class:`~repro.core.Item`: every size coordinate in
+        ``(0, 1]``, finite times with ``arrival < departure`` per row.
+
+        Raises:
+            ValidationError: on shape mismatches or any out-of-range row
+                (the message names the first offending row's id).
+        """
+        ids_a = np.ascontiguousarray(ids, dtype=np.int64)
+        arr = np.ascontiguousarray(arrivals, dtype=np.float64)
+        dep = np.ascontiguousarray(departures, dtype=np.float64)
+        sz = np.ascontiguousarray(sizes, dtype=np.float64)
+        if sz.ndim == 1:
+            sz = sz.reshape(-1, 1)
+        n = ids_a.shape[0]
+        if sz.ndim != 2 or arr.shape != (n,) or dep.shape != (n,) or sz.shape[0] != n:
+            raise ValidationError(
+                "ArrivalBatch arrays must share one length: got "
+                f"ids {ids_a.shape}, arrivals {arr.shape}, departures "
+                f"{dep.shape}, sizes {sz.shape}"
+            )
+        if n:
+            bad = ~(np.isfinite(arr) & np.isfinite(dep) & (dep > arr))
+            if bad.any():
+                i = int(bad.argmax())
+                raise ValidationError(
+                    f"item {ids_a[i]}: invalid interval "
+                    f"[{arr[i]}, {dep[i]}) (need finite arrival < departure)"
+                )
+            bad_size = ~((sz > 0.0) & (sz <= 1.0)).all(axis=1)
+            if bad_size.any():
+                i = int(bad_size.argmax())
+                raise ValidationError(
+                    f"item {ids_a[i]}: sizes must be in (0, 1], got "
+                    f"{tuple(sz[i])}"
+                )
+        return cls(ids_a, arr, dep, sz)
+
+    @classmethod
+    def from_items(cls, items: "ItemList | Iterable[Item]") -> "ArrivalBatch":
+        """Build a batch from already-validated items (no re-validation).
+
+        The row order follows the iteration order of ``items`` (for an
+        :class:`~repro.core.ItemList`, arrival order).
+        """
+        seq = list(items)
+        n = len(seq)
+        dims = len(seq[0].sizes) if n else 1
+        ids = np.fromiter((r.id for r in seq), dtype=np.int64, count=n)
+        arr = np.fromiter((r.arrival for r in seq), dtype=np.float64, count=n)
+        dep = np.fromiter((r.departure for r in seq), dtype=np.float64, count=n)
+        sz = np.empty((n, dims), dtype=np.float64)
+        for i, r in enumerate(seq):
+            sz[i] = r.sizes
+        return cls(ids, arr, dep, sz)
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.ids.shape[0]
+
+    @property
+    def dims(self) -> int:
+        """Number of resource dimensions ``d``."""
+        return self.sizes.shape[1]
+
+    def item(self, i: int) -> Item:
+        """Materialise row ``i`` as an :class:`~repro.core.Item`."""
+        return _trusted_item(
+            int(self.ids[i]),
+            tuple(self.sizes[i].tolist()),
+            float(self.arrivals[i]),
+            float(self.departures[i]),
+        )
+
+    def to_items(self) -> list[Item]:
+        """Materialise every row (used when a result object is finally built)."""
+        ids = self.ids.tolist()
+        arr = self.arrivals.tolist()
+        dep = self.departures.tolist()
+        rows = self.sizes.tolist()
+        return [
+            _trusted_item(ids[i], tuple(rows[i]), arr[i], dep[i])
+            for i in range(len(ids))
+        ]
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self.to_items())

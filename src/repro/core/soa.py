@@ -33,7 +33,7 @@ import numpy as np
 from .exceptions import ValidationError
 from .stepfun import DEFAULT_TOL
 
-__all__ = ["SoAFitChecker", "IntVector"]
+__all__ = ["SoAFitChecker", "IntVector", "BatchCursor"]
 
 _NEG_INF = float("-inf")
 
@@ -115,6 +115,7 @@ class SoAFitChecker:
         "_rec_sizes",
         "_rec_departure",
         "_clock",
+        "_cursor",
     )
 
     def __init__(self, dims: int, capacity: float = 1.0, tol: float = DEFAULT_TOL) -> None:
@@ -134,6 +135,9 @@ class SoAFitChecker:
         self._rec_sizes: list[np.ndarray] = []
         self._rec_departure: list[float] = []
         self._clock = _NEG_INF
+        # Flushed BatchCursor whose mirror still equals the arrays; any
+        # scalar mutation below drops it so the next batch re-snapshots.
+        self._cursor: "BatchCursor | None" = None
 
     # -- pool ------------------------------------------------------------------
 
@@ -164,6 +168,7 @@ class SoAFitChecker:
             self._closes = closes
         index = self._nbins
         self._nbins += 1
+        self._cursor = None
         return index
 
     # -- time ------------------------------------------------------------------
@@ -184,6 +189,7 @@ class SoAFitChecker:
             self._rec_departure[serial] = _NEG_INF  # consumed
             self._levels[:, self._rec_bin[serial]] -= self._rec_sizes[serial]
         self._clock = t
+        self._cursor = None
 
     # -- placement -------------------------------------------------------------
 
@@ -201,6 +207,7 @@ class SoAFitChecker:
         self._rec_sizes.append(sizes)
         self._rec_departure.append(departure)
         heapq.heappush(self._heap, (departure, serial))
+        self._cursor = None
         return serial
 
     def amend_last(self, sizes: np.ndarray, departure: float) -> None:
@@ -223,10 +230,12 @@ class SoAFitChecker:
         heapq.heappush(self._heap, (departure, serial))
         if departure > self._closes[index]:
             self._closes[index] = departure
+        self._cursor = None
 
     def set_close(self, index: int, close: float) -> None:
         """Overwrite one bin's close time (exact resync after an amend)."""
         self._closes[index] = close
+        self._cursor = None
 
     # -- the hot query ----------------------------------------------------------
 
@@ -264,3 +273,166 @@ class SoAFitChecker:
         """
         view = candidates.view()
         candidates.replace(view[self._closes[view] > t])
+
+    def batch_cursor(self) -> "BatchCursor":
+        """A :class:`BatchCursor` over this checker's current state.
+
+        Reuses the last flushed cursor when no scalar mutation has happened
+        since — its mirror already equals the arrays, so back-to-back batches
+        skip the O(nbins) re-snapshot.
+        """
+        cursor = self._cursor
+        if cursor is not None:
+            return cursor
+        return BatchCursor(self)
+
+
+class BatchCursor:
+    """Pure-Python mirror of a :class:`SoAFitChecker` for tight batch loops.
+
+    Vectorised fit checks win when a query scans many candidate bins, but an
+    arrival-order placement probes only the handful of currently-open bins in
+    its category — at that scale the fixed per-call overhead of each numpy
+    operation dominates the actual arithmetic.  The cursor snapshots the
+    checker's level/close state into plain Python lists, lets the batch loop
+    run entirely in scalar Python (CPython floats *are* IEEE float64, so
+    every add/compare is bit-identical to the array path, and the
+    short-circuiting first-fit scan returns the same index the vectorised
+    ``argmax`` would), and :meth:`flush` writes the final state back to the
+    arrays.
+
+    The departure heap and placement records are shared with the checker
+    (they are Python objects already), so placements recorded through the
+    cursor retire correctly through either path afterwards.  Between
+    construction and :meth:`flush` the owning checker's own mutating methods
+    must not be called.
+
+    The mirror state is deliberately public (``levels``, ``closes``,
+    ``heap``, ``rec_bin``, ``rec_sizes``, ``rec_departure``, ``captol``,
+    ``clock``): the innermost placement loop binds these as locals and
+    applies the same operations the methods below document, because even one
+    method call per item is measurable at millions of items.  The methods
+    remain the reference semantics (and serve smaller call sites).
+    """
+
+    __slots__ = (
+        "_ck",
+        "levels",
+        "closes",
+        "heap",
+        "rec_bin",
+        "rec_sizes",
+        "rec_departure",
+        "captol",
+        "dims",
+        "clock",
+    )
+
+    def __init__(self, checker: SoAFitChecker) -> None:
+        n = checker._nbins
+        self._ck = checker
+        self.levels = [checker._levels[d, :n].tolist() for d in range(checker.dims)]
+        self.closes = checker._closes[:n].tolist()
+        self.heap = checker._heap
+        self.rec_bin = checker._rec_bin
+        self.rec_sizes = checker._rec_sizes
+        self.rec_departure = checker._rec_departure
+        self.captol = checker.capacity + checker.tol
+        self.dims = checker.dims
+        self.clock = checker._clock
+
+    def advance(self, t: float) -> None:
+        """Apply all departures due by ``t`` (same schedule as the checker)."""
+        heap = self.heap
+        if heap and heap[0][0] <= t:
+            pop = heapq.heappop
+            rec_departure = self.rec_departure
+            rec_bin = self.rec_bin
+            rec_sizes = self.rec_sizes
+            levels = self.levels
+            dims = self.dims
+            while heap and heap[0][0] <= t:
+                departure, serial = pop(heap)
+                if departure != rec_departure[serial]:
+                    continue  # stale: this placement's departure was amended
+                rec_departure[serial] = _NEG_INF  # consumed
+                index = rec_bin[serial]
+                sizes = rec_sizes[serial]
+                for d in range(dims):
+                    levels[d][index] -= sizes[d]
+        self.clock = t
+
+    def first_open_fit(self, sizes, t: float, candidates) -> int:
+        """First candidate open at ``t`` that fits; -1 if none.
+
+        ``sizes`` is a per-dimension sequence of floats and ``candidates`` a
+        plain list in first-fit preference order.
+        """
+        closes = self.closes
+        captol = self.captol
+        if self.dims == 1:
+            lv = self.levels[0]
+            s0 = sizes[0]
+            for b in candidates:
+                if closes[b] > t and lv[b] + s0 <= captol:
+                    return b
+            return -1
+        levels = self.levels
+        dims = self.dims
+        for b in candidates:
+            if closes[b] > t:
+                for d in range(dims):
+                    if levels[d][b] + sizes[d] > captol:
+                        break
+                else:
+                    return b
+        return -1
+
+    def open_bin(self) -> int:
+        """Allocate the next bin slot and return its index."""
+        for lv in self.levels:
+            lv.append(0.0)
+        self.closes.append(_NEG_INF)
+        return len(self.closes) - 1
+
+    def place(self, index: int, sizes, departure: float) -> int:
+        """Record a committed placement into bin ``index``; returns a serial."""
+        levels = self.levels
+        for d in range(self.dims):
+            levels[d][index] += sizes[d]
+        closes = self.closes
+        if departure > closes[index]:
+            closes[index] = departure
+        serial = len(self.rec_bin)
+        self.rec_bin.append(index)
+        self.rec_sizes.append(sizes)
+        self.rec_departure.append(departure)
+        heapq.heappush(self.heap, (departure, serial))
+        return serial
+
+    def compact(self, candidates: list, t: float) -> list:
+        """Candidates still open at ``t`` (same predicate as the checker)."""
+        closes = self.closes
+        return [b for b in candidates if closes[b] > t]
+
+    def flush(self) -> None:
+        """Write the mirrored state back into the owning checker's arrays.
+
+        Also re-installs this cursor as the checker's cached cursor: until a
+        scalar mutation invalidates it, the next :meth:`~SoAFitChecker.
+        batch_cursor` call returns it without re-snapshotting.
+        """
+        ck = self._ck
+        n = len(self.closes)
+        if n > ck._closes.size:
+            cap = ck._closes.size
+            while cap < n:
+                cap *= 2
+            ck._levels = np.zeros((ck.dims, cap), dtype=np.float64)
+            ck._closes = np.full(cap, _NEG_INF, dtype=np.float64)
+        if n:
+            ck._levels[:, :n] = np.asarray(self.levels, dtype=np.float64)
+            ck._closes[:n] = self.closes
+        ck._nbins = n
+        ck._clock = self.clock
+        ck._cursor = self

@@ -23,11 +23,15 @@ so bins always track the occupancy a real system would observe.
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
 
 from ..algorithms.base import OnlinePacker, get_packer
+from ..core.batch import ArrivalBatch
 from ..core.bins import Bin
 from ..core.events import Event, EventHeap, EventKind
 from ..core.exceptions import ValidationError
@@ -146,16 +150,30 @@ class PackingSession:
         self._packer.reset()
         self._algorithm = algorithm
         self._departures = EventHeap()
+        self._dep_times: list[float] = []
         self._items: list[Item] = []
+        self._pending_items: list[ArrivalBatch] = []
         self._ids: set[int] = set()
         self._clock = _NEG_INF
         self._active = 0
         self.fault_policy = fault_policy
         self.stats = EngineStats(registry)
-        if fault_policy is not None and fault_policy.registry is None:
-            # Faults absorbed on behalf of this session surface in its
-            # telemetry, not nowhere.
-            fault_policy.registry = self.stats.registry
+        if fault_policy is not None:
+            if fault_policy.registry is None:
+                # Faults absorbed on behalf of this session surface in its
+                # telemetry, not nowhere.  Remember that *we* bound it, so a
+                # later session cannot silently misattribute its faults here.
+                fault_policy.registry = self.stats.registry
+                fault_policy._session_bound = True
+            elif (
+                getattr(fault_policy, "_session_bound", False)
+                and fault_policy.registry is not self.stats.registry
+            ):
+                raise ValidationError(
+                    "fault policy is already bound to another session's "
+                    "telemetry registry; create one FaultPolicy per session, "
+                    "or set its registry explicitly to share telemetry"
+                )
         # Hot-path timing writes straight to the interned timer cells; the
         # property round trip through EngineStats costs ~3x more per event.
         self._submit_timer = self.stats.registry.timer("engine.submit_seconds")
@@ -276,6 +294,115 @@ class PackingSession:
             self._submit_hist.observe(delta)  # tail buckets want raw, unscaled deltas
         return index
 
+    def submit_many(
+        self, arrivals: "ArrivalBatch | Iterable[Item]"
+    ) -> np.ndarray:
+        """Submit a whole batch of arrivals; returns per-item bin indices.
+
+        The columnar counterpart of calling :meth:`submit` in a loop: the
+        batch's clock, fault and telemetry bookkeeping is amortised into a
+        handful of vectorised reductions, and placement goes through the
+        packer's :meth:`~repro.algorithms.OnlinePacker.place_many` (for the
+        ``vector-*`` packers with SoA enabled, an array-at-a-time loop that
+        never materialises :class:`~repro.core.Item` objects).  Placements,
+        deterministic :class:`~repro.engine.EngineStats` fields and snapshots
+        are bit-identical to the scalar loop — asserted for every registered
+        online packer by ``tests/test_engine.py`` and
+        ``benchmarks/bench_columnar.py``.
+
+        The fast path requires a *well-formed* batch: arrivals non-decreasing
+        from the session clock and ids fresh and unique.  Anything else —
+        out-of-order rows, duplicate ids — falls back to the scalar
+        :meth:`submit` loop so the :class:`~repro.resilience.FaultPolicy`
+        semantics (per-item ``-1`` drop markers, clamp repairs, strict
+        raises) are exactly preserved.  Predictions are not batched; use
+        :meth:`submit` for noisy-clairvoyance submissions.
+
+        Args:
+            arrivals: An :class:`~repro.core.ArrivalBatch`, or an iterable of
+                items (converted, at per-item cost).
+
+        Returns:
+            ``(n,)`` int64 array: the bin index per row, ``-1`` for rows
+            dropped by a non-strict fault policy.
+
+        Raises:
+            ValidationError: whatever the scalar loop would raise (strict
+                mode faults), after committing the rows preceding the fault.
+        """
+        batch = (
+            arrivals
+            if isinstance(arrivals, ArrivalBatch)
+            else ArrivalBatch.from_items(arrivals)
+        )
+        n = len(batch)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        arr = batch.arrivals
+        if (
+            float(arr[0]) < self._clock
+            or (n > 1 and not bool((arr[1:] >= arr[:-1]).all()))
+            or len(np.unique(batch.ids)) != n
+            or not self._ids.isdisjoint(batch.ids.tolist())
+        ):
+            return self._submit_fallback(batch)
+        timed = _telemetry_enabled()
+        t0 = _perf() if timed else 0.0
+        last = float(arr[-1])
+        dep = batch.departures
+        # Departures from *before* this batch that fall due inside it.
+        due_prior = [event.time for event in self._departures.pop_until(last)]
+        dep_times = self._dep_times
+        while dep_times and dep_times[0] <= last:
+            due_prior.append(heapq.heappop(dep_times))
+        prior_sorted = np.sort(np.asarray(due_prior, dtype=np.float64))
+        dep_sorted = np.sort(dep)
+        # Active items after each placement: the scalar loop drains every
+        # departure due by arr[i] before counting item i in.  A departed
+        # batch row j has dep[j] <= arr[i] ⇒ arr[j] < arr[i] ⇒ j < i (rows
+        # are non-decreasing), so counting over the whole batch is exact.
+        drained_prior = np.searchsorted(prior_sorted, arr, side="right")
+        drained_intra = np.searchsorted(dep_sorted, arr, side="right")
+        active = self._active + np.arange(1, n + 1) - drained_prior - drained_intra
+
+        placement = self._packer.place_many(batch)
+
+        future = dep[dep > last]
+        for d in future.tolist():
+            heapq.heappush(dep_times, d)
+        intra_due = n - len(future)
+
+        stats = self.stats
+        stats.items_submitted += n
+        stats.departures_processed += len(due_prior) + intra_due
+        stats.bins_retired += placement.bins_retired
+        stats.bins_opened = self._packer.bin_count()
+        peak_active = int(active.max())
+        if peak_active > stats.peak_active_items:
+            stats.peak_active_items = peak_active
+        peak_open = int(placement.open_bins.max())
+        if peak_open > stats.peak_open_bins:
+            stats.peak_open_bins = peak_open
+
+        self._active = int(active[-1])
+        self._ids.update(batch.ids.tolist())
+        self._pending_items.append(batch)
+        self._clock = last
+        if timed:
+            # One batch-level observation (per-item timing is what the batch
+            # API amortises away); the timer still integrates total seconds.
+            delta = _perf() - t0
+            self._submit_timer.seconds += delta
+            self._submit_hist.observe(delta)
+        return placement.indices
+
+    def _submit_fallback(self, batch: ArrivalBatch) -> np.ndarray:
+        """Scalar-loop batch submission: exact :meth:`submit` semantics."""
+        indices = np.empty(len(batch), dtype=np.int64)
+        for i in range(len(batch)):
+            indices[i] = self.submit(batch.item(i))
+        return indices
+
     def advance(self, t: float) -> list[Bin]:
         """Advance the session clock to ``t``; returns newly retired bins.
 
@@ -312,11 +439,28 @@ class PackingSession:
         for _event in self._departures.pop_until(t):
             self._active -= 1
             self.stats.departures_processed += 1
+        # Departures queued by the batch path (plain floats, no Event objects).
+        dep_times = self._dep_times
+        while dep_times and dep_times[0] <= t:
+            heapq.heappop(dep_times)
+            self._active -= 1
+            self.stats.departures_processed += 1
         retired = self._packer.retire_until(t)
         self.stats.bins_retired += len(retired)
         return retired
 
     # -- finishing -----------------------------------------------------------
+
+    def _materialize_items(self) -> None:
+        """Fold batch-submitted arrivals into the item list (lazy, ordered-safe).
+
+        ``ItemList`` sorts by (arrival, id), so interleaved scalar and batch
+        submissions materialise to the same list regardless of flush timing.
+        """
+        if self._pending_items:
+            for batch in self._pending_items:
+                self._items.extend(batch.to_items())
+            self._pending_items = []
 
     def result(self) -> PackingResult:
         """The packing of everything submitted so far.
@@ -325,6 +469,7 @@ class PackingSession:
         call builds a fresh :class:`~repro.core.PackingResult` from the live
         bins (actual intervals, post-amendment).
         """
+        self._materialize_items()
         return PackingResult.from_bins(
             self._packer.bins,
             ItemList(self._items),

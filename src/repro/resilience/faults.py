@@ -45,7 +45,15 @@ class FaultPolicy:
         tripped: True once the error budget has been exhausted.
     """
 
-    __slots__ = ("mode", "error_budget", "registry", "dropped", "clamped", "tripped")
+    __slots__ = (
+        "mode",
+        "error_budget",
+        "registry",
+        "dropped",
+        "clamped",
+        "tripped",
+        "_session_bound",
+    )
 
     def __init__(
         self,
@@ -66,6 +74,10 @@ class FaultPolicy:
         self.dropped = 0
         self.clamped = 0
         self.tripped = False
+        # Set by PackingSession when it auto-binds a registry-less policy to
+        # its own registry; a second session then refuses the policy instead
+        # of silently misattributing its faults to the first session.
+        self._session_bound = False
 
     @property
     def strict(self) -> bool:

@@ -14,10 +14,13 @@ from .generators import (
 )
 from .transforms import load_scale, mix, subsample, time_stretch
 from .traces import (
+    TRACE_LOADERS,
     dump_csv,
     dump_jsonl,
     load_csv,
+    load_csv_columnar,
     load_jsonl,
+    load_jsonl_columnar,
     load_trace,
     save_trace,
 )
@@ -35,10 +38,13 @@ __all__ = [
     "poisson_exponential",
     "uniform_random",
     "vector_uniform",
+    "TRACE_LOADERS",
     "dump_csv",
     "dump_jsonl",
     "load_csv",
+    "load_csv_columnar",
     "load_jsonl",
+    "load_jsonl_columnar",
     "load_trace",
     "save_trace",
     "load_scale",

@@ -19,16 +19,30 @@ malformed records or *clamp* the repairable ones (oversized items to the
 unit capacity, inverted intervals to a minimal positive duration) instead
 of aborting — with every absorbed fault counted in ``resilience.*``
 telemetry and bounded by the policy's error budget.
+
+Two loaders serve each format.  The **object** loader parses one record at a
+time and is the diagnostic reference.  The **columnar** loader
+(:func:`load_jsonl_columnar` / :func:`load_csv_columnar`, or
+``load_trace(..., loader="columnar")`` which memory-maps the file) validates
+the whole buffer against the canonical numeric schema with one anchored
+regex, then converts it to float columns in a few vectorised passes —
+falling back to the object loader on *any* irregular content, so results
+and fault diagnostics are always identical.
 """
 
 from __future__ import annotations
 
 import csv
+import gc
 import io
 import json
 import math
+import mmap
+import re
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
 
 from ..core.exceptions import ValidationError
 from ..core.intervals import Interval
@@ -40,11 +54,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "dump_jsonl",
     "load_jsonl",
+    "load_jsonl_columnar",
     "dump_csv",
     "load_csv",
+    "load_csv_columnar",
     "save_trace",
     "load_trace",
+    "TRACE_LOADERS",
 ]
+
+#: Accepted ``load_trace`` loader names, in documentation order.
+TRACE_LOADERS = ("object", "columnar")
 
 CSV_FIELDS = ("id", "size", "arrival", "departure")
 
@@ -314,6 +334,284 @@ def load_jsonl(text: str, *, policy: "FaultPolicy | None" = None) -> ItemList:
     return _collect(raw, policy)
 
 
+# ---------------------------------------------------------------------------
+# Columnar (zero-copy) loading
+# ---------------------------------------------------------------------------
+
+#: One JSON number token, exactly the RFC 8259 grammar (no leading zeros,
+#: no leading '+', no bare '.5') so the fast path accepts nothing the
+#: object loader's ``json.loads`` would reject.  Possessive quantifiers
+#: (``++``/``?+``, Python 3.11+) keep the whole-buffer match linear — the
+#: backtracking variant is ~10x slower on 100MB buffers.
+_NUM_RE = rb"-?(?:0|[1-9]\d*+)(?:\.\d++)?+(?:[eE][+-]?\d++)?+"
+
+#: One JSON integer token (item ids).
+_INT_RE = rb"-?(?:0|[1-9]\d*+)"
+
+#: One CSV numeric field, matching what both ``float()`` (object loader)
+#: and ``np.loadtxt`` accept: leading zeros and '+' are fine here.
+_CSV_NUM_RE = rb"[+-]?\d++(?:\.\d*+)?+(?:[eE][+-]?\d++)?+"
+
+#: One CSV id field (``int()`` accepts an optional sign and leading zeros).
+_CSV_INT_RE = rb"[+-]?\d++"
+
+#: First-line probe: the regular schema written by :func:`dump_jsonl` (and
+#: the common external NDJSON shape) with keys in canonical order.
+_JSONL_PROBE = re.compile(rb'\{"id": -?\d+, "size(s)?": ')
+
+_JSONL_PATTERNS: dict[tuple[bool, int, bool], "re.Pattern[bytes]"] = {}
+_CSV_PATTERNS: dict[int, "re.Pattern[bytes]"] = {}
+
+
+def _jsonl_pattern(vector: bool, dims: int, with_tags: bool) -> "re.Pattern[bytes]":
+    """Whole-buffer validator for the regular JSONL schema (cached).
+
+    Anchored ``(?:LINE\\n)+\\Z`` over the full byte buffer: *every* line must
+    match the exact canonical layout, or the columnar parse refuses the file
+    and the per-line object loader (with its line/field diagnostics) runs
+    instead.  This is what makes the subsequent ``bytes.replace`` transform
+    safe — e.g. a line with reordered keys would silently swap arrival and
+    departure if we transformed without validating first.
+    """
+    key = (vector, dims, with_tags)
+    pattern = _JSONL_PATTERNS.get(key)
+    if pattern is None:
+        if vector:
+            sizes = rb'"sizes": \[' + _NUM_RE + (rb", " + _NUM_RE) * (dims - 1) + rb"\]"
+        else:
+            sizes = rb'"size": ' + _NUM_RE
+        line = (
+            rb'\{"id": '
+            + _INT_RE
+            + rb", "
+            + sizes
+            + rb', "arrival": '
+            + _NUM_RE
+            + rb', "departure": '
+            + _NUM_RE
+            + (rb', "tags": \{\}\}' if with_tags else rb"\}")
+            + rb"\n"
+        )
+        pattern = re.compile(rb"(?:" + line + rb")++\Z")
+        _JSONL_PATTERNS[key] = pattern
+    return pattern
+
+
+def _csv_pattern(dims: int) -> "re.Pattern[bytes]":
+    """Whole-body validator for regular CSV rows (cached).
+
+    Forces an integer-literal id (the object loader rejects ``3.0`` there)
+    and exactly ``dims + 2`` further numeric fields per row.
+    """
+    pattern = _CSV_PATTERNS.get(dims)
+    if pattern is None:
+        row = _CSV_INT_RE + (rb"," + _CSV_NUM_RE) * (dims + 2) + rb"\r?+\n"
+        pattern = re.compile(rb"(?:" + row + rb")++\Z")
+        _CSV_PATTERNS[dims] = pattern
+    return pattern
+
+
+def _columns_to_items(table: np.ndarray, dims: int) -> ItemList | None:
+    """Vectorised validation + trusted :class:`ItemList` construction.
+
+    Returns ``None`` on *any* rule violation (non-finite values, ids too
+    large for exact float representation, sizes outside ``(0, 1]``,
+    inverted intervals, duplicate ids): the caller then falls back to the
+    object loader, which re-diagnoses the fault with its usual 1-based
+    line/field message and :class:`~repro.resilience.FaultPolicy` handling.
+    """
+    if table.shape[1] != dims + 3:
+        return None
+    if not np.isfinite(table).all():
+        return None
+    ids = table[:, 0]
+    # Beyond 2**53 the float64 column can no longer represent the decimal
+    # id exactly; hand such (pathological) traces to the object loader.
+    if (np.abs(ids) >= 2.0**53).any():
+        return None
+    sizes = table[:, 1 : 1 + dims]
+    if (sizes <= 0.0).any() or (sizes > 1.0).any():
+        return None
+    arrivals = table[:, 1 + dims]
+    departures = table[:, 2 + dims]
+    if (departures <= arrivals).any():
+        return None
+    ids_int = ids.astype(np.int64)
+    if len(np.unique(ids_int)) != len(ids_int):
+        return None
+    order = np.lexsort((ids_int, arrivals))
+    ids_l = ids_int[order].tolist()
+    arr_l = arrivals[order].tolist()
+    dep_l = departures[order].tolist()
+    if dims == 1:
+        size_rows = [(s,) for s in sizes[order, 0].tolist()]
+    else:
+        size_rows = list(map(tuple, sizes[order].tolist()))
+    n = len(ids_l)
+    result: list[Item] = [None] * n  # type: ignore[list-item]
+    new = object.__new__
+    fill = object.__setattr__
+    # Millions of young container objects otherwise trigger generational
+    # collections mid-loop; none of them can be garbage, so pause the
+    # collector for the build (same fields as core.batch._trusted_item).
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        k = 0
+        for item_id, row, arrival, departure in zip(ids_l, size_rows, arr_l, dep_l):
+            interval = new(Interval)
+            fill(interval, "left", arrival)
+            fill(interval, "right", departure)
+            item = new(Item)
+            fill(item, "id", item_id)
+            fill(item, "sizes", row)
+            fill(item, "interval", interval)
+            fill(item, "tags", {})
+            result[k] = item
+            k += 1
+    finally:
+        if was_enabled:
+            gc.enable()
+    # Fill ItemList's slots directly: the rows are fully validated and the
+    # lexsort above reproduces its (arrival, id) ordering contract.
+    out = object.__new__(ItemList)
+    out._items = tuple(result)
+    out._by_id = dict(zip(ids_l, result))
+    out._dims = dims
+    out._size_profile_cache = {}
+    return out
+
+
+def _columnar_parse_jsonl(buf) -> ItemList | None:
+    """Parse a regular JSONL byte buffer columnar-style, or ``None``.
+
+    ``buf`` may be ``bytes`` or an ``mmap`` — probing and validation run
+    directly on the buffer without materialising lines.
+    """
+    nl = buf.find(b"\n")
+    if nl <= 0:
+        return None
+    first = buf[:nl]
+    probe = _JSONL_PROBE.match(first)
+    if probe is None:
+        return None
+    vector = probe.group(1) is not None
+    with_tags = first.endswith(b', "tags": {}}')
+    dims = 1
+    if vector:
+        if first[probe.end() : probe.end() + 1] != b"[":
+            return None
+        end_bracket = first.find(b"]", probe.end())
+        if end_bracket < 0:
+            return None
+        dims = first.count(b",", probe.end(), end_bracket) + 1
+    data = buf if buf[-1:] == b"\n" else bytes(buf) + b"\n"
+    if _jsonl_pattern(vector, dims, with_tags).match(data) is None:
+        return None
+    body = data if isinstance(data, bytes) else bytes(data)
+    body = body.replace(b'{"id": ', b"")
+    if vector:
+        body = body.replace(b', "sizes": [', b",")
+        body = body.replace(b'], "arrival": ', b",")
+    else:
+        body = body.replace(b', "size": ', b",")
+        body = body.replace(b', "arrival": ', b",")
+    body = body.replace(b', "departure": ', b",")
+    if with_tags:
+        body = body.replace(b', "tags": {}}\n', b"\n")
+    else:
+        body = body.replace(b"}\n", b"\n")
+    if vector:
+        body = body.replace(b", ", b",")
+    try:
+        table = np.loadtxt(io.BytesIO(body), delimiter=",", dtype=np.float64, ndmin=2)
+    except ValueError:
+        return None
+    return _columns_to_items(table, dims)
+
+
+def _columnar_parse_csv(buf) -> ItemList | None:
+    """Parse a regular CSV byte buffer columnar-style, or ``None``."""
+    nl = buf.find(b"\n")
+    if nl < 0:
+        return None
+    header_bytes = buf[:nl]
+    if header_bytes[-1:] == b"\r":
+        header_bytes = header_bytes[:-1]
+    try:
+        header = tuple(h.strip() for h in header_bytes.decode("utf-8").split(","))
+        dims = _csv_dims(header)
+    except (UnicodeDecodeError, ValidationError):
+        return None  # fallback re-raises the identical header diagnostic
+    body = buf[nl + 1 :]
+    if not body:
+        return None
+    data = body if body[-1:] == b"\n" else bytes(body) + b"\n"
+    if _csv_pattern(dims).match(data) is None:
+        return None
+    csv_bytes = bytes(data).replace(b"\r\n", b"\n")
+    try:
+        table = np.loadtxt(
+            io.BytesIO(csv_bytes), delimiter=",", dtype=np.float64, ndmin=2
+        )
+    except ValueError:
+        return None
+    return _columns_to_items(table, dims)
+
+
+def load_jsonl_columnar(
+    text: "str | bytes | mmap.mmap", *, policy: "FaultPolicy | None" = None
+) -> ItemList:
+    """Columnar :func:`load_jsonl`: block parse of the regular numeric schema.
+
+    When every line matches the canonical layout written by
+    :func:`dump_jsonl` (scalar or vector sizes, empty or absent ``tags``),
+    the whole buffer is validated with one anchored regex and converted to
+    float columns in a handful of vectorised passes — no per-line
+    ``json.loads``, no per-record dicts.  Any irregularity at all (a
+    non-empty tag, a malformed line, a reordered key, a duplicate id, an
+    out-of-range value) rejects the fast path for the *whole buffer* and
+    defers to :func:`load_jsonl`, so fault diagnostics — 1-based line
+    numbers, field names, :class:`~repro.resilience.FaultPolicy`
+    skip/clamp accounting — are exactly unchanged.
+
+    Args:
+        text: The trace as ``str``, ``bytes`` or a read-only ``mmap``.
+        policy: Forwarded to :func:`load_jsonl` on fallback; the fast path
+            only ever succeeds on fault-free traces, so it never consumes
+            error budget.
+
+    Raises:
+        ValidationError: from the fallback path, as :func:`load_jsonl`.
+    """
+    buf = text.encode("utf-8") if isinstance(text, str) else text
+    items = _columnar_parse_jsonl(buf)
+    if items is not None:
+        return items
+    if isinstance(text, str):
+        return load_jsonl(text, policy=policy)
+    return load_jsonl(bytes(buf).decode("utf-8"), policy=policy)
+
+
+def load_csv_columnar(
+    text: "str | bytes | mmap.mmap", *, policy: "FaultPolicy | None" = None
+) -> ItemList:
+    """Columnar :func:`load_csv`: ``np.loadtxt`` over regex-validated rows.
+
+    Same contract as :func:`load_jsonl_columnar`: the fast path requires
+    every data row to be purely numeric with an integer-literal id, and any
+    irregularity falls back to :func:`load_csv` with identical diagnostics
+    and policy handling.
+    """
+    buf = text.encode("utf-8") if isinstance(text, str) else text
+    items = _columnar_parse_csv(buf)
+    if items is not None:
+        return items
+    if isinstance(text, str):
+        return load_csv(text, policy=policy)
+    return load_csv(bytes(buf).decode("utf-8"), policy=policy)
+
+
 def _csv_dims(header: tuple[str, ...]) -> int:
     """Trace dimensionality implied by a CSV header.
 
@@ -395,17 +693,47 @@ def save_trace(items: ItemList, path: str | Path) -> None:
         raise ValidationError(f"unknown trace extension {path.suffix!r} (use .jsonl/.csv)")
 
 
-def load_trace(path: str | Path, *, policy: "FaultPolicy | None" = None) -> ItemList:
+def load_trace(
+    path: str | Path,
+    *,
+    policy: "FaultPolicy | None" = None,
+    loader: str = "object",
+) -> ItemList:
     """Read a trace file written by :func:`save_trace`.
 
     Args:
         path: The trace file (.jsonl or .csv).
         policy: Optional :class:`~repro.resilience.FaultPolicy` forwarded to
             the format loader (see :func:`load_jsonl` / :func:`load_csv`).
+        loader: ``"object"`` (the default per-record parser) or
+            ``"columnar"`` — memory-map the file and hand it to
+            :func:`load_jsonl_columnar` / :func:`load_csv_columnar`, which
+            fall back to the object parser on any irregular content.  Both
+            loaders return identical item lists; ``columnar`` is the fast
+            path for large regular traces.
+
+    Raises:
+        ValidationError: for an unknown extension or loader name, and
+            whatever the format loader raises.
     """
     path = Path(path)
-    if path.suffix == ".jsonl":
-        return load_jsonl(path.read_text(), policy=policy)
-    if path.suffix == ".csv":
-        return load_csv(path.read_text(), policy=policy)
-    raise ValidationError(f"unknown trace extension {path.suffix!r} (use .jsonl/.csv)")
+    if loader not in TRACE_LOADERS:
+        raise ValidationError(
+            f"unknown trace loader {loader!r}; one of {list(TRACE_LOADERS)}"
+        )
+    if path.suffix not in (".jsonl", ".csv"):
+        raise ValidationError(
+            f"unknown trace extension {path.suffix!r} (use .jsonl/.csv)"
+        )
+    jsonl = path.suffix == ".jsonl"
+    if loader == "object":
+        text = path.read_text()
+        return load_jsonl(text, policy=policy) if jsonl else load_csv(text, policy=policy)
+    columnar = load_jsonl_columnar if jsonl else load_csv_columnar
+    with open(path, "rb") as handle:
+        try:
+            buf = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError:  # a zero-length file cannot be mapped
+            return columnar(b"", policy=policy)
+        with buf:
+            return columnar(buf, policy=policy)

@@ -17,8 +17,17 @@ import pytest
 
 from repro.algorithms import available_packers, get_packer
 from repro.algorithms.base import OnlinePacker
-from repro.core import EventKind, Interval, Item, ItemList, ValidationError, event_stream
+from repro.core import (
+    ArrivalBatch,
+    EventKind,
+    Interval,
+    Item,
+    ItemList,
+    ValidationError,
+    event_stream,
+)
 from repro.engine import EngineSnapshot, EngineStats, PackingSession, clamp_prediction
+from repro.resilience import FaultPolicy
 from repro.workloads import uniform_random
 
 #: Constructor arguments for packers with required parameters.
@@ -238,3 +247,178 @@ class TestCacheInvariants:
             session.submit(r, predicted_departure=r.departure + (i % 3) * 0.7)
             for b in session.packer.bins:
                 b.check_invariants()
+
+
+def det_stats(session: PackingSession) -> dict[str, object]:
+    """Deterministic EngineStats fields (timers measure wall clock)."""
+    return {
+        k: v for k, v in session.stats.as_dict().items() if not k.endswith("_seconds")
+    }
+
+
+class TestSubmitMany:
+    """Batched submission must be bit-identical to the scalar submit loop."""
+
+    #: Batch boundaries exercising singleton, small and remainder batches.
+    CUTS = (0, 1, 8, 9, 150)
+
+    def _run_batched(self, name: str, items: ItemList, **kw) -> PackingSession:
+        session = PackingSession(name, **SPECIAL.get(name, {}), **kw)
+        rows = list(items)
+        cuts = [c for c in self.CUTS if c < len(rows)] + [len(rows)]
+        for a, b in zip(cuts, cuts[1:]):
+            got = session.submit_many(ArrivalBatch.from_items(rows[a:b]))
+            assert got.shape == (b - a,)
+        return session
+
+    def _run_scalar(self, name: str, items: ItemList, **kw) -> PackingSession:
+        session = PackingSession(name, **SPECIAL.get(name, {}), **kw)
+        for r in items:
+            session.submit(r)
+        return session
+
+    @pytest.mark.parametrize("name", online_names())
+    def test_matches_scalar_submit(self, name):
+        items = uniform_random(150, seed=13, arrival_span=60.0)
+        scalar = self._run_scalar(name, items)
+        batched = self._run_batched(name, items)
+        assert scalar.result().assignment == batched.result().assignment
+        assert scalar.result().total_usage() == batched.result().total_usage()
+        assert det_stats(scalar) == det_stats(batched)
+        assert scalar.snapshot() == batched.snapshot()
+
+    @pytest.mark.parametrize(
+        "name",
+        ["vector-first-fit", "vector-classify-departure", "vector-classify-duration"],
+    )
+    def test_soa_batches_match_object_scalar(self, name):
+        items = uniform_random(150, seed=17, arrival_span=60.0)
+        scalar = self._run_scalar(name, items)  # object path, per item
+        batched = self._run_batched(name, items, soa=True)  # SoA columnar path
+        assert scalar.result().assignment == batched.result().assignment
+        assert det_stats(scalar) == det_stats(batched)
+        assert scalar.snapshot() == batched.snapshot()
+
+    def test_returns_indices_in_row_order(self):
+        items = uniform_random(40, seed=3)
+        session = PackingSession("first-fit")
+        got = session.submit_many(ArrivalBatch.from_items(list(items)))
+        assignment = session.result().assignment
+        assert got.tolist() == [assignment[r.id] for r in items]
+
+    def test_empty_batch_is_noop(self):
+        session = PackingSession("first-fit")
+        assert session.submit_many([]).shape == (0,)
+        assert session.stats.items_submitted == 0
+
+    def test_iterable_of_items_accepted(self, simple_items):
+        a = PackingSession("first-fit")
+        a.submit_many(iter(simple_items))
+        b = self._run_scalar("first-fit", simple_items)
+        assert a.result().assignment == b.result().assignment
+
+    def test_mixed_submit_and_submit_many(self):
+        items = uniform_random(90, seed=21, arrival_span=40.0)
+        rows = list(items)
+        scalar = self._run_scalar("vector-first-fit", items, soa=True)
+        mixed = PackingSession("vector-first-fit", soa=True)
+        mixed.submit_many(ArrivalBatch.from_items(rows[:30]))
+        for r in rows[30:40]:
+            mixed.submit(r)
+        mixed.submit_many(ArrivalBatch.from_items(rows[40:]))
+        assert scalar.result().assignment == mixed.result().assignment
+        assert det_stats(scalar) == det_stats(mixed)
+        assert scalar.snapshot() == mixed.snapshot()
+
+
+class TestSubmitManyFaults:
+    """Malformed batches take the scalar fallback: FaultPolicy semantics exact."""
+
+    def _items(self):
+        return [
+            Item(0, 0.4, Interval(0.0, 10.0)),
+            Item(1, 0.4, Interval(2.0, 12.0)),
+            Item(2, 0.4, Interval(4.0, 14.0)),
+        ]
+
+    def test_out_of_order_row_skip_marks_minus_one(self):
+        session = PackingSession(
+            "first-fit", fault_policy=FaultPolicy("skip")
+        )
+        session.submit(Item(10, 0.3, Interval(5.0, 9.0)))
+        # Second row arrives before the session clock: the batch falls back
+        # to the scalar loop, which drops that row and returns -1 for it.
+        batch = ArrivalBatch.from_items(
+            [Item(11, 0.3, Interval(6.0, 9.0)), Item(12, 0.3, Interval(1.0, 9.0))]
+        )
+        got = session.submit_many(batch)
+        assert got.tolist()[1] == -1
+        assert got.tolist()[0] >= 0
+        assert session.fault_policy.dropped == 1
+        assert set(session.result().assignment) == {10, 11}
+
+    def test_out_of_order_row_clamp_repairs_arrival(self):
+        session = PackingSession(
+            "first-fit", fault_policy=FaultPolicy("clamp")
+        )
+        session.submit(Item(10, 0.3, Interval(5.0, 9.0)))
+        batch = ArrivalBatch.from_items([Item(11, 0.3, Interval(1.0, 9.0))])
+        got = session.submit_many(batch)
+        assert got.tolist() == [0]
+        assert session.fault_policy.clamped == 1
+        # The repaired arrival is the session clock, not the faulty time.
+        assert session.result().items.by_id(11).arrival == 5.0
+
+    def test_duplicate_id_in_batch_skip_marks_minus_one(self):
+        session = PackingSession("first-fit", fault_policy=FaultPolicy("skip"))
+        rows = self._items()
+        rows.append(Item(0, 0.4, Interval(5.0, 15.0)))  # duplicate id 0
+        got = session.submit_many(ArrivalBatch.from_items(rows))
+        assert got.tolist()[3] == -1
+        assert all(i >= 0 for i in got.tolist()[:3])
+        assert session.fault_policy.dropped == 1
+
+    def test_strict_batch_raises_like_scalar(self):
+        session = PackingSession("first-fit")
+        session.submit(Item(10, 0.3, Interval(5.0, 9.0)))
+        with pytest.raises(ValidationError, match="arrival order"):
+            session.submit_many(
+                ArrivalBatch.from_items([Item(11, 0.3, Interval(1.0, 9.0))])
+            )
+
+    def test_fallback_matches_scalar_loop_exactly(self):
+        # An unsorted (but internally consistent) batch: fallback must equal
+        # running submit row by row with the same policy.
+        rows = [
+            Item(0, 0.4, Interval(0.0, 10.0)),
+            Item(1, 0.4, Interval(4.0, 14.0)),
+            Item(2, 0.4, Interval(2.0, 12.0)),  # out of order
+            Item(3, 0.4, Interval(6.0, 16.0)),
+        ]
+        batched = PackingSession("first-fit", fault_policy=FaultPolicy("skip"))
+        got = batched.submit_many(ArrivalBatch.from_items(rows))
+        scalar = PackingSession("first-fit", fault_policy=FaultPolicy("skip"))
+        want = [scalar.submit(r) for r in rows]
+        assert got.tolist() == want
+        assert scalar.result().assignment == batched.result().assignment
+        assert det_stats(scalar) == det_stats(batched)
+
+
+class TestFaultPolicyBinding:
+    """A FaultPolicy bound to one session cannot be silently rebound."""
+
+    def test_rebinding_bound_policy_rejected(self):
+        policy = FaultPolicy("skip")
+        PackingSession("first-fit", fault_policy=policy)
+        with pytest.raises(ValidationError, match="already bound"):
+            PackingSession("first-fit", fault_policy=policy)
+
+    def test_explicit_registry_still_shareable(self):
+        from repro.obs import TelemetryRegistry
+
+        registry = TelemetryRegistry()
+        policy = FaultPolicy("skip", registry=registry)
+        PackingSession("first-fit", fault_policy=policy)
+        # The user wired the registry themselves: sharing is deliberate.
+        PackingSession("first-fit", fault_policy=policy)
+        assert policy.registry is registry

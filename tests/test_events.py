@@ -60,3 +60,103 @@ class TestEventStreamProperties:
         for e in event_stream(items):
             active += 1 if e.kind is EventKind.ARRIVAL else -1
             assert active >= 0
+
+
+class TestActiveSizeSlices:
+    """Columnar sweep parity: both engines yield identical slices."""
+
+    def _slices(self, items, engine):
+        from repro.core.events import active_size_slices
+
+        return list(active_size_slices(items, engine=engine))
+
+    def test_engines_agree(self, simple_items):
+        assert self._slices(simple_items, "columnar") == self._slices(
+            simple_items, "object"
+        )
+
+    def test_default_engine_is_columnar(self, simple_items):
+        assert self._slices(simple_items, None) == self._slices(
+            simple_items, "columnar"
+        )
+
+    @given(items_strategy())
+    def test_engines_agree_random(self, items):
+        assert self._slices(items, "columnar") == self._slices(items, "object")
+
+    def test_unknown_engine_rejected(self, simple_items):
+        from repro.core import ValidationError
+        from repro.core.events import active_size_slices
+
+        import pytest
+
+        with pytest.raises(ValidationError, match="slice engine"):
+            active_size_slices(simple_items, engine="simd")
+
+    def test_empty_items_yield_nothing(self):
+        assert self._slices(ItemList([]), "columnar") == []
+
+
+class TestEventArrays:
+    """The presorted sweep substrate and its retimed reuse."""
+
+    def test_times_match_event_times(self, simple_items):
+        from repro.core.events import EventArrays
+
+        ev = EventArrays.from_items(simple_items)
+        assert ev.times == simple_items.event_times()
+        assert len(ev.times_all) == 2 * len(simple_items)
+
+    def test_retimed_matches_fresh_build(self, simple_items):
+        from repro.core.events import EventArrays
+
+        base = EventArrays.from_items(simple_items)
+        old = simple_items[0]
+        new = Item(999, old.size, Interval(old.arrival + 0.25, old.departure + 0.25))
+        mutated = ItemList([new] + list(simple_items)[1:])
+        swapped = base.retimed([old], [new])
+        fresh = EventArrays.from_items(mutated)
+        assert swapped.times_all.tolist() == fresh.times_all.tolist()
+        assert swapped.times == fresh.times
+
+    def test_retimed_is_boundaries_only(self, simple_items):
+        from repro.core import ValidationError
+        from repro.core.events import EventArrays
+
+        import pytest
+
+        swapped = EventArrays.from_items(simple_items).retimed([], [])
+        with pytest.raises(ValidationError, match="boundaries only"):
+            list(swapped.slices())
+
+    def test_retimed_unknown_removal_rejected(self, simple_items):
+        from repro.core import ValidationError
+        from repro.core.events import EventArrays
+
+        import pytest
+
+        ghost = Item(999, 0.5, Interval(123.0, 456.0))
+        with pytest.raises(ValidationError, match="not in the timeline"):
+            EventArrays.from_items(simple_items).retimed([ghost], [])
+
+
+class TestOptTotalSliceEngines:
+    """opt_total must be engine-independent, counters included."""
+
+    def test_totals_and_stats_identical(self):
+        from repro.algorithms import opt_total
+        from repro.algorithms.adversary import MemoCache
+        from repro.algorithms.optimal import SolverStats
+        from repro.workloads import uniform_random
+
+        items = uniform_random(40, seed=5, arrival_span=120.0)
+        results = {}
+        stats = {}
+        for engine in ("object", "columnar"):
+            s = SolverStats()
+            results[engine] = opt_total(
+                items, memo=MemoCache(), stats=s, slice_engine=engine
+            )
+            stats[engine] = s.as_dict()
+        assert results["object"] == results["columnar"]
+        assert stats["object"] == stats["columnar"]
