@@ -1,0 +1,193 @@
+"""SERVE — the live serving runtime under multi-tenant load, gated.
+
+Drives the ``repro.serving`` stack (TCP transport → admission control →
+micro-batched :meth:`~repro.engine.PackingSession.submit_many`) with the
+async :class:`~repro.serving.LoadGenerator` and gates the three properties
+the serving PR promises:
+
+* **sustained throughput** — closed-loop load across 8 tenants must admit
+  at a floor aggregate rate with a bounded request-latency p99 (the
+  protocol round trip, client-measured);
+* **overload = backpressure, not loss** — offered load at ~2x what the
+  flush cadence can carry (bounded queues, slow flush deadline) must
+  produce explicit ``busy`` replies and still place **every** admitted
+  arrival; crashes, silent drops, or ``DrainReport.lost != 0`` fail the
+  bench;
+* **graceful drain** — after each run the drain report must account every
+  admitted item (``admitted == placed + dropped_by_policy``).
+
+Run as a script (``python benchmarks/bench_serving.py [--quick]``) or under
+pytest (quick sizes).  ``--quick`` is the CI gate: smaller totals and a
+looser p99 bound for shared runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.analysis import render_table
+from repro.serving import (
+    DrainReport,
+    LoadGenerator,
+    LoadReport,
+    ServingRuntime,
+    SessionManager,
+    TcpTransport,
+)
+
+TENANTS = 8
+
+FULL_TOTAL, QUICK_TOTAL = 20_000, 1_500
+#: Aggregate admitted arrivals/second the closed-loop run must sustain.
+FULL_RATE_FLOOR, QUICK_RATE_FLOOR = 2_000.0, 300.0
+#: Client-observed request-latency p99 bound, seconds.
+FULL_P99_BOUND, QUICK_P99_BOUND = 0.05, 0.25
+
+#: Overload shape: queues drain only every ``OVERLOAD_DEADLINE`` seconds and
+#: hold ``OVERLOAD_QUEUE`` items, so the carried rate is bounded by
+#: queue*tenants/deadline and an offered rate of ~2x that must push back.
+OVERLOAD_QUEUE = 16
+OVERLOAD_DEADLINE = 0.05
+OVERLOAD_RATE = 2.0 * OVERLOAD_QUEUE * TENANTS / OVERLOAD_DEADLINE
+
+
+async def _drive(
+    total: int,
+    *,
+    rate: float = 0.0,
+    queue_limit: int = 1024,
+    batch_size: int = 128,
+    batch_deadline: float = 0.002,
+) -> tuple[LoadReport, DrainReport]:
+    """One full serve cycle: listen, load, drain; returns both reports."""
+    runtime = ServingRuntime(
+        SessionManager(),
+        queue_limit=queue_limit,
+        batch_size=batch_size,
+        batch_deadline=batch_deadline,
+    )
+    tcp = TcpTransport(runtime)
+    port = await tcp.start()
+    generator = LoadGenerator(
+        "127.0.0.1", port, tenants=TENANTS, rate=rate, seed=7, max_retries=200
+    )
+    load = await generator.run(total)
+    drained = await runtime.drain()
+    await tcp.stop()
+    return load, drained
+
+
+def sustained_experiment(total: int) -> dict[str, object]:
+    """Closed-loop throughput and latency across the tenant fleet."""
+    load, drained = asyncio.run(_drive(total))
+    assert drained.lost == 0, f"drain lost {drained.lost} admitted items"
+    assert load.abandoned == 0
+    return {
+        "bench": "sustained",
+        "tenants": TENANTS,
+        "arrivals": total,
+        "rate (arr/s)": round(load.achieved_rate, 0),
+        "p50 (ms)": round(load.latency.quantile(0.5) * 1e3, 2),
+        "p99 (ms)": round(load.latency.quantile(0.99) * 1e3, 2),
+        "busy": load.busy,
+        "lost": drained.lost,
+    }
+
+
+def overload_experiment(total: int) -> dict[str, object]:
+    """~2x offered overload against bounded queues: backpressure, no loss."""
+    load, drained = asyncio.run(
+        _drive(
+            total,
+            rate=OVERLOAD_RATE,
+            queue_limit=OVERLOAD_QUEUE,
+            batch_size=10**6,  # deadline-only flushes: the queue is the bound
+            batch_deadline=OVERLOAD_DEADLINE,
+        )
+    )
+    assert drained.lost == 0, f"overload lost {drained.lost} admitted items"
+    return {
+        "bench": "2x overload",
+        "tenants": TENANTS,
+        "arrivals": total,
+        "rate (arr/s)": round(load.achieved_rate, 0),
+        "p99 (ms)": round(load.latency.quantile(0.99) * 1e3, 2),
+        "busy": load.busy,
+        "abandoned": load.abandoned,
+        "lost": drained.lost,
+    }
+
+
+def run_experiment(quick: bool) -> tuple[list[dict[str, object]], list[str]]:
+    """Both experiments plus their gate verdicts (empty list = all pass)."""
+    total = QUICK_TOTAL if quick else FULL_TOTAL
+    rate_floor = QUICK_RATE_FLOOR if quick else FULL_RATE_FLOOR
+    p99_bound = QUICK_P99_BOUND if quick else FULL_P99_BOUND
+    sustained = sustained_experiment(total)
+    overload = overload_experiment(max(total // 2, 500))
+    failures = []
+    if float(sustained["rate (arr/s)"]) < rate_floor:
+        failures.append(
+            f"sustained rate {sustained['rate (arr/s)']}/s below the "
+            f"{rate_floor}/s floor"
+        )
+    if float(sustained["p99 (ms)"]) > p99_bound * 1e3:
+        failures.append(
+            f"sustained p99 {sustained['p99 (ms)']}ms above the "
+            f"{p99_bound * 1e3:.0f}ms bound"
+        )
+    if int(overload["busy"]) == 0:
+        failures.append("overload produced no backpressure replies")
+    return [sustained, overload], failures
+
+
+def test_serving(benchmark, report):
+    """Pytest entry: quick-size sustained + overload runs with their gates."""
+    rows, failures = run_experiment(quick=True)
+    assert failures == []
+
+    def one_cycle():
+        return asyncio.run(_drive(300))
+
+    benchmark(one_cycle)
+    report(
+        render_table(
+            rows,
+            title="[SERVE] multi-tenant live serving: throughput, backpressure, drain",
+            precision=2,
+        )
+    )
+
+
+def main() -> int:
+    """Script entry: the full (or --quick) load runs with their gates."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke sizes ({QUICK_TOTAL} arrivals instead of {FULL_TOTAL}) "
+        f"and a {QUICK_P99_BOUND * 1e3:.0f}ms p99 bound",
+    )
+    args = parser.parse_args()
+    rows, failures = run_experiment(quick=args.quick)
+    print(
+        render_table(
+            rows,
+            title="[SERVE] multi-tenant live serving: throughput, backpressure, drain",
+            precision=2,
+        )
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print(
+            f"OK: {TENANTS} tenants sustained {rows[0]['rate (arr/s)']}/s "
+            f"(p99 {rows[0]['p99 (ms)']}ms), overload answered "
+            f"{rows[1]['busy']} busy, zero admitted items lost"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,6 +53,7 @@ from ..workloads import (
     cluster_tasks,
     gaming_sessions,
     poisson_exponential,
+    trace_workload,
     uniform_random,
     vector_uniform,
 )
@@ -69,6 +70,7 @@ WORKLOAD_GENERATORS = {
     "gaming": gaming_sessions,
     "cluster": cluster_tasks,
     "vector": vector_uniform,
+    "trace": trace_workload,
 }
 
 

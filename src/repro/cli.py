@@ -11,11 +11,22 @@ Commands:
 * ``compare`` — run several algorithms on one trace side by side;
 * ``bounds`` — print the Proposition 1–3 lower bounds (and the exact
   repacking adversary for small traces);
-* ``serve`` — stream a trace through the packing engine event by event,
-  with live snapshots and engine counters;
+* ``serve`` — two modes over the same serving runtime
+  (:mod:`repro.serving`): ``--trace FILE`` replays a recorded trace through
+  the packing engine event by event with live snapshots and engine
+  counters (``--pace`` schedules events against a drift-free monotonic
+  deadline); ``--listen tcp:HOST:PORT | http:HOST:PORT | stdin`` serves
+  live multi-tenant traffic with bounded per-tenant queues
+  (``--queue-limit``), explicit backpressure replies, ``submit_many``
+  micro-batching (``--batch-size`` / ``--batch-deadline``), a
+  ``--max-tenants`` session cap, and graceful drain on SIGTERM/SIGINT that
+  flushes every queue and reports per-tenant final snapshots;
 * ``sweep`` — run one algorithm over a seed grid of generated workloads in
   parallel (``run_sweep``), reporting per-seed ratios against the exact
   adversary plus the merged :class:`~repro.analysis.SolverStats` counters;
+  ``--workload trace --trace FILE`` sweeps over a recorded trace instead,
+  with ``--loader`` selecting the object or columnar decode path in each
+  worker;
 * ``fig8`` — print the paper's Figure 8 as a table and ASCII chart.
 
 Every command is pure stdlib-argparse on top of the public API, so the CLI
@@ -454,10 +465,62 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return _finish(args, registry, payload, text)
 
 
+def _start_metrics_server(args: argparse.Namespace, source):
+    """Start the optional ``--metrics-port`` endpoint over ``source``.
+
+    Returns ``(server, error_code)``: the started
+    :class:`~repro.obs.MetricsServer` (or ``None`` when the flag is unset)
+    and ``2`` when the bind failed (message already printed).
+    """
+    if args.metrics_port is None or args.metrics_port < 0:
+        return None, 0
+    from .obs import MetricsServer
+
+    try:
+        server = MetricsServer(source, port=args.metrics_port)
+        server.start()
+    except OSError as exc:
+        print(
+            f"error: cannot bind metrics endpoint on port {args.metrics_port}: "
+            f"{exc} (is the port already in use? try --metrics-port 0 for an "
+            "ephemeral port)",
+            file=sys.stderr,
+        )
+        return None, 2
+    print(f"metrics endpoint: {server.url}", file=sys.stderr)
+    return server, 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.listen and args.trace:
+        print(
+            "error: --trace (replay) and --listen (live) are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.listen and not args.trace:
+        print(
+            "error: serve needs --trace FILE (replay mode) or --listen SPEC "
+            "(live mode: tcp:HOST:PORT, http:HOST:PORT or stdin)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.listen:
+        return _serve_listen(args)
+    return _serve_replay(args)
+
+
+def _serve_replay(args: argparse.Namespace) -> int:
+    """Replay a recorded trace through a manager-owned session.
+
+    A thin driver over the serving tier's
+    :class:`~repro.serving.ReplayTransport`: the session's packer, fault
+    policy and telemetry registry are exactly the legacy serve wiring, so
+    placements, engine counters and snapshots are bit-identical to the
+    pre-runtime replay path.
+    """
     from .algorithms.base import OnlinePacker
-    from .core import EventKind, event_stream
-    from .engine import PackingSession
+    from .serving import ReplayTransport, SessionManager
 
     registry = TelemetryRegistry()
     policy = None
@@ -472,42 +535,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not isinstance(packer, OnlinePacker):
         print("error: serve requires an online algorithm", file=sys.stderr)
         return 2
-    session = PackingSession(packer, registry=registry, fault_policy=policy)
+    manager = SessionManager()
+    session = manager.open("replay", packer=packer, policy=policy, registry=registry)
     live = args.snapshot_every and not getattr(args, "json", False)
-    arrivals = 0
-    server = None
-    if args.metrics_port is not None and args.metrics_port >= 0:
-        from .obs import MetricsServer
 
-        try:
-            server = MetricsServer(registry, port=args.metrics_port)
-            server.start()
-        except OSError as exc:
-            print(
-                f"error: cannot bind metrics endpoint on port {args.metrics_port}: "
-                f"{exc} (is the port already in use? try --metrics-port 0 for an "
-                "ephemeral port)",
-                file=sys.stderr,
-            )
-            return 2
-        print(f"metrics endpoint: {server.url}", file=sys.stderr)
+    def _print_snapshot(snap) -> None:
+        print(
+            f"t={snap.time:<12g} submitted={snap.items_submitted:<6d} "
+            f"active={snap.active_items:<6d} open_bins={snap.open_bins:<5d} "
+            f"usage={snap.usage_time:.3f}"
+        )
+
+    transport = ReplayTransport(
+        items,
+        tenant="replay",
+        pace=args.pace,
+        snapshot_every=args.snapshot_every if live else 0,
+        on_snapshot=_print_snapshot if live else None,
+    )
+    server, code = _start_metrics_server(args, registry)
+    if code:
+        return code
     try:
         with registry.span("cli.serve"):
-            for event in event_stream(items):
-                if event.kind is EventKind.ARRIVAL:
-                    session.submit(event.item)
-                    arrivals += 1
-                    if live and arrivals % args.snapshot_every == 0:
-                        snap = session.snapshot()
-                        print(
-                            f"t={snap.time:<12g} submitted={snap.items_submitted:<6d} "
-                            f"active={snap.active_items:<6d} open_bins={snap.open_bins:<5d} "
-                            f"usage={snap.usage_time:.3f}"
-                        )
-                else:
-                    session.advance(event.time)
-                if args.pace > 0:
-                    time.sleep(args.pace)
+            transport.run(manager)
             result = session.result()
             result.validate()
             metrics = evaluate(result, registry=registry)
@@ -543,6 +594,168 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return _finish(args, registry, payload, "\n".join(text_parts))
 
 
+def _parse_listen(spec: str) -> tuple[str, str, int]:
+    """Parse a ``--listen`` spec into ``(kind, host, port)``.
+
+    Accepted: ``tcp:HOST:PORT``, ``http:HOST:PORT``, ``stdin``.
+    """
+    if spec == "stdin":
+        return ("stdin", "", 0)
+    kind, _, rest = spec.partition(":")
+    if kind in ("tcp", "http"):
+        host, _, port = rest.rpartition(":")
+        if host and port.isdigit():
+            return (kind, host, int(port))
+    raise ReproError(
+        f"--listen expects tcp:HOST:PORT, http:HOST:PORT or stdin, got {spec!r}"
+    )
+
+
+async def _serve_until_stopped(runtime, kind: str, host: str, port: int):
+    """Run one live transport until SIGTERM/SIGINT (or stdin EOF), then drain.
+
+    Returns the :class:`~repro.serving.DrainReport`.  The drain happens
+    *inside* the running loop so batcher tasks flush every admitted item
+    before sessions close.
+    """
+    import asyncio
+    import signal
+
+    from .serving import HttpTransport, StdinTransport, TcpTransport
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    handled = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            handled.append(sig)
+        except (NotImplementedError, RuntimeError):  # non-unix / nested loop
+            pass
+    try:
+        if kind == "stdin":
+            transport = StdinTransport(runtime)
+            reader = asyncio.ensure_future(transport.run())
+            stopper = asyncio.ensure_future(stop.wait())
+            await asyncio.wait(
+                {reader, stopper}, return_when=asyncio.FIRST_COMPLETED
+            )
+            transport.stop()
+            stopper.cancel()
+            report = await runtime.drain()
+            try:
+                await asyncio.wait_for(reader, timeout=1.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                reader.cancel()
+        else:
+            cls = TcpTransport if kind == "tcp" else HttpTransport
+            transport = cls(runtime, host=host, port=port)
+            await transport.start()
+            print(f"serving endpoint: {transport.url}", file=sys.stderr)
+            await stop.wait()
+            report = await runtime.drain()
+            await transport.stop()
+    finally:
+        for sig in handled:
+            loop.remove_signal_handler(sig)
+    return report
+
+
+def _serve_listen(args: argparse.Namespace) -> int:
+    """Live serving over the layered runtime (``serve --listen``).
+
+    Builds the three serving tiers — :class:`~repro.serving.SessionManager`
+    with a default :class:`~repro.serving.TenantConfig` from the CLI flags,
+    a :class:`~repro.serving.ServingRuntime` for admission control and
+    micro-batching, and the transport named by ``--listen`` — then serves
+    until SIGTERM/SIGINT (or stdin EOF) triggers a graceful drain.  The
+    final report accounts every admitted arrival per tenant; ``lost`` is
+    asserted zero by the CI smoke.
+    """
+    import asyncio
+
+    from .algorithms.base import OnlinePacker
+    from .serving import ServingRuntime, SessionManager, TenantConfig
+
+    kind, host, port = _parse_listen(args.listen)
+    packer = _make_packer(args.algorithm, args)
+    if not isinstance(packer, OnlinePacker):
+        print("error: serve requires an online algorithm", file=sys.stderr)
+        return 2
+    registry = TelemetryRegistry()
+    config = TenantConfig(
+        algorithm=args.algorithm,
+        packer_kwargs=_packer_params(args.algorithm, args),
+        fault_mode=args.fault_policy,
+        error_budget=args.error_budget,
+    )
+    manager = SessionManager(config, registry=registry, max_tenants=args.max_tenants)
+    runtime = ServingRuntime(
+        manager,
+        queue_limit=args.queue_limit,
+        batch_size=args.batch_size,
+        batch_deadline=args.batch_deadline,
+    )
+    server, code = _start_metrics_server(args, manager.export_registry)
+    if code:
+        return code
+    try:
+        with registry.span("cli.serve"):
+            report = asyncio.run(_serve_until_stopped(runtime, kind, host, port))
+    finally:
+        if server is not None:
+            server.stop()
+    rows = [
+        {
+            "tenant": closed.tenant,
+            "submitted": closed.snapshot.items_submitted,
+            "bins_opened": closed.snapshot.bins_opened,
+            "usage": round(closed.snapshot.usage_time, 6),
+        }
+        for closed in report.closed
+    ]
+    text_parts = []
+    if rows:
+        text_parts.append(
+            render_table(rows, title=f"serve: drained {len(rows)} tenant sessions")
+        )
+    else:
+        text_parts.append("serve: drained 0 tenant sessions")
+    text_parts.append(
+        f"drain: admitted={report.admitted} placed={report.placed} "
+        f"dropped={report.dropped_by_policy} lost={report.lost} "
+        f"flushed={report.flushed_items} in {report.duration_seconds:.3f}s"
+    )
+    payload = {
+        "command": "serve",
+        "listen": args.listen,
+        "algorithm": args.algorithm,
+        "tenants": [
+            {
+                "tenant": closed.tenant,
+                "snapshot": {
+                    "items_submitted": closed.snapshot.items_submitted,
+                    "active_items": closed.snapshot.active_items,
+                    "open_bins": closed.snapshot.open_bins,
+                    "bins_opened": closed.snapshot.bins_opened,
+                    "usage_time": closed.snapshot.usage_time,
+                },
+                "engine": closed.stats,
+            }
+            for closed in report.closed
+        ],
+        "drain": {
+            "admitted": report.admitted,
+            "placed": report.placed,
+            "dropped_by_policy": report.dropped_by_policy,
+            "lost": report.lost,
+            "flushed_items": report.flushed_items,
+            "duration_seconds": report.duration_seconds,
+        },
+    }
+    return _finish(args, manager.export_registry(), payload, "\n".join(text_parts))
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis import SolverStats, SweepTask, run_sweep
 
@@ -556,6 +769,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.workload == "vector":
         sweep_dims = args.dims
         workload_kwargs["dims"] = args.dims
+    if args.workload == "trace":
+        if not args.trace:
+            raise ReproError("--workload trace requires --trace FILE")
+        # The trace is fixed input, not generated: every cell replays the
+        # whole file (no n-truncation), the seed only labels the cell, and
+        # --loader picks the object/columnar decode path inside each worker.
+        workload_kwargs = {"path": args.trace, "loader": args.loader}
+        sweep_dims = _load(args).dims
     # Validate parameter values and dimensionality capability up front.
     _make_packer(args.algorithm, args, dims=sweep_dims)
     tasks = [
@@ -601,8 +822,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         [
             render_table(
                 rows,
-                title=f"sweep: {args.algorithm} on {args.workload} "
-                f"(n={args.n}, {args.seeds} seeds)",
+                title=(
+                    f"sweep: {args.algorithm} on trace {args.trace} "
+                    f"({args.seeds} seeds)"
+                    if args.workload == "trace"
+                    else f"sweep: {args.algorithm} on {args.workload} "
+                    f"(n={args.n}, {args.seeds} seeds)"
+                ),
             ),
             "",
             render_table(stats_rows, title="adversary solver counters (all cells)"),
@@ -797,9 +1023,53 @@ def build_parser() -> argparse.ArgumentParser:
     add_output_opts(rep)
     rep.set_defaults(func=_cmd_replay)
 
-    srv = sub.add_parser("serve", help="stream a trace through the packing engine")
-    srv.add_argument("--trace", required=True)
+    srv = sub.add_parser(
+        "serve",
+        help="replay a trace through the packing engine, or serve live traffic",
+    )
+    srv.add_argument(
+        "--trace",
+        default="",
+        help="replay mode: stream this recorded trace event by event "
+        "(mutually exclusive with --listen)",
+    )
+    srv.add_argument(
+        "--listen",
+        default="",
+        metavar="SPEC",
+        help="live mode: accept arrivals over a transport — tcp:HOST:PORT "
+        "(line protocol), http:HOST:PORT (POST /submit NDJSON) or stdin; "
+        "serves until SIGTERM/SIGINT (or stdin EOF), then drains gracefully",
+    )
     srv.add_argument("--algorithm", required=True, help="online algorithm name")
+    srv.add_argument(
+        "--queue-limit",
+        type=int,
+        default=1024,
+        help="live mode: max pending arrivals per tenant before offers get "
+        "an explicit busy (backpressure) reply",
+    )
+    srv.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="live mode: flush a tenant's pending arrivals into the engine "
+        "at this batch size",
+    )
+    srv.add_argument(
+        "--batch-deadline",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="live mode: flush no later than this long after the oldest "
+        "pending arrival (bounds added latency at low rates)",
+    )
+    srv.add_argument(
+        "--max-tenants",
+        type=int,
+        default=1024,
+        help="live mode: cap on concurrently open tenant sessions",
+    )
     srv.add_argument(
         "--snapshot-every",
         type=int,
@@ -847,7 +1117,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload",
         default="uniform",
         help="generator name (uniform, poisson, bounded-mu, bursty, gaming, "
-        "cluster, vector)",
+        "cluster, vector, trace)",
+    )
+    swp.add_argument(
+        "--trace",
+        default="",
+        help="trace file for --workload trace (each cell replays the whole "
+        "file; --loader picks the decode path)",
     )
     swp.add_argument("--n", type=int, default=40, help="items per workload")
     swp.add_argument("--mu", type=float, default=10.0, help="duration ratio (bounded-mu)")
@@ -892,8 +1168,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-cell wall-clock budget for the exact adversary; on expiry the "
         "cell degrades to certified lower bounds (exact=false) instead of hanging",
     )
-    # Sweep generates its workloads rather than reading a trace; the flag is
-    # accepted for interface uniformity with replay/serve and ignored.
+    # --loader selects the decode path for `--workload trace` cells (and for
+    # the driver-side dims validation); generated workloads ignore it.
     add_loader_opt(swp)
     add_packer_opts(swp)
     add_output_opts(swp)

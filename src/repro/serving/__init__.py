@@ -1,0 +1,57 @@
+"""The layered live-serving runtime: tenancy, ingestion, admission control.
+
+This package turns the streaming :class:`~repro.engine.PackingSession` into
+a long-running multi-tenant service, in three tiers (bottom up):
+
+1. **Session tier** — :class:`SessionManager` owns N concurrent packing
+   sessions keyed by client id, each with its own packer (built from a
+   per-tenant :class:`TenantConfig`), its own
+   :class:`~repro.resilience.FaultPolicy`, and a private engine telemetry
+   registry; :meth:`SessionManager.export_registry` merges the fleet into
+   one scrape for the Prometheus :class:`~repro.obs.MetricsServer`.
+2. **Ingestion tier** — pluggable transports (:class:`TcpTransport`,
+   :class:`HttpTransport`, :class:`StdinTransport`) decode NDJSON arrivals
+   with the trace-loader fault diagnostics and feed the engine through
+   ``submit_many`` micro-batching, flushing on batch size or deadline.
+   :class:`ReplayTransport` is the legacy ``serve --trace`` mode as a thin
+   synchronous transport over the same :class:`SessionManager` —
+   bit-identical to the pre-runtime replay path, with drift-free pacing.
+3. **Admission tier** — :class:`ServingRuntime` fronts the manager with
+   bounded per-tenant queues, explicit backpressure (``busy``) replies,
+   fault-policy/error-budget rejects, and a graceful drain that flushes
+   every queue and closes every session with final snapshots, proving
+   zero admitted-item loss in its :class:`DrainReport`.
+
+:class:`LoadGenerator` drives the TCP transport with synthetic multi-tenant
+load for the throughput/latency gates in ``benchmarks/bench_serving.py``
+and the CI serving smoke.  See ``docs/SERVING.md`` for the protocol and
+operational guide.
+"""
+
+from .loadgen import LoadGenerator, LoadReport, TenantLoadStats
+from .manager import ClosedTenant, SessionManager, TenantConfig, TenantLimitError
+from .protocol import DEFAULT_TENANT, Request, parse_request, reply, snapshot_payload
+from .runtime import Admission, DrainReport, ServingRuntime
+from .transports import HttpTransport, ReplayTransport, StdinTransport, TcpTransport
+
+__all__ = [
+    "Admission",
+    "ClosedTenant",
+    "DEFAULT_TENANT",
+    "DrainReport",
+    "HttpTransport",
+    "LoadGenerator",
+    "LoadReport",
+    "ReplayTransport",
+    "Request",
+    "ServingRuntime",
+    "SessionManager",
+    "StdinTransport",
+    "TcpTransport",
+    "TenantConfig",
+    "TenantLimitError",
+    "TenantLoadStats",
+    "parse_request",
+    "reply",
+    "snapshot_payload",
+]

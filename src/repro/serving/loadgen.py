@@ -1,0 +1,268 @@
+"""An async load generator for the TCP serving transport.
+
+:class:`LoadGenerator` opens one protocol connection per tenant, streams
+synthetic arrival records at a target aggregate rate, and measures what the
+serving stack actually does under that load:
+
+* **request latency** — send-to-reply round trip per arrival, recorded in a
+  :class:`~repro.obs.Histogram` so the report can gate p50/p99;
+* **backpressure behaviour** — ``busy`` replies are counted and retried
+  after the server's ``retry_ms`` hint (bounded retries, then the item is
+  abandoned and counted), so an overloaded server shows up as retries and
+  rising latency, never as a client crash;
+* **admission accounting** — admitted / dropped / rejected / abandoned per
+  the protocol verdicts, summed into a :class:`LoadReport`.
+
+Arrival records follow the trace schema (``id``/``size``/``arrival``/
+``departure``); per tenant, arrival times advance deterministically from a
+seeded RNG, ids are unique, and sizes are uniform in ``(0, 1]`` — a valid
+workload for every registered online packer.  Pacing is **open-loop** with
+a monotonic deadline per record (``t0 + k/rate``), the same drift-free
+scheme :class:`~repro.serving.ReplayTransport` uses, so the offered rate is
+honest even when individual round trips are slow.
+
+Used by ``benchmarks/bench_serving.py`` (throughput/latency gates) and the
+CI serving smoke.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.exceptions import ValidationError
+from ..obs import Histogram, TelemetryRegistry
+
+__all__ = ["LoadGenerator", "LoadReport", "TenantLoadStats"]
+
+
+@dataclass(frozen=True)
+class TenantLoadStats:
+    """One tenant connection's view of the run.
+
+    Attributes:
+        tenant: The tenant id this connection bound with ``hello``.
+        sent: Arrival lines written (including retries).
+        admitted: ``ok`` replies.
+        busy: ``busy`` replies (each is retried up to the retry cap).
+        dropped: ``dropped`` replies (absorbed by the tenant fault policy).
+        rejected: ``rejected`` replies.
+        abandoned: Records given up on after exhausting busy retries.
+    """
+
+    tenant: str
+    sent: int = 0
+    admitted: int = 0
+    busy: int = 0
+    dropped: int = 0
+    rejected: int = 0
+    abandoned: int = 0
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """The aggregate outcome of one load-generation run.
+
+    Attributes:
+        tenants: Per-connection stats, in tenant order.
+        duration_seconds: Wall-clock run time (connect to last reply).
+        offered: Total records offered (excluding retries of the same record).
+        achieved_rate: Admitted arrivals per second over the run.
+        latency: The request-latency histogram (seconds); query
+            ``latency.quantile(0.99)`` for the p99 gate.
+    """
+
+    tenants: list[TenantLoadStats] = field(default_factory=list)
+    duration_seconds: float = 0.0
+    offered: int = 0
+    achieved_rate: float = 0.0
+    latency: Histogram | None = None
+
+    @property
+    def admitted(self) -> int:
+        """Total ``ok`` replies across tenants."""
+        return sum(t.admitted for t in self.tenants)
+
+    @property
+    def busy(self) -> int:
+        """Total backpressure replies across tenants."""
+        return sum(t.busy for t in self.tenants)
+
+    @property
+    def rejected(self) -> int:
+        """Total rejects across tenants."""
+        return sum(t.rejected for t in self.tenants)
+
+    @property
+    def abandoned(self) -> int:
+        """Records abandoned after the busy-retry cap across tenants."""
+        return sum(t.abandoned for t in self.tenants)
+
+
+#: Latency histogram bounds, seconds — sub-millisecond to one second.
+_LATENCY_BOUNDS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+
+class LoadGenerator:
+    """Drive a TCP serving endpoint with synthetic multi-tenant load.
+
+    Args:
+        host / port: The :class:`~repro.serving.TcpTransport` endpoint.
+        tenants: Number of concurrent tenant connections.
+        rate: Target aggregate offered rate, arrivals/second, split evenly
+            across tenants (``0``: as fast as replies return, closed-loop).
+        duration_mean: Mean item duration in *trace* time units.
+        seed: RNG seed for sizes/durations (tenant index is mixed in, so
+            connections generate distinct but reproducible streams).
+        max_retries: Busy retries per record before abandoning it.
+        registry: Registry the latency histogram lives in (``None``: private).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenants: int = 8,
+        rate: float = 0.0,
+        duration_mean: float = 10.0,
+        seed: int = 0,
+        max_retries: int = 50,
+        registry: TelemetryRegistry | None = None,
+    ) -> None:
+        if tenants < 1:
+            raise ValidationError(f"tenants must be >= 1, got {tenants}")
+        if rate < 0:
+            raise ValidationError(f"rate must be >= 0, got {rate}")
+        self.host = host
+        self.port = port
+        self.tenants = tenants
+        self.rate = rate
+        self.duration_mean = duration_mean
+        self.seed = seed
+        self.max_retries = max_retries
+        self.registry = registry if registry is not None else TelemetryRegistry()
+        self.latency = self.registry.histogram(
+            "loadgen.latency_seconds", bounds=_LATENCY_BOUNDS
+        )
+
+    async def run(self, total: int) -> LoadReport:
+        """Offer ``total`` records split across the tenant connections.
+
+        Returns the aggregate :class:`LoadReport`; raises ``OSError`` if the
+        endpoint is unreachable.
+        """
+        per_tenant = [total // self.tenants] * self.tenants
+        for k in range(total % self.tenants):
+            per_tenant[k] += 1
+        t0 = time.monotonic()
+        stats = await asyncio.gather(
+            *(
+                self._drive_tenant(f"tenant-{k}", k, per_tenant[k])
+                for k in range(self.tenants)
+            )
+        )
+        duration = time.monotonic() - t0
+        admitted = sum(s.admitted for s in stats)
+        return LoadReport(
+            tenants=list(stats),
+            duration_seconds=duration,
+            offered=total,
+            achieved_rate=admitted / duration if duration > 0 else 0.0,
+            latency=self.latency,
+        )
+
+    def _records(self, index: int, count: int) -> list[str]:
+        """The tenant's synthetic arrival lines (deterministic per seed)."""
+        rng = np.random.default_rng(self.seed * 1_000_003 + index)
+        sizes = rng.uniform(0.05, 1.0, size=count)
+        gaps = rng.exponential(1.0, size=count)
+        durations = rng.exponential(self.duration_mean, size=count) + 1e-3
+        arrivals = np.cumsum(gaps)
+        lines = []
+        for k in range(count):
+            lines.append(
+                json.dumps(
+                    {
+                        "id": index * 10_000_000 + k,
+                        "size": round(float(sizes[k]), 6),
+                        "arrival": round(float(arrivals[k]), 6),
+                        "departure": round(float(arrivals[k] + durations[k]), 6),
+                    },
+                    separators=(",", ":"),
+                )
+            )
+        return lines
+
+    async def _drive_tenant(
+        self, tenant: str, index: int, count: int
+    ) -> TenantLoadStats:
+        """One connection: hello, paced arrivals with busy-retry, bye."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        sent = admitted = busy = dropped = rejected = abandoned = 0
+        try:
+            writer.write(f"hello {tenant}\n".encode())
+            await writer.drain()
+            await reader.readline()  # hello ack
+            per_conn_rate = self.rate / self.tenants if self.rate > 0 else 0.0
+            t0 = time.monotonic()
+            for k, line in enumerate(self._records(index, count)):
+                if per_conn_rate > 0:
+                    # Open-loop pacing against the absolute deadline for
+                    # record k — no drift accumulation across the run.
+                    delay = t0 + k / per_conn_rate - time.monotonic()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                payload = (line + "\n").encode()
+                for attempt in range(self.max_retries + 1):
+                    start = time.monotonic()
+                    writer.write(payload)
+                    await writer.drain()
+                    raw = await reader.readline()
+                    self.latency.observe(time.monotonic() - start)
+                    sent += 1
+                    if not raw:
+                        raise ConnectionResetError(f"server closed on {tenant}")
+                    verdict = json.loads(raw)
+                    status = verdict.get("status")
+                    if status == "busy":
+                        busy += 1
+                        if attempt == self.max_retries:
+                            abandoned += 1
+                            break
+                        await asyncio.sleep(
+                            float(verdict.get("retry_ms", 10)) / 1000.0
+                        )
+                        continue
+                    if status == "ok":
+                        admitted += 1
+                    elif status == "dropped":
+                        dropped += 1
+                    else:
+                        rejected += 1
+                    break
+            writer.write(b"bye\n")
+            await writer.drain()
+            await reader.readline()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+        return TenantLoadStats(
+            tenant=tenant,
+            sent=sent,
+            admitted=admitted,
+            busy=busy,
+            dropped=dropped,
+            rejected=rejected,
+            abandoned=abandoned,
+        )

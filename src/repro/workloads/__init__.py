@@ -22,7 +22,9 @@ from .traces import (
     load_jsonl,
     load_jsonl_columnar,
     load_trace,
+    parse_arrival,
     save_trace,
+    trace_workload,
 )
 
 __all__ = [
@@ -46,7 +48,9 @@ __all__ = [
     "load_jsonl",
     "load_jsonl_columnar",
     "load_trace",
+    "parse_arrival",
     "save_trace",
+    "trace_workload",
     "load_scale",
     "mix",
     "subsample",

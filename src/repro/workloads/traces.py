@@ -60,6 +60,8 @@ __all__ = [
     "load_csv_columnar",
     "save_trace",
     "load_trace",
+    "parse_arrival",
+    "trace_workload",
     "TRACE_LOADERS",
 ]
 
@@ -285,6 +287,64 @@ def _collect(
         seen.add(item.id)
         items.append(item)
     return ItemList(items)
+
+
+def parse_arrival(
+    line: str, *, lineno: int = 1, policy: "FaultPolicy | None" = None
+) -> Item | None:
+    """Decode one NDJSON arrival record with full trace-loader diagnostics.
+
+    The single-record entry point for live ingestion (the serving runtime's
+    transports decode every incoming arrival through here): exactly the
+    per-record grammar and fault handling of :func:`load_jsonl`, without
+    building an :class:`~repro.core.ItemList`.
+
+    Args:
+        line: One JSON object in the trace-record schema (``size`` or
+            ``sizes`` spelling, optional ``tags``).
+        lineno: 1-based position reported in diagnostics (for a network
+            transport, the per-connection record count).
+        policy: Optional :class:`~repro.resilience.FaultPolicy`.  ``skip``
+            absorbs a malformed record and returns ``None``; ``clamp``
+            additionally repairs repairable records (the repaired
+            :class:`~repro.core.Item` is returned).  Without a policy (or
+            in strict mode) the fault raises.
+
+    Returns:
+        The validated item, or ``None`` when a non-strict policy dropped
+        the record.
+
+    Raises:
+        ValidationError: on a malformed record (strict), naming the record
+            position and offending field; or when the policy's error budget
+            is exhausted.
+    """
+    try:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise _BadRecord(
+                f"trace line {lineno}: invalid JSON: {exc.msg}",
+                reason="invalid_json",
+            ) from None
+        if not isinstance(record, Mapping):
+            raise _BadRecord(
+                f"trace line {lineno}: expected a JSON object, "
+                f"got {type(record).__name__}",
+                reason="not_an_object",
+            )
+        try:
+            return _parse_record(record, lineno)
+        except _BadRecord as bad:
+            if bad.clampable and policy is not None and policy.wants_clamp:
+                policy.absorb(bad.reason, bad, action="clamp")
+                return _parse_record({**record, **bad.clamped}, lineno)
+            raise
+    except _BadRecord as bad:
+        if policy is None:
+            raise
+        policy.absorb(bad.reason, bad, action="drop")
+        return None
 
 
 def load_jsonl(text: str, *, policy: "FaultPolicy | None" = None) -> ItemList:
@@ -691,6 +751,41 @@ def save_trace(items: ItemList, path: str | Path) -> None:
         path.write_text(dump_csv(items))
     else:
         raise ValidationError(f"unknown trace extension {path.suffix!r} (use .jsonl/.csv)")
+
+
+def trace_workload(
+    n: int | None = None,
+    *,
+    path: str | Path,
+    loader: str = "object",
+    seed: int = 0,
+) -> ItemList:
+    """A recorded trace as a sweep workload (``sweep --workload trace``).
+
+    The trace-backed counterpart of the synthetic generators in
+    :data:`~repro.analysis.WORKLOAD_GENERATORS`: instead of synthesising
+    items from a seed, the cell loads ``path`` through :func:`load_trace`
+    with the requested ``loader`` — which is what wires the columnar
+    zero-copy loaders into ``sweep``, completing the replay/serve/sweep
+    trio.  Module-level and fully keyword-addressable so process-pool sweep
+    workers can reconstruct the workload from a picklable task spec.
+
+    Args:
+        n: Optional prefix truncation — keep only the first ``n`` items in
+            arrival order (``None``/``0``: the whole trace).
+        path: The trace file (.jsonl or .csv).
+        loader: ``"object"`` or ``"columnar"``, as :func:`load_trace`.
+        seed: Accepted for generator-interface uniformity and ignored — a
+            recorded trace is the same instance under every seed.
+
+    Raises:
+        ValidationError: whatever :func:`load_trace` raises.
+    """
+    del seed  # a recorded trace has no randomness to seed
+    items = load_trace(path, loader=loader)
+    if n:
+        items = ItemList(list(items)[: int(n)])
+    return items
 
 
 def load_trace(
