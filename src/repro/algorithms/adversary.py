@@ -29,12 +29,18 @@ Observability flows through :class:`~repro.algorithms.optimal.SolverStats`.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
 import struct
 import threading
 import time
+
+try:  # POSIX advisory file locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 from bisect import bisect_left, bisect_right, insort
 from pathlib import Path
 from typing import Sequence
@@ -72,10 +78,13 @@ class MemoCache:
     vector, so identical slices hash identically regardless of which
     instance produced them, and the cache stays compact even for thousands
     of large slices.  All operations take an internal lock (thread-safe);
-    persistence is **merge-on-save** with an atomic ``os.replace``, so
-    concurrent sweep worker processes pointed at the same path never corrupt
-    the file — at worst a simultaneous save loses some of another worker's
-    freshly added entries.
+    persistence is **merge-on-save** with an atomic ``os.replace`` under a
+    POSIX advisory lock on a ``<path>.lock`` sidecar, so any number of
+    concurrent sweep worker processes pointed at the same path serialise
+    their read-merge-write cycles: the file ends up holding the **union**
+    of every saver's entries.  (Where ``fcntl`` is unavailable the save is
+    still atomic but best-effort — a simultaneous save may lose some of
+    another worker's freshly added entries.)
 
     A cached count is the *exact* optimum of its multiset, independent of
     the node budget it was solved under; a hit can therefore only turn a
@@ -158,40 +167,82 @@ class MemoCache:
             self.registry.counter("memo.load_entries").inc(len(data))
         return len(data)
 
+    def merge_from(self, other: "MemoCache") -> int:
+        """Fold another cache's in-memory entries into this one.
+
+        Existing entries win (cached optima for the same key are equal by
+        construction, so which copy survives is immaterial).  Returns the
+        number of newly adopted entries.  This is the driver-side half of
+        the sharded-sweep memo story: per-shard caches are merged into one
+        and persisted through :meth:`save`'s atomic merge path.
+        """
+        with other._lock:
+            entries = dict(other._data)
+        adopted = 0
+        with self._lock:
+            for key, count in entries.items():
+                if key not in self._data:
+                    if len(self._data) >= self.max_entries:
+                        del self._data[next(iter(self._data))]
+                    self._data[key] = count
+                    adopted += 1
+        return adopted
+
+    @contextlib.contextmanager
+    def _save_lock(self):
+        """Advisory exclusive lock on the sidecar ``<path>.lock`` file.
+
+        Serialises concurrent read-merge-write save cycles on POSIX so no
+        saver's entries are lost; a no-op where ``fcntl`` is unavailable.
+        """
+        if fcntl is None or self.path is None:
+            yield
+            return
+        lock_path = self.path.with_name(f"{self.path.name}.lock")
+        with open(lock_path, "a+b") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
     def save(self) -> int:
         """Merge this cache into the backing file atomically.
 
-        Existing on-disk entries from other processes are preserved; the
-        merged dict is written to a temp file and ``os.replace``d into
-        place (retried a few times on transient ``OSError``).  Returns the
-        number of entries written (0 without a path).
+        The read-merge-write cycle runs under :meth:`_save_lock`, so
+        concurrent savers append to — never overwrite — each other: on-disk
+        entries from other processes are preserved, the merged dict is
+        written to a temp file and ``os.replace``d into place (retried a
+        few times on transient ``OSError``).  Returns the number of entries
+        written (0 without a path).
         """
         if self.path is None:
             return 0
-        merged: dict[bytes, int] = {}
-        try:
-            raw = self.path.read_bytes()
-            on_disk = pickle.loads(raw) if raw else {}
-            if isinstance(on_disk, dict):
-                merged.update(on_disk)
-        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
-            pass
-        with self._lock:
-            merged.update(self._data)
-        payload = pickle.dumps(merged, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
-        retries = 0
-        for attempt in range(self._SAVE_ATTEMPTS):
+        with self._save_lock():
+            merged: dict[bytes, int] = {}
             try:
-                tmp.write_bytes(payload)
-                os.replace(tmp, self.path)
-                break
-            except OSError:
-                retries += 1
-                if attempt == self._SAVE_ATTEMPTS - 1:
-                    if self.registry is not None:
-                        self.registry.counter("memo.save_retries").inc(retries)
-                    raise
+                raw = self.path.read_bytes()
+                on_disk = pickle.loads(raw) if raw else {}
+                if isinstance(on_disk, dict):
+                    merged.update(on_disk)
+            except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+                pass
+            with self._lock:
+                merged.update(self._data)
+            payload = pickle.dumps(merged, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
+            retries = 0
+            for attempt in range(self._SAVE_ATTEMPTS):
+                try:
+                    tmp.write_bytes(payload)
+                    os.replace(tmp, self.path)
+                    break
+                except OSError:
+                    retries += 1
+                    if attempt == self._SAVE_ATTEMPTS - 1:
+                        if self.registry is not None:
+                            self.registry.counter("memo.save_retries").inc(retries)
+                        raise
         if self.registry is not None:
             self.registry.counter("memo.saves").inc()
             self.registry.counter("memo.entries_merged").inc(len(merged))

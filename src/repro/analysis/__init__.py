@@ -1,4 +1,5 @@
-"""Experiment machinery: ratio sweeps, tables, the noise study.
+"""Experiment machinery: ratio sweeps (single-host and sharded), tables,
+the noise study.
 
 Also re-exports :class:`~repro.engine.EngineStats` and the adversary's
 :class:`~repro.algorithms.SolverStats` / :class:`~repro.algorithms.MemoCache`
@@ -18,6 +19,12 @@ from .instrumentation import (
     theorem4_stage_decomposition,
     theorem4_third_stage,
     theorem5_category_decomposition,
+)
+from .distributed import (
+    ShardCoordinator,
+    ShardWorkerReport,
+    run_shard_worker,
+    run_sharded_sweep,
 )
 from .noise import NoisePoint, noise_sweep, noisy_estimator
 from .parallel import SweepOutcome, SweepTask, run_sweep
@@ -44,6 +51,10 @@ __all__ = [
     "SweepOutcome",
     "SweepTask",
     "run_sweep",
+    "ShardCoordinator",
+    "ShardWorkerReport",
+    "run_shard_worker",
+    "run_sharded_sweep",
     "ReportData",
     "report_data",
     "render_report",

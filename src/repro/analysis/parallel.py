@@ -204,7 +204,11 @@ def _task_spec(task: SweepTask) -> dict[str, object]:
 
 
 def _outcome_record(outcome: SweepOutcome) -> dict[str, object]:
-    """A completed cell as a JSON-safe journal record (floats via ``repr``)."""
+    """A settled cell as a JSON-safe journal record (floats via ``repr``).
+
+    ``error`` is recorded so sharded sweeps can journal cells that exhausted
+    their retries; ``run_sweep`` itself only ever journals successes.
+    """
     return {
         "label": outcome.task.label,
         "usage": outcome.usage,
@@ -212,6 +216,7 @@ def _outcome_record(outcome: SweepOutcome) -> dict[str, object]:
         "ratio": outcome.ratio,
         "exact": outcome.exact,
         "degraded_reason": outcome.degraded_reason,
+        "error": outcome.error,
         "attempts": outcome.attempts,
         "solver": outcome.solver.as_dict(),
         "telemetry": outcome.telemetry.as_dict(),
@@ -238,6 +243,7 @@ def _outcome_from_record(task: SweepTask, record: Mapping[str, object]) -> Sweep
             if isinstance(telemetry_data, Mapping)
             else TelemetrySnapshot()
         ),
+        error=record.get("error"),  # type: ignore[arg-type]
         attempts=int(record.get("attempts") or 1),  # type: ignore[arg-type]
         from_checkpoint=True,
         degraded_reason=record.get("degraded_reason"),  # type: ignore[arg-type]
@@ -260,6 +266,7 @@ def run_sweep(
     checkpoint: str | None = None,
     deadline: float | None = None,
     chaos: ChaosInjector | None = None,
+    index_offset: int = 0,
 ) -> list[SweepOutcome]:
     """Execute tasks, in parallel by default; order follows the input.
 
@@ -298,6 +305,11 @@ def run_sweep(
             bounds (``exact=False``, ``degraded_reason="deadline"``).
         chaos: Optional seeded :class:`~repro.resilience.ChaosInjector`
             (fault-injection tests and failure rehearsals only).
+        index_offset: Added to each task's position when deriving its cell
+            index (chaos targeting, injected-fault messages).  Sharded
+            sweeps pass the cell's grid-global index here so a shard
+            running a sub-range behaves — and fails — exactly like the
+            same cells in a single-host sweep.
 
     Raises:
         ValidationError: for unknown workload names or executor kinds.
@@ -346,7 +358,7 @@ def run_sweep(
             for i in pending:
                 try:
                     outcome = _run_one(
-                        tasks[i], i, attempt, memo_path, chaos, deadline
+                        tasks[i], index_offset + i, attempt, memo_path, chaos, deadline
                     )
                 except Exception as exc:  # noqa: BLE001 - crash isolation
                     failures.append((i, f"{type(exc).__name__}: {exc}"))
@@ -361,7 +373,13 @@ def run_sweep(
             with pool_cls(max_workers=max_workers) as pool:
                 index_of: dict[Future[SweepOutcome], int] = {
                     pool.submit(
-                        _run_one, tasks[i], i, attempt, memo_path, chaos, deadline
+                        _run_one,
+                        tasks[i],
+                        index_offset + i,
+                        attempt,
+                        memo_path,
+                        chaos,
+                        deadline,
                     ): i
                     for i in pending
                 }

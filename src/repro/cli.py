@@ -26,7 +26,12 @@ Commands:
   adversary plus the merged :class:`~repro.analysis.SolverStats` counters;
   ``--workload trace --trace FILE`` sweeps over a recorded trace instead,
   with ``--loader`` selecting the object or columnar decode path in each
-  worker;
+  worker; ``--shards N`` switches to the sharded work-stealing runner
+  (``run_sharded_sweep``) with per-shard journals and memo caches under a
+  ``--coordinator`` directory (see ``docs/DISTRIBUTED.md``);
+* ``sweep-worker`` — attach one shard worker to an existing (or imminent)
+  sweep ``--coordinator`` directory and drain it; run any number of these
+  as independent processes/hosts sharing only that directory;
 * ``fig8`` — print the paper's Figure 8 as a table and ASCII chart.
 
 Every command is pure stdlib-argparse on top of the public API, so the CLI
@@ -63,6 +68,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Sequence
@@ -757,7 +763,7 @@ def _serve_listen(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .analysis import SolverStats, SweepTask, run_sweep
+    from .analysis import SolverStats, SweepTask, run_sharded_sweep, run_sweep
 
     if args.seeds < 1:
         raise ReproError("--seeds must be >= 1")
@@ -792,16 +798,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     registry = TelemetryRegistry()
     retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
     with registry.span("cli.sweep"):
-        outcomes = run_sweep(
-            tasks,
-            max_workers=args.workers or None,
-            executor=args.executor,
-            memo_path=args.memo or None,
-            registry=registry,
-            retry=retry,
-            checkpoint=args.checkpoint or None,
-            deadline=args.deadline or None,
-        )
+        if args.shards > 0:
+            if args.checkpoint:
+                raise ReproError(
+                    "--checkpoint applies to single-host sweeps; sharded "
+                    "sweeps keep per-shard journals under --coordinator"
+                )
+            outcomes = run_sharded_sweep(
+                tasks,
+                shards=args.shards,
+                coordinator_dir=args.coordinator or None,
+                chunk_size=args.chunk_size or None,
+                lease_ttl=args.lease_ttl,
+                memo_path=args.memo or None,
+                registry=registry,
+                retry=retry,
+                deadline=args.deadline or None,
+            )
+        else:
+            outcomes = run_sweep(
+                tasks,
+                max_workers=args.workers or None,
+                executor=args.executor,
+                memo_path=args.memo or None,
+                registry=registry,
+                retry=retry,
+                checkpoint=args.checkpoint or None,
+                deadline=args.deadline or None,
+            )
     rows = [
         {
             "seed": o.task.label,
@@ -838,6 +862,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "command": "sweep",
         "algorithm": args.algorithm,
         "workload": args.workload,
+        "shards": args.shards,
         "rows": rows,
         "solver": merged.as_dict(),
         "resilience": {
@@ -846,6 +871,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "failed": sum(1 for o in outcomes if o.error is not None),
             "degraded": sum(1 for o in outcomes if o.degraded_reason is not None),
         },
+    }
+    return _finish(args, registry, payload, text)
+
+
+def _cmd_sweep_worker(args: argparse.Namespace) -> int:
+    from .analysis import run_shard_worker
+
+    worker = args.worker or f"worker-{os.getpid()}"
+    registry = TelemetryRegistry()
+    with registry.span("cli.sweep_worker"):
+        report = run_shard_worker(
+            args.coordinator,
+            worker,
+            poll_interval=args.poll_interval,
+            registry=registry,
+            wait_manifest=args.wait_manifest,
+        )
+    rows = [{"field": k, "value": v} for k, v in report.as_dict().items()]
+    text = render_table(
+        rows, title=f"sweep-worker: {worker} drained {args.coordinator}"
+    )
+    payload = {
+        "command": "sweep-worker",
+        "coordinator": args.coordinator,
+        "report": report.as_dict(),
     }
     return _finish(args, registry, payload, text)
 
@@ -1168,12 +1218,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-cell wall-clock budget for the exact adversary; on expiry the "
         "cell degrades to certified lower bounds (exact=false) instead of hanging",
     )
+    swp.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the sweep as N work-stealing shard workers with per-shard "
+        "journals and memo caches (0: single-host run_sweep, the default); "
+        "see docs/DISTRIBUTED.md",
+    )
+    swp.add_argument(
+        "--coordinator",
+        default="",
+        metavar="DIR",
+        help="coordinator directory for --shards: manifest, leases, per-shard "
+        "journals; rerunning with the same DIR resumes completed cells "
+        "(default: a private temporary directory, no resume)",
+    )
+    swp.add_argument(
+        "--chunk-size",
+        type=int,
+        default=0,
+        metavar="K",
+        help="cells per lease in sharded mode (0: auto-size for stealing)",
+    )
+    swp.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="sharded mode: seconds before an unrenewed chunk lease may be "
+        "stolen by another worker (crash recovery latency)",
+    )
     # --loader selects the decode path for `--workload trace` cells (and for
     # the driver-side dims validation); generated workloads ignore it.
     add_loader_opt(swp)
     add_packer_opts(swp)
     add_output_opts(swp)
     swp.set_defaults(func=_cmd_sweep)
+
+    swkr = sub.add_parser(
+        "sweep-worker",
+        help="attach one shard worker to a sweep coordinator directory",
+    )
+    swkr.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="DIR",
+        help="the coordinator directory a `sweep --shards` driver owns "
+        "(workers may start first; see --wait-manifest)",
+    )
+    swkr.add_argument(
+        "--worker",
+        default="",
+        metavar="ID",
+        help="worker identifier, the journal/memo filename stem "
+        "(default: worker-<pid>)",
+    )
+    swkr.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="idle-scan sleep while other workers hold all remaining leases",
+    )
+    swkr.add_argument(
+        "--wait-manifest",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long to wait for the driver to write the manifest",
+    )
+    add_output_opts(swkr)
+    swkr.set_defaults(func=_cmd_sweep_worker)
 
     fig = sub.add_parser("fig8", help="print the paper's Figure 8")
     fig.add_argument(

@@ -22,7 +22,11 @@ hard failures into bounded, observable degradation:
   recomputing;
 * :class:`ChaosInjector` — a seeded fault-injection harness (worker
   crashes, solver stalls, record corruption) that drives the chaos test
-  suite and lets any sweep be rehearsed under failure.
+  suite and lets any sweep be rehearsed under failure;
+* :class:`LeaseBoard` / :class:`Lease` — file-based, generation-numbered
+  work leases with expiry, stealing and exactly-once done markers: the
+  coordination primitive behind the sharded sweeps of
+  :mod:`repro.analysis.distributed` (see ``docs/DISTRIBUTED.md``).
 
 Every retry, timeout, degradation, drop and clamp increments a
 ``resilience.*`` telemetry cell in the run's
@@ -34,6 +38,7 @@ from .chaos import ChaosInjector, InjectedFault, corrupt_jsonl
 from .checkpoint import CheckpointJournal, task_key
 from .deadline import Deadline
 from .faults import FAULT_MODES, FaultPolicy
+from .lease import Lease, LeaseBoard
 from .retry import RetryPolicy
 
 __all__ = [
@@ -46,4 +51,6 @@ __all__ = [
     "ChaosInjector",
     "InjectedFault",
     "corrupt_jsonl",
+    "Lease",
+    "LeaseBoard",
 ]

@@ -1,0 +1,245 @@
+"""File-based work leases: the coordination primitive behind sharded sweeps.
+
+A :class:`LeaseBoard` turns a plain directory into a crash-safe work queue
+that multiple processes — on one host or on many hosts sharing a filesystem —
+can claim work units ("chunks") from without any server:
+
+* **claiming** a chunk atomically creates a *generation-numbered* lease file
+  (``os.link`` of a fully written temp file, so creation is both exclusive
+  and all-or-nothing);
+* a lease **expires** ``ttl`` seconds after its last renewal; an expired
+  lease can be **stolen** by creating the next generation file — again
+  exclusively, so exactly one stealer wins;
+* **renewing** a lease re-stamps its file and reports whether the lease is
+  still the chunk's newest generation (a superseded holder should abandon
+  the chunk — its work is not wasted, results are deduplicated downstream);
+* **completing** a chunk creates a done marker exclusively, so out of any
+  number of racing holders exactly one observes ``True`` — the board's
+  settled-exactly-once guarantee.
+
+Nothing here interprets what a chunk *is*; the sharded sweep layer
+(:mod:`repro.analysis.distributed`) maps chunks to cell ranges and pairs the
+board with per-shard :class:`~repro.resilience.CheckpointJournal`\\ s.  The
+clock is injectable so the lease property tests can drive arbitrary
+claim/expire interleavings deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Mapping
+
+from ..core.exceptions import ValidationError
+
+__all__ = ["Lease", "LeaseBoard"]
+
+_LEASE_DIR = "leases"
+_DONE_DIR = "done"
+
+
+@dataclass
+class Lease:
+    """A successfully claimed chunk: the holder's proof of tenancy.
+
+    Attributes:
+        chunk: The claimed chunk index.
+        generation: 0 for a first claim, ``g + 1`` when generation ``g``
+            expired and was stolen.
+        worker: The claiming worker's identifier.
+        claimed_at: Board-clock timestamp of the claim (or last renewal).
+        ttl: Seconds after ``claimed_at`` at which the lease expires.
+    """
+
+    chunk: int
+    generation: int
+    worker: str
+    claimed_at: float
+    ttl: float
+
+
+def _atomic_exclusive_write(path: Path, payload: bytes) -> bool:
+    """Create ``path`` with ``payload`` atomically; False if it exists.
+
+    The payload is fully written to a temp file first and linked into place,
+    so a reader never observes a partial file and exactly one of any number
+    of concurrent writers succeeds.
+    """
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_bytes(payload)
+    try:
+        os.link(tmp, path)
+    except FileExistsError:
+        return False
+    finally:
+        tmp.unlink(missing_ok=True)
+    return True
+
+
+class LeaseBoard:
+    """Directory-backed chunk leases with expiry, stealing and done markers.
+
+    Args:
+        root: The coordinator directory; ``leases/`` and ``done/`` are
+            created beneath it.
+        ttl: Default lease lifetime in seconds (> 0).
+        clock: Monotonic-enough time source; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        *,
+        ttl: float = 30.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if not ttl > 0:
+            raise ValidationError(f"lease ttl must be > 0, got {ttl}")
+        self.root = Path(root)
+        self.ttl = float(ttl)
+        self._clock = clock
+        self._lease_dir = self.root / _LEASE_DIR
+        self._done_dir = self.root / _DONE_DIR
+        self._lease_dir.mkdir(parents=True, exist_ok=True)
+        self._done_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- path helpers --------------------------------------------------------
+
+    def _lease_path(self, chunk: int, generation: int) -> Path:
+        return self._lease_dir / f"chunk-{chunk:06d}.gen-{generation:06d}"
+
+    def _done_path(self, chunk: int) -> Path:
+        return self._done_dir / f"chunk-{chunk:06d}.json"
+
+    def _latest_generation(self, chunk: int) -> int | None:
+        prefix = f"chunk-{chunk:06d}.gen-"
+        generations = [
+            int(p.name[len(prefix):])
+            for p in self._lease_dir.glob(f"{prefix}*")
+            if p.name[len(prefix):].isdigit()
+        ]
+        return max(generations) if generations else None
+
+    def _read_lease(self, chunk: int, generation: int) -> dict[str, object] | None:
+        try:
+            record = json.loads(self._lease_path(chunk, generation).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    # -- the protocol --------------------------------------------------------
+
+    def claim(self, chunk: int, worker: str) -> Lease | None:
+        """Try to claim ``chunk`` for ``worker``.
+
+        Returns the new :class:`Lease`, or ``None`` when the chunk is
+        already done, currently held under an unexpired lease, or lost to a
+        concurrent claimer.  A claim that supersedes an expired lease gets
+        the next generation number — the steal path of work stealing.
+        """
+        if self.is_done(chunk):
+            return None
+        latest = self._latest_generation(chunk)
+        if latest is None:
+            generation = 0
+        else:
+            record = self._read_lease(chunk, latest)
+            # An unreadable lease file cannot prove liveness; treat it as
+            # expired rather than deadlock the chunk forever.
+            if record is not None:
+                claimed_at = float(record.get("claimed_at") or 0.0)
+                ttl = float(record.get("ttl") or self.ttl)
+                if self._clock() - claimed_at < ttl:
+                    return None
+            generation = latest + 1
+        now = self._clock()
+        payload = json.dumps(
+            {"worker": worker, "claimed_at": now, "ttl": self.ttl},
+            sort_keys=True,
+        ).encode()
+        if not _atomic_exclusive_write(self._lease_path(chunk, generation), payload):
+            return None
+        return Lease(
+            chunk=chunk,
+            generation=generation,
+            worker=worker,
+            claimed_at=now,
+            ttl=self.ttl,
+        )
+
+    def renew(self, lease: Lease) -> bool:
+        """Re-stamp ``lease``; False when it was superseded or settled.
+
+        A ``False`` return tells the holder to abandon the chunk: either a
+        stealer holds a newer generation or the chunk is already done.  The
+        re-stamp is an atomic replace, so a concurrent expiry check reads
+        either the old timestamp or the new one, never a torn file.
+        """
+        if self.is_done(lease.chunk):
+            return False
+        latest = self._latest_generation(lease.chunk)
+        if latest is not None and latest > lease.generation:
+            return False
+        now = self._clock()
+        payload = json.dumps(
+            {"worker": lease.worker, "claimed_at": now, "ttl": lease.ttl},
+            sort_keys=True,
+        ).encode()
+        path = self._lease_path(lease.chunk, lease.generation)
+        tmp = path.with_name(f"{path.name}.renew.{os.getpid()}")
+        try:
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            return False
+        lease.claimed_at = now
+        return True
+
+    def complete(self, chunk: int, worker: str, record: Mapping[str, object] | None = None) -> bool:
+        """Mark ``chunk`` settled; True only for the first caller.
+
+        The done marker is created exclusively, so when a stale holder and
+        its stealer race to finish, exactly one ``complete`` returns
+        ``True`` — downstream accounting can rely on one settlement per
+        chunk.  ``record`` adds context (cell counts, etc.) to the marker.
+        """
+        payload = dict(record or {})
+        payload.update({"worker": worker, "completed_at": self._clock()})
+        return _atomic_exclusive_write(
+            self._done_path(chunk), json.dumps(payload, sort_keys=True).encode()
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def is_done(self, chunk: int) -> bool:
+        """Whether ``chunk`` has a done marker."""
+        return self._done_path(chunk).exists()
+
+    def all_done(self, n_chunks: int) -> bool:
+        """Whether every chunk in ``range(n_chunks)`` has a done marker."""
+        return all(self.is_done(chunk) for chunk in range(n_chunks))
+
+    def done_record(self, chunk: int) -> dict[str, object] | None:
+        """The done marker's payload, or ``None`` when unsettled."""
+        try:
+            record = json.loads(self._done_path(chunk).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def holder(self, chunk: int) -> dict[str, object] | None:
+        """The newest lease record for ``chunk`` (live or expired), if any."""
+        latest = self._latest_generation(chunk)
+        if latest is None:
+            return None
+        record = self._read_lease(chunk, latest)
+        if record is not None:
+            record["generation"] = latest
+        return record
+
+    def __repr__(self) -> str:
+        return f"LeaseBoard({str(self.root)!r}, ttl={self.ttl})"
