@@ -21,6 +21,7 @@ from .instrumentation import (
     theorem5_category_decomposition,
 )
 from .distributed import (
+    GcReport,
     ShardCoordinator,
     ShardWorkerReport,
     run_shard_worker,
@@ -51,6 +52,7 @@ __all__ = [
     "SweepOutcome",
     "SweepTask",
     "run_sweep",
+    "GcReport",
     "ShardCoordinator",
     "ShardWorkerReport",
     "run_shard_worker",

@@ -49,6 +49,7 @@ from ..algorithms.adversary import MemoCache
 from ..core.exceptions import ReproError, ValidationError
 from ..obs import TelemetryRegistry
 from ..resilience import ChaosInjector, CheckpointJournal, LeaseBoard, RetryPolicy, task_key
+from ..resilience.lease import _DONE_DIR, _LEASE_DIR
 from .parallel import (
     WORKLOAD_GENERATORS,
     SweepOutcome,
@@ -60,6 +61,7 @@ from .parallel import (
 )
 
 __all__ = [
+    "GcReport",
     "ShardCoordinator",
     "ShardWorkerReport",
     "run_shard_worker",
@@ -315,8 +317,93 @@ class ShardCoordinator:
         """Whether every chunk has a done marker."""
         return self.board().all_done(self.manifest().n_chunks)
 
+    # -- garbage collection ---------------------------------------------------
+
+    def gc(self, *, force: bool = False, keep_manifest: bool = True) -> "GcReport":
+        """Remove the working state of a **completed** sweep.
+
+        Deletes the lease files, done markers, shard journals and shard
+        memo caches — everything that only mattered while workers were
+        running.  The manifest stays by default as a record of what the
+        sweep was (``keep_manifest=False`` removes the whole coordinator
+        directory).  Settled results must be merged (``results()`` /
+        ``merge_memos()``) *before* collecting: after gc they are gone.
+
+        Args:
+            force: Collect even when cells are still unsettled — for
+                abandoning a sweep, never for one you still want.
+            keep_manifest: Keep ``manifest.json`` (and the directory).
+
+        Raises:
+            ReproError: when the sweep is incomplete and ``force`` is not
+                set (a running worker's journal must not vanish under it).
+        """
+        import shutil
+
+        try:
+            manifest = self.manifest()
+        except ReproError:
+            if not force:
+                raise
+            manifest = None
+        if manifest is not None and not force:
+            settled = self.settled()
+            missing = [k for k in manifest.keys if k not in settled]
+            if missing:
+                raise ReproError(
+                    f"coordinator {self.root} still has {len(missing)} of "
+                    f"{len(manifest.keys)} cells unsettled; finish the sweep "
+                    "or pass force=True to abandon it"
+                )
+        removed_files = 0
+        reclaimed = 0
+        for sub in (_LEASE_DIR, _DONE_DIR, _JOURNAL_DIR, _MEMO_DIR):
+            directory = self.root / sub
+            if not directory.is_dir():
+                continue
+            for path in directory.rglob("*"):
+                if path.is_file():
+                    try:
+                        reclaimed += path.stat().st_size
+                        removed_files += 1
+                    except OSError:  # pragma: no cover - concurrent cleanup
+                        pass
+            shutil.rmtree(directory, ignore_errors=True)
+        if not keep_manifest:
+            if self.manifest_path.exists():
+                try:
+                    reclaimed += self.manifest_path.stat().st_size
+                    removed_files += 1
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+            shutil.rmtree(self.root, ignore_errors=True)
+            self._manifest = None
+        return GcReport(
+            coordinator=str(self.root),
+            removed_files=removed_files,
+            reclaimed_bytes=reclaimed,
+            kept_manifest=keep_manifest,
+        )
+
     def __repr__(self) -> str:
         return f"ShardCoordinator({str(self.root)!r})"
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What :meth:`ShardCoordinator.gc` removed.
+
+    Attributes:
+        coordinator: The collected coordinator directory.
+        removed_files: Lease/done/journal/memo files deleted.
+        reclaimed_bytes: Total size of the deleted files.
+        kept_manifest: Whether ``manifest.json`` (and the directory) remain.
+    """
+
+    coordinator: str
+    removed_files: int
+    reclaimed_bytes: int
+    kept_manifest: bool
 
 
 def run_shard_worker(

@@ -688,6 +688,14 @@ def _serve_listen(args: argparse.Namespace) -> int:
     if not isinstance(packer, OnlinePacker):
         print("error: serve requires an online algorithm", file=sys.stderr)
         return 2
+    if args.wal and args.recover and args.wal != args.recover:
+        print(
+            "error: --wal and --recover name different directories; use one "
+            "(recovery journals new arrivals into the recovered directory)",
+            file=sys.stderr,
+        )
+        return 2
+    wal_dir = args.recover or args.wal
     registry = TelemetryRegistry()
     config = TenantConfig(
         algorithm=args.algorithm,
@@ -696,12 +704,44 @@ def _serve_listen(args: argparse.Namespace) -> int:
         error_budget=args.error_budget,
     )
     manager = SessionManager(config, registry=registry, max_tenants=args.max_tenants)
+    wal = None
+    if wal_dir:
+        from .serving import WalConfig, WriteAheadLog
+
+        wal = WriteAheadLog(
+            wal_dir,
+            config=WalConfig(
+                sync=args.wal_sync, checkpoint_records=args.checkpoint_every
+            ),
+            registry=registry,
+        )
+    rate_limiter = None
+    if args.rate_limit > 0:
+        from .serving import RateLimiter
+
+        rate_limiter = RateLimiter(
+            args.rate_limit, args.rate_burst, registry=registry
+        )
     runtime = ServingRuntime(
         manager,
         queue_limit=args.queue_limit,
         batch_size=args.batch_size,
         batch_deadline=args.batch_deadline,
+        wal=wal,
+        rate_limiter=rate_limiter,
+        max_resident=args.max_resident_tenants or None,
     )
+    if args.recover:
+        from .serving import recover
+
+        recovery = recover(runtime)
+        print(
+            f"recovered {recovery.recovered_tenants} tenant(s): "
+            f"{recovery.replayed} tail records replayed, "
+            f"{recovery.torn_records} torn tail(s) healed, "
+            f"{recovery.duration_seconds:.3f}s",
+            file=sys.stderr,
+        )
     server, code = _start_metrics_server(args, manager.export_registry)
     if code:
         return code
@@ -762,9 +802,41 @@ def _serve_listen(args: argparse.Namespace) -> int:
     return _finish(args, manager.export_registry(), payload, "\n".join(text_parts))
 
 
+def _sweep_gc(args: argparse.Namespace) -> int:
+    """Collect a completed sharded sweep's coordinator directory."""
+    from .analysis import ShardCoordinator
+
+    if not args.coordinator:
+        raise ReproError("--gc requires --coordinator DIR")
+    registry = TelemetryRegistry()
+    with registry.span("cli.sweep_gc"):
+        report = ShardCoordinator(args.coordinator).gc(
+            force=args.gc_force, keep_manifest=not args.gc_force
+        )
+    payload = {
+        "command": "sweep",
+        "gc": {
+            "coordinator": report.coordinator,
+            "removed_files": report.removed_files,
+            "reclaimed_bytes": report.reclaimed_bytes,
+            "kept_manifest": report.kept_manifest,
+        },
+    }
+    text = (
+        f"sweep gc: removed {report.removed_files} file(s), reclaimed "
+        f"{report.reclaimed_bytes} bytes under {report.coordinator}"
+        + ("" if report.kept_manifest else " (manifest and directory removed)")
+    )
+    return _finish(args, registry, payload, text)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis import SolverStats, SweepTask, run_sharded_sweep, run_sweep
 
+    if args.gc:
+        return _sweep_gc(args)
+    if not args.algorithm:
+        raise ReproError("--algorithm is required (except with --gc)")
     if args.seeds < 1:
         raise ReproError("--seeds must be >= 1")
     packer_kwargs = _packer_params(args.algorithm, args)
@@ -1121,6 +1193,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="live mode: cap on concurrently open tenant sessions",
     )
     srv.add_argument(
+        "--wal",
+        default="",
+        metavar="DIR",
+        help="live mode: journal every admitted arrival to a per-tenant "
+        "write-ahead log under DIR before acknowledging it, making the "
+        "serve crash-safe (restart with --recover DIR)",
+    )
+    srv.add_argument(
+        "--recover",
+        default="",
+        metavar="DIR",
+        help="live mode: rehydrate every tenant session from the "
+        "write-ahead log under DIR before accepting traffic, then keep "
+        "journaling there (implies --wal DIR)",
+    )
+    srv.add_argument(
+        "--wal-sync",
+        choices=["group", "always"],
+        default="group",
+        help="WAL durability: 'group' fsyncs at micro-batch flushes "
+        "(survives SIGKILL/OOM; default), 'always' fsyncs every arrival "
+        "(survives power loss, costs one fsync per record)",
+    )
+    srv.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=512,
+        metavar="N",
+        help="checkpoint (and compact) a tenant's journal every N records "
+        "(0: checkpoint only on eviction and drain)",
+    )
+    srv.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="live mode: per-tenant token-bucket rate limit, arrivals per "
+        "second; throttled offers get a busy reply with a deficit-sized "
+        "retry_ms hint (0: unlimited, the default)",
+    )
+    srv.add_argument(
+        "--rate-burst",
+        type=float,
+        default=64.0,
+        metavar="B",
+        help="token-bucket capacity: a tenant's first B arrivals (and any "
+        "B-deep burst after idling) are never throttled",
+    )
+    srv.add_argument(
+        "--max-resident-tenants",
+        type=int,
+        default=0,
+        metavar="N",
+        help="live mode: keep at most N tenant sessions in memory; the "
+        "least recently active is checkpointed to the WAL and evicted, "
+        "rehydrating transparently on its next request (requires --wal; "
+        "0: unlimited)",
+    )
+    srv.add_argument(
         "--snapshot-every",
         type=int,
         default=0,
@@ -1162,7 +1293,25 @@ def build_parser() -> argparse.ArgumentParser:
     srv.set_defaults(func=_cmd_serve)
 
     swp = sub.add_parser("sweep", help="parallel ratio sweep over a seed grid")
-    swp.add_argument("--algorithm", required=True, help=f"one of: {', '.join(available_packers())}")
+    swp.add_argument(
+        "--algorithm",
+        default="",
+        help=f"one of: {', '.join(available_packers())} (required unless --gc)",
+    )
+    swp.add_argument(
+        "--gc",
+        action="store_true",
+        help="garbage-collect a completed sharded sweep: remove the leases, "
+        "done markers, shard journals and memo caches under --coordinator "
+        "(the manifest stays as a record); refuses if cells are unsettled "
+        "unless --gc-force",
+    )
+    swp.add_argument(
+        "--gc-force",
+        action="store_true",
+        help="with --gc: collect even an incomplete sweep (abandons its "
+        "unsettled cells) and remove the manifest and directory too",
+    )
     swp.add_argument(
         "--workload",
         default="uniform",

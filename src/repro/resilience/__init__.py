@@ -26,7 +26,11 @@ hard failures into bounded, observable degradation:
 * :class:`LeaseBoard` / :class:`Lease` — file-based, generation-numbered
   work leases with expiry, stealing and exactly-once done markers: the
   coordination primitive behind the sharded sweeps of
-  :mod:`repro.analysis.distributed` (see ``docs/DISTRIBUTED.md``).
+  :mod:`repro.analysis.distributed` (see ``docs/DISTRIBUTED.md``);
+* :mod:`~repro.resilience.framing` — CRC32 line frames and atomic framed
+  blobs (:func:`frame_line` / :func:`iter_frames` /
+  :func:`write_framed_blob`), the durable-byte encoding under the serving
+  write-ahead journal of :mod:`repro.serving.wal`.
 
 Every retry, timeout, degradation, drop and clamp increments a
 ``resilience.*`` telemetry cell in the run's
@@ -38,6 +42,14 @@ from .chaos import ChaosInjector, InjectedFault, corrupt_jsonl
 from .checkpoint import CheckpointJournal, task_key
 from .deadline import Deadline
 from .faults import FAULT_MODES, FaultPolicy
+from .framing import (
+    FrameStats,
+    frame_line,
+    iter_frames,
+    parse_frame,
+    read_framed_blob,
+    write_framed_blob,
+)
 from .lease import Lease, LeaseBoard
 from .retry import RetryPolicy
 
@@ -53,4 +65,10 @@ __all__ = [
     "corrupt_jsonl",
     "Lease",
     "LeaseBoard",
+    "FrameStats",
+    "frame_line",
+    "parse_frame",
+    "iter_frames",
+    "read_framed_blob",
+    "write_framed_blob",
 ]

@@ -1,0 +1,178 @@
+"""CRC-framed record encoding shared by the durability layers.
+
+Two framings, one discipline — every durable byte carries its own checksum
+so a reader can tell *exactly* where good data ends:
+
+* **Line frames** — one record per line, ``<crc32-hex> <json>``: the
+  format of the serving write-ahead journal segments
+  (:mod:`repro.serving.wal`).  The CRC covers the JSON payload bytes, so a
+  torn tail (process killed mid-``write``) or a flipped bit is detected at
+  the first bad line instead of silently replaying garbage.  Reading stops
+  at the first bad frame: in an append-only log everything after a
+  corrupt record is suspect.
+* **Blob frames** — a small binary envelope (magic, payload CRC, payload
+  length) around an opaque payload: the format of WAL tenant checkpoints.
+  A half-written or bit-rotted checkpoint loads as ``None`` (fall back to
+  full replay), never as wrong state.
+
+Both are deliberately tiny and dependency-free (``zlib.crc32``); the
+:class:`~repro.resilience.CheckpointJournal` keeps its legacy un-framed
+NDJSON format for compatibility, new journals should frame.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping
+
+__all__ = [
+    "frame_line",
+    "parse_frame",
+    "iter_frames",
+    "FrameStats",
+    "write_framed_blob",
+    "read_framed_blob",
+]
+
+#: Magic prefix of a framed blob file (versioned: bump on format change).
+_BLOB_MAGIC = b"RPRFRAME1\n"
+
+
+def frame_line(record: Mapping[str, object]) -> str:
+    """One CRC-framed journal line (with trailing newline).
+
+    The payload is canonical compact JSON (sorted keys, no whitespace) so
+    logically identical records frame byte-identically; the leading CRC32
+    is computed over the payload's UTF-8 bytes.
+    """
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {payload}\n"
+
+
+def parse_frame(line: str) -> dict[str, object] | None:
+    """Decode one framed line; ``None`` when the frame fails validation.
+
+    A frame is bad when the CRC prefix is missing or malformed, the CRC
+    does not match the payload bytes, or the payload is not a JSON object.
+    """
+    body = line.strip()
+    if len(body) < 10 or body[8] != " ":
+        return None
+    crc_hex, payload = body[:8], body[9:]
+    try:
+        expected = int(crc_hex, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        record = json.loads(payload)
+    except json.JSONDecodeError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+@dataclass
+class FrameStats:
+    """What a framed-segment read observed.
+
+    Attributes:
+        records: Frames decoded and yielded.
+        torn: 1 when the read stopped at a bad frame (torn tail or
+            corruption), else 0.
+        bytes_read: Bytes consumed up to (not including) the bad frame.
+    """
+
+    records: int = 0
+    torn: int = 0
+    bytes_read: int = 0
+
+
+def iter_frames(
+    path: str | os.PathLike[str], stats: FrameStats | None = None
+) -> Iterator[dict[str, object]]:
+    """Yield the valid frame prefix of a segment file.
+
+    Stops at the first bad frame — in an append-only journal a bad line
+    means either a torn tail (the only expected corruption after a crash:
+    the final ``write`` was cut short) or real damage, and every later
+    record is untrustworthy either way.  A missing file yields nothing.
+    ``stats``, when given, is filled in as a side channel.
+    """
+    if stats is None:
+        stats = FrameStats()
+    try:
+        text = Path(path).read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return
+    for raw in text.splitlines(keepends=True):
+        if not raw.strip():
+            stats.bytes_read += len(raw.encode("utf-8"))
+            continue
+        record = parse_frame(raw)
+        if record is None:
+            stats.torn = 1
+            return
+        stats.records += 1
+        stats.bytes_read += len(raw.encode("utf-8"))
+        yield record
+
+
+def write_framed_blob(path: str | os.PathLike[str], payload: bytes) -> None:
+    """Atomically write ``payload`` under a magic + CRC32 + length envelope.
+
+    The write is crash-safe: the envelope goes to a temporary sibling,
+    is flushed and fsynced, then renamed over ``path`` (and the directory
+    entry fsynced), so a reader sees either the old blob or the complete
+    new one — never a torn mix.
+    """
+    target = Path(path)
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    header = _BLOB_MAGIC + f"{crc:08x} {len(payload)}\n".encode("ascii")
+    tmp = target.with_name(target.name + ".tmp")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(tmp, "wb") as fh:
+        fh.write(header + payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, target)
+    dir_fd = os.open(target.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def read_framed_blob(path: str | os.PathLike[str]) -> bytes | None:
+    """The payload of a framed blob, or ``None`` if missing or invalid.
+
+    Validation covers the magic, the declared length and the CRC, so a
+    truncated or corrupted blob degrades to "no blob" instead of returning
+    damaged bytes.
+    """
+    try:
+        raw = Path(path).read_bytes()
+    except OSError:
+        return None
+    if not raw.startswith(_BLOB_MAGIC):
+        return None
+    rest = raw[len(_BLOB_MAGIC):]
+    newline = rest.find(b"\n")
+    if newline < 0:
+        return None
+    try:
+        crc_hex, length_text = rest[:newline].decode("ascii").split(" ")
+        expected_crc, expected_len = int(crc_hex, 16), int(length_text)
+    except (UnicodeDecodeError, ValueError):
+        return None
+    payload = rest[newline + 1:]
+    if len(payload) != expected_len:
+        return None
+    if zlib.crc32(payload) & 0xFFFFFFFF != expected_crc:
+        return None
+    return payload

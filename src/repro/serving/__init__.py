@@ -18,21 +18,35 @@ a long-running multi-tenant service, in three tiers (bottom up):
    bit-identical to the pre-runtime replay path, with drift-free pacing.
 3. **Admission tier** — :class:`ServingRuntime` fronts the manager with
    bounded per-tenant queues, explicit backpressure (``busy``) replies,
-   fault-policy/error-budget rejects, and a graceful drain that flushes
-   every queue and closes every session with final snapshots, proving
-   zero admitted-item loss in its :class:`DrainReport`.
+   per-tenant token-bucket rate limits (:class:`RateLimiter`) with
+   deficit-sized ``retry_ms`` hints, fault-policy/error-budget rejects,
+   and a graceful drain that flushes every queue and closes every session
+   with final snapshots, proving zero admitted-item loss in its
+   :class:`DrainReport`.
+
+The optional **durability tier** makes the whole stack crash-safe: a
+:class:`WriteAheadLog` journals every admitted arrival before its
+acknowledgement (CRC-framed, fsynced segments per tenant), checkpoints
+pickle the live session atomically, and :func:`recover` /
+``serve --recover`` rehydrates every tenant bit-identically after a
+SIGKILL.  The same journal backs LRU hot-tenant eviction
+(``max_resident``): evicted tenants are checkpointed out and rehydrate
+transparently on their next request.
 
 :class:`LoadGenerator` drives the TCP transport with synthetic multi-tenant
 load for the throughput/latency gates in ``benchmarks/bench_serving.py``
-and the CI serving smoke.  See ``docs/SERVING.md`` for the protocol and
-operational guide.
+and the CI serving smoke.  See ``docs/SERVING.md`` for the protocol,
+durability model, and operational guide.
 """
 
 from .loadgen import LoadGenerator, LoadReport, TenantLoadStats
 from .manager import ClosedTenant, SessionManager, TenantConfig, TenantLimitError
 from .protocol import DEFAULT_TENANT, Request, parse_request, reply, snapshot_payload
+from .ratelimit import RateLimiter, TokenBucket
+from .recovery import RecoveryReport, TenantRecovery, recover, rehydrate_tenant
 from .runtime import Admission, DrainReport, ServingRuntime
 from .transports import HttpTransport, ReplayTransport, StdinTransport, TcpTransport
+from .wal import TenantWal, WalConfig, WalRecord, WriteAheadLog
 
 __all__ = [
     "Admission",
@@ -42,6 +56,8 @@ __all__ = [
     "HttpTransport",
     "LoadGenerator",
     "LoadReport",
+    "RateLimiter",
+    "RecoveryReport",
     "ReplayTransport",
     "Request",
     "ServingRuntime",
@@ -51,7 +67,15 @@ __all__ = [
     "TenantConfig",
     "TenantLimitError",
     "TenantLoadStats",
+    "TenantRecovery",
+    "TenantWal",
+    "TokenBucket",
+    "WalConfig",
+    "WalRecord",
+    "WriteAheadLog",
     "parse_request",
+    "recover",
+    "rehydrate_tenant",
     "reply",
     "snapshot_payload",
 ]

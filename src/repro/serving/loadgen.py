@@ -52,6 +52,9 @@ class TenantLoadStats:
         dropped: ``dropped`` replies (absorbed by the tenant fault policy).
         rejected: ``rejected`` replies.
         abandoned: Records given up on after exhausting busy retries.
+        retry_wait_seconds: Total time this connection slept honouring
+            ``retry_ms`` hints from ``busy`` replies — each busy retry
+            waits the hinted backoff instead of hot-spinning the server.
     """
 
     tenant: str
@@ -61,6 +64,7 @@ class TenantLoadStats:
     dropped: int = 0
     rejected: int = 0
     abandoned: int = 0
+    retry_wait_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -101,6 +105,11 @@ class LoadReport:
     def abandoned(self) -> int:
         """Records abandoned after the busy-retry cap across tenants."""
         return sum(t.abandoned for t in self.tenants)
+
+    @property
+    def retry_wait_seconds(self) -> float:
+        """Total retry-hint backoff slept across tenants."""
+        return sum(t.retry_wait_seconds for t in self.tenants)
 
 
 #: Latency histogram bounds, seconds — sub-millisecond to one second.
@@ -207,6 +216,7 @@ class LoadGenerator:
         """One connection: hello, paced arrivals with busy-retry, bye."""
         reader, writer = await asyncio.open_connection(self.host, self.port)
         sent = admitted = busy = dropped = rejected = abandoned = 0
+        retry_wait = 0.0
         try:
             writer.write(f"hello {tenant}\n".encode())
             await writer.drain()
@@ -237,9 +247,9 @@ class LoadGenerator:
                         if attempt == self.max_retries:
                             abandoned += 1
                             break
-                        await asyncio.sleep(
-                            float(verdict.get("retry_ms", 10)) / 1000.0
-                        )
+                        backoff = float(verdict.get("retry_ms", 10)) / 1000.0
+                        retry_wait += backoff
+                        await asyncio.sleep(backoff)
                         continue
                     if status == "ok":
                         admitted += 1
@@ -265,4 +275,5 @@ class LoadGenerator:
             dropped=dropped,
             rejected=rejected,
             abandoned=abandoned,
+            retry_wait_seconds=retry_wait,
         )

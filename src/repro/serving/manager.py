@@ -283,6 +283,73 @@ class SessionManager:
         """A point-in-time view of the tenant's session."""
         return self.session(tenant).snapshot()
 
+    # -- checkpoint / eviction -----------------------------------------------
+
+    def checkpoint_state(self, tenant: str) -> dict[str, object]:
+        """The tenant's live state as a picklable bundle, session kept open.
+
+        The bundle — session, fault policy, private engine registry and
+        config — pickles and round-trips bit-identically (the WAL
+        checkpoint experiment in :mod:`repro.serving.wal` relies on this),
+        so :meth:`restore` of the unpickled bundle continues exactly where
+        this tenant is now.
+
+        Raises:
+            KeyError: if the tenant has no open session.
+        """
+        state = self._tenants[tenant]
+        return {
+            "config": state.config,
+            "session": state.session,
+            "policy": state.policy,
+            "registry": state.registry,
+        }
+
+    def evict(self, tenant: str) -> dict[str, object]:
+        """Pop the tenant's live state without closing the session.
+
+        The hot-tenant eviction path: the returned bundle (same shape as
+        :meth:`checkpoint_state`) is journaled by the caller, and the slot
+        is freed for another tenant.  The session is *not* closed — it
+        resumes untouched when :meth:`restore` brings the bundle back.
+
+        Raises:
+            KeyError: if the tenant has no open session.
+        """
+        state = self._tenants.pop(tenant)
+        self._tenant_gauge.set(len(self._tenants))
+        self.registry.counter("serving.sessions_evicted").inc()
+        return {
+            "config": state.config,
+            "session": state.session,
+            "policy": state.policy,
+            "registry": state.registry,
+        }
+
+    def restore(self, tenant: str, state: Mapping[str, object]) -> PackingSession:
+        """Re-install a checkpointed/evicted tenant bundle as the live session.
+
+        Raises:
+            ValidationError: if the tenant is already open.
+            TenantLimitError: when restoring would exceed :attr:`max_tenants`.
+        """
+        if tenant in self._tenants:
+            raise ValidationError(f"tenant {tenant!r} already has an open session")
+        if len(self._tenants) >= self.max_tenants:
+            raise TenantLimitError(
+                f"tenant limit reached ({self.max_tenants} open sessions)"
+            )
+        restored = _Tenant.__new__(_Tenant)
+        restored.tenant = tenant
+        restored.config = state["config"]
+        restored.registry = state["registry"]
+        restored.policy = state["policy"]
+        restored.session = state["session"]
+        self._tenants[tenant] = restored
+        self._tenant_gauge.set(len(self._tenants))
+        self.registry.counter("serving.sessions_restored").inc()
+        return restored.session
+
     # -- shutdown ------------------------------------------------------------
 
     def close(self, tenant: str) -> ClosedTenant:

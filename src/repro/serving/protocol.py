@@ -18,8 +18,11 @@ Commands::
 Server → client replies are single-line JSON objects with a ``status`` key:
 
 * ``{"status": "ok", "id": ..., "queue": ...}`` — arrival admitted (queued);
-* ``{"status": "busy", "queue": ..., "retry_ms": ...}`` — backpressure: the
-  tenant's queue is full because the engine lags; retry after the hint;
+* ``{"status": "busy", "queue": ..., "reason": ..., "retry_ms": ...}`` —
+  back off and retry after the hint.  ``reason`` is ``"backpressure"``
+  (the tenant's queue is full because the engine lags) or ``"rate_limit"``
+  (the tenant's token bucket is empty; ``retry_ms`` is sized to the actual
+  deficit, so honouring it guarantees the next attempt finds a token);
 * ``{"status": "rejected", "reason": ..., "error": ...}`` — not admitted
   (malformed record in strict mode, tripped error budget, tenant limit,
   or the runtime is draining);

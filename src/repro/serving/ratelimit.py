@@ -1,0 +1,131 @@
+"""Per-tenant token-bucket rate limiting for the serving admission gate.
+
+The PR 8 admission gate bounds *queue depth* — a tenant can still consume
+the whole engine by sending fast enough to keep its queue drained.  The
+:class:`RateLimiter` bounds *request rate*: each tenant owns a token
+bucket (``rate`` tokens/second refill, ``burst`` capacity) charged one
+token per offered arrival.  An empty bucket answers ``busy`` with a
+``retry_ms`` hint computed from the actual deficit, so a well-behaved
+client (:class:`~repro.serving.LoadGenerator` honours the hint) backs off
+for exactly as long as the bucket needs — no hot-spin, no guessing.
+
+The clock is injectable (monotonic seconds) so tests advance time
+explicitly instead of sleeping.  Buckets are created lazily per tenant;
+:meth:`RateLimiter.configure` installs per-tenant overrides on top of the
+default rate, and ``rate=0`` disables limiting for that tenant.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..core.exceptions import ValidationError
+from ..obs import TelemetryRegistry
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Starts full, so a tenant's first ``burst`` arrivals are never limited —
+    limiting only engages on *sustained* overload.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        if rate <= 0:
+            raise ValidationError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValidationError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = now
+
+    def take(self, now: float) -> float:
+        """Charge one token; 0.0 when admitted, else seconds until a token.
+
+        The refund path never gives back time: a failed take leaves the
+        bucket untouched so repeated polls of an empty bucket see a
+        steadily shrinking (never oscillating) wait.
+        """
+        elapsed = now - self.stamp
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Lazily-created per-tenant token buckets with per-tenant overrides.
+
+    Args:
+        rate: Default steady-state arrivals/second per tenant (``0``
+            disables limiting for tenants without an override).
+        burst: Default bucket capacity (peak uncharged run).
+        registry: Telemetry sink for ``serving.ratelimit.*`` metrics.
+        clock: Monotonic-seconds source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        burst: float = 64.0,
+        *,
+        registry: TelemetryRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate < 0:
+            raise ValidationError(f"rate must be >= 0, got {rate}")
+        if burst < 1:
+            raise ValidationError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.registry = registry if registry is not None else TelemetryRegistry()
+        self.clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._overrides: dict[str, tuple[float, float]] = {}
+
+    def configure(self, tenant: str, *, rate: float, burst: float | None = None) -> None:
+        """Install a per-tenant limit (``rate=0``: unlimited), resetting its bucket."""
+        if rate < 0:
+            raise ValidationError(f"rate must be >= 0, got {rate}")
+        self._overrides[tenant] = (float(rate), float(burst if burst is not None else self.burst))
+        self._buckets.pop(tenant, None)
+
+    def limit_for(self, tenant: str) -> tuple[float, float]:
+        """The (rate, burst) pair governing ``tenant``."""
+        return self._overrides.get(tenant, (self.rate, self.burst))
+
+    def admit(self, tenant: str) -> int:
+        """Charge one arrival; 0 when admitted, else a ``retry_ms`` hint.
+
+        The hint is the bucket's actual deficit rounded up to at least
+        1 ms, so honouring it guarantees the next attempt finds a token
+        (absent competing traffic).
+        """
+        rate, burst = self.limit_for(tenant)
+        if rate <= 0:
+            return 0
+        bucket = self._buckets.get(tenant)
+        now = self.clock()
+        if bucket is None:
+            bucket = TokenBucket(rate, burst, now)
+            self._buckets[tenant] = bucket
+        wait = bucket.take(now)
+        if wait <= 0:
+            self.registry.counter("serving.ratelimit.allowed", tenant=tenant).inc()
+            return 0
+        self.registry.counter("serving.ratelimit.throttled", tenant=tenant).inc()
+        self.registry.histogram("serving.ratelimit.wait_seconds").observe(wait)
+        return max(1, int(wait * 1000.0 + 0.999))
+
+    def forget(self, tenant: str) -> None:
+        """Drop the tenant's bucket (e.g. after eviction) — refills on return."""
+        self._buckets.pop(tenant, None)

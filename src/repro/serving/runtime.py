@@ -28,6 +28,17 @@ close with final snapshots, and the whole teardown is timed into
 :class:`DrainReport` proves it by accounting ``admitted == placed +
 dropped_by_policy`` per tenant.
 
+**Crash safety** (optional, PR 10): give the runtime a
+:class:`~repro.serving.wal.WriteAheadLog` and every admitted arrival is
+journaled *before* its ``ok`` goes out, so a SIGKILL loses nothing a client
+was promised — ``serve --recover`` (:mod:`repro.serving.recovery`)
+rehydrates every tenant bit-identically on restart.  On the same knob hang
+per-tenant token-bucket **rate limits** (:mod:`repro.serving.ratelimit`;
+``busy`` verdicts carry a ``retry_ms`` hint sized to the bucket deficit)
+and **LRU hot-tenant eviction** (``max_resident``): the least recently
+touched tenant is checkpointed to its journal and popped, then rehydrated
+transparently on its next request.
+
 Everything here runs on one event loop; the engine calls are synchronous
 CPU work executed inline (packing a batch is far cheaper than a network
 round trip, and a single engine thread keeps placements deterministic).
@@ -47,6 +58,8 @@ from ..obs import TelemetryRegistry
 from ..workloads import parse_arrival
 from .manager import ClosedTenant, SessionManager, TenantLimitError
 from .protocol import DEFAULT_TENANT
+from .ratelimit import RateLimiter
+from .wal import WriteAheadLog
 
 __all__ = ["Admission", "DrainReport", "ServingRuntime"]
 
@@ -63,12 +76,15 @@ class Admission:
             the record) or ``"rejected"`` (strict fault, tripped budget,
             tenant limit, or draining).
         reason: Machine-readable cause for non-``ok`` verdicts
-            (``"backpressure"``, ``"draining"``, ``"malformed"``,
-            ``"out_of_order"``, ``"duplicate_id"``, ``"error_budget"``,
-            ``"tenant_limit"``).
+            (``"backpressure"``, ``"rate_limit"``, ``"draining"``,
+            ``"malformed"``, ``"out_of_order"``, ``"duplicate_id"``,
+            ``"error_budget"``, ``"tenant_limit"``, ``"wal_error"``).
         queue_depth: The tenant queue depth after the verdict.
         item: The admitted (possibly clamp-repaired) item, when ``ok``.
         error: Diagnostic message for rejects and drops.
+        retry_ms: For ``busy`` verdicts, how long a well-behaved client
+            should back off before retrying (the rate limiter sizes this
+            to its actual token deficit).
     """
 
     status: str
@@ -76,6 +92,7 @@ class Admission:
     queue_depth: int = 0
     item: Item | None = None
     error: str = ""
+    retry_ms: int = 0
 
     @property
     def admitted(self) -> bool:
@@ -125,6 +142,7 @@ class _TenantQueue:
         "placed",
         "dropped",
         "absorbed",
+        "touched",
     )
 
     def __init__(self, tenant: str) -> None:
@@ -139,6 +157,7 @@ class _TenantQueue:
         self.placed = 0  # admitted items placed into bins
         self.dropped = 0  # admitted items dropped inside the engine
         self.absorbed = 0  # never-admitted records absorbed at the gate
+        self.touched = 0  # LRU tick of the last gate access
 
 
 class ServingRuntime:
@@ -153,7 +172,17 @@ class ServingRuntime:
         batch_deadline: Flush no later than this many seconds after the
             oldest pending arrival was admitted (``0``: flush immediately,
             effectively unbatched).
-        retry_hint_ms: The ``retry_ms`` hint included in ``busy`` replies.
+        retry_hint_ms: The ``retry_ms`` hint included in backpressure
+            ``busy`` replies (rate-limit replies size their own hint).
+        wal: When given, every admitted arrival is journaled here before
+            acknowledgement, flushes group-commit the journal, and drain
+            checkpoints every tenant — the crash-safety tier.
+        rate_limiter: Per-tenant token buckets charged at the admission
+            gate; an empty bucket answers ``busy``/``rate_limit`` with a
+            deficit-sized ``retry_ms``.
+        max_resident: Soft cap on resident (in-memory) tenants; on the way
+            past it the least recently touched tenant is checkpointed to
+            the journal and evicted.  Requires ``wal``.
     """
 
     def __init__(
@@ -164,6 +193,9 @@ class ServingRuntime:
         batch_size: int = 256,
         batch_deadline: float = 0.005,
         retry_hint_ms: int = 10,
+        wal: WriteAheadLog | None = None,
+        rate_limiter: RateLimiter | None = None,
+        max_resident: int | None = None,
     ) -> None:
         if queue_limit < 1:
             raise ValidationError(f"queue_limit must be >= 1, got {queue_limit}")
@@ -171,15 +203,26 @@ class ServingRuntime:
             raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
         if batch_deadline < 0:
             raise ValidationError(f"batch_deadline must be >= 0, got {batch_deadline}")
+        if max_resident is not None and max_resident < 1:
+            raise ValidationError(f"max_resident must be >= 1, got {max_resident}")
+        if max_resident is not None and wal is None:
+            raise ValidationError(
+                "max_resident needs a write-ahead log: eviction journals the "
+                "tenant's state so it can rehydrate on its next request"
+            )
         self.manager = manager if manager is not None else SessionManager()
         self.registry: TelemetryRegistry = self.manager.registry
         self.queue_limit = queue_limit
         self.batch_size = batch_size
         self.batch_deadline = batch_deadline
         self.retry_hint_ms = retry_hint_ms
+        self.wal = wal
+        self.rate_limiter = rate_limiter
+        self.max_resident = max_resident
         self.draining = False
         self._queues: dict[str, _TenantQueue] = {}
         self._drain_report: DrainReport | None = None
+        self._touch_tick = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -238,18 +281,33 @@ class ServingRuntime:
     def offer(self, tenant: str, item: Item) -> Admission:
         """Offer one decoded arrival for admission into the tenant's queue.
 
-        Settles ordering and identity *now*, against the queue tail, so the
+        Settles identity and ordering *now*, against the queue tail, so the
         pending queue stays well-formed for the columnar flush:
 
+        * a duplicate id is dropped (non-strict) or rejected (strict) —
+          there is no certified repair.  Identity settles *before*
+          ordering, so a client retrying an already-acknowledged item
+          always reads ``duplicate_id`` (the idempotency signal the
+          post-recovery audit relies on), never ``out_of_order``;
         * an arrival earlier than the queue tail is out of order — clamped
           to the tail time under a ``clamp`` policy, dropped under ``skip``,
           rejected under strict;
-        * a duplicate id is dropped (non-strict) or rejected (strict) —
-          there is no certified repair;
         * a full queue is answered ``busy`` (backpressure), never dropped.
         """
         if self.draining:
             return self._reject(tenant, "draining", "runtime is draining")
+        if self.rate_limiter is not None:
+            retry_ms = self.rate_limiter.admit(tenant)
+            if retry_ms:
+                self.registry.counter(
+                    "serving.rejects", tenant=tenant, reason="rate_limit"
+                ).inc()
+                return Admission(
+                    status="busy",
+                    reason="rate_limit",
+                    queue_depth=self.queue_depth(tenant),
+                    retry_ms=retry_ms,
+                )
         q = self._queue(tenant)
         if q is None:
             return self._reject(tenant, "tenant_limit", "tenant limit reached")
@@ -258,9 +316,27 @@ class ServingRuntime:
                 "serving.rejects", tenant=tenant, reason="backpressure"
             ).inc()
             return Admission(
-                status="busy", reason="backpressure", queue_depth=len(q.pending)
+                status="busy",
+                reason="backpressure",
+                queue_depth=len(q.pending),
+                retry_ms=self.retry_hint_ms,
             )
         policy = self.manager.policy_for(tenant)
+        if item.id in q.seen_ids:
+            exc = ValidationError(f"duplicate item id {item.id}")
+            if policy is not None and not policy.strict:
+                try:
+                    policy.absorb("duplicate_id", exc, action="drop")
+                except ValidationError as tripped:
+                    return self._reject(tenant, "error_budget", str(tripped))
+                q.absorbed += 1
+                self.registry.counter("serving.policy_drops", tenant=tenant).inc()
+                return Admission(
+                    status="dropped",
+                    reason="duplicate_id",
+                    queue_depth=len(q.pending),
+                )
+            return self._reject(tenant, "duplicate_id", str(exc))
         tail = max(q.last_arrival, self.manager.session(tenant).clock)
         if item.arrival < tail:
             exc = ValidationError(
@@ -291,22 +367,16 @@ class ServingRuntime:
                 )
             else:
                 return self._reject(tenant, "out_of_order", str(exc))
-        if item.id in q.seen_ids:
-            exc = ValidationError(f"duplicate item id {item.id}")
-            if policy is not None and not policy.strict:
-                try:
-                    policy.absorb("duplicate_id", exc, action="drop")
-                except ValidationError as tripped:
-                    return self._reject(tenant, "error_budget", str(tripped))
-                q.absorbed += 1
-                self.registry.counter("serving.policy_drops", tenant=tenant).inc()
-                return Admission(
-                    status="dropped",
-                    reason="duplicate_id",
-                    queue_depth=len(q.pending),
-                )
-            return self._reject(tenant, "duplicate_id", str(exc))
 
+        if self.wal is not None:
+            # Journal-before-ack: once the client sees "ok" the item exists
+            # on disk, so a kill between ack and flush loses nothing.
+            try:
+                self.wal.tenant(tenant).append_arrival(item)
+            except OSError as exc:
+                return self._reject(
+                    tenant, "wal_error", f"journal append failed: {exc}"
+                )
         q.pending.append(item)
         q.seen_ids.add(item.id)
         q.last_arrival = item.arrival
@@ -330,7 +400,14 @@ class ServingRuntime:
         )
 
     def _queue(self, tenant: str) -> _TenantQueue | None:
-        """Get or create the tenant's queue; ``None`` over the tenant cap."""
+        """Get or create the tenant's queue; ``None`` over the tenant cap.
+
+        A tenant with journal state but no live session (evicted, or left
+        over from a crashed process) is rehydrated transparently here —
+        the caller just sees its queue.  Every access bumps the tenant's
+        LRU tick; creating or rehydrating first evicts past
+        ``max_resident``.
+        """
         q = self._queues.get(tenant)
         if q is None:
             if (
@@ -338,13 +415,146 @@ class ServingRuntime:
                 and len(self.manager) >= self.manager.max_tenants
             ):
                 return None
-            try:
-                self.manager.session(tenant)
-            except TenantLimitError:
-                return None
-            q = _TenantQueue(tenant)
-            self._queues[tenant] = q
+            self.enforce_residency(incoming=1)
+            if (
+                self.wal is not None
+                and tenant not in self.manager
+                and self.wal.has_tenant(tenant)
+            ):
+                from .recovery import rehydrate_tenant
+
+                try:
+                    rehydrate_tenant(self, tenant)
+                except TenantLimitError:
+                    return None
+                q = self._queues[tenant]
+            else:
+                try:
+                    self.manager.session(tenant)
+                except TenantLimitError:
+                    return None
+                q = _TenantQueue(tenant)
+                self._queues[tenant] = q
+        self._touch_tick += 1
+        q.touched = self._touch_tick
         return q
+
+    def install_gate(
+        self,
+        tenant: str,
+        *,
+        seen_ids: set[int],
+        last_arrival: float,
+        records: int,
+        admitted: int,
+        placed: int,
+        dropped: int,
+        absorbed: int,
+    ) -> None:
+        """Install a recovered admission gate for ``tenant`` (recovery hook).
+
+        The counterpart of the gate bookkeeping a checkpoint carries:
+        :func:`~repro.serving.recovery.rehydrate_tenant` rebuilds the set
+        of acknowledged ids, the ingest tail, and the admitted/placed
+        accounting, then installs them here so duplicate detection and the
+        drain report's ``lost == 0`` invariant hold across restarts.
+        """
+        q = _TenantQueue(tenant)
+        q.seen_ids = set(seen_ids)
+        q.last_arrival = last_arrival
+        q.records = records
+        q.admitted = admitted
+        q.placed = placed
+        q.dropped = dropped
+        q.absorbed = absorbed
+        self._queues[tenant] = q
+        self._touch_tick += 1
+        q.touched = self._touch_tick
+
+    # -- durability: checkpoint, eviction, advance ---------------------------
+
+    @staticmethod
+    def _gate_state(q: _TenantQueue) -> dict[str, object]:
+        """The picklable admission-gate bookkeeping a checkpoint carries."""
+        return {
+            "seen_ids": set(q.seen_ids),
+            "last_arrival": q.last_arrival,
+            "records": q.records,
+            "admitted": q.admitted,
+            "placed": q.placed,
+            "dropped": q.dropped,
+            "absorbed": q.absorbed,
+        }
+
+    def checkpoint_tenant(self, tenant: str) -> int:
+        """Flush, then durably checkpoint the tenant's state to its journal.
+
+        After this the tenant's journal compacts down to the checkpoint
+        blob plus an empty tail.  Returns the covered sequence number.
+        """
+        if self.wal is None:
+            raise ValidationError("checkpoint_tenant needs a write-ahead log")
+        q = self._queues[tenant]
+        self.flush(tenant, cause="checkpoint")
+        state = {
+            "manager": self.manager.checkpoint_state(tenant),
+            "gate": self._gate_state(q),
+        }
+        return self.wal.tenant(tenant).checkpoint(state)
+
+    def evict_tenant(self, tenant: str) -> None:
+        """Journal-then-evict: checkpoint the tenant and free its slot.
+
+        The session is flushed, its live state checkpointed to the journal
+        and popped from the manager — not closed, so the tenant rehydrates
+        mid-stream on its next request with nothing lost.
+        """
+        if self.wal is None:
+            raise ValidationError("eviction needs a write-ahead log")
+        q = self._queues[tenant]
+        self.flush(tenant, cause="evict")
+        state = {
+            "manager": self.manager.evict(tenant),
+            "gate": self._gate_state(q),
+        }
+        self.wal.tenant(tenant).checkpoint(state)
+        if q.task is not None:
+            q.task.cancel()
+        del self._queues[tenant]
+        if self.rate_limiter is not None:
+            self.rate_limiter.forget(tenant)
+        self.registry.counter("serving.evictions", tenant=tenant).inc()
+
+    def enforce_residency(self, incoming: int = 0) -> int:
+        """Evict least-recently-touched tenants past ``max_resident``.
+
+        ``incoming`` reserves slots for tenants about to be created.
+        Returns the number of evictions performed (0 when no cap is set).
+        """
+        if self.wal is None or self.max_resident is None:
+            return 0
+        evicted = 0
+        while len(self._queues) + incoming > self.max_resident and self._queues:
+            victim = min(self._queues.values(), key=lambda q: q.touched)
+            self.evict_tenant(victim.tenant)
+            evicted += 1
+        return evicted
+
+    def advance(self, tenant: str, t: float):
+        """Journal and apply one clock advance; returns newly retired bins.
+
+        Pending arrivals flush first so the journal's record order matches
+        the engine's event order — replay then reproduces both exactly.
+        """
+        q = self._queue(tenant)
+        if q is None:
+            raise TenantLimitError("tenant limit reached")
+        self.flush(tenant, cause="advance")
+        if self.wal is not None:
+            twal = self.wal.tenant(tenant)
+            twal.append_advance(t)
+            twal.sync_soon()
+        return self.manager.advance(tenant, t)
 
     # -- micro-batching (tier 2) ---------------------------------------------
 
@@ -394,6 +604,24 @@ class ServingRuntime:
         self.registry.gauge("serving.queue_depth", tenant=tenant).set(0)
         self.registry.counter("serving.flushes", tenant=tenant, cause=cause).inc()
         self.registry.histogram("serving.batch_items").observe(float(len(batch)))
+        if self.wal is not None:
+            # The group-commit point: everything this flush placed is now
+            # fsynced in one windowed off-thread call instead of one
+            # blocking fsync per arrival.
+            twal = self.wal.tenant(tenant)
+            twal.sync_soon()
+            limit = self.wal.config.checkpoint_records
+            if (
+                limit
+                and twal.records_since_checkpoint >= limit
+                and cause != "checkpoint"
+            ):
+                twal.checkpoint(
+                    {
+                        "manager": self.manager.checkpoint_state(tenant),
+                        "gate": self._gate_state(q),
+                    }
+                )
         return placed
 
     # -- graceful drain ------------------------------------------------------
@@ -419,6 +647,24 @@ class ServingRuntime:
             task.cancel()
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
+        if self.wal is not None:
+            # Final durable state: checkpoint every resident tenant, then
+            # rehydrate journaled-but-evicted tenants so the drain report
+            # (and close_all below) accounts for every tenant the journal
+            # knows about — `lost == 0` holds across evictions too.
+            from .recovery import rehydrate_tenant
+
+            for q in list(self._queues.values()):
+                if q.tenant in self.manager:
+                    self.wal.tenant(q.tenant).checkpoint(
+                        {
+                            "manager": self.manager.checkpoint_state(q.tenant),
+                            "gate": self._gate_state(q),
+                        }
+                    )
+            for tenant in self.wal.tenants():
+                if tenant not in self.manager:
+                    rehydrate_tenant(self, tenant)
         closed = self.manager.close_all()
         report = DrainReport(
             closed=closed,
@@ -433,5 +679,7 @@ class ServingRuntime:
         )
         self.registry.counter("serving.drains").inc()
         self.registry.counter("serving.drain_flushed_items").inc(flushed)
+        if self.wal is not None:
+            self.wal.close()
         self._drain_report = report
         return report

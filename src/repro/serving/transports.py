@@ -57,7 +57,10 @@ def _admission_reply(verdict: Admission, runtime: ServingRuntime) -> str:
         )
     if verdict.status == "busy":
         return reply(
-            "busy", queue=verdict.queue_depth, retry_ms=runtime.retry_hint_ms
+            "busy",
+            queue=verdict.queue_depth,
+            reason=verdict.reason or "backpressure",
+            retry_ms=verdict.retry_ms or runtime.retry_hint_ms,
         )
     if verdict.status == "dropped":
         return reply("dropped", reason=verdict.reason)
@@ -241,11 +244,50 @@ class HttpTransport:
                         break
                     name, _, value = header.decode("latin-1").partition(":")
                     headers[name.strip().lower()] = value.strip()
-                length = int(headers.get("content-length", "0") or 0)
-                if length > self.MAX_BODY:
-                    await self._respond(writer, 413, "text/plain", b"body too large")
+                try:
+                    length = int(headers.get("content-length", "0") or 0)
+                except ValueError:
+                    await self._respond(
+                        writer,
+                        400,
+                        "text/plain",
+                        self._protocol_error("malformed content-length"),
+                    )
                     break
-                body = await reader.readexactly(length) if length else b""
+                if length < 0:
+                    await self._respond(
+                        writer,
+                        400,
+                        "text/plain",
+                        self._protocol_error("negative content-length"),
+                    )
+                    break
+                if length > self.MAX_BODY:
+                    await self._respond(
+                        writer,
+                        413,
+                        "text/plain",
+                        self._protocol_error(
+                            f"body of {length} bytes exceeds the "
+                            f"{self.MAX_BODY}-byte limit"
+                        ),
+                    )
+                    break
+                try:
+                    body = await reader.readexactly(length) if length else b""
+                except asyncio.IncompleteReadError:
+                    # Truncated request: answer best-effort (the client may
+                    # already be gone) instead of raising in the reader task.
+                    try:
+                        await self._respond(
+                            writer,
+                            400,
+                            "text/plain",
+                            self._protocol_error("truncated request body"),
+                        )
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass
+                    break
                 keep_open = await self._route(writer, method, target, headers, body)
                 if not keep_open or headers.get("connection", "").lower() == "close":
                     break
@@ -279,12 +321,17 @@ class HttpTransport:
             tenant = headers.get("x-tenant", DEFAULT_TENANT)
             counts = {"admitted": 0, "busy": 0, "dropped": 0, "rejected": 0}
             verdicts: list[str] = []
+            retry_ms = 0
             for raw in body.decode("utf-8", errors="replace").splitlines():
                 if not raw.strip():
                     continue
                 verdict = self.runtime.offer_line(tenant, raw)
                 key = verdict.status if verdict.status != "ok" else "admitted"
                 counts[key] += 1
+                if verdict.status == "busy":
+                    retry_ms = max(
+                        retry_ms, verdict.retry_ms or self.runtime.retry_hint_ms
+                    )
                 verdicts.append(_admission_reply(verdict, self.runtime))
             status = 200
             if counts["rejected"]:
@@ -294,7 +341,14 @@ class HttpTransport:
             payload = _json.dumps(
                 {**counts, "verdicts": verdicts}, sort_keys=True
             ).encode()
-            await self._respond(writer, status, "application/json", payload)
+            extra = {}
+            if status == 429 and retry_ms:
+                # RFC 9110 Retry-After is whole seconds; round up so a
+                # client honouring it never retries before a token exists.
+                extra["Retry-After"] = str(max(1, -(-retry_ms // 1000)))
+            await self._respond(
+                writer, status, "application/json", payload, extra=extra
+            )
             return True
         if method == "GET" and path == "/snapshot":
             tenant = parse_qs(split.query).get("tenant", [DEFAULT_TENANT])[0]
@@ -316,10 +370,20 @@ class HttpTransport:
         return True
 
     @staticmethod
+    def _protocol_error(error: str) -> bytes:
+        """A transport-fault body: one protocol ``rejected`` line."""
+        return (reply("rejected", reason="protocol", error=error) + "\n").encode()
+
+    @staticmethod
     async def _respond(
-        writer: asyncio.StreamWriter, status: int, ctype: str, body: bytes
+        writer: asyncio.StreamWriter,
+        status: int,
+        ctype: str,
+        body: bytes,
+        *,
+        extra: dict[str, str] | None = None,
     ) -> None:
-        """Write one HTTP/1.1 response."""
+        """Write one HTTP/1.1 response (``extra``: additional headers)."""
         phrase = {
             200: "OK",
             400: "Bad Request",
@@ -328,11 +392,15 @@ class HttpTransport:
             429: "Too Many Requests",
             503: "Service Unavailable",
         }.get(status, "OK")
+        extras = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra or {}).items()
+        )
         writer.write(
             (
                 f"HTTP/1.1 {status} {phrase}\r\n"
                 f"Content-Type: {ctype}\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extras}"
                 "\r\n"
             ).encode("latin-1")
             + body
@@ -351,8 +419,11 @@ class StdinTransport:
     Reading happens on a dedicated **daemon** thread pumping lines into an
     asyncio queue: a readline blocked on an open tty cannot wedge event-loop
     shutdown after a SIGTERM drain (the thread dies with the process), and
-    EOF on a pipe ends the transport naturally.  Replies are flushed per
-    line so a shell pipeline sees them immediately.
+    EOF on a pipe ends the transport naturally.  On exit :meth:`run` signals
+    the reader — closing an *injected* stream to unblock a parked readline —
+    and joins it, so serve-in-process tests that run many transports do not
+    accumulate reader threads.  Replies are flushed per line so a shell
+    pipeline sees them immediately.
     """
 
     def __init__(
@@ -367,6 +438,7 @@ class StdinTransport:
         self._out = out_stream
         self._stopped = False
         self._lines: asyncio.Queue[str | None] | None = None
+        self._thread = None
 
     async def run(self) -> int:
         """Consume lines until EOF, ``bye``, or :meth:`stop`; returns #lines."""
@@ -392,21 +464,49 @@ class StdinTransport:
             except RuntimeError:  # loop already closed
                 pass
 
-        threading.Thread(
+        self._thread = thread = threading.Thread(
             target=_pump, daemon=True, name="repro-serving-stdin"
-        ).start()
+        )
+        thread.start()
         tenant = DEFAULT_TENANT
         lines = 0
-        while not self._stopped:
-            line = await queue.get()
-            if line is None:
-                break
-            lines += 1
-            answer, tenant, keep_open = _handle_line(self.runtime, tenant, line)
-            print(answer, file=out, flush=True)
-            if not keep_open:
-                break
+        try:
+            while not self._stopped:
+                line = await queue.get()
+                if line is None:
+                    break
+                lines += 1
+                answer, tenant, keep_open = _handle_line(self.runtime, tenant, line)
+                print(answer, file=out, flush=True)
+                if not keep_open:
+                    break
+        finally:
+            self._stopped = True
+            await loop.run_in_executor(None, self._join_reader, stream, thread)
         return lines
+
+    def _join_reader(self, stream: TextIO, thread) -> None:
+        """Signal and join the reader thread (best effort, off the loop).
+
+        A reader parked on an injected stream's blocking ``readline`` is
+        unblocked by closing that stream (``readline`` then returns or
+        raises, both of which end the pump).  The process's real stdin is
+        never closed — a reader parked on a tty stays a daemon thread and
+        dies with the process, exactly as before.
+        """
+        import sys
+
+        thread.join(timeout=0.1)
+        if not thread.is_alive():
+            return
+        if stream is not sys.stdin:
+            close = getattr(stream, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:
+                    pass
+                thread.join(timeout=0.5)
 
     def stop(self) -> None:
         """Stop after the current line (the drain path sets this).

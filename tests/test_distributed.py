@@ -19,6 +19,7 @@ Four acceptance pillars, per the distributed sweep design:
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import signal
@@ -708,3 +709,113 @@ class TestExternalWorkers:
         second = run_shard_worker(str(coord_dir), "w2", poll_interval=0.01)
         assert second.cells_run == 0
         assert second.chunks_completed == 0
+
+
+# ---------------------------------------------------------------------------
+# Coordinator garbage collection
+# ---------------------------------------------------------------------------
+
+
+class TestCoordinatorGc:
+    """gc() reclaims a finished sweep's working state, never a live one's."""
+
+    def test_completed_sweep_collects_and_keeps_the_manifest(self, tmp_path):
+        tasks = _grid(6, n=8)
+        coord_dir = tmp_path / "coord"
+        results = run_sharded_sweep(tasks, shards=2, coordinator_dir=coord_dir)
+        assert results == run_sweep(tasks, executor="serial")
+        coord = ShardCoordinator(coord_dir)
+        report = coord.gc()
+        assert report.removed_files > 0
+        assert report.reclaimed_bytes > 0
+        assert report.kept_manifest
+        # all working state is gone...
+        for sub in ("leases", "done", "journals", "memos"):
+            assert not (coord_dir / sub).exists()
+        # ...but the manifest tombstone records what the sweep was
+        assert coord.manifest_path.exists()
+        assert len(ShardCoordinator(coord_dir).manifest().keys) == 6
+
+    def test_incomplete_sweep_refuses_without_force(self, tmp_path):
+        tasks = _grid(6, n=8)
+        coord_dir = tmp_path / "coord"
+        ShardCoordinator(coord_dir).initialize(tasks, chunk_size=2)
+        coord = ShardCoordinator(coord_dir)
+        with pytest.raises(ReproError, match="unsettled"):
+            coord.gc()
+        # nothing was touched: a worker can still drain the sweep
+        report = run_shard_worker(str(coord_dir), "w", poll_interval=0.01)
+        assert report.cells_run == 6
+        assert ShardCoordinator(coord_dir).results() == run_sweep(
+            tasks, executor="serial"
+        )
+
+    def test_force_abandons_an_incomplete_sweep(self, tmp_path):
+        coord_dir = tmp_path / "coord"
+        coord = ShardCoordinator(coord_dir)
+        coord.initialize(_grid(4, n=8), chunk_size=2)
+        report = coord.gc(force=True, keep_manifest=False)
+        assert not report.kept_manifest
+        assert not coord_dir.exists()
+
+    def test_keep_manifest_false_removes_the_directory(self, tmp_path):
+        tasks = _grid(4, n=8)
+        coord_dir = tmp_path / "coord"
+        run_sharded_sweep(tasks, shards=2, coordinator_dir=coord_dir)
+        report = ShardCoordinator(coord_dir).gc(keep_manifest=False)
+        assert not coord_dir.exists()
+        assert report.removed_files > 0
+
+    def test_gc_before_initialize_raises_without_force(self, tmp_path):
+        coord = ShardCoordinator(tmp_path / "never-initialized")
+        with pytest.raises(ReproError):
+            coord.gc()
+        report = coord.gc(force=True)
+        assert report.removed_files == 0
+
+    def test_results_must_be_merged_before_gc(self, tmp_path):
+        """After gc the settled cells are gone — results() says so loudly."""
+        tasks = _grid(4, n=8)
+        coord_dir = tmp_path / "coord"
+        run_sharded_sweep(tasks, shards=2, coordinator_dir=coord_dir)
+        ShardCoordinator(coord_dir).gc()
+        with pytest.raises(ReproError):
+            ShardCoordinator(coord_dir).results()
+
+
+class TestSweepGcCli:
+    def test_sweep_gc_collects_a_completed_coordinator(self, tmp_path, capsys):
+        from repro.cli import main
+
+        coord_dir = tmp_path / "coord"
+        argv = [
+            "sweep", "--algorithm", "first-fit", "--n", "8", "--seeds", "4",
+            "--shards", "2", "--coordinator", str(coord_dir),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--gc", "--coordinator", str(coord_dir), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["gc"]["removed_files"] > 0
+        assert doc["gc"]["kept_manifest"]
+        assert not (coord_dir / "journals").exists()
+        assert coord_dir.exists()
+
+    def test_sweep_gc_requires_a_coordinator(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--gc"]) == 2
+        assert "--coordinator" in capsys.readouterr().err
+
+    def test_sweep_gc_refuses_an_unfinished_sweep(self, tmp_path, capsys):
+        from repro.cli import main
+
+        coord_dir = tmp_path / "coord"
+        ShardCoordinator(coord_dir).initialize(_grid(4, n=8), chunk_size=2)
+        assert main(["sweep", "--gc", "--coordinator", str(coord_dir)]) != 0
+        err = capsys.readouterr().err
+        assert "unsettled" in err
+        # --gc-force abandons it
+        assert main(
+            ["sweep", "--gc", "--gc-force", "--coordinator", str(coord_dir)]
+        ) == 0

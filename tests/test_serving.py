@@ -630,11 +630,92 @@ class TestHttpTransport:
             await writer.drain()
             status = int((await reader.readline()).split()[1])
             assert status == 429
+            # a 429 advertises the backoff as a whole-second Retry-After
+            headers = b""
+            while True:
+                line = await reader.readline()
+                headers += line
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            assert b"retry-after:" in headers.lower()
             writer.close()
             await rt.drain()
             await http.stop()
 
         asyncio.run(scenario())
+
+
+class TestHttpHardening:
+    """Malformed requests answer 400/413 protocol errors, never a crash."""
+
+    @staticmethod
+    async def _raw_request(port: int, raw: bytes) -> tuple[int, bytes]:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(raw)
+        if hasattr(writer, "write_eof"):
+            writer.write_eof()  # nothing further is coming
+        status = int((await reader.readline()).split()[1])
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            if header.lower().startswith(b"content-length:"):
+                length = int(header.split(b":")[1])
+        body = await reader.readexactly(length)
+        writer.close()
+        return status, body
+
+    def _served(self, raw: bytes) -> tuple[int, dict]:
+        async def scenario():
+            rt = ServingRuntime()
+            http = HttpTransport(rt)
+            port = await http.start()
+            status, body = await self._raw_request(port, raw)
+            # the reader task survived the fault: a well-formed request
+            # on a fresh connection still answers
+            ok, _ = await self._raw_request(
+                port, b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            assert ok == 200
+            await rt.drain()
+            await http.stop()
+            return status, json.loads(body)
+
+        return asyncio.run(scenario())
+
+    def test_malformed_content_length_is_a_400(self):
+        status, doc = self._served(
+            b"POST /submit HTTP/1.1\r\nHost: x\r\nContent-Length: banana\r\n\r\n"
+        )
+        assert status == 400
+        assert doc["reason"] == "protocol"
+        assert "content-length" in doc["error"]
+
+    def test_negative_content_length_is_a_400(self):
+        status, doc = self._served(
+            b"POST /submit HTTP/1.1\r\nHost: x\r\nContent-Length: -5\r\n\r\n"
+        )
+        assert status == 400
+        assert doc["reason"] == "protocol"
+
+    def test_oversized_body_is_a_413(self):
+        oversize = HttpTransport.MAX_BODY + 1
+        status, doc = self._served(
+            f"POST /submit HTTP/1.1\r\nHost: x\r\nContent-Length: {oversize}\r\n\r\n".encode()
+        )
+        assert status == 413
+        assert doc["reason"] == "protocol"
+        assert "limit" in doc["error"]
+
+    def test_truncated_body_is_a_400(self):
+        status, doc = self._served(
+            b"POST /submit HTTP/1.1\r\nHost: x\r\nContent-Length: 500\r\n\r\n"
+            b'{"id": 1'  # 492 bytes short of the declared length
+        )
+        assert status == 400
+        assert doc["reason"] == "protocol"
+        assert "truncated" in doc["error"]
 
 
 class TestStdinTransport:
@@ -680,6 +761,61 @@ class TestStdinTransport:
 
         asyncio.run(scenario())
 
+    def test_reader_threads_do_not_accumulate_across_runs(self):
+        # Before the join-on-drain fix, every transport left its daemon
+        # reader parked on readline forever; 20 runs leaked 20 threads.
+        import threading
+
+        class Parked:
+            """readline parks until the stream is closed (like a quiet pipe)."""
+
+            def __init__(self) -> None:
+                self._gate = threading.Event()
+
+            def readline(self) -> str:
+                self._gate.wait(timeout=30.0)
+                raise ValueError("I/O operation on closed stream")
+
+            def close(self) -> None:
+                self._gate.set()
+
+        async def one_run() -> None:
+            rt = ServingRuntime()
+            transport = StdinTransport(rt, in_stream=Parked(), out_stream=io.StringIO())
+            task = asyncio.ensure_future(transport.run())
+            await asyncio.sleep(0.01)
+            transport.stop()
+            await asyncio.wait_for(task, timeout=5.0)
+            await rt.drain()
+
+        def serving_threads() -> int:
+            return sum(
+                t.name.startswith("repro-serving-stdin")
+                for t in threading.enumerate()
+            )
+
+        baseline = serving_threads()
+        for _ in range(20):
+            asyncio.run(one_run())
+        assert serving_threads() <= baseline  # joined, not abandoned
+
+    def test_eof_run_joins_its_reader(self):
+        import threading
+
+        async def scenario():
+            rt = ServingRuntime()
+            transport = StdinTransport(
+                rt, in_stream=io.StringIO("bye\n"), out_stream=io.StringIO()
+            )
+            assert await transport.run() == 1
+            await rt.drain()
+            return transport._thread
+
+        thread = asyncio.run(scenario())
+        thread.join(timeout=1.0)
+        assert not thread.is_alive()
+        assert threading.current_thread() is threading.main_thread()
+
 
 class TestLoadGenerator:
     def test_multi_tenant_load_round_trips(self):
@@ -699,6 +835,51 @@ class TestLoadGenerator:
             assert drained.admitted == 200 and drained.lost == 0
 
         asyncio.run(scenario())
+
+    def test_busy_retry_hints_are_honoured_without_hot_spin(self):
+        # 2x overload: the limiter admits at half the closed-loop offered
+        # rate, so roughly every other offer answers busy with a
+        # deficit-sized retry_ms.  A well-behaved client sleeps the hint
+        # (bounded retries, real backoff) instead of hammering the server.
+        from repro.serving import RateLimiter
+
+        total, rate, burst = 30, 100.0, 2.0
+        tenants = 2
+
+        async def scenario():
+            rt = ServingRuntime(
+                rate_limiter=RateLimiter(rate, burst),
+                batch_size=16,
+                batch_deadline=0.002,
+            )
+            tcp = TcpTransport(rt)
+            port = await tcp.start()
+            gen = LoadGenerator(
+                "127.0.0.1", port, tenants=tenants, seed=7, max_retries=100
+            )
+            report = await gen.run(total)
+            drained = await rt.drain()
+            await tcp.stop()
+            return report, drained
+
+        report, drained = asyncio.run(scenario())
+        # every record eventually lands — throttling delays, never loses
+        assert report.admitted == total and report.abandoned == 0
+        assert drained.admitted == total and drained.lost == 0
+        assert report.busy > 0
+        # the client really slept the hints: the run cannot beat the
+        # token-refill floor (per tenant: (records - burst) / rate)
+        floor = (total / tenants - burst) / rate
+        assert report.duration_seconds >= 0.8 * floor
+        assert report.retry_wait_seconds > 0
+        # no hot-spin: deficit-sized hints mean ~one retry per throttled
+        # record, so sends stay within a small multiple of the workload —
+        # a hot-spinning client would show thousands of sends
+        sent = sum(t.sent for t in report.tenants)
+        assert sent <= 4 * total
+        # per-tenant stats carry the backoff accounting
+        assert all(t.retry_wait_seconds >= 0 for t in report.tenants)
+        assert any(t.retry_wait_seconds > 0 for t in report.tenants)
 
 
 # ---------------------------------------------------------------------------
